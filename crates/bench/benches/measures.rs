@@ -1,0 +1,68 @@
+//! Criterion benches for the utility and opacity measures (§4) that back
+//! Table 1 and Figs. 7–9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::{synthetic, EdgeProtection, SyntheticConfig};
+use surrogate_core::account::{generate, ProtectedAccount, ProtectionContext};
+use surrogate_core::graph::Graph;
+use surrogate_core::measures::{
+    average_protected_opacity, node_utility, path_utility, OpacityEvaluator, OpacityModel,
+};
+use surrogate_core::surrogate::SurrogateCatalog;
+
+fn protected_fixture(nodes: usize) -> (Graph, ProtectedAccount) {
+    let config = SyntheticConfig {
+        nodes,
+        target_connected_pairs: nodes as f64 / 4.0,
+        protect_fraction: 0.3,
+        seed: 7,
+    };
+    let data = synthetic::generate(config);
+    let catalog = SurrogateCatalog::new();
+    let markings = data.markings(EdgeProtection::Surrogate);
+    let account = {
+        let ctx = ProtectionContext::new(&data.graph, &data.lattice, &markings, &catalog);
+        generate(&ctx, data.lattice.public()).expect("generates")
+    };
+    (data.graph, account)
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measures");
+    for &nodes in &[200usize, 500] {
+        let (graph, account) = protected_fixture(nodes);
+        group.bench_with_input(BenchmarkId::new("path_utility", nodes), &nodes, |b, _| {
+            b.iter(|| path_utility(&graph, &account));
+        });
+        group.bench_with_input(BenchmarkId::new("node_utility", nodes), &nodes, |b, _| {
+            b.iter(|| node_utility(&graph, &account));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("avg_opacity", nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| {
+                    average_protected_opacity(&graph, &account, OpacityModel::default())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("edge_opacity_amortized", nodes),
+            &nodes,
+            |b, _| {
+                let evaluator = OpacityEvaluator::new(&account, OpacityModel::default());
+                let edges: Vec<_> = graph.edges().collect();
+                b.iter(|| {
+                    edges
+                        .iter()
+                        .map(|&e| evaluator.edge_opacity(e))
+                        .sum::<f64>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benches for protected-account generation — the hot path
+//! behind Fig. 10's "protect via hide / protect via surrogate" bars —
+//! swept over graph size and protection fraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::{synthetic, EdgeProtection, SyntheticConfig};
+use surrogate_core::account::{
+    generate, generate_hide, generate_with_options, GenerateOptions, ProtectionContext,
+};
+use surrogate_core::surrogate::SurrogateCatalog;
+
+fn bench_protect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protect");
+    for &nodes in &[50usize, 200, 500] {
+        let config = SyntheticConfig {
+            nodes,
+            target_connected_pairs: nodes as f64 / 4.0,
+            protect_fraction: 0.3,
+            seed: 1,
+        };
+        let data = synthetic::generate(config);
+        let catalog = SurrogateCatalog::new();
+        let public = data.lattice.public();
+        let sur_markings = data.markings(EdgeProtection::Surrogate);
+        let hide_markings = data.markings(EdgeProtection::Hide);
+
+        group.bench_with_input(
+            BenchmarkId::new("surrogate", nodes),
+            &nodes,
+            |b, _| {
+                let ctx =
+                    ProtectionContext::new(&data.graph, &data.lattice, &sur_markings, &catalog);
+                b.iter(|| generate(&ctx, public).expect("generates"));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("hide", nodes), &nodes, |b, _| {
+            let ctx =
+                ProtectionContext::new(&data.graph, &data.lattice, &hide_markings, &catalog);
+            b.iter(|| generate_hide(&ctx, public).expect("generates"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("protect/fraction");
+    for &fraction in &[0.1f64, 0.5, 0.9] {
+        let config = SyntheticConfig {
+            nodes: 200,
+            target_connected_pairs: 50.0,
+            protect_fraction: fraction,
+            seed: 2,
+        };
+        let data = synthetic::generate(config);
+        let catalog = SurrogateCatalog::new();
+        let public = data.lattice.public();
+        let markings = data.markings(EdgeProtection::Surrogate);
+        group.bench_with_input(
+            BenchmarkId::new("surrogate", format!("{:.0}%", fraction * 100.0)),
+            &fraction,
+            |b, _| {
+                let ctx = ProtectionContext::new(&data.graph, &data.lattice, &markings, &catalog);
+                b.iter(|| generate(&ctx, public).expect("generates"));
+            },
+        );
+    }
+    group.finish();
+
+    // Ablation: the "no shorter HW-permitted path" redundancy filter
+    // (DESIGN.md §3.1 item 3, step 2). Disabling it skips the pair
+    // decomposition at the cost of many redundant surrogate edges.
+    let mut group = c.benchmark_group("protect/ablation");
+    let config = SyntheticConfig {
+        nodes: 200,
+        target_connected_pairs: 50.0,
+        protect_fraction: 0.5,
+        seed: 3,
+    };
+    let data = synthetic::generate(config);
+    let catalog = SurrogateCatalog::new();
+    let public = data.lattice.public();
+    let markings = data.markings(EdgeProtection::Surrogate);
+    let ctx = ProtectionContext::new(&data.graph, &data.lattice, &markings, &catalog);
+    for (name, options) in [
+        (
+            "redundancy_filter_on",
+            GenerateOptions {
+                redundancy_filter: true,
+            },
+        ),
+        (
+            "redundancy_filter_off",
+            GenerateOptions {
+                redundancy_filter: false,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| generate_with_options(&ctx, &[public], options).expect("generates"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protect);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for path-traversal queries over original graphs and
+//! protected accounts — the workload the paper's motivation (§1) centers
+//! on, and the per-query cost Fig. 10 claims is unaffected by protection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::{synthetic, EdgeProtection, SyntheticConfig};
+use surrogate_core::account::{generate, ProtectionContext};
+use surrogate_core::graph::NodeId;
+use surrogate_core::query::{ancestors, descendants, shortest_path};
+use surrogate_core::surrogate::SurrogateCatalog;
+
+fn bench_query(c: &mut Criterion) {
+    let config = SyntheticConfig {
+        nodes: 500,
+        target_connected_pairs: 120.0,
+        protect_fraction: 0.3,
+        seed: 23,
+    };
+    let data = synthetic::generate(config);
+    let catalog = SurrogateCatalog::new();
+    let markings = data.markings(EdgeProtection::Surrogate);
+    let account = {
+        let ctx = ProtectionContext::new(&data.graph, &data.lattice, &markings, &catalog);
+        generate(&ctx, data.lattice.public()).expect("generates")
+    };
+
+    let root = NodeId(0);
+    let sink = NodeId((data.graph.node_count() - 1) as u32);
+    let account_root = account.account_node(root).expect("all nodes public");
+    let account_sink = account.account_node(sink).expect("all nodes public");
+
+    let mut group = c.benchmark_group("query");
+    group.bench_with_input(BenchmarkId::new("descendants", "original"), &(), |b, _| {
+        b.iter(|| descendants(&data.graph, root));
+    });
+    group.bench_with_input(BenchmarkId::new("descendants", "protected"), &(), |b, _| {
+        b.iter(|| descendants(account.graph(), account_root));
+    });
+    group.bench_with_input(BenchmarkId::new("ancestors", "original"), &(), |b, _| {
+        b.iter(|| ancestors(&data.graph, sink));
+    });
+    group.bench_with_input(BenchmarkId::new("ancestors", "protected"), &(), |b, _| {
+        b.iter(|| ancestors(account.graph(), account_sink));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("shortest_path", "original"),
+        &(),
+        |b, _| {
+            b.iter(|| shortest_path(&data.graph, root, sink));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("shortest_path", "protected"),
+        &(),
+        |b, _| {
+            b.iter(|| shortest_path(account.graph(), account_root, account_sink));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the store substrate: snapshot encode/decode
+//! ("DB access") and materialization ("build graph") — Fig. 10's
+//! non-protection bars.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use surrogate_bench::experiments::fig10::{build_store, Fig10Config};
+use plus_store::Store;
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    for &(stages, width) in &[(5usize, 5usize), (25, 20)] {
+        let store = build_store(Fig10Config {
+            stages,
+            width,
+            sensitive_fraction: 0.15,
+            iterations: 1,
+            seed: 11,
+            simulated_db_roundtrip_us: None,
+        });
+        let records = store.node_count();
+        let bytes = store.to_bytes();
+
+        group.bench_with_input(BenchmarkId::new("encode", records), &records, |b, _| {
+            b.iter(|| store.to_bytes());
+        });
+        group.bench_with_input(BenchmarkId::new("decode", records), &records, |b, _| {
+            b.iter(|| Store::from_bytes(&bytes).expect("decodes"));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("materialize", records),
+            &records,
+            |b, _| {
+                b.iter(|| store.materialize());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

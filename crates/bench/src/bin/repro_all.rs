@@ -1,0 +1,27 @@
+//! Runs every table/figure reproduction in sequence (the input for
+//! EXPERIMENTS.md).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "repro_fig3",
+        "repro_table1",
+        "repro_fig7",
+        "repro_fig8",
+        "repro_fig9",
+        "repro_fig10",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin directory");
+    for bin in bins {
+        println!("================================================================");
+        println!("== {bin}");
+        println!("================================================================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

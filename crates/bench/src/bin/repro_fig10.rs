@@ -1,0 +1,48 @@
+//! Regenerates Fig. 10: time to produce a graph and transform it into a
+//! protected account.
+
+use surrogate_bench::experiments::fig10::{self, Fig10Config};
+use surrogate_bench::report::render_table;
+
+fn main() {
+    let config = Fig10Config::default();
+    let result = fig10::run(config);
+    println!("Figure 10: time to produce and protect a provenance graph");
+    println!(
+        "(workload: {} node records, {} edge records, {} byte snapshot; median of {} runs)\n",
+        result.nodes, result.edges, result.snapshot_bytes, config.iterations
+    );
+    let mut rows = vec![
+        vec!["total (embedded)".into(), format!("{:.3}", result.total_ms)],
+        vec![
+            "DB access (embedded snapshot)".into(),
+            format!("{:.3}", result.db_access_ms),
+        ],
+    ];
+    if let Some(simulated) = result.db_access_simulated_ms {
+        rows.push(vec![
+            "DB access (simulated DBMS round-trips)".into(),
+            format!("{:.3}", simulated),
+        ]);
+    }
+    rows.extend([
+        vec![
+            "build graph".into(),
+            format!("{:.3}", result.build_graph_ms),
+        ],
+        vec![
+            "protect via hide".into(),
+            format!("{:.3}", result.protect_hide_ms),
+        ],
+        vec![
+            "protect via surrogate".into(),
+            format!("{:.3}", result.protect_surrogate_ms),
+        ],
+    ]);
+    let table = render_table(&["activity", "time (ms)"], &rows);
+    println!("{table}");
+    println!("Expected shape (§6.4): hiding is at most as expensive as surrogating,");
+    println!("and against DBMS-backed storage (the paper's PLUS setup, simulated row)");
+    println!("protection is subsumed by graph access and construction. Our embedded");
+    println!("snapshot store is ~1000x faster than a 2008 DBMS, hence both rows.");
+}

@@ -1,0 +1,23 @@
+//! Regenerates the Fig. 3(b) / §4.1 worked numbers for the naïve account.
+
+use surrogate_bench::experiments::fig3;
+use surrogate_bench::report::{f3, render_table};
+
+fn main() {
+    let r = fig3::run();
+    println!("Figure 3 / §4.1: naively protected account of Figure 1 (High-2 consumer)\n");
+    let table = render_table(
+        &["quantity", "paper", "ours"],
+        &[
+            vec!["%P(b')".into(), "0.100".into(), f3(r.pct_b)],
+            vec!["%P(h')".into(), "0.300".into(), f3(r.pct_h)],
+            vec!["PathUtility".into(), "0.130".into(), f3(r.path_utility)],
+            vec![
+                "NodeUtility".into(),
+                format!("{:.3} (6/11)", 6.0 / 11.0),
+                f3(r.node_utility),
+            ],
+        ],
+    );
+    println!("{table}");
+}

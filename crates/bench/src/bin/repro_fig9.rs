@@ -1,0 +1,53 @@
+//! Regenerates Fig. 9: surrogate − hide differences in opacity (9a) and
+//! utility (9b) across connectedness × protection fraction.
+
+use surrogate_bench::experiments::fig9;
+use surrogate_bench::report::{d3, render_table};
+use surrogate_core::measures::OpacityModel;
+
+fn main() {
+    let configs = fig9::paper_configs(2011);
+    eprintln!("generating + protecting {} synthetic graphs…", configs.len());
+    let cells = fig9::run_grid(&configs, OpacityModel::default());
+
+    // Rows = protection fraction (series); columns = connectivity steps.
+    let fractions = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let headers: Vec<String> = std::iter::once("protect%".to_string())
+        .chain(
+            cells
+                .iter()
+                .take(10)
+                .map(|c| format!("cp~{:.0}", c.achieved_connected_pairs)),
+        )
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    for (title, use_opacity) in [
+        ("Figure 9a: OpacitySurrogate - OpacityHide", true),
+        ("Figure 9b: UtilitySurrogate - UtilityHide", false),
+    ] {
+        println!("{title}");
+        println!("(columns = connectivity steps, labelled by the first series' achieved connected pairs)\n");
+        let rows: Vec<Vec<String>> = fractions
+            .iter()
+            .enumerate()
+            .map(|(fi, &fraction)| {
+                let mut row = vec![format!("{:.0}%", fraction * 100.0)];
+                for step in 0..10 {
+                    let cell = &cells[fi * 10 + step];
+                    let delta = if use_opacity {
+                        cell.opacity_delta()
+                    } else {
+                        cell.utility_delta()
+                    };
+                    row.push(d3(delta));
+                }
+                row
+            })
+            .collect();
+        println!("{}", render_table(&header_refs, &rows));
+    }
+    println!("Expected shape (§6.3): all values positive; the opacity advantage grows");
+    println!("with the protected fraction; the utility advantage shrinks as more of");
+    println!("the graph is protected.");
+}

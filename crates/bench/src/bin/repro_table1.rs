@@ -1,0 +1,41 @@
+//! Regenerates Table 1: Path Utility and Opacity for the Fig. 2 accounts.
+
+use surrogate_bench::experiments::table1;
+use surrogate_bench::report::{f3, render_table};
+
+fn main() {
+    let rows = table1::run();
+    println!("Table 1: Path Utility and Opacity measures for the Figure 2 accounts");
+    println!("(opacity of edge f->g only; three opacity-model variants reported,");
+    println!(" see DESIGN.md §3.1 item 2 for the Fig. 4 reconstruction)\n");
+    let table = render_table(
+        &[
+            "account",
+            "PathUtility(paper)",
+            "PathUtility(ours)",
+            "Opacity(paper)",
+            "Opacity(default)",
+            "Opacity(normalized)",
+            "Opacity(fig5-literal)",
+            "Opacity(fp-product)",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.to_string(),
+                    format!("{:.2}", r.paper_path_utility),
+                    f3(r.path_utility),
+                    format!("{:.3}", r.paper_opacity),
+                    f3(r.opacity_default),
+                    f3(r.opacity_normalized),
+                    f3(r.opacity_fig5),
+                    f3(r.opacity_fp_product),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!("Expected shape: utilities match the paper to rounding; opacity is 0 for");
+    println!("(a), 1 for (b), and strictly ordered (c) < (d) as in the paper.");
+}

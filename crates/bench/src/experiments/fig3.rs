@@ -1,0 +1,45 @@
+//! Fig. 3(b) and §4.1: the naïve account's utilities and per-node path
+//! percentages.
+
+use graphgen::Figure1;
+use surrogate_core::measures::{node_utility, path_percentages, path_utility};
+
+/// Measured vs published values for the naïve account of Fig. 1(c).
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// `%P(b')` (paper: 1/10).
+    pub pct_b: f64,
+    /// `%P(h')` (paper: 3/10).
+    pub pct_h: f64,
+    /// PathUtility (paper: .13).
+    pub path_utility: f64,
+    /// NodeUtility (paper: 6/11).
+    pub node_utility: f64,
+}
+
+/// Regenerates the Fig. 3 numbers.
+pub fn run() -> Fig3Result {
+    let fig = Figure1::new();
+    let account = fig.naive_account().expect("naive account generates");
+    let pcts = path_percentages(&fig.graph, &account);
+    Fig3Result {
+        pct_b: pcts[fig.node("b").index()],
+        pct_h: pcts[fig.node("h").index()],
+        path_utility: path_utility(&fig.graph, &account),
+        node_utility: node_utility(&fig.graph, &account),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_exactly() {
+        let r = run();
+        assert!((r.pct_b - 0.1).abs() < 1e-12);
+        assert!((r.pct_h - 0.3).abs() < 1e-12);
+        assert!((r.path_utility - 1.4 / 11.0).abs() < 1e-12);
+        assert!((r.node_utility - 6.0 / 11.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Fig. 7: per-motif differences between surrogating and hiding, for both
+//! the Path Utility Measure and the opacity of the protected edge.
+
+use graphgen::{all_motifs, EdgeProtection, Motif, MotifKind};
+use surrogate_core::account::{generate, generate_hide, ProtectedAccount, ProtectionContext};
+use surrogate_core::measures::{edge_opacity, path_utility, OpacityModel};
+use surrogate_core::surrogate::SurrogateCatalog;
+
+/// One Fig. 7 bar pair.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// The motif.
+    pub kind: MotifKind,
+    /// PathUtility with surrogating / hiding.
+    pub utility_surrogate: f64,
+    /// PathUtility with hiding.
+    pub utility_hide: f64,
+    /// Opacity of the protected edge with surrogating.
+    pub opacity_surrogate: f64,
+    /// Opacity of the protected edge with hiding.
+    pub opacity_hide: f64,
+}
+
+impl Fig7Row {
+    /// `UtilitySurrogate − UtilityHide` (the figure's utility bar).
+    pub fn utility_delta(&self) -> f64 {
+        self.utility_surrogate - self.utility_hide
+    }
+
+    /// `OpacitySurrogate − OpacityHide` (the figure's opacity bar).
+    pub fn opacity_delta(&self) -> f64 {
+        self.opacity_surrogate - self.opacity_hide
+    }
+}
+
+/// Protects a motif both ways and returns the accounts.
+pub fn protect_both(motif: &Motif) -> (ProtectedAccount, ProtectedAccount) {
+    let catalog = SurrogateCatalog::new();
+    let public = motif.lattice.public();
+    let sur_markings = motif.markings(EdgeProtection::Surrogate);
+    let hide_markings = motif.markings(EdgeProtection::Hide);
+    let sur = {
+        let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &sur_markings, &catalog);
+        generate(&ctx, public).expect("motif protection generates")
+    };
+    let hide = {
+        let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &hide_markings, &catalog);
+        generate_hide(&ctx, public).expect("motif protection generates")
+    };
+    (sur, hide)
+}
+
+/// Regenerates Fig. 7 with the given opacity model.
+pub fn run(model: OpacityModel) -> Vec<Fig7Row> {
+    all_motifs()
+        .iter()
+        .map(|motif| {
+            let (sur, hide) = protect_both(motif);
+            Fig7Row {
+                kind: motif.kind,
+                utility_surrogate: path_utility(&motif.graph, &sur),
+                utility_hide: path_utility(&motif.graph, &hide),
+                opacity_surrogate: edge_opacity(&sur, model, motif.protected_edge),
+                opacity_hide: edge_opacity(&hide, model, motif.protected_edge),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_match_section_6_2() {
+        // "surrogating raises opacity and utility for all motifs except
+        // Bipartite and Lattice" — where both differences are zero.
+        for row in run(OpacityModel::default()) {
+            match row.kind {
+                MotifKind::Bipartite | MotifKind::Lattice => {
+                    assert_eq!(row.utility_delta(), 0.0, "{:?}", row.kind);
+                    assert_eq!(row.opacity_delta(), 0.0, "{:?}", row.kind);
+                }
+                _ => {
+                    assert!(row.utility_delta() > 0.0, "{:?}", row.kind);
+                    assert!(row.opacity_delta() > 0.0, "{:?}", row.kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_values_are_bounded() {
+        for row in run(OpacityModel::default()) {
+            for v in [
+                row.utility_surrogate,
+                row.utility_hide,
+                row.opacity_surrogate,
+                row.opacity_hide,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{:?}: {v}", row.kind);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig. 8: maximum utility attainable at a given opacity rating, for the
+//! hide and surrogate strategies across the synthetic set.
+//!
+//! Each synthetic cell yields one `(opacity, utility)` point per strategy;
+//! the figure plots the per-opacity-bin maxima — the strategy's
+//! utility/opacity frontier.
+
+use surrogate_core::measures::OpacityModel;
+
+use super::fig9::{run_grid, Fig9Cell};
+use graphgen::SyntheticConfig;
+
+/// A frontier bin.
+#[derive(Debug, Clone)]
+pub struct FrontierBin {
+    /// Inclusive lower edge of the opacity bin.
+    pub opacity_lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub opacity_hi: f64,
+    /// Best utility the hide strategy achieved in this bin, if any point
+    /// landed here.
+    pub max_utility_hide: Option<f64>,
+    /// Best utility the surrogate strategy achieved in this bin.
+    pub max_utility_surrogate: Option<f64>,
+}
+
+/// Bins the grid's `(opacity, utility)` points into `bins` opacity bins.
+pub fn frontier(cells: &[Fig9Cell], bins: usize) -> Vec<FrontierBin> {
+    assert!(bins >= 1);
+    let mut result: Vec<FrontierBin> = (0..bins)
+        .map(|i| FrontierBin {
+            opacity_lo: i as f64 / bins as f64,
+            opacity_hi: (i + 1) as f64 / bins as f64,
+            max_utility_hide: None,
+            max_utility_surrogate: None,
+        })
+        .collect();
+    let bin_of = |opacity: f64| ((opacity * bins as f64) as usize).min(bins - 1);
+    for cell in cells {
+        let hide_bin = bin_of(cell.opacity_hide);
+        let slot = &mut result[hide_bin].max_utility_hide;
+        *slot = Some(slot.map_or(cell.utility_hide, |u: f64| u.max(cell.utility_hide)));
+        let sur_bin = bin_of(cell.opacity_surrogate);
+        let slot = &mut result[sur_bin].max_utility_surrogate;
+        *slot = Some(slot.map_or(cell.utility_surrogate, |u: f64| {
+            u.max(cell.utility_surrogate)
+        }));
+    }
+    result
+}
+
+/// Runs the synthetic grid and bins the frontier.
+pub fn run(
+    configs: &[SyntheticConfig],
+    model: OpacityModel,
+    bins: usize,
+) -> (Vec<Fig9Cell>, Vec<FrontierBin>) {
+    let cells = run_grid(configs, model);
+    let frontier = frontier(&cells, bins);
+    (cells, frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_cell(op_h: f64, u_h: f64, op_s: f64, u_s: f64) -> Fig9Cell {
+        Fig9Cell {
+            target_connected_pairs: 0.0,
+            achieved_connected_pairs: 0.0,
+            protect_fraction: 0.0,
+            edges: 0,
+            utility_surrogate: u_s,
+            utility_hide: u_h,
+            opacity_surrogate: op_s,
+            opacity_hide: op_h,
+        }
+    }
+
+    #[test]
+    fn frontier_takes_bin_maxima() {
+        let cells = vec![
+            fake_cell(0.05, 0.3, 0.95, 0.8),
+            fake_cell(0.07, 0.5, 0.92, 0.6),
+            fake_cell(0.55, 0.2, 0.55, 0.4),
+        ];
+        let bins = frontier(&cells, 10);
+        assert_eq!(bins.len(), 10);
+        assert_eq!(bins[0].max_utility_hide, Some(0.5));
+        assert_eq!(bins[9].max_utility_surrogate, Some(0.8));
+        assert_eq!(bins[5].max_utility_hide, Some(0.2));
+        assert_eq!(bins[5].max_utility_surrogate, Some(0.4));
+        assert_eq!(bins[3].max_utility_hide, None);
+    }
+
+    #[test]
+    fn opacity_one_lands_in_last_bin() {
+        let cells = vec![fake_cell(1.0, 0.1, 1.0, 0.2)];
+        let bins = frontier(&cells, 4);
+        assert_eq!(bins[3].max_utility_hide, Some(0.1));
+        assert_eq!(bins[3].max_utility_surrogate, Some(0.2));
+    }
+}

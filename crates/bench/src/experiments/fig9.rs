@@ -1,0 +1,170 @@
+//! Fig. 9: surrogate − hide differences in opacity (9a) and utility (9b)
+//! across the synthetic grid — connectedness 30–100 × protection 10%–90%.
+//!
+//! Cells are independent, so the sweep fans out across threads with
+//! `crossbeam::scope`.
+
+use graphgen::{synthetic, EdgeProtection, SyntheticConfig};
+use surrogate_core::account::{generate, generate_hide, ProtectionContext};
+use surrogate_core::measures::{average_protected_opacity, path_utility, OpacityModel};
+use surrogate_core::surrogate::SurrogateCatalog;
+
+/// One cell of the synthetic grid.
+#[derive(Debug, Clone)]
+pub struct Fig9Cell {
+    /// Requested average reachable-set size.
+    pub target_connected_pairs: f64,
+    /// Achieved average reachable-set size.
+    pub achieved_connected_pairs: f64,
+    /// Fraction of edges protected.
+    pub protect_fraction: f64,
+    /// Edges in the generated graph.
+    pub edges: usize,
+    /// PathUtility under surrogating.
+    pub utility_surrogate: f64,
+    /// PathUtility under hiding.
+    pub utility_hide: f64,
+    /// Mean opacity of protected edges under surrogating.
+    pub opacity_surrogate: f64,
+    /// Mean opacity of protected edges under hiding.
+    pub opacity_hide: f64,
+}
+
+impl Fig9Cell {
+    /// `OpacitySurrogate − OpacityHide` (Fig. 9a).
+    pub fn opacity_delta(&self) -> f64 {
+        self.opacity_surrogate - self.opacity_hide
+    }
+
+    /// `UtilitySurrogate − UtilityHide` (Fig. 9b).
+    pub fn utility_delta(&self) -> f64 {
+        self.utility_surrogate - self.utility_hide
+    }
+}
+
+/// Evaluates one synthetic configuration.
+pub fn run_cell(config: SyntheticConfig, model: OpacityModel) -> Fig9Cell {
+    let synthetic = synthetic::generate(config);
+    let catalog = SurrogateCatalog::new();
+    let public = synthetic.lattice.public();
+
+    let sur_markings = synthetic.markings(EdgeProtection::Surrogate);
+    let hide_markings = synthetic.markings(EdgeProtection::Hide);
+
+    let sur = {
+        let ctx = ProtectionContext::new(
+            &synthetic.graph,
+            &synthetic.lattice,
+            &sur_markings,
+            &catalog,
+        );
+        generate(&ctx, public).expect("synthetic protection generates")
+    };
+    let hide = {
+        let ctx = ProtectionContext::new(
+            &synthetic.graph,
+            &synthetic.lattice,
+            &hide_markings,
+            &catalog,
+        );
+        generate_hide(&ctx, public).expect("synthetic protection generates")
+    };
+
+    Fig9Cell {
+        target_connected_pairs: config.target_connected_pairs,
+        achieved_connected_pairs: synthetic.connected_pairs(),
+        protect_fraction: config.protect_fraction,
+        edges: synthetic.graph.edge_count(),
+        utility_surrogate: path_utility(&synthetic.graph, &sur),
+        utility_hide: path_utility(&synthetic.graph, &hide),
+        opacity_surrogate: average_protected_opacity(&synthetic.graph, &sur, model)
+            .unwrap_or(1.0),
+        opacity_hide: average_protected_opacity(&synthetic.graph, &hide, model).unwrap_or(1.0),
+    }
+}
+
+/// Runs the full grid in parallel; rows come back in grid order.
+pub fn run_grid(configs: &[SyntheticConfig], model: OpacityModel) -> Vec<Fig9Cell> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(configs.len());
+    let mut cells: Vec<Option<Fig9Cell>> = vec![None; configs.len()];
+    let chunk = configs.len().div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (config_chunk, cell_chunk) in configs.chunks(chunk).zip(cells.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (config, slot) in config_chunk.iter().zip(cell_chunk.iter_mut()) {
+                    *slot = Some(run_cell(*config, model));
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    cells
+        .into_iter()
+        .map(|c| c.expect("every cell computed"))
+        .collect()
+}
+
+/// The paper's default grid: 10 connectivity steps × protection fractions
+/// {10, 30, 50, 70, 90}% — 50 graphs, as in §6.1.2.
+pub fn paper_configs(seed: u64) -> Vec<SyntheticConfig> {
+    graphgen::paper_grid(10, &[0.1, 0.3, 0.5, 0.7, 0.9], seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_configs() -> Vec<SyntheticConfig> {
+        vec![
+            SyntheticConfig {
+                nodes: 60,
+                target_connected_pairs: 12.0,
+                protect_fraction: 0.2,
+                seed: 1,
+            },
+            SyntheticConfig {
+                nodes: 60,
+                target_connected_pairs: 20.0,
+                protect_fraction: 0.6,
+                seed: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn surrogating_dominates_hiding() {
+        // §6.3's key takeaway: every delta is positive.
+        for cell in run_grid(&small_configs(), OpacityModel::default()) {
+            assert!(
+                cell.utility_delta() >= 0.0,
+                "utility delta {} at {:?}",
+                cell.utility_delta(),
+                (cell.target_connected_pairs, cell.protect_fraction)
+            );
+            assert!(
+                cell.opacity_delta() >= 0.0,
+                "opacity delta {} at {:?}",
+                cell.opacity_delta(),
+                (cell.target_connected_pairs, cell.protect_fraction)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial() {
+        let configs = small_configs();
+        let parallel = run_grid(&configs, OpacityModel::default());
+        for (config, cell) in configs.iter().zip(&parallel) {
+            let serial = run_cell(*config, OpacityModel::default());
+            assert_eq!(serial.edges, cell.edges);
+            assert_eq!(serial.utility_surrogate, cell.utility_surrogate);
+            assert_eq!(serial.opacity_hide, cell.opacity_hide);
+        }
+    }
+}

@@ -1,0 +1,1010 @@
+//! Protected-account generation (paper §3, §5, Appendix B).
+//!
+//! A protected account `G'` of `G` (Def. 5) contains, per original node, at
+//! most one corresponding node — the original itself when the consumer's
+//! predicate dominates its `lowest`, otherwise the most dominant visible
+//! surrogate (Def. 9.1–9.2) — and edges such that every path of `G'` maps
+//! to a path of `G`, with as many HW-permitted paths of `G` reflected as
+//! possible (Def. 9.3).
+//!
+//! Three strategies are provided:
+//!
+//! * [`generate`] — the paper's Surrogate Generation Algorithm
+//!   (Algorithms 1–3), with the pseudocode repairs described in DESIGN.md
+//!   §3.1 item 3 (iterative cycle-safe walks; absent nodes pass through).
+//! * [`generate_hide`] — the "binary show/hide" edge baseline of §6:
+//!   identical node layer, but `Surrogate` incidences are treated as
+//!   unusable, so no surrogate edges are synthesized.
+//! * [`generate_naive_node_hide`] — the all-or-nothing baseline of
+//!   Fig. 1(c): sensitive nodes and their incident edges simply vanish.
+//!
+//! # HW-permitted paths (Def. 8)
+//!
+//! For account predicate `p`, a path `n1 → … → n2` of `G` is permitted iff
+//! (1) no incidence on it is marked `Hide`, with `n1`'s incidence on the
+//! first edge and `n2`'s on the last edge marked `Visible`, and (2) if the
+//! direct edge `(n1, n2)` exists in `G`, both of its incidences are
+//! `Visible`. [`permitted_pairs`] computes the induced pair relation and is
+//! the oracle used by `validate` and the property tests.
+
+use std::collections::VecDeque;
+
+use crate::error::Result;
+use crate::graph::{Edge, Graph, NodeId};
+use crate::marking::{Marking, MarkingStore};
+use crate::privilege::{PrivilegeId, PrivilegeLattice};
+use crate::surrogate::SurrogateCatalog;
+use crate::util::{BitSet, FxHashMap, FxHashSet};
+
+/// How an account node corresponds to its original (Def. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Correspondence {
+    /// `n' = n`: all features identical; `infoScore = 1`.
+    Original,
+    /// `n'` is a registered surrogate of `n` with the given `infoScore`.
+    Surrogate {
+        /// `infoScore(n')` of the chosen surrogate (§4.1).
+        info_score: f64,
+    },
+}
+
+impl Correspondence {
+    /// `infoScore(n')` (§4.1): 1 for originals, the catalog score for
+    /// surrogates.
+    pub fn info_score(&self) -> f64 {
+        match self {
+            Correspondence::Original => 1.0,
+            Correspondence::Surrogate { info_score } => *info_score,
+        }
+    }
+}
+
+/// The protection strategy used to produce an account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Surrogate nodes + surrogate edges (the paper's contribution).
+    Surrogate,
+    /// Surrogate nodes, but protected incidences drop their edges.
+    HideEdges,
+    /// No surrogates at all: sensitive nodes and incident edges vanish.
+    HideNodes,
+}
+
+/// Everything needed to protect one graph: the graph, its privilege
+/// lattice, the providers' incidence markings, and the surrogate catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtectionContext<'a> {
+    /// The original graph `G`.
+    pub graph: &'a Graph,
+    /// Partial order of privilege-predicates.
+    pub lattice: &'a PrivilegeLattice,
+    /// Node–edge incidence markings (Def. 7).
+    pub markings: &'a MarkingStore,
+    /// Registered surrogate versions of nodes (§3.1).
+    pub catalog: &'a SurrogateCatalog,
+}
+
+impl<'a> ProtectionContext<'a> {
+    /// Bundles the four inputs of the generation algorithm.
+    pub fn new(
+        graph: &'a Graph,
+        lattice: &'a PrivilegeLattice,
+        markings: &'a MarkingStore,
+        catalog: &'a SurrogateCatalog,
+    ) -> Self {
+        Self {
+            graph,
+            lattice,
+            markings,
+            catalog,
+        }
+    }
+
+    /// Generates an account with the given strategy.
+    pub fn protect(&self, p: PrivilegeId, strategy: Strategy) -> Result<ProtectedAccount> {
+        self.protect_set(&[p], strategy)
+    }
+
+    /// Generates an account for a multi-predicate high-water set with the
+    /// given strategy.
+    pub fn protect_set(
+        &self,
+        preds: &[PrivilegeId],
+        strategy: Strategy,
+    ) -> Result<ProtectedAccount> {
+        match strategy {
+            Strategy::Surrogate => generate_for_set(self, preds),
+            Strategy::HideEdges => generate_hide_for_set(self, preds),
+            Strategy::HideNodes => generate_naive_node_hide_for_set(self, preds),
+        }
+    }
+}
+
+/// A protected account `G' = (N', E')` with its correspondence back to `G`.
+#[derive(Debug, Clone)]
+pub struct ProtectedAccount {
+    graph: Graph,
+    hw: Vec<PrivilegeId>,
+    strategy: Strategy,
+    /// Original node → account node.
+    to_account: Vec<Option<NodeId>>,
+    /// Account node → original node.
+    to_original: Vec<NodeId>,
+    /// Account node → how it corresponds.
+    correspondence: Vec<Correspondence>,
+    /// Account edges that summarize multi-edge paths of `G` rather than
+    /// corresponding to a single original edge.
+    surrogate_edges: FxHashSet<Edge>,
+}
+
+impl ProtectedAccount {
+    /// The account graph `G'`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The primary predicate this account was generated for. For the
+    /// common singleton case this is *the* predicate; for multi-predicate
+    /// accounts prefer [`high_water`](Self::high_water).
+    pub fn predicate(&self) -> PrivilegeId {
+        self.hw[0]
+    }
+
+    /// The high-water set the account was generated for (`HW(G')`, Def. 6).
+    pub fn high_water(&self) -> &[PrivilegeId] {
+        &self.hw
+    }
+
+    /// Strategy that produced the account.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Account node corresponding to original `n`, if any.
+    pub fn account_node(&self, original: NodeId) -> Option<NodeId> {
+        self.to_account.get(original.index()).copied().flatten()
+    }
+
+    /// Original node behind account node `n'`.
+    pub fn original_node(&self, account: NodeId) -> NodeId {
+        self.to_original[account.index()]
+    }
+
+    /// Correspondence of account node `n'`.
+    pub fn correspondence(&self, account: NodeId) -> &Correspondence {
+        &self.correspondence[account.index()]
+    }
+
+    /// `true` if the given account edge is a surrogate edge.
+    pub fn is_surrogate_edge(&self, edge: Edge) -> bool {
+        self.surrogate_edges.contains(&edge)
+    }
+
+    /// Number of surrogate edges.
+    pub fn surrogate_edge_count(&self) -> usize {
+        self.surrogate_edges.len()
+    }
+
+    /// Number of account nodes that are surrogates.
+    pub fn surrogate_node_count(&self) -> usize {
+        self.correspondence
+            .iter()
+            .filter(|c| matches!(c, Correspondence::Surrogate { .. }))
+            .count()
+    }
+
+    /// Original nodes with no corresponding node in the account.
+    pub fn hidden_nodes(&self) -> Vec<NodeId> {
+        self.to_account
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_none())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// `true` if original edge `(u, v)` is represented by a corresponding
+    /// direct edge of the account (opacity = 0 case, Fig. 4).
+    pub fn original_edge_present(&self, edge: Edge) -> bool {
+        match (self.account_node(edge.0), self.account_node(edge.1)) {
+            (Some(u), Some(v)) => self.graph.has_edge(u, v),
+            _ => false,
+        }
+    }
+
+    /// Original edges with no corresponding account edge — the protected
+    /// edges whose inference the opacity measure quantifies.
+    pub fn protected_edges<'g>(&'g self, original: &'g Graph) -> impl Iterator<Item = Edge> + 'g {
+        original.edges().filter(|&e| !self.original_edge_present(e))
+    }
+}
+
+/// Per-node inclusion plan for the node layer of Algorithm 1.
+enum NodePlan {
+    Original,
+    Surrogate {
+        label: String,
+        features: crate::feature::Features,
+        lowest: PrivilegeId,
+        info_score: f64,
+    },
+    Absent,
+}
+
+/// Node layer shared by [`generate`] and [`generate_hide`]: originals when
+/// dominated (Def. 9.1), otherwise the most dominant visible surrogate
+/// (Def. 9.2), otherwise absent.
+fn plan_nodes(
+    ctx: &ProtectionContext<'_>,
+    preds: &[PrivilegeId],
+    use_catalog: bool,
+) -> Vec<NodePlan> {
+    ctx.graph
+        .node_ids()
+        .map(|n| {
+            if ctx.lattice.set_dominates(preds, ctx.graph.node(n).lowest) {
+                return NodePlan::Original;
+            }
+            if use_catalog {
+                if let Some(def) =
+                    ctx.catalog.most_dominant_visible_for_set(ctx.lattice, n, preds)
+                {
+                    return NodePlan::Surrogate {
+                        label: def.label.clone(),
+                        features: def.features.clone(),
+                        lowest: def.lowest,
+                        info_score: def.info_score,
+                    };
+                }
+            }
+            NodePlan::Absent
+        })
+        .collect()
+}
+
+/// Materializes the node layer into an account skeleton.
+fn build_node_layer(
+    ctx: &ProtectionContext<'_>,
+    preds: &[PrivilegeId],
+    strategy: Strategy,
+    plans: Vec<NodePlan>,
+) -> ProtectedAccount {
+    let original = ctx.graph;
+    let mut graph = Graph::with_capacity(original.node_count(), original.edge_count());
+    let mut to_account = vec![None; original.node_count()];
+    let mut to_original = Vec::new();
+    let mut correspondence = Vec::new();
+
+    for (i, plan) in plans.into_iter().enumerate() {
+        let n = NodeId(i as u32);
+        match plan {
+            NodePlan::Original => {
+                let node = original.node(n);
+                let id = graph.add_node_with_features(
+                    node.label.clone(),
+                    node.features.clone(),
+                    node.lowest,
+                );
+                to_account[i] = Some(id);
+                to_original.push(n);
+                correspondence.push(Correspondence::Original);
+            }
+            NodePlan::Surrogate {
+                label,
+                features,
+                lowest,
+                info_score,
+            } => {
+                let id = graph.add_node_with_features(label, features, lowest);
+                to_account[i] = Some(id);
+                to_original.push(n);
+                correspondence.push(Correspondence::Surrogate { info_score });
+            }
+            NodePlan::Absent => {}
+        }
+    }
+
+    ProtectedAccount {
+        graph,
+        hw: preds.to_vec(),
+        strategy,
+        to_account,
+        to_original,
+        correspondence,
+        surrogate_edges: FxHashSet::default(),
+    }
+}
+
+/// Adds every Visible–Visible original edge whose endpoints are present
+/// (Algorithm 1 line 13–14).
+fn add_shown_edges(
+    ctx: &ProtectionContext<'_>,
+    preds: &[PrivilegeId],
+    account: &mut ProtectedAccount,
+) {
+    for edge in ctx.graph.edges() {
+        if !ctx.markings.edge_visible_for_set(edge, preds) {
+            continue;
+        }
+        if let (Some(u), Some(v)) = (
+            account.to_account[edge.0.index()],
+            account.to_account[edge.1.index()],
+        ) {
+            account
+                .graph
+                .add_edge(u, v)
+                .expect("original edges are unique and loop-free");
+        }
+    }
+}
+
+/// Shortest HW-permitted reach from source `u` (the repaired Algorithm 2):
+/// maps every present node `v` reachable by a Def. 8-permitted path from
+/// `u` to the length of the shortest such path.
+///
+/// BFS whose state is the edge just traversed, so a node entered both via
+/// `Visible` and via `Surrogate` incidences is handled correctly, and
+/// cycles terminate (each edge enters the queue at most once). Intermediate
+/// nodes may carry any non-`Hide` marking (Def. 8 cond. 1 constrains only
+/// the endpoint incidences); absent nodes pass through (DESIGN.md §3.1
+/// item 3).
+fn permitted_reach(
+    ctx: &ProtectionContext<'_>,
+    preds: &[PrivilegeId],
+    present: &[bool],
+    u: NodeId,
+    visited: &mut BitSet,
+) -> FxHashMap<NodeId, u32> {
+    let g = ctx.graph;
+    let m = ctx.markings;
+    visited.clear();
+    let mut reach: FxHashMap<NodeId, u32> = FxHashMap::default();
+    let mut queue: VecDeque<(Edge, u32)> = VecDeque::new();
+
+    // Def. 8: the source's incidence on the first edge must be Visible.
+    for &x in g.out_neighbors(u) {
+        let e = (u, x);
+        if !m.edge_hidden_for_set(e, preds)
+            && m.mark_for_set(u, e, preds) == Marking::Visible
+        {
+            queue.push_back((e, 1));
+        }
+    }
+
+    while let Some((e_in, depth)) = queue.pop_front() {
+        let e_idx = g.edge_index(e_in).expect("edge from adjacency");
+        if !visited.insert(e_idx) {
+            continue;
+        }
+        let x = e_in.1;
+
+        // Def. 8 cond. 1: the target's incidence on the last edge must be
+        // Visible; cond. 2: a direct edge between the pair, if any, must be
+        // Visible–Visible. Only present nodes can be endpoints.
+        if x != u
+            && present[x.index()]
+            && m.mark_for_set(x, e_in, preds) == Marking::Visible
+            && (!g.has_edge(u, x) || m.edge_visible_for_set((u, x), preds))
+        {
+            reach.entry(x).or_insert(depth); // BFS ⇒ first hit is shortest
+        }
+
+        for &y in g.out_neighbors(x) {
+            let e_out = (x, y);
+            if !m.edge_hidden_for_set(e_out, preds) {
+                queue.push_back((e_out, depth + 1));
+            }
+        }
+    }
+    reach
+}
+
+/// Tuning knobs for [`generate_with_options`]; mainly for ablation
+/// studies of the design choices DESIGN.md calls out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerateOptions {
+    /// Apply the appendix's "no shorter HW-permitted path" redundancy rule
+    /// (DESIGN.md §3.1 item 3, step 2). Disabling it emits a surrogate
+    /// edge for *every* permitted pair without a direct original edge —
+    /// still sound and maximally connected, but with many redundant edges
+    /// ("they make the graph less clear").
+    pub redundancy_filter: bool,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> Self {
+        Self {
+            redundancy_filter: true,
+        }
+    }
+}
+
+/// The Surrogate Generation Algorithm (Appendix B, Algorithms 1–3),
+/// producing the maximally informative account for predicate `p`
+/// (Theorem 1), with `HW(G') = {p}`.
+///
+/// Surrogate edges are emitted for exactly the HW-permitted pairs that do
+/// not decompose into strictly shorter permitted pairs through a present
+/// intermediate — the appendix's "no shorter HW-permitted path" redundancy
+/// rule. Decomposable pairs are connected transitively by the pieces, so
+/// maximal connectivity (Def. 9.3) holds by induction on path length.
+pub fn generate(ctx: &ProtectionContext<'_>, p: PrivilegeId) -> Result<ProtectedAccount> {
+    generate_with_options(ctx, &[p], GenerateOptions::default())
+}
+
+/// [`generate`] for a multi-predicate high-water set (Def. 6): node
+/// visibility and incidence markings take the most permissive
+/// interpretation across members, per Def. 8's "for some p dominated by a
+/// member of HW". Members that are dominated by other members are
+/// redundant and removed up front.
+pub fn generate_for_set(
+    ctx: &ProtectionContext<'_>,
+    preds: &[PrivilegeId],
+) -> Result<ProtectedAccount> {
+    generate_with_options(ctx, preds, GenerateOptions::default())
+}
+
+/// Full-control variant of [`generate`] / [`generate_for_set`].
+///
+/// # Panics
+/// Panics if `preds` is empty.
+pub fn generate_with_options(
+    ctx: &ProtectionContext<'_>,
+    preds: &[PrivilegeId],
+    options: GenerateOptions,
+) -> Result<ProtectedAccount> {
+    assert!(!preds.is_empty(), "high-water set must be non-empty");
+    ctx.catalog.validate(ctx.graph, ctx.lattice)?;
+    let preds = ctx.lattice.maximal_antichain(preds);
+    let plans = plan_nodes(ctx, &preds, true);
+    let mut account = build_node_layer(ctx, &preds, Strategy::Surrogate, plans);
+    add_shown_edges(ctx, &preds, &mut account);
+
+    let present: Vec<bool> = (0..ctx.graph.node_count())
+        .map(|i| account.to_account[i].is_some())
+        .collect();
+    let mut visited = BitSet::new(ctx.graph.edge_count());
+
+    // Shortest permitted-pair distances from every present source.
+    let reach_by_source: Vec<FxHashMap<NodeId, u32>> = ctx
+        .graph
+        .node_ids()
+        .map(|u| {
+            if present[u.index()] {
+                permitted_reach(ctx, &preds, &present, u, &mut visited)
+            } else {
+                FxHashMap::default()
+            }
+        })
+        .collect();
+
+    for u in ctx.graph.node_ids() {
+        let reach = &reach_by_source[u.index()];
+        for (&v, &d) in reach {
+            // A Visible–Visible direct edge is already shown; any other
+            // direct edge forbids the pair (Def. 8 cond. 2) and was never
+            // recorded in `reach`.
+            if ctx.graph.has_edge(u, v) {
+                continue;
+            }
+            // Redundancy rule: skip when the pair splits into strictly
+            // shorter permitted pairs via a present intermediate.
+            if options.redundancy_filter {
+                let decomposable = reach.iter().any(|(&w, &dw)| {
+                    w != v
+                        && dw < d
+                        && reach_by_source[w.index()]
+                            .get(&v)
+                            .is_some_and(|&dwv| dwv < d)
+                });
+                if decomposable {
+                    continue;
+                }
+            }
+            let u_acct = account.to_account[u.index()].expect("present source");
+            let v_acct = account.to_account[v.index()].expect("present target");
+            account
+                .graph
+                .add_edge(u_acct, v_acct)
+                .expect("pairs are unique and loop-free");
+            account.surrogate_edges.insert((u_acct, v_acct));
+        }
+    }
+    Ok(account)
+}
+
+/// The "binary show/hide" edge baseline (§6): same node layer as
+/// [`generate`], but protected incidences simply drop their edges — no
+/// surrogate edges are synthesized.
+pub fn generate_hide(ctx: &ProtectionContext<'_>, p: PrivilegeId) -> Result<ProtectedAccount> {
+    generate_hide_for_set(ctx, &[p])
+}
+
+/// [`generate_hide`] for a multi-predicate high-water set.
+pub fn generate_hide_for_set(
+    ctx: &ProtectionContext<'_>,
+    preds: &[PrivilegeId],
+) -> Result<ProtectedAccount> {
+    assert!(!preds.is_empty(), "high-water set must be non-empty");
+    ctx.catalog.validate(ctx.graph, ctx.lattice)?;
+    let preds = ctx.lattice.maximal_antichain(preds);
+    let plans = plan_nodes(ctx, &preds, true);
+    let mut account = build_node_layer(ctx, &preds, Strategy::HideEdges, plans);
+    add_shown_edges(ctx, &preds, &mut account);
+    Ok(account)
+}
+
+/// The naïve all-or-nothing baseline of Fig. 1(c): nodes appear only when
+/// the predicate dominates their `lowest` (no surrogates), and edges only
+/// when Visible–Visible with both endpoints present.
+pub fn generate_naive_node_hide(
+    ctx: &ProtectionContext<'_>,
+    p: PrivilegeId,
+) -> Result<ProtectedAccount> {
+    generate_naive_node_hide_for_set(ctx, &[p])
+}
+
+/// [`generate_naive_node_hide`] for a multi-predicate high-water set.
+pub fn generate_naive_node_hide_for_set(
+    ctx: &ProtectionContext<'_>,
+    preds: &[PrivilegeId],
+) -> Result<ProtectedAccount> {
+    assert!(!preds.is_empty(), "high-water set must be non-empty");
+    let preds = ctx.lattice.maximal_antichain(preds);
+    let plans = plan_nodes(ctx, &preds, false);
+    let mut account = build_node_layer(ctx, &preds, Strategy::HideNodes, plans);
+    add_shown_edges(ctx, &preds, &mut account);
+    Ok(account)
+}
+
+/// The HW-permitted pair relation of Def. 8, restricted to nodes present in
+/// the account (`present[n]`). This is the connectivity obligation of
+/// Def. 9.3: for every pair in the relation, a maximally informative
+/// account must contain a directed path between the corresponding nodes.
+pub fn permitted_pairs(
+    ctx: &ProtectionContext<'_>,
+    preds: &[PrivilegeId],
+    present: &[bool],
+) -> FxHashSet<(NodeId, NodeId)> {
+    let mut pairs = FxHashSet::default();
+    let mut visited = BitSet::new(ctx.graph.edge_count());
+    for u in ctx.graph.node_ids() {
+        if !present[u.index()] {
+            continue;
+        }
+        for (v, _) in permitted_reach(ctx, preds, present, u, &mut visited) {
+            pairs.insert((u, v));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Features;
+    use crate::surrogate::SurrogateDef;
+
+    /// Chain a→b→c with b's role protected for Public: surrogate edge a→c.
+    struct Fixture {
+        graph: Graph,
+        lattice: PrivilegeLattice,
+        markings: MarkingStore,
+        catalog: SurrogateCatalog,
+        ids: Vec<NodeId>,
+    }
+
+    impl Fixture {
+        fn ctx(&self) -> ProtectionContext<'_> {
+            ProtectionContext::new(&self.graph, &self.lattice, &self.markings, &self.catalog)
+        }
+    }
+
+    /// a → b → c where b requires High; incidences at b marked Surrogate
+    /// for Public (the Fig. 2(b)/(d) pattern on a minimal chain).
+    fn chain_fixture(with_surrogate_node: bool) -> Fixture {
+        let (lattice, preds) = PrivilegeLattice::flat(&["High"]).unwrap();
+        let high = preds[0];
+        let public = lattice.public();
+        let mut graph = Graph::new();
+        let a = graph.add_node("a", public);
+        let b = graph.add_node("b", high);
+        let c = graph.add_node("c", public);
+        graph.add_edge(a, b).unwrap();
+        graph.add_edge(b, c).unwrap();
+        let mut markings = MarkingStore::new();
+        markings.set_node(b, public, Marking::Surrogate);
+        let mut catalog = SurrogateCatalog::new();
+        if with_surrogate_node {
+            catalog.add(
+                b,
+                SurrogateDef {
+                    label: "b'".into(),
+                    features: Features::new(),
+                    lowest: public,
+                    info_score: 0.4,
+                },
+            );
+        }
+        Fixture {
+            graph,
+            lattice,
+            markings,
+            catalog,
+            ids: vec![a, b, c],
+        }
+    }
+
+    #[test]
+    fn hidden_node_yields_surrogate_edge() {
+        let fx = chain_fixture(false);
+        let public = fx.lattice.public();
+        let account = generate(&fx.ctx(), public).unwrap();
+        let (a, b, c) = (fx.ids[0], fx.ids[1], fx.ids[2]);
+        assert!(account.account_node(b).is_none(), "b hidden");
+        let a2 = account.account_node(a).unwrap();
+        let c2 = account.account_node(c).unwrap();
+        assert!(account.graph().has_edge(a2, c2), "surrogate edge a→c");
+        assert!(account.is_surrogate_edge((a2, c2)));
+        assert_eq!(account.surrogate_edge_count(), 1);
+        assert_eq!(account.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn surrogate_node_is_isolated_but_present() {
+        // Fig. 2(d) pattern: surrogate node exists, incidences still S.
+        let fx = chain_fixture(true);
+        let public = fx.lattice.public();
+        let account = generate(&fx.ctx(), public).unwrap();
+        let b2 = account.account_node(fx.ids[1]).unwrap();
+        assert!(matches!(
+            account.correspondence(b2),
+            Correspondence::Surrogate { .. }
+        ));
+        assert_eq!(account.graph().degree(b2), 0, "b' isolated");
+        assert_eq!(account.graph().node(b2).label, "b'");
+        let a2 = account.account_node(fx.ids[0]).unwrap();
+        let c2 = account.account_node(fx.ids[2]).unwrap();
+        assert!(account.graph().has_edge(a2, c2));
+        assert_eq!(account.surrogate_node_count(), 1);
+    }
+
+    #[test]
+    fn visible_markings_show_surrogate_node_in_place() {
+        // Fig. 2(a) pattern: same node layer, but all incidences Visible:
+        // the surrogate node appears wired in place of the original.
+        let mut fx = chain_fixture(true);
+        fx.markings = MarkingStore::new();
+        let public = fx.lattice.public();
+        let account = generate(&fx.ctx(), public).unwrap();
+        let a2 = account.account_node(fx.ids[0]).unwrap();
+        let b2 = account.account_node(fx.ids[1]).unwrap();
+        let c2 = account.account_node(fx.ids[2]).unwrap();
+        assert!(account.graph().has_edge(a2, b2));
+        assert!(account.graph().has_edge(b2, c2));
+        assert!(!account.graph().has_edge(a2, c2), "no redundant surrogate edge");
+        assert_eq!(account.surrogate_edge_count(), 0);
+    }
+
+    #[test]
+    fn hide_markings_break_the_path() {
+        // Fig. 2(c) pattern: Hide on the incidences drops both edges.
+        let mut fx = chain_fixture(true);
+        let public = fx.lattice.public();
+        fx.markings = MarkingStore::new();
+        fx.markings.set_node(fx.ids[1], public, Marking::Hide);
+        let account = generate(&fx.ctx(), public).unwrap();
+        assert_eq!(account.graph().edge_count(), 0);
+        let b2 = account.account_node(fx.ids[1]).unwrap();
+        assert_eq!(account.graph().degree(b2), 0);
+    }
+
+    #[test]
+    fn hide_strategy_never_synthesizes_edges() {
+        let fx = chain_fixture(true);
+        let public = fx.lattice.public();
+        let account = generate_hide(&fx.ctx(), public).unwrap();
+        assert_eq!(account.graph().edge_count(), 0);
+        assert_eq!(account.strategy(), Strategy::HideEdges);
+        assert!(account.account_node(fx.ids[1]).is_some(), "node layer keeps surrogate");
+    }
+
+    #[test]
+    fn naive_strategy_drops_sensitive_nodes() {
+        let fx = chain_fixture(true);
+        let public = fx.lattice.public();
+        let account = generate_naive_node_hide(&fx.ctx(), public).unwrap();
+        assert!(account.account_node(fx.ids[1]).is_none(), "no surrogates");
+        assert_eq!(account.graph().node_count(), 2);
+        assert_eq!(account.graph().edge_count(), 0);
+        assert_eq!(account.hidden_nodes(), vec![fx.ids[1]]);
+    }
+
+    #[test]
+    fn edge_protection_draws_edge_past_the_target() {
+        // a→b→c with edge (a,b) protected as (V at a, S at b): consumers
+        // may know a leads onward, but not directly to b (DESIGN.md §3.1
+        // item 5). Expect surrogate edge a→c, no a→b.
+        let (lattice, _) = PrivilegeLattice::flat(&[]).unwrap();
+        let public = lattice.public();
+        let mut graph = Graph::new();
+        let a = graph.add_node("a", public);
+        let b = graph.add_node("b", public);
+        let c = graph.add_node("c", public);
+        graph.add_edge(a, b).unwrap();
+        graph.add_edge(b, c).unwrap();
+        let mut markings = MarkingStore::new();
+        markings.set(b, (a, b), public, Marking::Surrogate);
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        let account = generate(&ctx, public).unwrap();
+        let a2 = account.account_node(a).unwrap();
+        let b2 = account.account_node(b).unwrap();
+        let c2 = account.account_node(c).unwrap();
+        assert!(!account.graph().has_edge(a2, b2), "protected edge hidden");
+        assert!(account.graph().has_edge(b2, c2), "unprotected edge kept");
+        assert!(account.graph().has_edge(a2, c2), "surrogate edge past b");
+        assert!(account.is_surrogate_edge((a2, c2)));
+    }
+
+    #[test]
+    fn no_surrogate_edge_when_nothing_is_downstream() {
+        // Bipartite degeneracy (§6.2): protected edge into a sink cannot be
+        // surrogated; result equals hiding.
+        let (lattice, _) = PrivilegeLattice::flat(&[]).unwrap();
+        let public = lattice.public();
+        let mut graph = Graph::new();
+        let a = graph.add_node("a", public);
+        let b = graph.add_node("b", public);
+        graph.add_edge(a, b).unwrap();
+        let mut markings = MarkingStore::new();
+        markings.set(b, (a, b), public, Marking::Surrogate);
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        let account = generate(&ctx, public).unwrap();
+        assert_eq!(account.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn cycles_terminate_and_connect() {
+        // a→b→c→a cycle with b's role surrogated: a→c via surrogate edge,
+        // c→a shown.
+        let (lattice, _) = PrivilegeLattice::flat(&[]).unwrap();
+        let public = lattice.public();
+        let mut graph = Graph::new();
+        let a = graph.add_node("a", public);
+        let b = graph.add_node("b", public);
+        let c = graph.add_node("c", public);
+        graph.add_edge(a, b).unwrap();
+        graph.add_edge(b, c).unwrap();
+        graph.add_edge(c, a).unwrap();
+        let mut markings = MarkingStore::new();
+        markings.set_node(b, public, Marking::Surrogate);
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        let account = generate(&ctx, public).unwrap();
+        let a2 = account.account_node(a).unwrap();
+        let c2 = account.account_node(c).unwrap();
+        assert!(account.graph().has_edge(a2, c2), "surrogate edge inside cycle");
+        assert!(account.graph().has_edge(c2, a2), "visible edge kept");
+    }
+
+    #[test]
+    fn direct_edge_with_surrogate_marking_is_never_recreated() {
+        // a→b plus a→x→b detour: the (V,S)-marked direct edge must not be
+        // reborn as a surrogate edge via the detour (Def. 8 cond. 2).
+        let (lattice, _) = PrivilegeLattice::flat(&[]).unwrap();
+        let public = lattice.public();
+        let mut graph = Graph::new();
+        let a = graph.add_node("a", public);
+        let b = graph.add_node("b", public);
+        let x = graph.add_node("x", public);
+        graph.add_edge(a, b).unwrap();
+        graph.add_edge(a, x).unwrap();
+        graph.add_edge(x, b).unwrap();
+        let mut markings = MarkingStore::new();
+        markings.set(b, (a, b), public, Marking::Surrogate);
+        // Make the detour pass-through so a surrogate edge would be the
+        // only possible connection.
+        markings.set(x, (a, x), public, Marking::Surrogate);
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        let account = generate(&ctx, public).unwrap();
+        let a2 = account.account_node(a).unwrap();
+        let b2 = account.account_node(b).unwrap();
+        assert!(
+            !account.graph().has_edge(a2, b2),
+            "protected direct edge must stay hidden"
+        );
+    }
+
+    #[test]
+    fn absent_node_with_visible_incidences_passes_through() {
+        // DESIGN.md §3.1 item 3(c): node hidden without surrogate but its
+        // incidences are Visible — connectivity must still be preserved.
+        let (lattice, preds) = PrivilegeLattice::flat(&["High"]).unwrap();
+        let high = preds[0];
+        let public = lattice.public();
+        let mut graph = Graph::new();
+        let a = graph.add_node("a", public);
+        let b = graph.add_node("b", high); // hidden for Public, no surrogate
+        let c = graph.add_node("c", public);
+        graph.add_edge(a, b).unwrap();
+        graph.add_edge(b, c).unwrap();
+        let markings = MarkingStore::new(); // everything Visible
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        let account = generate(&ctx, public).unwrap();
+        let a2 = account.account_node(a).unwrap();
+        let c2 = account.account_node(c).unwrap();
+        assert!(
+            account.graph().has_edge(a2, c2),
+            "maximal connectivity across an absent node"
+        );
+        assert!(account.is_surrogate_edge((a2, c2)));
+    }
+
+    #[test]
+    fn permitted_pairs_match_def8_on_chain() {
+        let fx = chain_fixture(false);
+        let public = fx.lattice.public();
+        let ctx = fx.ctx();
+        let present = vec![true, false, true];
+        let pairs = permitted_pairs(&ctx, &[public], &present);
+        let (a, c) = (fx.ids[0], fx.ids[2]);
+        assert!(pairs.contains(&(a, c)));
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn protect_dispatches_by_strategy() {
+        let fx = chain_fixture(true);
+        let public = fx.lattice.public();
+        let ctx = fx.ctx();
+        assert_eq!(
+            ctx.protect(public, Strategy::Surrogate).unwrap().strategy(),
+            Strategy::Surrogate
+        );
+        assert_eq!(
+            ctx.protect(public, Strategy::HideEdges).unwrap().strategy(),
+            Strategy::HideEdges
+        );
+        assert_eq!(
+            ctx.protect(public, Strategy::HideNodes).unwrap().strategy(),
+            Strategy::HideNodes
+        );
+    }
+
+    /// Flat lattice with incomparable A and B; one node at each level plus
+    /// a public chain: pubA → nA → nB → pubB.
+    fn incomparable_fixture() -> (Graph, PrivilegeLattice, [NodeId; 4], [PrivilegeId; 2]) {
+        let (lattice, preds) = PrivilegeLattice::flat(&["A", "B"]).unwrap();
+        let (a, b) = (preds[0], preds[1]);
+        let public = lattice.public();
+        let mut graph = Graph::new();
+        let pub_a = graph.add_node("pubA", public);
+        let na = graph.add_node("nA", a);
+        let nb = graph.add_node("nB", b);
+        let pub_b = graph.add_node("pubB", public);
+        graph.add_edge(pub_a, na).unwrap();
+        graph.add_edge(na, nb).unwrap();
+        graph.add_edge(nb, pub_b).unwrap();
+        (graph, lattice, [pub_a, na, nb, pub_b], [a, b])
+    }
+
+    #[test]
+    fn multi_predicate_account_unions_visibility() {
+        let (graph, lattice, [_, na, nb, _], [a, b]) = incomparable_fixture();
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        // Single-predicate accounts each miss the other branch's node.
+        let only_a = generate(&ctx, a).unwrap();
+        assert!(only_a.account_node(na).is_some());
+        assert!(only_a.account_node(nb).is_none());
+        // The {A, B} account (Def. 6 set) sees everything.
+        let both = generate_for_set(&ctx, &[a, b]).unwrap();
+        assert_eq!(both.graph().node_count(), 4);
+        assert_eq!(both.graph().edge_count(), 3);
+        assert_eq!(both.high_water(), &[a, b]);
+        assert_eq!(both.surrogate_edge_count(), 0);
+    }
+
+    #[test]
+    fn multi_predicate_account_bridges_with_surrogate_edges() {
+        let (graph, lattice, [pub_a, na, _, pub_b], [a, _]) = incomparable_fixture();
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        // With only A, nB is absent: a surrogate edge bridges nA → pubB.
+        let only_a = generate(&ctx, a).unwrap();
+        let na2 = only_a.account_node(na).unwrap();
+        let pub_b2 = only_a.account_node(pub_b).unwrap();
+        assert!(only_a.graph().has_edge(na2, pub_b2));
+        assert!(only_a.is_surrogate_edge((na2, pub_b2)));
+        let pub_a2 = only_a.account_node(pub_a).unwrap();
+        assert!(crate::query::reaches(only_a.graph(), pub_a2, pub_b2));
+    }
+
+    #[test]
+    fn set_markings_take_most_permissive_member() {
+        let (graph, lattice, [pub_a, na, _, _], [a, b]) = incomparable_fixture();
+        let mut markings = MarkingStore::new();
+        // The (pubA, nA) edge is hidden from A but visible to B.
+        markings.set_edge((pub_a, na), a, Marking::Hide);
+        markings.set_edge((pub_a, na), b, Marking::Visible);
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        let only_a = generate(&ctx, a).unwrap();
+        assert!(!only_a.original_edge_present((pub_a, na)), "hidden via A");
+        let both = generate_for_set(&ctx, &[a, b]).unwrap();
+        assert!(
+            both.original_edge_present((pub_a, na)),
+            "the B grant re-admits the edge for the {{A,B}} account"
+        );
+    }
+
+    #[test]
+    fn dominated_members_are_redundant() {
+        // {High, Public} reduces to {High}: same account either way.
+        let fx = chain_fixture(true);
+        let high = fx.lattice.by_name("High").unwrap();
+        let public = fx.lattice.public();
+        let ctx = fx.ctx();
+        let single = generate(&ctx, high).unwrap();
+        let set = generate_for_set(&ctx, &[public, high]).unwrap();
+        assert_eq!(set.high_water(), &[high]);
+        assert_eq!(single.graph().node_count(), set.graph().node_count());
+        assert_eq!(single.graph().edge_count(), set.graph().edge_count());
+    }
+
+    #[test]
+    fn redundancy_filter_ablation_keeps_soundness() {
+        // Without the filter, every permitted pair becomes an edge: a
+        // superset of the filtered account with identical connectivity.
+        let (graph, lattice, _, [a, _]) = incomparable_fixture();
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        let filtered = generate(&ctx, a).unwrap();
+        let unfiltered = generate_with_options(
+            &ctx,
+            &[a],
+            GenerateOptions {
+                redundancy_filter: false,
+            },
+        )
+        .unwrap();
+        assert!(unfiltered.graph().edge_count() >= filtered.graph().edge_count());
+        for (u2, v2) in filtered.graph().edges() {
+            let u = filtered.original_node(u2);
+            let v = filtered.original_node(v2);
+            let uu = unfiltered.account_node(u).unwrap();
+            let vv = unfiltered.account_node(v).unwrap();
+            assert!(unfiltered.graph().has_edge(uu, vv));
+        }
+        let violations = crate::validate::check_all(&ctx, &unfiltered);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn protected_edges_lists_unrepresented_originals() {
+        let fx = chain_fixture(false);
+        let public = fx.lattice.public();
+        let account = generate(&fx.ctx(), public).unwrap();
+        let protected: Vec<Edge> = account.protected_edges(&fx.graph).collect();
+        // Both original edges touched the hidden b.
+        assert_eq!(protected.len(), 2);
+    }
+
+    #[test]
+    fn original_edge_present_detects_shown_edges() {
+        let mut fx = chain_fixture(true);
+        fx.markings = MarkingStore::new();
+        let public = fx.lattice.public();
+        let account = generate(&fx.ctx(), public).unwrap();
+        assert!(account.original_edge_present((fx.ids[0], fx.ids[1])));
+        assert!(account.original_edge_present((fx.ids[1], fx.ids[2])));
+        assert!(!account.original_edge_present((fx.ids[0], fx.ids[2])));
+    }
+}

@@ -1,0 +1,144 @@
+//! Consumers and the `authorized(c, o)` check (paper §2, Def. 1).
+//!
+//! The paper treats credential generation and authentication as out of
+//! scope and works with the induced privilege-predicates. We mirror that: a
+//! [`Consumer`] is the set of predicates its credentials satisfy, closed
+//! downward under dominance (if `p(c)` holds and `p` dominates `q`, then
+//! `q(c)` holds by Def. 2).
+
+use crate::privilege::{PrivilegeId, PrivilegeLattice};
+use crate::util::BitSet;
+
+/// A consumer, represented by the set of privilege-predicates it satisfies.
+#[derive(Debug, Clone)]
+pub struct Consumer {
+    name: String,
+    satisfied: BitSet,
+}
+
+impl Consumer {
+    /// Creates a consumer satisfying `granted` and everything those
+    /// predicates dominate.
+    pub fn new(
+        name: impl Into<String>,
+        lattice: &PrivilegeLattice,
+        granted: &[PrivilegeId],
+    ) -> Self {
+        let mut satisfied = BitSet::new(lattice.len());
+        for &g in granted {
+            for q in lattice.ids() {
+                if lattice.dominates(g, q) {
+                    satisfied.insert(q.index());
+                }
+            }
+        }
+        Self {
+            name: name.into(),
+            satisfied,
+        }
+    }
+
+    /// A consumer holding only `Public`.
+    pub fn public(lattice: &PrivilegeLattice) -> Self {
+        Self::new("public", lattice, &[lattice.public()])
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `p(c)`: does this consumer satisfy predicate `p`?
+    #[inline]
+    pub fn satisfies(&self, p: PrivilegeId) -> bool {
+        self.satisfied.contains(p.index())
+    }
+
+    /// Def. 1: an object with lowest predicate `lowest` is visible to this
+    /// consumer iff the consumer satisfies that predicate.
+    #[inline]
+    pub fn authorized_for(&self, lowest: PrivilegeId) -> bool {
+        self.satisfies(lowest)
+    }
+
+    /// All satisfied predicates.
+    pub fn satisfied(&self) -> impl Iterator<Item = PrivilegeId> + '_ {
+        self.satisfied.iter().map(|i| PrivilegeId(i as u16))
+    }
+
+    /// The maximal satisfied predicates — the strongest credentials this
+    /// consumer can present. For a consumer granted a single predicate this
+    /// is that predicate.
+    pub fn frontier(&self, lattice: &PrivilegeLattice) -> Vec<PrivilegeId> {
+        let all: Vec<PrivilegeId> = self.satisfied().collect();
+        lattice.maximal_antichain(&all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privilege::PrivilegeLattice;
+
+    fn chain() -> (PrivilegeLattice, [PrivilegeId; 3]) {
+        let mut builder = PrivilegeLattice::builder();
+        let public = builder.add("Public").unwrap();
+        let low = builder.add("Low").unwrap();
+        let high = builder.add("High").unwrap();
+        builder.declare_dominates(low, public);
+        builder.declare_dominates(high, low);
+        (builder.finish().unwrap(), [public, low, high])
+    }
+
+    #[test]
+    fn grants_close_downward() {
+        let (lattice, [public, low, high]) = chain();
+        let consumer = Consumer::new("alice", &lattice, &[high]);
+        assert!(consumer.satisfies(high));
+        assert!(consumer.satisfies(low));
+        assert!(consumer.satisfies(public));
+        let weak = Consumer::new("bob", &lattice, &[low]);
+        assert!(!weak.satisfies(high));
+        assert!(weak.satisfies(public));
+    }
+
+    #[test]
+    fn public_consumer_satisfies_only_public() {
+        let (lattice, [public, low, high]) = chain();
+        let consumer = Consumer::public(&lattice);
+        assert!(consumer.satisfies(public));
+        assert!(!consumer.satisfies(low));
+        assert!(!consumer.satisfies(high));
+    }
+
+    #[test]
+    fn authorized_matches_satisfies() {
+        let (lattice, [_, low, high]) = chain();
+        let consumer = Consumer::new("carol", &lattice, &[low]);
+        assert!(consumer.authorized_for(low));
+        assert!(!consumer.authorized_for(high));
+    }
+
+    #[test]
+    fn frontier_is_the_strongest_grant() {
+        let (lattice, [_, _, high]) = chain();
+        let consumer = Consumer::new("dave", &lattice, &[high]);
+        assert_eq!(consumer.frontier(&lattice), vec![high]);
+    }
+
+    #[test]
+    fn frontier_with_incomparable_grants() {
+        let (lattice, ids) = PrivilegeLattice::flat(&["A", "B"]).unwrap();
+        let consumer = Consumer::new("eve", &lattice, &ids);
+        let frontier = consumer.frontier(&lattice);
+        assert_eq!(frontier.len(), 2);
+        assert!(lattice.is_antichain(&frontier));
+    }
+
+    #[test]
+    fn name_is_kept() {
+        let (lattice, _) = chain();
+        let consumer = Consumer::public(&lattice);
+        assert_eq!(consumer.name(), "public");
+    }
+}

@@ -1,0 +1,131 @@
+//! Error types for graph construction, lattice validation, and account
+//! generation.
+
+use std::fmt;
+
+use crate::graph::NodeId;
+use crate::privilege::PrivilegeId;
+
+/// Errors raised while building or transforming graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A node id does not exist in the graph.
+    UnknownNode(NodeId),
+    /// An edge references a missing endpoint.
+    UnknownEdgeEndpoint {
+        /// Source endpoint of the offending edge.
+        from: NodeId,
+        /// Destination endpoint of the offending edge.
+        to: NodeId,
+    },
+    /// The same directed edge was inserted twice.
+    DuplicateEdge {
+        /// Source endpoint of the duplicated edge.
+        from: NodeId,
+        /// Destination endpoint of the duplicated edge.
+        to: NodeId,
+    },
+    /// Self-loops are not part of the paper's model.
+    SelfLoop(NodeId),
+    /// A privilege id does not exist in the lattice.
+    UnknownPrivilege(PrivilegeId),
+    /// Two privilege predicates were declared with the same name.
+    DuplicatePrivilege(String),
+    /// The dominance declarations contain a cycle, so they do not form a
+    /// partial order.
+    DominanceCycle,
+    /// The lattice lacks a unique bottom "Public" predicate dominated by
+    /// all others (assumed in paper §2).
+    NoPublicBottom,
+    /// A surrogate's lowest predicate dominates the original node's lowest
+    /// predicate, violating §3.1 ("lowest(n') does not dominate lowest(n)").
+    SurrogateTooPrivileged {
+        /// The node the surrogate was registered for.
+        node: NodeId,
+        /// The surrogate's lowest predicate.
+        surrogate_lowest: PrivilegeId,
+        /// The original node's lowest predicate.
+        node_lowest: PrivilegeId,
+    },
+    /// Surrogate info-scores are inconsistent with dominance (§4.1: if
+    /// lowest(n') dominates lowest(n'') then infoScore(n') ≥ infoScore(n'')).
+    InfoScoreNotMonotone {
+        /// The node whose surrogate scores are inconsistent.
+        node: NodeId,
+    },
+    /// An info-score fell outside `[0, 1]`.
+    InfoScoreOutOfRange {
+        /// The node the surrogate was registered for.
+        node: NodeId,
+        /// The offending score.
+        score: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            Error::UnknownEdgeEndpoint { from, to } => {
+                write!(f, "edge {from:?}->{to:?} references a missing node")
+            }
+            Error::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from:?}->{to:?}")
+            }
+            Error::SelfLoop(n) => write!(f, "self-loop on node {n:?} is not supported"),
+            Error::UnknownPrivilege(p) => write!(f, "unknown privilege {p:?}"),
+            Error::DuplicatePrivilege(name) => {
+                write!(f, "privilege predicate {name:?} declared twice")
+            }
+            Error::DominanceCycle => {
+                write!(f, "privilege dominance declarations contain a cycle")
+            }
+            Error::NoPublicBottom => write!(
+                f,
+                "privilege lattice has no unique Public bottom dominated by all predicates"
+            ),
+            Error::SurrogateTooPrivileged {
+                node,
+                surrogate_lowest,
+                node_lowest,
+            } => write!(
+                f,
+                "surrogate for node {node:?} has lowest predicate {surrogate_lowest:?} which \
+                 dominates the original's lowest {node_lowest:?}"
+            ),
+            Error::InfoScoreNotMonotone { node } => write!(
+                f,
+                "surrogate info-scores for node {node:?} are not monotone in dominance"
+            ),
+            Error::InfoScoreOutOfRange { node, score } => {
+                write!(f, "info-score {score} for node {node:?} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::DuplicateEdge {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
+        let text = e.to_string();
+        assert!(text.contains("duplicate edge"), "{text}");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&Error::DominanceCycle);
+    }
+}

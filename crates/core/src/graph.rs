@@ -1,0 +1,443 @@
+//! The directed graph model of paper §2.
+//!
+//! A graph `G = (N, E)` has nodes carrying features and a `lowest`
+//! privilege-predicate (Def. 3), and directed edges between node pairs.
+//! Bi-directional relationships are modeled as two directed edges. The
+//! representation is a simple digraph (no parallel edges, no self-loops)
+//! with both adjacency directions materialized, because account generation
+//! walks edges both ways and the opacity measure needs in/out degrees.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::feature::Features;
+use crate::privilege::PrivilegeId;
+use crate::util::{BitSet, FxHashMap, UnionFind};
+
+/// Index of a node within its [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a dense index, for addressing per-node side tables (such
+    /// as the vectors returned by [`Graph::connected_counts`] or
+    /// [`crate::measures::path_percentages`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed edge, identified by its endpoints.
+pub type Edge = (NodeId, NodeId);
+
+/// Node payload: a label for humans, features, and the lowest
+/// privilege-predicate required to see the node (Def. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Human-readable label; used by examples and generators, not required
+    /// to be unique.
+    pub label: String,
+    /// Attribute–value features (§2).
+    pub features: Features,
+    /// `lowest(n)`: the weakest predicate through which `n` is visible.
+    pub lowest: PrivilegeId,
+}
+
+/// A directed graph with privilege-annotated nodes.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    out: Vec<Vec<NodeId>>,
+    inn: Vec<Vec<NodeId>>,
+    edge_index: FxHashMap<Edge, u32>,
+    edge_list: Vec<Edge>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with node capacity reserved.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        let mut g = Self::new();
+        g.nodes.reserve(nodes);
+        g.out.reserve(nodes);
+        g.inn.reserve(nodes);
+        g.edge_list.reserve(edges);
+        g
+    }
+
+    /// Adds a node with no features.
+    pub fn add_node(&mut self, label: impl Into<String>, lowest: PrivilegeId) -> NodeId {
+        self.add_node_with_features(label, Features::new(), lowest)
+    }
+
+    /// Adds a node carrying features.
+    pub fn add_node_with_features(
+        &mut self,
+        label: impl Into<String>,
+        features: Features,
+        lowest: PrivilegeId,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label: label.into(),
+            features,
+            lowest,
+        });
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        id
+    }
+
+    /// Adds the directed edge `from → to`.
+    ///
+    /// Rejects unknown endpoints, duplicates, and self-loops.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        if from.index() >= self.nodes.len() || to.index() >= self.nodes.len() {
+            return Err(Error::UnknownEdgeEndpoint { from, to });
+        }
+        if from == to {
+            return Err(Error::SelfLoop(from));
+        }
+        if self.edge_index.contains_key(&(from, to)) {
+            return Err(Error::DuplicateEdge { from, to });
+        }
+        self.edge_index
+            .insert((from, to), self.edge_list.len() as u32);
+        self.out[from.index()].push(to);
+        self.inn[to.index()].push(from);
+        self.edge_list.push((from, to));
+        Ok(())
+    }
+
+    /// Adds `a → b` and `b → a` (bi-directional relationship, §2).
+    pub fn add_bidirectional(&mut self, a: NodeId, b: NodeId) -> Result<()> {
+        self.add_edge(a, b)?;
+        self.add_edge(b, a)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_list.len()
+    }
+
+    /// Payload of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a node of this graph.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable payload of `id`.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// `true` if `id` is a node of this graph.
+    #[inline]
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    /// `true` if the directed edge exists.
+    #[inline]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.edge_index.contains_key(&(from, to))
+    }
+
+    /// Position of `edge` in insertion order, if present. Stable for the
+    /// lifetime of the graph; used for dense per-edge bookkeeping.
+    #[inline]
+    pub fn edge_index(&self, edge: Edge) -> Option<usize> {
+        self.edge_index.get(&edge).map(|&i| i as usize)
+    }
+
+    /// Edge at insertion position `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= edge_count()`.
+    #[inline]
+    pub fn edge_at(&self, index: usize) -> Edge {
+        self.edge_list[index]
+    }
+
+    /// All node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edge_list.iter().copied()
+    }
+
+    /// Successors of `id`.
+    #[inline]
+    pub fn out_neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.out[id.index()]
+    }
+
+    /// Predecessors of `id`.
+    #[inline]
+    pub fn in_neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.inn[id.index()]
+    }
+
+    /// Out-degree of `id`.
+    #[inline]
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.out[id.index()].len()
+    }
+
+    /// In-degree of `id`.
+    #[inline]
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.inn[id.index()].len()
+    }
+
+    /// Total (undirected) degree of `id`.
+    #[inline]
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.out_degree(id) + self.in_degree(id)
+    }
+
+    /// First node with the given label, if any.
+    pub fn find_by_label(&self, label: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.label == label)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// For each node, the number of *other* nodes in its undirected
+    /// connected component. This is the "connected (by any length path)"
+    /// count underlying the Path Utility Measure (paper §4.1); see
+    /// DESIGN.md §3.1 item 1 for why connectivity is undirected.
+    pub fn connected_counts(&self) -> Vec<usize> {
+        let mut uf = UnionFind::new(self.node_count());
+        for (a, b) in self.edges() {
+            uf.union(a.index(), b.index());
+        }
+        (0..self.node_count())
+            .map(|i| uf.component_size(i) - 1)
+            .collect()
+    }
+
+    /// `true` when the underlying undirected graph has a single connected
+    /// component (or is empty).
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return true;
+        }
+        let mut uf = UnionFind::new(self.node_count());
+        for (a, b) in self.edges() {
+            uf.union(a.index(), b.index());
+        }
+        uf.component_size(0) == self.node_count()
+    }
+
+    /// Nodes reachable from `start` by directed paths of length ≥ 1.
+    pub fn reachable_from(&self, start: NodeId) -> BitSet {
+        let mut seen = BitSet::new(self.node_count());
+        let mut stack: Vec<NodeId> = self.out_neighbors(start).to_vec();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n.index()) {
+                stack.extend_from_slice(self.out_neighbors(n));
+            }
+        }
+        seen
+    }
+
+    /// Average per-node count of reachable nodes (directed). This is the
+    /// "connected pairs" statistic of the paper's synthetic experiment
+    /// (§6.1.2); see DESIGN.md §3.1 item 6.
+    pub fn average_reachable(&self) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        let total: usize = self
+            .node_ids()
+            .map(|n| self.reachable_from(n).len())
+            .sum();
+        total as f64 / self.node_count() as f64
+    }
+
+    /// `true` when the graph contains no directed cycle.
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm: a digraph is acyclic iff a topological order
+        // consumes every node.
+        let n = self.node_count();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.inn[i].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut consumed = 0;
+        while let Some(i) = queue.pop() {
+            consumed += 1;
+            for &next in &self.out[i] {
+                indeg[next.index()] -= 1;
+                if indeg[next.index()] == 0 {
+                    queue.push(next.index());
+                }
+            }
+        }
+        consumed == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privilege::PrivilegeLattice;
+
+    fn public() -> PrivilegeId {
+        PrivilegeLattice::public_only().public()
+    }
+
+    fn diamond() -> (Graph, [NodeId; 4]) {
+        let p = public();
+        let mut g = Graph::new();
+        let a = g.add_node("a", p);
+        let b = g.add_node("b", p);
+        let c = g.add_node("c", p);
+        let d = g.add_node("d", p);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn basic_construction() {
+        let (g, [a, b, _, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.degree(a), 2);
+    }
+
+    #[test]
+    fn rejects_duplicates_self_loops_and_unknown_endpoints() {
+        let (mut g, [a, b, ..]) = diamond();
+        assert_eq!(
+            g.add_edge(a, b).unwrap_err(),
+            Error::DuplicateEdge { from: a, to: b }
+        );
+        assert_eq!(g.add_edge(a, a).unwrap_err(), Error::SelfLoop(a));
+        let ghost = NodeId(99);
+        assert!(matches!(
+            g.add_edge(a, ghost).unwrap_err(),
+            Error::UnknownEdgeEndpoint { .. }
+        ));
+    }
+
+    #[test]
+    fn bidirectional_adds_both_directions() {
+        let p = public();
+        let mut g = Graph::new();
+        let a = g.add_node("a", p);
+        let b = g.add_node("b", p);
+        g.add_bidirectional(a, b).unwrap();
+        assert!(g.has_edge(a, b));
+        assert!(g.has_edge(b, a));
+    }
+
+    #[test]
+    fn connected_counts_on_two_components() {
+        let p = public();
+        let mut g = Graph::new();
+        let a = g.add_node("a", p);
+        let b = g.add_node("b", p);
+        let c = g.add_node("c", p);
+        let _lone = g.add_node("lone", p);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        assert_eq!(g.connected_counts(), vec![2, 2, 2, 0]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn reachability_is_directed() {
+        let (g, [a, b, _, d]) = diamond();
+        let from_a = g.reachable_from(a);
+        assert_eq!(from_a.len(), 3);
+        let from_b = g.reachable_from(b);
+        assert!(from_b.contains(d.index()));
+        assert!(!from_b.contains(a.index()));
+        assert_eq!(g.reachable_from(d).len(), 0);
+    }
+
+    #[test]
+    fn average_reachable_on_diamond() {
+        let (g, _) = diamond();
+        // a reaches 3, b reaches 1, c reaches 1, d reaches 0.
+        assert!((g.average_reachable() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acyclicity() {
+        let (g, _) = diamond();
+        assert!(g.is_acyclic());
+        let p = public();
+        let mut cyclic = Graph::new();
+        let a = cyclic.add_node("a", p);
+        let b = cyclic.add_node("b", p);
+        cyclic.add_edge(a, b).unwrap();
+        cyclic.add_edge(b, a).unwrap();
+        assert!(!cyclic.is_acyclic());
+    }
+
+    #[test]
+    fn find_by_label_returns_first_match() {
+        let p = public();
+        let mut g = Graph::new();
+        let a = g.add_node("x", p);
+        let _b = g.add_node("y", p);
+        assert_eq!(g.find_by_label("x"), Some(a));
+        assert_eq!(g.find_by_label("z"), None);
+    }
+
+    #[test]
+    fn empty_graph_is_connected_and_acyclic() {
+        let g = Graph::new();
+        assert!(g.is_connected());
+        assert!(g.is_acyclic());
+        assert_eq!(g.average_reachable(), 0.0);
+    }
+
+    #[test]
+    fn node_payload_access() {
+        let p = public();
+        let mut g = Graph::new();
+        let a = g.add_node_with_features("a", Features::new().with("k", 1i64), p);
+        assert_eq!(g.node(a).label, "a");
+        assert_eq!(g.node(a).features.len(), 1);
+        g.node_mut(a).label = "renamed".into();
+        assert_eq!(g.node(a).label, "renamed");
+        assert!(g.contains_node(a));
+        assert!(!g.contains_node(NodeId(5)));
+    }
+}

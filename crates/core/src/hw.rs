@@ -1,0 +1,140 @@
+//! High-water sets (paper Def. 6).
+//!
+//! The high-water set `HW(G)` is the antichain of lowest predicates needed
+//! to see *all* nodes of `G`: no member dominates another, every node's
+//! `lowest` is dominated by some member, and every member is the `lowest`
+//! of some node. It both describes a graph's sensitivity and serves as the
+//! target when generating protected accounts (§3.1).
+
+use crate::graph::Graph;
+use crate::privilege::{PrivilegeId, PrivilegeLattice};
+
+/// Computes `HW(G)` per Def. 6.
+///
+/// Returns the maximal antichain of the nodes' `lowest` predicates, in
+/// first-appearance order. The empty graph has an empty high-water set.
+pub fn high_water_set(graph: &Graph, lattice: &PrivilegeLattice) -> Vec<PrivilegeId> {
+    let lowests: Vec<PrivilegeId> = graph.node_ids().map(|n| graph.node(n).lowest).collect();
+    lattice.maximal_antichain(&lowests)
+}
+
+/// Checks the three conditions of Def. 6 for a candidate set. Useful in
+/// tests and for validating externally supplied high-water sets.
+pub fn is_high_water_set(
+    graph: &Graph,
+    lattice: &PrivilegeLattice,
+    candidate: &[PrivilegeId],
+) -> bool {
+    // Condition 1: antichain.
+    if !lattice.is_antichain(candidate) {
+        return false;
+    }
+    // Condition 2: every node's lowest is dominated by some member.
+    for n in graph.node_ids() {
+        if !lattice.set_dominates(candidate, graph.node(n).lowest) {
+            return false;
+        }
+    }
+    // Condition 3: every member is the lowest of some node.
+    for &p in candidate {
+        if !graph.node_ids().any(|n| graph.node(n).lowest == p) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privilege::PrivilegeLattice;
+
+    /// Fig. 1 lattice: Public ⊑ Low-2 ⊑ High-2; High-1 ⊒ Public only.
+    fn figure1() -> (PrivilegeLattice, [PrivilegeId; 4]) {
+        let mut builder = PrivilegeLattice::builder();
+        let public = builder.add("Public").unwrap();
+        let low2 = builder.add("Low-2").unwrap();
+        let high1 = builder.add("High-1").unwrap();
+        let high2 = builder.add("High-2").unwrap();
+        builder.declare_dominates(low2, public);
+        builder.declare_dominates(high1, public);
+        builder.declare_dominates(high2, low2);
+        (builder.finish().unwrap(), [public, low2, high1, high2])
+    }
+
+    #[test]
+    fn paper_example_high_water_is_high1_high2() {
+        // §3.1: "In Figure 2a, the high-water set is {High-1, High-2}".
+        let (lattice, [public, _, high1, high2]) = figure1();
+        let mut g = Graph::new();
+        for label in ["b", "c", "h", "i", "j"] {
+            g.add_node(label, public);
+        }
+        for label in ["a1", "a2", "d", "e", "f"] {
+            g.add_node(label, high1);
+        }
+        g.add_node("g", high2);
+        let hw = high_water_set(&g, &lattice);
+        assert_eq!(hw.len(), 2);
+        assert!(hw.contains(&high1));
+        assert!(hw.contains(&high2));
+        assert!(is_high_water_set(&g, &lattice, &hw));
+    }
+
+    #[test]
+    fn all_public_graph_has_public_high_water() {
+        let (lattice, [public, ..]) = figure1();
+        let mut g = Graph::new();
+        g.add_node("a", public);
+        g.add_node("b", public);
+        assert_eq!(high_water_set(&g, &lattice), vec![public]);
+    }
+
+    #[test]
+    fn dominated_levels_are_absorbed() {
+        let (lattice, [public, low2, _, high2]) = figure1();
+        let mut g = Graph::new();
+        g.add_node("p", public);
+        g.add_node("l", low2);
+        g.add_node("h", high2);
+        assert_eq!(high_water_set(&g, &lattice), vec![high2]);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_high_water() {
+        let (lattice, _) = figure1();
+        let g = Graph::new();
+        assert!(high_water_set(&g, &lattice).is_empty());
+        assert!(is_high_water_set(&g, &lattice, &[]));
+    }
+
+    #[test]
+    fn validator_rejects_non_antichain() {
+        let (lattice, [public, low2, _, high2]) = figure1();
+        let mut g = Graph::new();
+        g.add_node("l", low2);
+        g.add_node("h", high2);
+        g.add_node("p", public);
+        assert!(!is_high_water_set(&g, &lattice, &[low2, high2]));
+    }
+
+    #[test]
+    fn validator_rejects_non_covering_set() {
+        let (lattice, [_, low2, _, high2]) = figure1();
+        let mut g = Graph::new();
+        g.add_node("l", low2);
+        g.add_node("h", high2);
+        assert!(!is_high_water_set(&g, &lattice, &[low2]));
+    }
+
+    #[test]
+    fn validator_rejects_member_not_lowest_of_any_node() {
+        let (lattice, [public, _, high1, _]) = figure1();
+        let mut g = Graph::new();
+        g.add_node("p", public);
+        assert!(
+            !is_high_water_set(&g, &lattice, &[high1]),
+            "High-1 dominates nothing present as a lowest"
+        );
+    }
+}

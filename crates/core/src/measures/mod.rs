@@ -1,0 +1,12 @@
+//! Utility and opacity measures for comparing protected accounts (paper §4).
+
+pub mod node_utility;
+pub mod opacity;
+pub mod path_utility;
+
+pub use node_utility::node_utility;
+pub use opacity::{
+    average_protected_opacity, edge_opacity, edges_at_risk, min_protected_opacity, risk_report,
+    Combiner, InferenceKeying, OpacityEvaluator, OpacityModel, RiskEntry, StepFn,
+};
+pub use path_utility::{path_percentages, path_utility};

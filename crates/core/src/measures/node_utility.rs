@@ -1,0 +1,95 @@
+//! The Node Utility Measure (paper §4.1, Fig. 3c).
+//!
+//! `NodeUtility(G') = Σ_{n' ∈ N'} infoScore(n') / |N|`: the average
+//! closeness of account nodes to their originals, with hidden nodes
+//! contributing 0. Original nodes score 1; surrogates carry the catalog's
+//! `infoScore`. Under the all-or-nothing baseline every present node scores
+//! 1, so node utility degenerates to `|N'| / |N|` — the paper's 6/11 for
+//! the naïve account of Fig. 1.
+
+use crate::account::ProtectedAccount;
+use crate::graph::Graph;
+
+/// The Node Utility Measure (Fig. 3c). An empty original graph scores 1.
+pub fn node_utility(original: &Graph, account: &ProtectedAccount) -> f64 {
+    if original.node_count() == 0 {
+        return 1.0;
+    }
+    let total: f64 = account
+        .graph()
+        .node_ids()
+        .map(|n2| account.correspondence(n2).info_score())
+        .sum();
+    total / original.node_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::{generate, generate_naive_node_hide, ProtectionContext};
+    use crate::feature::Features;
+    use crate::graph::Graph;
+    use crate::marking::MarkingStore;
+    use crate::privilege::PrivilegeLattice;
+    use crate::surrogate::{SurrogateCatalog, SurrogateDef};
+
+    #[test]
+    fn all_or_nothing_is_present_fraction() {
+        let (lattice, preds) = PrivilegeLattice::flat(&["High"]).unwrap();
+        let mut g = Graph::new();
+        g.add_node("pub1", lattice.public());
+        g.add_node("pub2", lattice.public());
+        g.add_node("secret", preds[0]);
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate_naive_node_hide(&ctx, lattice.public()).unwrap();
+        assert!((node_utility(&g, &account) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surrogates_contribute_their_info_score() {
+        let (lattice, preds) = PrivilegeLattice::flat(&["High"]).unwrap();
+        let mut g = Graph::new();
+        g.add_node("pub", lattice.public());
+        let secret = g.add_node("secret", preds[0]);
+        let markings = MarkingStore::new();
+        let mut catalog = SurrogateCatalog::new();
+        catalog.add(
+            secret,
+            SurrogateDef {
+                label: "s'".into(),
+                features: Features::new(),
+                lowest: lattice.public(),
+                info_score: 0.4,
+            },
+        );
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate(&ctx, lattice.public()).unwrap();
+        assert!((node_utility(&g, &account) - (1.0 + 0.4) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_visibility_scores_one() {
+        let (lattice, _) = PrivilegeLattice::flat(&[]).unwrap();
+        let mut g = Graph::new();
+        g.add_node("a", lattice.public());
+        g.add_node("b", lattice.public());
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate(&ctx, lattice.public()).unwrap();
+        assert_eq!(node_utility(&g, &account), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_scores_one() {
+        let (lattice, _) = PrivilegeLattice::flat(&[]).unwrap();
+        let g = Graph::new();
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate(&ctx, lattice.public()).unwrap();
+        assert_eq!(node_utility(&g, &account), 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The Path Utility Measure (paper §4.1, Fig. 3a).
+//!
+//! For each node `n ∈ N`, the path percentage `%P(n)` is the number of
+//! nodes connected (by a path of any length) to the corresponding `n'` in
+//! `G'`, divided by the number of nodes connected to `n` in `G`. Nodes with
+//! no corresponding node contribute 0. Path utility is the average of
+//! `%P` over all of `G`'s nodes.
+//!
+//! Connectivity is **undirected** component membership: this reproduces the
+//! paper's published values exactly — `%P(b') = 1/10`, `%P(h') = 3/10`,
+//! PathUtility(naïve Fig. 1c) = .13, and Table 1's .38/.27/.13/.27 — where
+//! directed reachability reproduces none of them (DESIGN.md §3.1 item 1).
+
+use crate::account::ProtectedAccount;
+use crate::graph::Graph;
+
+/// Per-original-node path percentages `%P(n)`.
+///
+/// A node isolated in `G` (zero connections to retain) scores 1 when it has
+/// a corresponding node and 0 otherwise.
+pub fn path_percentages(original: &Graph, account: &ProtectedAccount) -> Vec<f64> {
+    let base = original.connected_counts();
+    let acct = account.graph().connected_counts();
+    original
+        .node_ids()
+        .map(|n| match account.account_node(n) {
+            None => 0.0,
+            Some(n2) => {
+                if base[n.index()] == 0 {
+                    1.0
+                } else {
+                    acct[n2.index()] as f64 / base[n.index()] as f64
+                }
+            }
+        })
+        .collect()
+}
+
+/// The Path Utility Measure: `Σ %P(n) / |N|` (Fig. 3a). An empty original
+/// graph scores 1 (nothing to lose).
+pub fn path_utility(original: &Graph, account: &ProtectedAccount) -> f64 {
+    if original.node_count() == 0 {
+        return 1.0;
+    }
+    let percentages = path_percentages(original, account);
+    percentages.iter().sum::<f64>() / original.node_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::{generate, generate_naive_node_hide, ProtectionContext};
+    use crate::graph::Graph;
+    use crate::marking::MarkingStore;
+    use crate::privilege::PrivilegeLattice;
+    use crate::surrogate::SurrogateCatalog;
+
+    /// a → b → c with b sensitive; no surrogates; all markings Visible.
+    fn chain_setup() -> (Graph, PrivilegeLattice) {
+        let (lattice, preds) = PrivilegeLattice::flat(&["High"]).unwrap();
+        let mut g = Graph::new();
+        let a = g.add_node("a", lattice.public());
+        let b = g.add_node("b", preds[0]);
+        let c = g.add_node("c", lattice.public());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        (g, lattice)
+    }
+
+    #[test]
+    fn identity_account_scores_one() {
+        let (g, lattice) = chain_setup();
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let high = lattice.by_name("High").unwrap();
+        let account = generate(&ctx, high).unwrap();
+        assert_eq!(path_utility(&g, &account), 1.0);
+    }
+
+    #[test]
+    fn naive_hiding_loses_paths() {
+        let (g, lattice) = chain_setup();
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate_naive_node_hide(&ctx, lattice.public()).unwrap();
+        // a and c survive but are disconnected: %P = 0/2 each; b scores 0.
+        assert_eq!(path_utility(&g, &account), 0.0);
+        assert_eq!(path_percentages(&g, &account), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn surrogate_edge_restores_paths() {
+        let (g, lattice) = chain_setup();
+        let markings = MarkingStore::new(); // Visible incidences: b passes through
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate(&ctx, lattice.public()).unwrap();
+        // a→c surrogate edge: a and c each keep 1 of 2 connections; b hidden.
+        let got = path_utility(&g, &account);
+        assert!((got - (0.5 + 0.5 + 0.0) / 3.0).abs() < 1e-12, "got {got}");
+    }
+
+    #[test]
+    fn isolated_original_node_scores_one_when_present() {
+        let (lattice, _) = PrivilegeLattice::flat(&[]).unwrap();
+        let mut g = Graph::new();
+        let _lone = g.add_node("lone", lattice.public());
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate(&ctx, lattice.public()).unwrap();
+        assert_eq!(path_utility(&g, &account), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_scores_one() {
+        let (lattice, _) = PrivilegeLattice::flat(&[]).unwrap();
+        let g = Graph::new();
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate(&ctx, lattice.public()).unwrap();
+        assert_eq!(path_utility(&g, &account), 1.0);
+    }
+}

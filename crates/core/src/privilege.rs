@@ -1,0 +1,434 @@
+//! Privilege-predicates and their dominance partial order (paper §2).
+//!
+//! A privilege-predicate is a Boolean function over consumer credentials;
+//! `p1` *dominates* `p2` when every consumer satisfying `p1` also satisfies
+//! `p2` (Def. 2). The paper assumes a `Public` predicate dominated by all
+//! others. We represent the predicates symbolically: the data owner
+//! declares named predicates and the dominance edges between them, and the
+//! lattice precomputes the reflexive–transitive closure so `dominates` is a
+//! single bit probe.
+
+use crate::error::{Error, Result};
+use crate::util::{BitSet, FxHashMap};
+
+/// Identifier for a privilege-predicate within its [`PrivilegeLattice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PrivilegeId(pub u16);
+
+impl PrivilegeId {
+    /// The id as a dense index into per-predicate side tables (e.g. the
+    /// name list of [`PrivilegeLattice::names_in_order`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Builder for a [`PrivilegeLattice`].
+///
+/// ```
+/// use surrogate_core::privilege::PrivilegeLattice;
+///
+/// let mut builder = PrivilegeLattice::builder();
+/// let public = builder.add("Public").unwrap();
+/// let low2 = builder.add("Low-2").unwrap();
+/// let high2 = builder.add("High-2").unwrap();
+/// builder.declare_dominates(low2, public);
+/// builder.declare_dominates(high2, low2);
+/// let lattice = builder.finish().unwrap();
+/// assert!(lattice.dominates(high2, public));
+/// assert!(!lattice.dominates(public, high2));
+/// ```
+#[derive(Debug, Default)]
+pub struct PrivilegeLatticeBuilder {
+    names: Vec<String>,
+    by_name: FxHashMap<String, PrivilegeId>,
+    dominance: Vec<(PrivilegeId, PrivilegeId)>,
+}
+
+impl PrivilegeLatticeBuilder {
+    /// Declares a new predicate with a human-readable nickname
+    /// (e.g. `"High-2"`).
+    pub fn add(&mut self, name: impl Into<String>) -> Result<PrivilegeId> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(Error::DuplicatePrivilege(name));
+        }
+        let id = PrivilegeId(self.names.len() as u16);
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        Ok(id)
+    }
+
+    /// Declares that `higher` dominates `lower` (Def. 2): every consumer
+    /// satisfying `higher` also satisfies `lower`.
+    pub fn declare_dominates(&mut self, higher: PrivilegeId, lower: PrivilegeId) {
+        self.dominance.push((higher, lower));
+    }
+
+    /// Validates the declarations and freezes the lattice.
+    ///
+    /// Fails when a declared edge references an unknown predicate, the
+    /// declarations are cyclic (not a partial order), or there is no unique
+    /// `Public` bottom dominated by every predicate.
+    pub fn finish(self) -> Result<PrivilegeLattice> {
+        let n = self.names.len();
+        for &(a, b) in &self.dominance {
+            if a.index() >= n {
+                return Err(Error::UnknownPrivilege(a));
+            }
+            if b.index() >= n {
+                return Err(Error::UnknownPrivilege(b));
+            }
+        }
+
+        // closure[p] = all predicates dominated by p, including p itself.
+        let mut closure: Vec<BitSet> = (0..n)
+            .map(|i| {
+                let mut set = BitSet::new(n);
+                set.insert(i);
+                set
+            })
+            .collect();
+
+        let mut direct: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.dominance {
+            direct[a.index()].push(b.index());
+        }
+
+        // Iterate to a fixpoint; with n predicates, n rounds suffice.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in 0..n {
+                for qi in 0..direct[p].len() {
+                    let q = direct[p][qi];
+                    let q_closure = closure[q].clone();
+                    let before = closure[p].len();
+                    closure[p].union_with(&q_closure);
+                    if closure[p].len() != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Antisymmetry: mutual dominance between distinct predicates means
+        // the declared order is not partial.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if closure[a].contains(b) && closure[b].contains(a) {
+                    return Err(Error::DominanceCycle);
+                }
+            }
+        }
+
+        // Bottom element: a predicate dominated by every predicate.
+        let public = (0..n)
+            .find(|&candidate| (0..n).all(|p| closure[p].contains(candidate)))
+            .map(|i| PrivilegeId(i as u16))
+            .ok_or(Error::NoPublicBottom)?;
+
+        Ok(PrivilegeLattice {
+            names: self.names,
+            by_name: self.by_name,
+            closure,
+            public,
+        })
+    }
+}
+
+/// A frozen partial order of privilege-predicates.
+#[derive(Debug, Clone)]
+pub struct PrivilegeLattice {
+    names: Vec<String>,
+    by_name: FxHashMap<String, PrivilegeId>,
+    closure: Vec<BitSet>,
+    public: PrivilegeId,
+}
+
+impl PrivilegeLattice {
+    /// Starts building a lattice.
+    pub fn builder() -> PrivilegeLatticeBuilder {
+        PrivilegeLatticeBuilder::default()
+    }
+
+    /// Builds the common two-level lattice `{Public}` plus the given
+    /// mutually incomparable predicates, each dominating `Public`.
+    pub fn flat(names: &[&str]) -> Result<(Self, Vec<PrivilegeId>)> {
+        let mut builder = Self::builder();
+        let public = builder.add("Public")?;
+        let mut ids = Vec::with_capacity(names.len());
+        for name in names {
+            let id = builder.add(*name)?;
+            builder.declare_dominates(id, public);
+            ids.push(id);
+        }
+        Ok((builder.finish()?, ids))
+    }
+
+    /// Trivial lattice containing only `Public`. Used by evaluations that
+    /// protect edges rather than nodes (paper §6).
+    pub fn public_only() -> Self {
+        let mut builder = Self::builder();
+        builder.add("Public").expect("fresh builder");
+        builder.finish().expect("single predicate is a valid lattice")
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if the lattice has no predicates (never constructible via
+    /// [`finish`](PrivilegeLatticeBuilder::finish), which requires a bottom).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The `Public` bottom predicate.
+    pub fn public(&self) -> PrivilegeId {
+        self.public
+    }
+
+    /// Nickname of a predicate.
+    pub fn name(&self, p: PrivilegeId) -> &str {
+        &self.names[p.index()]
+    }
+
+    /// Looks a predicate up by nickname.
+    pub fn by_name(&self, name: &str) -> Option<PrivilegeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All predicate ids.
+    pub fn ids(&self) -> impl Iterator<Item = PrivilegeId> + '_ {
+        (0..self.names.len() as u16).map(PrivilegeId)
+    }
+
+    /// Def. 2 dominance test (reflexive).
+    #[inline]
+    pub fn dominates(&self, higher: PrivilegeId, lower: PrivilegeId) -> bool {
+        self.closure[higher.index()].contains(lower.index())
+    }
+
+    /// `true` when neither predicate dominates the other.
+    pub fn incomparable(&self, a: PrivilegeId, b: PrivilegeId) -> bool {
+        !self.dominates(a, b) && !self.dominates(b, a)
+    }
+
+    /// `true` when no member of `set` dominates another member.
+    pub fn is_antichain(&self, set: &[PrivilegeId]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if self.dominates(a, b) || self.dominates(b, a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Reduces a set of predicates to its maximal elements: the antichain
+    /// of predicates not strictly dominated by another member. Duplicates
+    /// are removed; order follows first occurrence.
+    pub fn maximal_antichain(&self, set: &[PrivilegeId]) -> Vec<PrivilegeId> {
+        let mut result: Vec<PrivilegeId> = Vec::new();
+        for &p in set {
+            if result.contains(&p) {
+                continue;
+            }
+            if set
+                .iter()
+                .any(|&q| q != p && self.dominates(q, p) && !self.dominates(p, q))
+            {
+                continue;
+            }
+            result.push(p);
+        }
+        result
+    }
+
+    /// `true` when some member of `set` dominates `p`.
+    pub fn set_dominates(&self, set: &[PrivilegeId], p: PrivilegeId) -> bool {
+        set.iter().any(|&q| self.dominates(q, p))
+    }
+
+    /// All strict dominance pairs `(higher, lower)`, transitively closed.
+    /// Rebuilding a lattice from [`Self::names_in_order`] and these pairs
+    /// yields identical ids and dominance — the export path used by
+    /// downstream stores.
+    pub fn dominance_pairs(&self) -> Vec<(PrivilegeId, PrivilegeId)> {
+        let mut pairs = Vec::new();
+        for hi in self.ids() {
+            for lo in self.ids() {
+                if hi != lo && self.dominates(hi, lo) {
+                    pairs.push((hi, lo));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Predicate nicknames in id order.
+    pub fn names_in_order(&self) -> Vec<&str> {
+        self.names.iter().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lattice of paper Fig. 1b: Public at the bottom; Low-2 above it;
+    /// High-2 above Low-2; High-1 incomparable to both Low-2 and High-2.
+    fn figure1b() -> (PrivilegeLattice, [PrivilegeId; 4]) {
+        let mut builder = PrivilegeLattice::builder();
+        let public = builder.add("Public").unwrap();
+        let low2 = builder.add("Low-2").unwrap();
+        let high1 = builder.add("High-1").unwrap();
+        let high2 = builder.add("High-2").unwrap();
+        builder.declare_dominates(low2, public);
+        builder.declare_dominates(high1, public);
+        builder.declare_dominates(high2, low2);
+        let lattice = builder.finish().unwrap();
+        (lattice, [public, low2, high1, high2])
+    }
+
+    #[test]
+    fn dominance_is_reflexive_and_transitive() {
+        let (lattice, [public, low2, _, high2]) = figure1b();
+        for p in lattice.ids() {
+            assert!(lattice.dominates(p, p), "reflexive at {p:?}");
+        }
+        assert!(lattice.dominates(high2, low2));
+        assert!(lattice.dominates(low2, public));
+        assert!(lattice.dominates(high2, public), "transitive");
+    }
+
+    #[test]
+    fn incomparability_matches_figure() {
+        let (lattice, [_, low2, high1, high2]) = figure1b();
+        assert!(lattice.incomparable(high1, high2));
+        assert!(lattice.incomparable(high1, low2));
+        assert!(!lattice.incomparable(high2, low2));
+    }
+
+    #[test]
+    fn public_is_bottom() {
+        let (lattice, [public, ..]) = figure1b();
+        assert_eq!(lattice.public(), public);
+        for p in lattice.ids() {
+            assert!(lattice.dominates(p, public));
+        }
+    }
+
+    #[test]
+    fn missing_bottom_is_rejected() {
+        let mut builder = PrivilegeLattice::builder();
+        builder.add("A").unwrap();
+        builder.add("B").unwrap();
+        assert_eq!(builder.finish().unwrap_err(), Error::NoPublicBottom);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut builder = PrivilegeLattice::builder();
+        let a = builder.add("A").unwrap();
+        let b = builder.add("B").unwrap();
+        builder.declare_dominates(a, b);
+        builder.declare_dominates(b, a);
+        assert_eq!(builder.finish().unwrap_err(), Error::DominanceCycle);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut builder = PrivilegeLattice::builder();
+        builder.add("X").unwrap();
+        assert!(matches!(
+            builder.add("X"),
+            Err(Error::DuplicatePrivilege(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_edge_target_rejected() {
+        let mut builder = PrivilegeLattice::builder();
+        let a = builder.add("A").unwrap();
+        builder.declare_dominates(a, PrivilegeId(9));
+        assert_eq!(
+            builder.finish().unwrap_err(),
+            Error::UnknownPrivilege(PrivilegeId(9))
+        );
+    }
+
+    #[test]
+    fn antichain_detection() {
+        let (lattice, [public, low2, high1, high2]) = figure1b();
+        assert!(lattice.is_antichain(&[high1, high2]));
+        assert!(!lattice.is_antichain(&[low2, high2]));
+        assert!(lattice.is_antichain(&[public]));
+        assert!(lattice.is_antichain(&[]));
+    }
+
+    #[test]
+    fn maximal_antichain_reduction() {
+        let (lattice, [public, low2, high1, high2]) = figure1b();
+        let reduced = lattice.maximal_antichain(&[public, low2, high1, high2, public]);
+        assert_eq!(reduced, vec![high1, high2]);
+        assert!(lattice.is_antichain(&reduced));
+    }
+
+    #[test]
+    fn set_dominates_checks_any_member() {
+        let (lattice, [public, low2, high1, high2]) = figure1b();
+        assert!(lattice.set_dominates(&[high1, high2], low2));
+        assert!(lattice.set_dominates(&[high1, high2], public));
+        assert!(!lattice.set_dominates(&[low2], high1));
+    }
+
+    #[test]
+    fn flat_lattice_is_incomparable_above_public() {
+        let (lattice, ids) = PrivilegeLattice::flat(&["A", "B", "C"]).unwrap();
+        assert!(lattice.is_antichain(&ids));
+        for &id in &ids {
+            assert!(lattice.dominates(id, lattice.public()));
+        }
+    }
+
+    #[test]
+    fn public_only_lattice() {
+        let lattice = PrivilegeLattice::public_only();
+        assert_eq!(lattice.len(), 1);
+        assert_eq!(lattice.name(lattice.public()), "Public");
+    }
+
+    #[test]
+    fn dominance_pairs_rebuild_the_lattice() {
+        let (lattice, _) = figure1b();
+        let names = lattice.names_in_order();
+        let pairs = lattice.dominance_pairs();
+        let mut builder = PrivilegeLattice::builder();
+        let ids: Vec<PrivilegeId> = names
+            .iter()
+            .map(|n| builder.add(*n).unwrap())
+            .collect();
+        for (hi, lo) in &pairs {
+            builder.declare_dominates(ids[hi.index()], ids[lo.index()]);
+        }
+        let rebuilt = builder.finish().unwrap();
+        for a in lattice.ids() {
+            for b in lattice.ids() {
+                assert_eq!(lattice.dominates(a, b), rebuilt.dominates(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (lattice, [_, low2, ..]) = figure1b();
+        assert_eq!(lattice.by_name("Low-2"), Some(low2));
+        assert_eq!(lattice.by_name("nope"), None);
+    }
+}

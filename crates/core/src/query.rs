@@ -1,0 +1,219 @@
+//! Path-traversal queries (paper §1: "important queries traverse paths
+//! from specified starting places").
+//!
+//! These run over any [`Graph`] — the original or a protected account — so
+//! a provenance-style "what contributed to this node?" query can be
+//! answered per consumer by generating their account and traversing it.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+use crate::util::BitSet;
+
+/// Traversal direction relative to edge orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges forward: descendants / downstream impact.
+    Forward,
+    /// Follow edges backward: ancestors / upstream provenance.
+    Backward,
+    /// Ignore orientation: the connected neighborhood.
+    Both,
+}
+
+/// Result of a traversal: nodes with their BFS depth from the start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Traversal {
+    /// Start node (depth 0; not included in `visited`).
+    pub start: NodeId,
+    /// Visited nodes paired with their depth, in BFS order.
+    pub visited: Vec<(NodeId, u32)>,
+}
+
+impl Traversal {
+    /// Visited node ids without depths.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.visited.iter().map(|&(n, _)| n).collect()
+    }
+
+    /// Number of visited nodes.
+    pub fn len(&self) -> usize {
+        self.visited.len()
+    }
+
+    /// `true` when the traversal found nothing.
+    pub fn is_empty(&self) -> bool {
+        self.visited.is_empty()
+    }
+}
+
+/// BFS from `start` in the given direction, up to `max_depth` hops
+/// (`u32::MAX` for unbounded).
+pub fn traverse(graph: &Graph, start: NodeId, direction: Direction, max_depth: u32) -> Traversal {
+    let mut seen = BitSet::new(graph.node_count());
+    seen.insert(start.index());
+    let mut visited = Vec::new();
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    queue.push_back((start, 0));
+    while let Some((n, depth)) = queue.pop_front() {
+        if depth >= max_depth {
+            continue;
+        }
+        let next_depth = depth + 1;
+        let push = |queue: &mut VecDeque<(NodeId, u32)>,
+                    seen: &mut BitSet,
+                    visited: &mut Vec<(NodeId, u32)>,
+                    m: NodeId| {
+            if seen.insert(m.index()) {
+                visited.push((m, next_depth));
+                queue.push_back((m, next_depth));
+            }
+        };
+        match direction {
+            Direction::Forward => {
+                for &m in graph.out_neighbors(n) {
+                    push(&mut queue, &mut seen, &mut visited, m);
+                }
+            }
+            Direction::Backward => {
+                for &m in graph.in_neighbors(n) {
+                    push(&mut queue, &mut seen, &mut visited, m);
+                }
+            }
+            Direction::Both => {
+                for &m in graph.out_neighbors(n) {
+                    push(&mut queue, &mut seen, &mut visited, m);
+                }
+                for &m in graph.in_neighbors(n) {
+                    push(&mut queue, &mut seen, &mut visited, m);
+                }
+            }
+        }
+    }
+    Traversal { start, visited }
+}
+
+/// All ancestors of `start` (upstream provenance).
+pub fn ancestors(graph: &Graph, start: NodeId) -> Traversal {
+    traverse(graph, start, Direction::Backward, u32::MAX)
+}
+
+/// All descendants of `start` (downstream impact).
+pub fn descendants(graph: &Graph, start: NodeId) -> Traversal {
+    traverse(graph, start, Direction::Forward, u32::MAX)
+}
+
+/// One shortest directed path `from → … → to`, if any, as a node sequence
+/// including both endpoints.
+pub fn shortest_path(graph: &Graph, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; graph.node_count()];
+    let mut seen = BitSet::new(graph.node_count());
+    seen.insert(from.index());
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(n) = queue.pop_front() {
+        for &m in graph.out_neighbors(n) {
+            if seen.insert(m.index()) {
+                parent[m.index()] = Some(n);
+                if m == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while let Some(p) = parent[cur.index()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// `true` when a directed path `from → … → to` exists (length ≥ 0).
+pub fn reaches(graph: &Graph, from: NodeId, to: NodeId) -> bool {
+    shortest_path(graph, from, to).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privilege::PrivilegeLattice;
+
+    /// a→b→c, a→c, d isolated.
+    fn fixture() -> (Graph, [NodeId; 4]) {
+        let lattice = PrivilegeLattice::public_only();
+        let p = lattice.public();
+        let mut g = Graph::new();
+        let a = g.add_node("a", p);
+        let b = g.add_node("b", p);
+        let c = g.add_node("c", p);
+        let d = g.add_node("d", p);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(a, c).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn forward_traversal_finds_descendants() {
+        let (g, [a, b, c, d]) = fixture();
+        let t = descendants(&g, a);
+        let nodes = t.nodes();
+        assert!(nodes.contains(&b) && nodes.contains(&c));
+        assert!(!nodes.contains(&d));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn backward_traversal_finds_ancestors() {
+        let (g, [a, b, c, _]) = fixture();
+        let t = ancestors(&g, c);
+        let nodes = t.nodes();
+        assert!(nodes.contains(&a) && nodes.contains(&b));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn depths_are_shortest_hops() {
+        let (g, [a, _, c, _]) = fixture();
+        let t = traverse(&g, a, Direction::Forward, u32::MAX);
+        let depth_of_c = t.visited.iter().find(|&&(n, _)| n == c).unwrap().1;
+        assert_eq!(depth_of_c, 1, "direct a→c edge wins over a→b→c");
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let (g, [a, b, c, _]) = fixture();
+        let t = traverse(&g, a, Direction::Forward, 1);
+        let nodes = t.nodes();
+        assert!(nodes.contains(&b));
+        assert!(nodes.contains(&c), "c is at depth 1 via the direct edge");
+        let t0 = traverse(&g, a, Direction::Forward, 0);
+        assert!(t0.is_empty());
+    }
+
+    #[test]
+    fn both_direction_covers_neighborhood() {
+        let (g, [a, _, c, d]) = fixture();
+        let t = traverse(&g, c, Direction::Both, u32::MAX);
+        assert_eq!(t.len(), 2, "a and b, not d");
+        assert!(!t.nodes().contains(&d));
+        assert!(t.nodes().contains(&a));
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewest_hops() {
+        let (g, [a, _, c, d]) = fixture();
+        assert_eq!(shortest_path(&g, a, c), Some(vec![a, c]));
+        assert_eq!(shortest_path(&g, a, d), None);
+        assert_eq!(shortest_path(&g, a, a), Some(vec![a]));
+        assert!(reaches(&g, a, c));
+        assert!(!reaches(&g, c, a));
+    }
+}

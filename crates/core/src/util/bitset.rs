@@ -1,0 +1,177 @@
+//! Fixed-capacity bitset used for dominance closures and reachability.
+//!
+//! The privilege lattice needs an `O(1)` `dominates` test after setup, and
+//! account generation needs dense visited sets over node ids. Both are
+//! bounded, dense universes of small integers, which a `Vec<u64>` bitset
+//! serves with minimal allocation and good cache behaviour.
+
+/// A growable-but-bounded set of `usize` values stored one bit each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of values this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `value`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if `value >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset value {value} out of range");
+        let word = &mut self.words[value / 64];
+        let mask = 1u64 << (value % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `value`, returning `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let word = &mut self.words[value / 64];
+        let mask = 1u64 << (value % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        value < self.capacity && self.words[value / 64] & (1u64 << (value % 64)) != 0
+    }
+
+    /// Number of values present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no value is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all values.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// `true` if every member of `self` is also in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.capacity == other.capacity
+            && self.words.iter().zip(&other.words).all(|(w, o)| w & !o == 0)
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut set = BitSet::new(130);
+        assert!(set.insert(0));
+        assert!(set.insert(129));
+        assert!(!set.insert(129), "second insert reports already present");
+        assert!(set.contains(0));
+        assert!(set.contains(129));
+        assert!(!set.contains(64));
+        assert!(set.remove(0));
+        assert!(!set.remove(0));
+        assert!(!set.contains(0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(8).insert(8);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut set = BitSet::new(200);
+        for v in [3usize, 64, 65, 127, 128, 199] {
+            set.insert(v);
+        }
+        let collected: Vec<usize> = set.iter().collect();
+        assert_eq!(collected, vec![3, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(2);
+        b.insert(1);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        a.union_with(&b);
+        assert!(b.is_subset(&a));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut set = BitSet::new(10);
+        set.insert(5);
+        assert!(!set.is_empty());
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let set = BitSet::new(4);
+        assert!(!set.contains(4));
+        assert!(!set.contains(1000));
+    }
+}

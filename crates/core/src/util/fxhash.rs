@@ -1,0 +1,131 @@
+//! A small, fast, non-cryptographic hasher in the style of `FxHash`.
+//!
+//! The default `std` hasher (SipHash 1-3) defends against HashDoS at the
+//! cost of throughput on short integer keys, which dominate this crate's
+//! workloads (node ids, edge endpoint pairs, privilege ids). All inputs
+//! hashed here are internally generated identifiers, never attacker
+//! controlled strings, so the multiply-rotate mix used by rustc is the
+//! right trade-off.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash algorithm (64-bit golden-ratio
+/// derived, as used in Firefox and rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Hasher state. One `u64` of rolling state; each word is rotated in and
+/// multiplied by the FxHash seed constant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_eq!(hash_of("abc"), hash_of("abc"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..10_000 {
+            assert!(seen.insert(hash_of(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn distinguishes_tuple_order() {
+        assert_ne!(hash_of((1u32, 2u32)), hash_of((2u32, 1u32)));
+    }
+
+    #[test]
+    fn handles_unaligned_byte_tails() {
+        // 9 bytes exercises the chunk + remainder path.
+        assert_ne!(hash_of([1u8; 9]), hash_of([1u8; 8]));
+        assert_ne!(hash_of(b"abcdefghi".as_slice()), hash_of(b"abcdefgh".as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        assert_eq!(map.get(&1), Some(&"one"));
+        let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(set.insert((1, 2)));
+        assert!(!set.insert((1, 2)));
+    }
+}

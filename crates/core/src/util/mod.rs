@@ -1,0 +1,9 @@
+//! Internal data-structure substrate: hashing, bitsets, union-find.
+
+pub mod bitset;
+pub mod fxhash;
+pub mod union_find;
+
+pub use bitset::BitSet;
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use union_find::UnionFind;

@@ -1,0 +1,281 @@
+//! Executable statements of the paper's correctness properties, used by
+//! unit, integration, and property tests.
+//!
+//! * **Soundness** (Def. 5): every account node corresponds to a unique
+//!   original node, and every account edge maps to a directed path of `G`
+//!   (hence every account path maps to an original path by concatenation).
+//! * **Maximal node visibility** (Def. 9.1): originals appear whenever the
+//!   predicate dominates their `lowest`.
+//! * **Dominant surrogacy** (Def. 9.2): no strictly more dominant visible
+//!   surrogate was skipped.
+//! * **Maximal connectivity** (Def. 9.3): every HW-permitted pair of
+//!   present nodes is connected in `G'`.
+
+use crate::account::{permitted_pairs, Correspondence, ProtectedAccount, ProtectionContext};
+use crate::graph::NodeId;
+use crate::privilege::PrivilegeId;
+use crate::query::reaches;
+use crate::util::FxHashSet;
+
+/// A violated property, with enough context to debug the failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Two account nodes correspond to the same original (Def. 5).
+    DuplicateCorrespondence {
+        /// The original node with two corresponding account nodes.
+        original: NodeId,
+    },
+    /// An account edge has no corresponding path of `G` (Def. 5), or leaks
+    /// a pair forbidden by Def. 8 cond. 2.
+    UnsoundEdge {
+        /// Original node behind the edge's source.
+        from: NodeId,
+        /// Original node behind the edge's destination.
+        to: NodeId,
+    },
+    /// A node visible via the predicate is missing or replaced (Def. 9.1).
+    MissingVisibleNode {
+        /// The node that should have appeared as itself.
+        original: NodeId,
+    },
+    /// A more dominant visible surrogate exists than the one included
+    /// (Def. 9.2).
+    SubdominantSurrogate {
+        /// The node whose surrogate choice was not dominant.
+        original: NodeId,
+    },
+    /// An HW-permitted pair of present nodes is unconnected in `G'`
+    /// (Def. 9.3).
+    DisconnectedPermittedPair {
+        /// Source of the permitted pair.
+        from: NodeId,
+        /// Destination of the permitted pair.
+        to: NodeId,
+    },
+}
+
+/// Checks Def. 5 soundness. Every surrogate or shown edge must map to an
+/// HW-permitted pair (shown edges are length-1 permitted pairs), which is
+/// also exactly the "no computed edge between Hide-marked pairs" rule.
+pub fn check_soundness(
+    ctx: &ProtectionContext<'_>,
+    account: &ProtectedAccount,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Unique correspondence.
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    for n2 in account.graph().node_ids() {
+        let original = account.original_node(n2);
+        if !seen.insert(original) {
+            violations.push(Violation::DuplicateCorrespondence { original });
+        }
+    }
+
+    // Edge soundness: every account edge is a permitted pair of G.
+    let present: Vec<bool> = ctx
+        .graph
+        .node_ids()
+        .map(|n| account.account_node(n).is_some())
+        .collect();
+    let permitted = permitted_pairs(ctx, account.high_water(), &present);
+    for (u2, v2) in account.graph().edges() {
+        let u = account.original_node(u2);
+        let v = account.original_node(v2);
+        let ok = if account.is_surrogate_edge((u2, v2)) {
+            permitted.contains(&(u, v))
+        } else {
+            // A shown edge must be an original edge marked Visible–Visible.
+            ctx.graph.has_edge(u, v)
+                && ctx
+                    .markings
+                    .edge_visible_for_set((u, v), account.high_water())
+        };
+        if !ok {
+            violations.push(Violation::UnsoundEdge { from: u, to: v });
+        }
+    }
+    violations
+}
+
+/// Checks Def. 9.1 (maximal node visibility) and Def. 9.2 (dominant
+/// surrogacy) against the context's lattice and catalog.
+pub fn check_node_layer(
+    ctx: &ProtectionContext<'_>,
+    account: &ProtectedAccount,
+    preds: &[PrivilegeId],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for n in ctx.graph.node_ids() {
+        let visible = ctx.lattice.set_dominates(preds, ctx.graph.node(n).lowest);
+        match account.account_node(n) {
+            Some(n2) => {
+                let corr = account.correspondence(n2);
+                if visible && !matches!(corr, Correspondence::Original) {
+                    violations.push(Violation::MissingVisibleNode { original: n });
+                }
+                if !visible {
+                    if let Correspondence::Surrogate { info_score } = corr {
+                        let best =
+                            ctx.catalog.most_dominant_visible_for_set(ctx.lattice, n, preds);
+                        if let Some(best) = best {
+                            // The chosen surrogate's lowest must match the
+                            // dominant choice (ties broken by info-score).
+                            let chosen_lowest = account.graph().node(n2).lowest;
+                            let dominated_strictly = ctx
+                                .lattice
+                                .dominates(best.lowest, chosen_lowest)
+                                && best.lowest != chosen_lowest;
+                            if dominated_strictly || best.info_score > *info_score {
+                                violations.push(Violation::SubdominantSurrogate {
+                                    original: n,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                if visible {
+                    violations.push(Violation::MissingVisibleNode { original: n });
+                } else if ctx
+                    .catalog
+                    .most_dominant_visible_for_set(ctx.lattice, n, preds)
+                    .is_some()
+                {
+                    // A visible surrogate existed but was not used.
+                    violations.push(Violation::SubdominantSurrogate { original: n });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Checks Def. 9.3 (maximal connectivity): every HW-permitted pair of
+/// present originals must be connected by a directed path in `G'`.
+pub fn check_maximal_connectivity(
+    ctx: &ProtectionContext<'_>,
+    account: &ProtectedAccount,
+) -> Vec<Violation> {
+    let present: Vec<bool> = ctx
+        .graph
+        .node_ids()
+        .map(|n| account.account_node(n).is_some())
+        .collect();
+    let mut violations = Vec::new();
+    for (u, v) in permitted_pairs(ctx, account.high_water(), &present) {
+        let u2 = account.account_node(u).expect("pair endpoints present");
+        let v2 = account.account_node(v).expect("pair endpoints present");
+        if !reaches(account.graph(), u2, v2) {
+            violations.push(Violation::DisconnectedPermittedPair { from: u, to: v });
+        }
+    }
+    violations
+}
+
+/// Runs every check appropriate to the account's strategy. Surrogate
+/// accounts must satisfy all of Def. 9; baselines only soundness and the
+/// node layer they promise.
+pub fn check_all(ctx: &ProtectionContext<'_>, account: &ProtectedAccount) -> Vec<Violation> {
+    let mut violations = check_soundness(ctx, account);
+    match account.strategy() {
+        crate::account::Strategy::Surrogate => {
+            violations.extend(check_node_layer(ctx, account, account.high_water()));
+            violations.extend(check_maximal_connectivity(ctx, account));
+        }
+        crate::account::Strategy::HideEdges => {
+            violations.extend(check_node_layer(ctx, account, account.high_water()));
+        }
+        crate::account::Strategy::HideNodes => {}
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::{generate, generate_hide, generate_naive_node_hide, Strategy};
+    use crate::feature::Features;
+    use crate::graph::Graph;
+    use crate::marking::{Marking, MarkingStore};
+    use crate::privilege::PrivilegeLattice;
+    use crate::surrogate::{SurrogateCatalog, SurrogateDef};
+
+    fn fixture() -> (
+        Graph,
+        PrivilegeLattice,
+        MarkingStore,
+        SurrogateCatalog,
+    ) {
+        let (lattice, preds) = PrivilegeLattice::flat(&["High"]).unwrap();
+        let high = preds[0];
+        let public = lattice.public();
+        let mut g = Graph::new();
+        let a = g.add_node("a", public);
+        let b = g.add_node("b", high);
+        let c = g.add_node("c", public);
+        let d = g.add_node("d", public);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, d).unwrap();
+        let mut markings = MarkingStore::new();
+        markings.set_node(b, public, Marking::Surrogate);
+        let mut catalog = SurrogateCatalog::new();
+        catalog.add(
+            b,
+            SurrogateDef {
+                label: "b'".into(),
+                features: Features::new(),
+                lowest: public,
+                info_score: 0.5,
+            },
+        );
+        (g, lattice, markings, catalog)
+    }
+
+    #[test]
+    fn generated_accounts_pass_all_checks() {
+        let (g, lattice, markings, catalog) = fixture();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        for strategy in [Strategy::Surrogate, Strategy::HideEdges, Strategy::HideNodes] {
+            let account = ctx.protect(lattice.public(), strategy).unwrap();
+            let violations = check_all(&ctx, &account);
+            assert!(violations.is_empty(), "{strategy:?}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn hide_account_fails_connectivity_check() {
+        // The hide baseline intentionally breaks maximal connectivity —
+        // the checker must notice when applied directly.
+        let (g, lattice, markings, catalog) = fixture();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate_hide(&ctx, lattice.public()).unwrap();
+        let violations = check_maximal_connectivity(&ctx, &account);
+        assert!(
+            !violations.is_empty(),
+            "a→c is permitted but unconnected under hiding"
+        );
+    }
+
+    #[test]
+    fn naive_account_misses_surrogate_nodes() {
+        let (g, lattice, markings, catalog) = fixture();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate_naive_node_hide(&ctx, lattice.public()).unwrap();
+        let violations = check_node_layer(&ctx, &account, &[lattice.public()]);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::SubdominantSurrogate { .. })));
+    }
+
+    #[test]
+    fn surrogate_account_is_sound_and_connected() {
+        let (g, lattice, markings, catalog) = fixture();
+        let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
+        let account = generate(&ctx, lattice.public()).unwrap();
+        assert!(check_soundness(&ctx, &account).is_empty());
+        assert!(check_maximal_connectivity(&ctx, &account).is_empty());
+    }
+}

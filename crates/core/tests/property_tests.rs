@@ -1,0 +1,374 @@
+//! Property-based tests of the paper's guarantees over randomized graphs,
+//! lattices, markings, and surrogate catalogs.
+//!
+//! Rather than composing complex proptest strategies, each case derives a
+//! full scenario deterministically from `(node_count, seed)` with a seeded
+//! RNG — shrinking then shrinks the scenario's size and seed.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use surrogate_core::account::{
+    generate, generate_hide, generate_naive_node_hide, generate_with_options, GenerateOptions,
+    ProtectionContext, Strategy,
+};
+use surrogate_core::feature::Features;
+use surrogate_core::graph::Graph;
+use surrogate_core::hw::{high_water_set, is_high_water_set};
+use surrogate_core::marking::{Marking, MarkingStore};
+use surrogate_core::measures::{
+    edge_opacity, node_utility, path_utility, OpacityEvaluator, OpacityModel,
+};
+use surrogate_core::privilege::{PrivilegeId, PrivilegeLattice};
+use surrogate_core::surrogate::{SurrogateCatalog, SurrogateDef};
+use surrogate_core::validate::{check_all, check_soundness};
+
+/// A complete randomized protection scenario.
+struct Scenario {
+    graph: Graph,
+    lattice: PrivilegeLattice,
+    markings: MarkingStore,
+    catalog: SurrogateCatalog,
+    predicate: PrivilegeId,
+}
+
+impl Scenario {
+    fn ctx(&self) -> ProtectionContext<'_> {
+        ProtectionContext::new(&self.graph, &self.lattice, &self.markings, &self.catalog)
+    }
+}
+
+fn build_scenario(nodes: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Lattice: Public ⊑ L1 ⊑ L2, or Public ⊑ {L1, L2} incomparable.
+    let mut builder = PrivilegeLattice::builder();
+    let public = builder.add("Public").unwrap();
+    let l1 = builder.add("L1").unwrap();
+    let l2 = builder.add("L2").unwrap();
+    builder.declare_dominates(l1, public);
+    if rng.gen_bool(0.5) {
+        builder.declare_dominates(l2, l1);
+    } else {
+        builder.declare_dominates(l2, public);
+    }
+    let lattice = builder.finish().unwrap();
+    let levels = [public, l1, l2];
+
+    let mut graph = Graph::new();
+    let ids: Vec<_> = (0..nodes)
+        .map(|i| {
+            let lowest = levels[rng.gen_range(0..3)];
+            graph.add_node_with_features(
+                format!("n{i}"),
+                Features::new().with("i", i as i64),
+                lowest,
+            )
+        })
+        .collect();
+    for &a in &ids {
+        for &b in &ids {
+            if a != b && rng.gen_bool(0.25) {
+                let _ = graph.add_edge(a, b);
+            }
+        }
+    }
+
+    // Random incidence markings for a random subset of (incidence, level).
+    let mut markings = MarkingStore::new();
+    let edges: Vec<_> = graph.edges().collect();
+    for &edge in &edges {
+        for node in [edge.0, edge.1] {
+            if rng.gen_bool(0.3) {
+                let marking = match rng.gen_range(0..3) {
+                    0 => Marking::Visible,
+                    1 => Marking::Hide,
+                    _ => Marking::Surrogate,
+                };
+                let level = levels[rng.gen_range(0..3)];
+                markings.set(node, edge, level, marking);
+            }
+        }
+    }
+    // Occasionally mark a whole node's incidences.
+    for &n in &ids {
+        if rng.gen_bool(0.15) {
+            let marking = if rng.gen_bool(0.5) {
+                Marking::Surrogate
+            } else {
+                Marking::Hide
+            };
+            markings.set_node(n, levels[rng.gen_range(0..3)], marking);
+        }
+    }
+
+    // Surrogates: only for non-public nodes; a Public surrogate can never
+    // dominate a non-public lowest, so these are always admissible.
+    let mut catalog = SurrogateCatalog::new();
+    for &n in &ids {
+        if graph.node(n).lowest != public && rng.gen_bool(0.5) {
+            catalog.add(
+                n,
+                SurrogateDef {
+                    label: format!("{}'", graph.node(n).label),
+                    features: Features::new(),
+                    lowest: public,
+                    info_score: rng.gen_range(0..=10) as f64 / 10.0,
+                },
+            );
+        }
+    }
+
+    let predicate = levels[rng.gen_range(0..3)];
+    Scenario {
+        graph,
+        lattice,
+        markings,
+        catalog,
+        predicate,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Theorem 1 / Defs. 5 & 9: generated surrogate accounts satisfy
+    /// soundness, maximal node visibility, dominant surrogacy, and maximal
+    /// connectivity on arbitrary scenarios.
+    #[test]
+    fn surrogate_accounts_satisfy_all_invariants(nodes in 1usize..12, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        let account = generate(&ctx, scenario.predicate).unwrap();
+        let violations = check_all(&ctx, &account);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// Both baselines remain sound (Def. 5) even though they give up the
+    /// informativeness properties.
+    #[test]
+    fn baselines_are_sound(nodes in 1usize..12, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        for strategy in [Strategy::HideEdges, Strategy::HideNodes] {
+            let account = ctx.protect(scenario.predicate, strategy).unwrap();
+            let violations = check_soundness(&ctx, &account);
+            prop_assert!(violations.is_empty(), "{strategy:?}: {violations:?}");
+        }
+    }
+
+    /// The §6.3 headline as a theorem: with the same markings, the
+    /// surrogate account's graph is an edge-superset of the hide account's,
+    /// so under the default (raw) opacity model every original edge is at
+    /// least as opaque, and path utility is at least as high.
+    #[test]
+    fn surrogating_dominates_hiding(nodes in 2usize..12, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        let sur = generate(&ctx, scenario.predicate).unwrap();
+        let hide = generate_hide(&ctx, scenario.predicate).unwrap();
+
+        // Edge-superset relation.
+        for (u2, v2) in hide.graph().edges() {
+            let u = hide.original_node(u2);
+            let v = hide.original_node(v2);
+            let su = sur.account_node(u).expect("same node layer");
+            let sv = sur.account_node(v).expect("same node layer");
+            prop_assert!(sur.graph().has_edge(su, sv), "lost edge {u:?}->{v:?}");
+        }
+
+        // Measure dominance.
+        prop_assert!(
+            path_utility(&scenario.graph, &sur)
+                >= path_utility(&scenario.graph, &hide) - 1e-12
+        );
+        prop_assert!(
+            (node_utility(&scenario.graph, &sur)
+                - node_utility(&scenario.graph, &hide)).abs() < 1e-12,
+            "identical node layers must score identically"
+        );
+        let sur_eval = OpacityEvaluator::new(&sur, OpacityModel::directional());
+        let hide_eval = OpacityEvaluator::new(&hide, OpacityModel::directional());
+        for e in scenario.graph.edges() {
+            prop_assert!(
+                sur_eval.edge_opacity(e) >= hide_eval.edge_opacity(e) - 1e-12,
+                "edge {e:?}"
+            );
+        }
+    }
+
+    /// Opacity stays in [0, 1] with the correct extremes for every model
+    /// variant and strategy.
+    #[test]
+    fn opacity_is_bounded_with_correct_extremes(nodes in 1usize..10, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        for strategy in [Strategy::Surrogate, Strategy::HideEdges, Strategy::HideNodes] {
+            let account = ctx.protect(scenario.predicate, strategy).unwrap();
+            for model in [
+                OpacityModel::directional(),
+                OpacityModel::directional_normalized(),
+                OpacityModel::figure5_literal(),
+                OpacityModel::fp_product(),
+            ] {
+                for e in scenario.graph.edges() {
+                    let op = edge_opacity(&account, model, e);
+                    prop_assert!((0.0..=1.0).contains(&op), "{op}");
+                    if account.original_edge_present(e) {
+                        prop_assert_eq!(op, 0.0);
+                    }
+                    if account.account_node(e.0).is_none()
+                        || account.account_node(e.1).is_none()
+                    {
+                        prop_assert_eq!(op, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Utilities are bounded and exact at the no-protection extreme.
+    #[test]
+    fn utilities_are_bounded(nodes in 1usize..12, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        for strategy in [Strategy::Surrogate, Strategy::HideEdges, Strategy::HideNodes] {
+            let account = ctx.protect(scenario.predicate, strategy).unwrap();
+            let pu = path_utility(&scenario.graph, &account);
+            let nu = node_utility(&scenario.graph, &account);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&pu), "{pu}");
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&nu), "{nu}");
+        }
+    }
+
+    /// A consumer at the top of a chain lattice with no markings sees the
+    /// graph unchanged (protection is the identity when nothing is
+    /// sensitive for that predicate).
+    #[test]
+    fn top_consumer_sees_identity(nodes in 1usize..12, seed in any::<u64>()) {
+        let mut scenario = build_scenario(nodes, seed);
+        scenario.markings = MarkingStore::new();
+        // Predicate that dominates everything, if the lattice is a chain.
+        let l2 = scenario.lattice.by_name("L2").unwrap();
+        let l1 = scenario.lattice.by_name("L1").unwrap();
+        prop_assume!(scenario.lattice.dominates(l2, l1));
+        let ctx = scenario.ctx();
+        let account = generate(&ctx, l2).unwrap();
+        prop_assert_eq!(account.graph().node_count(), scenario.graph.node_count());
+        prop_assert_eq!(account.graph().edge_count(), scenario.graph.edge_count());
+        prop_assert_eq!(account.surrogate_node_count(), 0);
+        prop_assert_eq!(account.surrogate_edge_count(), 0);
+    }
+
+    /// Generation is deterministic.
+    #[test]
+    fn generation_is_deterministic(nodes in 1usize..10, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        let a = generate(&ctx, scenario.predicate).unwrap();
+        let b = generate(&ctx, scenario.predicate).unwrap();
+        prop_assert_eq!(a.graph().node_count(), b.graph().node_count());
+        prop_assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        let ea: Vec<_> = a.graph().edges().collect();
+        let eb: Vec<_> = b.graph().edges().collect();
+        prop_assert_eq!(ea, eb);
+    }
+
+    /// Multi-predicate accounts (Def. 6 sets) satisfy every invariant too,
+    /// and see at least as much as each member's singleton account.
+    #[test]
+    fn multi_predicate_accounts_satisfy_invariants(nodes in 1usize..10, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        let l1 = scenario.lattice.by_name("L1").unwrap();
+        let l2 = scenario.lattice.by_name("L2").unwrap();
+        prop_assume!(scenario.lattice.incomparable(l1, l2));
+        let set_account = surrogate_core::account::generate_for_set(&ctx, &[l1, l2]).unwrap();
+        let violations = check_all(&ctx, &set_account);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        for p in [l1, l2] {
+            let single = generate(&ctx, p).unwrap();
+            prop_assert!(
+                set_account.graph().node_count() >= single.graph().node_count(),
+                "{p:?}"
+            );
+        }
+    }
+
+    /// Theorem 1's utility maximality, against the strongest sound
+    /// competitor: the account carrying an edge for *every* permitted pair
+    /// (`redundancy_filter: false`) upper-bounds the path utility any sound
+    /// account over the same node set can reach (utility is monotone in
+    /// edges, and sound edges are exactly the permitted pairs). The
+    /// filtered account must match it exactly.
+    #[test]
+    fn redundancy_filter_preserves_maximal_utility(nodes in 1usize..10, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        let filtered = generate(&ctx, scenario.predicate).unwrap();
+        let maximal = generate_with_options(
+            &ctx,
+            &[scenario.predicate],
+            GenerateOptions { redundancy_filter: false },
+        )
+        .unwrap();
+        let got = path_utility(&scenario.graph, &filtered);
+        let bound = path_utility(&scenario.graph, &maximal);
+        prop_assert!((got - bound).abs() < 1e-12, "{got} vs bound {bound}");
+    }
+
+    /// Lemma 1's node-utility maximality as a direct oracle: the account's
+    /// node utility equals the per-node best achievable — 1 for visible
+    /// originals, the best visible surrogate's info-score otherwise, 0 when
+    /// nothing can be shown — averaged over |N|.
+    #[test]
+    fn node_utility_is_per_node_optimal(nodes in 1usize..12, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        let account = generate(&ctx, scenario.predicate).unwrap();
+        let expected: f64 = scenario
+            .graph
+            .node_ids()
+            .map(|n| {
+                if scenario
+                    .lattice
+                    .dominates(scenario.predicate, scenario.graph.node(n).lowest)
+                {
+                    1.0
+                } else {
+                    scenario
+                        .catalog
+                        .most_dominant_visible(&scenario.lattice, n, scenario.predicate)
+                        .map(|def| def.info_score)
+                        .unwrap_or(0.0)
+                }
+            })
+            .sum::<f64>()
+            / scenario.graph.node_count() as f64;
+        let got = node_utility(&scenario.graph, &account);
+        prop_assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    }
+
+    /// High-water sets satisfy Def. 6 on arbitrary graphs.
+    #[test]
+    fn high_water_sets_satisfy_def6(nodes in 0usize..12, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes.max(1), seed);
+        let hw = high_water_set(&scenario.graph, &scenario.lattice);
+        prop_assert!(is_high_water_set(&scenario.graph, &scenario.lattice, &hw));
+    }
+
+    /// The naïve baseline never contains surrogates and its node utility
+    /// equals the visible fraction (§4.1's |N'|/|N| remark).
+    #[test]
+    fn naive_node_utility_is_visible_fraction(nodes in 1usize..12, seed in any::<u64>()) {
+        let scenario = build_scenario(nodes, seed);
+        let ctx = scenario.ctx();
+        let account = generate_naive_node_hide(&ctx, scenario.predicate).unwrap();
+        prop_assert_eq!(account.surrogate_node_count(), 0);
+        let expected =
+            account.graph().node_count() as f64 / scenario.graph.node_count() as f64;
+        let nu = node_utility(&scenario.graph, &account);
+        prop_assert!((nu - expected).abs() < 1e-12, "{nu} vs {expected}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # graphgen
+//!
+//! Workload generators for the *Surrogate Parenthood* evaluation:
+//!
+//! * [`paper`] — the paper's own worked examples (Figs. 1, 2 and 11),
+//!   pinned to the published utility numbers;
+//! * [`motif`] — the seven classic motifs of §6.1.1 with their protected
+//!   edges;
+//! * [`synthetic`] — 200-node connected DAGs swept over connectivity and
+//!   protection fraction (§6.1.2);
+//! * [`workflow`] — layered provenance workflows in the style of PLUS;
+//! * [`social`] — social networks with sensitive affiliation nodes (§1's
+//!   running scenario).
+//!
+//! Every generator is seeded and deterministic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod motif;
+pub mod paper;
+pub mod social;
+pub mod synthetic;
+pub mod workflow;
+
+pub use motif::{all_motifs, EdgeProtection, Motif, MotifKind};
+pub use paper::{Figure1, Figure11, Figure2, Figure2Scenario};
+pub use social::{SocialConfig, SocialNetwork};
+pub use synthetic::{paper_grid, SyntheticConfig, SyntheticGraph};
+pub use workflow::{Workflow, WorkflowConfig};

@@ -1,0 +1,336 @@
+//! The seven classic graph motifs of the paper's §6.1.1 / Fig. 6, each
+//! with its designated protected edge ("the first edge").
+//!
+//! The published figure is a small drawing, so orientations are fixed here
+//! such that the paper's own §6.2 explanations hold (DESIGN.md §3.1
+//! item 4):
+//!
+//! * **bipartite** is two levels deep — the protected edge ends at a sink,
+//!   so no surrogate edge can be drawn and surrogating degenerates to
+//!   hiding;
+//! * **lattice** keeps the protected edge's endpoints connected through
+//!   parallel paths, so the surrogate transformation changes nothing;
+//! * the other five motifs lose connectivity under hiding that surrogate
+//!   edges restore.
+
+use surrogate_core::graph::{Edge, Graph};
+use surrogate_core::marking::{Marking, MarkingStore};
+use surrogate_core::privilege::PrivilegeLattice;
+
+/// The motif families of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotifKind {
+    /// Hub with one inbound spoke (the protected edge) and three outbound.
+    Star,
+    /// Five nodes in a line.
+    Chain,
+    /// Grid with parallel paths around the protected edge.
+    Lattice,
+    /// Entry node feeding a diamond.
+    Diamond,
+    /// Root with two children; one child has two children.
+    Tree,
+    /// Two leaves merging into a node that feeds a root.
+    InvertedTree,
+    /// Complete 2×2 bipartite graph.
+    Bipartite,
+}
+
+impl MotifKind {
+    /// All motifs in the paper's Fig. 6/7 order.
+    pub const ALL: [MotifKind; 7] = [
+        MotifKind::Star,
+        MotifKind::Chain,
+        MotifKind::Lattice,
+        MotifKind::Diamond,
+        MotifKind::Tree,
+        MotifKind::InvertedTree,
+        MotifKind::Bipartite,
+    ];
+
+    /// Display name matching the figure.
+    pub fn name(self) -> &'static str {
+        match self {
+            MotifKind::Star => "Star",
+            MotifKind::Chain => "Chain",
+            MotifKind::Lattice => "Lattice",
+            MotifKind::Diamond => "Diamond",
+            MotifKind::Tree => "Tree",
+            MotifKind::InvertedTree => "Inverted Tree",
+            MotifKind::Bipartite => "Bipartite",
+        }
+    }
+}
+
+/// How the evaluation protects the designated edge (§6 / DESIGN.md §3.1
+/// item 5): for edge `(u, v)`, the destination-side incidence is marked —
+/// consumers may learn `u` leads onward, but not directly to `v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeProtection {
+    /// Destination incidence marked `Surrogate`: paths through the edge
+    /// are summarized by surrogate edges.
+    Surrogate,
+    /// Destination incidence marked `Hide`: the edge simply vanishes.
+    Hide,
+}
+
+/// A motif instance: an all-public graph plus the protected edge.
+#[derive(Debug, Clone)]
+pub struct Motif {
+    /// Which motif.
+    pub kind: MotifKind,
+    /// The 4–5 node graph (all nodes Public).
+    pub graph: Graph,
+    /// The dashed "first edge" of Fig. 6.
+    pub protected_edge: Edge,
+    /// Single-predicate lattice used by the evaluation.
+    pub lattice: PrivilegeLattice,
+}
+
+impl Motif {
+    /// Builds a motif.
+    pub fn new(kind: MotifKind) -> Self {
+        let lattice = PrivilegeLattice::public_only();
+        let p = lattice.public();
+        let mut g = Graph::new();
+        let mut add = |label: &str| g.add_node(label, p);
+        let protected_edge;
+        match kind {
+            MotifKind::Star => {
+                let spoke = add("n0");
+                let hub = add("hub");
+                let l2 = add("n2");
+                let l3 = add("n3");
+                let l4 = add("n4");
+                protected_edge = (spoke, hub);
+                for (a, b) in [(spoke, hub), (hub, l2), (hub, l3), (hub, l4)] {
+                    g.add_edge(a, b).expect("unique");
+                }
+            }
+            MotifKind::Chain => {
+                let n: Vec<_> = (0..5).map(|i| add(&format!("n{i}"))).collect();
+                protected_edge = (n[0], n[1]);
+                for w in n.windows(2) {
+                    g.add_edge(w[0], w[1]).expect("unique");
+                }
+            }
+            MotifKind::Lattice => {
+                let a = add("a");
+                let b = add("b");
+                let c = add("c");
+                let d = add("d");
+                let e = add("e");
+                protected_edge = (a, b);
+                for (x, y) in [(a, b), (a, c), (b, d), (c, d), (d, e)] {
+                    g.add_edge(x, y).expect("unique");
+                }
+            }
+            MotifKind::Diamond => {
+                let entry = add("entry");
+                let top = add("top");
+                let left = add("left");
+                let right = add("right");
+                let bottom = add("bottom");
+                protected_edge = (entry, top);
+                for (x, y) in [
+                    (entry, top),
+                    (top, left),
+                    (top, right),
+                    (left, bottom),
+                    (right, bottom),
+                ] {
+                    g.add_edge(x, y).expect("unique");
+                }
+            }
+            MotifKind::Tree => {
+                let root = add("root");
+                let l = add("l");
+                let r = add("r");
+                let ll = add("ll");
+                let lr = add("lr");
+                protected_edge = (root, l);
+                for (x, y) in [(root, l), (root, r), (l, ll), (l, lr)] {
+                    g.add_edge(x, y).expect("unique");
+                }
+            }
+            MotifKind::InvertedTree => {
+                let leaf_a = add("leaf_a");
+                let leaf_b = add("leaf_b");
+                let merge = add("merge");
+                let root = add("root");
+                protected_edge = (leaf_a, merge);
+                for (x, y) in [(leaf_a, merge), (leaf_b, merge), (merge, root)] {
+                    g.add_edge(x, y).expect("unique");
+                }
+            }
+            MotifKind::Bipartite => {
+                let s0 = add("s0");
+                let s1 = add("s1");
+                let t0 = add("t0");
+                let t1 = add("t1");
+                protected_edge = (s0, t0);
+                for (x, y) in [(s0, t0), (s0, t1), (s1, t0), (s1, t1)] {
+                    g.add_edge(x, y).expect("unique");
+                }
+            }
+        }
+        Self {
+            kind,
+            graph: g,
+            protected_edge,
+            lattice,
+        }
+    }
+
+    /// Markings protecting the designated edge with the given mode.
+    pub fn markings(&self, protection: EdgeProtection) -> MarkingStore {
+        let mut store = MarkingStore::new();
+        let marking = match protection {
+            EdgeProtection::Surrogate => Marking::Surrogate,
+            EdgeProtection::Hide => Marking::Hide,
+        };
+        store.set(
+            self.protected_edge.1,
+            self.protected_edge,
+            self.lattice.public(),
+            marking,
+        );
+        store
+    }
+}
+
+/// All seven motifs.
+pub fn all_motifs() -> Vec<Motif> {
+    MotifKind::ALL.iter().map(|&k| Motif::new(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surrogate_core::account::{generate, generate_hide, ProtectionContext};
+    use surrogate_core::measures::path_utility;
+    use surrogate_core::surrogate::SurrogateCatalog;
+
+    #[test]
+    fn shapes_are_four_to_five_nodes() {
+        for motif in all_motifs() {
+            let n = motif.graph.node_count();
+            assert!(
+                (4..=5).contains(&n),
+                "{}: {n} nodes outside the paper's 4–5 range",
+                motif.kind.name()
+            );
+            assert!(motif.graph.is_connected(), "{}", motif.kind.name());
+            assert!(motif.graph.is_acyclic(), "{}", motif.kind.name());
+            assert!(
+                motif
+                    .graph
+                    .has_edge(motif.protected_edge.0, motif.protected_edge.1),
+                "{}: protected edge missing",
+                motif.kind.name()
+            );
+        }
+    }
+
+    fn utilities(kind: MotifKind) -> (f64, f64) {
+        let motif = Motif::new(kind);
+        let catalog = SurrogateCatalog::new();
+        let public = motif.lattice.public();
+        let sur_markings = motif.markings(EdgeProtection::Surrogate);
+        let hide_markings = motif.markings(EdgeProtection::Hide);
+        let sur = {
+            let ctx =
+                ProtectionContext::new(&motif.graph, &motif.lattice, &sur_markings, &catalog);
+            generate(&ctx, public).unwrap()
+        };
+        let hide = {
+            let ctx =
+                ProtectionContext::new(&motif.graph, &motif.lattice, &hide_markings, &catalog);
+            generate_hide(&ctx, public).unwrap()
+        };
+        (
+            path_utility(&motif.graph, &sur),
+            path_utility(&motif.graph, &hide),
+        )
+    }
+
+    #[test]
+    fn surrogating_restores_utility_on_reconnectable_motifs() {
+        for kind in [
+            MotifKind::Star,
+            MotifKind::Chain,
+            MotifKind::Diamond,
+            MotifKind::Tree,
+            MotifKind::InvertedTree,
+        ] {
+            let (sur, hide) = utilities(kind);
+            assert!(
+                sur > hide,
+                "{}: surrogate {sur} should beat hide {hide}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bipartite_and_lattice_show_no_difference() {
+        for kind in [MotifKind::Bipartite, MotifKind::Lattice] {
+            let (sur, hide) = utilities(kind);
+            assert_eq!(
+                sur,
+                hide,
+                "{}: §6.2 predicts identical utility",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn star_surrogate_reconnects_everything() {
+        let motif = Motif::new(MotifKind::Star);
+        let catalog = SurrogateCatalog::new();
+        let markings = motif.markings(EdgeProtection::Surrogate);
+        let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &markings, &catalog);
+        let account = generate(&ctx, motif.lattice.public()).unwrap();
+        assert!(account.graph().is_connected());
+        assert_eq!(account.surrogate_edge_count(), 3, "spoke→each leaf");
+        assert!(
+            !account
+                .graph()
+                .has_edge(motif.protected_edge.0, motif.protected_edge.1),
+            "protected edge itself stays hidden"
+        );
+    }
+
+    #[test]
+    fn lattice_surrogate_changes_nothing() {
+        let motif = Motif::new(MotifKind::Lattice);
+        let catalog = SurrogateCatalog::new();
+        let markings = motif.markings(EdgeProtection::Surrogate);
+        let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &markings, &catalog);
+        let account = generate(&ctx, motif.lattice.public()).unwrap();
+        assert_eq!(
+            account.surrogate_edge_count(),
+            0,
+            "parallel paths make the surrogate edge redundant"
+        );
+    }
+
+    #[test]
+    fn protected_edge_never_appears_in_either_account() {
+        for motif in all_motifs() {
+            let catalog = SurrogateCatalog::new();
+            for protection in [EdgeProtection::Surrogate, EdgeProtection::Hide] {
+                let markings = motif.markings(protection);
+                let ctx =
+                    ProtectionContext::new(&motif.graph, &motif.lattice, &markings, &catalog);
+                let account = generate(&ctx, motif.lattice.public()).unwrap();
+                assert!(
+                    !account.original_edge_present(motif.protected_edge),
+                    "{}: {protection:?} leaked the protected edge",
+                    motif.kind.name()
+                );
+            }
+        }
+    }
+}

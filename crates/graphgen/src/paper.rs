@@ -1,0 +1,494 @@
+//! The paper's worked examples: the Fig. 1 sample graph and privilege
+//! classes, the four Fig. 2 protection scenarios, and the Fig. 11
+//! provenance example.
+//!
+//! These pin the library to the paper's published numbers:
+//! PathUtility(naïve) = .13, NodeUtility(naïve) = 6/11, and Table 1's
+//! path utilities .38 / .27 / .13 / .27.
+
+use surrogate_core::account::{generate, generate_naive_node_hide, ProtectedAccount, ProtectionContext};
+use surrogate_core::error::Result;
+use surrogate_core::feature::Features;
+use surrogate_core::graph::{Graph, NodeId};
+use surrogate_core::marking::{Marking, MarkingStore};
+use surrogate_core::privilege::{PrivilegeId, PrivilegeLattice};
+use surrogate_core::surrogate::{SurrogateCatalog, SurrogateDef};
+
+/// The Fig. 1(a) sample graph with the Fig. 1(b) privilege classes.
+///
+/// Topology (layered as drawn: `a1 a2 b` / `c` / `d e f g` / `h i j`):
+/// `a1→c, a2→c, b→c, c→d, c→e, c→f, f→g, g→h, g→i, g→j`.
+///
+/// Privileges: `Public ⊑ Low-2 ⊑ High-2`; `High-1` incomparable with both.
+/// Sensitivity: `a1, a2, d, e, f` require High-1 (invisible to a High-2
+/// consumer); `g` requires High-2 (so `HW(G) = {High-1, High-2}` as stated
+/// in §3.1); the rest are Public.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The sample graph `G`.
+    pub graph: Graph,
+    /// The Fig. 1(b) privilege lattice.
+    pub lattice: PrivilegeLattice,
+    /// Bottom predicate.
+    pub public: PrivilegeId,
+    /// "Low-2" — business partners.
+    pub low2: PrivilegeId,
+    /// "High-1" — e.g. a newly acquired company.
+    pub high1: PrivilegeId,
+    /// "High-2" — highly trusted partners.
+    pub high2: PrivilegeId,
+    /// Node ids in figure order: `a1 a2 b c d e f g h i j`.
+    pub nodes: [NodeId; 11],
+}
+
+impl Figure1 {
+    /// Builds the example.
+    pub fn new() -> Self {
+        let mut builder = PrivilegeLattice::builder();
+        let public = builder.add("Public").expect("fresh builder");
+        let low2 = builder.add("Low-2").expect("fresh builder");
+        let high1 = builder.add("High-1").expect("fresh builder");
+        let high2 = builder.add("High-2").expect("fresh builder");
+        builder.declare_dominates(low2, public);
+        builder.declare_dominates(high1, public);
+        builder.declare_dominates(high2, low2);
+        let lattice = builder.finish().expect("figure 1b is a valid lattice");
+
+        let mut graph = Graph::new();
+        let a1 = graph.add_node("a1", high1);
+        let a2 = graph.add_node("a2", high1);
+        let b = graph.add_node("b", public);
+        let c = graph.add_node("c", public);
+        let d = graph.add_node("d", high1);
+        let e = graph.add_node("e", high1);
+        let f = graph.add_node_with_features(
+            "f",
+            Features::new().with("kind", "gang affiliation"),
+            high1,
+        );
+        let g = graph.add_node("g", high2);
+        let h = graph.add_node("h", public);
+        let i = graph.add_node("i", public);
+        let j = graph.add_node("j", public);
+        for (from, to) in [
+            (a1, c),
+            (a2, c),
+            (b, c),
+            (c, d),
+            (c, e),
+            (c, f),
+            (f, g),
+            (g, h),
+            (g, i),
+            (g, j),
+        ] {
+            graph.add_edge(from, to).expect("figure edges are unique");
+        }
+        Self {
+            graph,
+            lattice,
+            public,
+            low2,
+            high1,
+            high2,
+            nodes: [a1, a2, b, c, d, e, f, g, h, i, j],
+        }
+    }
+
+    /// Node id by figure label (`"a1"`, `"b"`, … `"j"`).
+    pub fn node(&self, label: &str) -> NodeId {
+        self.graph
+            .find_by_label(label)
+            .unwrap_or_else(|| panic!("no figure node {label:?}"))
+    }
+
+    /// The sensitive edge whose opacity Table 1 reports: `f → g`.
+    pub fn sensitive_edge(&self) -> (NodeId, NodeId) {
+        (self.node("f"), self.node("g"))
+    }
+
+    /// The naïvely protected account `G'` of Fig. 1(c): a High-2 consumer
+    /// with plain all-or-nothing hiding.
+    pub fn naive_account(&self) -> Result<ProtectedAccount> {
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&self.graph, &self.lattice, &markings, &catalog);
+        generate_naive_node_hide(&ctx, self.high2)
+    }
+}
+
+impl Default for Figure1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The four protection scenarios of Fig. 2, all with `HW(G') = {High-2}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure2Scenario {
+    /// (a) surrogate node `f'` with visible edges `c→f'→g`.
+    A,
+    /// (b) `f` hidden entirely, surrogate edge `c→g`.
+    B,
+    /// (c) surrogate node `f'` with hidden edges: `f'` isolated, no `c–g`.
+    C,
+    /// (d) surrogate node `f'` (isolated) plus surrogate edge `c→g`.
+    D,
+}
+
+impl Figure2Scenario {
+    /// All four scenarios in figure order.
+    pub const ALL: [Figure2Scenario; 4] = [
+        Figure2Scenario::A,
+        Figure2Scenario::B,
+        Figure2Scenario::C,
+        Figure2Scenario::D,
+    ];
+
+    /// Figure label, `"(a)"` … `"(d)"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Figure2Scenario::A => "(a)",
+            Figure2Scenario::B => "(b)",
+            Figure2Scenario::C => "(c)",
+            Figure2Scenario::D => "(d)",
+        }
+    }
+}
+
+/// A Fig. 2 scenario bundled with its markings and catalog.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// The underlying Fig. 1 example.
+    pub base: Figure1,
+    /// Scenario identifier.
+    pub scenario: Figure2Scenario,
+    /// Incidence markings for High-2 (the dotted boxes of Fig. 2).
+    pub markings: MarkingStore,
+    /// Surrogate catalog (scenarios a, c, d register `f'`).
+    pub catalog: SurrogateCatalog,
+}
+
+impl Figure2 {
+    /// Builds the scenario.
+    pub fn new(scenario: Figure2Scenario) -> Self {
+        let base = Figure1::new();
+        let f = base.node("f");
+        let c = base.node("c");
+        let g = base.node("g");
+        let high2 = base.high2;
+        let mut markings = MarkingStore::new();
+        let mut catalog = SurrogateCatalog::new();
+
+        let register_f_prime = |catalog: &mut SurrogateCatalog| {
+            catalog.add(
+                f,
+                SurrogateDef {
+                    label: "f'".into(),
+                    features: Features::new().with("kind", "a political cause"),
+                    lowest: base.low2,
+                    info_score: 0.5,
+                },
+            );
+        };
+
+        match scenario {
+            Figure2Scenario::A => {
+                // All four incidences Visible (the default).
+                register_f_prime(&mut catalog);
+            }
+            Figure2Scenario::B => {
+                // V S | S V: f's role hidden, no surrogate node.
+                markings.set(f, (c, f), high2, Marking::Surrogate);
+                markings.set(f, (f, g), high2, Marking::Surrogate);
+            }
+            Figure2Scenario::C => {
+                // V H | S H: both edges carry a Hide marking.
+                markings.set(f, (c, f), high2, Marking::Hide);
+                markings.set(f, (f, g), high2, Marking::Surrogate);
+                markings.set(g, (f, g), high2, Marking::Hide);
+                register_f_prime(&mut catalog);
+            }
+            Figure2Scenario::D => {
+                // V S | S V with the surrogate node registered.
+                markings.set(f, (c, f), high2, Marking::Surrogate);
+                markings.set(f, (f, g), high2, Marking::Surrogate);
+                register_f_prime(&mut catalog);
+            }
+        }
+        Self {
+            base,
+            scenario,
+            markings,
+            catalog,
+        }
+    }
+
+    /// Generates the scenario's protected account for High-2.
+    pub fn account(&self) -> Result<ProtectedAccount> {
+        let ctx = ProtectionContext::new(
+            &self.base.graph,
+            &self.base.lattice,
+            &self.markings,
+            &self.catalog,
+        );
+        generate(&ctx, self.base.high2)
+    }
+}
+
+/// The Fig. 11 emergency-preparedness provenance example (Appendix A).
+#[derive(Debug, Clone)]
+pub struct Figure11 {
+    /// The provenance graph (a DAG; arrows follow data flow over time).
+    pub graph: Graph,
+    /// Privilege classes of Fig. 11(b).
+    pub lattice: PrivilegeLattice,
+    /// Public bottom.
+    pub public: PrivilegeId,
+    /// Emergency Responder.
+    pub er: PrivilegeId,
+    /// Cleared Emergency Responder (dominates ER).
+    pub cer: PrivilegeId,
+    /// Medical Provider.
+    pub mp: PrivilegeId,
+    /// National Security.
+    pub ns: PrivilegeId,
+    /// Markings protecting sensitive roles for ER consumers.
+    pub markings: MarkingStore,
+    /// Surrogates for the protected processes.
+    pub catalog: SurrogateCatalog,
+}
+
+impl Figure11 {
+    /// Builds the provenance example.
+    pub fn new() -> Self {
+        let mut builder = PrivilegeLattice::builder();
+        let public = builder.add("Public").expect("fresh builder");
+        let er = builder.add("Emergency Responder").expect("fresh builder");
+        let cer = builder
+            .add("Cleared Emergency Responder")
+            .expect("fresh builder");
+        let mp = builder.add("Medical Provider").expect("fresh builder");
+        let ns = builder.add("National Security").expect("fresh builder");
+        builder.declare_dominates(er, public);
+        builder.declare_dominates(cer, er);
+        builder.declare_dominates(mp, public);
+        builder.declare_dominates(ns, public);
+        let lattice = builder.finish().expect("figure 11b is a valid lattice");
+
+        let mut graph = Graph::new();
+        let ts = |t: i64| Features::new().with("timestamp", surrogate_core::feature::FeatureValue::Timestamp(t));
+        let pr1 = graph.add_node_with_features("Patient Record 1", ts(0), mp);
+        let pr2 = graph.add_node_with_features("Patient Record 2", ts(1), mp);
+        let pr3 = graph.add_node_with_features("Patient Record 3", ts(2), mp);
+        let aggregator = graph.add_node("HIPAA-Compliant Aggregator", mp);
+        let affected = graph.add_node("Number of affected patients at facility", er);
+        let bio_intel = graph.add_node("Bio-Threat Intelligence", ns);
+        let threat = graph.add_node("Threat Level", ns);
+        let history = graph.add_node("Historical Disease Data Region 1", public);
+        let cdc_model = graph.add_node("CDC Regional Epidemic Model", public);
+        let projector = graph.add_node("Epidemiological Projector, EPFF v3", er);
+        let epidemic_model = graph.add_node("Specific Epidemic Model", er);
+        let simulator = graph.add_node("Trend Model Simulator", er);
+        let stockpile = graph.add_node("Emergency Supplies Stockpile", cer);
+        let supply = graph.add_node("Supply Analysis", cer);
+        let planning = graph.add_node("Local Action Planning", cer);
+        let plan = graph.add_node("Emergency Treatment Plan", er);
+        for (from, to) in [
+            (pr1, aggregator),
+            (pr2, aggregator),
+            (pr3, aggregator),
+            (aggregator, affected),
+            (bio_intel, threat),
+            (history, cdc_model),
+            (cdc_model, projector),
+            (threat, projector),
+            (affected, projector),
+            (projector, epidemic_model),
+            (epidemic_model, simulator),
+            (simulator, planning),
+            (stockpile, supply),
+            (supply, planning),
+            (planning, plan),
+        ] {
+            graph.add_edge(from, to).expect("figure edges are unique");
+        }
+
+        // Providers protect the CER-only planning chain for ER consumers:
+        // the planning process's role is surrogate-marked so the plan's
+        // provenance stays traversable, while the supply chain is hidden
+        // outright.
+        let mut markings = MarkingStore::new();
+        markings.set_node(planning, er, Marking::Surrogate);
+        markings.set_node(supply, er, Marking::Hide);
+        markings.set_node(stockpile, er, Marking::Hide);
+
+        let mut catalog = SurrogateCatalog::new();
+        catalog.add(
+            planning,
+            SurrogateDef {
+                label: "a planning process".into(),
+                features: Features::new(),
+                lowest: er,
+                info_score: 0.3,
+            },
+        );
+
+        Self {
+            graph,
+            lattice,
+            public,
+            er,
+            cer,
+            mp,
+            ns,
+            markings,
+            catalog,
+        }
+    }
+
+    /// Protected account for an Emergency Responder.
+    pub fn er_account(&self) -> Result<ProtectedAccount> {
+        let ctx = ProtectionContext::new(&self.graph, &self.lattice, &self.markings, &self.catalog);
+        generate(&ctx, self.er)
+    }
+}
+
+impl Default for Figure11 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surrogate_core::hw::high_water_set;
+    use surrogate_core::measures::{node_utility, path_utility};
+
+    #[test]
+    fn figure1_shape() {
+        let fig = Figure1::new();
+        assert_eq!(fig.graph.node_count(), 11);
+        assert_eq!(fig.graph.edge_count(), 10);
+        assert!(fig.graph.is_connected());
+        assert!(fig.graph.is_acyclic());
+        // b is connected to all ten other nodes (§4.1).
+        let b = fig.node("b");
+        assert_eq!(fig.graph.connected_counts()[b.index()], 10);
+    }
+
+    #[test]
+    fn figure1_high_water_is_high1_high2() {
+        let fig = Figure1::new();
+        let hw = high_water_set(&fig.graph, &fig.lattice);
+        assert_eq!(hw.len(), 2);
+        assert!(hw.contains(&fig.high1));
+        assert!(hw.contains(&fig.high2));
+    }
+
+    #[test]
+    fn naive_account_matches_figure_1c() {
+        let fig = Figure1::new();
+        let account = fig.naive_account().unwrap();
+        // Visible via High-2: b, c, g, h, i, j.
+        assert_eq!(account.graph().node_count(), 6);
+        // Edges among them: b→c, g→h, g→i, g→j.
+        assert_eq!(account.graph().edge_count(), 4);
+        // §4.1: %P(b') = 1/10, %P(h') = 3/10, PathUtility = .13.
+        let pcts = surrogate_core::measures::path_percentages(&fig.graph, &account);
+        let b = fig.node("b");
+        let h = fig.node("h");
+        assert!((pcts[b.index()] - 0.1).abs() < 1e-12);
+        assert!((pcts[h.index()] - 0.3).abs() < 1e-12);
+        let pu = path_utility(&fig.graph, &account);
+        assert!((pu - 1.4 / 11.0).abs() < 1e-12, "PathUtility {pu} ≠ .13");
+        // Fig. 3c: NodeUtility = 6/11.
+        let nu = node_utility(&fig.graph, &account);
+        assert!((nu - 6.0 / 11.0).abs() < 1e-12, "NodeUtility {nu} ≠ 6/11");
+    }
+
+    #[test]
+    fn figure2_path_utilities_match_table1() {
+        // Table 1: (a) .38, (b) .27, (c) .13, (d) .27.
+        let expect = [
+            (Figure2Scenario::A, 4.2 / 11.0),
+            (Figure2Scenario::B, 3.0 / 11.0),
+            (Figure2Scenario::C, 1.4 / 11.0),
+            (Figure2Scenario::D, 3.0 / 11.0),
+        ];
+        for (scenario, want) in expect {
+            let fig = Figure2::new(scenario);
+            let account = fig.account().unwrap();
+            let got = path_utility(&fig.base.graph, &account);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "{}: path utility {got} ≠ {want}",
+                scenario.label()
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_account_shapes() {
+        // (a): f' wired in place.
+        let fig = Figure2::new(Figure2Scenario::A);
+        let account = fig.account().unwrap();
+        assert_eq!(account.graph().node_count(), 7);
+        assert_eq!(account.surrogate_edge_count(), 0);
+        assert!(account.original_edge_present(fig.base.sensitive_edge()));
+
+        // (b): f gone, surrogate edge c→g.
+        let fig = Figure2::new(Figure2Scenario::B);
+        let account = fig.account().unwrap();
+        assert_eq!(account.graph().node_count(), 6);
+        assert_eq!(account.surrogate_edge_count(), 1);
+        assert!(!account.original_edge_present(fig.base.sensitive_edge()));
+
+        // (c): f' isolated, no surrogate edge.
+        let fig = Figure2::new(Figure2Scenario::C);
+        let account = fig.account().unwrap();
+        assert_eq!(account.graph().node_count(), 7);
+        assert_eq!(account.surrogate_edge_count(), 0);
+        let f2 = account.account_node(fig.base.node("f")).unwrap();
+        assert_eq!(account.graph().degree(f2), 0);
+
+        // (d): f' isolated plus surrogate edge c→g.
+        let fig = Figure2::new(Figure2Scenario::D);
+        let account = fig.account().unwrap();
+        assert_eq!(account.graph().node_count(), 7);
+        assert_eq!(account.surrogate_edge_count(), 1);
+        let f2 = account.account_node(fig.base.node("f")).unwrap();
+        assert_eq!(account.graph().degree(f2), 0);
+    }
+
+    #[test]
+    fn figure11_er_account_keeps_provenance_traversable() {
+        let fig = Figure11::new();
+        let account = fig.er_account().unwrap();
+        let plan = fig.graph.find_by_label("Emergency Treatment Plan").unwrap();
+        let plan2 = account.account_node(plan).unwrap();
+        // Appendix A: prior systems showed the ER user nothing upstream of
+        // the plan; with surrogates the simulator chain is reachable.
+        let upstream = surrogate_core::query::ancestors(account.graph(), plan2);
+        assert!(
+            upstream.len() >= 5,
+            "expected a rich upstream view, got {}",
+            upstream.len()
+        );
+        // The CER-only supply chain stays invisible.
+        let stockpile = fig
+            .graph
+            .find_by_label("Emergency Supplies Stockpile")
+            .unwrap();
+        assert!(account.account_node(stockpile).is_none());
+    }
+
+    #[test]
+    fn figure11_is_a_dag() {
+        let fig = Figure11::new();
+        assert!(fig.graph.is_acyclic());
+        assert!(fig.graph.is_connected());
+        assert_eq!(fig.graph.node_count(), 16);
+    }
+}

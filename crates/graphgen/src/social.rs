@@ -1,0 +1,250 @@
+//! Social-network generator for the paper's running scenario (§1): people
+//! connected by relationships, with sensitive affiliation nodes (a gang, a
+//! political cause) linking some of them.
+//!
+//! People are wired by preferential attachment (bidirectional edges, as
+//! the paper models undirected ties). A configurable number of sensitive
+//! *affiliation* nodes connect random member cliques; members' ties to the
+//! affiliation are what a protected account must conceal while keeping the
+//! member-to-member connectivity informative.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use surrogate_core::feature::Features;
+use surrogate_core::graph::{Graph, NodeId};
+use surrogate_core::marking::{Marking, MarkingStore};
+use surrogate_core::privilege::{PrivilegeId, PrivilegeLattice};
+use surrogate_core::surrogate::{SurrogateCatalog, SurrogateDef};
+
+/// Parameters for a generated social network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocialConfig {
+    /// Number of person nodes.
+    pub people: usize,
+    /// New ties per person during attachment (≥ 1).
+    pub ties_per_person: usize,
+    /// Number of sensitive affiliation nodes.
+    pub affiliations: usize,
+    /// Members per affiliation drawn from the social fabric.
+    pub members_per_affiliation: usize,
+    /// Additional members per affiliation with *no* fabric ties — people
+    /// related to the rest of the network only through the affiliation
+    /// (the paper's c–g-through-the-gang situation).
+    pub lone_members_per_affiliation: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        Self {
+            people: 40,
+            ties_per_person: 2,
+            affiliations: 3,
+            members_per_affiliation: 4,
+            lone_members_per_affiliation: 0,
+            seed: 5,
+        }
+    }
+}
+
+/// A generated social network ready for protection.
+#[derive(Debug, Clone)]
+pub struct SocialNetwork {
+    /// People plus affiliation nodes; ties are bidirectional edge pairs.
+    pub graph: Graph,
+    /// `Public ⊑ Investigator` lattice.
+    pub lattice: PrivilegeLattice,
+    /// Open predicate.
+    pub public: PrivilegeId,
+    /// Predicate for the investigation team.
+    pub investigator: PrivilegeId,
+    /// Surrogate markings concealing affiliation membership publicly.
+    pub markings: MarkingStore,
+    /// Coarse surrogates for the affiliations.
+    pub catalog: SurrogateCatalog,
+    /// Person node ids.
+    pub people: Vec<NodeId>,
+    /// Affiliation node ids.
+    pub affiliations: Vec<NodeId>,
+}
+
+/// Generates a social network per the config.
+pub fn generate(config: SocialConfig) -> SocialNetwork {
+    assert!(config.people >= 2 && config.ties_per_person >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (lattice, preds) =
+        PrivilegeLattice::flat(&["Investigator"]).expect("two-level lattice is valid");
+    let investigator = preds[0];
+    let public = lattice.public();
+
+    let mut graph = Graph::new();
+    let people: Vec<NodeId> = (0..config.people)
+        .map(|i| {
+            graph.add_node_with_features(
+                format!("person-{i}"),
+                Features::new().with("name", format!("P{i}")),
+                public,
+            )
+        })
+        .collect();
+
+    // Preferential attachment over an endpoint pool: each accepted tie
+    // pushes both ends, biasing future picks toward high-degree nodes.
+    let mut pool: Vec<usize> = vec![0, 1];
+    graph
+        .add_bidirectional(people[0], people[1])
+        .expect("first tie is fresh");
+    for i in 2..config.people {
+        let mut made = 0;
+        let mut attempts = 0;
+        while made < config.ties_per_person && attempts < 20 * config.ties_per_person {
+            attempts += 1;
+            let target = pool[rng.gen_range(0..pool.len())];
+            if target != i && graph.add_bidirectional(people[i], people[target]).is_ok() {
+                pool.push(i);
+                pool.push(target);
+                made += 1;
+            }
+        }
+        if made == 0 {
+            // Guarantee connectivity even for degenerate configs.
+            let target = (i + 1) % 2;
+            let _ = graph.add_bidirectional(people[i], people[target]);
+        }
+    }
+
+    // Sensitive affiliations linking member cliques.
+    let mut markings = MarkingStore::new();
+    let mut catalog = SurrogateCatalog::new();
+    let affiliations: Vec<NodeId> = (0..config.affiliations)
+        .map(|a| {
+            let node = graph.add_node_with_features(
+                format!("affiliation-{a}"),
+                Features::new().with("kind", "gang"),
+                investigator,
+            );
+            markings.set_node(node, public, Marking::Surrogate);
+            catalog.add(
+                node,
+                SurrogateDef {
+                    label: format!("undisclosed association {a}"),
+                    features: Features::new(),
+                    lowest: public,
+                    info_score: 0.2,
+                },
+            );
+            for _ in 0..config.members_per_affiliation {
+                let member = people[rng.gen_range(0..people.len())];
+                // Ties run both ways so protected accounts keep symmetric
+                // member↔member connectivity.
+                let _ = graph.add_bidirectional(member, node);
+            }
+            for l in 0..config.lone_members_per_affiliation {
+                let lone = graph.add_node_with_features(
+                    format!("lone-{a}-{l}"),
+                    Features::new().with("name", format!("L{a}-{l}")),
+                    public,
+                );
+                graph
+                    .add_bidirectional(lone, node)
+                    .expect("lone member is fresh");
+            }
+            node
+        })
+        .collect();
+
+    SocialNetwork {
+        graph,
+        lattice,
+        public,
+        investigator,
+        markings,
+        catalog,
+        people,
+        affiliations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surrogate_core::account::{generate as protect, ProtectionContext};
+    use surrogate_core::measures::path_utility;
+
+    #[test]
+    fn network_shape() {
+        let net = generate(SocialConfig::default());
+        assert_eq!(net.people.len(), 40);
+        assert_eq!(net.affiliations.len(), 3);
+        assert_eq!(net.graph.node_count(), 43);
+        assert!(net.graph.is_connected());
+    }
+
+    #[test]
+    fn ties_are_bidirectional() {
+        let net = generate(SocialConfig::default());
+        for (a, b) in net.graph.edges() {
+            assert!(
+                net.graph.has_edge(b, a),
+                "tie {a}→{b} lacks its reverse"
+            );
+        }
+    }
+
+    #[test]
+    fn public_account_conceals_affiliations_but_keeps_ties() {
+        let net = generate(SocialConfig::default());
+        let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
+        let account = protect(&ctx, net.public).unwrap();
+        for &a in &net.affiliations {
+            let a2 = account.account_node(a).expect("surrogate registered");
+            assert_eq!(
+                account.graph().degree(a2),
+                0,
+                "affiliation must be unlinked publicly"
+            );
+        }
+        // Members connected through an affiliation stay mutually reachable
+        // via surrogate edges, so utility beats the naive baseline.
+        let naive = surrogate_core::account::generate_naive_node_hide(&ctx, net.public).unwrap();
+        assert!(path_utility(&net.graph, &account) >= path_utility(&net.graph, &naive));
+    }
+
+    #[test]
+    fn investigator_sees_everything() {
+        let net = generate(SocialConfig::default());
+        let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
+        let account = protect(&ctx, net.investigator).unwrap();
+        assert_eq!(account.graph().node_count(), net.graph.node_count());
+        assert_eq!(account.graph().edge_count(), net.graph.edge_count());
+        assert_eq!(account.surrogate_node_count(), 0);
+    }
+
+    #[test]
+    fn lone_members_depend_on_the_affiliation() {
+        let net = generate(SocialConfig {
+            lone_members_per_affiliation: 2,
+            ..SocialConfig::default()
+        });
+        // Lone members exist and connect only through their affiliation.
+        let lone = net.graph.find_by_label("lone-0-0").unwrap();
+        assert_eq!(net.graph.degree(lone), 2, "one bidirectional tie");
+        // Under surrogate protection they stay related to other members...
+        let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
+        let sur = protect(&ctx, net.public).unwrap();
+        let hide =
+            surrogate_core::account::generate_hide(&ctx, net.public).unwrap();
+        assert!(
+            path_utility(&net.graph, &sur) > path_utility(&net.graph, &hide),
+            "surrogate edges must reconnect lone members"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(SocialConfig::default());
+        let b = generate(SocialConfig::default());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+}

@@ -1,0 +1,296 @@
+//! Synthetic graph generator for the §6.1.2 / §6.3 evaluation.
+//!
+//! The paper's synthetic set: 50 graphs of 200 nodes, connected ("no
+//! disconnected subgraphs"), directed, with connectedness swept so the
+//! average node has 30–100 "connected pairs", and 10%–90% of all edges
+//! protected. Connected pairs are read as the average per-node *reachable
+//! set* size (DESIGN.md §3.1 item 6) — the only reading consistent with
+//! "connected" 200-node graphs.
+//!
+//! Generation: a random attachment tree (connected, acyclic) plus random
+//! forward edges until the reachability target is met. Index-ordered edges
+//! keep the graph a DAG, matching the provenance motivation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use surrogate_core::graph::{Edge, Graph};
+use surrogate_core::marking::{Marking, MarkingStore};
+use surrogate_core::privilege::PrivilegeLattice;
+
+pub use crate::motif::EdgeProtection;
+
+/// Parameters for one synthetic graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of nodes (the paper uses 200).
+    pub nodes: usize,
+    /// Target average reachable-set size ("connected pairs", 30–100).
+    pub target_connected_pairs: f64,
+    /// Fraction of edges to protect (0.10–0.90).
+    pub protect_fraction: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 200,
+            target_connected_pairs: 50.0,
+            protect_fraction: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated synthetic graph with its protected-edge sample.
+#[derive(Debug, Clone)]
+pub struct SyntheticGraph {
+    /// The connected DAG (all nodes Public).
+    pub graph: Graph,
+    /// Randomly sampled protected edges (`protect_fraction` of all edges).
+    pub protected_edges: Vec<Edge>,
+    /// Single-predicate lattice used by the evaluation.
+    pub lattice: PrivilegeLattice,
+    /// The generating parameters.
+    pub config: SyntheticConfig,
+}
+
+impl SyntheticGraph {
+    /// Markings protecting every sampled edge with the given mode
+    /// (destination-side incidence, DESIGN.md §3.1 item 5).
+    pub fn markings(&self, protection: EdgeProtection) -> MarkingStore {
+        let marking = match protection {
+            EdgeProtection::Surrogate => Marking::Surrogate,
+            EdgeProtection::Hide => Marking::Hide,
+        };
+        let mut store = MarkingStore::new();
+        for &edge in &self.protected_edges {
+            store.set(edge.1, edge, self.lattice.public(), marking);
+        }
+        store
+    }
+
+    /// Average per-node reachable-set size actually achieved.
+    pub fn connected_pairs(&self) -> f64 {
+        self.graph.average_reachable()
+    }
+}
+
+/// Generates one synthetic graph per the config.
+pub fn generate(config: SyntheticConfig) -> SyntheticGraph {
+    assert!(config.nodes >= 2, "need at least two nodes");
+    assert!(
+        (0.0..=1.0).contains(&config.protect_fraction),
+        "protect_fraction must be a fraction"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let lattice = PrivilegeLattice::public_only();
+    let public = lattice.public();
+
+    let mut graph = Graph::with_capacity(config.nodes, config.nodes * 4);
+    let ids: Vec<_> = (0..config.nodes)
+        .map(|i| graph.add_node(format!("n{i}"), public))
+        .collect();
+
+    // Random attachment tree: connected and acyclic by construction.
+    for i in 1..config.nodes {
+        let parent = rng.gen_range(0..i);
+        graph
+            .add_edge(ids[parent], ids[i])
+            .expect("tree edges are unique");
+    }
+
+    // Densify with random forward (index-ordered) edges until the
+    // reachability target is met. Checking the target is O(V·E), so add
+    // edges in small batches between checks.
+    let batch = (config.nodes / 10).max(1);
+    let max_edges = config.nodes * (config.nodes - 1) / 2;
+    while graph.average_reachable() < config.target_connected_pairs
+        && graph.edge_count() < max_edges
+    {
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < batch && attempts < batch * 20 {
+            attempts += 1;
+            let a = rng.gen_range(0..config.nodes - 1);
+            let b = rng.gen_range(a + 1..config.nodes);
+            if graph.add_edge(ids[a], ids[b]).is_ok() {
+                added += 1;
+            }
+        }
+        if added == 0 {
+            // Random sampling stalls near saturation: fill any remaining
+            // forward slots deterministically so the generator either hits
+            // the target or the DAG is complete.
+            'fill: for a in 0..config.nodes - 1 {
+                for b in a + 1..config.nodes {
+                    if graph.add_edge(ids[a], ids[b]).is_ok() {
+                        added += 1;
+                        if added >= batch {
+                            break 'fill;
+                        }
+                    }
+                }
+            }
+            if added == 0 {
+                break; // the DAG is complete
+            }
+        }
+    }
+
+    // Sample the protected edges without replacement.
+    let edge_count = graph.edge_count();
+    let protect_count =
+        ((edge_count as f64 * config.protect_fraction).round() as usize).min(edge_count);
+    let mut indices: Vec<usize> = (0..edge_count).collect();
+    // Partial Fisher–Yates: the first `protect_count` slots become the sample.
+    for i in 0..protect_count {
+        let j = rng.gen_range(i..edge_count);
+        indices.swap(i, j);
+    }
+    let protected_edges = indices[..protect_count]
+        .iter()
+        .map(|&i| graph.edge_at(i))
+        .collect();
+
+    SyntheticGraph {
+        graph,
+        protected_edges,
+        lattice,
+        config,
+    }
+}
+
+/// The paper's experimental grid (§6.1.2): `connectivity_steps` values of
+/// the connected-pairs target evenly spanning 30–100, crossed with the
+/// given protection fractions. 10 steps × 5 fractions = the paper's 50
+/// graphs.
+pub fn paper_grid(
+    connectivity_steps: usize,
+    protect_fractions: &[f64],
+    base_seed: u64,
+) -> Vec<SyntheticConfig> {
+    assert!(connectivity_steps >= 2, "need at least two steps");
+    let mut configs = Vec::new();
+    for (pi, &fraction) in protect_fractions.iter().enumerate() {
+        for step in 0..connectivity_steps {
+            let target = 30.0 + 70.0 * step as f64 / (connectivity_steps - 1) as f64;
+            configs.push(SyntheticConfig {
+                nodes: 200,
+                target_connected_pairs: target,
+                protect_fraction: fraction,
+                seed: base_seed
+                    .wrapping_add(pi as u64)
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(step as u64),
+            });
+        }
+    }
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graph_matches_paper_invariants() {
+        let config = SyntheticConfig {
+            nodes: 200,
+            target_connected_pairs: 40.0,
+            protect_fraction: 0.3,
+            seed: 7,
+        };
+        let synthetic = generate(config);
+        assert_eq!(synthetic.graph.node_count(), 200);
+        assert!(synthetic.graph.is_connected(), "no disconnected subgraphs");
+        assert!(synthetic.graph.is_acyclic(), "provenance-style DAG");
+        assert!(
+            synthetic.connected_pairs() >= 40.0,
+            "reachability target met: {}",
+            synthetic.connected_pairs()
+        );
+        let expected = (synthetic.graph.edge_count() as f64 * 0.3).round() as usize;
+        assert_eq!(synthetic.protected_edges.len(), expected);
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        let config = SyntheticConfig::default();
+        let a = generate(config);
+        let b = generate(config);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.protected_edges, b.protected_edges);
+        let c = generate(SyntheticConfig {
+            seed: 43,
+            ..config
+        });
+        assert_ne!(
+            a.protected_edges, c.protected_edges,
+            "different seed, different sample"
+        );
+    }
+
+    #[test]
+    fn protected_edges_are_unique() {
+        let synthetic = generate(SyntheticConfig {
+            nodes: 50,
+            target_connected_pairs: 10.0,
+            protect_fraction: 0.9,
+            seed: 3,
+        });
+        let mut edges = synthetic.protected_edges.clone();
+        edges.sort();
+        edges.dedup();
+        assert_eq!(edges.len(), synthetic.protected_edges.len());
+    }
+
+    #[test]
+    fn connectivity_sweep_is_monotone_in_edges() {
+        let lo = generate(SyntheticConfig {
+            nodes: 100,
+            target_connected_pairs: 15.0,
+            protect_fraction: 0.1,
+            seed: 1,
+        });
+        let hi = generate(SyntheticConfig {
+            nodes: 100,
+            target_connected_pairs: 50.0,
+            protect_fraction: 0.1,
+            seed: 1,
+        });
+        assert!(hi.graph.edge_count() > lo.graph.edge_count());
+        assert!(hi.connected_pairs() > lo.connected_pairs());
+    }
+
+    #[test]
+    fn paper_grid_has_fifty_cells() {
+        let grid = paper_grid(10, &[0.1, 0.3, 0.5, 0.7, 0.9], 99);
+        assert_eq!(grid.len(), 50);
+        assert!(grid
+            .iter()
+            .all(|c| (30.0..=100.0).contains(&c.target_connected_pairs)));
+        let seeds: std::collections::HashSet<u64> = grid.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 50, "seeds must be distinct");
+    }
+
+    #[test]
+    fn markings_cover_every_protected_edge() {
+        let synthetic = generate(SyntheticConfig {
+            nodes: 30,
+            target_connected_pairs: 5.0,
+            protect_fraction: 0.5,
+            seed: 11,
+        });
+        let store = synthetic.markings(EdgeProtection::Hide);
+        for &e in &synthetic.protected_edges {
+            assert!(store.edge_hidden(e, synthetic.lattice.public()));
+        }
+        let store = synthetic.markings(EdgeProtection::Surrogate);
+        for &e in &synthetic.protected_edges {
+            assert!(!store.edge_visible(e, synthetic.lattice.public()));
+            assert!(!store.edge_hidden(e, synthetic.lattice.public()));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the workload generators: every generated workload
+//! satisfies the invariants its experiment relies on.
+
+use proptest::prelude::*;
+
+use graphgen::{
+    all_motifs, social, synthetic, workflow, EdgeProtection, SocialConfig, SyntheticConfig,
+    WorkflowConfig,
+};
+use surrogate_core::account::{generate as generate_surrogate, generate_hide, ProtectionContext};
+use surrogate_core::surrogate::SurrogateCatalog;
+use surrogate_core::validate::check_all;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Synthetic graphs honor §6.1.2: connected, acyclic, the protected
+    /// sample is the requested fraction, and reachability at least the
+    /// target (where the complete graph allows it).
+    #[test]
+    fn synthetic_invariants(
+        nodes in 20usize..120,
+        target_frac in 0.05f64..0.5,
+        protect in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let config = SyntheticConfig {
+            nodes,
+            target_connected_pairs: nodes as f64 * target_frac,
+            protect_fraction: protect,
+            seed,
+        };
+        let data = synthetic::generate(config);
+        prop_assert!(data.graph.is_connected());
+        prop_assert!(data.graph.is_acyclic());
+        prop_assert!(data.connected_pairs() >= config.target_connected_pairs.min((nodes - 1) as f64 / 2.0));
+        let expected = (data.graph.edge_count() as f64 * protect).round() as usize;
+        prop_assert_eq!(data.protected_edges.len(), expected.min(data.graph.edge_count()));
+        // Sample is unique and drawn from the graph's edges.
+        let mut sorted = data.protected_edges.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), data.protected_edges.len());
+        for &(a, b) in &data.protected_edges {
+            prop_assert!(data.graph.has_edge(a, b));
+        }
+    }
+
+    /// Protection of synthetic workloads always generates valid accounts
+    /// and never leaks a protected edge.
+    #[test]
+    fn synthetic_protection_is_valid(
+        nodes in 10usize..60,
+        protect in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let data = synthetic::generate(SyntheticConfig {
+            nodes,
+            target_connected_pairs: nodes as f64 / 5.0,
+            protect_fraction: protect,
+            seed,
+        });
+        let catalog = SurrogateCatalog::new();
+        let public = data.lattice.public();
+        for protection in [EdgeProtection::Surrogate, EdgeProtection::Hide] {
+            let markings = data.markings(protection);
+            let ctx = ProtectionContext::new(&data.graph, &data.lattice, &markings, &catalog);
+            let account = match protection {
+                EdgeProtection::Surrogate => generate_surrogate(&ctx, public).unwrap(),
+                EdgeProtection::Hide => generate_hide(&ctx, public).unwrap(),
+            };
+            for &edge in &data.protected_edges {
+                prop_assert!(
+                    !account.original_edge_present(edge),
+                    "{protection:?} leaked {edge:?}"
+                );
+            }
+            if matches!(protection, EdgeProtection::Surrogate) {
+                let violations = check_all(&ctx, &account);
+                prop_assert!(violations.is_empty(), "{violations:?}");
+            }
+        }
+    }
+
+    /// Workflows are connected DAGs with exactly the configured shape, and
+    /// their public accounts keep every node (all sensitive nodes carry
+    /// surrogates).
+    #[test]
+    fn workflow_invariants(
+        stages in 1usize..6,
+        width in 1usize..6,
+        sensitive in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let wf = workflow::generate(WorkflowConfig {
+            stages,
+            width,
+            max_fan_in: 3,
+            sensitive_fraction: sensitive,
+            seed,
+        });
+        prop_assert!(wf.graph.is_acyclic());
+        prop_assert!(wf.graph.is_connected());
+        prop_assert_eq!(wf.graph.node_count(), width + stages * width * 2);
+        prop_assert_eq!(wf.outputs.len(), width);
+        let ctx = ProtectionContext::new(&wf.graph, &wf.lattice, &wf.markings, &wf.catalog);
+        let account = generate_surrogate(&ctx, wf.public).unwrap();
+        prop_assert_eq!(account.graph().node_count(), wf.graph.node_count());
+        prop_assert_eq!(account.surrogate_node_count(), wf.sensitive.len());
+    }
+
+    /// Social networks are connected, ties are symmetric, and the
+    /// investigator view is the identity.
+    #[test]
+    fn social_invariants(
+        people in 4usize..40,
+        ties in 1usize..4,
+        affiliations in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let net = social::generate(SocialConfig {
+            people,
+            ties_per_person: ties,
+            affiliations,
+            members_per_affiliation: 3,
+            lone_members_per_affiliation: affiliations % 2,
+            seed,
+        });
+        prop_assert!(net.graph.is_connected());
+        for (a, b) in net.graph.edges() {
+            prop_assert!(net.graph.has_edge(b, a));
+        }
+        let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
+        let account = generate_surrogate(&ctx, net.investigator).unwrap();
+        prop_assert_eq!(account.graph().edge_count(), net.graph.edge_count());
+        prop_assert_eq!(account.surrogate_node_count(), 0);
+    }
+}
+
+#[test]
+fn motifs_are_stable_fixtures() {
+    // Motifs are deterministic by definition; protect both ways and check
+    // the §6.2 structural claims once more at the generator level.
+    for motif in all_motifs() {
+        let catalog = SurrogateCatalog::new();
+        let public = motif.lattice.public();
+        let sur_markings = motif.markings(EdgeProtection::Surrogate);
+        let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &sur_markings, &catalog);
+        let account = generate_surrogate(&ctx, public).unwrap();
+        let violations = check_all(&ctx, &account);
+        assert!(violations.is_empty(), "{:?}: {violations:?}", motif.kind);
+    }
+}

@@ -1,0 +1,549 @@
+//! Binary snapshot codec for the store.
+//!
+//! Little-endian, length-prefixed, versioned, and checksummed:
+//!
+//! ```text
+//! magic "PLUS" | version u16 | clock u64
+//! lattice:  u16 n  { str name }×n   u32 m  { u16 higher, u16 lower }×m
+//! nodes:    u32 n  { str label, u8 kind, u16 lowest, u64 created_at, features }×n
+//! edges:    u32 n  { u32 from, u32 to, u8 kind }×n
+//! policy:   u32 n  { u8 tag, payload }×n
+//! fnv1a-64 checksum over everything above
+//! ```
+//!
+//! Strings are `u32` length + UTF-8 bytes. Features are `u16` count of
+//! `(str key, u8 value-tag, value)` entries. The checksum catches torn
+//! writes and bit rot before a corrupt snapshot reaches the graph layer.
+
+use bytes::{BufMut, BytesMut};
+use surrogate_core::feature::{FeatureValue, Features};
+use surrogate_core::marking::Marking;
+use surrogate_core::privilege::PrivilegeId;
+
+use crate::error::CodecError;
+use crate::record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement, RecordId};
+
+/// Snapshot magic bytes.
+pub const MAGIC: &[u8; 4] = b"PLUS";
+/// Current snapshot version.
+pub const VERSION: u16 = 1;
+
+/// The plain data a snapshot carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotData {
+    /// Predicate nicknames, index = `PrivilegeId`.
+    pub lattice_names: Vec<String>,
+    /// Declared dominance edges `(higher, lower)`.
+    pub dominance: Vec<(PrivilegeId, PrivilegeId)>,
+    /// Node records in append order.
+    pub nodes: Vec<NodeRecord>,
+    /// Edge records in append order.
+    pub edges: Vec<EdgeRecord>,
+    /// Policy statements in application order.
+    pub policy: Vec<PolicyStatement>,
+    /// The store's logical clock.
+    pub clock: u64,
+}
+
+/// FNV-1a 64-bit, the snapshot integrity hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_features(buf: &mut BytesMut, features: &Features) {
+    buf.put_u16_le(features.len() as u16);
+    for (key, value) in features.iter() {
+        put_str(buf, key);
+        match value {
+            FeatureValue::Str(s) => {
+                buf.put_u8(0);
+                put_str(buf, s);
+            }
+            FeatureValue::Int(i) => {
+                buf.put_u8(1);
+                buf.put_i64_le(*i);
+            }
+            FeatureValue::Float(x) => {
+                buf.put_u8(2);
+                buf.put_f64_le(*x);
+            }
+            FeatureValue::Bool(b) => {
+                buf.put_u8(3);
+                buf.put_u8(*b as u8);
+            }
+            FeatureValue::Timestamp(t) => {
+                buf.put_u8(4);
+                buf.put_i64_le(*t);
+            }
+        }
+    }
+}
+
+fn marking_tag(m: Marking) -> u8 {
+    match m {
+        Marking::Visible => 0,
+        Marking::Hide => 1,
+        Marking::Surrogate => 2,
+    }
+}
+
+fn marking_from_tag(tag: u8) -> Result<Marking, CodecError> {
+    match tag {
+        0 => Ok(Marking::Visible),
+        1 => Ok(Marking::Hide),
+        2 => Ok(Marking::Surrogate),
+        _ => Err(CodecError::InvalidTag {
+            what: "marking",
+            tag,
+        }),
+    }
+}
+
+fn put_opt_predicate(buf: &mut BytesMut, p: Option<PrivilegeId>) {
+    match p {
+        Some(p) => {
+            buf.put_u8(1);
+            buf.put_u16_le(p.0);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Encodes a snapshot.
+pub fn encode(data: &SnapshotData) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(
+        64 + data.nodes.len() * 48 + data.edges.len() * 9 + data.policy.len() * 24,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(data.clock);
+
+    buf.put_u16_le(data.lattice_names.len() as u16);
+    for name in &data.lattice_names {
+        put_str(&mut buf, name);
+    }
+    buf.put_u32_le(data.dominance.len() as u32);
+    for &(hi, lo) in &data.dominance {
+        buf.put_u16_le(hi.0);
+        buf.put_u16_le(lo.0);
+    }
+
+    buf.put_u32_le(data.nodes.len() as u32);
+    for node in &data.nodes {
+        put_str(&mut buf, &node.label);
+        buf.put_u8(node.kind.tag());
+        buf.put_u16_le(node.lowest.0);
+        buf.put_u64_le(node.created_at);
+        put_features(&mut buf, &node.features);
+    }
+
+    buf.put_u32_le(data.edges.len() as u32);
+    for edge in &data.edges {
+        buf.put_u32_le(edge.from.0);
+        buf.put_u32_le(edge.to.0);
+        buf.put_u8(edge.kind.tag());
+    }
+
+    buf.put_u32_le(data.policy.len() as u32);
+    for statement in &data.policy {
+        match statement {
+            PolicyStatement::MarkIncidence {
+                node,
+                from,
+                to,
+                predicate,
+                marking,
+            } => {
+                buf.put_u8(0);
+                buf.put_u32_le(node.0);
+                buf.put_u32_le(from.0);
+                buf.put_u32_le(to.0);
+                put_opt_predicate(&mut buf, *predicate);
+                buf.put_u8(marking_tag(*marking));
+            }
+            PolicyStatement::MarkNode {
+                node,
+                predicate,
+                marking,
+            } => {
+                buf.put_u8(1);
+                buf.put_u32_le(node.0);
+                put_opt_predicate(&mut buf, *predicate);
+                buf.put_u8(marking_tag(*marking));
+            }
+            PolicyStatement::AddSurrogate {
+                node,
+                label,
+                features,
+                lowest,
+                info_score,
+            } => {
+                buf.put_u8(2);
+                buf.put_u32_le(node.0);
+                put_str(&mut buf, label);
+                put_features(&mut buf, features);
+                buf.put_u16_le(lowest.0);
+                buf.put_f64_le(*info_score);
+            }
+        }
+    }
+
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.to_vec()
+}
+
+/// Bounds-checked little-endian reader.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    fn features(&mut self) -> Result<Features, CodecError> {
+        let count = self.u16()?;
+        let mut features = Features::new();
+        for _ in 0..count {
+            let key = self.string()?;
+            let tag = self.u8()?;
+            let value = match tag {
+                0 => FeatureValue::Str(self.string()?),
+                1 => FeatureValue::Int(self.i64()?),
+                2 => FeatureValue::Float(self.f64()?),
+                3 => FeatureValue::Bool(self.u8()? != 0),
+                4 => FeatureValue::Timestamp(self.i64()?),
+                _ => {
+                    return Err(CodecError::InvalidTag {
+                        what: "feature value",
+                        tag,
+                    })
+                }
+            };
+            features.set(key, value);
+        }
+        Ok(features)
+    }
+
+    fn opt_predicate(&mut self) -> Result<Option<PrivilegeId>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(PrivilegeId(self.u16()?))),
+            tag => Err(CodecError::InvalidTag {
+                what: "optional predicate",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Decodes and verifies a snapshot.
+pub fn decode(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
+    if bytes.len() < MAGIC.len() + 2 + 8 + 8 {
+        return Err(CodecError::Truncated);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("len 8"));
+    if fnv1a(body) != stored {
+        return Err(CodecError::ChecksumMismatch);
+    }
+
+    let mut r = Reader {
+        bytes: body,
+        pos: 0,
+    };
+    if r.take(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let clock = r.u64()?;
+
+    let name_count = r.u16()? as usize;
+    let mut lattice_names = Vec::with_capacity(name_count);
+    for _ in 0..name_count {
+        lattice_names.push(r.string()?);
+    }
+    let dom_count = r.u32()? as usize;
+    let mut dominance = Vec::with_capacity(dom_count);
+    for _ in 0..dom_count {
+        let hi = PrivilegeId(r.u16()?);
+        let lo = PrivilegeId(r.u16()?);
+        if hi.0 as usize >= name_count || lo.0 as usize >= name_count {
+            return Err(CodecError::DanglingReference);
+        }
+        dominance.push((hi, lo));
+    }
+
+    let check_pred = |p: PrivilegeId| {
+        if p.0 as usize >= name_count {
+            Err(CodecError::DanglingReference)
+        } else {
+            Ok(p)
+        }
+    };
+
+    let node_count = r.u32()? as usize;
+    let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
+    for _ in 0..node_count {
+        let label = r.string()?;
+        let kind_tag = r.u8()?;
+        let kind = NodeKind::from_tag(kind_tag).ok_or(CodecError::InvalidTag {
+            what: "node kind",
+            tag: kind_tag,
+        })?;
+        let lowest = check_pred(PrivilegeId(r.u16()?))?;
+        let created_at = r.u64()?;
+        let features = r.features()?;
+        nodes.push(NodeRecord {
+            label,
+            kind,
+            features,
+            lowest,
+            created_at,
+        });
+    }
+
+    let check_node = |id: RecordId| {
+        if id.index() >= node_count {
+            Err(CodecError::DanglingReference)
+        } else {
+            Ok(id)
+        }
+    };
+
+    let edge_count = r.u32()? as usize;
+    let mut edges = Vec::with_capacity(edge_count.min(1 << 20));
+    for _ in 0..edge_count {
+        let from = check_node(RecordId(r.u32()?))?;
+        let to = check_node(RecordId(r.u32()?))?;
+        let kind_tag = r.u8()?;
+        let kind = EdgeKind::from_tag(kind_tag).ok_or(CodecError::InvalidTag {
+            what: "edge kind",
+            tag: kind_tag,
+        })?;
+        edges.push(EdgeRecord { from, to, kind });
+    }
+
+    let policy_count = r.u32()? as usize;
+    let mut policy = Vec::with_capacity(policy_count.min(1 << 20));
+    for _ in 0..policy_count {
+        let tag = r.u8()?;
+        let statement = match tag {
+            0 => PolicyStatement::MarkIncidence {
+                node: check_node(RecordId(r.u32()?))?,
+                from: check_node(RecordId(r.u32()?))?,
+                to: check_node(RecordId(r.u32()?))?,
+                predicate: r.opt_predicate()?.map(check_pred).transpose()?,
+                marking: marking_from_tag(r.u8()?)?,
+            },
+            1 => PolicyStatement::MarkNode {
+                node: check_node(RecordId(r.u32()?))?,
+                predicate: r.opt_predicate()?.map(check_pred).transpose()?,
+                marking: marking_from_tag(r.u8()?)?,
+            },
+            2 => PolicyStatement::AddSurrogate {
+                node: check_node(RecordId(r.u32()?))?,
+                label: r.string()?,
+                features: r.features()?,
+                lowest: check_pred(PrivilegeId(r.u16()?))?,
+                info_score: r.f64()?,
+            },
+            _ => {
+                return Err(CodecError::InvalidTag {
+                    what: "policy statement",
+                    tag,
+                })
+            }
+        };
+        policy.push(statement);
+    }
+
+    if r.pos != body.len() {
+        return Err(CodecError::Truncated); // trailing garbage
+    }
+
+    Ok(SnapshotData {
+        lattice_names,
+        dominance,
+        nodes,
+        edges,
+        policy,
+        clock,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotData {
+        SnapshotData {
+            lattice_names: vec!["Public".into(), "High".into()],
+            dominance: vec![(PrivilegeId(1), PrivilegeId(0))],
+            nodes: vec![
+                NodeRecord {
+                    label: "report".into(),
+                    kind: NodeKind::Data,
+                    features: Features::new().with("score", 0.5).with("n", 3i64),
+                    lowest: PrivilegeId(0),
+                    created_at: 10,
+                },
+                NodeRecord {
+                    label: "analysis".into(),
+                    kind: NodeKind::Process,
+                    features: Features::new()
+                        .with("ok", true)
+                        .with("at", FeatureValue::Timestamp(99))
+                        .with("who", "alice"),
+                    lowest: PrivilegeId(1),
+                    created_at: 11,
+                },
+            ],
+            edges: vec![EdgeRecord {
+                from: RecordId(0),
+                to: RecordId(1),
+                kind: EdgeKind::InputTo,
+            }],
+            policy: vec![
+                PolicyStatement::MarkNode {
+                    node: RecordId(1),
+                    predicate: Some(PrivilegeId(0)),
+                    marking: Marking::Surrogate,
+                },
+                PolicyStatement::MarkIncidence {
+                    node: RecordId(0),
+                    from: RecordId(0),
+                    to: RecordId(1),
+                    predicate: None,
+                    marking: Marking::Visible,
+                },
+                PolicyStatement::AddSurrogate {
+                    node: RecordId(1),
+                    label: "a process".into(),
+                    features: Features::new(),
+                    lowest: PrivilegeId(0),
+                    info_score: 0.25,
+                },
+            ],
+            clock: 12,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data = sample();
+        let bytes = encode(&data);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let data = SnapshotData {
+            lattice_names: vec!["Public".into()],
+            dominance: vec![],
+            nodes: vec![],
+            edges: vec![],
+            policy: vec![],
+            clock: 0,
+        };
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = encode(&sample());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample());
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 9]).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
+        assert_eq!(decode(&bytes[..4]).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut bytes = encode(&sample());
+        bytes[0] = b'X';
+        // Checksum covers the magic too, so recompute it to isolate the
+        // magic check.
+        let body_len = bytes.len() - 8;
+        let checksum = super::fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn dangling_edge_reference_is_detected() {
+        let mut data = sample();
+        data.edges[0].to = RecordId(99);
+        let bytes = encode(&data);
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::DanglingReference);
+    }
+
+    #[test]
+    fn dangling_predicate_reference_is_detected() {
+        let mut data = sample();
+        data.nodes[0].lowest = PrivilegeId(40);
+        let bytes = encode(&data);
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::DanglingReference);
+    }
+}

@@ -1,0 +1,149 @@
+//! Store-level errors.
+
+use std::fmt;
+
+use crate::record::RecordId;
+
+/// Errors raised by the store, codec, and sessions.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A record id does not exist.
+    UnknownRecord(RecordId),
+    /// Graph-level rejection (duplicate edge, self-loop, …).
+    Graph(surrogate_core::error::Error),
+    /// The snapshot bytes are malformed.
+    Codec(CodecError),
+    /// Filesystem failure while persisting or loading.
+    Io(std::io::Error),
+    /// A session was asked for a predicate its consumer does not satisfy.
+    NotAuthorized {
+        /// The consumer's name.
+        consumer: String,
+        /// The requested predicate's index.
+        predicate: u16,
+    },
+    /// A protection setup cannot be represented as store policy.
+    UnsupportedPolicy(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownRecord(id) => write!(f, "unknown record {id:?}"),
+            StoreError::Graph(e) => write!(f, "graph error: {e}"),
+            StoreError::Codec(e) => write!(f, "snapshot codec error: {e}"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::NotAuthorized {
+                consumer,
+                predicate,
+            } => write!(
+                f,
+                "consumer {consumer:?} does not satisfy predicate #{predicate}"
+            ),
+            StoreError::UnsupportedPolicy(reason) => {
+                write!(f, "unsupported policy: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Graph(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<surrogate_core::error::Error> for StoreError {
+    fn from(e: surrogate_core::error::Error) -> Self {
+        StoreError::Graph(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Snapshot decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The magic header is wrong — not a PLUS snapshot.
+    BadMagic,
+    /// Unsupported snapshot version.
+    UnsupportedVersion(u16),
+    /// Bytes ended before the structure did.
+    Truncated,
+    /// Checksum mismatch: corruption or tampering.
+    ChecksumMismatch,
+    /// An enum tag is out of range.
+    InvalidTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A string is not valid UTF-8.
+    InvalidUtf8,
+    /// Snapshot references an out-of-range id.
+    DanglingReference,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a PLUS snapshot (bad magic)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            CodecError::Truncated => write!(f, "snapshot truncated"),
+            CodecError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            CodecError::InvalidTag { what, tag } => {
+                write!(f, "invalid {what} tag {tag}")
+            }
+            CodecError::InvalidUtf8 => write!(f, "snapshot contains invalid UTF-8"),
+            CodecError::DanglingReference => write!(f, "snapshot references a missing id"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(StoreError::UnknownRecord(RecordId(3))
+            .to_string()
+            .contains("unknown record"));
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+        assert!(CodecError::InvalidTag {
+            what: "marking",
+            tag: 9
+        }
+        .to_string()
+        .contains("marking"));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: StoreError = CodecError::Truncated.into();
+        assert!(matches!(e, StoreError::Codec(_)));
+        let e: StoreError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(matches!(e, StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # plus-store
+//!
+//! A PLUS-like provenance store substrate: the paper evaluates surrogate
+//! protection inside MITRE's PLUS prototype, whose storage layer this
+//! crate stands in for (see DESIGN.md's substitution table).
+//!
+//! * [`record`] — typed provenance records and protection-policy
+//!   statements;
+//! * [`codec`] — a versioned, checksummed binary snapshot format;
+//! * [`store`] — a thread-safe append-only store with persistence and
+//!   graph materialization;
+//! * [`lineage`] — upstream/downstream provenance queries;
+//! * [`session`] — consumer sessions answering lineage queries through
+//!   protected accounts.
+//!
+//! The Fig. 10 performance pipeline maps to: `Store::load` (DB access) →
+//! [`Store::materialize`] (build graph) → `surrogate_core::account`
+//! (protect) → [`session`] (query).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod error;
+pub mod ingest;
+pub mod lineage;
+pub mod record;
+pub mod session;
+pub mod store;
+
+pub use error::{CodecError, Result, StoreError};
+pub use ingest::{ingest, IngestKinds};
+pub use record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement, RecordId};
+pub use session::{ProtectedLineageRow, Session};
+pub use store::{Materialized, Store};

@@ -1,0 +1,199 @@
+//! Lineage queries over a materialized store — the paper's motivating
+//! workload ("what data and processes contributed to this data?", §1).
+
+use surrogate_core::graph::NodeId;
+use surrogate_core::query::{traverse, Direction, Traversal};
+
+use crate::record::{EdgeKind, RecordId};
+use crate::store::{Materialized, Store};
+
+/// One hop of a lineage answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageRow {
+    /// The record reached.
+    pub record: RecordId,
+    /// Its label.
+    pub label: String,
+    /// Hops from the query root.
+    pub depth: u32,
+}
+
+fn rows(m: &Materialized, traversal: Traversal) -> Vec<LineageRow> {
+    traversal
+        .visited
+        .iter()
+        .map(|&(n, depth)| LineageRow {
+            record: RecordId(n.0),
+            label: m.graph.node(n).label.clone(),
+            depth,
+        })
+        .collect()
+}
+
+/// Everything upstream of `root` (its provenance), to `max_depth` hops.
+pub fn upstream(m: &Materialized, root: RecordId, max_depth: u32) -> Vec<LineageRow> {
+    rows(
+        m,
+        traverse(&m.graph, NodeId(root.0), Direction::Backward, max_depth),
+    )
+}
+
+/// Everything downstream of `root` (its impact), to `max_depth` hops.
+pub fn downstream(m: &Materialized, root: RecordId, max_depth: u32) -> Vec<LineageRow> {
+    rows(
+        m,
+        traverse(&m.graph, NodeId(root.0), Direction::Forward, max_depth),
+    )
+}
+
+/// Upstream lineage restricted to the given relationship kinds — e.g.
+/// only `InputTo`/`GeneratedBy` for data derivation, skipping `Related`
+/// social ties. Runs over the store (which retains edge kinds; the
+/// materialized graph does not) and follows kind-matching edges only.
+pub fn upstream_by_kind(
+    store: &Store,
+    m: &Materialized,
+    root: RecordId,
+    kinds: &[EdgeKind],
+    max_depth: u32,
+) -> Vec<LineageRow> {
+    walk_by_kind(store, m, root, kinds, max_depth, Direction::Backward)
+}
+
+/// Downstream analogue of [`upstream_by_kind`].
+pub fn downstream_by_kind(
+    store: &Store,
+    m: &Materialized,
+    root: RecordId,
+    kinds: &[EdgeKind],
+    max_depth: u32,
+) -> Vec<LineageRow> {
+    walk_by_kind(store, m, root, kinds, max_depth, Direction::Forward)
+}
+
+fn walk_by_kind(
+    store: &Store,
+    m: &Materialized,
+    root: RecordId,
+    kinds: &[EdgeKind],
+    max_depth: u32,
+    direction: Direction,
+) -> Vec<LineageRow> {
+    use std::collections::VecDeque;
+    let mut adjacency: std::collections::HashMap<RecordId, Vec<RecordId>> =
+        std::collections::HashMap::new();
+    for edge in store.edges() {
+        if !kinds.contains(&edge.kind) {
+            continue;
+        }
+        let (from, to) = match direction {
+            Direction::Forward => (edge.from, edge.to),
+            Direction::Backward => (edge.to, edge.from),
+            Direction::Both => (edge.from, edge.to),
+        };
+        adjacency.entry(from).or_default().push(to);
+        if matches!(direction, Direction::Both) {
+            adjacency.entry(to).or_default().push(from);
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(root);
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    queue.push_back((root, 0u32));
+    while let Some((at, depth)) = queue.pop_front() {
+        if depth >= max_depth {
+            continue;
+        }
+        if let Some(nexts) = adjacency.get(&at) {
+            for &next in nexts {
+                if seen.insert(next) {
+                    out.push(LineageRow {
+                        record: next,
+                        label: m.graph.node(NodeId(next.0)).label.clone(),
+                        depth: depth + 1,
+                    });
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EdgeKind, NodeKind};
+    use crate::store::Store;
+    use surrogate_core::feature::Features;
+
+    fn pipeline() -> (Store, Vec<RecordId>) {
+        let store = Store::public_only();
+        let public = store.predicate("Public").unwrap();
+        let ids: Vec<RecordId> = (0..4)
+            .map(|i| store.append_node(format!("stage{i}"), NodeKind::Data, Features::new(), public))
+            .collect();
+        for w in ids.windows(2) {
+            store.append_edge(w[0], w[1], EdgeKind::InputTo).unwrap();
+        }
+        (store, ids)
+    }
+
+    #[test]
+    fn upstream_walks_ancestry() {
+        let (store, ids) = pipeline();
+        let m = store.materialize();
+        let up = upstream(&m, ids[3], u32::MAX);
+        assert_eq!(up.len(), 3);
+        assert_eq!(up[0].label, "stage2");
+        assert_eq!(up[0].depth, 1);
+        assert_eq!(up[2].depth, 3);
+    }
+
+    #[test]
+    fn downstream_walks_impact() {
+        let (store, ids) = pipeline();
+        let m = store.materialize();
+        let down = downstream(&m, ids[0], u32::MAX);
+        assert_eq!(down.len(), 3);
+        assert_eq!(down[2].record, ids[3]);
+    }
+
+    #[test]
+    fn kind_filtered_lineage_skips_other_relationships() {
+        let store = Store::public_only();
+        let public = store.predicate("Public").unwrap();
+        let a = store.append_node("a", NodeKind::Data, Features::new(), public);
+        let b = store.append_node("b", NodeKind::Process, Features::new(), public);
+        let c = store.append_node("c", NodeKind::Data, Features::new(), public);
+        let d = store.append_node("d", NodeKind::Agent, Features::new(), public);
+        store.append_edge(a, b, EdgeKind::InputTo).unwrap();
+        store.append_edge(b, c, EdgeKind::GeneratedBy).unwrap();
+        store.append_edge(d, c, EdgeKind::Related).unwrap();
+        let m = store.materialize();
+        let derivation = upstream_by_kind(
+            &store,
+            &m,
+            c,
+            &[EdgeKind::InputTo, EdgeKind::GeneratedBy],
+            u32::MAX,
+        );
+        let labels: Vec<&str> = derivation.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["b", "a"], "agent tie excluded");
+        let everything = upstream(&m, c, u32::MAX);
+        assert_eq!(everything.len(), 3, "unfiltered walk sees the agent");
+        let downstream_data =
+            downstream_by_kind(&store, &m, a, &[EdgeKind::InputTo], u32::MAX);
+        assert_eq!(downstream_data.len(), 1);
+        assert_eq!(downstream_data[0].label, "b");
+    }
+
+    #[test]
+    fn depth_limit_applies() {
+        let (store, ids) = pipeline();
+        let m = store.materialize();
+        assert_eq!(upstream(&m, ids[3], 1).len(), 1);
+        assert_eq!(downstream(&m, ids[0], 2).len(), 2);
+    }
+}

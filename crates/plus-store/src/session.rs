@@ -1,0 +1,339 @@
+//! Consumer sessions: privilege-checked, cached access to protected
+//! accounts and protected lineage answers.
+//!
+//! A session pins a consumer against a materialized store. Accounts are
+//! generated lazily per `(predicate, strategy)` and cached, matching the
+//! paper's deployment sketch where a protected account is computed once
+//! and then serves many path queries (§6.4).
+
+use std::collections::HashMap;
+
+use surrogate_core::account::{ProtectedAccount, Strategy};
+use surrogate_core::credential::Consumer;
+use surrogate_core::graph::NodeId;
+use surrogate_core::privilege::PrivilegeId;
+use surrogate_core::query::{traverse, Direction};
+
+use crate::error::{Result, StoreError};
+use crate::record::RecordId;
+use crate::store::Materialized;
+
+/// A lineage row as seen through a protected account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtectedLineageRow {
+    /// The original record reached (known to the server, not the client).
+    pub record: RecordId,
+    /// The label the consumer sees (original or surrogate).
+    pub label: String,
+    /// Hops from the root *in the protected account*.
+    pub depth: u32,
+    /// Whether the consumer sees a surrogate stand-in.
+    pub surrogate: bool,
+}
+
+/// A consumer session over one materialized store.
+pub struct Session {
+    materialized: Materialized,
+    consumer: Consumer,
+    cache: HashMap<(PrivilegeId, Strategy), ProtectedAccount>,
+    frontier_cache: HashMap<Strategy, ProtectedAccount>,
+}
+
+impl Session {
+    /// Opens a session.
+    pub fn new(materialized: Materialized, consumer: Consumer) -> Self {
+        Self {
+            materialized,
+            consumer,
+            cache: HashMap::new(),
+            frontier_cache: HashMap::new(),
+        }
+    }
+
+    /// The consumer this session authenticates.
+    pub fn consumer(&self) -> &Consumer {
+        &self.consumer
+    }
+
+    /// The underlying materialization.
+    pub fn materialized(&self) -> &Materialized {
+        &self.materialized
+    }
+
+    /// The strongest predicates the consumer can request accounts for.
+    pub fn frontier(&self) -> Vec<PrivilegeId> {
+        self.consumer.frontier(&self.materialized.lattice)
+    }
+
+    /// The protected account for `predicate`, generating and caching on
+    /// first use. Fails if the consumer does not satisfy the predicate —
+    /// an account's high-water set must be dominated by the consumer's
+    /// credentials (§3.1).
+    pub fn account(
+        &mut self,
+        predicate: PrivilegeId,
+        strategy: Strategy,
+    ) -> Result<&ProtectedAccount> {
+        if !self.consumer.satisfies(predicate) {
+            return Err(StoreError::NotAuthorized {
+                consumer: self.consumer.name().to_string(),
+                predicate: predicate.0,
+            });
+        }
+        if !self.cache.contains_key(&(predicate, strategy)) {
+            let account = self
+                .materialized
+                .context()
+                .protect(predicate, strategy)?;
+            self.cache.insert((predicate, strategy), account);
+        }
+        Ok(&self.cache[&(predicate, strategy)])
+    }
+
+    /// The account for the consumer's *entire* credential frontier — the
+    /// multi-predicate high-water account (Def. 6) a consumer holding
+    /// several incomparable grants is entitled to. Cached per strategy.
+    pub fn frontier_account(&mut self, strategy: Strategy) -> Result<&ProtectedAccount> {
+        if !self.frontier_cache.contains_key(&strategy) {
+            let frontier = self.consumer.frontier(&self.materialized.lattice);
+            let account = self
+                .materialized
+                .context()
+                .protect_set(&frontier, strategy)?;
+            self.frontier_cache.insert(strategy, account);
+        }
+        Ok(&self.frontier_cache[&strategy])
+    }
+
+    /// Protected upstream lineage of `root` for `predicate`: the answer a
+    /// consumer actually receives, traversing the protected account rather
+    /// than the raw graph. Returns `None` rows for roots the consumer
+    /// cannot see at all.
+    pub fn upstream(
+        &mut self,
+        predicate: PrivilegeId,
+        root: RecordId,
+        max_depth: u32,
+    ) -> Result<Vec<ProtectedLineageRow>> {
+        self.lineage(predicate, root, max_depth, Direction::Backward)
+    }
+
+    /// Protected downstream lineage of `root` for `predicate`.
+    pub fn downstream(
+        &mut self,
+        predicate: PrivilegeId,
+        root: RecordId,
+        max_depth: u32,
+    ) -> Result<Vec<ProtectedLineageRow>> {
+        self.lineage(predicate, root, max_depth, Direction::Forward)
+    }
+
+    /// The paper's motivating question (§1): through this consumer's
+    /// protected account, is `a` related to `b` — i.e. does a directed
+    /// path connect their visible representatives? `false` when either
+    /// record is invisible to the consumer.
+    pub fn related(
+        &mut self,
+        predicate: PrivilegeId,
+        a: RecordId,
+        b: RecordId,
+    ) -> Result<bool> {
+        let account = self.account(predicate, Strategy::Surrogate)?;
+        let (Some(a2), Some(b2)) = (
+            account.account_node(NodeId(a.0)),
+            account.account_node(NodeId(b.0)),
+        ) else {
+            return Ok(false);
+        };
+        Ok(surrogate_core::query::reaches(account.graph(), a2, b2))
+    }
+
+    fn lineage(
+        &mut self,
+        predicate: PrivilegeId,
+        root: RecordId,
+        max_depth: u32,
+        direction: Direction,
+    ) -> Result<Vec<ProtectedLineageRow>> {
+        let account = self.account(predicate, Strategy::Surrogate)?;
+        let Some(root2) = account.account_node(NodeId(root.0)) else {
+            return Ok(Vec::new()); // root invisible: nothing to traverse
+        };
+        let traversal = traverse(account.graph(), root2, direction, max_depth);
+        Ok(traversal
+            .visited
+            .iter()
+            .map(|&(n2, depth)| {
+                let original = account.original_node(n2);
+                ProtectedLineageRow {
+                    record: RecordId(original.0),
+                    label: account.graph().node(n2).label.clone(),
+                    depth,
+                    surrogate: !matches!(
+                        account.correspondence(n2),
+                        surrogate_core::account::Correspondence::Original
+                    ),
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EdgeKind, NodeKind, PolicyStatement};
+    use crate::store::Store;
+    use surrogate_core::feature::Features;
+
+    /// source(High, with a Public surrogate wired in place — the Fig. 2(a)
+    /// pattern: incidences stay Visible, only the features are coarsened)
+    /// → mid(Public) → sink(Public).
+    fn setup() -> (Store, Vec<RecordId>) {
+        let store = Store::new(&["Public", "High"], &[(1, 0)]).unwrap();
+        let public = store.predicate("Public").unwrap();
+        let high = store.predicate("High").unwrap();
+        let source = store.append_node("secret source", NodeKind::Agent, Features::new(), high);
+        let mid = store.append_node("analysis", NodeKind::Process, Features::new(), public);
+        let sink = store.append_node("report", NodeKind::Data, Features::new(), public);
+        store.append_edge(source, mid, EdgeKind::InputTo).unwrap();
+        store
+            .append_edge(mid, sink, EdgeKind::GeneratedBy)
+            .unwrap();
+        store
+            .apply_policy(PolicyStatement::AddSurrogate {
+                node: source,
+                label: "a trusted source".into(),
+                features: Features::new(),
+                lowest: public,
+                info_score: 0.3,
+            })
+            .unwrap();
+        (store, vec![source, mid, sink])
+    }
+
+    #[test]
+    fn public_consumer_sees_surrogate_lineage() {
+        let (store, ids) = setup();
+        let m = store.materialize();
+        let public = m.lattice.by_name("Public").unwrap();
+        let consumer = Consumer::public(&m.lattice);
+        let mut session = Session::new(m, consumer);
+        let up = session.upstream(public, ids[2], u32::MAX).unwrap();
+        assert_eq!(up.len(), 2);
+        assert_eq!(up[0].label, "analysis");
+        assert!(!up[0].surrogate);
+        assert_eq!(up[1].label, "a trusted source");
+        assert!(up[1].surrogate);
+    }
+
+    #[test]
+    fn high_consumer_sees_originals() {
+        let (store, ids) = setup();
+        let m = store.materialize();
+        let high = m.lattice.by_name("High").unwrap();
+        let consumer = Consumer::new("agent", &m.lattice, &[high]);
+        let mut session = Session::new(m, consumer);
+        let up = session.upstream(high, ids[2], u32::MAX).unwrap();
+        assert_eq!(up.len(), 2);
+        assert_eq!(up[1].label, "secret source");
+        assert!(!up[1].surrogate);
+    }
+
+    #[test]
+    fn unauthorized_predicate_is_rejected() {
+        let (store, _) = setup();
+        let m = store.materialize();
+        let high = m.lattice.by_name("High").unwrap();
+        let consumer = Consumer::public(&m.lattice);
+        let mut session = Session::new(m, consumer);
+        assert!(matches!(
+            session.account(high, Strategy::Surrogate),
+            Err(StoreError::NotAuthorized { .. })
+        ));
+    }
+
+    #[test]
+    fn accounts_are_cached() {
+        let (store, _) = setup();
+        let m = store.materialize();
+        let public = m.lattice.by_name("Public").unwrap();
+        let consumer = Consumer::public(&m.lattice);
+        let mut session = Session::new(m, consumer);
+        let first = session.account(public, Strategy::Surrogate).unwrap().graph()
+            as *const surrogate_core::graph::Graph;
+        let second = session.account(public, Strategy::Surrogate).unwrap().graph()
+            as *const surrogate_core::graph::Graph;
+        assert_eq!(first, second, "same cached account object");
+    }
+
+    #[test]
+    fn invisible_root_yields_empty_answer() {
+        let (store, ids) = setup();
+        let m = store.materialize();
+        let public = m.lattice.by_name("Public").unwrap();
+        // Remove the surrogate so the source is simply absent.
+        let store2 = Store::new(&["Public", "High"], &[(1, 0)]).unwrap();
+        let high = store2.predicate("High").unwrap();
+        let source =
+            store2.append_node("secret source", NodeKind::Agent, Features::new(), high);
+        let m2 = store2.materialize();
+        let consumer = Consumer::public(&m2.lattice);
+        let mut session = Session::new(m2, consumer);
+        let rows = session.downstream(public, source, u32::MAX).unwrap();
+        assert!(rows.is_empty());
+        let _ = (m, ids);
+    }
+
+    #[test]
+    fn related_answers_through_the_protected_account() {
+        let (store, ids) = setup();
+        let m = store.materialize();
+        let public = m.lattice.by_name("Public").unwrap();
+        let mut session = Session::new(m, Consumer::public(&store.materialize().lattice));
+        // source → mid → sink all connect through the surrogate.
+        assert!(session.related(public, ids[0], ids[2]).unwrap());
+        assert!(session.related(public, ids[1], ids[2]).unwrap());
+        assert!(!session.related(public, ids[2], ids[0]).unwrap(), "directed");
+    }
+
+    #[test]
+    fn frontier_account_unions_incomparable_grants() {
+        // Lattice: Public below incomparable A and B; one node per level.
+        let store = Store::new(&["Public", "A", "B"], &[(1, 0), (2, 0)]).unwrap();
+        let a = store.predicate("A").unwrap();
+        let b = store.predicate("B").unwrap();
+        let public = store.predicate("Public").unwrap();
+        let na = store.append_node("na", NodeKind::Data, Features::new(), a);
+        let nb = store.append_node("nb", NodeKind::Data, Features::new(), b);
+        let np = store.append_node("np", NodeKind::Data, Features::new(), public);
+        store.append_edge(na, np, EdgeKind::Related).unwrap();
+        store.append_edge(np, nb, EdgeKind::Related).unwrap();
+
+        let m = store.materialize();
+        let consumer = Consumer::new("dual", &m.lattice, &[a, b]);
+        let mut session = Session::new(m, consumer);
+        let account = session
+            .frontier_account(Strategy::Surrogate)
+            .unwrap();
+        assert_eq!(account.high_water().len(), 2);
+        assert_eq!(account.graph().node_count(), 3, "both branches visible");
+        // Cached per strategy.
+        let again = session.frontier_account(Strategy::Surrogate).unwrap().graph()
+            as *const surrogate_core::graph::Graph;
+        let first = session.frontier_account(Strategy::Surrogate).unwrap().graph()
+            as *const surrogate_core::graph::Graph;
+        assert_eq!(again, first);
+    }
+
+    #[test]
+    fn frontier_reflects_consumer() {
+        let (store, _) = setup();
+        let m = store.materialize();
+        let high = m.lattice.by_name("High").unwrap();
+        let consumer = Consumer::new("agent", &m.lattice, &[high]);
+        let session = Session::new(m, consumer);
+        assert_eq!(session.frontier(), vec![high]);
+        assert_eq!(session.consumer().name(), "agent");
+    }
+}

@@ -1,0 +1,487 @@
+//! The provenance store: an append-only, thread-safe record log with
+//! snapshot persistence and graph materialization.
+//!
+//! This plays the role of the PLUS prototype's storage layer in the
+//! paper's Fig. 10 pipeline: **DB access** (decode a snapshot), **build
+//! graph** ([`Store::materialize`]), then **protect** (hand the
+//! materialization to `surrogate_core::account`).
+
+use std::path::Path;
+
+use parking_lot::RwLock;
+use surrogate_core::graph::{Graph, NodeId};
+use surrogate_core::marking::MarkingStore;
+use surrogate_core::privilege::{PrivilegeId, PrivilegeLattice};
+use surrogate_core::surrogate::{SurrogateCatalog, SurrogateDef};
+
+use crate::codec::{self, SnapshotData};
+use crate::error::{Result, StoreError};
+use crate::record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement, RecordId};
+
+/// Everything needed to run protection over a store's contents: the graph
+/// (node ids equal record indices), the lattice, and the replayed policy.
+#[derive(Debug, Clone)]
+pub struct Materialized {
+    /// The provenance graph; `NodeId(i)` is record `RecordId(i)`.
+    pub graph: Graph,
+    /// The privilege lattice.
+    pub lattice: PrivilegeLattice,
+    /// Incidence markings replayed from the policy log.
+    pub markings: MarkingStore,
+    /// Surrogate catalog replayed from the policy log.
+    pub catalog: SurrogateCatalog,
+}
+
+impl Materialized {
+    /// Protection context over this materialization.
+    pub fn context(&self) -> surrogate_core::account::ProtectionContext<'_> {
+        surrogate_core::account::ProtectionContext::new(
+            &self.graph,
+            &self.lattice,
+            &self.markings,
+            &self.catalog,
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    lattice: PrivilegeLattice,
+    lattice_names: Vec<String>,
+    dominance: Vec<(PrivilegeId, PrivilegeId)>,
+    nodes: Vec<NodeRecord>,
+    edges: Vec<EdgeRecord>,
+    edge_set: std::collections::HashSet<(RecordId, RecordId)>,
+    policy: Vec<PolicyStatement>,
+    clock: u64,
+}
+
+/// Thread-safe provenance store.
+#[derive(Debug)]
+pub struct Store {
+    inner: RwLock<Inner>,
+}
+
+impl Store {
+    /// Creates an empty store over a lattice built from the given
+    /// declarations (`names[0]` need not be the bottom; the lattice
+    /// validates that one exists).
+    pub fn new(names: &[&str], dominance: &[(usize, usize)]) -> Result<Self> {
+        let mut builder = PrivilegeLattice::builder();
+        let mut ids = Vec::with_capacity(names.len());
+        for name in names {
+            ids.push(builder.add(*name)?);
+        }
+        let mut pairs = Vec::with_capacity(dominance.len());
+        for &(hi, lo) in dominance {
+            builder.declare_dominates(ids[hi], ids[lo]);
+            pairs.push((ids[hi], ids[lo]));
+        }
+        let lattice = builder.finish()?;
+        Ok(Self {
+            inner: RwLock::new(Inner {
+                lattice,
+                lattice_names: names.iter().map(|s| s.to_string()).collect(),
+                dominance: pairs,
+                nodes: Vec::new(),
+                edges: Vec::new(),
+                edge_set: std::collections::HashSet::new(),
+                policy: Vec::new(),
+                clock: 0,
+            }),
+        })
+    }
+
+    /// A store with only the `Public` predicate.
+    pub fn public_only() -> Self {
+        Self::new(&["Public"], &[]).expect("single predicate is valid")
+    }
+
+    /// Predicate id by nickname.
+    pub fn predicate(&self, name: &str) -> Option<PrivilegeId> {
+        self.inner.read().lattice.by_name(name)
+    }
+
+    /// Appends a node record, assigning its logical timestamp.
+    pub fn append_node(
+        &self,
+        label: impl Into<String>,
+        kind: NodeKind,
+        features: surrogate_core::feature::Features,
+        lowest: PrivilegeId,
+    ) -> RecordId {
+        let mut inner = self.inner.write();
+        let id = RecordId(inner.nodes.len() as u32);
+        let created_at = inner.clock;
+        inner.clock += 1;
+        inner.nodes.push(NodeRecord {
+            label: label.into(),
+            kind,
+            features,
+            lowest,
+            created_at,
+        });
+        id
+    }
+
+    /// Appends an edge record after validating endpoints and uniqueness.
+    pub fn append_edge(&self, from: RecordId, to: RecordId, kind: EdgeKind) -> Result<()> {
+        let mut inner = self.inner.write();
+        let n = inner.nodes.len();
+        for id in [from, to] {
+            if id.index() >= n {
+                return Err(StoreError::UnknownRecord(id));
+            }
+        }
+        if from == to {
+            return Err(StoreError::Graph(surrogate_core::error::Error::SelfLoop(
+                NodeId(from.0),
+            )));
+        }
+        if !inner.edge_set.insert((from, to)) {
+            return Err(StoreError::Graph(
+                surrogate_core::error::Error::DuplicateEdge {
+                    from: NodeId(from.0),
+                    to: NodeId(to.0),
+                },
+            ));
+        }
+        inner.clock += 1;
+        inner.edges.push(EdgeRecord { from, to, kind });
+        Ok(())
+    }
+
+    /// Appends a policy statement after validating its references.
+    pub fn apply_policy(&self, statement: PolicyStatement) -> Result<()> {
+        let mut inner = self.inner.write();
+        let n = inner.nodes.len();
+        let check = |id: RecordId| {
+            if id.index() >= n {
+                Err(StoreError::UnknownRecord(id))
+            } else {
+                Ok(())
+            }
+        };
+        match &statement {
+            PolicyStatement::MarkIncidence { node, from, to, .. } => {
+                check(*node)?;
+                check(*from)?;
+                check(*to)?;
+            }
+            PolicyStatement::MarkNode { node, .. } => check(*node)?,
+            PolicyStatement::AddSurrogate { node, .. } => check(*node)?,
+        }
+        inner.clock += 1;
+        inner.policy.push(statement);
+        Ok(())
+    }
+
+    /// Number of node records.
+    pub fn node_count(&self) -> usize {
+        self.inner.read().nodes.len()
+    }
+
+    /// Number of edge records.
+    pub fn edge_count(&self) -> usize {
+        self.inner.read().edges.len()
+    }
+
+    /// Number of policy statements.
+    pub fn policy_count(&self) -> usize {
+        self.inner.read().policy.len()
+    }
+
+    /// The store's logical clock (total appends).
+    pub fn clock(&self) -> u64 {
+        self.inner.read().clock
+    }
+
+    /// A copy of node record `id`.
+    pub fn node(&self, id: RecordId) -> Option<NodeRecord> {
+        self.inner.read().nodes.get(id.index()).cloned()
+    }
+
+    /// A copy of all edge records in append order. Edge kinds live only at
+    /// the record level (the materialized graph is untyped), so
+    /// kind-filtered lineage walks read them from here.
+    pub fn edges(&self) -> Vec<EdgeRecord> {
+        self.inner.read().edges.clone()
+    }
+
+    /// Builds the graph, markings, and catalog from the record log — the
+    /// paper's "build graph" stage.
+    pub fn materialize(&self) -> Materialized {
+        let inner = self.inner.read();
+        let mut graph = Graph::with_capacity(inner.nodes.len(), inner.edges.len());
+        for record in &inner.nodes {
+            graph.add_node_with_features(
+                record.label.clone(),
+                record.features.clone(),
+                record.lowest,
+            );
+        }
+        for edge in &inner.edges {
+            graph
+                .add_edge(NodeId(edge.from.0), NodeId(edge.to.0))
+                .expect("store validated edges on append");
+        }
+
+        let mut markings = MarkingStore::new();
+        let mut catalog = SurrogateCatalog::new();
+        for statement in &inner.policy {
+            match statement {
+                PolicyStatement::MarkIncidence {
+                    node,
+                    from,
+                    to,
+                    predicate,
+                    marking,
+                } => {
+                    let edge = (NodeId(from.0), NodeId(to.0));
+                    match predicate {
+                        Some(p) => markings.set(NodeId(node.0), edge, *p, *marking),
+                        None => markings.set_all_predicates(NodeId(node.0), edge, *marking),
+                    }
+                }
+                PolicyStatement::MarkNode {
+                    node,
+                    predicate,
+                    marking,
+                } => match predicate {
+                    Some(p) => markings.set_node(NodeId(node.0), *p, *marking),
+                    None => markings.set_node_all_predicates(NodeId(node.0), *marking),
+                },
+                PolicyStatement::AddSurrogate {
+                    node,
+                    label,
+                    features,
+                    lowest,
+                    info_score,
+                } => catalog.add(
+                    NodeId(node.0),
+                    SurrogateDef {
+                        label: label.clone(),
+                        features: features.clone(),
+                        lowest: *lowest,
+                        info_score: *info_score,
+                    },
+                ),
+            }
+        }
+
+        Materialized {
+            graph,
+            lattice: inner.lattice.clone(),
+            markings,
+            catalog,
+        }
+    }
+
+    /// Serializes the store to snapshot bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.read();
+        codec::encode(&SnapshotData {
+            lattice_names: inner.lattice_names.clone(),
+            dominance: inner.dominance.clone(),
+            nodes: inner.nodes.clone(),
+            edges: inner.edges.clone(),
+            policy: inner.policy.clone(),
+            clock: inner.clock,
+        })
+    }
+
+    /// Rebuilds a store from snapshot bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let data = codec::decode(bytes)?;
+        let mut builder = PrivilegeLattice::builder();
+        let mut ids = Vec::with_capacity(data.lattice_names.len());
+        for name in &data.lattice_names {
+            ids.push(builder.add(name.clone())?);
+        }
+        for &(hi, lo) in &data.dominance {
+            builder.declare_dominates(ids[hi.0 as usize], ids[lo.0 as usize]);
+        }
+        let lattice = builder.finish()?;
+        let edge_set = data.edges.iter().map(|e| (e.from, e.to)).collect();
+        Ok(Self {
+            inner: RwLock::new(Inner {
+                lattice,
+                lattice_names: data.lattice_names,
+                dominance: data.dominance,
+                nodes: data.nodes,
+                edges: data.edges,
+                edge_set,
+                policy: data.policy,
+                clock: data.clock,
+            }),
+        })
+    }
+
+    /// Persists a snapshot to disk — the paper's "DB" write path.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a snapshot from disk — the paper's "DB access" stage.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surrogate_core::feature::Features;
+    use surrogate_core::marking::Marking;
+
+    fn sample_store() -> (Store, RecordId, RecordId, RecordId) {
+        let store = Store::new(&["Public", "High"], &[(1, 0)]).unwrap();
+        let high = store.predicate("High").unwrap();
+        let public = store.predicate("Public").unwrap();
+        let a = store.append_node("input", NodeKind::Data, Features::new(), public);
+        let p = store.append_node("analysis", NodeKind::Process, Features::new(), high);
+        let b = store.append_node("output", NodeKind::Data, Features::new(), public);
+        store.append_edge(a, p, EdgeKind::InputTo).unwrap();
+        store.append_edge(p, b, EdgeKind::GeneratedBy).unwrap();
+        store
+            .apply_policy(PolicyStatement::MarkNode {
+                node: p,
+                predicate: Some(public),
+                marking: Marking::Surrogate,
+            })
+            .unwrap();
+        store
+            .apply_policy(PolicyStatement::AddSurrogate {
+                node: p,
+                label: "a process".into(),
+                features: Features::new(),
+                lowest: public,
+                info_score: 0.2,
+            })
+            .unwrap();
+        (store, a, p, b)
+    }
+
+    #[test]
+    fn append_and_counts() {
+        let (store, ..) = sample_store();
+        assert_eq!(store.node_count(), 3);
+        assert_eq!(store.edge_count(), 2);
+        assert_eq!(store.policy_count(), 2);
+        assert_eq!(store.clock(), 7);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let (store, a, _, b) = sample_store();
+        let ta = store.node(a).unwrap().created_at;
+        let tb = store.node(b).unwrap().created_at;
+        assert!(ta < tb);
+    }
+
+    #[test]
+    fn edge_validation() {
+        let (store, a, ..) = sample_store();
+        assert!(matches!(
+            store.append_edge(a, RecordId(99), EdgeKind::Related),
+            Err(StoreError::UnknownRecord(_))
+        ));
+        assert!(matches!(
+            store.append_edge(a, a, EdgeKind::Related),
+            Err(StoreError::Graph(_))
+        ));
+        let p = RecordId(1);
+        assert!(matches!(
+            store.append_edge(a, p, EdgeKind::Related),
+            Err(StoreError::Graph(
+                surrogate_core::error::Error::DuplicateEdge { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn policy_validation() {
+        let (store, ..) = sample_store();
+        assert!(matches!(
+            store.apply_policy(PolicyStatement::MarkNode {
+                node: RecordId(42),
+                predicate: None,
+                marking: Marking::Hide,
+            }),
+            Err(StoreError::UnknownRecord(_))
+        ));
+    }
+
+    #[test]
+    fn materialize_replays_policy() {
+        let (store, a, p, b) = sample_store();
+        let m = store.materialize();
+        assert_eq!(m.graph.node_count(), 3);
+        assert_eq!(m.graph.edge_count(), 2);
+        let public = m.lattice.by_name("Public").unwrap();
+        assert_eq!(
+            m.markings
+                .mark(NodeId(p.0), (NodeId(a.0), NodeId(p.0)), public),
+            Marking::Surrogate
+        );
+        assert_eq!(m.catalog.for_node(NodeId(p.0)).len(), 1);
+        // End-to-end: protect the materialization for Public.
+        let account = surrogate_core::account::generate(&m.context(), public).unwrap();
+        let a2 = account.account_node(NodeId(a.0)).unwrap();
+        let b2 = account.account_node(NodeId(b.0)).unwrap();
+        assert!(account.graph().has_edge(a2, b2), "surrogate edge a→b");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_in_memory() {
+        let (store, ..) = sample_store();
+        let bytes = store.to_bytes();
+        let restored = Store::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.node_count(), store.node_count());
+        assert_eq!(restored.edge_count(), store.edge_count());
+        assert_eq!(restored.policy_count(), store.policy_count());
+        assert_eq!(restored.clock(), store.clock());
+        assert_eq!(restored.to_bytes(), bytes, "stable re-encoding");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_on_disk() {
+        let (store, ..) = sample_store();
+        let path = std::env::temp_dir().join(format!(
+            "plus-store-test-{}.snapshot",
+            std::process::id()
+        ));
+        store.save(&path).unwrap();
+        let restored = Store::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored.node_count(), 3);
+        assert_eq!(restored.to_bytes(), store.to_bytes());
+    }
+
+    #[test]
+    fn concurrent_appends_are_safe() {
+        let store = std::sync::Arc::new(Store::public_only());
+        let public = store.predicate("Public").unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    store.append_node(
+                        format!("n-{t}-{i}"),
+                        NodeKind::Data,
+                        Features::new(),
+                        public,
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.node_count(), 400);
+        assert_eq!(store.clock(), 400);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the snapshot codec and store roundtrips: arbitrary
+//! stores survive encode/decode unchanged, and arbitrary bytes never panic
+//! the decoder.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use plus_store::{EdgeKind, NodeKind, PolicyStatement, RecordId, Store};
+use surrogate_core::feature::{FeatureValue, Features};
+use surrogate_core::marking::Marking;
+
+fn random_store(nodes: usize, seed: u64) -> Store {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let store = Store::new(&["Public", "Mid", "High"], &[(1, 0), (2, 1)])
+        .expect("chain lattice is valid");
+    let preds = [
+        store.predicate("Public").unwrap(),
+        store.predicate("Mid").unwrap(),
+        store.predicate("High").unwrap(),
+    ];
+    let kinds = [NodeKind::Data, NodeKind::Process, NodeKind::Agent];
+    let edge_kinds = [
+        EdgeKind::InputTo,
+        EdgeKind::GeneratedBy,
+        EdgeKind::TriggeredBy,
+        EdgeKind::Related,
+    ];
+
+    let ids: Vec<RecordId> = (0..nodes)
+        .map(|i| {
+            let mut features = Features::new();
+            for f in 0..rng.gen_range(0..4) {
+                let value: FeatureValue = match rng.gen_range(0..5) {
+                    0 => FeatureValue::Str(format!("value-{}", rng.gen::<u32>())),
+                    1 => FeatureValue::Int(rng.gen()),
+                    2 => FeatureValue::Float(rng.gen::<f64>()),
+                    3 => FeatureValue::Bool(rng.gen()),
+                    _ => FeatureValue::Timestamp(rng.gen()),
+                };
+                features.set(format!("k{f}"), value);
+            }
+            store.append_node(
+                format!("node-{i}"),
+                kinds[rng.gen_range(0..3)],
+                features,
+                preds[rng.gen_range(0..3)],
+            )
+        })
+        .collect();
+
+    if nodes >= 2 {
+        for _ in 0..rng.gen_range(0..nodes * 2) {
+            let a = ids[rng.gen_range(0..nodes)];
+            let b = ids[rng.gen_range(0..nodes)];
+            let _ = store.append_edge(a, b, edge_kinds[rng.gen_range(0..4)]);
+        }
+    }
+
+    for _ in 0..rng.gen_range(0..nodes) {
+        let node = ids[rng.gen_range(0..nodes)];
+        let statement = match rng.gen_range(0..3) {
+            0 => PolicyStatement::MarkNode {
+                node,
+                predicate: rng.gen_bool(0.5).then(|| preds[rng.gen_range(0..3)]),
+                marking: [Marking::Visible, Marking::Hide, Marking::Surrogate]
+                    [rng.gen_range(0..3)],
+            },
+            1 => PolicyStatement::AddSurrogate {
+                node,
+                label: format!("surrogate-{}", rng.gen::<u16>()),
+                features: Features::new(),
+                lowest: preds[0],
+                info_score: rng.gen_range(0..=100) as f64 / 100.0,
+            },
+            _ => {
+                // Mark an incidence of an arbitrary (possibly absent) edge
+                // between known records — the store validates records, not
+                // edge existence, mirroring provider autonomy.
+                let from = ids[rng.gen_range(0..nodes)];
+                let to = ids[rng.gen_range(0..nodes)];
+                PolicyStatement::MarkIncidence {
+                    node: from,
+                    from,
+                    to,
+                    predicate: rng.gen_bool(0.5).then(|| preds[rng.gen_range(0..3)]),
+                    marking: Marking::Surrogate,
+                }
+            }
+        };
+        store.apply_policy(statement).expect("records exist");
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity on the record log.
+    #[test]
+    fn snapshot_roundtrip(nodes in 1usize..30, seed in any::<u64>()) {
+        let store = random_store(nodes, seed);
+        let bytes = store.to_bytes();
+        let restored = Store::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(restored.node_count(), store.node_count());
+        prop_assert_eq!(restored.edge_count(), store.edge_count());
+        prop_assert_eq!(restored.policy_count(), store.policy_count());
+        prop_assert_eq!(restored.clock(), store.clock());
+        // Stable re-encoding: byte-identical snapshots.
+        prop_assert_eq!(restored.to_bytes(), bytes);
+    }
+
+    /// Materialization after a roundtrip produces the same graph shape and
+    /// policy effects.
+    #[test]
+    fn materialization_survives_roundtrip(nodes in 1usize..20, seed in any::<u64>()) {
+        let store = random_store(nodes, seed);
+        let restored = Store::from_bytes(&store.to_bytes()).unwrap();
+        let a = store.materialize();
+        let b = restored.materialize();
+        prop_assert_eq!(a.graph.node_count(), b.graph.node_count());
+        prop_assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        prop_assert_eq!(ea, eb);
+        for n in a.graph.node_ids() {
+            prop_assert_eq!(&a.graph.node(n).label, &b.graph.node(n).label);
+            prop_assert_eq!(&a.graph.node(n).features, &b.graph.node(n).features);
+            prop_assert_eq!(a.graph.node(n).lowest, b.graph.node(n).lowest);
+            prop_assert_eq!(a.catalog.for_node(n).len(), b.catalog.for_node(n).len());
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder — they fail cleanly.
+    #[test]
+    fn decoder_rejects_garbage_without_panicking(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Store::from_bytes(&bytes); // must not panic
+    }
+
+    /// Any single-byte corruption of a valid snapshot is rejected.
+    #[test]
+    fn bit_flips_are_rejected(nodes in 1usize..10, seed in any::<u64>(), flip in any::<u16>()) {
+        let store = random_store(nodes, seed);
+        let mut bytes = store.to_bytes();
+        let idx = flip as usize % bytes.len();
+        bytes[idx] ^= 0x01;
+        prop_assert!(Store::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: protect a three-node graph and inspect the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use surrogate_parenthood::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Privileges: Public at the bottom, Trusted above it.
+    let mut builder = PrivilegeLattice::builder();
+    let public = builder.add("Public")?;
+    let trusted = builder.add("Trusted")?;
+    builder.declare_dominates(trusted, public);
+    let lattice = builder.finish()?;
+
+    // 2. A tiny lineage: informant → analysis → report, where the
+    //    informant's identity is Trusted-only.
+    let mut graph = Graph::new();
+    let informant = graph.add_node_with_features(
+        "informant",
+        Features::new()
+            .with("name", "Joe")
+            .with("phone", "123-456-7890"),
+        trusted,
+    );
+    let analysis = graph.add_node("analysis", public);
+    let report = graph.add_node("report", public);
+    graph.add_edge(informant, analysis)?;
+    graph.add_edge(analysis, report)?;
+
+    // 3. Protection policy: the informant's role in the analysis may be
+    //    used to keep paths alive but never shown directly, and a coarse
+    //    surrogate is offered to the public.
+    let mut markings = MarkingStore::new();
+    markings.set_node(informant, public, Marking::Surrogate);
+    let mut catalog = SurrogateCatalog::new();
+    catalog.add(
+        informant,
+        SurrogateDef {
+            label: "a trusted law-enforcement source".into(),
+            features: Features::new(),
+            lowest: public,
+            info_score: 0.3,
+        },
+    );
+
+    // 4. Generate the public protected account.
+    let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+    let account = generate(&ctx, public)?;
+
+    println!("original graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "public account: {} nodes ({} surrogate), {} edges ({} surrogate)",
+        account.graph().node_count(),
+        account.surrogate_node_count(),
+        account.graph().edge_count(),
+        account.surrogate_edge_count(),
+    );
+
+    for n in account.graph().node_ids() {
+        let node = account.graph().node(n);
+        let kind = match account.correspondence(n) {
+            Correspondence::Original => "original",
+            Correspondence::Surrogate { .. } => "surrogate",
+        };
+        println!("  node {n}: {:?} [{kind}]", node.label);
+    }
+    for (u, v) in account.graph().edges() {
+        let tag = if account.is_surrogate_edge((u, v)) {
+            " [surrogate edge]"
+        } else {
+            ""
+        };
+        println!(
+            "  edge {:?} -> {:?}{tag}",
+            account.graph().node(u).label,
+            account.graph().node(v).label
+        );
+    }
+
+    // 5. Measure what the public consumer retains.
+    println!("path utility: {:.3}", path_utility(&graph, &account));
+    println!("node utility: {:.3}", node_utility(&graph, &account));
+    let opacity = edge_opacity(&account, OpacityModel::default(), (informant, analysis));
+    println!("opacity of the hidden informant→analysis edge: {opacity:.3}");
+    Ok(())
+}

@@ -1,0 +1,230 @@
+//! `spgraph` — inspect, protect, and measure PLUS snapshot files.
+//!
+//! ```text
+//! spgraph demo <snapshot>                      write the paper's Figure 1 example
+//! spgraph info <snapshot>                      counts, lattice, high-water set
+//! spgraph protect <snapshot> -p <predicate> [--strategy surrogate|hide|naive]
+//!                                  [--dot <file>]   summarize/export an account
+//! spgraph measure <snapshot> -p <predicate> [--threshold <t>]
+//!                                              utilities, opacity, risk report
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use std::process::ExitCode;
+
+use surrogate_parenthood::plus_store::{ingest, IngestKinds, Store};
+use surrogate_parenthood::prelude::*;
+
+/// CLI-level result: user-facing error strings.
+type CliResult<T> = std::result::Result<T, String>;
+use surrogate_parenthood::surrogate_core::dot::{account_to_dot, graph_to_dot};
+use surrogate_parenthood::surrogate_core::hw::high_water_set;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  spgraph demo <snapshot>\n  spgraph info <snapshot>\n  \
+         spgraph protect <snapshot> -p <predicate> [--strategy surrogate|hide|naive] [--dot <file>]\n  \
+         spgraph measure <snapshot> -p <predicate> [--threshold <t>]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "demo" => cmd_demo(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "protect" => cmd_protect(&args[1..]),
+        "measure" => cmd_measure(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(args: &[String]) -> CliResult<(Store, String)> {
+    let path = args.first().ok_or("missing snapshot path")?;
+    let store = Store::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    Ok((store, path.clone()))
+}
+
+fn resolve_predicate(
+    m: &surrogate_parenthood::plus_store::Materialized,
+    args: &[String],
+) -> CliResult<PrivilegeId> {
+    let name = flag_value(args, "-p")
+        .or_else(|| flag_value(args, "--predicate"))
+        .ok_or("missing -p <predicate>")?;
+    m.lattice
+        .by_name(&name)
+        .ok_or_else(|| format!("unknown predicate {name:?}"))
+}
+
+/// Writes the paper's Figure 1 example (graph, lattice, scenario (d)
+/// policy) as a snapshot — a ready-made playground.
+fn cmd_demo(args: &[String]) -> CliResult<()> {
+    let path = args.first().ok_or("missing snapshot path")?;
+    let fig = surrogate_parenthood::graphgen::Figure2::new(
+        surrogate_parenthood::graphgen::Figure2Scenario::D,
+    );
+    let store = ingest(
+        &fig.base.graph,
+        &fig.base.lattice,
+        &fig.markings,
+        &fig.catalog,
+        IngestKinds::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    store.save(path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote the Figure 1/2(d) example to {path}: {} nodes, {} edges",
+        store.node_count(),
+        store.edge_count()
+    );
+    println!("try: spgraph info {path}");
+    println!("     spgraph protect {path} -p High-2");
+    println!("     spgraph measure {path} -p High-2");
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult<()> {
+    let (store, path) = load(args)?;
+    let m = store.materialize();
+    println!("snapshot {path}");
+    println!(
+        "  {} node records, {} edge records, {} policy statements",
+        store.node_count(),
+        store.edge_count(),
+        store.policy_count()
+    );
+    println!("  predicates:");
+    for p in m.lattice.ids() {
+        let dominated: Vec<&str> = m
+            .lattice
+            .ids()
+            .filter(|&q| q != p && m.lattice.dominates(p, q))
+            .map(|q| m.lattice.name(q))
+            .collect();
+        println!(
+            "    {} {}",
+            m.lattice.name(p),
+            if dominated.is_empty() {
+                String::new()
+            } else {
+                format!("(dominates {})", dominated.join(", "))
+            }
+        );
+    }
+    let hw = high_water_set(&m.graph, &m.lattice);
+    let names: Vec<&str> = hw.iter().map(|&p| m.lattice.name(p)).collect();
+    println!("  high-water set: {{{}}}", names.join(", "));
+    println!(
+        "  connected: {}, acyclic: {}",
+        m.graph.is_connected(),
+        m.graph.is_acyclic()
+    );
+    Ok(())
+}
+
+fn cmd_protect(args: &[String]) -> CliResult<()> {
+    let (store, _) = load(args)?;
+    let m = store.materialize();
+    let predicate = resolve_predicate(&m, args)?;
+    let strategy = match flag_value(args, "--strategy").as_deref() {
+        None | Some("surrogate") => Strategy::Surrogate,
+        Some("hide") => Strategy::HideEdges,
+        Some("naive") => Strategy::HideNodes,
+        Some(other) => return Err(format!("unknown strategy {other:?}")),
+    };
+    let account = m
+        .context()
+        .protect(predicate, strategy)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "protected account for {:?} ({:?}):",
+        m.lattice.name(predicate),
+        strategy
+    );
+    println!(
+        "  {} of {} nodes visible ({} surrogate)",
+        account.graph().node_count(),
+        m.graph.node_count(),
+        account.surrogate_node_count()
+    );
+    println!(
+        "  {} edges ({} surrogate)",
+        account.graph().edge_count(),
+        account.surrogate_edge_count()
+    );
+    println!(
+        "  path utility {:.3}, node utility {:.3}",
+        path_utility(&m.graph, &account),
+        node_utility(&m.graph, &account)
+    );
+    if let Some(dot_path) = flag_value(args, "--dot") {
+        std::fs::write(&dot_path, account_to_dot(&account, "protected account"))
+            .map_err(|e| e.to_string())?;
+        println!("  DOT written to {dot_path}");
+    }
+    if let Some(dot_path) = flag_value(args, "--dot-original") {
+        std::fs::write(&dot_path, graph_to_dot(&m.graph, "original"))
+            .map_err(|e| e.to_string())?;
+        println!("  original DOT written to {dot_path}");
+    }
+    Ok(())
+}
+
+fn cmd_measure(args: &[String]) -> CliResult<()> {
+    let (store, _) = load(args)?;
+    let m = store.materialize();
+    let predicate = resolve_predicate(&m, args)?;
+    let threshold: f64 = flag_value(args, "--threshold")
+        .map(|t| t.parse().map_err(|_| format!("bad threshold {t:?}")))
+        .transpose()?
+        .unwrap_or(0.5);
+    let model = OpacityModel::default();
+    let account = m
+        .context()
+        .protect(predicate, Strategy::Surrogate)
+        .map_err(|e| e.to_string())?;
+    println!("measures for {:?} (surrogate strategy):", m.lattice.name(predicate));
+    println!("  path utility {:.3}", path_utility(&m.graph, &account));
+    println!("  node utility {:.3}", node_utility(&m.graph, &account));
+    match average_protected_opacity(&m.graph, &account, model) {
+        Some(avg) => {
+            let min = min_protected_opacity(&m.graph, &account, model).expect("same set");
+            println!("  opacity over protected edges: avg {avg:.3}, worst {min:.3}");
+        }
+        None => println!("  no protected edges: nothing to infer"),
+    }
+    let risky = edges_at_risk(&m.graph, &account, model, threshold);
+    println!(
+        "  {} protected edge(s) below the {threshold} opacity bar",
+        risky.len()
+    );
+    for entry in risky.iter().take(10) {
+        let (u, v) = entry.edge;
+        println!(
+            "    {:.3}  {} -> {}",
+            entry.opacity,
+            m.graph.node(u).label,
+            m.graph.node(v).label
+        );
+    }
+    Ok(())
+}

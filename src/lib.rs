@@ -1,0 +1,24 @@
+//! # surrogate-parenthood
+//!
+//! Facade crate for the workspace reproducing *Surrogate Parenthood:
+//! Protected and Informative Graphs* (Blaustein et al., PVLDB 4(8), 2011).
+//!
+//! * [`surrogate_core`] — the paper's contribution: protected accounts,
+//!   surrogate nodes/edges, utility and opacity measures;
+//! * [`plus_store`] — the PLUS-like provenance store substrate;
+//! * [`graphgen`] — evaluation workload generators.
+//!
+//! See the `examples/` directory for runnable walkthroughs and the
+//! `surrogate-bench` crate for the experiment harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use graphgen;
+pub use plus_store;
+pub use surrogate_core;
+
+/// The most used types across the workspace.
+pub mod prelude {
+    pub use surrogate_core::prelude::*;
+}

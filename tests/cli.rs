@@ -1,0 +1,81 @@
+//! Integration tests for the `spgraph` CLI: demo → info → protect →
+//! measure over a real snapshot file.
+
+use std::process::Command;
+
+fn spgraph(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_spgraph"))
+        .args(args)
+        .output()
+        .expect("spgraph runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn temp_path(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("spgraph-test-{}-{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn demo_info_protect_measure_pipeline() {
+    let snapshot = temp_path("pipeline.snapshot");
+    let dot = temp_path("account.dot");
+
+    let (ok, stdout, stderr) = spgraph(&["demo", &snapshot]);
+    assert!(ok, "demo failed: {stderr}");
+    assert!(stdout.contains("11 nodes"), "{stdout}");
+
+    let (ok, stdout, _) = spgraph(&["info", &snapshot]);
+    assert!(ok);
+    assert!(stdout.contains("11 node records"), "{stdout}");
+    assert!(stdout.contains("high-water set: {High-1, High-2}"), "{stdout}");
+
+    let (ok, stdout, _) = spgraph(&["protect", &snapshot, "-p", "High-2", "--dot", &dot]);
+    assert!(ok);
+    assert!(stdout.contains("7 of 11 nodes visible (1 surrogate)"), "{stdout}");
+    assert!(stdout.contains("path utility 0.273"), "{stdout}");
+    let dot_text = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(dot_text.contains("digraph"));
+    assert!(dot_text.contains("summarizes"), "surrogate edge exported");
+
+    let (ok, stdout, _) = spgraph(&["measure", &snapshot, "-p", "High-2"]);
+    assert!(ok);
+    assert!(stdout.contains("path utility 0.273"), "{stdout}");
+    assert!(stdout.contains("opacity over protected edges"), "{stdout}");
+
+    // Hide strategy drops the surrogate edge.
+    let (ok, stdout, _) = spgraph(&["protect", &snapshot, "-p", "High-2", "--strategy", "hide"]);
+    assert!(ok);
+    assert!(stdout.contains("(0 surrogate)"), "{stdout}");
+
+    std::fs::remove_file(&snapshot).ok();
+    std::fs::remove_file(&dot).ok();
+}
+
+#[test]
+fn bad_usage_is_reported() {
+    let (ok, _, stderr) = spgraph(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let (ok, _, stderr) = spgraph(&["info", "/nonexistent/path.snapshot"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot load"), "{stderr}");
+
+    let snapshot = temp_path("badpred.snapshot");
+    let (ok, ..) = spgraph(&["demo", &snapshot]);
+    assert!(ok);
+    let (ok, _, stderr) = spgraph(&["protect", &snapshot, "-p", "NoSuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown predicate"), "{stderr}");
+    let (ok, _, stderr) = spgraph(&["protect", &snapshot, "-p", "High-2", "--strategy", "x"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown strategy"), "{stderr}");
+    std::fs::remove_file(&snapshot).ok();
+}

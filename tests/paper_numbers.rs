@@ -1,0 +1,136 @@
+//! Integration suite pinning the whole stack to the paper's published
+//! numbers and claims, end to end across crates.
+
+use surrogate_parenthood::graphgen::{Figure1, Figure11, Figure2, Figure2Scenario};
+use surrogate_parenthood::prelude::*;
+use surrogate_parenthood::surrogate_core::validate::check_all;
+
+#[test]
+fn figure1_graph_and_lattice() {
+    let fig = Figure1::new();
+    assert_eq!(fig.graph.node_count(), 11);
+    assert_eq!(fig.graph.edge_count(), 10);
+    let hw = high_water_set(&fig.graph, &fig.lattice);
+    assert_eq!(hw.len(), 2, "HW(G) = {{High-1, High-2}} (§3.1)");
+    assert!(hw.contains(&fig.high1));
+    assert!(hw.contains(&fig.high2));
+}
+
+#[test]
+fn naive_account_utilities_match_figure3() {
+    let fig = Figure1::new();
+    let naive = fig.naive_account().unwrap();
+    let pu = path_utility(&fig.graph, &naive);
+    let nu = node_utility(&fig.graph, &naive);
+    assert!((pu - 1.4 / 11.0).abs() < 1e-12, "PathUtility = .13, got {pu}");
+    assert!((nu - 6.0 / 11.0).abs() < 1e-12, "NodeUtility = 6/11, got {nu}");
+}
+
+#[test]
+fn table1_path_utilities() {
+    let expect = [
+        (Figure2Scenario::A, 4.2 / 11.0),
+        (Figure2Scenario::B, 3.0 / 11.0),
+        (Figure2Scenario::C, 1.4 / 11.0),
+        (Figure2Scenario::D, 3.0 / 11.0),
+    ];
+    for (scenario, want) in expect {
+        let fig = Figure2::new(scenario);
+        let account = fig.account().unwrap();
+        let got = path_utility(&fig.base.graph, &account);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "{}: {got} vs {want}",
+            scenario.label()
+        );
+    }
+}
+
+#[test]
+fn table1_opacity_order_under_both_calibrations() {
+    let opacity = |scenario, model| {
+        let fig = Figure2::new(scenario);
+        let account = fig.account().unwrap();
+        edge_opacity(&account, model, fig.base.sensitive_edge())
+    };
+    for model in [
+        OpacityModel::directional(),
+        OpacityModel::directional_normalized(),
+    ] {
+        let a = opacity(Figure2Scenario::A, model);
+        let b = opacity(Figure2Scenario::B, model);
+        let c = opacity(Figure2Scenario::C, model);
+        let d = opacity(Figure2Scenario::D, model);
+        assert_eq!(a, 0.0);
+        assert_eq!(b, 1.0);
+        assert!(a < c && c < d && d < b, "paper order 0 < (c) < (d) < 1: {c} {d}");
+    }
+}
+
+#[test]
+fn figure2_accounts_satisfy_theorem1_checks() {
+    for scenario in Figure2Scenario::ALL {
+        let fig = Figure2::new(scenario);
+        let ctx = ProtectionContext::new(
+            &fig.base.graph,
+            &fig.base.lattice,
+            &fig.markings,
+            &fig.catalog,
+        );
+        let account = fig.account().unwrap();
+        let violations = check_all(&ctx, &account);
+        assert!(violations.is_empty(), "{}: {violations:?}", scenario.label());
+    }
+}
+
+#[test]
+fn running_example_c_and_g_stay_related_under_scenario_d() {
+    // §1: "there is currently no way to let a user with High-2 privileges
+    // know that c and g are related" — surrogates fix exactly this.
+    let fig = Figure2::new(Figure2Scenario::D);
+    let account = fig.account().unwrap();
+    let c = account.account_node(fig.base.node("c")).unwrap();
+    let g = account.account_node(fig.base.node("g")).unwrap();
+    assert!(reaches(account.graph(), c, g));
+    // While the gang node's original features stay hidden:
+    let f2 = account.account_node(fig.base.node("f")).unwrap();
+    assert_eq!(account.graph().node(f2).label, "f'");
+    assert!(account.graph().node(f2).features.get("kind").is_some());
+    assert_ne!(
+        account.graph().node(f2).features.get("kind"),
+        fig.base.graph.node(fig.base.node("f")).features.get("kind"),
+        "surrogate coarsens the affiliation"
+    );
+}
+
+#[test]
+fn appendix_a_er_view_sees_contributing_nodes() {
+    let fig = Figure11::new();
+    let account = fig.er_account().unwrap();
+    let plan = fig.graph.find_by_label("Emergency Treatment Plan").unwrap();
+    let plan2 = account.account_node(plan).unwrap();
+    let upstream = ancestors(account.graph(), plan2);
+    // The epidemiological chain is fully visible.
+    for label in [
+        "Trend Model Simulator",
+        "Specific Epidemic Model",
+        "CDC Regional Epidemic Model",
+        "Historical Disease Data Region 1",
+        "Number of affected patients at facility",
+    ] {
+        let original = fig.graph.find_by_label(label).unwrap();
+        let visible = account.account_node(original);
+        assert!(visible.is_some(), "{label} should be visible to ER");
+        assert!(
+            upstream
+                .nodes()
+                .contains(&visible.unwrap()),
+            "{label} should appear upstream of the plan"
+        );
+    }
+    // The CER-only chain is not.
+    for label in ["Emergency Supplies Stockpile", "Supply Analysis"] {
+        let original = fig.graph.find_by_label(label).unwrap();
+        assert!(account.account_node(original).is_none(), "{label} leaked");
+    }
+}
