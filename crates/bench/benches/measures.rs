@@ -37,15 +37,9 @@ fn bench_measures(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("node_utility", nodes), &nodes, |b, _| {
             b.iter(|| node_utility(&graph, &account));
         });
-        group.bench_with_input(
-            BenchmarkId::new("avg_opacity", nodes),
-            &nodes,
-            |b, _| {
-                b.iter(|| {
-                    average_protected_opacity(&graph, &account, OpacityModel::default())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("avg_opacity", nodes), &nodes, |b, _| {
+            b.iter(|| average_protected_opacity(&graph, &account, OpacityModel::default()));
+        });
         group.bench_with_input(
             BenchmarkId::new("edge_opacity_amortized", nodes),
             &nodes,

@@ -24,18 +24,12 @@ fn bench_protect(c: &mut Criterion) {
         let sur_markings = data.markings(EdgeProtection::Surrogate);
         let hide_markings = data.markings(EdgeProtection::Hide);
 
-        group.bench_with_input(
-            BenchmarkId::new("surrogate", nodes),
-            &nodes,
-            |b, _| {
-                let ctx =
-                    ProtectionContext::new(&data.graph, &data.lattice, &sur_markings, &catalog);
-                b.iter(|| generate(&ctx, public).expect("generates"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("surrogate", nodes), &nodes, |b, _| {
+            let ctx = ProtectionContext::new(&data.graph, &data.lattice, &sur_markings, &catalog);
+            b.iter(|| generate(&ctx, public).expect("generates"));
+        });
         group.bench_with_input(BenchmarkId::new("hide", nodes), &nodes, |b, _| {
-            let ctx =
-                ProtectionContext::new(&data.graph, &data.lattice, &hide_markings, &catalog);
+            let ctx = ProtectionContext::new(&data.graph, &data.lattice, &hide_markings, &catalog);
             b.iter(|| generate_hide(&ctx, public).expect("generates"));
         });
     }

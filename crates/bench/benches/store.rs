@@ -3,8 +3,8 @@
 //! non-protection bars.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use surrogate_bench::experiments::fig10::{build_store, Fig10Config};
 use plus_store::Store;
+use surrogate_bench::experiments::fig10::{build_store, Fig10Config};
 
 fn bench_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("store");

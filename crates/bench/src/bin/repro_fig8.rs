@@ -7,11 +7,18 @@ use surrogate_core::measures::OpacityModel;
 
 fn main() {
     let configs = fig9::paper_configs(2011);
-    eprintln!("generating + protecting {} synthetic graphs…", configs.len());
+    eprintln!(
+        "generating + protecting {} synthetic graphs…",
+        configs.len()
+    );
     let (cells, frontier) = fig8::run(&configs, OpacityModel::default(), 10);
     println!("Figure 8: maximum utility given an opacity rating (synthetic graphs)\n");
     let table = render_table(
-        &["opacity bin", "max Utility (Hide)", "max Utility (Surrogate)"],
+        &[
+            "opacity bin",
+            "max Utility (Hide)",
+            "max Utility (Surrogate)",
+        ],
         &frontier
             .iter()
             .map(|bin| {

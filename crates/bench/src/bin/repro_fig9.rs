@@ -7,7 +7,10 @@ use surrogate_core::measures::OpacityModel;
 
 fn main() {
     let configs = fig9::paper_configs(2011);
-    eprintln!("generating + protecting {} synthetic graphs…", configs.len());
+    eprintln!(
+        "generating + protecting {} synthetic graphs…",
+        configs.len()
+    );
     let cells = fig9::run_grid(&configs, OpacityModel::default());
 
     // Rows = protection fraction (series); columns = connectivity steps.

@@ -2,7 +2,7 @@
 //! across the synthetic grid — connectedness 30–100 × protection 10%–90%.
 //!
 //! Cells are independent, so the sweep fans out across threads with
-//! `crossbeam::scope`.
+//! `std::thread::scope`.
 
 use graphgen::{synthetic, EdgeProtection, SyntheticConfig};
 use surrogate_core::account::{generate, generate_hide, ProtectionContext};
@@ -77,8 +77,7 @@ pub fn run_cell(config: SyntheticConfig, model: OpacityModel) -> Fig9Cell {
         edges: synthetic.graph.edge_count(),
         utility_surrogate: path_utility(&synthetic.graph, &sur),
         utility_hide: path_utility(&synthetic.graph, &hide),
-        opacity_surrogate: average_protected_opacity(&synthetic.graph, &sur, model)
-            .unwrap_or(1.0),
+        opacity_surrogate: average_protected_opacity(&synthetic.graph, &sur, model).unwrap_or(1.0),
         opacity_hide: average_protected_opacity(&synthetic.graph, &hide, model).unwrap_or(1.0),
     }
 }
@@ -94,16 +93,15 @@ pub fn run_grid(configs: &[SyntheticConfig], model: OpacityModel) -> Vec<Fig9Cel
         .min(configs.len());
     let mut cells: Vec<Option<Fig9Cell>> = vec![None; configs.len()];
     let chunk = configs.len().div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (config_chunk, cell_chunk) in configs.chunks(chunk).zip(cells.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (config, slot) in config_chunk.iter().zip(cell_chunk.iter_mut()) {
                     *slot = Some(run_cell(*config, model));
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     cells
         .into_iter()
         .map(|c| c.expect("every cell computed"))

@@ -246,8 +246,9 @@ fn plan_nodes(
                 return NodePlan::Original;
             }
             if use_catalog {
-                if let Some(def) =
-                    ctx.catalog.most_dominant_visible_for_set(ctx.lattice, n, preds)
+                if let Some(def) = ctx
+                    .catalog
+                    .most_dominant_visible_for_set(ctx.lattice, n, preds)
                 {
                     return NodePlan::Surrogate {
                         label: def.label.clone(),
@@ -364,9 +365,7 @@ fn permitted_reach(
     // Def. 8: the source's incidence on the first edge must be Visible.
     for &x in g.out_neighbors(u) {
         let e = (u, x);
-        if !m.edge_hidden_for_set(e, preds)
-            && m.mark_for_set(u, e, preds) == Marking::Visible
-        {
+        if !m.edge_hidden_for_set(e, preds) && m.mark_for_set(u, e, preds) == Marking::Visible {
             queue.push_back((e, 1));
         }
     }
@@ -682,7 +681,10 @@ mod tests {
         let c2 = account.account_node(fx.ids[2]).unwrap();
         assert!(account.graph().has_edge(a2, b2));
         assert!(account.graph().has_edge(b2, c2));
-        assert!(!account.graph().has_edge(a2, c2), "no redundant surrogate edge");
+        assert!(
+            !account.graph().has_edge(a2, c2),
+            "no redundant surrogate edge"
+        );
         assert_eq!(account.surrogate_edge_count(), 0);
     }
 
@@ -706,7 +708,10 @@ mod tests {
         let account = generate_hide(&fx.ctx(), public).unwrap();
         assert_eq!(account.graph().edge_count(), 0);
         assert_eq!(account.strategy(), Strategy::HideEdges);
-        assert!(account.account_node(fx.ids[1]).is_some(), "node layer keeps surrogate");
+        assert!(
+            account.account_node(fx.ids[1]).is_some(),
+            "node layer keeps surrogate"
+        );
     }
 
     #[test]
@@ -785,7 +790,10 @@ mod tests {
         let account = generate(&ctx, public).unwrap();
         let a2 = account.account_node(a).unwrap();
         let c2 = account.account_node(c).unwrap();
-        assert!(account.graph().has_edge(a2, c2), "surrogate edge inside cycle");
+        assert!(
+            account.graph().has_edge(a2, c2),
+            "surrogate edge inside cycle"
+        );
         assert!(account.graph().has_edge(c2, a2), "visible edge kept");
     }
 

@@ -122,8 +122,14 @@ mod tests {
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
         let account = generate(&ctx, public).unwrap();
         let dot = account_to_dot(&account, "protected");
-        assert!(dot.contains("style=dashed shape=box"), "surrogate node styled");
-        assert!(dot.contains("[style=dashed label=\"summarizes\"]"), "surrogate edge styled");
+        assert!(
+            dot.contains("style=dashed shape=box"),
+            "surrogate node styled"
+        );
+        assert!(
+            dot.contains("[style=dashed label=\"summarizes\"]"),
+            "surrogate edge styled"
+        );
         assert!(dot.contains("(surrogate, info 0.50)"));
     }
 }

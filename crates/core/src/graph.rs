@@ -276,10 +276,7 @@ impl Graph {
         if self.node_count() == 0 {
             return 0.0;
         }
-        let total: usize = self
-            .node_ids()
-            .map(|n| self.reachable_from(n).len())
-            .sum();
+        let total: usize = self.node_ids().map(|n| self.reachable_from(n).len()).sum();
         total as f64 / self.node_count() as f64
     }
 

@@ -95,9 +95,9 @@ pub mod validate;
 /// Convenience re-exports of the most used types.
 pub mod prelude {
     pub use crate::account::{
-        generate, generate_for_set, generate_hide, generate_hide_for_set,
-        generate_naive_node_hide, generate_with_options, Correspondence, GenerateOptions,
-        ProtectedAccount, ProtectionContext, Strategy,
+        generate, generate_for_set, generate_hide, generate_hide_for_set, generate_naive_node_hide,
+        generate_with_options, Correspondence, GenerateOptions, ProtectedAccount,
+        ProtectionContext, Strategy,
     };
     pub use crate::credential::Consumer;
     pub use crate::dot::{account_to_dot, graph_to_dot};
@@ -108,8 +108,8 @@ pub mod prelude {
     pub use crate::marking::{Marking, MarkingStore};
     pub use crate::measures::{
         average_protected_opacity, edge_opacity, edges_at_risk, min_protected_opacity,
-        node_utility, path_percentages, path_utility, risk_report, OpacityEvaluator,
-        OpacityModel, RiskEntry,
+        node_utility, path_percentages, path_utility, risk_report, OpacityEvaluator, OpacityModel,
+        RiskEntry,
     };
     pub use crate::privilege::{PrivilegeId, PrivilegeLattice};
     pub use crate::query::{ancestors, descendants, reaches, shortest_path, traverse, Direction};

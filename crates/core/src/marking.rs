@@ -143,8 +143,7 @@ impl MarkingStore {
     /// edge may appear directly in the protected account.
     #[inline]
     pub fn edge_visible(&self, edge: Edge, p: PrivilegeId) -> bool {
-        self.mark_source(edge, p) == Marking::Visible
-            && self.mark_dest(edge, p) == Marking::Visible
+        self.mark_source(edge, p) == Marking::Visible && self.mark_dest(edge, p) == Marking::Visible
     }
 
     /// Effective marking of an incidence for a *set* of predicates (a
@@ -292,12 +291,20 @@ mod tests {
         assert_eq!(store.mark(a, e, public), Marking::Hide);
         store.set_node(a, public, Marking::Surrogate); // layer 3 beats 4
         assert_eq!(store.mark(a, e, public), Marking::Surrogate);
-        assert_eq!(store.mark(a, e, high), Marking::Hide, "other predicate keeps layer 4");
+        assert_eq!(
+            store.mark(a, e, high),
+            Marking::Hide,
+            "other predicate keeps layer 4"
+        );
         store.set_all_predicates(a, e, Marking::Visible); // layer 2 beats 3
         assert_eq!(store.mark(a, e, public), Marking::Visible);
         store.set(a, e, public, Marking::Hide); // layer 1 beats all
         assert_eq!(store.mark(a, e, public), Marking::Hide);
-        assert_eq!(store.mark(a, e, high), Marking::Visible, "layer 2 for other predicate");
+        assert_eq!(
+            store.mark(a, e, high),
+            Marking::Visible,
+            "layer 2 for other predicate"
+        );
     }
 
     #[test]
@@ -337,7 +344,10 @@ mod tests {
         store.set(a, e, public, Marking::Hide);
         store.set(a, e, high, Marking::Surrogate);
         assert_eq!(store.mark_for_set(a, e, &[public]), Marking::Hide);
-        assert_eq!(store.mark_for_set(a, e, &[public, high]), Marking::Surrogate);
+        assert_eq!(
+            store.mark_for_set(a, e, &[public, high]),
+            Marking::Surrogate
+        );
         // A Visible member wins outright.
         let mut store = MarkingStore::new();
         store.set(a, e, public, Marking::Hide);

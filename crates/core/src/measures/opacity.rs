@@ -444,10 +444,7 @@ mod tests {
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
         let account = generate(&ctx, lattice.public()).unwrap();
-        assert_eq!(
-            edge_opacity(&account, OpacityModel::default(), (a, b)),
-            1.0
-        );
+        assert_eq!(edge_opacity(&account, OpacityModel::default(), (a, b)), 1.0);
     }
 
     #[test]

@@ -102,8 +102,7 @@ impl PrivilegeLatticeBuilder {
         while changed {
             changed = false;
             for p in 0..n {
-                for qi in 0..direct[p].len() {
-                    let q = direct[p][qi];
+                for &q in &direct[p] {
                     let q_closure = closure[q].clone();
                     let before = closure[p].len();
                     closure[p].union_with(&q_closure);
@@ -173,7 +172,9 @@ impl PrivilegeLattice {
     pub fn public_only() -> Self {
         let mut builder = Self::builder();
         builder.add("Public").expect("fresh builder");
-        builder.finish().expect("single predicate is a valid lattice")
+        builder
+            .finish()
+            .expect("single predicate is a valid lattice")
     }
 
     /// Number of predicates.
@@ -410,10 +411,7 @@ mod tests {
         let names = lattice.names_in_order();
         let pairs = lattice.dominance_pairs();
         let mut builder = PrivilegeLattice::builder();
-        let ids: Vec<PrivilegeId> = names
-            .iter()
-            .map(|n| builder.add(*n).unwrap())
-            .collect();
+        let ids: Vec<PrivilegeId> = names.iter().map(|n| builder.add(*n).unwrap()).collect();
         for (hi, lo) in &pairs {
             builder.declare_dominates(ids[hi.index()], ids[lo.index()]);
         }

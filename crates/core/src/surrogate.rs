@@ -107,13 +107,11 @@ impl SurrogateCatalog {
             best = match best {
                 None => Some(def),
                 Some(current) => {
-                    if lattice.dominates(def.lowest, current.lowest)
-                        && def.lowest != current.lowest
-                    {
-                        Some(def)
-                    } else if lattice.incomparable(def.lowest, current.lowest)
-                        && def.info_score > current.info_score
-                    {
+                    let strictly_dominates = lattice.dominates(def.lowest, current.lowest)
+                        && def.lowest != current.lowest;
+                    let better_incomparable = lattice.incomparable(def.lowest, current.lowest)
+                        && def.info_score > current.info_score;
+                    if strictly_dominates || better_incomparable {
                         Some(def)
                     } else {
                         Some(current)
@@ -141,13 +139,13 @@ impl SurrogateCatalog {
                 best = match best {
                     None => Some(candidate),
                     Some(current) => {
-                        if lattice.dominates(candidate.lowest, current.lowest)
-                            && candidate.lowest != current.lowest
-                        {
-                            Some(candidate)
-                        } else if lattice.incomparable(candidate.lowest, current.lowest)
-                            && candidate.info_score > current.info_score
-                        {
+                        let strictly_dominates = lattice
+                            .dominates(candidate.lowest, current.lowest)
+                            && candidate.lowest != current.lowest;
+                        let better_incomparable = lattice
+                            .incomparable(candidate.lowest, current.lowest)
+                            && candidate.info_score > current.info_score;
+                        if strictly_dominates || better_incomparable {
                             Some(candidate)
                         } else {
                             Some(current)

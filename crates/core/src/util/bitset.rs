@@ -89,7 +89,11 @@ impl BitSet {
     /// `true` if every member of `self` is also in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.capacity == other.capacity
-            && self.words.iter().zip(&other.words).all(|(w, o)| w & !o == 0)
+            && self
+                .words
+                .iter()
+                .zip(&other.words)
+                .all(|(w, o)| w & !o == 0)
     }
 
     /// Iterates over members in increasing order.

@@ -116,7 +116,10 @@ mod tests {
     fn handles_unaligned_byte_tails() {
         // 9 bytes exercises the chunk + remainder path.
         assert_ne!(hash_of([1u8; 9]), hash_of([1u8; 8]));
-        assert_ne!(hash_of(b"abcdefghi".as_slice()), hash_of(b"abcdefgh".as_slice()));
+        assert_ne!(
+            hash_of(b"abcdefghi".as_slice()),
+            hash_of(b"abcdefgh".as_slice())
+        );
     }
 
     #[test]

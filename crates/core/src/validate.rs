@@ -57,10 +57,7 @@ pub enum Violation {
 /// Checks Def. 5 soundness. Every surrogate or shown edge must map to an
 /// HW-permitted pair (shown edges are length-1 permitted pairs), which is
 /// also exactly the "no computed edge between Hide-marked pairs" rule.
-pub fn check_soundness(
-    ctx: &ProtectionContext<'_>,
-    account: &ProtectedAccount,
-) -> Vec<Violation> {
+pub fn check_soundness(ctx: &ProtectionContext<'_>, account: &ProtectedAccount) -> Vec<Violation> {
     let mut violations = Vec::new();
 
     // Unique correspondence.
@@ -116,20 +113,18 @@ pub fn check_node_layer(
                 }
                 if !visible {
                     if let Correspondence::Surrogate { info_score } = corr {
-                        let best =
-                            ctx.catalog.most_dominant_visible_for_set(ctx.lattice, n, preds);
+                        let best = ctx
+                            .catalog
+                            .most_dominant_visible_for_set(ctx.lattice, n, preds);
                         if let Some(best) = best {
                             // The chosen surrogate's lowest must match the
                             // dominant choice (ties broken by info-score).
                             let chosen_lowest = account.graph().node(n2).lowest;
-                            let dominated_strictly = ctx
-                                .lattice
-                                .dominates(best.lowest, chosen_lowest)
-                                && best.lowest != chosen_lowest;
+                            let dominated_strictly =
+                                ctx.lattice.dominates(best.lowest, chosen_lowest)
+                                    && best.lowest != chosen_lowest;
                             if dominated_strictly || best.info_score > *info_score {
-                                violations.push(Violation::SubdominantSurrogate {
-                                    original: n,
-                                });
+                                violations.push(Violation::SubdominantSurrogate { original: n });
                             }
                         }
                     }
@@ -202,12 +197,7 @@ mod tests {
     use crate::privilege::PrivilegeLattice;
     use crate::surrogate::{SurrogateCatalog, SurrogateDef};
 
-    fn fixture() -> (
-        Graph,
-        PrivilegeLattice,
-        MarkingStore,
-        SurrogateCatalog,
-    ) {
+    fn fixture() -> (Graph, PrivilegeLattice, MarkingStore, SurrogateCatalog) {
         let (lattice, preds) = PrivilegeLattice::flat(&["High"]).unwrap();
         let high = preds[0];
         let public = lattice.public();
@@ -238,7 +228,11 @@ mod tests {
     fn generated_accounts_pass_all_checks() {
         let (g, lattice, markings, catalog) = fixture();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        for strategy in [Strategy::Surrogate, Strategy::HideEdges, Strategy::HideNodes] {
+        for strategy in [
+            Strategy::Surrogate,
+            Strategy::HideEdges,
+            Strategy::HideNodes,
+        ] {
             let account = ctx.protect(lattice.public(), strategy).unwrap();
             let violations = check_all(&ctx, &account);
             assert!(violations.is_empty(), "{strategy:?}: {violations:?}");

@@ -59,7 +59,7 @@ fn build_scenario(nodes: usize, seed: u64) -> Scenario {
     let mut graph = Graph::new();
     let ids: Vec<_> = (0..nodes)
         .map(|i| {
-            let lowest = levels[rng.gen_range(0..3)];
+            let lowest = levels[rng.gen_range(0..3usize)];
             graph.add_node_with_features(
                 format!("n{i}"),
                 Features::new().with("i", i as i64),
@@ -86,7 +86,7 @@ fn build_scenario(nodes: usize, seed: u64) -> Scenario {
                     1 => Marking::Hide,
                     _ => Marking::Surrogate,
                 };
-                let level = levels[rng.gen_range(0..3)];
+                let level = levels[rng.gen_range(0..3usize)];
                 markings.set(node, edge, level, marking);
             }
         }
@@ -99,7 +99,7 @@ fn build_scenario(nodes: usize, seed: u64) -> Scenario {
             } else {
                 Marking::Hide
             };
-            markings.set_node(n, levels[rng.gen_range(0..3)], marking);
+            markings.set_node(n, levels[rng.gen_range(0..3usize)], marking);
         }
     }
 
@@ -120,7 +120,7 @@ fn build_scenario(nodes: usize, seed: u64) -> Scenario {
         }
     }
 
-    let predicate = levels[rng.gen_range(0..3)];
+    let predicate = levels[rng.gen_range(0..3usize)];
     Scenario {
         graph,
         lattice,

@@ -239,8 +239,7 @@ mod tests {
         let sur_markings = motif.markings(EdgeProtection::Surrogate);
         let hide_markings = motif.markings(EdgeProtection::Hide);
         let sur = {
-            let ctx =
-                ProtectionContext::new(&motif.graph, &motif.lattice, &sur_markings, &catalog);
+            let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &sur_markings, &catalog);
             generate(&ctx, public).unwrap()
         };
         let hide = {
@@ -322,8 +321,7 @@ mod tests {
             let catalog = SurrogateCatalog::new();
             for protection in [EdgeProtection::Surrogate, EdgeProtection::Hide] {
                 let markings = motif.markings(protection);
-                let ctx =
-                    ProtectionContext::new(&motif.graph, &motif.lattice, &markings, &catalog);
+                let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &markings, &catalog);
                 let account = generate(&ctx, motif.lattice.public()).unwrap();
                 assert!(
                     !account.original_edge_present(motif.protected_edge),

@@ -6,7 +6,9 @@
 //! PathUtility(naïve) = .13, NodeUtility(naïve) = 6/11, and Table 1's
 //! path utilities .38 / .27 / .13 / .27.
 
-use surrogate_core::account::{generate, generate_naive_node_hide, ProtectedAccount, ProtectionContext};
+use surrogate_core::account::{
+    generate, generate_naive_node_hide, ProtectedAccount, ProtectionContext,
+};
 use surrogate_core::error::Result;
 use surrogate_core::feature::Features;
 use surrogate_core::graph::{Graph, NodeId};
@@ -277,7 +279,12 @@ impl Figure11 {
         let lattice = builder.finish().expect("figure 11b is a valid lattice");
 
         let mut graph = Graph::new();
-        let ts = |t: i64| Features::new().with("timestamp", surrogate_core::feature::FeatureValue::Timestamp(t));
+        let ts = |t: i64| {
+            Features::new().with(
+                "timestamp",
+                surrogate_core::feature::FeatureValue::Timestamp(t),
+            )
+        };
         let pr1 = graph.add_node_with_features("Patient Record 1", ts(0), mp);
         let pr2 = graph.add_node_with_features("Patient Record 2", ts(1), mp);
         let pr3 = graph.add_node_with_features("Patient Record 3", ts(2), mp);

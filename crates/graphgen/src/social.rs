@@ -185,10 +185,7 @@ mod tests {
     fn ties_are_bidirectional() {
         let net = generate(SocialConfig::default());
         for (a, b) in net.graph.edges() {
-            assert!(
-                net.graph.has_edge(b, a),
-                "tie {a}→{b} lacks its reverse"
-            );
+            assert!(net.graph.has_edge(b, a), "tie {a}→{b} lacks its reverse");
         }
     }
 
@@ -233,8 +230,7 @@ mod tests {
         // Under surrogate protection they stay related to other members...
         let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
         let sur = protect(&ctx, net.public).unwrap();
-        let hide =
-            surrogate_core::account::generate_hide(&ctx, net.public).unwrap();
+        let hide = surrogate_core::account::generate_hide(&ctx, net.public).unwrap();
         assert!(
             path_utility(&net.graph, &sur) > path_utility(&net.graph, &hide),
             "surrogate edges must reconnect lone members"

@@ -222,10 +222,7 @@ mod tests {
         let b = generate(config);
         assert_eq!(a.graph.edge_count(), b.graph.edge_count());
         assert_eq!(a.protected_edges, b.protected_edges);
-        let c = generate(SyntheticConfig {
-            seed: 43,
-            ..config
-        });
+        let c = generate(SyntheticConfig { seed: 43, ..config });
         assert_ne!(
             a.protected_edges, c.protected_edges,
             "different seed, different sample"

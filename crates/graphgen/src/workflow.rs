@@ -79,12 +79,12 @@ pub fn generate(config: WorkflowConfig) -> Workflow {
     let mut sensitive = Vec::new();
 
     let make_node = |graph: &mut Graph,
-                         markings: &mut MarkingStore,
-                         catalog: &mut SurrogateCatalog,
-                         sensitive: &mut Vec<NodeId>,
-                         rng: &mut StdRng,
-                         label: String,
-                         kind: &str| {
+                     markings: &mut MarkingStore,
+                     catalog: &mut SurrogateCatalog,
+                     sensitive: &mut Vec<NodeId>,
+                     rng: &mut StdRng,
+                     label: String,
+                     kind: &str| {
         let is_sensitive = rng.gen_bool(config.sensitive_fraction);
         let lowest = if is_sensitive { restricted } else { public };
         let features = Features::new().with("kind", kind);

@@ -143,7 +143,7 @@ mod tests {
     fn conversions_wrap() {
         let e: StoreError = CodecError::Truncated.into();
         assert!(matches!(e, StoreError::Codec(_)));
-        let e: StoreError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: StoreError = std::io::Error::other("x").into();
         assert!(matches!(e, StoreError::Io(_)));
     }
 }

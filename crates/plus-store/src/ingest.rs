@@ -94,7 +94,11 @@ pub fn ingest(
                 predicate: Some(predicate),
                 marking,
             },
-            MarkingRule::Incidence { node, edge, marking } => PolicyStatement::MarkIncidence {
+            MarkingRule::Incidence {
+                node,
+                edge,
+                marking,
+            } => PolicyStatement::MarkIncidence {
                 node: RecordId(node.0),
                 from: RecordId(edge.0 .0),
                 to: RecordId(edge.1 .0),
@@ -170,8 +174,14 @@ mod tests {
     #[test]
     fn ingest_roundtrips_through_materialize() {
         let (graph, lattice, markings, catalog) = setup();
-        let store = ingest(&graph, &lattice, &markings, &catalog, IngestKinds::default())
-            .unwrap();
+        let store = ingest(
+            &graph,
+            &lattice,
+            &markings,
+            &catalog,
+            IngestKinds::default(),
+        )
+        .unwrap();
         let m = store.materialize();
         assert_eq!(m.graph.node_count(), graph.node_count());
         assert_eq!(m.graph.edge_count(), graph.edge_count());
@@ -199,8 +209,14 @@ mod tests {
     #[test]
     fn ingest_survives_snapshot_roundtrip() {
         let (graph, lattice, markings, catalog) = setup();
-        let store = ingest(&graph, &lattice, &markings, &catalog, IngestKinds::default())
-            .unwrap();
+        let store = ingest(
+            &graph,
+            &lattice,
+            &markings,
+            &catalog,
+            IngestKinds::default(),
+        )
+        .unwrap();
         let restored = Store::from_bytes(&store.to_bytes()).unwrap();
         assert_eq!(restored.to_bytes(), store.to_bytes());
     }
@@ -210,7 +226,13 @@ mod tests {
         let (graph, lattice, _, catalog) = setup();
         let markings = MarkingStore::new().with_default(Marking::Hide);
         assert!(matches!(
-            ingest(&graph, &lattice, &markings, &catalog, IngestKinds::default()),
+            ingest(
+                &graph,
+                &lattice,
+                &markings,
+                &catalog,
+                IngestKinds::default()
+            ),
             Err(StoreError::UnsupportedPolicy(_))
         ));
     }

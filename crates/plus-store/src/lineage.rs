@@ -132,7 +132,9 @@ mod tests {
         let store = Store::public_only();
         let public = store.predicate("Public").unwrap();
         let ids: Vec<RecordId> = (0..4)
-            .map(|i| store.append_node(format!("stage{i}"), NodeKind::Data, Features::new(), public))
+            .map(|i| {
+                store.append_node(format!("stage{i}"), NodeKind::Data, Features::new(), public)
+            })
             .collect();
         for w in ids.windows(2) {
             store.append_edge(w[0], w[1], EdgeKind::InputTo).unwrap();
@@ -183,8 +185,7 @@ mod tests {
         assert_eq!(labels, vec!["b", "a"], "agent tie excluded");
         let everything = upstream(&m, c, u32::MAX);
         assert_eq!(everything.len(), 3, "unfiltered walk sees the agent");
-        let downstream_data =
-            downstream_by_kind(&store, &m, a, &[EdgeKind::InputTo], u32::MAX);
+        let downstream_data = downstream_by_kind(&store, &m, a, &[EdgeKind::InputTo], u32::MAX);
         assert_eq!(downstream_data.len(), 1);
         assert_eq!(downstream_data[0].label, "b");
     }

@@ -81,10 +81,7 @@ impl Session {
             });
         }
         if !self.cache.contains_key(&(predicate, strategy)) {
-            let account = self
-                .materialized
-                .context()
-                .protect(predicate, strategy)?;
+            let account = self.materialized.context().protect(predicate, strategy)?;
             self.cache.insert((predicate, strategy), account);
         }
         Ok(&self.cache[&(predicate, strategy)])
@@ -132,12 +129,7 @@ impl Session {
     /// protected account, is `a` related to `b` — i.e. does a directed
     /// path connect their visible representatives? `false` when either
     /// record is invisible to the consumer.
-    pub fn related(
-        &mut self,
-        predicate: PrivilegeId,
-        a: RecordId,
-        b: RecordId,
-    ) -> Result<bool> {
+    pub fn related(&mut self, predicate: PrivilegeId, a: RecordId, b: RecordId) -> Result<bool> {
         let account = self.account(predicate, Strategy::Surrogate)?;
         let (Some(a2), Some(b2)) = (
             account.account_node(NodeId(a.0)),
@@ -197,9 +189,7 @@ mod tests {
         let mid = store.append_node("analysis", NodeKind::Process, Features::new(), public);
         let sink = store.append_node("report", NodeKind::Data, Features::new(), public);
         store.append_edge(source, mid, EdgeKind::InputTo).unwrap();
-        store
-            .append_edge(mid, sink, EdgeKind::GeneratedBy)
-            .unwrap();
+        store.append_edge(mid, sink, EdgeKind::GeneratedBy).unwrap();
         store
             .apply_policy(PolicyStatement::AddSurrogate {
                 node: source,
@@ -260,10 +250,14 @@ mod tests {
         let public = m.lattice.by_name("Public").unwrap();
         let consumer = Consumer::public(&m.lattice);
         let mut session = Session::new(m, consumer);
-        let first = session.account(public, Strategy::Surrogate).unwrap().graph()
-            as *const surrogate_core::graph::Graph;
-        let second = session.account(public, Strategy::Surrogate).unwrap().graph()
-            as *const surrogate_core::graph::Graph;
+        let first = session
+            .account(public, Strategy::Surrogate)
+            .unwrap()
+            .graph() as *const surrogate_core::graph::Graph;
+        let second = session
+            .account(public, Strategy::Surrogate)
+            .unwrap()
+            .graph() as *const surrogate_core::graph::Graph;
         assert_eq!(first, second, "same cached account object");
     }
 
@@ -275,8 +269,7 @@ mod tests {
         // Remove the surrogate so the source is simply absent.
         let store2 = Store::new(&["Public", "High"], &[(1, 0)]).unwrap();
         let high = store2.predicate("High").unwrap();
-        let source =
-            store2.append_node("secret source", NodeKind::Agent, Features::new(), high);
+        let source = store2.append_node("secret source", NodeKind::Agent, Features::new(), high);
         let m2 = store2.materialize();
         let consumer = Consumer::public(&m2.lattice);
         let mut session = Session::new(m2, consumer);
@@ -294,7 +287,10 @@ mod tests {
         // source → mid → sink all connect through the surrogate.
         assert!(session.related(public, ids[0], ids[2]).unwrap());
         assert!(session.related(public, ids[1], ids[2]).unwrap());
-        assert!(!session.related(public, ids[2], ids[0]).unwrap(), "directed");
+        assert!(
+            !session.related(public, ids[2], ids[0]).unwrap(),
+            "directed"
+        );
     }
 
     #[test]
@@ -313,16 +309,18 @@ mod tests {
         let m = store.materialize();
         let consumer = Consumer::new("dual", &m.lattice, &[a, b]);
         let mut session = Session::new(m, consumer);
-        let account = session
-            .frontier_account(Strategy::Surrogate)
-            .unwrap();
+        let account = session.frontier_account(Strategy::Surrogate).unwrap();
         assert_eq!(account.high_water().len(), 2);
         assert_eq!(account.graph().node_count(), 3, "both branches visible");
         // Cached per strategy.
-        let again = session.frontier_account(Strategy::Surrogate).unwrap().graph()
-            as *const surrogate_core::graph::Graph;
-        let first = session.frontier_account(Strategy::Surrogate).unwrap().graph()
-            as *const surrogate_core::graph::Graph;
+        let again = session
+            .frontier_account(Strategy::Surrogate)
+            .unwrap()
+            .graph() as *const surrogate_core::graph::Graph;
+        let first = session
+            .frontier_account(Strategy::Surrogate)
+            .unwrap()
+            .graph() as *const surrogate_core::graph::Graph;
         assert_eq!(again, first);
     }
 

@@ -449,10 +449,8 @@ mod tests {
     #[test]
     fn snapshot_roundtrip_on_disk() {
         let (store, ..) = sample_store();
-        let path = std::env::temp_dir().join(format!(
-            "plus-store-test-{}.snapshot",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("plus-store-test-{}.snapshot", std::process::id()));
         store.save(&path).unwrap();
         let restored = Store::load(&path).unwrap();
         std::fs::remove_file(&path).ok();

@@ -12,8 +12,8 @@ use surrogate_core::marking::Marking;
 
 fn random_store(nodes: usize, seed: u64) -> Store {
     let mut rng = StdRng::seed_from_u64(seed);
-    let store = Store::new(&["Public", "Mid", "High"], &[(1, 0), (2, 1)])
-        .expect("chain lattice is valid");
+    let store =
+        Store::new(&["Public", "Mid", "High"], &[(1, 0), (2, 1)]).expect("chain lattice is valid");
     let preds = [
         store.predicate("Public").unwrap(),
         store.predicate("Mid").unwrap(),
@@ -42,9 +42,9 @@ fn random_store(nodes: usize, seed: u64) -> Store {
             }
             store.append_node(
                 format!("node-{i}"),
-                kinds[rng.gen_range(0..3)],
+                kinds[rng.gen_range(0..3usize)],
                 features,
-                preds[rng.gen_range(0..3)],
+                preds[rng.gen_range(0..3usize)],
             )
         })
         .collect();
@@ -53,7 +53,7 @@ fn random_store(nodes: usize, seed: u64) -> Store {
         for _ in 0..rng.gen_range(0..nodes * 2) {
             let a = ids[rng.gen_range(0..nodes)];
             let b = ids[rng.gen_range(0..nodes)];
-            let _ = store.append_edge(a, b, edge_kinds[rng.gen_range(0..4)]);
+            let _ = store.append_edge(a, b, edge_kinds[rng.gen_range(0..4usize)]);
         }
     }
 
@@ -62,9 +62,9 @@ fn random_store(nodes: usize, seed: u64) -> Store {
         let statement = match rng.gen_range(0..3) {
             0 => PolicyStatement::MarkNode {
                 node,
-                predicate: rng.gen_bool(0.5).then(|| preds[rng.gen_range(0..3)]),
+                predicate: rng.gen_bool(0.5).then(|| preds[rng.gen_range(0..3usize)]),
                 marking: [Marking::Visible, Marking::Hide, Marking::Surrogate]
-                    [rng.gen_range(0..3)],
+                    [rng.gen_range(0..3usize)],
             },
             1 => PolicyStatement::AddSurrogate {
                 node,
@@ -83,7 +83,7 @@ fn random_store(nodes: usize, seed: u64) -> Store {
                     node: from,
                     from,
                     to,
-                    predicate: rng.gen_bool(0.5).then(|| preds[rng.gen_range(0..3)]),
+                    predicate: rng.gen_bool(0.5).then(|| preds[rng.gen_range(0..3usize)]),
                     marking: Marking::Surrogate,
                 }
             }

@@ -47,7 +47,11 @@ fn main() -> Result<()> {
     let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
     let account = generate(&ctx, public)?;
 
-    println!("original graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "original graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     println!(
         "public account: {} nodes ({} surrogate), {} edges ({} surrogate)",
         account.graph().node_count(),

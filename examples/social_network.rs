@@ -38,7 +38,11 @@ fn main() -> Result<()> {
     let g2 = naive.account_node(g).expect("g is High-2");
     println!(
         "  can a High-2 user tell that c and g are related? {}\n",
-        if reaches(naive.graph(), c2, g2) { "yes" } else { "no" }
+        if reaches(naive.graph(), c2, g2) {
+            "yes"
+        } else {
+            "no"
+        }
     );
 
     // The four Fig. 2 strategies.

@@ -182,8 +182,7 @@ fn cmd_protect(args: &[String]) -> CliResult<()> {
         println!("  DOT written to {dot_path}");
     }
     if let Some(dot_path) = flag_value(args, "--dot-original") {
-        std::fs::write(&dot_path, graph_to_dot(&m.graph, "original"))
-            .map_err(|e| e.to_string())?;
+        std::fs::write(&dot_path, graph_to_dot(&m.graph, "original")).map_err(|e| e.to_string())?;
         println!("  original DOT written to {dot_path}");
     }
     Ok(())
@@ -202,7 +201,10 @@ fn cmd_measure(args: &[String]) -> CliResult<()> {
         .context()
         .protect(predicate, Strategy::Surrogate)
         .map_err(|e| e.to_string())?;
-    println!("measures for {:?} (surrogate strategy):", m.lattice.name(predicate));
+    println!(
+        "measures for {:?} (surrogate strategy):",
+        m.lattice.name(predicate)
+    );
     println!("  path utility {:.3}", path_utility(&m.graph, &account));
     println!("  node utility {:.3}", node_utility(&m.graph, &account));
     match average_protected_opacity(&m.graph, &account, model) {

@@ -10,6 +10,52 @@
 //!
 //! See the `examples/` directory for runnable walkthroughs and the
 //! `surrogate-bench` crate for the experiment harness.
+//!
+//! ## Quick start
+//!
+//! Ingest provenance into the PLUS-like store, state the protection
+//! policy, and serve a protected-but-informative account (paper §3/§5):
+//!
+//! ```
+//! use plus_store::{EdgeKind, NodeKind, PolicyStatement, Store};
+//! use surrogate_parenthood::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! // A chain lattice: "Trusted" (index 1) dominates "Public" (index 0).
+//! let store = Store::new(&["Public", "Trusted"], &[(1, 0)])?;
+//! let public = store.predicate("Public").unwrap();
+//! let trusted = store.predicate("Trusted").unwrap();
+//!
+//! // A tiny lineage: informant → analysis → report, where the
+//! // informant's identity is Trusted-only.
+//! let informant = store.append_node("informant", NodeKind::Agent, Features::new(), trusted);
+//! let analysis = store.append_node("analysis", NodeKind::Process, Features::new(), public);
+//! let report = store.append_node("report", NodeKind::Data, Features::new(), public);
+//! store.append_edge(informant, analysis, EdgeKind::InputTo)?;
+//! store.append_edge(analysis, report, EdgeKind::GeneratedBy)?;
+//!
+//! // Policy: show the public a coarse surrogate instead of the informant.
+//! store.apply_policy(PolicyStatement::MarkNode {
+//!     node: informant,
+//!     predicate: Some(public),
+//!     marking: Marking::Surrogate,
+//! })?;
+//! store.apply_policy(PolicyStatement::AddSurrogate {
+//!     node: informant,
+//!     label: "a trusted source".into(),
+//!     features: Features::new(),
+//!     lowest: public,
+//!     info_score: 0.3,
+//! })?;
+//!
+//! // Materialize and generate the public's maximally informative account.
+//! let materialized = store.materialize();
+//! let account = generate(&materialized.context(), public)?;
+//! assert_eq!(account.graph().node_count(), 3);
+//! assert!(path_utility(&materialized.graph, &account) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

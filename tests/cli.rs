@@ -34,11 +34,17 @@ fn demo_info_protect_measure_pipeline() {
     let (ok, stdout, _) = spgraph(&["info", &snapshot]);
     assert!(ok);
     assert!(stdout.contains("11 node records"), "{stdout}");
-    assert!(stdout.contains("high-water set: {High-1, High-2}"), "{stdout}");
+    assert!(
+        stdout.contains("high-water set: {High-1, High-2}"),
+        "{stdout}"
+    );
 
     let (ok, stdout, _) = spgraph(&["protect", &snapshot, "-p", "High-2", "--dot", &dot]);
     assert!(ok);
-    assert!(stdout.contains("7 of 11 nodes visible (1 surrogate)"), "{stdout}");
+    assert!(
+        stdout.contains("7 of 11 nodes visible (1 surrogate)"),
+        "{stdout}"
+    );
     assert!(stdout.contains("path utility 0.273"), "{stdout}");
     let dot_text = std::fs::read_to_string(&dot).expect("dot written");
     assert!(dot_text.contains("digraph"));

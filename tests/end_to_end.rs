@@ -86,9 +86,7 @@ fn restricted_consumer_sees_more_than_public() {
     let insider = Consumer::new("insider", &m_public.lattice, &[restricted]);
     let mut insider_session = Session::new(store.materialize(), insider);
 
-    let public_account = public_session
-        .account(public, Strategy::Surrogate)
-        .unwrap();
+    let public_account = public_session.account(public, Strategy::Surrogate).unwrap();
     let insider_account = insider_session
         .account(restricted, Strategy::Surrogate)
         .unwrap();
@@ -104,8 +102,8 @@ fn restricted_consumer_sees_more_than_public() {
         "insider sees originals"
     );
     assert!(
-        insider_account.graph().edge_count() >= public_account.graph().edge_count()
-            - public_account.surrogate_edge_count(),
+        insider_account.graph().edge_count()
+            >= public_account.graph().edge_count() - public_account.surrogate_edge_count(),
         "insider's view is at least as connected in original edges"
     );
 }
@@ -165,7 +163,10 @@ fn hide_strategy_breaks_paths_surrogates_restore_them() {
 
     let src2 = naive.account_node(NodeId(src.0)).unwrap();
     let out2 = naive.account_node(NodeId(out.0)).unwrap();
-    assert!(!reaches(naive.graph(), src2, out2), "naive hiding breaks lineage");
+    assert!(
+        !reaches(naive.graph(), src2, out2),
+        "naive hiding breaks lineage"
+    );
 
     let src2 = surrogate.account_node(NodeId(src.0)).unwrap();
     let out2 = surrogate.account_node(NodeId(out.0)).unwrap();

@@ -22,8 +22,14 @@ fn naive_account_utilities_match_figure3() {
     let naive = fig.naive_account().unwrap();
     let pu = path_utility(&fig.graph, &naive);
     let nu = node_utility(&fig.graph, &naive);
-    assert!((pu - 1.4 / 11.0).abs() < 1e-12, "PathUtility = .13, got {pu}");
-    assert!((nu - 6.0 / 11.0).abs() < 1e-12, "NodeUtility = 6/11, got {nu}");
+    assert!(
+        (pu - 1.4 / 11.0).abs() < 1e-12,
+        "PathUtility = .13, got {pu}"
+    );
+    assert!(
+        (nu - 6.0 / 11.0).abs() < 1e-12,
+        "NodeUtility = 6/11, got {nu}"
+    );
 }
 
 #[test]
@@ -63,7 +69,10 @@ fn table1_opacity_order_under_both_calibrations() {
         let d = opacity(Figure2Scenario::D, model);
         assert_eq!(a, 0.0);
         assert_eq!(b, 1.0);
-        assert!(a < c && c < d && d < b, "paper order 0 < (c) < (d) < 1: {c} {d}");
+        assert!(
+            a < c && c < d && d < b,
+            "paper order 0 < (c) < (d) < 1: {c} {d}"
+        );
     }
 }
 
@@ -79,7 +88,11 @@ fn figure2_accounts_satisfy_theorem1_checks() {
         );
         let account = fig.account().unwrap();
         let violations = check_all(&ctx, &account);
-        assert!(violations.is_empty(), "{}: {violations:?}", scenario.label());
+        assert!(
+            violations.is_empty(),
+            "{}: {violations:?}",
+            scenario.label()
+        );
     }
 }
 
@@ -122,9 +135,7 @@ fn appendix_a_er_view_sees_contributing_nodes() {
         let visible = account.account_node(original);
         assert!(visible.is_some(), "{label} should be visible to ER");
         assert!(
-            upstream
-                .nodes()
-                .contains(&visible.unwrap()),
+            upstream.nodes().contains(&visible.unwrap()),
             "{label} should appear upstream of the plan"
         );
     }

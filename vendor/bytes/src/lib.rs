@@ -1,0 +1,146 @@
+//! Vendored, registry-free subset of the `bytes` API.
+//!
+//! [`BytesMut`] is a growable byte buffer over `Vec<u8>`, and [`BufMut`]
+//! carries the little-endian `put_*` writers the snapshot codec uses.
+//! Unlike the real crate there is no refcounted split/freeze machinery —
+//! the codec only appends and then copies out.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consumes the buffer, returning the contents without copying
+    /// (stands in for the real crate's `freeze().to_vec()` pattern).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.inner
+    }
+}
+
+/// Append-only byte sink with little-endian primitive writers.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writers_append_little_endian() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x0102);
+        buf.put_u32_le(0x03040506);
+        buf.put_u64_le(0x0708090A0B0C0D0E);
+        buf.put_i64_le(-2);
+        buf.put_f64_le(1.5);
+        buf.put_slice(b"xy");
+        let v = buf.to_vec();
+        assert_eq!(&v[..3], &[0xAB, 0x02, 0x01]);
+        assert_eq!(&v[3..7], &[0x06, 0x05, 0x04, 0x03]);
+        assert_eq!(v.len(), 1 + 2 + 4 + 8 + 8 + 8 + 2);
+        assert_eq!(&v[v.len() - 2..], b"xy");
+    }
+}

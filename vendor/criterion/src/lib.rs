@@ -1,0 +1,230 @@
+//! Vendored, registry-free subset of the `criterion` benchmark API.
+//!
+//! Provides the surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! calibrate-then-measure wall-clock harness instead of criterion's
+//! statistical machinery. Each benchmark is calibrated to roughly
+//! [`TARGET_MEASURE_TIME`], then reports mean ns/iter on stdout.
+//!
+//! Filters passed by `cargo bench <filter>` are honored with substring
+//! matching; `--bench`/`--profile-time` style flags are accepted and
+//! ignored so `cargo bench` invocations behave.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Time budget each benchmark's measured phase aims for.
+pub const TARGET_MEASURE_TIME: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards its trailing args; the first token that
+        // is not a flag is the name filter. Flags are treated as boolean
+        // (a value-taking flag's value would be mistaken for the filter,
+        // but the only invocation shape this stub serves is
+        // `cargo bench [filter]`, where cargo appends `--bench`).
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted for API parity).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering, formatted `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, &mut f);
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it for the calibrated iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(full_name: &str, f: &mut F) {
+    // Calibration pass: one iteration to estimate per-iter cost.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let estimate = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_MEASURE_TIME.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    // Measurement pass.
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() as f64 / iters as f64;
+    println!("bench: {full_name:<48} {per_iter:>14.1} ns/iter (x{iters})");
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("encode", 100).id, "encode/100");
+        assert_eq!(BenchmarkId::from_parameter("50%").id, "50%");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn groups_run_benchmarks() {
+        let mut criterion = Criterion { filter: None };
+        let mut group = criterion.benchmark_group("demo");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut criterion = Criterion {
+            filter: Some("other".into()),
+        };
+        let mut group = criterion.benchmark_group("demo");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

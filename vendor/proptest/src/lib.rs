@@ -1,0 +1,395 @@
+//! Vendored, registry-free subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so the slice of
+//! proptest this workspace's property suites use is reimplemented here
+//! with the same surface:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, `#[test]`
+//!   functions taking `pattern in strategy` arguments;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * [`any`] for the integer primitives and `bool`;
+//! * range strategies (`1usize..12`, `0.05f64..0.5`);
+//! * [`collection::vec`].
+//!
+//! Design differences from the real crate, chosen for auditability:
+//!
+//! * **Deterministic by default.** Every case's RNG seed is derived from
+//!   the test name and case index, so failures reproduce without a
+//!   persistence file. `proptest-regressions/` directories are therefore
+//!   never written (and are `.gitignore`d in case the real crate is
+//!   swapped back in).
+//! * **No shrinking.** A failing case reports its exact inputs instead;
+//!   with fully derived scenarios (the style all three suites use) the
+//!   inputs are already minimal descriptions.
+//! * **`PROPTEST_CASES`** overrides every suite's case count, exactly
+//!   like the real crate's env-var handling. `PROPTEST_MAX_REJECTS`
+//!   bounds `prop_assume!` discards (default 1024 per case budget).
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; it is discarded, not failed.
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Per-suite configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` discards before the suite fails.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases, unless the `PROPTEST_CASES`
+    /// environment variable overrides the count.
+    pub fn with_cases(cases: u32) -> Self {
+        let cases = env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cases);
+        let max_global_rejects = env::var("PROPTEST_MAX_REJECTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1024);
+        ProptestConfig {
+            cases,
+            max_global_rejects,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value: Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias towards structurally interesting extremes the way
+                // the real crate's integer strategies do.
+                match rng.gen_range(0u32..16) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1,
+                    _ => rng.gen::<$t>(),
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// An unconstrained strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Collection strategies (subset: `vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Derives a per-case RNG seed from the suite name and case index.
+fn case_seed(name: &str, case: u64) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Drives one property: draws inputs, runs the case, panics with the
+/// reproducing inputs on failure. Used by the [`proptest!`] expansion;
+/// not part of the public proptest API.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng::seed_from_u64(case_seed(name, attempt));
+        let (result, inputs) = case(&mut rng);
+        match result {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "{name}: too many prop_assume! rejections \
+                     ({rejected} rejects for {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "{name}: property failed at case #{attempt} \
+                     with inputs [{inputs}]: {message}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),*),
+                        $(&$arg),*
+                    );
+                    let __outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    (__outcome, __inputs)
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name($($arg in $strategy),+) $body )*
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)*),
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)*),
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn assume_discards(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vectors_respect_length(v in crate::collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!(v.len() < 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_inputs() {
+        crate::run_proptest(
+            &ProptestConfig::with_cases(4),
+            "failures_panic_with_inputs",
+            |_rng| (Err(TestCaseError::fail("boom")), "x = 1; ".into()),
+        );
+    }
+}
