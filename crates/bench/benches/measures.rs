@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphgen::{synthetic, EdgeProtection, SyntheticConfig};
-use surrogate_core::account::{generate, ProtectedAccount, ProtectionContext};
+use surrogate_core::account::{generate_for_set, ProtectedAccount, ProtectionContext};
 use surrogate_core::graph::Graph;
 use surrogate_core::measures::{
     average_protected_opacity, node_utility, path_utility, OpacityEvaluator, OpacityModel,
@@ -22,7 +22,7 @@ fn protected_fixture(nodes: usize) -> (Graph, ProtectedAccount) {
     let markings = data.markings(EdgeProtection::Surrogate);
     let account = {
         let ctx = ProtectionContext::new(&data.graph, &data.lattice, &markings, &catalog);
-        generate(&ctx, data.lattice.public()).expect("generates")
+        generate_for_set(&ctx, &[data.lattice.public()]).expect("generates")
     };
     (data.graph, account)
 }

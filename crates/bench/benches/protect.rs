@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphgen::{synthetic, EdgeProtection, SyntheticConfig};
 use surrogate_core::account::{
-    generate, generate_hide, generate_with_options, GenerateOptions, ProtectionContext,
+    generate_for_set, generate_hide_for_set, generate_with_options, GenerateOptions,
+    ProtectionContext,
 };
 use surrogate_core::surrogate::SurrogateCatalog;
 
@@ -26,11 +27,11 @@ fn bench_protect(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("surrogate", nodes), &nodes, |b, _| {
             let ctx = ProtectionContext::new(&data.graph, &data.lattice, &sur_markings, &catalog);
-            b.iter(|| generate(&ctx, public).expect("generates"));
+            b.iter(|| generate_for_set(&ctx, &[public]).expect("generates"));
         });
         group.bench_with_input(BenchmarkId::new("hide", nodes), &nodes, |b, _| {
             let ctx = ProtectionContext::new(&data.graph, &data.lattice, &hide_markings, &catalog);
-            b.iter(|| generate_hide(&ctx, public).expect("generates"));
+            b.iter(|| generate_hide_for_set(&ctx, &[public]).expect("generates"));
         });
     }
     group.finish();
@@ -52,7 +53,7 @@ fn bench_protect(c: &mut Criterion) {
             &fraction,
             |b, _| {
                 let ctx = ProtectionContext::new(&data.graph, &data.lattice, &markings, &catalog);
-                b.iter(|| generate(&ctx, public).expect("generates"));
+                b.iter(|| generate_for_set(&ctx, &[public]).expect("generates"));
             },
         );
     }

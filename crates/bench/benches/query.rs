@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphgen::{synthetic, EdgeProtection, SyntheticConfig};
-use surrogate_core::account::{generate, ProtectionContext};
+use surrogate_core::account::{generate_for_set, ProtectionContext};
 use surrogate_core::graph::NodeId;
 use surrogate_core::query::{ancestors, descendants, shortest_path};
 use surrogate_core::surrogate::SurrogateCatalog;
@@ -21,7 +21,7 @@ fn bench_query(c: &mut Criterion) {
     let markings = data.markings(EdgeProtection::Surrogate);
     let account = {
         let ctx = ProtectionContext::new(&data.graph, &data.lattice, &markings, &catalog);
-        generate(&ctx, data.lattice.public()).expect("generates")
+        generate_for_set(&ctx, &[data.lattice.public()]).expect("generates")
     };
 
     let root = NodeId(0);

@@ -1,9 +1,19 @@
 //! Regenerates Table 1: Path Utility and Opacity for the Fig. 2 accounts.
+//!
+//! With `--json <path>` it additionally runs a timed smoke pass over every
+//! figure driver plus the `AccountService` serving benchmark and writes
+//! the results as JSON — the per-PR perf-trajectory record (`BENCH_*.json`
+//! at the repo root; CI's `bench-smoke` step regenerates it on every
+//! push).
 
-use surrogate_bench::experiments::table1;
-use surrogate_bench::report::{f3, render_table};
+use std::time::Instant;
+
+use surrogate_bench::experiments::{fig10, fig3, fig7, fig8, fig9, service, table1};
+use surrogate_bench::report::{f3, json, render_table};
+use surrogate_core::measures::OpacityModel;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let rows = table1::run();
     println!("Table 1: Path Utility and Opacity measures for the Figure 2 accounts");
     println!("(opacity of edge f->g only; three opacity-model variants reported,");
@@ -38,4 +48,106 @@ fn main() {
     println!("{table}");
     println!("Expected shape: utilities match the paper to rounding; opacity is 0 for");
     println!("(a), 1 for (b), and strictly ordered (c) < (d) as in the paper.");
+
+    if let Some(flag) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(flag + 1)
+            .unwrap_or_else(|| panic!("--json requires a path argument"));
+        let json_text = bench_json(&rows);
+        std::fs::write(path, json_text).expect("bench JSON writes");
+        println!("\nper-figure timings + service throughput written to {path}");
+    }
+}
+
+/// Times a closure, returning (milliseconds, result).
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t = Instant::now();
+    let result = f();
+    (t.elapsed().as_secs_f64() * 1e3, result)
+}
+
+/// One timed smoke pass over every figure driver (small but representative
+/// configs) plus the serving benchmark, rendered as the BENCH json.
+fn bench_json(rows: &[table1::Table1Row]) -> String {
+    let model = OpacityModel::default;
+
+    let table1_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json::object(&[
+                ("scenario", format!("\"{}\"", json::escape(r.scenario))),
+                ("path_utility", json::num(r.path_utility)),
+                ("opacity_normalized", json::num(r.opacity_normalized)),
+            ])
+        })
+        .collect();
+
+    let (table1_ms, _) = timed(table1::run);
+    let (fig3_ms, _) = timed(fig3::run);
+    let (fig7_ms, _) = timed(|| fig7::run(model()));
+    // Figures 8/9 share the synthetic grid; a subset keeps the smoke fast.
+    let grid: Vec<_> = fig9::paper_configs(2011).into_iter().take(6).collect();
+    let (fig9_ms, _) = timed(|| fig9::run_grid(&grid, model()));
+    let (fig8_ms, _) = timed(|| fig8::run(&grid, model(), 10));
+    let (fig10_ms, fig10_result) = timed(|| {
+        fig10::run(fig10::Fig10Config {
+            stages: 8,
+            width: 8,
+            sensitive_fraction: 0.15,
+            iterations: 3,
+            seed: 17,
+            simulated_db_roundtrip_us: None,
+        })
+    });
+    let service_result = service::run(service::ServiceConfig::default());
+
+    json::object(&[
+        (
+            "generated_by",
+            "\"repro_table1 --json (bench-smoke)\"".to_string(),
+        ),
+        ("table1", json::array(&table1_json)),
+        (
+            "figure_timings_ms",
+            json::object(&[
+                ("table1", json::num(table1_ms)),
+                ("fig3", json::num(fig3_ms)),
+                ("fig7", json::num(fig7_ms)),
+                ("fig8_subset", json::num(fig8_ms)),
+                ("fig9_subset", json::num(fig9_ms)),
+                ("fig10", json::num(fig10_ms)),
+            ]),
+        ),
+        (
+            "fig10_pipeline_ms",
+            json::object(&[
+                ("db_access", json::num(fig10_result.db_access_ms)),
+                ("build_graph", json::num(fig10_result.build_graph_ms)),
+                ("protect_hide", json::num(fig10_result.protect_hide_ms)),
+                (
+                    "protect_surrogate",
+                    json::num(fig10_result.protect_surrogate_ms),
+                ),
+                ("total", json::num(fig10_result.total_ms)),
+            ]),
+        ),
+        (
+            "account_service",
+            json::object(&[
+                ("nodes", service_result.nodes.to_string()),
+                ("edges", service_result.edges.to_string()),
+                (
+                    "cold_first_batch_ms",
+                    json::num(service_result.cold_first_batch_ms),
+                ),
+                ("warm_queries", service_result.queries.to_string()),
+                ("warm_rows", service_result.rows.to_string()),
+                ("warm_elapsed_ms", json::num(service_result.warm_elapsed_ms)),
+                (
+                    "warm_queries_per_sec",
+                    json::num(service_result.queries_per_sec),
+                ),
+            ]),
+        ),
+    ])
 }

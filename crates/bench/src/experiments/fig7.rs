@@ -2,7 +2,9 @@
 //! the Path Utility Measure and the opacity of the protected edge.
 
 use graphgen::{all_motifs, EdgeProtection, Motif, MotifKind};
-use surrogate_core::account::{generate, generate_hide, ProtectedAccount, ProtectionContext};
+use surrogate_core::account::{
+    generate_for_set, generate_hide_for_set, ProtectedAccount, ProtectionContext,
+};
 use surrogate_core::measures::{edge_opacity, path_utility, OpacityModel};
 use surrogate_core::surrogate::SurrogateCatalog;
 
@@ -41,11 +43,11 @@ pub fn protect_both(motif: &Motif) -> (ProtectedAccount, ProtectedAccount) {
     let hide_markings = motif.markings(EdgeProtection::Hide);
     let sur = {
         let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &sur_markings, &catalog);
-        generate(&ctx, public).expect("motif protection generates")
+        generate_for_set(&ctx, &[public]).expect("motif protection generates")
     };
     let hide = {
         let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &hide_markings, &catalog);
-        generate_hide(&ctx, public).expect("motif protection generates")
+        generate_hide_for_set(&ctx, &[public]).expect("motif protection generates")
     };
     (sur, hide)
 }

@@ -5,7 +5,7 @@
 //! `std::thread::scope`.
 
 use graphgen::{synthetic, EdgeProtection, SyntheticConfig};
-use surrogate_core::account::{generate, generate_hide, ProtectionContext};
+use surrogate_core::account::{generate_for_set, generate_hide_for_set, ProtectionContext};
 use surrogate_core::measures::{average_protected_opacity, path_utility, OpacityModel};
 use surrogate_core::surrogate::SurrogateCatalog;
 
@@ -58,7 +58,7 @@ pub fn run_cell(config: SyntheticConfig, model: OpacityModel) -> Fig9Cell {
             &sur_markings,
             &catalog,
         );
-        generate(&ctx, public).expect("synthetic protection generates")
+        generate_for_set(&ctx, &[public]).expect("synthetic protection generates")
     };
     let hide = {
         let ctx = ProtectionContext::new(
@@ -67,7 +67,7 @@ pub fn run_cell(config: SyntheticConfig, model: OpacityModel) -> Fig9Cell {
             &hide_markings,
             &catalog,
         );
-        generate_hide(&ctx, public).expect("synthetic protection generates")
+        generate_hide_for_set(&ctx, &[public]).expect("synthetic protection generates")
     };
 
     Fig9Cell {

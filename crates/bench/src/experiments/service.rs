@@ -1,0 +1,154 @@
+//! Query throughput through the `AccountService` serving layer — the
+//! workload the ROADMAP's north star cares about: one store, many
+//! consumers, many lineage queries, served from the epoch-keyed account
+//! cache.
+//!
+//! Reported alongside the paper figures (the paper itself has no serving
+//! benchmark; §6.4 only sketches the deployment) so the PR-over-PR perf
+//! trajectory of the serving path is recorded from the start.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use plus_store::{AccountService, Direction, QueryRequest, RecordId};
+use surrogate_core::account::Strategy;
+use surrogate_core::credential::Consumer;
+
+use super::fig10::{build_store, Fig10Config};
+
+/// Workload shape for the serving benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Workflow stages of the underlying provenance graph.
+    pub stages: usize,
+    /// Artifacts per stage.
+    pub width: usize,
+    /// Fraction of sensitive nodes.
+    pub sensitive_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Total lineage queries to serve.
+    pub queries: usize,
+    /// Queries per `query_batch` call.
+    pub batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            stages: 12,
+            width: 12,
+            sensitive_fraction: 0.15,
+            seed: 23,
+            queries: 2_000,
+            batch: 64,
+        }
+    }
+}
+
+/// Measured serving performance.
+#[derive(Debug, Clone)]
+pub struct ServiceResult {
+    /// Node records in the workload.
+    pub nodes: usize,
+    /// Edge records in the workload.
+    pub edges: usize,
+    /// First batch, cold: includes materialization and the first account
+    /// generation (the cost a fresh epoch pays once).
+    pub cold_first_batch_ms: f64,
+    /// Queries served after the cache is warm.
+    pub queries: usize,
+    /// Total rows returned across the warm queries.
+    pub rows: usize,
+    /// Warm wall-clock, milliseconds.
+    pub warm_elapsed_ms: f64,
+    /// Warm throughput.
+    pub queries_per_sec: f64,
+}
+
+/// Runs the serving workload: a public consumer issues batched upstream /
+/// downstream lineage queries over every record in round-robin.
+pub fn run(config: ServiceConfig) -> ServiceResult {
+    let store = build_store(Fig10Config {
+        stages: config.stages,
+        width: config.width,
+        sensitive_fraction: config.sensitive_fraction,
+        seed: config.seed,
+        iterations: 1,
+        simulated_db_roundtrip_us: None,
+    });
+    let nodes = store.node_count();
+    let edges = store.edge_count();
+    let service = AccountService::new(Arc::new(store));
+    let consumer = Consumer::public(&service.snapshot().lattice);
+
+    let request = |i: usize| {
+        let direction = if i % 2 == 0 {
+            Direction::Backward
+        } else {
+            Direction::Forward
+        };
+        QueryRequest::new(
+            RecordId((i % nodes) as u32),
+            direction,
+            u32::MAX,
+            Strategy::Surrogate,
+        )
+    };
+
+    // Cold: the first batch pays materialization + account generation.
+    let batch: Vec<QueryRequest> = (0..config.batch).map(request).collect();
+    let t = Instant::now();
+    let responses = service
+        .query_batch(&consumer, &batch)
+        .expect("public queries are authorized");
+    let cold_first_batch_ms = t.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(responses);
+
+    // Warm: everything comes from the cached account.
+    let mut rows = 0usize;
+    let mut served = 0usize;
+    let t = Instant::now();
+    while served < config.queries {
+        let n = config.batch.min(config.queries - served);
+        let batch: Vec<QueryRequest> = (served..served + n).map(request).collect();
+        let responses = service
+            .query_batch(&consumer, &batch)
+            .expect("public queries are authorized");
+        rows += responses.iter().map(|r| r.rows.len()).sum::<usize>();
+        served += n;
+    }
+    let warm_elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    ServiceResult {
+        nodes,
+        edges,
+        cold_first_batch_ms,
+        queries: served,
+        rows,
+        warm_elapsed_ms,
+        queries_per_sec: served as f64 / (warm_elapsed_ms / 1e3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_workload_completes_and_reports() {
+        let result = run(ServiceConfig {
+            stages: 3,
+            width: 3,
+            sensitive_fraction: 0.2,
+            seed: 7,
+            queries: 64,
+            batch: 16,
+        });
+        assert!(result.nodes > 0 && result.edges > 0);
+        assert_eq!(result.queries, 64);
+        assert!(result.rows > 0, "lineage queries must return rows");
+        assert!(result.queries_per_sec > 0.0);
+        assert!(result.cold_first_batch_ms >= 0.0);
+    }
+}

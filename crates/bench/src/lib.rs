@@ -13,6 +13,7 @@
 //! | Fig. 8 | [`experiments::fig8`] | `repro_fig8` |
 //! | Fig. 9 | [`experiments::fig9`] | `repro_fig9` |
 //! | Fig. 10 | [`experiments::fig10`] | `repro_fig10` |
+//! | — (serving throughput, beyond the paper) | [`experiments::service`] | `repro_table1 --json` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -43,6 +43,52 @@ pub fn d3(x: f64) -> String {
     format!("{x:+.3}")
 }
 
+/// Minimal JSON assembly for the `BENCH_*.json` perf-trajectory files —
+/// no serde in the tree, and the shapes are flat enough to hand-write.
+pub mod json {
+    use std::fmt::Write;
+
+    /// Escapes a string for a JSON literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// A JSON number from an `f64` (finite values only; millisecond and
+    /// ratio payloads, 6 significant decimals).
+    pub fn num(x: f64) -> String {
+        debug_assert!(x.is_finite(), "JSON numbers must be finite");
+        format!("{x:.6}")
+    }
+
+    /// An object from rendered `(key, value)` pairs (values must already
+    /// be valid JSON).
+    pub fn object(pairs: &[(&str, String)]) -> String {
+        let body: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// An array from rendered values.
+    pub fn array(values: &[String]) -> String {
+        format!("[{}]", values.join(", "))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,16 +7,21 @@
 //! to a path of `G`, with as many HW-permitted paths of `G` reflected as
 //! possible (Def. 9.3).
 //!
-//! Three strategies are provided:
+//! Three built-in strategies are provided, selected by [`Strategy`] via
+//! [`ProtectionContext::protect`] (or pluggably through the
+//! [`strategy`](crate::strategy) trait layer):
 //!
-//! * [`generate`] — the paper's Surrogate Generation Algorithm
-//!   (Algorithms 1–3), with the pseudocode repairs described in DESIGN.md
-//!   §3.1 item 3 (iterative cycle-safe walks; absent nodes pass through).
-//! * [`generate_hide`] — the "binary show/hide" edge baseline of §6:
-//!   identical node layer, but `Surrogate` incidences are treated as
-//!   unusable, so no surrogate edges are synthesized.
-//! * [`generate_naive_node_hide`] — the all-or-nothing baseline of
-//!   Fig. 1(c): sensitive nodes and their incident edges simply vanish.
+//! * [`Strategy::Surrogate`] / [`generate_for_set`] — the paper's
+//!   Surrogate Generation Algorithm (Algorithms 1–3), with the pseudocode
+//!   repairs described in DESIGN.md §3.1 item 3 (iterative cycle-safe
+//!   walks; absent nodes pass through).
+//! * [`Strategy::HideEdges`] / [`generate_hide_for_set`] — the "binary
+//!   show/hide" edge baseline of §6: identical node layer, but `Surrogate`
+//!   incidences are treated as unusable, so no surrogate edges are
+//!   synthesized.
+//! * [`Strategy::HideNodes`] / [`generate_naive_node_hide_for_set`] — the
+//!   all-or-nothing baseline of Fig. 1(c): sensitive nodes and their
+//!   incident edges simply vanish.
 //!
 //! # HW-permitted paths (Def. 8)
 //!
@@ -60,7 +65,15 @@ impl Correspondence {
 }
 
 /// The protection strategy used to produce an account.
+///
+/// This is the thin, serializable *selector* for the three built-in
+/// strategies — the right type for CLI flags, wire formats, and cache
+/// keys. The open extension point is the
+/// [`ProtectionStrategy`](crate::strategy::ProtectionStrategy) trait,
+/// which this enum implements by dispatching to the built-ins; new
+/// redaction policies implement the trait instead of growing this enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum Strategy {
     /// Surrogate nodes + surrogate edges (the paper's contribution).
     Surrogate,
@@ -68,6 +81,36 @@ pub enum Strategy {
     HideEdges,
     /// No surrogates at all: sensitive nodes and incident edges vanish.
     HideNodes,
+}
+
+impl Strategy {
+    /// All built-in strategies, in paper order. A slice, not an array, so
+    /// growing the `#[non_exhaustive]` enum does not change a public type.
+    pub const ALL: &'static [Strategy] = &[
+        Strategy::Surrogate,
+        Strategy::HideEdges,
+        Strategy::HideNodes,
+    ];
+
+    /// The stable name used for CLI flags, registries, and cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Surrogate => "surrogate",
+            Strategy::HideEdges => "hide",
+            Strategy::HideNodes => "naive",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back into a selector.
+    pub fn parse(name: &str) -> Option<Strategy> {
+        Strategy::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Everything needed to protect one graph: the graph, its privilege
@@ -427,6 +470,17 @@ impl Default for GenerateOptions {
 /// intermediate — the appendix's "no shorter HW-permitted path" redundancy
 /// rule. Decomposable pairs are connected transitively by the pieces, so
 /// maximal connectivity (Def. 9.3) holds by induction on path length.
+///
+/// # Migration
+/// Deprecated in favor of [`ProtectionContext::protect`] (or, for serving
+/// workloads, `plus_store::AccountService::get_account`), which route
+/// through the pluggable [`ProtectionStrategy`](crate::strategy) layer:
+/// `generate_for_set(&ctx, &[p])` becomes `ctx.protect(p, Strategy::Surrogate)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ProtectionContext::protect(p, Strategy::Surrogate)` or the \
+            `strategy::ProtectionStrategy` trait; see the strategy module docs"
+)]
 pub fn generate(ctx: &ProtectionContext<'_>, p: PrivilegeId) -> Result<ProtectedAccount> {
     generate_with_options(ctx, &[p], GenerateOptions::default())
 }
@@ -512,9 +566,17 @@ pub fn generate_with_options(
     Ok(account)
 }
 
-/// The "binary show/hide" edge baseline (§6): same node layer as
-/// [`generate`], but protected incidences simply drop their edges — no
-/// surrogate edges are synthesized.
+/// The "binary show/hide" edge baseline (§6): same node layer as the
+/// surrogate algorithm, but protected incidences simply drop their edges —
+/// no surrogate edges are synthesized.
+///
+/// # Migration
+/// Deprecated: use `ctx.protect(p, Strategy::HideEdges)` instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ProtectionContext::protect(p, Strategy::HideEdges)` or the \
+            `strategy::ProtectionStrategy` trait; see the strategy module docs"
+)]
 pub fn generate_hide(ctx: &ProtectionContext<'_>, p: PrivilegeId) -> Result<ProtectedAccount> {
     generate_hide_for_set(ctx, &[p])
 }
@@ -536,6 +598,14 @@ pub fn generate_hide_for_set(
 /// The naïve all-or-nothing baseline of Fig. 1(c): nodes appear only when
 /// the predicate dominates their `lowest` (no surrogates), and edges only
 /// when Visible–Visible with both endpoints present.
+///
+/// # Migration
+/// Deprecated: use `ctx.protect(p, Strategy::HideNodes)` instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ProtectionContext::protect(p, Strategy::HideNodes)` or the \
+            `strategy::ProtectionStrategy` trait; see the strategy module docs"
+)]
 pub fn generate_naive_node_hide(
     ctx: &ProtectionContext<'_>,
     p: PrivilegeId,
@@ -638,7 +708,7 @@ mod tests {
     fn hidden_node_yields_surrogate_edge() {
         let fx = chain_fixture(false);
         let public = fx.lattice.public();
-        let account = generate(&fx.ctx(), public).unwrap();
+        let account = generate_for_set(&fx.ctx(), &[public]).unwrap();
         let (a, b, c) = (fx.ids[0], fx.ids[1], fx.ids[2]);
         assert!(account.account_node(b).is_none(), "b hidden");
         let a2 = account.account_node(a).unwrap();
@@ -654,7 +724,7 @@ mod tests {
         // Fig. 2(d) pattern: surrogate node exists, incidences still S.
         let fx = chain_fixture(true);
         let public = fx.lattice.public();
-        let account = generate(&fx.ctx(), public).unwrap();
+        let account = generate_for_set(&fx.ctx(), &[public]).unwrap();
         let b2 = account.account_node(fx.ids[1]).unwrap();
         assert!(matches!(
             account.correspondence(b2),
@@ -675,7 +745,7 @@ mod tests {
         let mut fx = chain_fixture(true);
         fx.markings = MarkingStore::new();
         let public = fx.lattice.public();
-        let account = generate(&fx.ctx(), public).unwrap();
+        let account = generate_for_set(&fx.ctx(), &[public]).unwrap();
         let a2 = account.account_node(fx.ids[0]).unwrap();
         let b2 = account.account_node(fx.ids[1]).unwrap();
         let c2 = account.account_node(fx.ids[2]).unwrap();
@@ -695,7 +765,7 @@ mod tests {
         let public = fx.lattice.public();
         fx.markings = MarkingStore::new();
         fx.markings.set_node(fx.ids[1], public, Marking::Hide);
-        let account = generate(&fx.ctx(), public).unwrap();
+        let account = generate_for_set(&fx.ctx(), &[public]).unwrap();
         assert_eq!(account.graph().edge_count(), 0);
         let b2 = account.account_node(fx.ids[1]).unwrap();
         assert_eq!(account.graph().degree(b2), 0);
@@ -705,7 +775,7 @@ mod tests {
     fn hide_strategy_never_synthesizes_edges() {
         let fx = chain_fixture(true);
         let public = fx.lattice.public();
-        let account = generate_hide(&fx.ctx(), public).unwrap();
+        let account = generate_hide_for_set(&fx.ctx(), &[public]).unwrap();
         assert_eq!(account.graph().edge_count(), 0);
         assert_eq!(account.strategy(), Strategy::HideEdges);
         assert!(
@@ -718,7 +788,7 @@ mod tests {
     fn naive_strategy_drops_sensitive_nodes() {
         let fx = chain_fixture(true);
         let public = fx.lattice.public();
-        let account = generate_naive_node_hide(&fx.ctx(), public).unwrap();
+        let account = generate_naive_node_hide_for_set(&fx.ctx(), &[public]).unwrap();
         assert!(account.account_node(fx.ids[1]).is_none(), "no surrogates");
         assert_eq!(account.graph().node_count(), 2);
         assert_eq!(account.graph().edge_count(), 0);
@@ -742,7 +812,7 @@ mod tests {
         markings.set(b, (a, b), public, Marking::Surrogate);
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-        let account = generate(&ctx, public).unwrap();
+        let account = generate_for_set(&ctx, &[public]).unwrap();
         let a2 = account.account_node(a).unwrap();
         let b2 = account.account_node(b).unwrap();
         let c2 = account.account_node(c).unwrap();
@@ -766,7 +836,7 @@ mod tests {
         markings.set(b, (a, b), public, Marking::Surrogate);
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-        let account = generate(&ctx, public).unwrap();
+        let account = generate_for_set(&ctx, &[public]).unwrap();
         assert_eq!(account.graph().edge_count(), 0);
     }
 
@@ -787,7 +857,7 @@ mod tests {
         markings.set_node(b, public, Marking::Surrogate);
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-        let account = generate(&ctx, public).unwrap();
+        let account = generate_for_set(&ctx, &[public]).unwrap();
         let a2 = account.account_node(a).unwrap();
         let c2 = account.account_node(c).unwrap();
         assert!(
@@ -817,7 +887,7 @@ mod tests {
         markings.set(x, (a, x), public, Marking::Surrogate);
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-        let account = generate(&ctx, public).unwrap();
+        let account = generate_for_set(&ctx, &[public]).unwrap();
         let a2 = account.account_node(a).unwrap();
         let b2 = account.account_node(b).unwrap();
         assert!(
@@ -842,7 +912,7 @@ mod tests {
         let markings = MarkingStore::new(); // everything Visible
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-        let account = generate(&ctx, public).unwrap();
+        let account = generate_for_set(&ctx, &[public]).unwrap();
         let a2 = account.account_node(a).unwrap();
         let c2 = account.account_node(c).unwrap();
         assert!(
@@ -907,7 +977,7 @@ mod tests {
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
         // Single-predicate accounts each miss the other branch's node.
-        let only_a = generate(&ctx, a).unwrap();
+        let only_a = generate_for_set(&ctx, &[a]).unwrap();
         assert!(only_a.account_node(na).is_some());
         assert!(only_a.account_node(nb).is_none());
         // The {A, B} account (Def. 6 set) sees everything.
@@ -925,7 +995,7 @@ mod tests {
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
         // With only A, nB is absent: a surrogate edge bridges nA → pubB.
-        let only_a = generate(&ctx, a).unwrap();
+        let only_a = generate_for_set(&ctx, &[a]).unwrap();
         let na2 = only_a.account_node(na).unwrap();
         let pub_b2 = only_a.account_node(pub_b).unwrap();
         assert!(only_a.graph().has_edge(na2, pub_b2));
@@ -943,7 +1013,7 @@ mod tests {
         markings.set_edge((pub_a, na), b, Marking::Visible);
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-        let only_a = generate(&ctx, a).unwrap();
+        let only_a = generate_for_set(&ctx, &[a]).unwrap();
         assert!(!only_a.original_edge_present((pub_a, na)), "hidden via A");
         let both = generate_for_set(&ctx, &[a, b]).unwrap();
         assert!(
@@ -959,7 +1029,7 @@ mod tests {
         let high = fx.lattice.by_name("High").unwrap();
         let public = fx.lattice.public();
         let ctx = fx.ctx();
-        let single = generate(&ctx, high).unwrap();
+        let single = generate_for_set(&ctx, &[high]).unwrap();
         let set = generate_for_set(&ctx, &[public, high]).unwrap();
         assert_eq!(set.high_water(), &[high]);
         assert_eq!(single.graph().node_count(), set.graph().node_count());
@@ -974,7 +1044,7 @@ mod tests {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-        let filtered = generate(&ctx, a).unwrap();
+        let filtered = generate_for_set(&ctx, &[a]).unwrap();
         let unfiltered = generate_with_options(
             &ctx,
             &[a],
@@ -999,7 +1069,7 @@ mod tests {
     fn protected_edges_lists_unrepresented_originals() {
         let fx = chain_fixture(false);
         let public = fx.lattice.public();
-        let account = generate(&fx.ctx(), public).unwrap();
+        let account = generate_for_set(&fx.ctx(), &[public]).unwrap();
         let protected: Vec<Edge> = account.protected_edges(&fx.graph).collect();
         // Both original edges touched the hidden b.
         assert_eq!(protected.len(), 2);
@@ -1010,7 +1080,7 @@ mod tests {
         let mut fx = chain_fixture(true);
         fx.markings = MarkingStore::new();
         let public = fx.lattice.public();
-        let account = generate(&fx.ctx(), public).unwrap();
+        let account = generate_for_set(&fx.ctx(), &[public]).unwrap();
         assert!(account.original_edge_present((fx.ids[0], fx.ids[1])));
         assert!(account.original_edge_present((fx.ids[1], fx.ids[2])));
         assert!(!account.original_edge_present((fx.ids[0], fx.ids[2])));

@@ -77,7 +77,7 @@ pub fn account_to_dot(account: &ProtectedAccount, name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::account::{generate, ProtectionContext};
+    use crate::account::{generate_for_set, ProtectionContext};
     use crate::feature::Features;
     use crate::marking::{Marking, MarkingStore};
     use crate::privilege::PrivilegeLattice;
@@ -120,7 +120,7 @@ mod tests {
             },
         );
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, public).unwrap();
+        let account = generate_for_set(&ctx, &[public]).unwrap();
         let dot = account_to_dot(&account, "protected");
         assert!(
             dot.contains("style=dashed shape=box"),

@@ -7,7 +7,12 @@ use crate::graph::NodeId;
 use crate::privilege::PrivilegeId;
 
 /// Errors raised while building or transforming graphs.
+///
+/// `#[non_exhaustive]`: service-layer growth (stale-epoch detection,
+/// unknown-consumer rejection, …) may add variants without a breaking
+/// change; downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Error {
     /// A node id does not exist in the graph.
     UnknownNode(NodeId),

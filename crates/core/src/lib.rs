@@ -51,7 +51,7 @@
 //! });
 //!
 //! let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-//! let account = generate(&ctx, public).unwrap();
+//! let account = ctx.protect(public, Strategy::Surrogate).unwrap();
 //!
 //! // The public account keeps the analyst→report path and shows the
 //! // surrogate instead of the informant.
@@ -69,6 +69,7 @@
 //! | §3.1 high-water sets (Def. 6) | [`hw`] |
 //! | §3.2 edge markings (Def. 7) | [`marking`] |
 //! | §5 + Appendix B generation (Defs. 8–9) | [`account`] |
+//! | §6 protection strategies as a plug-in point | [`strategy`] |
 //! | §4 utility & opacity measures | [`measures`] |
 //! | §1 path-traversal queries | [`query`] |
 //! | Lemmas 1–2 / Theorem 1 as checks | [`validate`] |
@@ -88,14 +89,20 @@ pub mod marking;
 pub mod measures;
 pub mod privilege;
 pub mod query;
+pub mod strategy;
 pub mod surrogate;
 pub mod util;
 pub mod validate;
 
 /// Convenience re-exports of the most used types.
 pub mod prelude {
+    // The deprecated single-predicate generators stay re-exported so old
+    // call sites keep compiling (they see the deprecation note at their
+    // own use site).
+    #[allow(deprecated)]
+    pub use crate::account::{generate, generate_hide, generate_naive_node_hide};
     pub use crate::account::{
-        generate, generate_for_set, generate_hide, generate_hide_for_set, generate_naive_node_hide,
+        generate_for_set, generate_hide_for_set, generate_naive_node_hide_for_set,
         generate_with_options, Correspondence, GenerateOptions, ProtectedAccount,
         ProtectionContext, Strategy,
     };
@@ -112,6 +119,9 @@ pub mod prelude {
         RiskEntry,
     };
     pub use crate::privilege::{PrivilegeId, PrivilegeLattice};
-    pub use crate::query::{ancestors, descendants, reaches, shortest_path, traverse, Direction};
+    pub use crate::query::{
+        ancestors, descendants, reaches, shortest_path, traverse, Direction, Traversal,
+    };
+    pub use crate::strategy::ProtectionStrategy;
     pub use crate::surrogate::{SurrogateCatalog, SurrogateDef};
 }

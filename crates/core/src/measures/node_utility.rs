@@ -26,7 +26,7 @@ pub fn node_utility(original: &Graph, account: &ProtectedAccount) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::account::{generate, generate_naive_node_hide, ProtectionContext};
+    use crate::account::{generate_for_set, generate_naive_node_hide_for_set, ProtectionContext};
     use crate::feature::Features;
     use crate::graph::Graph;
     use crate::marking::MarkingStore;
@@ -43,7 +43,7 @@ mod tests {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate_naive_node_hide(&ctx, lattice.public()).unwrap();
+        let account = generate_naive_node_hide_for_set(&ctx, &[lattice.public()]).unwrap();
         assert!((node_utility(&g, &account) - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -65,7 +65,7 @@ mod tests {
             },
         );
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[lattice.public()]).unwrap();
         assert!((node_utility(&g, &account) - (1.0 + 0.4) / 2.0).abs() < 1e-12);
     }
 
@@ -78,7 +78,7 @@ mod tests {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[lattice.public()]).unwrap();
         assert_eq!(node_utility(&g, &account), 1.0);
     }
 
@@ -89,7 +89,7 @@ mod tests {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[lattice.public()]).unwrap();
         assert_eq!(node_utility(&g, &account), 1.0);
     }
 }

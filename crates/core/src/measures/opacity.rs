@@ -370,7 +370,7 @@ pub fn edges_at_risk(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::account::{generate, generate_hide, ProtectionContext};
+    use crate::account::{generate_for_set, generate_hide_for_set, ProtectionContext};
     use crate::graph::Graph;
     use crate::marking::{Marking, MarkingStore};
     use crate::privilege::PrivilegeLattice;
@@ -415,11 +415,11 @@ mod tests {
         let g2 = g.clone();
         let account_sur = {
             let ctx = ProtectionContext::new(&g2, &lattice, &sur, &catalog);
-            generate(&ctx, public).unwrap()
+            generate_for_set(&ctx, &[public]).unwrap()
         };
         let account_hide = {
             let ctx = ProtectionContext::new(&g2, &lattice, &hide, &catalog);
-            generate_hide(&ctx, public).unwrap()
+            generate_hide_for_set(&ctx, &[public]).unwrap()
         };
         (g, account_sur, account_hide)
     }
@@ -443,7 +443,7 @@ mod tests {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[lattice.public()]).unwrap();
         assert_eq!(edge_opacity(&account, OpacityModel::default(), (a, b)), 1.0);
     }
 
@@ -500,7 +500,7 @@ mod tests {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[lattice.public()]).unwrap();
         assert_eq!(
             average_protected_opacity(&g, &account, OpacityModel::default()),
             None

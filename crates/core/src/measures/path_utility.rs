@@ -49,7 +49,7 @@ pub fn path_utility(original: &Graph, account: &ProtectedAccount) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::account::{generate, generate_naive_node_hide, ProtectionContext};
+    use crate::account::{generate_for_set, generate_naive_node_hide_for_set, ProtectionContext};
     use crate::graph::Graph;
     use crate::marking::MarkingStore;
     use crate::privilege::PrivilegeLattice;
@@ -74,7 +74,7 @@ mod tests {
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
         let high = lattice.by_name("High").unwrap();
-        let account = generate(&ctx, high).unwrap();
+        let account = generate_for_set(&ctx, &[high]).unwrap();
         assert_eq!(path_utility(&g, &account), 1.0);
     }
 
@@ -84,7 +84,7 @@ mod tests {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate_naive_node_hide(&ctx, lattice.public()).unwrap();
+        let account = generate_naive_node_hide_for_set(&ctx, &[lattice.public()]).unwrap();
         // a and c survive but are disconnected: %P = 0/2 each; b scores 0.
         assert_eq!(path_utility(&g, &account), 0.0);
         assert_eq!(path_percentages(&g, &account), vec![0.0, 0.0, 0.0]);
@@ -96,7 +96,7 @@ mod tests {
         let markings = MarkingStore::new(); // Visible incidences: b passes through
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[lattice.public()]).unwrap();
         // a→c surrogate edge: a and c each keep 1 of 2 connections; b hidden.
         let got = path_utility(&g, &account);
         assert!((got - (0.5 + 0.5 + 0.0) / 3.0).abs() < 1e-12, "got {got}");
@@ -110,7 +110,7 @@ mod tests {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[lattice.public()]).unwrap();
         assert_eq!(path_utility(&g, &account), 1.0);
     }
 
@@ -121,7 +121,7 @@ mod tests {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[lattice.public()]).unwrap();
         assert_eq!(path_utility(&g, &account), 1.0);
     }
 }

@@ -31,9 +31,17 @@ pub struct Traversal {
 }
 
 impl Traversal {
-    /// Visited node ids without depths.
-    pub fn nodes(&self) -> Vec<NodeId> {
-        self.visited.iter().map(|&(n, _)| n).collect()
+    /// Iterates the visited `(node, depth)` pairs in BFS order without
+    /// allocating.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.visited.iter().copied()
+    }
+
+    /// Visited node ids without depths, in BFS order. Borrows from the
+    /// traversal instead of allocating a `Vec` — this sits on the hot
+    /// serving path, where every query materializes a traversal.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().map(|(n, _)| n)
     }
 
     /// Number of visited nodes.
@@ -44,6 +52,15 @@ impl Traversal {
     /// `true` when the traversal found nothing.
     pub fn is_empty(&self) -> bool {
         self.visited.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Traversal {
+    type Item = (NodeId, u32);
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, (NodeId, u32)>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.visited.iter().copied()
     }
 }
 
@@ -164,7 +181,7 @@ mod tests {
     fn forward_traversal_finds_descendants() {
         let (g, [a, b, c, d]) = fixture();
         let t = descendants(&g, a);
-        let nodes = t.nodes();
+        let nodes: Vec<NodeId> = t.nodes().collect();
         assert!(nodes.contains(&b) && nodes.contains(&c));
         assert!(!nodes.contains(&d));
         assert_eq!(t.len(), 2);
@@ -174,7 +191,7 @@ mod tests {
     fn backward_traversal_finds_ancestors() {
         let (g, [a, b, c, _]) = fixture();
         let t = ancestors(&g, c);
-        let nodes = t.nodes();
+        let nodes: Vec<NodeId> = t.nodes().collect();
         assert!(nodes.contains(&a) && nodes.contains(&b));
         assert_eq!(t.len(), 2);
     }
@@ -191,7 +208,7 @@ mod tests {
     fn max_depth_truncates() {
         let (g, [a, b, c, _]) = fixture();
         let t = traverse(&g, a, Direction::Forward, 1);
-        let nodes = t.nodes();
+        let nodes: Vec<NodeId> = t.nodes().collect();
         assert!(nodes.contains(&b));
         assert!(nodes.contains(&c), "c is at depth 1 via the direct edge");
         let t0 = traverse(&g, a, Direction::Forward, 0);
@@ -203,8 +220,8 @@ mod tests {
         let (g, [a, _, c, d]) = fixture();
         let t = traverse(&g, c, Direction::Both, u32::MAX);
         assert_eq!(t.len(), 2, "a and b, not d");
-        assert!(!t.nodes().contains(&d));
-        assert!(t.nodes().contains(&a));
+        assert!(!t.nodes().any(|n| n == d));
+        assert!(t.nodes().any(|n| n == a));
     }
 
     #[test]

@@ -190,7 +190,9 @@ pub fn check_all(ctx: &ProtectionContext<'_>, account: &ProtectedAccount) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::account::{generate, generate_hide, generate_naive_node_hide, Strategy};
+    use crate::account::{
+        generate_for_set, generate_hide_for_set, generate_naive_node_hide_for_set, Strategy,
+    };
     use crate::feature::Features;
     use crate::graph::Graph;
     use crate::marking::{Marking, MarkingStore};
@@ -245,7 +247,7 @@ mod tests {
         // the checker must notice when applied directly.
         let (g, lattice, markings, catalog) = fixture();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate_hide(&ctx, lattice.public()).unwrap();
+        let account = generate_hide_for_set(&ctx, &[lattice.public()]).unwrap();
         let violations = check_maximal_connectivity(&ctx, &account);
         assert!(
             !violations.is_empty(),
@@ -257,7 +259,7 @@ mod tests {
     fn naive_account_misses_surrogate_nodes() {
         let (g, lattice, markings, catalog) = fixture();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate_naive_node_hide(&ctx, lattice.public()).unwrap();
+        let account = generate_naive_node_hide_for_set(&ctx, &[lattice.public()]).unwrap();
         let violations = check_node_layer(&ctx, &account, &[lattice.public()]);
         assert!(violations
             .iter()
@@ -268,7 +270,7 @@ mod tests {
     fn surrogate_account_is_sound_and_connected() {
         let (g, lattice, markings, catalog) = fixture();
         let ctx = ProtectionContext::new(&g, &lattice, &markings, &catalog);
-        let account = generate(&ctx, lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[lattice.public()]).unwrap();
         assert!(check_soundness(&ctx, &account).is_empty());
         assert!(check_maximal_connectivity(&ctx, &account).is_empty());
     }

@@ -10,8 +10,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use surrogate_core::account::{
-    generate, generate_hide, generate_naive_node_hide, generate_with_options, GenerateOptions,
-    ProtectionContext, Strategy,
+    generate_for_set, generate_hide_for_set, generate_naive_node_hide_for_set,
+    generate_with_options, GenerateOptions, ProtectionContext, Strategy,
 };
 use surrogate_core::feature::Features;
 use surrogate_core::graph::Graph;
@@ -140,7 +140,7 @@ proptest! {
     fn surrogate_accounts_satisfy_all_invariants(nodes in 1usize..12, seed in any::<u64>()) {
         let scenario = build_scenario(nodes, seed);
         let ctx = scenario.ctx();
-        let account = generate(&ctx, scenario.predicate).unwrap();
+        let account = generate_for_set(&ctx, &[scenario.predicate]).unwrap();
         let violations = check_all(&ctx, &account);
         prop_assert!(violations.is_empty(), "{violations:?}");
     }
@@ -166,8 +166,8 @@ proptest! {
     fn surrogating_dominates_hiding(nodes in 2usize..12, seed in any::<u64>()) {
         let scenario = build_scenario(nodes, seed);
         let ctx = scenario.ctx();
-        let sur = generate(&ctx, scenario.predicate).unwrap();
-        let hide = generate_hide(&ctx, scenario.predicate).unwrap();
+        let sur = generate_for_set(&ctx, &[scenario.predicate]).unwrap();
+        let hide = generate_hide_for_set(&ctx, &[scenario.predicate]).unwrap();
 
         // Edge-superset relation.
         for (u2, v2) in hide.graph().edges() {
@@ -254,7 +254,7 @@ proptest! {
         let l1 = scenario.lattice.by_name("L1").unwrap();
         prop_assume!(scenario.lattice.dominates(l2, l1));
         let ctx = scenario.ctx();
-        let account = generate(&ctx, l2).unwrap();
+        let account = generate_for_set(&ctx, &[l2]).unwrap();
         prop_assert_eq!(account.graph().node_count(), scenario.graph.node_count());
         prop_assert_eq!(account.graph().edge_count(), scenario.graph.edge_count());
         prop_assert_eq!(account.surrogate_node_count(), 0);
@@ -266,8 +266,8 @@ proptest! {
     fn generation_is_deterministic(nodes in 1usize..10, seed in any::<u64>()) {
         let scenario = build_scenario(nodes, seed);
         let ctx = scenario.ctx();
-        let a = generate(&ctx, scenario.predicate).unwrap();
-        let b = generate(&ctx, scenario.predicate).unwrap();
+        let a = generate_for_set(&ctx, &[scenario.predicate]).unwrap();
+        let b = generate_for_set(&ctx, &[scenario.predicate]).unwrap();
         prop_assert_eq!(a.graph().node_count(), b.graph().node_count());
         prop_assert_eq!(a.graph().edge_count(), b.graph().edge_count());
         let ea: Vec<_> = a.graph().edges().collect();
@@ -288,7 +288,7 @@ proptest! {
         let violations = check_all(&ctx, &set_account);
         prop_assert!(violations.is_empty(), "{violations:?}");
         for p in [l1, l2] {
-            let single = generate(&ctx, p).unwrap();
+            let single = generate_for_set(&ctx, &[p]).unwrap();
             prop_assert!(
                 set_account.graph().node_count() >= single.graph().node_count(),
                 "{p:?}"
@@ -306,7 +306,7 @@ proptest! {
     fn redundancy_filter_preserves_maximal_utility(nodes in 1usize..10, seed in any::<u64>()) {
         let scenario = build_scenario(nodes, seed);
         let ctx = scenario.ctx();
-        let filtered = generate(&ctx, scenario.predicate).unwrap();
+        let filtered = generate_for_set(&ctx, &[scenario.predicate]).unwrap();
         let maximal = generate_with_options(
             &ctx,
             &[scenario.predicate],
@@ -326,7 +326,7 @@ proptest! {
     fn node_utility_is_per_node_optimal(nodes in 1usize..12, seed in any::<u64>()) {
         let scenario = build_scenario(nodes, seed);
         let ctx = scenario.ctx();
-        let account = generate(&ctx, scenario.predicate).unwrap();
+        let account = generate_for_set(&ctx, &[scenario.predicate]).unwrap();
         let expected: f64 = scenario
             .graph
             .node_ids()
@@ -364,7 +364,7 @@ proptest! {
     fn naive_node_utility_is_visible_fraction(nodes in 1usize..12, seed in any::<u64>()) {
         let scenario = build_scenario(nodes, seed);
         let ctx = scenario.ctx();
-        let account = generate_naive_node_hide(&ctx, scenario.predicate).unwrap();
+        let account = generate_naive_node_hide_for_set(&ctx, &[scenario.predicate]).unwrap();
         prop_assert_eq!(account.surrogate_node_count(), 0);
         let expected =
             account.graph().node_count() as f64 / scenario.graph.node_count() as f64;

@@ -207,7 +207,7 @@ pub fn all_motifs() -> Vec<Motif> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use surrogate_core::account::{generate, generate_hide, ProtectionContext};
+    use surrogate_core::account::{generate_for_set, generate_hide_for_set, ProtectionContext};
     use surrogate_core::measures::path_utility;
     use surrogate_core::surrogate::SurrogateCatalog;
 
@@ -240,12 +240,12 @@ mod tests {
         let hide_markings = motif.markings(EdgeProtection::Hide);
         let sur = {
             let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &sur_markings, &catalog);
-            generate(&ctx, public).unwrap()
+            generate_for_set(&ctx, &[public]).unwrap()
         };
         let hide = {
             let ctx =
                 ProtectionContext::new(&motif.graph, &motif.lattice, &hide_markings, &catalog);
-            generate_hide(&ctx, public).unwrap()
+            generate_hide_for_set(&ctx, &[public]).unwrap()
         };
         (
             path_utility(&motif.graph, &sur),
@@ -290,7 +290,7 @@ mod tests {
         let catalog = SurrogateCatalog::new();
         let markings = motif.markings(EdgeProtection::Surrogate);
         let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &markings, &catalog);
-        let account = generate(&ctx, motif.lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[motif.lattice.public()]).unwrap();
         assert!(account.graph().is_connected());
         assert_eq!(account.surrogate_edge_count(), 3, "spoke→each leaf");
         assert!(
@@ -307,7 +307,7 @@ mod tests {
         let catalog = SurrogateCatalog::new();
         let markings = motif.markings(EdgeProtection::Surrogate);
         let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &markings, &catalog);
-        let account = generate(&ctx, motif.lattice.public()).unwrap();
+        let account = generate_for_set(&ctx, &[motif.lattice.public()]).unwrap();
         assert_eq!(
             account.surrogate_edge_count(),
             0,
@@ -322,7 +322,7 @@ mod tests {
             for protection in [EdgeProtection::Surrogate, EdgeProtection::Hide] {
                 let markings = motif.markings(protection);
                 let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &markings, &catalog);
-                let account = generate(&ctx, motif.lattice.public()).unwrap();
+                let account = generate_for_set(&ctx, &[motif.lattice.public()]).unwrap();
                 assert!(
                     !account.original_edge_present(motif.protected_edge),
                     "{}: {protection:?} leaked the protected edge",

@@ -7,7 +7,7 @@
 //! path utilities .38 / .27 / .13 / .27.
 
 use surrogate_core::account::{
-    generate, generate_naive_node_hide, ProtectedAccount, ProtectionContext,
+    generate_for_set, generate_naive_node_hide_for_set, ProtectedAccount, ProtectionContext,
 };
 use surrogate_core::error::Result;
 use surrogate_core::feature::Features;
@@ -115,7 +115,7 @@ impl Figure1 {
         let markings = MarkingStore::new();
         let catalog = SurrogateCatalog::new();
         let ctx = ProtectionContext::new(&self.graph, &self.lattice, &markings, &catalog);
-        generate_naive_node_hide(&ctx, self.high2)
+        generate_naive_node_hide_for_set(&ctx, &[self.high2])
     }
 }
 
@@ -234,7 +234,7 @@ impl Figure2 {
             &self.markings,
             &self.catalog,
         );
-        generate(&ctx, self.base.high2)
+        generate_for_set(&ctx, &[self.base.high2])
     }
 }
 
@@ -357,7 +357,7 @@ impl Figure11 {
     /// Protected account for an Emergency Responder.
     pub fn er_account(&self) -> Result<ProtectedAccount> {
         let ctx = ProtectionContext::new(&self.graph, &self.lattice, &self.markings, &self.catalog);
-        generate(&ctx, self.er)
+        generate_for_set(&ctx, &[self.er])
     }
 }
 

@@ -169,7 +169,7 @@ pub fn generate(config: SocialConfig) -> SocialNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use surrogate_core::account::{generate as protect, ProtectionContext};
+    use surrogate_core::account::{generate_for_set, ProtectionContext};
     use surrogate_core::measures::path_utility;
 
     #[test]
@@ -193,7 +193,7 @@ mod tests {
     fn public_account_conceals_affiliations_but_keeps_ties() {
         let net = generate(SocialConfig::default());
         let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
-        let account = protect(&ctx, net.public).unwrap();
+        let account = generate_for_set(&ctx, &[net.public]).unwrap();
         for &a in &net.affiliations {
             let a2 = account.account_node(a).expect("surrogate registered");
             assert_eq!(
@@ -204,7 +204,8 @@ mod tests {
         }
         // Members connected through an affiliation stay mutually reachable
         // via surrogate edges, so utility beats the naive baseline.
-        let naive = surrogate_core::account::generate_naive_node_hide(&ctx, net.public).unwrap();
+        let naive =
+            surrogate_core::account::generate_naive_node_hide_for_set(&ctx, &[net.public]).unwrap();
         assert!(path_utility(&net.graph, &account) >= path_utility(&net.graph, &naive));
     }
 
@@ -212,7 +213,7 @@ mod tests {
     fn investigator_sees_everything() {
         let net = generate(SocialConfig::default());
         let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
-        let account = protect(&ctx, net.investigator).unwrap();
+        let account = generate_for_set(&ctx, &[net.investigator]).unwrap();
         assert_eq!(account.graph().node_count(), net.graph.node_count());
         assert_eq!(account.graph().edge_count(), net.graph.edge_count());
         assert_eq!(account.surrogate_node_count(), 0);
@@ -229,8 +230,8 @@ mod tests {
         assert_eq!(net.graph.degree(lone), 2, "one bidirectional tie");
         // Under surrogate protection they stay related to other members...
         let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
-        let sur = protect(&ctx, net.public).unwrap();
-        let hide = surrogate_core::account::generate_hide(&ctx, net.public).unwrap();
+        let sur = generate_for_set(&ctx, &[net.public]).unwrap();
+        let hide = surrogate_core::account::generate_hide_for_set(&ctx, &[net.public]).unwrap();
         assert!(
             path_utility(&net.graph, &sur) > path_utility(&net.graph, &hide),
             "surrogate edges must reconnect lone members"

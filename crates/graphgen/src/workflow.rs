@@ -179,7 +179,7 @@ pub fn generate(config: WorkflowConfig) -> Workflow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use surrogate_core::account::{generate as protect, ProtectionContext};
+    use surrogate_core::account::{generate_for_set, ProtectionContext};
     use surrogate_core::validate::check_all;
 
     #[test]
@@ -213,7 +213,7 @@ mod tests {
             ..WorkflowConfig::default()
         });
         let ctx = ProtectionContext::new(&wf.graph, &wf.lattice, &wf.markings, &wf.catalog);
-        let account = protect(&ctx, wf.public).unwrap();
+        let account = generate_for_set(&ctx, &[wf.public]).unwrap();
         // Every node appears (originals or surrogates) because surrogates
         // are registered for all sensitive nodes.
         assert_eq!(account.graph().node_count(), wf.graph.node_count());

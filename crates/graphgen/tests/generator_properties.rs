@@ -7,7 +7,7 @@ use graphgen::{
     all_motifs, social, synthetic, workflow, EdgeProtection, SocialConfig, SyntheticConfig,
     WorkflowConfig,
 };
-use surrogate_core::account::{generate as generate_surrogate, generate_hide, ProtectionContext};
+use surrogate_core::account::{generate_for_set, generate_hide_for_set, ProtectionContext};
 use surrogate_core::surrogate::SurrogateCatalog;
 use surrogate_core::validate::check_all;
 
@@ -66,8 +66,8 @@ proptest! {
             let markings = data.markings(protection);
             let ctx = ProtectionContext::new(&data.graph, &data.lattice, &markings, &catalog);
             let account = match protection {
-                EdgeProtection::Surrogate => generate_surrogate(&ctx, public).unwrap(),
-                EdgeProtection::Hide => generate_hide(&ctx, public).unwrap(),
+                EdgeProtection::Surrogate => generate_for_set(&ctx, &[public]).unwrap(),
+                EdgeProtection::Hide => generate_hide_for_set(&ctx, &[public]).unwrap(),
             };
             for &edge in &data.protected_edges {
                 prop_assert!(
@@ -104,7 +104,7 @@ proptest! {
         prop_assert_eq!(wf.graph.node_count(), width + stages * width * 2);
         prop_assert_eq!(wf.outputs.len(), width);
         let ctx = ProtectionContext::new(&wf.graph, &wf.lattice, &wf.markings, &wf.catalog);
-        let account = generate_surrogate(&ctx, wf.public).unwrap();
+        let account = generate_for_set(&ctx, &[wf.public]).unwrap();
         prop_assert_eq!(account.graph().node_count(), wf.graph.node_count());
         prop_assert_eq!(account.surrogate_node_count(), wf.sensitive.len());
     }
@@ -131,7 +131,7 @@ proptest! {
             prop_assert!(net.graph.has_edge(b, a));
         }
         let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
-        let account = generate_surrogate(&ctx, net.investigator).unwrap();
+        let account = generate_for_set(&ctx, &[net.investigator]).unwrap();
         prop_assert_eq!(account.graph().edge_count(), net.graph.edge_count());
         prop_assert_eq!(account.surrogate_node_count(), 0);
     }
@@ -146,7 +146,7 @@ fn motifs_are_stable_fixtures() {
         let public = motif.lattice.public();
         let sur_markings = motif.markings(EdgeProtection::Surrogate);
         let ctx = ProtectionContext::new(&motif.graph, &motif.lattice, &sur_markings, &catalog);
-        let account = generate_surrogate(&ctx, public).unwrap();
+        let account = generate_for_set(&ctx, &[public]).unwrap();
         let violations = check_all(&ctx, &account);
         assert!(violations.is_empty(), "{:?}: {violations:?}", motif.kind);
     }

@@ -4,8 +4,13 @@ use std::fmt;
 
 use crate::record::RecordId;
 
-/// Errors raised by the store, codec, and sessions.
+/// Errors raised by the store, codec, service, and sessions.
+///
+/// `#[non_exhaustive]`: the service layer will keep growing variants
+/// (stale-epoch rejection, per-consumer quotas, …) without a breaking
+/// change; downstream matches need a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum StoreError {
     /// A record id does not exist.
     UnknownRecord(RecordId),
@@ -24,6 +29,9 @@ pub enum StoreError {
     },
     /// A protection setup cannot be represented as store policy.
     UnsupportedPolicy(&'static str),
+    /// A service request named a protection strategy that is not
+    /// registered.
+    UnknownStrategy(String),
 }
 
 impl fmt::Display for StoreError {
@@ -42,6 +50,9 @@ impl fmt::Display for StoreError {
             ),
             StoreError::UnsupportedPolicy(reason) => {
                 write!(f, "unsupported policy: {reason}")
+            }
+            StoreError::UnknownStrategy(name) => {
+                write!(f, "no protection strategy registered under {name:?}")
             }
         }
     }
@@ -77,7 +88,11 @@ impl From<std::io::Error> for StoreError {
 }
 
 /// Snapshot decoding failures.
+///
+/// `#[non_exhaustive]`: the snapshot format is versioned and decoding can
+/// grow failure modes; downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CodecError {
     /// The magic header is wrong — not a PLUS snapshot.
     BadMagic,

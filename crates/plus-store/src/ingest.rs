@@ -141,7 +141,7 @@ pub fn ingest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use surrogate_core::account::{generate, ProtectionContext};
+    use surrogate_core::account::{generate_for_set, ProtectionContext};
     use surrogate_core::feature::Features;
     use surrogate_core::surrogate::SurrogateDef;
 
@@ -195,9 +195,9 @@ mod tests {
         let public = lattice.public();
         let direct = {
             let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-            generate(&ctx, public).unwrap()
+            generate_for_set(&ctx, &[public]).unwrap()
         };
-        let via_store = generate(&m.context(), public).unwrap();
+        let via_store = generate_for_set(&m.context(), &[public]).unwrap();
         assert_eq!(direct.graph().node_count(), via_store.graph().node_count());
         assert_eq!(direct.graph().edge_count(), via_store.graph().edge_count());
         assert_eq!(

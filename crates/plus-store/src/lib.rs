@@ -10,12 +10,16 @@
 //! * [`store`] — a thread-safe append-only store with persistence and
 //!   graph materialization;
 //! * [`lineage`] — upstream/downstream provenance queries;
-//! * [`session`] — consumer sessions answering lineage queries through
-//!   protected accounts.
+//! * [`service`] — **the serving layer**: the concurrent, epoch-versioned
+//!   [`AccountService`] with a sharded account cache, pluggable
+//!   protection strategies, and the typed batch query API;
+//! * [`session`] — thin per-consumer views over a shared service.
 //!
 //! The Fig. 10 performance pipeline maps to: `Store::load` (DB access) →
-//! [`Store::materialize`] (build graph) → `surrogate_core::account`
-//! (protect) → [`session`] (query).
+//! [`AccountService::snapshot`] (build graph, epoch-cached) →
+//! [`AccountService::get_account`] (protect, cached per
+//! `(epoch, predicate, strategy)`) → [`AccountService::query_batch`]
+//! (query).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,11 +30,18 @@ pub mod error;
 pub mod ingest;
 pub mod lineage;
 pub mod record;
+pub mod service;
 pub mod session;
 pub mod store;
 
 pub use error::{CodecError, Result, StoreError};
 pub use ingest::{ingest, IngestKinds};
 pub use record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement, RecordId};
-pub use session::{ProtectedLineageRow, Session};
+pub use service::{AccountService, ProtectedLineageRow, QueryRequest, QueryResponse, Snapshot};
+pub use session::Session;
+// Re-exported so service call sites can name directions and strategies
+// without importing surrogate-core directly.
 pub use store::{Materialized, Store};
+pub use surrogate_core::account::Strategy;
+pub use surrogate_core::query::Direction;
+pub use surrogate_core::strategy::ProtectionStrategy;

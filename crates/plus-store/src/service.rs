@@ -1,0 +1,899 @@
+//! The concurrent account-serving layer: one epoch-versioned API in front
+//! of a [`Store`].
+//!
+//! The paper's deployment sketch (§6.4) computes a protected account once
+//! per consumer predicate and then serves many path queries from it. At
+//! serving scale that workflow needs three things the bare store does not
+//! give you:
+//!
+//! 1. **A shared, versioned materialization.** [`AccountService::snapshot`]
+//!    returns an [`Arc<Snapshot>`] — the materialized graph plus the
+//!    **epoch** it corresponds to. The epoch is the store's logical clock:
+//!    it bumps on every `append_*` / `apply_policy` mutation, so readers
+//!    can pin a consistent view while writers keep appending.
+//! 2. **A concurrent account cache.** [`AccountService::get_account`] and
+//!    friends serve `Arc<ProtectedAccount>`s from a sharded,
+//!    `parking_lot`-guarded cache keyed by `(epoch, high-water set,
+//!    strategy name)`. A policy mutation bumps the epoch, which makes
+//!    every cached account stale; stale entries are evicted as fresh
+//!    epochs are populated.
+//! 3. **Pluggable strategies.** Anything implementing
+//!    [`ProtectionStrategy`] can be [registered](AccountService::register_strategy)
+//!    and requested by name — new redaction policies never touch
+//!    `surrogate-core`.
+//!
+//! Lineage queries go through the typed batch API: a [`QueryRequest`]
+//! names a root, a direction, a depth bound, and a strategy;
+//! [`AccountService::query_batch`] pins one snapshot, resolves every
+//! request against the right cached account, and stamps each
+//! [`QueryResponse`] with the epoch it answered at.
+//!
+//! ```
+//! use plus_store::{AccountService, Direction, QueryRequest, Store};
+//! use plus_store::{EdgeKind, NodeKind, PolicyStatement};
+//! use std::sync::Arc;
+//! use surrogate_core::account::Strategy;
+//! use surrogate_core::credential::Consumer;
+//! use surrogate_core::feature::Features;
+//!
+//! # fn main() -> plus_store::Result<()> {
+//! let store = Arc::new(Store::new(&["Public", "High"], &[(1, 0)])?);
+//! let public = store.predicate("Public").unwrap();
+//! let high = store.predicate("High").unwrap();
+//! let source = store.append_node("source", NodeKind::Agent, Features::new(), high);
+//! let report = store.append_node("report", NodeKind::Data, Features::new(), public);
+//! store.append_edge(source, report, EdgeKind::InputTo)?;
+//!
+//! let service = AccountService::new(store.clone());
+//! let consumer = Consumer::public(&service.snapshot().lattice);
+//! let response = service.query(
+//!     &consumer,
+//!     &QueryRequest::new(report, Direction::Backward, u32::MAX, Strategy::Surrogate),
+//! )?;
+//! assert_eq!(response.epoch, store.version());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use surrogate_core::account::{ProtectedAccount, Strategy};
+use surrogate_core::credential::Consumer;
+use surrogate_core::graph::NodeId;
+use surrogate_core::privilege::PrivilegeId;
+use surrogate_core::query::{traverse, Direction};
+use surrogate_core::strategy::ProtectionStrategy;
+
+use crate::error::{Result, StoreError};
+use crate::record::RecordId;
+use crate::store::{Materialized, Store};
+
+/// Number of cache shards; requests for different `(epoch, preds,
+/// strategy)` keys mostly hit different locks.
+const SHARDS: usize = 16;
+
+/// An epoch-stamped materialization: the consistent view of the store all
+/// accounts and query answers of that epoch are derived from.
+///
+/// Dereferences to [`Materialized`], so `snapshot.graph`,
+/// `snapshot.lattice`, and `snapshot.context()` work directly.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    materialized: Materialized,
+}
+
+impl Snapshot {
+    /// The store version this materialization corresponds to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The materialized graph, lattice, markings, and catalog.
+    pub fn materialized(&self) -> &Materialized {
+        &self.materialized
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = Materialized;
+
+    fn deref(&self) -> &Materialized {
+        &self.materialized
+    }
+}
+
+/// One lineage query against the service: traverse from `root` in
+/// `direction` up to `max_depth` hops, through the account produced by
+/// `strategy`.
+///
+/// `strategy` is the serializable [`Strategy`] selector — this is a wire
+/// type. To query through a custom registered strategy, resolve the
+/// account with [`AccountService::get_account_named`] and traverse it
+/// directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// The record to traverse from.
+    pub root: RecordId,
+    /// Upstream (`Backward`), downstream (`Forward`), or neighborhood.
+    pub direction: Direction,
+    /// Hop bound (`u32::MAX` for unbounded).
+    pub max_depth: u32,
+    /// Which built-in protection strategy to answer through.
+    pub strategy: Strategy,
+    /// Account predicate. `None` uses the consumer's whole credential
+    /// frontier (the Def. 6 multi-predicate account).
+    pub predicate: Option<PrivilegeId>,
+}
+
+impl QueryRequest {
+    /// A request answered through the consumer's credential frontier.
+    pub fn new(root: RecordId, direction: Direction, max_depth: u32, strategy: Strategy) -> Self {
+        Self {
+            root,
+            direction,
+            max_depth,
+            strategy,
+            predicate: None,
+        }
+    }
+
+    /// Pins the request to one account predicate instead of the frontier.
+    pub fn with_predicate(mut self, predicate: PrivilegeId) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+}
+
+/// The answer to one [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResponse {
+    /// The epoch the answer was computed at. Within one
+    /// [`query_batch`](AccountService::query_batch) call every response
+    /// carries the same epoch.
+    pub epoch: u64,
+    /// The request's root, echoed back.
+    pub root: RecordId,
+    /// Visited records in BFS order; empty when the root is invisible to
+    /// the consumer.
+    pub rows: Vec<ProtectedLineageRow>,
+}
+
+/// A lineage row as seen through a protected account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtectedLineageRow {
+    /// The original record reached (known to the server, not the client).
+    pub record: RecordId,
+    /// The label the consumer sees (original or surrogate).
+    pub label: String,
+    /// Hops from the root *in the protected account*.
+    pub depth: u32,
+    /// Whether the consumer sees a surrogate stand-in.
+    pub surrogate: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    epoch: u64,
+    preds: Vec<PrivilegeId>,
+    strategy: String,
+}
+
+enum Source {
+    /// A live store: the epoch tracks its version.
+    Live(Arc<Store>),
+    /// A fixed materialization pinned at epoch 0 — an immutable serving
+    /// replica (also the substrate of the deprecated `Session::new`).
+    Frozen(Arc<Snapshot>),
+}
+
+/// Thread-safe, epoch-versioned protected-account server over a [`Store`].
+///
+/// See the [module docs](self) for the serving model. All methods take
+/// `&self`; share the service across threads behind an `Arc`.
+pub struct AccountService {
+    source: Source,
+    current: RwLock<Option<Arc<Snapshot>>>,
+    shards: Vec<Mutex<HashMap<CacheKey, Arc<ProtectedAccount>>>>,
+    strategies: RwLock<HashMap<String, Arc<dyn ProtectionStrategy>>>,
+}
+
+impl std::fmt::Debug for AccountService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccountService")
+            .field("epoch", &self.epoch())
+            .field("cached_accounts", &self.cached_accounts())
+            .field("strategies", &self.strategy_names())
+            .finish()
+    }
+}
+
+impl AccountService {
+    /// A service over a live store. Mutations through the shared `Arc`
+    /// bump the epoch and invalidate cached accounts automatically.
+    pub fn new(store: Arc<Store>) -> Self {
+        Self::with_source(Source::Live(store))
+    }
+
+    /// A service over a fixed materialization, pinned at epoch 0 — an
+    /// immutable serving replica.
+    pub fn from_materialized(materialized: Materialized) -> Self {
+        Self::with_source(Source::Frozen(Arc::new(Snapshot {
+            epoch: 0,
+            materialized,
+        })))
+    }
+
+    fn with_source(source: Source) -> Self {
+        let mut strategies: HashMap<String, Arc<dyn ProtectionStrategy>> = HashMap::new();
+        for &builtin in Strategy::ALL {
+            strategies.insert(builtin.name().to_string(), Arc::new(builtin));
+        }
+        Self {
+            source,
+            current: RwLock::new(None),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            strategies: RwLock::new(strategies),
+        }
+    }
+
+    /// The underlying store, when this service fronts a live one.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        match &self.source {
+            Source::Live(store) => Some(store),
+            Source::Frozen(_) => None,
+        }
+    }
+
+    /// The current epoch: the live store's version, or 0 for a frozen
+    /// service. Strictly monotone over the lifetime of the service.
+    pub fn epoch(&self) -> u64 {
+        match &self.source {
+            Source::Live(store) => store.version(),
+            Source::Frozen(snapshot) => snapshot.epoch,
+        }
+    }
+
+    /// The current epoch-stamped materialization, rebuilt (and cached)
+    /// whenever the store has moved past the cached epoch.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        let store = match &self.source {
+            Source::Live(store) => store,
+            Source::Frozen(snapshot) => return snapshot.clone(),
+        };
+        {
+            let cached = self.current.read();
+            if let Some(snapshot) = cached.as_ref() {
+                if snapshot.epoch == store.version() {
+                    return snapshot.clone();
+                }
+            }
+        }
+        let mut cached = self.current.write();
+        // Another writer may have rebuilt while we waited for the lock.
+        if let Some(snapshot) = cached.as_ref() {
+            if snapshot.epoch == store.version() {
+                return snapshot.clone();
+            }
+        }
+        let (epoch, materialized) = store.materialize_versioned();
+        let snapshot = Arc::new(Snapshot {
+            epoch,
+            materialized,
+        });
+        // The epoch never goes backward: materialize_versioned reads the
+        // version and the log under one lock, and versions only grow.
+        if !cached
+            .as_ref()
+            .is_some_and(|old| old.epoch >= snapshot.epoch)
+        {
+            *cached = Some(snapshot.clone());
+            // Accounts older than the new epoch can never be current
+            // again; drop them so the cache tracks live accounts only.
+            for shard in &self.shards {
+                shard.lock().retain(|k, _| k.epoch >= epoch);
+            }
+        }
+        snapshot
+    }
+
+    /// Registers a protection strategy under its [`name`]
+    /// (`ProtectionStrategy::name`), replacing any previous registration
+    /// of that name. The three built-ins are pre-registered.
+    ///
+    /// Accounts cached under the replaced name are purged: a name must
+    /// serve the accounts of its *current* registration, never a
+    /// predecessor's. (Replacement is a setup-time operation; a request
+    /// that resolved the old registration concurrently with the swap may
+    /// still serve one old-strategy account for the current epoch.)
+    ///
+    /// [`name`]: ProtectionStrategy::name
+    pub fn register_strategy(&self, strategy: Arc<dyn ProtectionStrategy>) {
+        let name = strategy.name().to_string();
+        let mut registry = self.strategies.write();
+        for shard in &self.shards {
+            shard.lock().retain(|k, _| k.strategy != name);
+        }
+        registry.insert(name, strategy);
+    }
+
+    /// The registered strategy of that name.
+    pub fn strategy(&self, name: &str) -> Result<Arc<dyn ProtectionStrategy>> {
+        self.strategies
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::UnknownStrategy(name.to_string()))
+    }
+
+    /// Names of all registered strategies, sorted.
+    pub fn strategy_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.strategies.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total accounts currently cached (all epochs).
+    pub fn cached_accounts(&self) -> usize {
+        self.shards.iter().map(|shard| shard.lock().len()).sum()
+    }
+
+    /// The cached account for the high-water set `preds` at the current
+    /// epoch — the unauthenticated operator API ([`get_account`] and
+    /// friends add the consumer credential check).
+    ///
+    /// [`get_account`]: Self::get_account
+    ///
+    /// # Panics
+    /// Panics if `preds` is empty, matching the generators.
+    pub fn protect(
+        &self,
+        preds: &[PrivilegeId],
+        strategy: &dyn ProtectionStrategy,
+    ) -> Result<Arc<ProtectedAccount>> {
+        self.protect_at(&self.snapshot(), preds, strategy)
+    }
+
+    /// [`protect`](Self::protect) against a pinned snapshot: the returned
+    /// account is generated from (or cached for) exactly that snapshot's
+    /// epoch, so a reader holding a snapshot gets answers consistent with
+    /// it even while writers advance the store.
+    ///
+    /// The strategy *name* owns the cache slot and the behavior: when a
+    /// strategy is [registered](Self::register_strategy) under
+    /// `strategy.name()`, the registered implementation generates the
+    /// account — so `&Strategy::Surrogate` and a registered replacement
+    /// of `"surrogate"` can never poison each other's cache entries. The
+    /// passed strategy only generates directly when its name is
+    /// unregistered.
+    pub fn protect_at(
+        &self,
+        snapshot: &Snapshot,
+        preds: &[PrivilegeId],
+        strategy: &dyn ProtectionStrategy,
+    ) -> Result<Arc<ProtectedAccount>> {
+        assert!(!preds.is_empty(), "high-water set must be non-empty");
+        let mut preds = snapshot.lattice.maximal_antichain(preds);
+        // The key must identify the *set*: {a, b} and {b, a} are one
+        // account.
+        preds.sort_unstable_by_key(|p| p.0);
+        let key = CacheKey {
+            epoch: snapshot.epoch,
+            preds,
+            strategy: strategy.name().to_string(),
+        };
+        let shard = &self.shards[Self::shard_index(&key)];
+        if let Some(hit) = shard.lock().get(&key) {
+            return Ok(hit.clone());
+        }
+        // Generate outside the shard lock: account generation is the
+        // expensive step and must not serialize unrelated cache traffic.
+        let registered = self.strategies.read().get(&key.strategy).cloned();
+        let account = Arc::new(match &registered {
+            Some(current) => current.protect(&snapshot.context(), &key.preds)?,
+            None => strategy.protect(&snapshot.context(), &key.preds)?,
+        });
+        let mut guard = shard.lock();
+        // Entries for this account older than this epoch can never be
+        // current again (the snapshot rebuild also sweeps all shards).
+        guard.retain(|k, _| {
+            k.epoch >= key.epoch || k.preds != key.preds || k.strategy != key.strategy
+        });
+        // A racing generator may have inserted first; both generated from
+        // the same epoch, so either value serves (keep the first).
+        Ok(guard.entry(key).or_insert(account).clone())
+    }
+
+    /// Shard by `(preds, strategy)` — *not* the epoch — so successive
+    /// epochs of the same logical account land in the same shard and the
+    /// insert-time eviction above can see its stale predecessors.
+    fn shard_index(key: &CacheKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.preds.hash(&mut hasher);
+        key.strategy.hash(&mut hasher);
+        (hasher.finish() as usize) % SHARDS
+    }
+
+    /// The account for the consumer's *entire* credential frontier — the
+    /// multi-predicate high-water account (Def. 6) a consumer holding
+    /// several incomparable grants is entitled to.
+    pub fn get_account(
+        &self,
+        consumer: &Consumer,
+        strategy: &dyn ProtectionStrategy,
+    ) -> Result<Arc<ProtectedAccount>> {
+        let snapshot = self.snapshot();
+        self.frontier_account_at(&snapshot, consumer, strategy)
+    }
+
+    /// The single-predicate account for `predicate`, after checking the
+    /// consumer satisfies it — an account's high-water set must be
+    /// dominated by the consumer's credentials (§3.1).
+    pub fn get_account_for(
+        &self,
+        consumer: &Consumer,
+        predicate: PrivilegeId,
+        strategy: &dyn ProtectionStrategy,
+    ) -> Result<Arc<ProtectedAccount>> {
+        self.authorize(consumer, predicate)?;
+        self.protect_at(&self.snapshot(), &[predicate], strategy)
+    }
+
+    /// [`get_account`](Self::get_account) through a
+    /// [registered](Self::register_strategy) strategy, looked up by name.
+    pub fn get_account_named(
+        &self,
+        consumer: &Consumer,
+        strategy_name: &str,
+    ) -> Result<Arc<ProtectedAccount>> {
+        let strategy = self.strategy(strategy_name)?;
+        self.get_account(consumer, strategy.as_ref())
+    }
+
+    fn frontier_account_at(
+        &self,
+        snapshot: &Snapshot,
+        consumer: &Consumer,
+        strategy: &dyn ProtectionStrategy,
+    ) -> Result<Arc<ProtectedAccount>> {
+        let frontier = consumer.frontier(&snapshot.lattice);
+        if frontier.is_empty() {
+            // A consumer with no satisfied predicates cannot even present
+            // Public; there is no account to serve.
+            return Err(StoreError::NotAuthorized {
+                consumer: consumer.name().to_string(),
+                predicate: snapshot.lattice.public().0,
+            });
+        }
+        self.protect_at(snapshot, &frontier, strategy)
+    }
+
+    fn authorize(&self, consumer: &Consumer, predicate: PrivilegeId) -> Result<()> {
+        if consumer.satisfies(predicate) {
+            Ok(())
+        } else {
+            Err(StoreError::NotAuthorized {
+                consumer: consumer.name().to_string(),
+                predicate: predicate.0,
+            })
+        }
+    }
+
+    /// Answers one lineage query. Equivalent to a one-element
+    /// [`query_batch`](Self::query_batch).
+    pub fn query(&self, consumer: &Consumer, request: &QueryRequest) -> Result<QueryResponse> {
+        Ok(self
+            .query_batch(consumer, std::slice::from_ref(request))?
+            .remove(0))
+    }
+
+    /// Answers many lineage queries against **one** pinned snapshot: every
+    /// response carries the same epoch, and requests sharing a
+    /// `(predicate, strategy)` pair share one account resolution — a batch
+    /// of N queries costs at most one materialization plus one cache
+    /// round-trip (and at most one generation) per distinct pair, however
+    /// large N is.
+    ///
+    /// The batch is all-or-nothing: the first request that fails (e.g. an
+    /// unauthorized pinned predicate) fails the whole call and already
+    /// computed responses are discarded. Split batches per trust domain if
+    /// partial answers are needed.
+    pub fn query_batch(
+        &self,
+        consumer: &Consumer,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<QueryResponse>> {
+        let snapshot = self.snapshot();
+        // Resolve each distinct (predicate, strategy) pair once; the
+        // per-request loop then only clones Arcs and traverses.
+        let mut accounts: HashMap<(Option<PrivilegeId>, Strategy), Arc<ProtectedAccount>> =
+            HashMap::new();
+        requests
+            .iter()
+            .map(|request| {
+                let account = match accounts.entry((request.predicate, request.strategy)) {
+                    std::collections::hash_map::Entry::Occupied(hit) => hit.get().clone(),
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        // protect_at resolves the strategy name through
+                        // the registry, so a re-registered built-in name
+                        // serves its replacement here too.
+                        let account = match request.predicate {
+                            Some(predicate) => {
+                                self.authorize(consumer, predicate)?;
+                                self.protect_at(&snapshot, &[predicate], &request.strategy)?
+                            }
+                            None => {
+                                self.frontier_account_at(&snapshot, consumer, &request.strategy)?
+                            }
+                        };
+                        slot.insert(account).clone()
+                    }
+                };
+                Ok(QueryResponse {
+                    epoch: snapshot.epoch,
+                    root: request.root,
+                    rows: lineage_rows(
+                        &account,
+                        request.root,
+                        request.direction,
+                        request.max_depth,
+                    ),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Traverses a protected account from `root`, mapping each visited node
+/// back to its record and surrogate status. Empty when the root has no
+/// corresponding account node.
+pub fn lineage_rows(
+    account: &ProtectedAccount,
+    root: RecordId,
+    direction: Direction,
+    max_depth: u32,
+) -> Vec<ProtectedLineageRow> {
+    let Some(root2) = account.account_node(NodeId(root.0)) else {
+        return Vec::new(); // root invisible: nothing to traverse
+    };
+    let traversal = traverse(account.graph(), root2, direction, max_depth);
+    traversal
+        .iter()
+        .map(|(n2, depth)| {
+            let original = account.original_node(n2);
+            ProtectedLineageRow {
+                record: RecordId(original.0),
+                label: account.graph().node(n2).label.clone(),
+                depth,
+                surrogate: !matches!(
+                    account.correspondence(n2),
+                    surrogate_core::account::Correspondence::Original
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EdgeKind, NodeKind, PolicyStatement};
+    use surrogate_core::account::{generate_with_options, GenerateOptions, ProtectionContext};
+    use surrogate_core::error::Result as CoreResult;
+    use surrogate_core::feature::Features;
+
+    /// source(High) → mid(Public) → sink(Public), with a Public surrogate
+    /// for the source.
+    fn setup() -> (Arc<Store>, Vec<RecordId>) {
+        let store = Arc::new(Store::new(&["Public", "High"], &[(1, 0)]).unwrap());
+        let public = store.predicate("Public").unwrap();
+        let high = store.predicate("High").unwrap();
+        let source = store.append_node("secret source", NodeKind::Agent, Features::new(), high);
+        let mid = store.append_node("analysis", NodeKind::Process, Features::new(), public);
+        let sink = store.append_node("report", NodeKind::Data, Features::new(), public);
+        store.append_edge(source, mid, EdgeKind::InputTo).unwrap();
+        store.append_edge(mid, sink, EdgeKind::GeneratedBy).unwrap();
+        // Fig. 2(a) pattern: incidences stay Visible, so the Public
+        // surrogate is wired in place of the source.
+        store
+            .apply_policy(PolicyStatement::AddSurrogate {
+                node: source,
+                label: "a trusted source".into(),
+                features: Features::new(),
+                lowest: public,
+                info_score: 0.3,
+            })
+            .unwrap();
+        (store, vec![source, mid, sink])
+    }
+
+    #[test]
+    fn snapshot_tracks_store_version() {
+        let (store, _) = setup();
+        let service = AccountService::new(store.clone());
+        let before = service.snapshot();
+        assert_eq!(before.epoch(), store.version());
+        let public = store.predicate("Public").unwrap();
+        store.append_node("extra", NodeKind::Data, Features::new(), public);
+        let after = service.snapshot();
+        assert_eq!(after.epoch(), before.epoch() + 1);
+        assert_eq!(after.graph.node_count(), before.graph.node_count() + 1);
+        // Pinned snapshots are unaffected by later mutations.
+        assert_eq!(before.graph.node_count(), 3);
+    }
+
+    #[test]
+    fn accounts_are_cached_per_epoch() {
+        let (store, _) = setup();
+        let service = AccountService::new(store.clone());
+        let public = store.predicate("Public").unwrap();
+        let first = service.protect(&[public], &Strategy::Surrogate).unwrap();
+        let second = service.protect(&[public], &Strategy::Surrogate).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same cached account");
+        assert_eq!(service.cached_accounts(), 1);
+
+        // A mutation bumps the epoch; the account regenerates and the
+        // stale entry is evicted.
+        store.append_node("late", NodeKind::Data, Features::new(), public);
+        let third = service.protect(&[public], &Strategy::Surrogate).unwrap();
+        assert!(!Arc::ptr_eq(&first, &third), "stale epoch not served");
+        assert_eq!(third.graph().node_count(), first.graph().node_count() + 1);
+        assert_eq!(service.cached_accounts(), 1, "stale entry evicted");
+    }
+
+    #[test]
+    fn strategies_cache_independently() {
+        let (store, _) = setup();
+        let service = AccountService::new(store);
+        let public = service.snapshot().lattice.public();
+        let sur = service.protect(&[public], &Strategy::Surrogate).unwrap();
+        let hide = service.protect(&[public], &Strategy::HideEdges).unwrap();
+        assert!(!Arc::ptr_eq(&sur, &hide));
+        assert_eq!(service.cached_accounts(), 2);
+    }
+
+    #[test]
+    fn get_account_checks_credentials() {
+        let (store, _) = setup();
+        let service = AccountService::new(store);
+        let snapshot = service.snapshot();
+        let high = snapshot.lattice.by_name("High").unwrap();
+        let consumer = Consumer::public(&snapshot.lattice);
+        assert!(matches!(
+            service.get_account_for(&consumer, high, &Strategy::Surrogate),
+            Err(StoreError::NotAuthorized { .. })
+        ));
+        let insider = Consumer::new("insider", &snapshot.lattice, &[high]);
+        let account = service
+            .get_account_for(&insider, high, &Strategy::Surrogate)
+            .unwrap();
+        assert_eq!(account.graph().node_count(), 3);
+    }
+
+    #[test]
+    fn frontier_account_serves_the_def6_set() {
+        let store = Arc::new(Store::new(&["Public", "A", "B"], &[(1, 0), (2, 0)]).unwrap());
+        let a = store.predicate("A").unwrap();
+        let b = store.predicate("B").unwrap();
+        let public = store.predicate("Public").unwrap();
+        let na = store.append_node("na", NodeKind::Data, Features::new(), a);
+        let np = store.append_node("np", NodeKind::Data, Features::new(), public);
+        let nb = store.append_node("nb", NodeKind::Data, Features::new(), b);
+        store.append_edge(na, np, EdgeKind::Related).unwrap();
+        store.append_edge(np, nb, EdgeKind::Related).unwrap();
+        let service = AccountService::new(store);
+        let snapshot = service.snapshot();
+        let dual = Consumer::new("dual", &snapshot.lattice, &[a, b]);
+        let account = service.get_account(&dual, &Strategy::Surrogate).unwrap();
+        assert_eq!(account.high_water().len(), 2);
+        assert_eq!(account.graph().node_count(), 3);
+        // Cached: the same Arc comes back.
+        let again = service.get_account(&dual, &Strategy::Surrogate).unwrap();
+        assert!(Arc::ptr_eq(&account, &again));
+    }
+
+    #[test]
+    fn query_batch_shares_one_epoch_and_account() {
+        let (store, ids) = setup();
+        let service = AccountService::new(store.clone());
+        let consumer = Consumer::public(&service.snapshot().lattice);
+        let requests: Vec<QueryRequest> = ids
+            .iter()
+            .map(|&root| {
+                QueryRequest::new(root, Direction::Backward, u32::MAX, Strategy::Surrogate)
+            })
+            .collect();
+        let responses = service.query_batch(&consumer, &requests).unwrap();
+        assert_eq!(responses.len(), 3);
+        for response in &responses {
+            assert_eq!(response.epoch, store.version());
+        }
+        assert_eq!(service.cached_accounts(), 1, "one account for the batch");
+        // Upstream of the sink: analysis then the surrogate.
+        let sink_rows = &responses[2].rows;
+        assert_eq!(sink_rows.len(), 2);
+        assert_eq!(sink_rows[0].label, "analysis");
+        assert!(!sink_rows[0].surrogate);
+        assert_eq!(sink_rows[1].label, "a trusted source");
+        assert!(sink_rows[1].surrogate);
+    }
+
+    #[test]
+    fn query_with_pinned_predicate_authorizes() {
+        let (store, ids) = setup();
+        let service = AccountService::new(store);
+        let snapshot = service.snapshot();
+        let high = snapshot.lattice.by_name("High").unwrap();
+        let consumer = Consumer::public(&snapshot.lattice);
+        let request = QueryRequest::new(ids[2], Direction::Backward, u32::MAX, Strategy::Surrogate)
+            .with_predicate(high);
+        assert!(matches!(
+            service.query(&consumer, &request),
+            Err(StoreError::NotAuthorized { .. })
+        ));
+    }
+
+    #[test]
+    fn invisible_root_yields_empty_rows() {
+        let store = Arc::new(Store::new(&["Public", "High"], &[(1, 0)]).unwrap());
+        let high = store.predicate("High").unwrap();
+        let source = store.append_node("secret", NodeKind::Agent, Features::new(), high);
+        let service = AccountService::new(store);
+        let consumer = Consumer::public(&service.snapshot().lattice);
+        let response = service
+            .query(
+                &consumer,
+                &QueryRequest::new(source, Direction::Forward, u32::MAX, Strategy::Surrogate),
+            )
+            .unwrap();
+        assert!(response.rows.is_empty());
+    }
+
+    /// A custom strategy registered without touching `surrogate-core`: the
+    /// redundancy-filter ablation.
+    struct Unfiltered;
+
+    impl ProtectionStrategy for Unfiltered {
+        fn name(&self) -> &str {
+            "unfiltered"
+        }
+
+        fn protect(
+            &self,
+            ctx: &ProtectionContext<'_>,
+            preds: &[PrivilegeId],
+        ) -> CoreResult<ProtectedAccount> {
+            generate_with_options(
+                ctx,
+                preds,
+                GenerateOptions {
+                    redundancy_filter: false,
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn custom_strategy_registers_and_serves() {
+        let (store, _) = setup();
+        let service = AccountService::new(store);
+        let consumer = Consumer::public(&service.snapshot().lattice);
+        assert!(matches!(
+            service.get_account_named(&consumer, "unfiltered"),
+            Err(StoreError::UnknownStrategy(_))
+        ));
+        service.register_strategy(Arc::new(Unfiltered));
+        let account = service.get_account_named(&consumer, "unfiltered").unwrap();
+        // Unfiltered keeps every permitted pair: at least as many edges as
+        // the filtered built-in, cached under its own name.
+        let filtered = service.get_account_named(&consumer, "surrogate").unwrap();
+        assert!(account.graph().edge_count() >= filtered.graph().edge_count());
+        assert!(service.strategy_names().contains(&"unfiltered".to_string()));
+    }
+
+    /// Replaces the built-in surrogate algorithm under its own name.
+    struct ReplacementSurrogate;
+
+    impl ProtectionStrategy for ReplacementSurrogate {
+        fn name(&self) -> &str {
+            "surrogate"
+        }
+
+        fn protect(
+            &self,
+            ctx: &ProtectionContext<'_>,
+            preds: &[PrivilegeId],
+        ) -> CoreResult<ProtectedAccount> {
+            // Observably different from the built-in: no redundancy filter.
+            generate_with_options(
+                ctx,
+                preds,
+                GenerateOptions {
+                    redundancy_filter: false,
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn re_registering_a_name_purges_its_cached_accounts() {
+        let (store, ids) = setup();
+        let service = AccountService::new(store);
+        let consumer = Consumer::public(&service.snapshot().lattice);
+        let before = service.get_account_named(&consumer, "surrogate").unwrap();
+        service.register_strategy(Arc::new(ReplacementSurrogate));
+        // The stale built-in account must not be served under the name…
+        let after = service.get_account_named(&consumer, "surrogate").unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "cache purged on replace");
+        // …and the enum-selector query path resolves through the registry,
+        // so it serves the replacement too (same cached object).
+        let response = service
+            .query(
+                &consumer,
+                &QueryRequest::new(ids[2], Direction::Backward, u32::MAX, Strategy::Surrogate),
+            )
+            .unwrap();
+        assert_eq!(response.rows.len(), 2);
+        let via_query = service.get_account_named(&consumer, "surrogate").unwrap();
+        assert!(Arc::ptr_eq(&after, &via_query));
+        // The enum selector resolves through the registry as well: passing
+        // &Strategy::Surrogate serves the replacement, not the built-in,
+        // so the two call styles can never poison each other's cache.
+        let via_enum = service
+            .get_account(&consumer, &Strategy::Surrogate)
+            .unwrap();
+        assert!(Arc::ptr_eq(&after, &via_enum));
+    }
+
+    #[test]
+    fn cache_key_is_order_insensitive_in_preds() {
+        let store = Arc::new(Store::new(&["Public", "A", "B"], &[(1, 0), (2, 0)]).unwrap());
+        let a = store.predicate("A").unwrap();
+        let b = store.predicate("B").unwrap();
+        store.append_node("na", NodeKind::Data, Features::new(), a);
+        let service = AccountService::new(store);
+        let ab = service.protect(&[a, b], &Strategy::Surrogate).unwrap();
+        let ba = service.protect(&[b, a], &Strategy::Surrogate).unwrap();
+        assert!(Arc::ptr_eq(&ab, &ba), "{{a,b}} and {{b,a}} are one account");
+        assert_eq!(service.cached_accounts(), 1);
+    }
+
+    #[test]
+    fn frozen_service_serves_epoch_zero() {
+        let (store, ids) = setup();
+        let service = AccountService::from_materialized(store.materialize());
+        assert!(service.store().is_none());
+        assert_eq!(service.epoch(), 0);
+        let consumer = Consumer::public(&service.snapshot().lattice);
+        let response = service
+            .query(
+                &consumer,
+                &QueryRequest::new(ids[2], Direction::Backward, u32::MAX, Strategy::Surrogate),
+            )
+            .unwrap();
+        assert_eq!(response.epoch, 0);
+        assert_eq!(response.rows.len(), 2);
+    }
+
+    #[test]
+    fn pinned_snapshot_answers_stay_consistent() {
+        let (store, _) = setup();
+        let service = AccountService::new(store.clone());
+        let public = store.predicate("Public").unwrap();
+        let pinned = service.snapshot();
+        store.append_node("later", NodeKind::Data, Features::new(), public);
+        // The pinned snapshot still resolves at its own epoch…
+        let old = service
+            .protect_at(&pinned, &[public], &Strategy::Surrogate)
+            .unwrap();
+        assert_eq!(old.graph().node_count(), 3);
+        // …while the current snapshot sees the new node.
+        let new = service.protect(&[public], &Strategy::Surrogate).unwrap();
+        assert_eq!(new.graph().node_count(), 4);
+    }
+}

@@ -1,53 +1,79 @@
-//! Consumer sessions: privilege-checked, cached access to protected
-//! accounts and protected lineage answers.
+//! Consumer sessions: a thin, credential-pinning view over an
+//! [`AccountService`].
 //!
-//! A session pins a consumer against a materialized store. Accounts are
-//! generated lazily per `(predicate, strategy)` and cached, matching the
-//! paper's deployment sketch where a protected account is computed once
-//! and then serves many path queries (§6.4).
+//! A session binds one [`Consumer`] to a shared service, so call sites
+//! answering that consumer's queries do not have to thread credentials
+//! through every call. All caching, epoch tracking, and invalidation
+//! happen in the service — a session holds no state of its own beyond the
+//! consumer, so it is cheap to create per connection and can be dropped
+//! freely.
+//!
+//! # Migration
+//!
+//! Before the service layer, `Session::new(materialized, consumer)` owned
+//! a private per-session account cache. That constructor is deprecated:
+//! open sessions against a shared service instead —
+//!
+//! ```
+//! # use plus_store::{AccountService, Session, Store};
+//! # use std::sync::Arc;
+//! # use surrogate_core::credential::Consumer;
+//! # let store = Arc::new(Store::public_only());
+//! let service = Arc::new(AccountService::new(store));
+//! let consumer = Consumer::public(&service.snapshot().lattice);
+//! let session = Session::open(service, consumer);
+//! ```
+//!
+//! — so concurrent sessions share one account cache and observe policy
+//! mutations through the service's epoch instead of serving stale
+//! private copies forever.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use surrogate_core::account::{ProtectedAccount, Strategy};
 use surrogate_core::credential::Consumer;
 use surrogate_core::graph::NodeId;
 use surrogate_core::privilege::PrivilegeId;
-use surrogate_core::query::{traverse, Direction};
+use surrogate_core::query::Direction;
 
-use crate::error::{Result, StoreError};
+use crate::error::Result;
 use crate::record::RecordId;
+use crate::service::{AccountService, QueryRequest, Snapshot};
 use crate::store::Materialized;
 
-/// A lineage row as seen through a protected account.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ProtectedLineageRow {
-    /// The original record reached (known to the server, not the client).
-    pub record: RecordId,
-    /// The label the consumer sees (original or surrogate).
-    pub label: String,
-    /// Hops from the root *in the protected account*.
-    pub depth: u32,
-    /// Whether the consumer sees a surrogate stand-in.
-    pub surrogate: bool,
-}
+pub use crate::service::ProtectedLineageRow;
 
-/// A consumer session over one materialized store.
+/// A consumer session over a shared [`AccountService`].
 pub struct Session {
-    materialized: Materialized,
+    service: Arc<AccountService>,
     consumer: Consumer,
-    cache: HashMap<(PrivilegeId, Strategy), ProtectedAccount>,
-    frontier_cache: HashMap<Strategy, ProtectedAccount>,
 }
 
 impl Session {
-    /// Opens a session.
+    /// Opens a session for `consumer` against a shared service.
+    pub fn open(service: Arc<AccountService>, consumer: Consumer) -> Self {
+        Self { service, consumer }
+    }
+
+    /// Opens a session over a private, frozen service pinned at epoch 0.
+    ///
+    /// Kept as a shim for pre-service call sites; accounts cached through
+    /// it are never invalidated and never shared with other sessions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "open sessions against a shared `AccountService` with `Session::open`; \
+                see the module docs for the migration"
+    )]
     pub fn new(materialized: Materialized, consumer: Consumer) -> Self {
-        Self {
-            materialized,
+        Self::open(
+            Arc::new(AccountService::from_materialized(materialized)),
             consumer,
-            cache: HashMap::new(),
-            frontier_cache: HashMap::new(),
-        }
+        )
+    }
+
+    /// The service this session queries through.
+    pub fn service(&self) -> &Arc<AccountService> {
+        &self.service
     }
 
     /// The consumer this session authenticates.
@@ -55,59 +81,44 @@ impl Session {
         &self.consumer
     }
 
-    /// The underlying materialization.
-    pub fn materialized(&self) -> &Materialized {
-        &self.materialized
+    /// The service's current epoch-stamped materialization. (Dereferences
+    /// to [`Materialized`], so `session.materialized().lattice` keeps
+    /// working at old call sites.)
+    pub fn materialized(&self) -> Arc<Snapshot> {
+        self.service.snapshot()
     }
 
     /// The strongest predicates the consumer can request accounts for.
     pub fn frontier(&self) -> Vec<PrivilegeId> {
-        self.consumer.frontier(&self.materialized.lattice)
+        self.consumer.frontier(&self.service.snapshot().lattice)
     }
 
-    /// The protected account for `predicate`, generating and caching on
-    /// first use. Fails if the consumer does not satisfy the predicate —
-    /// an account's high-water set must be dominated by the consumer's
-    /// credentials (§3.1).
+    /// The protected account for `predicate` at the current epoch, served
+    /// from the shared cache. Fails if the consumer does not satisfy the
+    /// predicate — an account's high-water set must be dominated by the
+    /// consumer's credentials (§3.1).
     pub fn account(
-        &mut self,
+        &self,
         predicate: PrivilegeId,
         strategy: Strategy,
-    ) -> Result<&ProtectedAccount> {
-        if !self.consumer.satisfies(predicate) {
-            return Err(StoreError::NotAuthorized {
-                consumer: self.consumer.name().to_string(),
-                predicate: predicate.0,
-            });
-        }
-        if !self.cache.contains_key(&(predicate, strategy)) {
-            let account = self.materialized.context().protect(predicate, strategy)?;
-            self.cache.insert((predicate, strategy), account);
-        }
-        Ok(&self.cache[&(predicate, strategy)])
+    ) -> Result<Arc<ProtectedAccount>> {
+        self.service
+            .get_account_for(&self.consumer, predicate, &strategy)
     }
 
     /// The account for the consumer's *entire* credential frontier — the
     /// multi-predicate high-water account (Def. 6) a consumer holding
-    /// several incomparable grants is entitled to. Cached per strategy.
-    pub fn frontier_account(&mut self, strategy: Strategy) -> Result<&ProtectedAccount> {
-        if !self.frontier_cache.contains_key(&strategy) {
-            let frontier = self.consumer.frontier(&self.materialized.lattice);
-            let account = self
-                .materialized
-                .context()
-                .protect_set(&frontier, strategy)?;
-            self.frontier_cache.insert(strategy, account);
-        }
-        Ok(&self.frontier_cache[&strategy])
+    /// several incomparable grants is entitled to.
+    pub fn frontier_account(&self, strategy: Strategy) -> Result<Arc<ProtectedAccount>> {
+        self.service.get_account(&self.consumer, &strategy)
     }
 
     /// Protected upstream lineage of `root` for `predicate`: the answer a
     /// consumer actually receives, traversing the protected account rather
-    /// than the raw graph. Returns `None` rows for roots the consumer
-    /// cannot see at all.
+    /// than the raw graph. Empty when the root is invisible to the
+    /// consumer.
     pub fn upstream(
-        &mut self,
+        &self,
         predicate: PrivilegeId,
         root: RecordId,
         max_depth: u32,
@@ -117,7 +128,7 @@ impl Session {
 
     /// Protected downstream lineage of `root` for `predicate`.
     pub fn downstream(
-        &mut self,
+        &self,
         predicate: PrivilegeId,
         root: RecordId,
         max_depth: u32,
@@ -129,7 +140,7 @@ impl Session {
     /// protected account, is `a` related to `b` — i.e. does a directed
     /// path connect their visible representatives? `false` when either
     /// record is invisible to the consumer.
-    pub fn related(&mut self, predicate: PrivilegeId, a: RecordId, b: RecordId) -> Result<bool> {
+    pub fn related(&self, predicate: PrivilegeId, a: RecordId, b: RecordId) -> Result<bool> {
         let account = self.account(predicate, Strategy::Surrogate)?;
         let (Some(a2), Some(b2)) = (
             account.account_node(NodeId(a.0)),
@@ -141,48 +152,29 @@ impl Session {
     }
 
     fn lineage(
-        &mut self,
+        &self,
         predicate: PrivilegeId,
         root: RecordId,
         max_depth: u32,
         direction: Direction,
     ) -> Result<Vec<ProtectedLineageRow>> {
-        let account = self.account(predicate, Strategy::Surrogate)?;
-        let Some(root2) = account.account_node(NodeId(root.0)) else {
-            return Ok(Vec::new()); // root invisible: nothing to traverse
-        };
-        let traversal = traverse(account.graph(), root2, direction, max_depth);
-        Ok(traversal
-            .visited
-            .iter()
-            .map(|&(n2, depth)| {
-                let original = account.original_node(n2);
-                ProtectedLineageRow {
-                    record: RecordId(original.0),
-                    label: account.graph().node(n2).label.clone(),
-                    depth,
-                    surrogate: !matches!(
-                        account.correspondence(n2),
-                        surrogate_core::account::Correspondence::Original
-                    ),
-                }
-            })
-            .collect())
+        let request = QueryRequest::new(root, direction, max_depth, Strategy::Surrogate)
+            .with_predicate(predicate);
+        Ok(self.service.query(&self.consumer, &request)?.rows)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::StoreError;
     use crate::record::{EdgeKind, NodeKind, PolicyStatement};
     use crate::store::Store;
     use surrogate_core::feature::Features;
 
-    /// source(High, with a Public surrogate wired in place — the Fig. 2(a)
-    /// pattern: incidences stay Visible, only the features are coarsened)
-    /// → mid(Public) → sink(Public).
-    fn setup() -> (Store, Vec<RecordId>) {
-        let store = Store::new(&["Public", "High"], &[(1, 0)]).unwrap();
+    /// source(High, with a Public surrogate) → mid(Public) → sink(Public).
+    fn setup() -> (Arc<Store>, Vec<RecordId>) {
+        let store = Arc::new(Store::new(&["Public", "High"], &[(1, 0)]).unwrap());
         let public = store.predicate("Public").unwrap();
         let high = store.predicate("High").unwrap();
         let source = store.append_node("secret source", NodeKind::Agent, Features::new(), high);
@@ -202,13 +194,17 @@ mod tests {
         (store, vec![source, mid, sink])
     }
 
+    fn open_public(store: &Arc<Store>) -> Session {
+        let service = Arc::new(AccountService::new(store.clone()));
+        let consumer = Consumer::public(&service.snapshot().lattice);
+        Session::open(service, consumer)
+    }
+
     #[test]
     fn public_consumer_sees_surrogate_lineage() {
         let (store, ids) = setup();
-        let m = store.materialize();
-        let public = m.lattice.by_name("Public").unwrap();
-        let consumer = Consumer::public(&m.lattice);
-        let mut session = Session::new(m, consumer);
+        let public = store.predicate("Public").unwrap();
+        let session = open_public(&store);
         let up = session.upstream(public, ids[2], u32::MAX).unwrap();
         assert_eq!(up.len(), 2);
         assert_eq!(up[0].label, "analysis");
@@ -220,10 +216,10 @@ mod tests {
     #[test]
     fn high_consumer_sees_originals() {
         let (store, ids) = setup();
-        let m = store.materialize();
-        let high = m.lattice.by_name("High").unwrap();
-        let consumer = Consumer::new("agent", &m.lattice, &[high]);
-        let mut session = Session::new(m, consumer);
+        let high = store.predicate("High").unwrap();
+        let service = Arc::new(AccountService::new(store.clone()));
+        let consumer = Consumer::new("agent", &service.snapshot().lattice, &[high]);
+        let session = Session::open(service, consumer);
         let up = session.upstream(high, ids[2], u32::MAX).unwrap();
         assert_eq!(up.len(), 2);
         assert_eq!(up[1].label, "secret source");
@@ -233,10 +229,8 @@ mod tests {
     #[test]
     fn unauthorized_predicate_is_rejected() {
         let (store, _) = setup();
-        let m = store.materialize();
-        let high = m.lattice.by_name("High").unwrap();
-        let consumer = Consumer::public(&m.lattice);
-        let mut session = Session::new(m, consumer);
+        let high = store.predicate("High").unwrap();
+        let session = open_public(&store);
         assert!(matches!(
             session.account(high, Strategy::Surrogate),
             Err(StoreError::NotAuthorized { .. })
@@ -244,46 +238,58 @@ mod tests {
     }
 
     #[test]
-    fn accounts_are_cached() {
+    fn sessions_share_the_service_cache() {
         let (store, _) = setup();
-        let m = store.materialize();
-        let public = m.lattice.by_name("Public").unwrap();
-        let consumer = Consumer::public(&m.lattice);
-        let mut session = Session::new(m, consumer);
-        let first = session
-            .account(public, Strategy::Surrogate)
-            .unwrap()
-            .graph() as *const surrogate_core::graph::Graph;
-        let second = session
-            .account(public, Strategy::Surrogate)
-            .unwrap()
-            .graph() as *const surrogate_core::graph::Graph;
-        assert_eq!(first, second, "same cached account object");
+        let public = store.predicate("Public").unwrap();
+        let service = Arc::new(AccountService::new(store));
+        let lattice = service.snapshot().lattice.clone();
+        let first = Session::open(service.clone(), Consumer::public(&lattice));
+        let second = Session::open(service.clone(), Consumer::new("other", &lattice, &[public]));
+        let a = first.account(public, Strategy::Surrogate).unwrap();
+        drop(first);
+        // A different session (even after the first is gone) gets the same
+        // cached account object from the shared service.
+        let b = second.account(public, Strategy::Surrogate).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same cached account object");
+        assert_eq!(service.cached_accounts(), 1);
+    }
+
+    #[test]
+    fn sessions_observe_policy_mutations() {
+        let (store, ids) = setup();
+        let public = store.predicate("Public").unwrap();
+        let session = open_public(&store);
+        let before = session.upstream(public, ids[2], u32::MAX).unwrap();
+        assert_eq!(before[1].label, "a trusted source");
+        // The provider hides the source from the public entirely.
+        store
+            .apply_policy(PolicyStatement::MarkNode {
+                node: ids[0],
+                predicate: Some(public),
+                marking: surrogate_core::marking::Marking::Hide,
+            })
+            .unwrap();
+        let after = session.upstream(public, ids[2], u32::MAX).unwrap();
+        assert_eq!(after.len(), 1, "epoch bump invalidated the account");
+        assert_eq!(after[0].label, "analysis");
     }
 
     #[test]
     fn invisible_root_yields_empty_answer() {
-        let (store, ids) = setup();
-        let m = store.materialize();
-        let public = m.lattice.by_name("Public").unwrap();
-        // Remove the surrogate so the source is simply absent.
-        let store2 = Store::new(&["Public", "High"], &[(1, 0)]).unwrap();
-        let high = store2.predicate("High").unwrap();
-        let source = store2.append_node("secret source", NodeKind::Agent, Features::new(), high);
-        let m2 = store2.materialize();
-        let consumer = Consumer::public(&m2.lattice);
-        let mut session = Session::new(m2, consumer);
+        let store = Arc::new(Store::new(&["Public", "High"], &[(1, 0)]).unwrap());
+        let public = store.predicate("Public").unwrap();
+        let high = store.predicate("High").unwrap();
+        let source = store.append_node("secret source", NodeKind::Agent, Features::new(), high);
+        let session = open_public(&store);
         let rows = session.downstream(public, source, u32::MAX).unwrap();
         assert!(rows.is_empty());
-        let _ = (m, ids);
     }
 
     #[test]
     fn related_answers_through_the_protected_account() {
         let (store, ids) = setup();
-        let m = store.materialize();
-        let public = m.lattice.by_name("Public").unwrap();
-        let mut session = Session::new(m, Consumer::public(&store.materialize().lattice));
+        let public = store.predicate("Public").unwrap();
+        let session = open_public(&store);
         // source → mid → sink all connect through the surrogate.
         assert!(session.related(public, ids[0], ids[2]).unwrap());
         assert!(session.related(public, ids[1], ids[2]).unwrap());
@@ -296,7 +302,7 @@ mod tests {
     #[test]
     fn frontier_account_unions_incomparable_grants() {
         // Lattice: Public below incomparable A and B; one node per level.
-        let store = Store::new(&["Public", "A", "B"], &[(1, 0), (2, 0)]).unwrap();
+        let store = Arc::new(Store::new(&["Public", "A", "B"], &[(1, 0), (2, 0)]).unwrap());
         let a = store.predicate("A").unwrap();
         let b = store.predicate("B").unwrap();
         let public = store.predicate("Public").unwrap();
@@ -306,32 +312,38 @@ mod tests {
         store.append_edge(na, np, EdgeKind::Related).unwrap();
         store.append_edge(np, nb, EdgeKind::Related).unwrap();
 
-        let m = store.materialize();
-        let consumer = Consumer::new("dual", &m.lattice, &[a, b]);
-        let mut session = Session::new(m, consumer);
+        let service = Arc::new(AccountService::new(store));
+        let consumer = Consumer::new("dual", &service.snapshot().lattice, &[a, b]);
+        let session = Session::open(service, consumer);
         let account = session.frontier_account(Strategy::Surrogate).unwrap();
         assert_eq!(account.high_water().len(), 2);
         assert_eq!(account.graph().node_count(), 3, "both branches visible");
-        // Cached per strategy.
-        let again = session
-            .frontier_account(Strategy::Surrogate)
-            .unwrap()
-            .graph() as *const surrogate_core::graph::Graph;
-        let first = session
-            .frontier_account(Strategy::Surrogate)
-            .unwrap()
-            .graph() as *const surrogate_core::graph::Graph;
-        assert_eq!(again, first);
+        // Cached per strategy in the shared service.
+        let again = session.frontier_account(Strategy::Surrogate).unwrap();
+        assert!(Arc::ptr_eq(&account, &again));
     }
 
     #[test]
     fn frontier_reflects_consumer() {
         let (store, _) = setup();
-        let m = store.materialize();
-        let high = m.lattice.by_name("High").unwrap();
-        let consumer = Consumer::new("agent", &m.lattice, &[high]);
-        let session = Session::new(m, consumer);
+        let high = store.predicate("High").unwrap();
+        let service = Arc::new(AccountService::new(store));
+        let consumer = Consumer::new("agent", &service.snapshot().lattice, &[high]);
+        let session = Session::open(service, consumer);
         assert_eq!(session.frontier(), vec![high]);
         assert_eq!(session.consumer().name(), "agent");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_serves() {
+        let (store, ids) = setup();
+        let public = store.predicate("Public").unwrap();
+        let m = store.materialize();
+        let consumer = Consumer::public(&m.lattice);
+        let session = Session::new(m, consumer);
+        let up = session.upstream(public, ids[2], u32::MAX).unwrap();
+        assert_eq!(up.len(), 2);
+        assert_eq!(session.materialized().epoch(), 0, "frozen shim");
     }
 }

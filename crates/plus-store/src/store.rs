@@ -196,6 +196,21 @@ impl Store {
         self.inner.read().clock
     }
 
+    /// The store's version — an alias of the logical clock, read by the
+    /// serving layer as its **epoch** source. Strictly monotone: every
+    /// `append_*` / `apply_policy` bumps it by exactly one.
+    pub fn version(&self) -> u64 {
+        self.clock()
+    }
+
+    /// [`materialize`](Self::materialize) plus the version the
+    /// materialization corresponds to, read under a single lock
+    /// acquisition so the pair is consistent even while writers race.
+    pub fn materialize_versioned(&self) -> (u64, Materialized) {
+        let inner = self.inner.read();
+        (inner.clock, Self::materialize_inner(&inner))
+    }
+
     /// A copy of node record `id`.
     pub fn node(&self, id: RecordId) -> Option<NodeRecord> {
         self.inner.read().nodes.get(id.index()).cloned()
@@ -211,7 +226,10 @@ impl Store {
     /// Builds the graph, markings, and catalog from the record log — the
     /// paper's "build graph" stage.
     pub fn materialize(&self) -> Materialized {
-        let inner = self.inner.read();
+        Self::materialize_inner(&self.inner.read())
+    }
+
+    fn materialize_inner(inner: &Inner) -> Materialized {
         let mut graph = Graph::with_capacity(inner.nodes.len(), inner.edges.len());
         for record in &inner.nodes {
             graph.add_node_with_features(
@@ -428,7 +446,7 @@ mod tests {
         );
         assert_eq!(m.catalog.for_node(NodeId(p.0)).len(), 1);
         // End-to-end: protect the materialization for Public.
-        let account = surrogate_core::account::generate(&m.context(), public).unwrap();
+        let account = surrogate_core::account::generate_for_set(&m.context(), &[public]).unwrap();
         let a2 = account.account_node(NodeId(a.0)).unwrap();
         let b2 = account.account_node(NodeId(b.0)).unwrap();
         assert!(account.graph().has_edge(a2, b2), "surrogate edge a→b");

@@ -2,14 +2,18 @@
 //! topology with a newly acquired company and with business partners, but
 //! some links and appliances are visible only internally.
 //!
-//! Demonstrates multi-predicate lattices, per-consumer accounts, and how
-//! surrogate edges keep reachability analyses meaningful for partners.
+//! Demonstrates multi-predicate lattices, per-consumer accounts served
+//! from one shared `AccountService` cache, and how surrogate edges keep
+//! reachability analyses meaningful for partners.
 //!
 //! Run with: `cargo run --example computer_network`
 
+use std::sync::Arc;
+
+use surrogate_parenthood::plus_store::{ingest, AccountService, IngestKinds};
 use surrogate_parenthood::prelude::*;
 
-fn main() -> Result<()> {
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // Privileges: Public ⊑ Partner; Public ⊑ Acquired; both below Internal.
     let mut builder = PrivilegeLattice::builder();
     let public = builder.add("Public")?;
@@ -64,17 +68,20 @@ fn main() -> Result<()> {
             info_score: 0.4,
         },
     );
-    // The acquired company may know the appliance exists but not that the
-    // fabric links run through the core switch... (their own fabric nodes
-    // are visible to them anyway).
-    let ctx = ProtectionContext::new(&net, &lattice, &markings, &catalog);
+
+    // Persist the setup and put the serving layer in front of it: every
+    // consumer below shares one materialization and one account cache.
+    let store = ingest(&net, &lattice, &markings, &catalog, IngestKinds::default())?;
+    let service = AccountService::new(Arc::new(store));
+    let snapshot = service.snapshot();
 
     for (name, predicate) in [
         ("Partner", partner),
         ("Acquired", acquired),
         ("Internal", internal),
     ] {
-        let account = generate(&ctx, predicate)?;
+        let consumer = Consumer::new(name, &snapshot.lattice, &[predicate]);
+        let account = service.get_account(&consumer, &Strategy::Surrogate)?;
         println!("== {name} view ==");
         println!(
             "  {} of {} devices visible ({} surrogate), {} links ({} surrogate)",
@@ -103,6 +110,10 @@ fn main() -> Result<()> {
     }
 
     println!("The Partner view hides the firewall yet keeps end-to-end reachability");
-    println!("via surrogate links; the Internal view is the raw topology.");
+    println!(
+        "via surrogate links; the Internal view is the raw topology. All three were\nserved from one AccountService ({} accounts cached at epoch {}).",
+        service.cached_accounts(),
+        service.epoch()
+    );
     Ok(())
 }

@@ -1,12 +1,14 @@
 //! The Fig. 11 / Appendix A provenance scenario: the provenance of an
 //! emergency treatment plan, queried by consumers with different
-//! clearances through PLUS-style store sessions.
+//! clearances through one shared `AccountService`.
 //!
 //! Run with: `cargo run --example provenance_emergency`
 
+use std::sync::Arc;
+
 use surrogate_parenthood::graphgen::Figure11;
 use surrogate_parenthood::plus_store::{
-    EdgeKind, NodeKind, PolicyStatement, RecordId, Session, Store,
+    AccountService, EdgeKind, NodeKind, PolicyStatement, RecordId, Session, Store,
 };
 use surrogate_parenthood::prelude::*;
 use surrogate_parenthood::surrogate_core::graph::NodeId;
@@ -15,17 +17,19 @@ fn main() -> Result<()> {
     // Build the Fig. 11 provenance graph, then persist it through the
     // store as a deployment would.
     let fig = Figure11::new();
-    let store = Store::new(
-        &[
-            "Public",
-            "Emergency Responder",
-            "Cleared Emergency Responder",
-            "Medical Provider",
-            "National Security",
-        ],
-        &[(1, 0), (2, 1), (3, 0), (4, 0)],
-    )
-    .expect("figure 11 lattice is valid");
+    let store = Arc::new(
+        Store::new(
+            &[
+                "Public",
+                "Emergency Responder",
+                "Cleared Emergency Responder",
+                "Medical Provider",
+                "National Security",
+            ],
+            &[(1, 0), (2, 1), (3, 0), (4, 0)],
+        )
+        .expect("figure 11 lattice is valid"),
+    );
 
     for n in fig.graph.node_ids() {
         let node = fig.graph.node(n);
@@ -76,7 +80,10 @@ fn main() -> Result<()> {
         })
         .expect("node exists");
 
-    let materialized = store.materialize();
+    // One service, shared by every consumer's session: accounts are
+    // generated once per (epoch, predicate, strategy) and cached.
+    let service = Arc::new(AccountService::new(store.clone()));
+    let lattice = service.snapshot().lattice.clone();
     let plan = RecordId(
         fig.graph
             .find_by_label("Emergency Treatment Plan")
@@ -86,8 +93,7 @@ fn main() -> Result<()> {
 
     // An Emergency Responder asks: where did the treatment plan come from?
     println!("== Emergency Responder's provenance view of the treatment plan ==\n");
-    let consumer = Consumer::new("responder", &materialized.lattice, &[er]);
-    let mut session = Session::new(materialized.clone(), consumer);
+    let session = Session::open(service.clone(), Consumer::new("responder", &lattice, &[er]));
     for row in session.upstream(er, plan, u32::MAX).expect("authorized") {
         println!(
             "  depth {} | {}{}",
@@ -101,15 +107,13 @@ fn main() -> Result<()> {
     println!("with surrogates the epidemiological chain stays visible while the");
     println!("CER-only supply chain is absent entirely.\n");
 
-    // A Cleared Emergency Responder sees the full planning chain.
+    // A Cleared Emergency Responder sees the full planning chain, through
+    // the same service (and the same cached materialization).
     println!("== Cleared Emergency Responder's view ==\n");
-    let m2 = store.materialize();
-    let cer = m2
-        .lattice
+    let cer = lattice
         .by_name("Cleared Emergency Responder")
         .expect("declared");
-    let consumer = Consumer::new("cleared", &m2.lattice, &[cer]);
-    let mut session = Session::new(m2, consumer);
+    let session = Session::open(service.clone(), Consumer::new("cleared", &lattice, &[cer]));
     for row in session.upstream(cer, plan, u32::MAX).expect("authorized") {
         println!(
             "  depth {} | {}{}",
@@ -118,5 +122,11 @@ fn main() -> Result<()> {
             if row.surrogate { "  [surrogate]" } else { "" }
         );
     }
+    println!();
+    println!(
+        "service epoch {}: {} account(s) cached across both consumers",
+        service.epoch(),
+        service.cached_accounts()
+    );
     Ok(())
 }

@@ -1,56 +1,60 @@
-//! Quickstart: protect a three-node graph and inspect the result.
+//! Quickstart: protect a three-node lineage and serve it through the
+//! `AccountService` — the workspace's one concurrent, epoch-versioned
+//! serving surface.
 //!
 //! Run with: `cargo run --example quickstart`
 
+use std::sync::Arc;
+
+use surrogate_parenthood::plus_store::{
+    AccountService, Direction, EdgeKind, NodeKind, PolicyStatement, QueryRequest, Store,
+};
 use surrogate_parenthood::prelude::*;
 
-fn main() -> Result<()> {
-    // 1. Privileges: Public at the bottom, Trusted above it.
-    let mut builder = PrivilegeLattice::builder();
-    let public = builder.add("Public")?;
-    let trusted = builder.add("Trusted")?;
-    builder.declare_dominates(trusted, public);
-    let lattice = builder.finish()?;
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    // 1. Privileges: Public at the bottom, Trusted above it (the store
+    //    builds and validates the lattice from the declarations).
+    let store = Arc::new(Store::new(&["Public", "Trusted"], &[(1, 0)])?);
+    let public = store.predicate("Public").unwrap();
+    let trusted = store.predicate("Trusted").unwrap();
 
     // 2. A tiny lineage: informant → analysis → report, where the
     //    informant's identity is Trusted-only.
-    let mut graph = Graph::new();
-    let informant = graph.add_node_with_features(
+    let informant = store.append_node(
         "informant",
+        NodeKind::Agent,
         Features::new()
             .with("name", "Joe")
             .with("phone", "123-456-7890"),
         trusted,
     );
-    let analysis = graph.add_node("analysis", public);
-    let report = graph.add_node("report", public);
-    graph.add_edge(informant, analysis)?;
-    graph.add_edge(analysis, report)?;
+    let analysis = store.append_node("analysis", NodeKind::Process, Features::new(), public);
+    let report = store.append_node("report", NodeKind::Data, Features::new(), public);
+    store.append_edge(informant, analysis, EdgeKind::InputTo)?;
+    store.append_edge(analysis, report, EdgeKind::GeneratedBy)?;
 
-    // 3. Protection policy: the informant's role in the analysis may be
-    //    used to keep paths alive but never shown directly, and a coarse
-    //    surrogate is offered to the public.
-    let mut markings = MarkingStore::new();
-    markings.set_node(informant, public, Marking::Surrogate);
-    let mut catalog = SurrogateCatalog::new();
-    catalog.add(
-        informant,
-        SurrogateDef {
-            label: "a trusted law-enforcement source".into(),
-            features: Features::new(),
-            lowest: public,
-            info_score: 0.3,
-        },
-    );
+    // 3. Protection policy: a coarse surrogate is offered to the public in
+    //    place of the informant.
+    store.apply_policy(PolicyStatement::AddSurrogate {
+        node: informant,
+        label: "a trusted law-enforcement source".into(),
+        features: Features::new(),
+        lowest: public,
+        info_score: 0.3,
+    })?;
 
-    // 4. Generate the public protected account.
-    let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
-    let account = generate(&ctx, public)?;
+    // 4. Stand up the serving layer and fetch the public's maximally
+    //    informative account from its cache.
+    let service = AccountService::new(store.clone());
+    let snapshot = service.snapshot();
+    let consumer = Consumer::public(&snapshot.lattice);
+    let account = service.get_account(&consumer, &Strategy::Surrogate)?;
 
     println!(
-        "original graph: {} nodes, {} edges",
-        graph.node_count(),
-        graph.edge_count()
+        "original graph: {} nodes, {} edges (epoch {})",
+        snapshot.graph.node_count(),
+        snapshot.graph.edge_count(),
+        snapshot.epoch()
     );
     println!(
         "public account: {} nodes ({} surrogate), {} edges ({} surrogate)",
@@ -81,10 +85,42 @@ fn main() -> Result<()> {
         );
     }
 
-    // 5. Measure what the public consumer retains.
-    println!("path utility: {:.3}", path_utility(&graph, &account));
-    println!("node utility: {:.3}", node_utility(&graph, &account));
-    let opacity = edge_opacity(&account, OpacityModel::default(), (informant, analysis));
-    println!("opacity of the hidden informant→analysis edge: {opacity:.3}");
+    // 5. The question consumers actually ask: what is upstream of the
+    //    report? One batched call answers it through the cached account.
+    let response = service.query(
+        &consumer,
+        &QueryRequest::new(report, Direction::Backward, u32::MAX, Strategy::Surrogate),
+    )?;
+    println!("\nupstream of the report (epoch {}):", response.epoch);
+    for row in &response.rows {
+        println!(
+            "  depth {} | {}{}",
+            row.depth,
+            row.label,
+            if row.surrogate { "  [surrogate]" } else { "" }
+        );
+    }
+
+    // 6. Measure what the public consumer retains.
+    println!(
+        "\npath utility: {:.3}",
+        path_utility(&snapshot.graph, &account)
+    );
+    println!(
+        "node utility: {:.3}",
+        node_utility(&snapshot.graph, &account)
+    );
+    let opacity = edge_opacity(
+        &account,
+        OpacityModel::default(),
+        (
+            surrogate_parenthood::surrogate_core::graph::NodeId(informant.0),
+            surrogate_parenthood::surrogate_core::graph::NodeId(analysis.0),
+        ),
+    );
+    println!(
+        "opacity of the informant→analysis link: {opacity:.3} \
+         (0 = the link is visible, just anonymized through the surrogate)"
+    );
     Ok(())
 }

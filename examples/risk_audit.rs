@@ -1,14 +1,43 @@
 //! An administrator's release audit (paper §4.2): before publishing a
 //! protected account, rank the protected edges by inference risk, compare
-//! protection strategies, and decide whether the release meets the
+//! protection strategies — including a custom strategy registered with
+//! the serving layer — and decide whether the release meets the
 //! application's opacity bar.
 //!
 //! Run with: `cargo run --example risk_audit`
 
+use std::sync::Arc;
+
 use surrogate_parenthood::graphgen::{social, SocialConfig};
+use surrogate_parenthood::plus_store::{ingest, AccountService, IngestKinds};
 use surrogate_parenthood::prelude::*;
 
-fn main() -> Result<()> {
+/// A custom strategy plugged into the service without touching
+/// `surrogate-core`: the redundancy-filter ablation, which keeps every
+/// permitted pair as an explicit surrogate edge.
+struct Unfiltered;
+
+impl ProtectionStrategy for Unfiltered {
+    fn name(&self) -> &str {
+        "unfiltered"
+    }
+
+    fn protect(
+        &self,
+        ctx: &ProtectionContext<'_>,
+        preds: &[PrivilegeId],
+    ) -> Result<ProtectedAccount> {
+        generate_with_options(
+            ctx,
+            preds,
+            GenerateOptions {
+                redundancy_filter: false,
+            },
+        )
+    }
+}
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // A social network with three sensitive affiliations.
     let net = social::generate(SocialConfig {
         people: 24,
@@ -20,19 +49,25 @@ fn main() -> Result<()> {
         lone_members_per_affiliation: 2,
         seed: 12,
     });
-    let ctx = ProtectionContext::new(&net.graph, &net.lattice, &net.markings, &net.catalog);
+    let store = ingest(
+        &net.graph,
+        &net.lattice,
+        &net.markings,
+        &net.catalog,
+        IngestKinds::default(),
+    )?;
+    let service = AccountService::new(Arc::new(store));
+    service.register_strategy(Arc::new(Unfiltered));
+    let auditor = Consumer::public(&service.snapshot().lattice);
     let model = OpacityModel::default();
 
     println!("== Release audit: public account of the investigation network ==\n");
-    for (name, strategy) in [
-        ("surrogate", Strategy::Surrogate),
-        ("hide", Strategy::HideEdges),
-    ] {
-        let account = ctx.protect(net.public, strategy)?;
+    for name in ["surrogate", "hide", "unfiltered"] {
+        let account = service.get_account_named(&auditor, name)?;
         let avg = average_protected_opacity(&net.graph, &account, model);
         let min = min_protected_opacity(&net.graph, &account, model);
         println!(
-            "{name:>9}: path utility {:.3} | avg opacity {} | worst-case opacity {}",
+            "{name:>10}: path utility {:.3} | avg opacity {} | worst-case opacity {}",
             path_utility(&net.graph, &account),
             avg.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
             min.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
@@ -40,7 +75,7 @@ fn main() -> Result<()> {
     }
 
     // Drill into the surrogate account: which hidden ties are most at risk?
-    let account = ctx.protect(net.public, Strategy::Surrogate)?;
+    let account = service.get_account_named(&auditor, "surrogate")?;
     let report = risk_report(&net.graph, &account, model);
     println!("\nmost inferable protected ties (lowest opacity first):");
     for entry in report.iter().take(5) {

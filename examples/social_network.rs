@@ -2,15 +2,31 @@
 //! criminal-investigation graph where individuals c and g are linked by a
 //! sensitive gang-affiliation node f.
 //!
-//! Shows what consumers at each privilege level see, and compares the four
-//! Fig. 2 protection scenarios by utility and opacity.
+//! Shows what consumers at each privilege level see — served through the
+//! `AccountService` layer — and compares the four Fig. 2 protection
+//! scenarios by utility and opacity.
 //!
 //! Run with: `cargo run --example social_network`
 
+use std::sync::Arc;
+
 use surrogate_parenthood::graphgen::{Figure2, Figure2Scenario};
+use surrogate_parenthood::plus_store::{ingest, AccountService, IngestKinds};
 use surrogate_parenthood::prelude::*;
 
-fn main() -> Result<()> {
+/// Stands a service up over an ingested protection setup.
+fn serve(
+    graph: &Graph,
+    lattice: &PrivilegeLattice,
+    markings: &MarkingStore,
+    catalog: &SurrogateCatalog,
+) -> AccountService {
+    let store = ingest(graph, lattice, markings, catalog, IngestKinds::default())
+        .expect("paper setups are representable as policy");
+    AccountService::new(Arc::new(store))
+}
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     println!("== The Figure 1 investigation graph ==\n");
     let fig = surrogate_parenthood::graphgen::Figure1::new();
     println!(
@@ -22,8 +38,18 @@ fn main() -> Result<()> {
     let names: Vec<&str> = hw.iter().map(|&p| fig.lattice.name(p)).collect();
     println!("high-water set: {names:?} (the paper's {{High-1, High-2}})\n");
 
-    // The naive account: what standard access control gives a High-2 user.
-    let naive = fig.naive_account()?;
+    // The naive account: what standard access control gives a High-2 user,
+    // served as the `naive` (HideNodes) strategy.
+    let naive_service = serve(
+        &fig.graph,
+        &fig.lattice,
+        &MarkingStore::new(),
+        &SurrogateCatalog::new(),
+    );
+    let high2 = Consumer::new("high2-user", &fig.lattice, &[fig.high2]);
+    let naive = naive_service
+        .get_account(&high2, &Strategy::HideNodes)
+        .expect("figure protection generates");
     println!("naively protected account (Fig. 1c):");
     println!(
         "  {} of {} nodes visible; path utility {:.3}, node utility {:.3}",
@@ -45,11 +71,18 @@ fn main() -> Result<()> {
         }
     );
 
-    // The four Fig. 2 strategies.
+    // The four Fig. 2 strategies, each served from its own scenario store.
     println!("== The Figure 2 protection scenarios (High-2 consumer) ==\n");
     for scenario in Figure2Scenario::ALL {
         let fig2 = Figure2::new(scenario);
-        let account = fig2.account()?;
+        let service = serve(
+            &fig2.base.graph,
+            &fig2.base.lattice,
+            &fig2.markings,
+            &fig2.catalog,
+        );
+        let consumer = Consumer::new("high2-user", &fig2.base.lattice, &[fig2.base.high2]);
+        let account = service.get_account(&consumer, &Strategy::Surrogate)?;
         let edge = fig2.base.sensitive_edge();
         let connected = {
             let c2 = account.account_node(c);

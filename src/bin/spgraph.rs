@@ -1,19 +1,26 @@
-//! `spgraph` — inspect, protect, and measure PLUS snapshot files.
+//! `spgraph` — inspect, protect, query, and measure PLUS snapshot files.
 //!
 //! ```text
 //! spgraph demo <snapshot>                      write the paper's Figure 1 example
-//! spgraph info <snapshot>                      counts, lattice, high-water set
+//! spgraph info <snapshot>                      counts, lattice, high-water set, epoch
 //! spgraph protect <snapshot> -p <predicate> [--strategy surrogate|hide|naive]
 //!                                  [--dot <file>]   summarize/export an account
+//! spgraph query <snapshot> -p <predicate> --root <id> [--direction up|down|both]
+//!                                  [--depth <n>] [--strategy <s>]   protected lineage
 //! spgraph measure <snapshot> -p <predicate> [--threshold <t>]
 //!                                              utilities, opacity, risk report
 //! ```
 //!
+//! All commands route through the `AccountService` serving layer, the
+//! same concurrent surface a deployment would put in front of the store.
 //! Argument parsing is deliberately dependency-free.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use surrogate_parenthood::plus_store::{ingest, IngestKinds, Store};
+use surrogate_parenthood::plus_store::{
+    ingest, AccountService, Direction, IngestKinds, QueryRequest, Snapshot, Store,
+};
 use surrogate_parenthood::prelude::*;
 
 /// CLI-level result: user-facing error strings.
@@ -25,6 +32,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  spgraph demo <snapshot>\n  spgraph info <snapshot>\n  \
          spgraph protect <snapshot> -p <predicate> [--strategy surrogate|hide|naive] [--dot <file>]\n  \
+         spgraph query <snapshot> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n  \
          spgraph measure <snapshot> -p <predicate> [--threshold <t>]"
     );
     ExitCode::from(2)
@@ -45,6 +53,7 @@ fn main() -> ExitCode {
         "demo" => cmd_demo(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "protect" => cmd_protect(&args[1..]),
+        "query" => cmd_query(&args[1..]),
         "measure" => cmd_measure(&args[1..]),
         _ => return usage(),
     };
@@ -57,22 +66,28 @@ fn main() -> ExitCode {
     }
 }
 
-fn load(args: &[String]) -> CliResult<(Store, String)> {
+/// Loads a snapshot file and stands the serving layer up in front of it.
+fn serve(args: &[String]) -> CliResult<(AccountService, String)> {
     let path = args.first().ok_or("missing snapshot path")?;
     let store = Store::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
-    Ok((store, path.clone()))
+    Ok((AccountService::new(Arc::new(store)), path.clone()))
 }
 
-fn resolve_predicate(
-    m: &surrogate_parenthood::plus_store::Materialized,
-    args: &[String],
-) -> CliResult<PrivilegeId> {
+fn resolve_predicate(snapshot: &Snapshot, args: &[String]) -> CliResult<PrivilegeId> {
     let name = flag_value(args, "-p")
         .or_else(|| flag_value(args, "--predicate"))
         .ok_or("missing -p <predicate>")?;
-    m.lattice
+    snapshot
+        .lattice
         .by_name(&name)
         .ok_or_else(|| format!("unknown predicate {name:?}"))
+}
+
+fn resolve_strategy(args: &[String]) -> CliResult<Strategy> {
+    match flag_value(args, "--strategy") {
+        None => Ok(Strategy::Surrogate),
+        Some(name) => Strategy::parse(&name).ok_or_else(|| format!("unknown strategy {name:?}")),
+    }
 }
 
 /// Writes the paper's Figure 1 example (graph, lattice, scenario (d)
@@ -98,31 +113,34 @@ fn cmd_demo(args: &[String]) -> CliResult<()> {
     );
     println!("try: spgraph info {path}");
     println!("     spgraph protect {path} -p High-2");
+    println!("     spgraph query {path} -p High-2 --root 7 --direction up");
     println!("     spgraph measure {path} -p High-2");
     Ok(())
 }
 
 fn cmd_info(args: &[String]) -> CliResult<()> {
-    let (store, path) = load(args)?;
-    let m = store.materialize();
+    let (service, path) = serve(args)?;
+    let snapshot = service.snapshot();
+    let store = service.store().expect("serve() fronts a live store");
     println!("snapshot {path}");
     println!(
-        "  {} node records, {} edge records, {} policy statements",
+        "  {} node records, {} edge records, {} policy statements (epoch {})",
         store.node_count(),
         store.edge_count(),
-        store.policy_count()
+        store.policy_count(),
+        snapshot.epoch()
     );
     println!("  predicates:");
-    for p in m.lattice.ids() {
-        let dominated: Vec<&str> = m
+    for p in snapshot.lattice.ids() {
+        let dominated: Vec<&str> = snapshot
             .lattice
             .ids()
-            .filter(|&q| q != p && m.lattice.dominates(p, q))
-            .map(|q| m.lattice.name(q))
+            .filter(|&q| q != p && snapshot.lattice.dominates(p, q))
+            .map(|q| snapshot.lattice.name(q))
             .collect();
         println!(
             "    {} {}",
-            m.lattice.name(p),
+            snapshot.lattice.name(p),
             if dominated.is_empty() {
                 String::new()
             } else {
@@ -130,40 +148,38 @@ fn cmd_info(args: &[String]) -> CliResult<()> {
             }
         );
     }
-    let hw = high_water_set(&m.graph, &m.lattice);
-    let names: Vec<&str> = hw.iter().map(|&p| m.lattice.name(p)).collect();
+    let hw = high_water_set(&snapshot.graph, &snapshot.lattice);
+    let names: Vec<&str> = hw.iter().map(|&p| snapshot.lattice.name(p)).collect();
     println!("  high-water set: {{{}}}", names.join(", "));
     println!(
         "  connected: {}, acyclic: {}",
-        m.graph.is_connected(),
-        m.graph.is_acyclic()
+        snapshot.graph.is_connected(),
+        snapshot.graph.is_acyclic()
+    );
+    println!(
+        "  strategies registered: {}",
+        service.strategy_names().join(", ")
     );
     Ok(())
 }
 
 fn cmd_protect(args: &[String]) -> CliResult<()> {
-    let (store, _) = load(args)?;
-    let m = store.materialize();
-    let predicate = resolve_predicate(&m, args)?;
-    let strategy = match flag_value(args, "--strategy").as_deref() {
-        None | Some("surrogate") => Strategy::Surrogate,
-        Some("hide") => Strategy::HideEdges,
-        Some("naive") => Strategy::HideNodes,
-        Some(other) => return Err(format!("unknown strategy {other:?}")),
-    };
-    let account = m
-        .context()
-        .protect(predicate, strategy)
+    let (service, _) = serve(args)?;
+    let snapshot = service.snapshot();
+    let predicate = resolve_predicate(&snapshot, args)?;
+    let strategy = resolve_strategy(args)?;
+    let account = service
+        .protect(&[predicate], &strategy)
         .map_err(|e| e.to_string())?;
     println!(
-        "protected account for {:?} ({:?}):",
-        m.lattice.name(predicate),
-        strategy
+        "protected account for {:?} ({strategy}), epoch {}:",
+        snapshot.lattice.name(predicate),
+        snapshot.epoch()
     );
     println!(
         "  {} of {} nodes visible ({} surrogate)",
         account.graph().node_count(),
-        m.graph.node_count(),
+        snapshot.graph.node_count(),
         account.surrogate_node_count()
     );
     println!(
@@ -173,8 +189,8 @@ fn cmd_protect(args: &[String]) -> CliResult<()> {
     );
     println!(
         "  path utility {:.3}, node utility {:.3}",
-        path_utility(&m.graph, &account),
-        node_utility(&m.graph, &account)
+        path_utility(&snapshot.graph, &account),
+        node_utility(&snapshot.graph, &account)
     );
     if let Some(dot_path) = flag_value(args, "--dot") {
         std::fs::write(&dot_path, account_to_dot(&account, "protected account"))
@@ -182,39 +198,98 @@ fn cmd_protect(args: &[String]) -> CliResult<()> {
         println!("  DOT written to {dot_path}");
     }
     if let Some(dot_path) = flag_value(args, "--dot-original") {
-        std::fs::write(&dot_path, graph_to_dot(&m.graph, "original")).map_err(|e| e.to_string())?;
+        std::fs::write(&dot_path, graph_to_dot(&snapshot.graph, "original"))
+            .map_err(|e| e.to_string())?;
         println!("  original DOT written to {dot_path}");
     }
     Ok(())
 }
 
+/// Protected lineage through the batch query API: what a consumer holding
+/// the predicate actually sees upstream/downstream of a record.
+fn cmd_query(args: &[String]) -> CliResult<()> {
+    let (service, _) = serve(args)?;
+    let snapshot = service.snapshot();
+    let predicate = resolve_predicate(&snapshot, args)?;
+    let strategy = resolve_strategy(args)?;
+    let root: u32 = flag_value(args, "--root")
+        .ok_or("missing --root <record id>")?
+        .parse()
+        .map_err(|_| "bad --root: expected a record index".to_string())?;
+    let direction = match flag_value(args, "--direction").as_deref() {
+        None | Some("up") | Some("upstream") => Direction::Backward,
+        Some("down") | Some("downstream") => Direction::Forward,
+        Some("both") => Direction::Both,
+        Some(other) => return Err(format!("unknown direction {other:?}")),
+    };
+    let max_depth: u32 = flag_value(args, "--depth")
+        .map(|d| d.parse().map_err(|_| format!("bad depth {d:?}")))
+        .transpose()?
+        .unwrap_or(u32::MAX);
+
+    let consumer = Consumer::new("spgraph", &snapshot.lattice, &[predicate]);
+    let request = QueryRequest::new(
+        surrogate_parenthood::plus_store::RecordId(root),
+        direction,
+        max_depth,
+        strategy,
+    )
+    .with_predicate(predicate);
+    let response = service
+        .query(&consumer, &request)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "lineage of record {root} for {:?} ({strategy}), epoch {}:",
+        snapshot.lattice.name(predicate),
+        response.epoch
+    );
+    if response.rows.is_empty() {
+        println!("  (root invisible to this consumer, or nothing reachable)");
+    }
+    for row in &response.rows {
+        println!(
+            "  depth {} | record {} | {}{}",
+            row.depth,
+            row.record.0,
+            row.label,
+            if row.surrogate { "  [surrogate]" } else { "" }
+        );
+    }
+    Ok(())
+}
+
 fn cmd_measure(args: &[String]) -> CliResult<()> {
-    let (store, _) = load(args)?;
-    let m = store.materialize();
-    let predicate = resolve_predicate(&m, args)?;
+    let (service, _) = serve(args)?;
+    let snapshot = service.snapshot();
+    let predicate = resolve_predicate(&snapshot, args)?;
     let threshold: f64 = flag_value(args, "--threshold")
         .map(|t| t.parse().map_err(|_| format!("bad threshold {t:?}")))
         .transpose()?
         .unwrap_or(0.5);
     let model = OpacityModel::default();
-    let account = m
-        .context()
-        .protect(predicate, Strategy::Surrogate)
+    let account = service
+        .protect(&[predicate], &Strategy::Surrogate)
         .map_err(|e| e.to_string())?;
     println!(
         "measures for {:?} (surrogate strategy):",
-        m.lattice.name(predicate)
+        snapshot.lattice.name(predicate)
     );
-    println!("  path utility {:.3}", path_utility(&m.graph, &account));
-    println!("  node utility {:.3}", node_utility(&m.graph, &account));
-    match average_protected_opacity(&m.graph, &account, model) {
+    println!(
+        "  path utility {:.3}",
+        path_utility(&snapshot.graph, &account)
+    );
+    println!(
+        "  node utility {:.3}",
+        node_utility(&snapshot.graph, &account)
+    );
+    match average_protected_opacity(&snapshot.graph, &account, model) {
         Some(avg) => {
-            let min = min_protected_opacity(&m.graph, &account, model).expect("same set");
+            let min = min_protected_opacity(&snapshot.graph, &account, model).expect("same set");
             println!("  opacity over protected edges: avg {avg:.3}, worst {min:.3}");
         }
         None => println!("  no protected edges: nothing to infer"),
     }
-    let risky = edges_at_risk(&m.graph, &account, model, threshold);
+    let risky = edges_at_risk(&snapshot.graph, &account, model, threshold);
     println!(
         "  {} protected edge(s) below the {threshold} opacity bar",
         risky.len()
@@ -224,8 +299,8 @@ fn cmd_measure(args: &[String]) -> CliResult<()> {
         println!(
             "    {:.3}  {} -> {}",
             entry.opacity,
-            m.graph.node(u).label,
-            m.graph.node(v).label
+            snapshot.graph.node(u).label,
+            snapshot.graph.node(v).label
         );
     }
     Ok(())

@@ -4,8 +4,10 @@
 //! Protected and Informative Graphs* (Blaustein et al., PVLDB 4(8), 2011).
 //!
 //! * [`surrogate_core`] — the paper's contribution: protected accounts,
-//!   surrogate nodes/edges, utility and opacity measures;
-//! * [`plus_store`] — the PLUS-like provenance store substrate;
+//!   surrogate nodes/edges, utility and opacity measures, and the
+//!   pluggable [`ProtectionStrategy`] trait;
+//! * [`plus_store`] — the PLUS-like provenance store substrate and the
+//!   concurrent, epoch-versioned [`AccountService`] serving layer;
 //! * [`graphgen`] — evaluation workload generators.
 //!
 //! See the `examples/` directory for runnable walkthroughs and the
@@ -14,15 +16,22 @@
 //! ## Quick start
 //!
 //! Ingest provenance into the PLUS-like store, state the protection
-//! policy, and serve a protected-but-informative account (paper §3/§5):
+//! policy, and stand up an [`AccountService`] — the one concurrent,
+//! epoch-versioned surface that materializes the graph, caches each
+//! consumer's protected account per `(epoch, predicate, strategy)`, and
+//! answers batched lineage queries (paper §3/§5/§6.4):
 //!
 //! ```
-//! use plus_store::{EdgeKind, NodeKind, PolicyStatement, Store};
+//! use std::sync::Arc;
+//!
+//! use plus_store::{
+//!     AccountService, Direction, EdgeKind, NodeKind, PolicyStatement, QueryRequest, Store,
+//! };
 //! use surrogate_parenthood::prelude::*;
 //!
 //! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
 //! // A chain lattice: "Trusted" (index 1) dominates "Public" (index 0).
-//! let store = Store::new(&["Public", "Trusted"], &[(1, 0)])?;
+//! let store = Arc::new(Store::new(&["Public", "Trusted"], &[(1, 0)])?);
 //! let public = store.predicate("Public").unwrap();
 //! let trusted = store.predicate("Trusted").unwrap();
 //!
@@ -35,11 +44,6 @@
 //! store.append_edge(analysis, report, EdgeKind::GeneratedBy)?;
 //!
 //! // Policy: show the public a coarse surrogate instead of the informant.
-//! store.apply_policy(PolicyStatement::MarkNode {
-//!     node: informant,
-//!     predicate: Some(public),
-//!     marking: Marking::Surrogate,
-//! })?;
 //! store.apply_policy(PolicyStatement::AddSurrogate {
 //!     node: informant,
 //!     label: "a trusted source".into(),
@@ -48,11 +52,28 @@
 //!     info_score: 0.3,
 //! })?;
 //!
-//! // Materialize and generate the public's maximally informative account.
-//! let materialized = store.materialize();
-//! let account = generate(&materialized.context(), public)?;
+//! // Serve. The service owns materialization and caching; its epoch
+//! // tracks the store, so policy edits invalidate accounts automatically.
+//! let service = AccountService::new(store.clone());
+//! let consumer = Consumer::public(&service.snapshot().lattice);
+//!
+//! // One call, many lineage queries, one consistent epoch.
+//! let responses = service.query_batch(
+//!     &consumer,
+//!     &[
+//!         QueryRequest::new(report, Direction::Backward, u32::MAX, Strategy::Surrogate),
+//!         QueryRequest::new(analysis, Direction::Forward, u32::MAX, Strategy::Surrogate),
+//!     ],
+//! )?;
+//! assert_eq!(responses[0].epoch, store.version());
+//! assert_eq!(responses[0].rows[1].label, "a trusted source");
+//! assert!(responses[0].rows[1].surrogate);
+//!
+//! // The cached account is also directly available for measures.
+//! let account = service.get_account(&consumer, &Strategy::Surrogate)?;
+//! let snapshot = service.snapshot();
 //! assert_eq!(account.graph().node_count(), 3);
-//! assert!(path_utility(&materialized.graph, &account) > 0.0);
+//! assert!(path_utility(&snapshot.graph, &account) > 0.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,7 +85,11 @@ pub use graphgen;
 pub use plus_store;
 pub use surrogate_core;
 
+pub use plus_store::{AccountService, QueryRequest, QueryResponse, Session, Snapshot};
+pub use surrogate_core::strategy::ProtectionStrategy;
+
 /// The most used types across the workspace.
 pub mod prelude {
+    pub use plus_store::{AccountService, QueryRequest, QueryResponse, Session, Snapshot};
     pub use surrogate_core::prelude::*;
 }

@@ -1,5 +1,6 @@
 //! Integration tests for the `spgraph` CLI: demo → info → protect →
-//! measure over a real snapshot file.
+//! query → measure over a real snapshot file, all served through the
+//! `AccountService` layer.
 
 use std::process::Command;
 
@@ -49,6 +50,42 @@ fn demo_info_protect_measure_pipeline() {
     let dot_text = std::fs::read_to_string(&dot).expect("dot written");
     assert!(dot_text.contains("digraph"));
     assert!(dot_text.contains("summarizes"), "surrogate edge exported");
+
+    // Protected lineage through the batch query API: record 7 is `g`.
+    // The gang node `f` is hidden in scenario (d), yet the surrogate edge
+    // keeps `c` (record 3) one hop upstream — the paper's §1 claim.
+    let (ok, stdout, stderr) = spgraph(&[
+        "query",
+        &snapshot,
+        "-p",
+        "High-2",
+        "--root",
+        "7",
+        "--direction",
+        "up",
+    ]);
+    assert!(ok, "query failed: {stderr}");
+    assert!(stdout.contains("lineage of record 7"), "{stdout}");
+    assert!(stdout.contains("depth 1 | record 3 | c"), "{stdout}");
+
+    // Depth bounding truncates the answer.
+    let (ok, bounded, _) = spgraph(&[
+        "query",
+        &snapshot,
+        "-p",
+        "High-2",
+        "--root",
+        "7",
+        "--direction",
+        "up",
+        "--depth",
+        "1",
+    ]);
+    assert!(ok);
+    assert!(
+        bounded.lines().count() < stdout.lines().count(),
+        "depth 1 must answer with fewer rows:\n{bounded}\nvs\n{stdout}"
+    );
 
     let (ok, stdout, _) = spgraph(&["measure", &snapshot, "-p", "High-2"]);
     assert!(ok);

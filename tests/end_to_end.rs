@@ -1,10 +1,14 @@
 //! End-to-end flows across all crates: generate a workload, persist it in
-//! the store, reload it, open consumer sessions, and answer protected
-//! lineage queries — the full deployment pipeline of the paper's Fig. 10.
+//! the store, reload it, stand the `AccountService` up in front of it,
+//! open consumer sessions, and answer protected lineage queries — the
+//! full deployment pipeline of the paper's Fig. 10.
+
+use std::sync::Arc;
 
 use surrogate_parenthood::graphgen::{workflow, WorkflowConfig};
 use surrogate_parenthood::plus_store::{
-    ingest, EdgeKind, IngestKinds, NodeKind, PolicyStatement, RecordId, Session, Store,
+    ingest, AccountService, EdgeKind, IngestKinds, NodeKind, PolicyStatement, RecordId, Session,
+    Store,
 };
 use surrogate_parenthood::prelude::*;
 use surrogate_parenthood::surrogate_core::graph::NodeId;
@@ -39,11 +43,13 @@ fn persist_reload_protect_query() {
     std::fs::remove_file(&path).ok();
     assert_eq!(reloaded.node_count(), store.node_count());
 
-    // Open a public session and query lineage of a workflow output.
-    let materialized = reloaded.materialize();
-    let public = materialized.lattice.by_name("Public").unwrap();
-    let consumer = Consumer::public(&materialized.lattice);
-    let mut session = Session::new(materialized, consumer);
+    // Serve the reloaded store and query lineage of a workflow output
+    // through a public session.
+    let service = Arc::new(AccountService::new(Arc::new(reloaded)));
+    let snapshot = service.snapshot();
+    let public = snapshot.lattice.by_name("Public").unwrap();
+    let consumer = Consumer::public(&snapshot.lattice);
+    let session = Session::open(service, consumer);
     let output = RecordId(wf.outputs[0].0);
     let up = session.upstream(public, output, u32::MAX);
 
@@ -78,13 +84,14 @@ fn restricted_consumer_sees_more_than_public() {
     assert!(!wf.sensitive.is_empty(), "seed must yield sensitive nodes");
     let store = store_from_workflow(&wf);
 
-    let m_public = store.materialize();
-    let public = m_public.lattice.by_name("Public").unwrap();
-    let restricted = m_public.lattice.by_name("Restricted").unwrap();
+    let service = Arc::new(AccountService::new(Arc::new(store)));
+    let lattice = service.snapshot().lattice.clone();
+    let public = lattice.by_name("Public").unwrap();
+    let restricted = lattice.by_name("Restricted").unwrap();
 
-    let mut public_session = Session::new(store.materialize(), Consumer::public(&m_public.lattice));
-    let insider = Consumer::new("insider", &m_public.lattice, &[restricted]);
-    let mut insider_session = Session::new(store.materialize(), insider);
+    let public_session = Session::open(service.clone(), Consumer::public(&lattice));
+    let insider = Consumer::new("insider", &lattice, &[restricted]);
+    let insider_session = Session::open(service, insider);
 
     let public_account = public_session.account(public, Strategy::Surrogate).unwrap();
     let insider_account = insider_session
@@ -112,9 +119,10 @@ fn restricted_consumer_sees_more_than_public() {
 fn session_rejects_predicates_above_credentials() {
     let wf = workflow::generate(WorkflowConfig::default());
     let store = store_from_workflow(&wf);
-    let m = store.materialize();
-    let restricted = m.lattice.by_name("Restricted").unwrap();
-    let mut session = Session::new(store.materialize(), Consumer::public(&m.lattice));
+    let service = Arc::new(AccountService::new(Arc::new(store)));
+    let lattice = service.snapshot().lattice.clone();
+    let restricted = lattice.by_name("Restricted").unwrap();
+    let session = Session::open(service, Consumer::public(&lattice));
     assert!(session.account(restricted, Strategy::Surrogate).is_err());
 }
 
@@ -130,7 +138,7 @@ fn measures_agree_across_the_facade() {
         seed: 5,
     });
     let ctx = ProtectionContext::new(&wf.graph, &wf.lattice, &wf.markings, &wf.catalog);
-    let account = generate(&ctx, wf.public).unwrap();
+    let account = generate_for_set(&ctx, &[wf.public]).unwrap();
     let via_prelude = path_utility(&wf.graph, &account);
     let via_core =
         surrogate_parenthood::surrogate_core::measures::path_utility(&wf.graph, &account);
