@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use surrogate_bench::experiments::{fig10, fig3, fig7, fig8, fig9, service, table1};
+use surrogate_bench::experiments::{durable, fig10, fig3, fig7, fig8, fig9, service, table1};
 use surrogate_bench::report::{f3, json, render_table};
 use surrogate_core::measures::OpacityModel;
 
@@ -100,6 +100,21 @@ fn bench_json(rows: &[table1::Table1Row]) -> String {
         })
     });
     let service_result = service::run(service::ServiceConfig::default());
+    let durable_on = durable::run(durable::DurableConfig::smoke(true));
+    let durable_off = durable::run(durable::DurableConfig::smoke(false));
+
+    let durable_json = |r: &durable::DurableResult| {
+        json::object(&[
+            ("appends", r.appends.to_string()),
+            ("elapsed_ms", json::num(r.elapsed_ms)),
+            ("mean_append_us", json::num(r.mean_append_us)),
+            ("appends_per_sec", json::num(r.appends_per_sec)),
+            ("wal_bytes", r.wal_bytes.to_string()),
+            ("segments", r.segments.to_string()),
+            ("recovery_ms", json::num(r.recovery_ms)),
+            ("recovered_clock", r.recovered_clock.to_string()),
+        ])
+    };
 
     json::object(&[
         (
@@ -147,6 +162,13 @@ fn bench_json(rows: &[table1::Table1Row]) -> String {
                     "warm_queries_per_sec",
                     json::num(service_result.queries_per_sec),
                 ),
+            ]),
+        ),
+        (
+            "durable_append",
+            json::object(&[
+                ("fsync_on", durable_json(&durable_on)),
+                ("fsync_off", durable_json(&durable_off)),
             ]),
         ),
     ])

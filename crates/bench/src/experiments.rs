@@ -1,6 +1,7 @@
 //! Drivers regenerating every table and figure of the paper's §6, shared
 //! by the `repro_*` binaries and the criterion benches.
 
+pub mod durable;
 pub mod fig10;
 pub mod fig3;
 pub mod fig7;

@@ -1,0 +1,138 @@
+//! Durable-append benchmark: the write path the WAL subsystem adds —
+//! append latency with fsync on and off, write-ahead-log volume, and
+//! recovery (reopen) time.
+//!
+//! The paper has no durability experiment (its PLUS prototype delegated
+//! persistence to a DBMS); this records the cost our embedded log pays
+//! for the same guarantee, PR over PR, in `BENCH_*.json`.
+
+use std::time::Instant;
+
+use plus_store::wal::{self, DurabilityOptions};
+use plus_store::{NodeKind, Store};
+use surrogate_core::feature::Features;
+
+/// Workload shape for the durable-append benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableConfig {
+    /// Node appends to perform.
+    pub appends: usize,
+    /// `fsync` after every append (the crash-plus-power-loss guarantee)
+    /// or only on the OS's schedule (process-crash guarantee).
+    pub fsync: bool,
+    /// Segment rotation threshold.
+    pub segment_max_bytes: u64,
+}
+
+impl DurableConfig {
+    /// The bench-smoke pair: a small fsync-on run and a larger fsync-off
+    /// run.
+    pub fn smoke(fsync: bool) -> Self {
+        Self {
+            appends: if fsync { 200 } else { 2_000 },
+            fsync,
+            segment_max_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Measured durable-append performance.
+#[derive(Debug, Clone)]
+pub struct DurableResult {
+    /// Appends performed.
+    pub appends: usize,
+    /// Whether every append was fsynced.
+    pub fsync: bool,
+    /// Wall-clock for the append loop, milliseconds.
+    pub elapsed_ms: f64,
+    /// Mean per-append latency, microseconds.
+    pub mean_append_us: f64,
+    /// Append throughput.
+    pub appends_per_sec: f64,
+    /// Total write-ahead-log bytes produced.
+    pub wal_bytes: u64,
+    /// Segments the log rotated across.
+    pub segments: usize,
+    /// Reopen-with-recovery wall-clock, milliseconds.
+    pub recovery_ms: f64,
+    /// Clock recovered on reopen (must equal `appends`).
+    pub recovered_clock: u64,
+}
+
+/// Runs the workload in a scratch directory under the OS temp dir.
+pub fn run(config: DurableConfig) -> DurableResult {
+    let dir = std::env::temp_dir().join(format!(
+        "surrogate-durable-bench-{}-{}",
+        std::process::id(),
+        config.fsync
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::create_durable_with(
+        &dir,
+        &["Public"],
+        &[],
+        DurabilityOptions {
+            fsync: config.fsync,
+            segment_max_bytes: config.segment_max_bytes,
+        },
+    )
+    .expect("scratch durable store creates");
+    let public = store.predicate("Public").expect("declared");
+
+    let t = Instant::now();
+    for i in 0..config.appends {
+        store.append_node(
+            format!("n{i}"),
+            NodeKind::Data,
+            Features::new().with("i", i as i64),
+            public,
+        );
+    }
+    let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(store);
+
+    let segments = wal::list_segments(&dir).expect("segments list");
+    let wal_bytes: u64 = segments
+        .iter()
+        .map(|(_, path)| std::fs::metadata(path).map(|m| m.len()).unwrap_or(0))
+        .sum();
+
+    let t = Instant::now();
+    let recovered = Store::open(&dir).expect("scratch store recovers");
+    let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+    let recovered_clock = recovered.clock();
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    DurableResult {
+        appends: config.appends,
+        fsync: config.fsync,
+        elapsed_ms,
+        mean_append_us: elapsed_ms * 1e3 / config.appends as f64,
+        appends_per_sec: config.appends as f64 / (elapsed_ms / 1e3),
+        wal_bytes,
+        segments: segments.len(),
+        recovery_ms,
+        recovered_clock,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durable_workload_completes_and_recovers() {
+        let result = run(DurableConfig {
+            appends: 64,
+            fsync: false,
+            segment_max_bytes: 1 << 12,
+        });
+        assert_eq!(result.appends, 64);
+        assert_eq!(result.recovered_clock, 64, "every append recovered");
+        assert!(result.wal_bytes > 0);
+        assert!(result.segments >= 1);
+        assert!(result.appends_per_sec > 0.0);
+        assert!(result.recovery_ms >= 0.0);
+    }
+}

@@ -15,12 +15,14 @@ use surrogate_core::account::{
 };
 use surrogate_core::feature::Features;
 use surrogate_core::graph::Graph;
+use surrogate_core::graph::NodeId;
 use surrogate_core::hw::{high_water_set, is_high_water_set};
 use surrogate_core::marking::{Marking, MarkingStore};
 use surrogate_core::measures::{
     edge_opacity, node_utility, path_utility, OpacityEvaluator, OpacityModel,
 };
 use surrogate_core::privilege::{PrivilegeId, PrivilegeLattice};
+use surrogate_core::query::{traverse, Direction};
 use surrogate_core::surrogate::{SurrogateCatalog, SurrogateDef};
 use surrogate_core::validate::{check_all, check_soundness};
 
@@ -128,6 +130,42 @@ fn build_scenario(nodes: usize, seed: u64) -> Scenario {
         catalog,
         predicate,
     }
+}
+
+/// Reference BFS: collects `(node, depth)` into `Vec`s the naive way —
+/// no `BitSet`, no borrowed iterators — as an oracle for the
+/// allocation-free `Traversal::iter()` / `nodes()` accessors.
+fn naive_traverse(
+    graph: &Graph,
+    start: NodeId,
+    direction: Direction,
+    max_depth: u32,
+) -> Vec<(NodeId, u32)> {
+    let mut seen: std::collections::HashSet<NodeId> = [start].into_iter().collect();
+    let mut visited = Vec::new();
+    let mut frontier = vec![start];
+    let mut depth = 0u32;
+    while !frontier.is_empty() && depth < max_depth {
+        depth += 1;
+        let mut next = Vec::new();
+        for n in frontier {
+            let mut neighbors: Vec<NodeId> = Vec::new();
+            if matches!(direction, Direction::Forward | Direction::Both) {
+                neighbors.extend(graph.out_neighbors(n).iter().copied());
+            }
+            if matches!(direction, Direction::Backward | Direction::Both) {
+                neighbors.extend(graph.in_neighbors(n).iter().copied());
+            }
+            for m in neighbors {
+                if seen.insert(m) {
+                    visited.push((m, depth));
+                    next.push(m);
+                }
+            }
+        }
+        frontier = next;
+    }
+    visited
 }
 
 proptest! {
@@ -348,6 +386,32 @@ proptest! {
             / scenario.graph.node_count() as f64;
         let got = node_utility(&scenario.graph, &account);
         prop_assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    }
+
+    /// PR 2's allocation-free traversal accessors agree with a naive
+    /// Vec-collecting BFS on arbitrary graphs: same `(node, depth)`
+    /// sequence from `iter()`, same node sequence from `nodes()`, same
+    /// length/emptiness, in every direction and at bounded and unbounded
+    /// depths.
+    #[test]
+    fn traversal_iterators_agree_with_naive_bfs(nodes in 1usize..12, seed in any::<u64>(), root in any::<u16>()) {
+        let scenario = build_scenario(nodes, seed);
+        let start = NodeId(root as u32 % scenario.graph.node_count() as u32);
+        for direction in [Direction::Forward, Direction::Backward, Direction::Both] {
+            for max_depth in [0, 1, 2, u32::MAX] {
+                let traversal = traverse(&scenario.graph, start, direction, max_depth);
+                let expected = naive_traverse(&scenario.graph, start, direction, max_depth);
+                let via_iter: Vec<(NodeId, u32)> = traversal.iter().collect();
+                prop_assert_eq!(&via_iter, &expected, "iter() diverged ({direction:?}, depth {max_depth})");
+                let via_nodes: Vec<NodeId> = traversal.nodes().collect();
+                let expected_nodes: Vec<NodeId> = expected.iter().map(|&(n, _)| n).collect();
+                prop_assert_eq!(&via_nodes, &expected_nodes, "nodes() diverged");
+                let via_intoiter: Vec<(NodeId, u32)> = (&traversal).into_iter().collect();
+                prop_assert_eq!(&via_intoiter, &expected, "IntoIterator diverged");
+                prop_assert_eq!(traversal.len(), expected.len());
+                prop_assert_eq!(traversal.is_empty(), expected.is_empty());
+            }
+        }
     }
 
     /// High-water sets satisfy Def. 6 on arbitrary graphs.

@@ -1,4 +1,7 @@
-//! Binary snapshot codec for the store.
+//! Binary codecs for the store: the full-state **snapshot** format and
+//! the per-record **write-ahead-log frame** format.
+//!
+//! # Snapshot format
 //!
 //! Little-endian, length-prefixed, versioned, and checksummed:
 //!
@@ -14,6 +17,29 @@
 //! Strings are `u32` length + UTF-8 bytes. Features are `u16` count of
 //! `(str key, u8 value-tag, value)` entries. The checksum catches torn
 //! writes and bit rot before a corrupt snapshot reaches the graph layer.
+//!
+//! # WAL frame format
+//!
+//! A WAL segment file is a fixed header followed by a run of
+//! independently checksummed frames, one per store mutation:
+//!
+//! ```text
+//! header: magic "PLUSWAL\0" | version u16 | start_clock u64
+//! frame:  len u32 | crc32 u32 (IEEE, over payload) | payload (len bytes)
+//! payload: tag u8 — 0 AppendNode  { str label, u8 kind, u16 lowest,
+//!                                   u64 created_at, features }
+//!                   1 AppendEdge  { u32 from, u32 to, u8 kind }
+//!                   2 ApplyPolicy { policy statement, as in snapshots }
+//! ```
+//!
+//! The frame with index `i` in a segment records the mutation that
+//! moved the store's logical clock from `start_clock + i` one tick
+//! forward. Frames are written (and, when fsync is on, synced) *before*
+//! the in-memory mutation is applied, so every acknowledged mutation is
+//! recoverable; [`decode_frame`] distinguishes a **torn** tail (bytes
+//! end mid-frame — the normal crash signature) from a **corrupt** frame
+//! (checksum or structure failure), and recovery truncates at the first
+//! of either instead of failing.
 
 use bytes::{BufMut, BytesMut};
 use surrogate_core::feature::{FeatureValue, Features};
@@ -27,6 +53,18 @@ use crate::record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement,
 pub const MAGIC: &[u8; 4] = b"PLUS";
 /// Current snapshot version.
 pub const VERSION: u16 = 1;
+
+/// WAL segment magic bytes.
+pub const WAL_MAGIC: &[u8; 8] = b"PLUSWAL\0";
+/// Current WAL segment version.
+pub const WAL_VERSION: u16 = 1;
+/// Bytes of a WAL segment header: magic, version, start clock.
+pub const WAL_HEADER_LEN: usize = 8 + 2 + 8;
+/// Bytes of a frame header: `len u32 | crc32 u32`.
+pub const FRAME_HEADER_LEN: usize = 4 + 4;
+/// Sanity bound on a single frame's payload; anything larger is treated
+/// as corruption rather than allocated.
+pub const MAX_FRAME_LEN: u32 = 1 << 26;
 
 /// The plain data a snapshot carries.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +91,36 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE), the per-frame integrity check of the WAL.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -119,6 +187,63 @@ fn put_opt_predicate(buf: &mut BytesMut, p: Option<PrivilegeId>) {
     }
 }
 
+fn put_node(buf: &mut BytesMut, node: &NodeRecord) {
+    put_str(buf, &node.label);
+    buf.put_u8(node.kind.tag());
+    buf.put_u16_le(node.lowest.0);
+    buf.put_u64_le(node.created_at);
+    put_features(buf, &node.features);
+}
+
+fn put_edge(buf: &mut BytesMut, edge: &EdgeRecord) {
+    buf.put_u32_le(edge.from.0);
+    buf.put_u32_le(edge.to.0);
+    buf.put_u8(edge.kind.tag());
+}
+
+fn put_policy(buf: &mut BytesMut, statement: &PolicyStatement) {
+    match statement {
+        PolicyStatement::MarkIncidence {
+            node,
+            from,
+            to,
+            predicate,
+            marking,
+        } => {
+            buf.put_u8(0);
+            buf.put_u32_le(node.0);
+            buf.put_u32_le(from.0);
+            buf.put_u32_le(to.0);
+            put_opt_predicate(buf, *predicate);
+            buf.put_u8(marking_tag(*marking));
+        }
+        PolicyStatement::MarkNode {
+            node,
+            predicate,
+            marking,
+        } => {
+            buf.put_u8(1);
+            buf.put_u32_le(node.0);
+            put_opt_predicate(buf, *predicate);
+            buf.put_u8(marking_tag(*marking));
+        }
+        PolicyStatement::AddSurrogate {
+            node,
+            label,
+            features,
+            lowest,
+            info_score,
+        } => {
+            buf.put_u8(2);
+            buf.put_u32_le(node.0);
+            put_str(buf, label);
+            put_features(buf, features);
+            buf.put_u16_le(lowest.0);
+            buf.put_f64_le(*info_score);
+        }
+    }
+}
+
 /// Encodes a snapshot.
 pub fn encode(data: &SnapshotData) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(
@@ -140,62 +265,17 @@ pub fn encode(data: &SnapshotData) -> Vec<u8> {
 
     buf.put_u32_le(data.nodes.len() as u32);
     for node in &data.nodes {
-        put_str(&mut buf, &node.label);
-        buf.put_u8(node.kind.tag());
-        buf.put_u16_le(node.lowest.0);
-        buf.put_u64_le(node.created_at);
-        put_features(&mut buf, &node.features);
+        put_node(&mut buf, node);
     }
 
     buf.put_u32_le(data.edges.len() as u32);
     for edge in &data.edges {
-        buf.put_u32_le(edge.from.0);
-        buf.put_u32_le(edge.to.0);
-        buf.put_u8(edge.kind.tag());
+        put_edge(&mut buf, edge);
     }
 
     buf.put_u32_le(data.policy.len() as u32);
     for statement in &data.policy {
-        match statement {
-            PolicyStatement::MarkIncidence {
-                node,
-                from,
-                to,
-                predicate,
-                marking,
-            } => {
-                buf.put_u8(0);
-                buf.put_u32_le(node.0);
-                buf.put_u32_le(from.0);
-                buf.put_u32_le(to.0);
-                put_opt_predicate(&mut buf, *predicate);
-                buf.put_u8(marking_tag(*marking));
-            }
-            PolicyStatement::MarkNode {
-                node,
-                predicate,
-                marking,
-            } => {
-                buf.put_u8(1);
-                buf.put_u32_le(node.0);
-                put_opt_predicate(&mut buf, *predicate);
-                buf.put_u8(marking_tag(*marking));
-            }
-            PolicyStatement::AddSurrogate {
-                node,
-                label,
-                features,
-                lowest,
-                info_score,
-            } => {
-                buf.put_u8(2);
-                buf.put_u32_le(node.0);
-                put_str(&mut buf, label);
-                put_features(&mut buf, features);
-                buf.put_u16_le(lowest.0);
-                buf.put_f64_le(*info_score);
-            }
-        }
+        put_policy(&mut buf, statement);
     }
 
     let checksum = fnv1a(&buf);
@@ -283,6 +363,82 @@ impl<'a> Reader<'a> {
             }),
         }
     }
+
+    fn node_record(&mut self) -> Result<NodeRecord, CodecError> {
+        let label = self.string()?;
+        let kind_tag = self.u8()?;
+        let kind = NodeKind::from_tag(kind_tag).ok_or(CodecError::InvalidTag {
+            what: "node kind",
+            tag: kind_tag,
+        })?;
+        let lowest = PrivilegeId(self.u16()?);
+        let created_at = self.u64()?;
+        let features = self.features()?;
+        Ok(NodeRecord {
+            label,
+            kind,
+            features,
+            lowest,
+            created_at,
+        })
+    }
+
+    fn edge_record(&mut self) -> Result<EdgeRecord, CodecError> {
+        let from = RecordId(self.u32()?);
+        let to = RecordId(self.u32()?);
+        let kind_tag = self.u8()?;
+        let kind = EdgeKind::from_tag(kind_tag).ok_or(CodecError::InvalidTag {
+            what: "edge kind",
+            tag: kind_tag,
+        })?;
+        Ok(EdgeRecord { from, to, kind })
+    }
+
+    fn policy_statement(&mut self) -> Result<PolicyStatement, CodecError> {
+        let tag = self.u8()?;
+        match tag {
+            0 => Ok(PolicyStatement::MarkIncidence {
+                node: RecordId(self.u32()?),
+                from: RecordId(self.u32()?),
+                to: RecordId(self.u32()?),
+                predicate: self.opt_predicate()?,
+                marking: marking_from_tag(self.u8()?)?,
+            }),
+            1 => Ok(PolicyStatement::MarkNode {
+                node: RecordId(self.u32()?),
+                predicate: self.opt_predicate()?,
+                marking: marking_from_tag(self.u8()?)?,
+            }),
+            2 => Ok(PolicyStatement::AddSurrogate {
+                node: RecordId(self.u32()?),
+                label: self.string()?,
+                features: self.features()?,
+                lowest: PrivilegeId(self.u16()?),
+                info_score: self.f64()?,
+            }),
+            _ => Err(CodecError::InvalidTag {
+                what: "policy statement",
+                tag,
+            }),
+        }
+    }
+}
+
+/// References a [`PolicyStatement`] makes, for bounds validation.
+pub(crate) fn policy_refs(statement: &PolicyStatement) -> (Vec<RecordId>, Option<PrivilegeId>) {
+    match statement {
+        PolicyStatement::MarkIncidence {
+            node,
+            from,
+            to,
+            predicate,
+            ..
+        } => (vec![*node, *from, *to], *predicate),
+        PolicyStatement::MarkNode {
+            node, predicate, ..
+        } => (vec![*node], *predicate),
+        PolicyStatement::AddSurrogate { node, lowest, .. } => (vec![*node], Some(*lowest)),
+    }
 }
 
 /// Decodes and verifies a snapshot.
@@ -336,22 +492,9 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
     let node_count = r.u32()? as usize;
     let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
     for _ in 0..node_count {
-        let label = r.string()?;
-        let kind_tag = r.u8()?;
-        let kind = NodeKind::from_tag(kind_tag).ok_or(CodecError::InvalidTag {
-            what: "node kind",
-            tag: kind_tag,
-        })?;
-        let lowest = check_pred(PrivilegeId(r.u16()?))?;
-        let created_at = r.u64()?;
-        let features = r.features()?;
-        nodes.push(NodeRecord {
-            label,
-            kind,
-            features,
-            lowest,
-            created_at,
-        });
+        let node = r.node_record()?;
+        check_pred(node.lowest)?;
+        nodes.push(node);
     }
 
     let check_node = |id: RecordId| {
@@ -365,47 +508,23 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
     let edge_count = r.u32()? as usize;
     let mut edges = Vec::with_capacity(edge_count.min(1 << 20));
     for _ in 0..edge_count {
-        let from = check_node(RecordId(r.u32()?))?;
-        let to = check_node(RecordId(r.u32()?))?;
-        let kind_tag = r.u8()?;
-        let kind = EdgeKind::from_tag(kind_tag).ok_or(CodecError::InvalidTag {
-            what: "edge kind",
-            tag: kind_tag,
-        })?;
-        edges.push(EdgeRecord { from, to, kind });
+        let edge = r.edge_record()?;
+        check_node(edge.from)?;
+        check_node(edge.to)?;
+        edges.push(edge);
     }
 
     let policy_count = r.u32()? as usize;
     let mut policy = Vec::with_capacity(policy_count.min(1 << 20));
     for _ in 0..policy_count {
-        let tag = r.u8()?;
-        let statement = match tag {
-            0 => PolicyStatement::MarkIncidence {
-                node: check_node(RecordId(r.u32()?))?,
-                from: check_node(RecordId(r.u32()?))?,
-                to: check_node(RecordId(r.u32()?))?,
-                predicate: r.opt_predicate()?.map(check_pred).transpose()?,
-                marking: marking_from_tag(r.u8()?)?,
-            },
-            1 => PolicyStatement::MarkNode {
-                node: check_node(RecordId(r.u32()?))?,
-                predicate: r.opt_predicate()?.map(check_pred).transpose()?,
-                marking: marking_from_tag(r.u8()?)?,
-            },
-            2 => PolicyStatement::AddSurrogate {
-                node: check_node(RecordId(r.u32()?))?,
-                label: r.string()?,
-                features: r.features()?,
-                lowest: check_pred(PrivilegeId(r.u16()?))?,
-                info_score: r.f64()?,
-            },
-            _ => {
-                return Err(CodecError::InvalidTag {
-                    what: "policy statement",
-                    tag,
-                })
-            }
-        };
+        let statement = r.policy_statement()?;
+        let (records, predicate) = policy_refs(&statement);
+        for id in records {
+            check_node(id)?;
+        }
+        if let Some(p) = predicate {
+            check_pred(p)?;
+        }
         policy.push(statement);
     }
 
@@ -421,6 +540,136 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
         policy,
         clock,
     })
+}
+
+// ---------------------------------------------------------------------------
+// WAL frames
+// ---------------------------------------------------------------------------
+
+/// One logged store mutation — the unit of durability. See the module
+/// docs for the frame layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// `Store::append_node`, with the clock-assigned `created_at`.
+    AppendNode(NodeRecord),
+    /// `Store::append_edge`.
+    AppendEdge(EdgeRecord),
+    /// `Store::apply_policy`.
+    ApplyPolicy(PolicyStatement),
+}
+
+/// Encodes a WAL segment header.
+pub fn encode_wal_header(start_clock: u64) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(WAL_HEADER_LEN);
+    buf.put_slice(WAL_MAGIC);
+    buf.put_u16_le(WAL_VERSION);
+    buf.put_u64_le(start_clock);
+    buf.to_vec()
+}
+
+/// Decodes a WAL segment header, returning the segment's start clock.
+pub fn decode_wal_header(bytes: &[u8]) -> Result<u64, CodecError> {
+    if bytes.len() < WAL_HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[8..10].try_into().expect("len 2"));
+    if version != WAL_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    Ok(u64::from_le_bytes(bytes[10..18].try_into().expect("len 8")))
+}
+
+/// Encodes one record as a self-checking frame.
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(64);
+    match record {
+        WalRecord::AppendNode(node) => {
+            payload.put_u8(0);
+            put_node(&mut payload, node);
+        }
+        WalRecord::AppendEdge(edge) => {
+            payload.put_u8(1);
+            put_edge(&mut payload, edge);
+        }
+        WalRecord::ApplyPolicy(statement) => {
+            payload.put_u8(2);
+            put_policy(&mut payload, statement);
+        }
+    }
+    let mut frame = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.put_u32_le(payload.len() as u32);
+    frame.put_u32_le(crc32(&payload));
+    frame.put_slice(&payload);
+    frame.to_vec()
+}
+
+/// Outcome of decoding the frame at the head of `bytes`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameDecode {
+    /// A whole, checksum-valid frame.
+    Complete {
+        /// The decoded record.
+        record: WalRecord,
+        /// Total frame bytes consumed (header + payload).
+        consumed: usize,
+    },
+    /// The bytes end mid-frame — the signature of a crash during an
+    /// append. Everything before this frame is intact.
+    Torn,
+    /// The frame is structurally invalid or fails its checksum:
+    /// corruption rather than a torn tail.
+    Corrupt(CodecError),
+}
+
+/// Decodes the frame at the head of `bytes`. Never panics: arbitrary
+/// bytes produce [`FrameDecode::Torn`] or [`FrameDecode::Corrupt`].
+///
+/// An empty slice is a *clean* end of log, which the caller should test
+/// for before calling; here it reports `Torn` like any other short read.
+pub fn decode_frame(bytes: &[u8]) -> FrameDecode {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return FrameDecode::Torn;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("len 4"));
+    if len > MAX_FRAME_LEN {
+        return FrameDecode::Corrupt(CodecError::FrameTooLarge(len));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().expect("len 4"));
+    let end = FRAME_HEADER_LEN + len as usize;
+    if bytes.len() < end {
+        return FrameDecode::Torn;
+    }
+    let payload = &bytes[FRAME_HEADER_LEN..end];
+    if crc32(payload) != stored_crc {
+        return FrameDecode::Corrupt(CodecError::ChecksumMismatch);
+    }
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let record = match r.u8() {
+        Ok(0) => r.node_record().map(WalRecord::AppendNode),
+        Ok(1) => r.edge_record().map(WalRecord::AppendEdge),
+        Ok(2) => r.policy_statement().map(WalRecord::ApplyPolicy),
+        Ok(tag) => Err(CodecError::InvalidTag {
+            what: "wal record",
+            tag,
+        }),
+        Err(e) => Err(e),
+    };
+    match record {
+        Ok(record) if r.pos == payload.len() => FrameDecode::Complete {
+            record,
+            consumed: end,
+        },
+        // Payload bytes left over after a clean read: the frame does not
+        // describe one record, so it cannot be trusted.
+        Ok(_) => FrameDecode::Corrupt(CodecError::Truncated),
+        Err(e) => FrameDecode::Corrupt(e),
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Store-level errors.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 use crate::record::RecordId;
 
@@ -18,8 +19,27 @@ pub enum StoreError {
     Graph(surrogate_core::error::Error),
     /// The snapshot bytes are malformed.
     Codec(CodecError),
-    /// Filesystem failure while persisting or loading.
-    Io(std::io::Error),
+    /// Filesystem failure while persisting, loading, or logging. Carries
+    /// the file or directory involved when known, so recovery tooling can
+    /// report *which* snapshot or WAL segment failed.
+    Io {
+        /// The file or directory involved, when known.
+        path: Option<PathBuf>,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A durable operation (checkpoint, WAL append) was requested of a
+    /// purely in-memory store.
+    NotDurable,
+    /// An earlier write-ahead-log write failed, so the on-disk log may
+    /// end in a torn frame; further durable appends are refused until the
+    /// store is reopened (which truncates the torn tail).
+    WalPoisoned,
+    /// A store directory holds no decodable snapshot to recover from.
+    NoSnapshot {
+        /// The directory that was searched.
+        dir: PathBuf,
+    },
     /// A session was asked for a predicate its consumer does not satisfy.
     NotAuthorized {
         /// The consumer's name.
@@ -32,6 +52,9 @@ pub enum StoreError {
     /// A service request named a protection strategy that is not
     /// registered.
     UnknownStrategy(String),
+    /// A predicate id outside the store's lattice was passed to an
+    /// append or policy call.
+    UnknownPredicate(u16),
 }
 
 impl fmt::Display for StoreError {
@@ -40,7 +63,23 @@ impl fmt::Display for StoreError {
             StoreError::UnknownRecord(id) => write!(f, "unknown record {id:?}"),
             StoreError::Graph(e) => write!(f, "graph error: {e}"),
             StoreError::Codec(e) => write!(f, "snapshot codec error: {e}"),
-            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Io {
+                path: Some(path),
+                source,
+            } => write!(f, "io error at {}: {source}", path.display()),
+            StoreError::Io { path: None, source } => write!(f, "io error: {source}"),
+            StoreError::NotDurable => {
+                write!(f, "store is in-memory only (no write-ahead log attached)")
+            }
+            StoreError::WalPoisoned => write!(
+                f,
+                "write-ahead log poisoned by an earlier write failure; reopen the store to recover"
+            ),
+            StoreError::NoSnapshot { dir } => write!(
+                f,
+                "no decodable snapshot found in store directory {}",
+                dir.display()
+            ),
             StoreError::NotAuthorized {
                 consumer,
                 predicate,
@@ -54,6 +93,19 @@ impl fmt::Display for StoreError {
             StoreError::UnknownStrategy(name) => {
                 write!(f, "no protection strategy registered under {name:?}")
             }
+            StoreError::UnknownPredicate(id) => {
+                write!(f, "predicate #{id} does not exist in the store's lattice")
+            }
+        }
+    }
+}
+
+impl StoreError {
+    /// An I/O error with the file or directory it concerns.
+    pub fn io_at(path: impl AsRef<Path>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            path: Some(path.as_ref().to_path_buf()),
+            source,
         }
     }
 }
@@ -63,7 +115,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Graph(e) => Some(e),
             StoreError::Codec(e) => Some(e),
-            StoreError::Io(e) => Some(e),
+            StoreError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -83,7 +135,10 @@ impl From<CodecError> for StoreError {
 
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
-        StoreError::Io(e)
+        StoreError::Io {
+            path: None,
+            source: e,
+        }
     }
 }
 
@@ -113,6 +168,9 @@ pub enum CodecError {
     InvalidUtf8,
     /// Snapshot references an out-of-range id.
     DanglingReference,
+    /// A WAL frame declares a payload length beyond the sanity bound —
+    /// corruption, not a real frame.
+    FrameTooLarge(u32),
 }
 
 impl fmt::Display for CodecError {
@@ -127,6 +185,9 @@ impl fmt::Display for CodecError {
             }
             CodecError::InvalidUtf8 => write!(f, "snapshot contains invalid UTF-8"),
             CodecError::DanglingReference => write!(f, "snapshot references a missing id"),
+            CodecError::FrameTooLarge(len) => {
+                write!(f, "wal frame declares an implausible {len}-byte payload")
+            }
         }
     }
 }
@@ -159,6 +220,15 @@ mod tests {
         let e: StoreError = CodecError::Truncated.into();
         assert!(matches!(e, StoreError::Codec(_)));
         let e: StoreError = std::io::Error::other("x").into();
-        assert!(matches!(e, StoreError::Io(_)));
+        assert!(matches!(e, StoreError::Io { path: None, .. }));
+    }
+
+    #[test]
+    fn io_errors_carry_path_context() {
+        let e = StoreError::io_at("/some/dir/wal-0.wal", std::io::Error::other("disk gone"));
+        let text = e.to_string();
+        assert!(text.contains("/some/dir/wal-0.wal"), "{text}");
+        assert!(text.contains("disk gone"), "{text}");
+        assert!(matches!(e, StoreError::Io { path: Some(_), .. }));
     }
 }

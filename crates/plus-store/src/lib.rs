@@ -6,9 +6,12 @@
 //!
 //! * [`record`] — typed provenance records and protection-policy
 //!   statements;
-//! * [`codec`] — a versioned, checksummed binary snapshot format;
+//! * [`codec`] — versioned, checksummed binary formats: the full-state
+//!   snapshot and the per-mutation WAL frame;
 //! * [`store`] — a thread-safe append-only store with persistence and
 //!   graph materialization;
+//! * [`wal`] — the segmented write-ahead log: durable appends, crash
+//!   recovery, checkpointing;
 //! * [`lineage`] — upstream/downstream provenance queries;
 //! * [`service`] — **the serving layer**: the concurrent, epoch-versioned
 //!   [`AccountService`] with a sharded account cache, pluggable
@@ -20,6 +23,22 @@
 //! [`AccountService::get_account`] (protect, cached per
 //! `(epoch, predicate, strategy)`) → [`AccountService::query_batch`]
 //! (query).
+//!
+//! # Durability
+//!
+//! A store opened with [`Store::create_durable`] / [`Store::open`] (or a
+//! service via [`AccountService::open_durable`]) logs every mutation to a
+//! segmented write-ahead log *before* applying it. Each mutation is one
+//! frame — `len u32 | crc32 u32 | payload`, where the payload is a tagged
+//! `AppendNode` / `AppendEdge` / `ApplyPolicy` record in the snapshot
+//! codec's wire encoding — and each segment file starts with a header
+//! naming the logical clock of its first frame. Recovery loads the
+//! newest valid snapshot and replays the log tail, truncating at the
+//! first torn or corrupt frame, so a crash can only lose writes that
+//! were never acknowledged. [`Store::checkpoint`] folds the log into a
+//! fresh snapshot and prunes what it supersedes. The exact layouts live
+//! in the [`codec`] module docs; the protocol in the [`wal`] module
+//! docs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +52,7 @@ pub mod record;
 pub mod service;
 pub mod session;
 pub mod store;
+pub mod wal;
 
 pub use error::{CodecError, Result, StoreError};
 pub use ingest::{ingest, IngestKinds};
@@ -41,7 +61,8 @@ pub use service::{AccountService, ProtectedLineageRow, QueryRequest, QueryRespon
 pub use session::Session;
 // Re-exported so service call sites can name directions and strategies
 // without importing surrogate-core directly.
-pub use store::{Materialized, Store};
+pub use store::{CheckpointStats, Materialized, Store};
 pub use surrogate_core::account::Strategy;
 pub use surrogate_core::query::Direction;
 pub use surrogate_core::strategy::ProtectionStrategy;
+pub use wal::{DurabilityOptions, RecoveryReport};

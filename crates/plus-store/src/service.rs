@@ -59,6 +59,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -72,6 +74,7 @@ use surrogate_core::strategy::ProtectionStrategy;
 use crate::error::{Result, StoreError};
 use crate::record::RecordId;
 use crate::store::{Materialized, Store};
+use crate::wal::DurabilityOptions;
 
 /// Number of cache shards; requests for different `(epoch, preds,
 /// strategy)` keys mostly hit different locks.
@@ -184,6 +187,22 @@ struct CacheKey {
     strategy: String,
 }
 
+/// A cached account, stamped with the registry **generation** of the
+/// strategy that produced it. A hit is only served while its generation
+/// is still the name's current one, so a completed
+/// [`register_strategy`](AccountService::register_strategy) can never be
+/// shadowed by a racing generator inserting an account built from the
+/// replaced registration (generation 0 = the name is unregistered and
+/// the caller's own strategy object generated directly).
+#[derive(Debug, Clone)]
+struct CachedAccount {
+    generation: u64,
+    account: Arc<ProtectedAccount>,
+}
+
+/// A registered strategy with the generation stamp of its registration.
+type Registration = (u64, Arc<dyn ProtectionStrategy>);
+
 enum Source {
     /// A live store: the epoch tracks its version.
     Live(Arc<Store>),
@@ -199,8 +218,10 @@ enum Source {
 pub struct AccountService {
     source: Source,
     current: RwLock<Option<Arc<Snapshot>>>,
-    shards: Vec<Mutex<HashMap<CacheKey, Arc<ProtectedAccount>>>>,
-    strategies: RwLock<HashMap<String, Arc<dyn ProtectionStrategy>>>,
+    shards: Vec<Mutex<HashMap<CacheKey, CachedAccount>>>,
+    strategies: RwLock<HashMap<String, Registration>>,
+    /// Monotone counter stamping each registration; see [`CachedAccount`].
+    generation: AtomicU64,
 }
 
 impl std::fmt::Debug for AccountService {
@@ -230,16 +251,31 @@ impl AccountService {
     }
 
     fn with_source(source: Source) -> Self {
-        let mut strategies: HashMap<String, Arc<dyn ProtectionStrategy>> = HashMap::new();
+        let mut strategies: HashMap<String, Registration> = HashMap::new();
+        let mut generation = 0;
         for &builtin in Strategy::ALL {
-            strategies.insert(builtin.name().to_string(), Arc::new(builtin));
+            generation += 1;
+            strategies.insert(builtin.name().to_string(), (generation, Arc::new(builtin)));
         }
         Self {
             source,
             current: RwLock::new(None),
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             strategies: RwLock::new(strategies),
+            generation: AtomicU64::new(generation),
         }
+    }
+
+    /// Opens (recovers) the durable store under `dir` and stands a
+    /// service up in front of it, with the epoch restored from the
+    /// recovered log clock.
+    pub fn open_durable(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_durable_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`open_durable`](Self::open_durable) with explicit options.
+    pub fn open_durable_with(dir: impl AsRef<Path>, options: DurabilityOptions) -> Result<Self> {
+        Ok(Self::new(Arc::new(Store::open_with(dir, options)?)))
     }
 
     /// The underlying store, when this service fronts a live one.
@@ -306,20 +342,24 @@ impl AccountService {
     /// (`ProtectionStrategy::name`), replacing any previous registration
     /// of that name. The three built-ins are pre-registered.
     ///
-    /// Accounts cached under the replaced name are purged: a name must
-    /// serve the accounts of its *current* registration, never a
-    /// predecessor's. (Replacement is a setup-time operation; a request
-    /// that resolved the old registration concurrently with the swap may
-    /// still serve one old-strategy account for the current epoch.)
+    /// Accounts cached under the replaced name are purged, and every
+    /// registration carries a fresh generation stamp that cached accounts
+    /// are checked against on every hit — so once `register_strategy`
+    /// returns, no request that starts afterwards can be served an
+    /// account generated by a previous registration, even if a racing
+    /// request caches one after the purge. (A request already in flight
+    /// during the swap may still receive the old strategy's account —
+    /// that request is concurrent with the registration.)
     ///
     /// [`name`]: ProtectionStrategy::name
     pub fn register_strategy(&self, strategy: Arc<dyn ProtectionStrategy>) {
         let name = strategy.name().to_string();
         let mut registry = self.strategies.write();
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
         for shard in &self.shards {
             shard.lock().retain(|k, _| k.strategy != name);
         }
-        registry.insert(name, strategy);
+        registry.insert(name, (generation, strategy));
     }
 
     /// The registered strategy of that name.
@@ -327,7 +367,7 @@ impl AccountService {
         self.strategies
             .read()
             .get(name)
-            .cloned()
+            .map(|(_, strategy)| strategy.clone())
             .ok_or_else(|| StoreError::UnknownStrategy(name.to_string()))
     }
 
@@ -387,13 +427,24 @@ impl AccountService {
             preds,
             strategy: strategy.name().to_string(),
         };
+        // One consistent view of the name's registration: its generation
+        // stamp and implementation (generation 0 = unregistered, the
+        // passed strategy object generates directly).
+        let (generation, registered) = match self.strategies.read().get(&key.strategy) {
+            Some((generation, registered)) => (*generation, Some(registered.clone())),
+            None => (0, None),
+        };
         let shard = &self.shards[Self::shard_index(&key)];
         if let Some(hit) = shard.lock().get(&key) {
-            return Ok(hit.clone());
+            // Serve only accounts of the name's *current* registration: a
+            // racing generator may have cached an account built from a
+            // replaced registration after register_strategy purged.
+            if hit.generation == generation {
+                return Ok(hit.account.clone());
+            }
         }
         // Generate outside the shard lock: account generation is the
         // expensive step and must not serialize unrelated cache traffic.
-        let registered = self.strategies.read().get(&key.strategy).cloned();
         let account = Arc::new(match &registered {
             Some(current) => current.protect(&snapshot.context(), &key.preds)?,
             None => strategy.protect(&snapshot.context(), &key.preds)?,
@@ -404,9 +455,28 @@ impl AccountService {
         guard.retain(|k, _| {
             k.epoch >= key.epoch || k.preds != key.preds || k.strategy != key.strategy
         });
-        // A racing generator may have inserted first; both generated from
-        // the same epoch, so either value serves (keep the first).
-        Ok(guard.entry(key).or_insert(account).clone())
+        // A racing generator may have inserted first; serve whichever
+        // entry carries the newest registration generation.
+        match guard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if slot.get().generation >= generation {
+                    Ok(slot.get().account.clone())
+                } else {
+                    slot.insert(CachedAccount {
+                        generation,
+                        account: account.clone(),
+                    });
+                    Ok(account)
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(CachedAccount {
+                    generation,
+                    account: account.clone(),
+                });
+                Ok(account)
+            }
+        }
     }
 
     /// Shard by `(preds, strategy)` — *not* the epoch — so successive

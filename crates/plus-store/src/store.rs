@@ -1,12 +1,29 @@
 //! The provenance store: an append-only, thread-safe record log with
-//! snapshot persistence and graph materialization.
+//! snapshot persistence, graph materialization, and (optionally) a
+//! segmented write-ahead log for crash-safe durability.
 //!
 //! This plays the role of the PLUS prototype's storage layer in the
 //! paper's Fig. 10 pipeline: **DB access** (decode a snapshot), **build
 //! graph** ([`Store::materialize`]), then **protect** (hand the
 //! materialization to `surrogate_core::account`).
+//!
+//! A store comes in two flavors:
+//!
+//! * **In-memory** ([`Store::new`], [`Store::load`], …): durability is
+//!   whole-snapshot [`save`](Store::save)/[`load`](Store::load) — fine
+//!   for experiments, but every append since the last save is lost on a
+//!   crash.
+//! * **Durable** ([`Store::create_durable`], [`Store::open`]): every
+//!   `append_node` / `append_edge` / `apply_policy` writes a checksummed
+//!   frame to the write-ahead log *before* mutating in-memory state, so
+//!   [`Store::open`] recovers every acknowledged mutation — the newest
+//!   valid snapshot plus a replay of the log tail, truncated at the
+//!   first torn or corrupt frame. [`Store::checkpoint`] folds the log
+//!   into a fresh snapshot and prunes superseded files. See the
+//!   [`wal`](crate::wal) module docs for the on-disk layout and
+//!   protocol.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use parking_lot::RwLock;
 use surrogate_core::graph::{Graph, NodeId};
@@ -14,9 +31,10 @@ use surrogate_core::marking::MarkingStore;
 use surrogate_core::privilege::{PrivilegeId, PrivilegeLattice};
 use surrogate_core::surrogate::{SurrogateCatalog, SurrogateDef};
 
-use crate::codec::{self, SnapshotData};
+use crate::codec::{self, SnapshotData, WalRecord};
 use crate::error::{Result, StoreError};
 use crate::record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement, RecordId};
+use crate::wal::{self, DurabilityOptions, RecoveryReport, Wal, WalIo};
 
 /// Everything needed to run protection over a store's contents: the graph
 /// (node ids equal record indices), the lattice, and the replayed policy.
@@ -54,6 +72,9 @@ struct Inner {
     edge_set: std::collections::HashSet<(RecordId, RecordId)>,
     policy: Vec<PolicyStatement>,
     clock: u64,
+    /// The write-ahead log, when this store is durable. Living inside the
+    /// write lock, log order always equals clock order.
+    wal: Option<Wal>,
 }
 
 /// Thread-safe provenance store.
@@ -88,6 +109,7 @@ impl Store {
                 edge_set: std::collections::HashSet::new(),
                 policy: Vec::new(),
                 clock: 0,
+                wal: None,
             }),
         })
     }
@@ -102,7 +124,16 @@ impl Store {
         self.inner.read().lattice.by_name(name)
     }
 
+    /// Number of predicates in the lattice.
+    pub fn predicate_count(&self) -> usize {
+        self.inner.read().lattice_names.len()
+    }
+
     /// Appends a node record, assigning its logical timestamp.
+    ///
+    /// # Panics
+    /// On a durable store, panics if the write-ahead-log write fails; use
+    /// [`try_append_node`](Self::try_append_node) to handle I/O errors.
     pub fn append_node(
         &self,
         label: impl Into<String>,
@@ -110,18 +141,40 @@ impl Store {
         features: surrogate_core::feature::Features,
         lowest: PrivilegeId,
     ) -> RecordId {
+        self.try_append_node(label, kind, features, lowest)
+            .expect("write-ahead log append failed")
+    }
+
+    /// Appends a node record, assigning its logical timestamp. On a
+    /// durable store the record is logged (and, with fsync on, synced)
+    /// before it is applied; an `Err` means nothing was appended.
+    pub fn try_append_node(
+        &self,
+        label: impl Into<String>,
+        kind: NodeKind,
+        features: surrogate_core::feature::Features,
+        lowest: PrivilegeId,
+    ) -> Result<RecordId> {
         let mut inner = self.inner.write();
-        let id = RecordId(inner.nodes.len() as u32);
-        let created_at = inner.clock;
-        inner.clock += 1;
-        inner.nodes.push(NodeRecord {
+        // Bounds-check before logging: an out-of-range predicate would be
+        // acknowledged live but rejected (as corruption) at replay,
+        // truncating every later acknowledged write.
+        Self::check_predicate(&inner, lowest)?;
+        let record = NodeRecord {
             label: label.into(),
             kind,
             features,
             lowest,
-            created_at,
-        });
-        id
+            created_at: inner.clock,
+        };
+        let record = Self::log(&mut inner, WalRecord::AppendNode(record))?;
+        let WalRecord::AppendNode(record) = record else {
+            unreachable!()
+        };
+        let id = RecordId(inner.nodes.len() as u32);
+        inner.clock += 1;
+        inner.nodes.push(record);
+        Ok(id)
     }
 
     /// Appends an edge record after validating endpoints and uniqueness.
@@ -138,7 +191,7 @@ impl Store {
                 NodeId(from.0),
             )));
         }
-        if !inner.edge_set.insert((from, to)) {
+        if inner.edge_set.contains(&(from, to)) {
             return Err(StoreError::Graph(
                 surrogate_core::error::Error::DuplicateEdge {
                     from: NodeId(from.0),
@@ -146,6 +199,11 @@ impl Store {
                 },
             ));
         }
+        Self::log(
+            &mut inner,
+            WalRecord::AppendEdge(EdgeRecord { from, to, kind }),
+        )?;
+        inner.edge_set.insert((from, to));
         inner.clock += 1;
         inner.edges.push(EdgeRecord { from, to, kind });
         Ok(())
@@ -171,9 +229,37 @@ impl Store {
             PolicyStatement::MarkNode { node, .. } => check(*node)?,
             PolicyStatement::AddSurrogate { node, .. } => check(*node)?,
         }
+        if let (_, Some(predicate)) = codec::policy_refs(&statement) {
+            Self::check_predicate(&inner, predicate)?;
+        }
+        let statement = match Self::log(&mut inner, WalRecord::ApplyPolicy(statement))? {
+            WalRecord::ApplyPolicy(statement) => statement,
+            _ => unreachable!(),
+        };
         inner.clock += 1;
         inner.policy.push(statement);
         Ok(())
+    }
+
+    /// Rejects predicate ids outside the lattice — mirroring the bounds
+    /// check `codec::decode` applies, so nothing unreplayable is ever
+    /// logged.
+    fn check_predicate(inner: &Inner, predicate: PrivilegeId) -> Result<()> {
+        if predicate.0 as usize >= inner.lattice_names.len() {
+            return Err(StoreError::UnknownPredicate(predicate.0));
+        }
+        Ok(())
+    }
+
+    /// Writes the mutation's WAL frame on durable stores (a no-op on
+    /// in-memory ones), handing the record back on success. Called with
+    /// the write lock held, *before* the in-memory mutation.
+    fn log(inner: &mut Inner, record: WalRecord) -> Result<WalRecord> {
+        let clock = inner.clock;
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.append(&record, clock)?;
+        }
+        Ok(record)
     }
 
     /// Number of node records.
@@ -295,22 +381,24 @@ impl Store {
         }
     }
 
-    /// Serializes the store to snapshot bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let inner = self.inner.read();
-        codec::encode(&SnapshotData {
+    fn snapshot_data(inner: &Inner) -> SnapshotData {
+        SnapshotData {
             lattice_names: inner.lattice_names.clone(),
             dominance: inner.dominance.clone(),
             nodes: inner.nodes.clone(),
             edges: inner.edges.clone(),
             policy: inner.policy.clone(),
             clock: inner.clock,
-        })
+        }
     }
 
-    /// Rebuilds a store from snapshot bytes.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let data = codec::decode(bytes)?;
+    /// Serializes the store to snapshot bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        codec::encode(&Self::snapshot_data(&self.inner.read()))
+    }
+
+    /// Rebuilds an in-memory store from decoded snapshot data.
+    fn from_snapshot_data(data: SnapshotData) -> Result<Self> {
         let mut builder = PrivilegeLattice::builder();
         let mut ids = Vec::with_capacity(data.lattice_names.len());
         for name in &data.lattice_names {
@@ -331,20 +419,238 @@ impl Store {
                 edge_set,
                 policy: data.policy,
                 clock: data.clock,
+                wal: None,
             }),
         })
     }
 
+    /// Rebuilds a store from snapshot bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Self::from_snapshot_data(codec::decode(bytes)?)
+    }
+
     /// Persists a snapshot to disk — the paper's "DB" write path.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        let path = path.as_ref();
+        std::fs::write(path, self.to_bytes()).map_err(|e| StoreError::io_at(path, e))
     }
 
     /// Loads a snapshot from disk — the paper's "DB access" stage.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
-        let bytes = std::fs::read(path)?;
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| StoreError::io_at(path, e))?;
         Self::from_bytes(&bytes)
+    }
+
+    // -----------------------------------------------------------------------
+    // Durability
+    // -----------------------------------------------------------------------
+
+    /// Creates a durable store in (empty or nonexistent) directory `dir`:
+    /// an initial snapshot at clock 0 plus an open write-ahead-log
+    /// segment every subsequent append is logged to.
+    pub fn create_durable(
+        dir: impl AsRef<Path>,
+        names: &[&str],
+        dominance: &[(usize, usize)],
+    ) -> Result<Self> {
+        Self::create_durable_with(dir, names, dominance, DurabilityOptions::default())
+    }
+
+    /// [`create_durable`](Self::create_durable) with explicit options.
+    pub fn create_durable_with(
+        dir: impl AsRef<Path>,
+        names: &[&str],
+        dominance: &[(usize, usize)],
+        options: DurabilityOptions,
+    ) -> Result<Self> {
+        Self::create_durable_with_io(dir, names, dominance, options, Box::new(wal::DiskIo))
+    }
+
+    /// [`create_durable_with`](Self::create_durable_with) writing WAL
+    /// frames through a custom [`WalIo`] — the fault-injection seam used
+    /// by the crash-recovery test harness.
+    pub fn create_durable_with_io(
+        dir: impl AsRef<Path>,
+        names: &[&str],
+        dominance: &[(usize, usize)],
+        options: DurabilityOptions,
+        io: Box<dyn WalIo>,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io_at(dir, e))?;
+        wal::ensure_vacant(dir)?;
+        let store = Self::new(names, dominance)?;
+        wal::write_atomic(&wal::snapshot_path(dir, 0), &store.to_bytes())?;
+        let writer = Wal::open(dir, options, io, None, 0)?;
+        store.inner.write().wal = Some(writer);
+        Ok(store)
+    }
+
+    /// Opens (recovers) the durable store under `dir`: the newest valid
+    /// snapshot plus a replay of the write-ahead-log tail, truncated at
+    /// the first torn or corrupt frame. See the [`wal`] module docs.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`open`](Self::open) with explicit options.
+    pub fn open_with(dir: impl AsRef<Path>, options: DurabilityOptions) -> Result<Self> {
+        Ok(Self::open_reporting(dir, options)?.0)
+    }
+
+    /// [`open_with`](Self::open_with), additionally returning the
+    /// [`RecoveryReport`] describing what recovery found and repaired —
+    /// the substrate of `spgraph recover --verify`.
+    pub fn open_reporting(
+        dir: impl AsRef<Path>,
+        options: DurabilityOptions,
+    ) -> Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let (store, resume, report) = wal::recover(dir, true, Self::from_snapshot_data)?;
+        let clock = store.clock();
+        let writer = Wal::open(dir, options, Box::new(wal::DiskIo), resume, clock)?;
+        store.inner.write().wal = Some(writer);
+        Ok((store, report))
+    }
+
+    /// Recovers the durable state under `dir` **without modifying the
+    /// directory**: no truncation, no pruning, no write-ahead-log writer
+    /// attached (the returned store is in-memory). Safe to use alongside
+    /// a live writer — the substrate of the CLI's read commands.
+    pub fn open_read_only(dir: impl AsRef<Path>) -> Result<Self> {
+        let (store, _, _) = wal::recover(dir.as_ref(), false, Self::from_snapshot_data)?;
+        Ok(store)
+    }
+
+    /// `true` when appends are logged to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().wal.is_some()
+    }
+
+    /// The durable store's directory, when [`is_durable`](Self::is_durable).
+    pub fn durable_dir(&self) -> Option<PathBuf> {
+        self.inner
+            .read()
+            .wal
+            .as_ref()
+            .map(|w| w.dir().to_path_buf())
+    }
+
+    /// Seeds directory `dir` with a durable copy of this store's current
+    /// state: a single snapshot at the current clock, ready for
+    /// [`Store::open`]. The receiving directory must not already hold a
+    /// durable store.
+    pub fn save_durable(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io_at(dir, e))?;
+        wal::ensure_vacant(dir)?;
+        let inner = self.inner.read();
+        let bytes = codec::encode(&Self::snapshot_data(&inner));
+        wal::write_atomic(&wal::snapshot_path(dir, inner.clock), &bytes)
+    }
+
+    /// Writes a snapshot of the current state, rotates to a fresh
+    /// write-ahead-log segment, and prunes the segments and snapshots the
+    /// new snapshot supersedes. Errors with [`StoreError::NotDurable`] on
+    /// an in-memory store.
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        // Under the write lock: capture a consistent copy of the state
+        // and rotate so the active segment starts exactly at the
+        // checkpoint clock. Encoding and the fsync'd snapshot write
+        // happen *outside* the lock — appends racing into the fresh
+        // segment carry clocks >= the captured one, and recovery without
+        // the new snapshot just replays the still-present old segments.
+        let (data, dir, clock) = {
+            let mut inner = self.inner.write();
+            if inner.wal.is_none() {
+                return Err(StoreError::NotDurable);
+            }
+            let clock = inner.clock;
+            let data = Self::snapshot_data(&inner);
+            let wal = inner.wal.as_mut().expect("checked above");
+            let dir = wal.dir().to_path_buf();
+            wal.rotate(clock)?;
+            (data, dir, clock)
+        };
+        let bytes = codec::encode(&data);
+        wal::write_atomic(&wal::snapshot_path(&dir, clock), &bytes)?;
+        // The snapshot is durable; everything it covers can go. Tolerate
+        // already-gone files — a concurrent checkpoint may prune too.
+        let mut pruned_segments = 0;
+        for (start, path) in wal::list_segments(&dir)? {
+            if start < clock && std::fs::remove_file(&path).is_ok() {
+                pruned_segments += 1;
+            }
+        }
+        let mut pruned_snapshots = 0;
+        for (snap_clock, path) in wal::list_snapshots(&dir)? {
+            if snap_clock < clock && std::fs::remove_file(&path).is_ok() {
+                pruned_snapshots += 1;
+            }
+        }
+        if pruned_segments + pruned_snapshots > 0 {
+            // Make the removals durable alongside the new snapshot.
+            let _ = wal::sync_dir(&dir);
+        }
+        Ok(CheckpointStats {
+            clock,
+            snapshot_bytes: bytes.len() as u64,
+            pruned_segments,
+            pruned_snapshots,
+        })
+    }
+}
+
+/// What [`Store::checkpoint`] wrote and removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// The logical clock the snapshot captures.
+    pub clock: u64,
+    /// Size of the written snapshot.
+    pub snapshot_bytes: u64,
+    /// Superseded WAL segments removed.
+    pub pruned_segments: usize,
+    /// Superseded snapshots removed.
+    pub pruned_snapshots: usize,
+}
+
+impl wal::ReplayTarget for Store {
+    fn apply(&mut self, record: WalRecord) -> std::result::Result<(), String> {
+        // Replay drives the ordinary append paths; `wal` is still `None`
+        // while recovering, so nothing is re-logged.
+        match record {
+            WalRecord::AppendNode(node) => {
+                if node.created_at != self.clock() {
+                    return Err(format!(
+                        "node record stamped {} at clock {}",
+                        node.created_at,
+                        self.clock()
+                    ));
+                }
+                if self.predicate_count() <= node.lowest.0 as usize {
+                    return Err(format!(
+                        "node references unknown predicate {}",
+                        node.lowest.0
+                    ));
+                }
+                self.try_append_node(node.label, node.kind, node.features, node.lowest)
+                    .map_err(|e| e.to_string())?;
+                Ok(())
+            }
+            WalRecord::AppendEdge(edge) => self
+                .append_edge(edge.from, edge.to, edge.kind)
+                .map_err(|e| e.to_string()),
+            WalRecord::ApplyPolicy(statement) => {
+                let (_, predicate) = codec::policy_refs(&statement);
+                if let Some(p) = predicate {
+                    if self.predicate_count() <= p.0 as usize {
+                        return Err(format!("policy references unknown predicate {}", p.0));
+                    }
+                }
+                self.apply_policy(statement).map_err(|e| e.to_string())
+            }
+        }
     }
 }
 
@@ -474,6 +780,230 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(restored.node_count(), 3);
         assert_eq!(restored.to_bytes(), store.to_bytes());
+    }
+
+    /// Fresh temp directory for a durable-store test.
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("plus-store-durable-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_sample(dir: &Path) -> Store {
+        let store = Store::create_durable_with(
+            dir,
+            &["Public", "High"],
+            &[(1, 0)],
+            crate::wal::DurabilityOptions {
+                fsync: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let high = store.predicate("High").unwrap();
+        let public = store.predicate("Public").unwrap();
+        let a = store.append_node("input", NodeKind::Data, Features::new(), public);
+        let p = store.append_node("analysis", NodeKind::Process, Features::new(), high);
+        store.append_edge(a, p, EdgeKind::InputTo).unwrap();
+        store
+            .apply_policy(PolicyStatement::MarkNode {
+                node: p,
+                predicate: Some(public),
+                marking: Marking::Surrogate,
+            })
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn durable_appends_recover_without_checkpoint() {
+        let dir = temp_dir("recover");
+        let committed = {
+            let store = durable_sample(&dir);
+            assert!(store.is_durable());
+            assert_eq!(store.durable_dir().unwrap(), dir);
+            store.to_bytes()
+        };
+        let (restored, report) = Store::open_reporting(&dir, Default::default()).unwrap();
+        assert_eq!(restored.to_bytes(), committed, "every append recovered");
+        assert_eq!(restored.clock(), 4);
+        assert_eq!(report.clock, 4);
+        assert_eq!(report.records_replayed, 4);
+        assert!(report.truncated.is_none());
+        // Recovered stores keep appending durably.
+        let public = restored.predicate("Public").unwrap();
+        restored.append_node("late", NodeKind::Data, Features::new(), public);
+        drop(restored);
+        let again = Store::open(&dir).unwrap();
+        assert_eq!(again.clock(), 5);
+        assert_eq!(again.node_count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_prunes_superseded_files() {
+        let dir = temp_dir("checkpoint");
+        let store = durable_sample(&dir);
+        let stats = store.checkpoint().unwrap();
+        assert_eq!(stats.clock, 4);
+        assert_eq!(stats.pruned_segments, 1, "pre-checkpoint segment pruned");
+        assert_eq!(stats.pruned_snapshots, 1, "clock-0 snapshot pruned");
+        assert_eq!(crate::wal::list_snapshots(&dir).unwrap().len(), 1);
+        assert_eq!(crate::wal::list_segments(&dir).unwrap().len(), 1);
+        // Appends continue into the fresh segment and recover on top of
+        // the checkpoint snapshot.
+        let public = store.predicate("Public").unwrap();
+        store.append_node("post", NodeKind::Data, Features::new(), public);
+        let committed = store.to_bytes();
+        drop(store);
+        let (restored, report) = Store::open_reporting(&dir, Default::default()).unwrap();
+        assert_eq!(restored.to_bytes(), committed);
+        assert_eq!(
+            report.snapshot.as_ref().unwrap().1,
+            4,
+            "recovered from checkpoint"
+        );
+        assert_eq!(
+            report.records_replayed, 1,
+            "only the post-checkpoint append"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_range_predicates_are_rejected_before_logging() {
+        let dir = temp_dir("bad-pred");
+        let store = durable_sample(&dir);
+        let clock = store.clock();
+        assert!(matches!(
+            store.try_append_node("x", NodeKind::Data, Features::new(), PrivilegeId(9)),
+            Err(StoreError::UnknownPredicate(9))
+        ));
+        assert!(matches!(
+            store.apply_policy(PolicyStatement::MarkNode {
+                node: RecordId(0),
+                predicate: Some(PrivilegeId(7)),
+                marking: Marking::Hide,
+            }),
+            Err(StoreError::UnknownPredicate(7))
+        ));
+        assert_eq!(store.clock(), clock, "nothing was appended or logged");
+        // The log stays fully replayable: later appends survive reopen.
+        let public = store.predicate("Public").unwrap();
+        store.append_node("after", NodeKind::Data, Features::new(), public);
+        let committed = store.to_bytes();
+        drop(store);
+        assert_eq!(Store::open(&dir).unwrap().to_bytes(), committed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_only_open_never_modifies_the_directory() {
+        let dir = temp_dir("read-only");
+        let committed = {
+            let store = durable_sample(&dir);
+            store.to_bytes()
+        };
+        // Corrupt the tail so a repairing open *would* truncate.
+        let (_, segment) = crate::wal::list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&segment).unwrap();
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        std::fs::write(&segment, &bytes).unwrap();
+
+        let before: Vec<(std::path::PathBuf, Vec<u8>)> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| {
+                let p = e.unwrap().path();
+                let b = std::fs::read(&p).unwrap();
+                (p, b)
+            })
+            .collect();
+        let store = Store::open_read_only(&dir).unwrap();
+        assert_eq!(store.to_bytes(), committed, "valid prefix recovered");
+        assert!(!store.is_durable(), "no writer attached");
+        for (path, bytes) in before {
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                bytes,
+                "read-only open modified {}",
+                path.display()
+            );
+        }
+        // A repairing open afterwards cleans the tail.
+        let (_, report) = Store::open_reporting(&dir, Default::default()).unwrap();
+        assert!(report.truncated.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_checkpoints_leave_a_clean_log() {
+        // A checkpoint whose active segment already starts at the
+        // checkpoint clock (e.g. two checkpoints back to back, or a
+        // checkpoint right after open) must not re-open that segment and
+        // corrupt it with a second header.
+        let dir = temp_dir("repeat-checkpoint");
+        let store = durable_sample(&dir);
+        store.checkpoint().unwrap();
+        store.checkpoint().unwrap();
+        let public = store.predicate("Public").unwrap();
+        store.append_node("post", NodeKind::Data, Features::new(), public);
+        store.checkpoint().unwrap();
+        let committed = store.to_bytes();
+        drop(store);
+        let (restored, report) = Store::open_reporting(&dir, Default::default()).unwrap();
+        assert!(
+            report.truncated.is_none(),
+            "checkpointing corrupted the log: {report:?}"
+        );
+        assert_eq!(restored.to_bytes(), committed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_requires_durability() {
+        let (store, ..) = sample_store();
+        assert!(matches!(store.checkpoint(), Err(StoreError::NotDurable)));
+        assert!(!store.is_durable());
+        assert!(store.durable_dir().is_none());
+    }
+
+    #[test]
+    fn save_durable_seeds_an_openable_directory() {
+        let dir = temp_dir("seed");
+        let (store, ..) = sample_store();
+        store.save_durable(&dir).unwrap();
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.to_bytes(), store.to_bytes());
+        assert!(reopened.is_durable());
+        // Seeding over an existing store is refused.
+        assert!(matches!(
+            store.save_durable(&dir),
+            Err(StoreError::Io { path: Some(_), .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_of_an_uninitialized_directory_is_a_clean_error() {
+        let dir = temp_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            Store::open(&dir),
+            Err(StoreError::NoSnapshot { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_durable_refuses_an_occupied_directory() {
+        let dir = temp_dir("occupied");
+        drop(durable_sample(&dir));
+        assert!(matches!(
+            Store::create_durable(&dir, &["Public"], &[]),
+            Err(StoreError::Io { path: Some(_), .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,686 @@
+//! The segmented write-ahead log: durable appends, crash recovery, and
+//! checkpointing for [`Store`](crate::store::Store).
+//!
+//! # On-disk layout
+//!
+//! A durable store is a directory:
+//!
+//! ```text
+//! store/
+//!   snap-<clock:016x>.snap   full snapshot at logical clock <clock>
+//!   wal-<start:016x>.wal     segment of frames for clocks <start>, <start>+1, …
+//! ```
+//!
+//! Snapshots use the [`codec`] snapshot format; segments are a
+//! [`codec::WAL_HEADER_LEN`]-byte header followed by CRC-checksummed
+//! frames (see the [`codec`] module docs for both layouts). Segment `i`'s
+//! frames are contiguous in clock: the `k`-th frame of a segment starting
+//! at clock `s` records the mutation `s + k`.
+//!
+//! # Protocol
+//!
+//! * **Append**: the frame is written (and optionally fsynced) *before*
+//!   the in-memory mutation is applied, so an acknowledged mutation is
+//!   always recoverable. Segments rotate once the active one crosses
+//!   [`DurabilityOptions::segment_max_bytes`].
+//! * **Recovery** ([`recover`]): load the newest decodable snapshot
+//!   (falling back through older ones), then replay segments in clock
+//!   order. Replay stops — and the log is physically truncated — at the
+//!   first torn or corrupt frame; segments beyond a truncation or a clock
+//!   gap are unreachable and removed. The result is always a valid
+//!   *prefix* of the committed history, never an error for torn tails.
+//! * **Checkpoint**: write a snapshot of the current state to a temp file,
+//!   fsync, rename into place, rotate to a fresh segment, then prune
+//!   segments and snapshots the new snapshot supersedes.
+//!
+//! # Single writer
+//!
+//! A durable store directory assumes **at most one attached writer** at
+//! a time: recovery repairs the directory (truncating torn tails,
+//! removing unreachable segments) before appending, and checkpointing
+//! prunes files, so a second concurrent writer — another process calling
+//! `Store::open` or `Store::checkpoint` on the same directory — can
+//! destroy the first writer's acknowledged frames. There is no lock
+//! file; exclusion is the operator's responsibility. Read-only recovery
+//! (`Store::open_read_only`, used by the CLI's read commands) never
+//! modifies the directory and is safe alongside a live writer up to
+//! ordinary read-torn-tail raciness.
+//!
+//! # Fault injection
+//!
+//! The writer performs all file writes through the [`WalFile`] /
+//! [`WalIo`] traits. Production uses [`DiskIo`]; the crash-recovery test
+//! harness substitutes a failing in-memory implementation to kill the
+//! writer after every byte-prefix of the log and prove recovery of each.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{self, FrameDecode, WalRecord};
+use crate::error::{Result, StoreError};
+
+/// Suffix of snapshot files in a durable store directory.
+pub const SNAPSHOT_SUFFIX: &str = ".snap";
+/// Suffix of WAL segment files in a durable store directory.
+pub const SEGMENT_SUFFIX: &str = ".wal";
+
+/// Tuning knobs for a durable store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// Rotate to a fresh segment once the active one reaches this many
+    /// bytes.
+    pub segment_max_bytes: u64,
+    /// `fsync` the active segment after every appended frame. On, the
+    /// default, survives power loss; off survives process crashes only.
+    pub fsync: bool,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            segment_max_bytes: 4 << 20,
+            fsync: true,
+        }
+    }
+}
+
+/// An open, append-only WAL segment file. The writer-side I/O seam: the
+/// fault-injection harness substitutes an implementation that fails after
+/// a byte budget, proving every crash point recovers.
+///
+/// `Sync` is required only so the store stays `Sync` with a writer
+/// embedded; all calls happen under the store's write lock.
+pub trait WalFile: Send + Sync + fmt::Debug {
+    /// Appends bytes at the end of the file.
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Flushes appended bytes to stable storage.
+    fn sync(&mut self) -> std::io::Result<()>;
+}
+
+/// Opens WAL segment files for the writer. See [`WalFile`].
+pub trait WalIo: Send + Sync + fmt::Debug {
+    /// Opens `path` for appending, creating it if absent.
+    fn open_segment(&mut self, path: &Path) -> std::io::Result<Box<dyn WalFile>>;
+}
+
+/// The production [`WalIo`]: plain files opened in append mode.
+#[derive(Debug, Default)]
+pub struct DiskIo;
+
+impl WalIo for DiskIo {
+    fn open_segment(&mut self, path: &Path) -> std::io::Result<Box<dyn WalFile>> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(DiskFile(file)))
+    }
+}
+
+#[derive(Debug)]
+struct DiskFile(fs::File);
+
+impl WalFile for DiskFile {
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.0.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+/// Path of the snapshot at `clock` inside `dir`.
+pub fn snapshot_path(dir: &Path, clock: u64) -> PathBuf {
+    dir.join(format!("snap-{clock:016x}{SNAPSHOT_SUFFIX}"))
+}
+
+/// Path of the segment starting at `clock` inside `dir`.
+pub fn segment_path(dir: &Path, clock: u64) -> PathBuf {
+    dir.join(format!("wal-{start:016x}{SEGMENT_SUFFIX}", start = clock))
+}
+
+/// Parses the clock out of a `prefix-<clock:016x><suffix>` file name.
+fn parse_clock(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let hex = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Lists `(clock, path)` of files matching the prefix/suffix, ascending.
+fn list_clocked(dir: &Path, prefix: &str, suffix: &str) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| StoreError::io_at(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io_at(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(clock) = parse_clock(name, prefix, suffix) {
+            out.push((clock, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(clock, _)| clock);
+    Ok(out)
+}
+
+/// Snapshots in `dir`, ascending by clock.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    list_clocked(dir, "snap-", SNAPSHOT_SUFFIX)
+}
+
+/// Segments in `dir`, ascending by start clock.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    list_clocked(dir, "wal-", SEGMENT_SUFFIX)
+}
+
+/// Writes `bytes` to `path` atomically and durably: temp file, fsync,
+/// rename, parent-directory fsync.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut file = fs::File::create(&tmp).map_err(|e| StoreError::io_at(&tmp, e))?;
+    file.write_all(bytes)
+        .map_err(|e| StoreError::io_at(&tmp, e))?;
+    file.sync_data().map_err(|e| StoreError::io_at(&tmp, e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| StoreError::io_at(path, e))?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Fsyncs a directory so freshly created/renamed/removed entries survive
+/// power loss (file-data fsync alone does not make the *name* durable).
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    let handle = fs::File::open(dir).map_err(|e| StoreError::io_at(dir, e))?;
+    handle.sync_all().map_err(|e| StoreError::io_at(dir, e))
+}
+
+/// Errors unless `dir` is free of store files — shared guard of
+/// `Store::create_durable*` and `Store::save_durable`.
+pub(crate) fn ensure_vacant(dir: &Path) -> Result<()> {
+    if !list_snapshots(dir)?.is_empty() || !list_segments(dir)?.is_empty() {
+        return Err(StoreError::io_at(
+            dir,
+            std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "directory already holds a durable store; use Store::open",
+            ),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// The store-side WAL writer: owns the active segment, rotates, and
+/// poisons itself on the first write failure (a partial frame may be on
+/// disk; only a reopen-with-recovery can re-establish a clean tail).
+pub(crate) struct Wal {
+    dir: PathBuf,
+    options: DurabilityOptions,
+    io: Box<dyn WalIo>,
+    active: Box<dyn WalFile>,
+    active_path: PathBuf,
+    active_bytes: u64,
+    poisoned: bool,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("options", &self.options)
+            .field("active_path", &self.active_path)
+            .field("active_bytes", &self.active_bytes)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Opens the writer over `dir`, continuing `resume` (a segment that
+    /// survived recovery with its current length) or creating a fresh
+    /// segment starting at `clock`.
+    pub(crate) fn open(
+        dir: &Path,
+        options: DurabilityOptions,
+        mut io: Box<dyn WalIo>,
+        resume: Option<(PathBuf, u64)>,
+        clock: u64,
+    ) -> Result<Self> {
+        let (active_path, active_bytes, header) = match resume {
+            Some((path, len)) => (path, len, None),
+            None => (
+                segment_path(dir, clock),
+                0,
+                Some(codec::encode_wal_header(clock)),
+            ),
+        };
+        let mut active = io
+            .open_segment(&active_path)
+            .map_err(|e| StoreError::io_at(&active_path, e))?;
+        let mut active_bytes = active_bytes;
+        if let Some(header) = header {
+            active
+                .append(&header)
+                .map_err(|e| StoreError::io_at(&active_path, e))?;
+            if options.fsync {
+                active
+                    .sync()
+                    .map_err(|e| StoreError::io_at(&active_path, e))?;
+                // The segment's *name* must be durable too.
+                sync_dir(dir)?;
+            }
+            active_bytes = header.len() as u64;
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            options,
+            io,
+            active,
+            active_path,
+            active_bytes,
+            poisoned: false,
+        })
+    }
+
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Logs the mutation that will move the clock from `clock` to
+    /// `clock + 1`. Must be called *before* the in-memory mutation.
+    pub(crate) fn append(&mut self, record: &WalRecord, clock: u64) -> Result<()> {
+        if self.poisoned {
+            return Err(StoreError::WalPoisoned);
+        }
+        if self.active_bytes >= self.options.segment_max_bytes {
+            self.rotate(clock)?;
+        }
+        let frame = codec::encode_frame(record);
+        if let Err(e) = self.active.append(&frame) {
+            // The frame may be partially on disk; refuse further appends
+            // so the torn tail stays the *last* thing in the log.
+            self.poisoned = true;
+            return Err(StoreError::io_at(&self.active_path, e));
+        }
+        self.active_bytes += frame.len() as u64;
+        if self.options.fsync {
+            if let Err(e) = self.active.sync() {
+                self.poisoned = true;
+                return Err(StoreError::io_at(&self.active_path, e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts a fresh segment whose first frame will be `clock`. Any
+    /// failure poisons the writer: a partially written header would
+    /// otherwise be appended-after on retry, corrupting the segment from
+    /// birth.
+    pub(crate) fn rotate(&mut self, clock: u64) -> Result<()> {
+        if self.poisoned {
+            return Err(StoreError::WalPoisoned);
+        }
+        let path = segment_path(&self.dir, clock);
+        if path == self.active_path {
+            // The active segment already starts at `clock` (and therefore
+            // holds no frames yet — frames would have advanced the
+            // clock). Reopening it would append a second header into the
+            // frame stream; there is nothing to rotate away from.
+            return Ok(());
+        }
+        match self.rotate_inner(&path, clock) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn rotate_inner(&mut self, path: &Path, clock: u64) -> Result<()> {
+        let mut file = self
+            .io
+            .open_segment(path)
+            .map_err(|e| StoreError::io_at(path, e))?;
+        let header = codec::encode_wal_header(clock);
+        file.append(&header)
+            .map_err(|e| StoreError::io_at(path, e))?;
+        if self.options.fsync {
+            file.sync().map_err(|e| StoreError::io_at(path, e))?;
+            sync_dir(&self.dir)?;
+        }
+        self.active = file;
+        self.active_path = path.to_path_buf();
+        self.active_bytes = header.len() as u64;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// Why replay stopped before a segment's physical end.
+#[derive(Debug, Clone)]
+pub struct Truncation {
+    /// The segment holding the first invalid frame.
+    pub segment: PathBuf,
+    /// Byte offset of the first invalid frame within that segment.
+    pub offset: u64,
+    /// Bytes dropped from that segment (and any later segments entirely).
+    pub dropped_bytes: u64,
+    /// Human-readable cause: a torn tail or a named corruption.
+    pub reason: String,
+}
+
+/// What [`recover`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// The snapshot recovery started from: path and its clock.
+    pub snapshot: Option<(PathBuf, u64)>,
+    /// Newer snapshots that failed to decode and were skipped.
+    pub corrupt_snapshots: Vec<PathBuf>,
+    /// Segments whose frames were scanned.
+    pub segments_scanned: usize,
+    /// Frames replayed on top of the snapshot.
+    pub records_replayed: u64,
+    /// The torn/corrupt point the log was truncated at, if any (in
+    /// read-only recovery: *would* be truncated at).
+    pub truncated: Option<Truncation>,
+    /// Unreachable segments (beyond a truncation or clock gap), removed
+    /// when repairing and merely identified in read-only recovery.
+    pub orphaned_segments: Vec<PathBuf>,
+    /// The recovered logical clock.
+    pub clock: u64,
+}
+
+/// Where [`recover`] applies replayed records: the store layer implements
+/// this over its in-memory state. An `Err` marks the record semantically
+/// invalid (a reference to a record that does not exist, a clock
+/// mismatch, …), which recovery treats exactly like a corrupt frame —
+/// truncate there and keep the valid prefix.
+pub(crate) trait ReplayTarget {
+    /// Applies one recovered record.
+    fn apply(&mut self, record: WalRecord) -> std::result::Result<(), String>;
+}
+
+/// One scanned segment: its header clock and decoded frames, plus how it
+/// ended.
+struct SegmentScan {
+    start_clock: u64,
+    /// `(byte offset, record)` for each complete frame, in order.
+    frames: Vec<(u64, WalRecord)>,
+    end: SegmentEnd,
+}
+
+enum SegmentEnd {
+    /// The file ends exactly at a frame boundary.
+    Clean,
+    /// Invalid data begins at this byte offset.
+    Invalid { offset: u64, reason: String },
+}
+
+/// Scans one segment file. A bad or short header is reported as invalid
+/// at offset 0 (the whole segment is dropped).
+fn scan_segment(path: &Path) -> Result<SegmentScan> {
+    let bytes = fs::read(path).map_err(|e| StoreError::io_at(path, e))?;
+    let start_clock = match codec::decode_wal_header(&bytes) {
+        Ok(clock) => clock,
+        Err(e) => {
+            return Ok(SegmentScan {
+                start_clock: 0,
+                frames: Vec::new(),
+                end: SegmentEnd::Invalid {
+                    offset: 0,
+                    reason: format!("segment header: {e}"),
+                },
+            })
+        }
+    };
+    let mut frames = Vec::new();
+    let mut pos = codec::WAL_HEADER_LEN;
+    let end = loop {
+        if pos == bytes.len() {
+            break SegmentEnd::Clean;
+        }
+        match codec::decode_frame(&bytes[pos..]) {
+            FrameDecode::Complete { record, consumed } => {
+                frames.push((pos as u64, record));
+                pos += consumed;
+            }
+            FrameDecode::Torn => {
+                break SegmentEnd::Invalid {
+                    offset: pos as u64,
+                    reason: "torn frame (bytes end mid-frame)".to_string(),
+                }
+            }
+            FrameDecode::Corrupt(e) => {
+                break SegmentEnd::Invalid {
+                    offset: pos as u64,
+                    reason: format!("corrupt frame: {e}"),
+                }
+            }
+        }
+    };
+    Ok(SegmentScan {
+        start_clock,
+        frames,
+        end,
+    })
+}
+
+/// Truncates `path` to `len` bytes, dropping a torn/corrupt tail.
+fn truncate_file(path: &Path, len: u64) -> Result<()> {
+    let file = fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| StoreError::io_at(path, e))?;
+    file.set_len(len).map_err(|e| StoreError::io_at(path, e))?;
+    file.sync_data().map_err(|e| StoreError::io_at(path, e))?;
+    Ok(())
+}
+
+/// Where the writer resumes appending after recovery: the surviving
+/// tail segment's path and valid length.
+pub(crate) type ResumePoint = Option<(PathBuf, u64)>;
+
+/// Recovers the durable state under `dir`: builds a replay target from
+/// the newest decodable snapshot (via `init`), then applies the longest
+/// valid, contiguous run of logged records after it. With `repair` set,
+/// torn or corrupt tails are physically truncated and unreachable
+/// segments removed (required before attaching a writer); without it the
+/// directory is left untouched — read-only recovery — and the report
+/// merely describes what a repair would do. Returns the target, the
+/// [`ResumePoint`] the writer should continue at (`None` when not
+/// repairing), and the report. See the module docs for the protocol.
+pub(crate) fn recover<T: ReplayTarget>(
+    dir: &Path,
+    repair: bool,
+    init: impl FnOnce(codec::SnapshotData) -> Result<T>,
+) -> Result<(T, ResumePoint, RecoveryReport)> {
+    let mut report = RecoveryReport::default();
+
+    // Newest decodable snapshot wins; corrupt ones are skipped, not fatal.
+    let mut snapshots = list_snapshots(dir)?;
+    snapshots.reverse();
+    if snapshots.is_empty() {
+        return Err(StoreError::NoSnapshot {
+            dir: dir.to_path_buf(),
+        });
+    }
+    let mut chosen = None;
+    for (clock, path) in snapshots {
+        let Ok(bytes) = fs::read(&path) else {
+            report.corrupt_snapshots.push(path);
+            continue;
+        };
+        match codec::decode(&bytes) {
+            Ok(data) if data.clock == clock => {
+                chosen = Some((path, data));
+                break;
+            }
+            _ => report.corrupt_snapshots.push(path),
+        }
+    }
+    let Some((snap_path, snapshot)) = chosen else {
+        return Err(StoreError::NoSnapshot {
+            dir: dir.to_path_buf(),
+        });
+    };
+    report.snapshot = Some((snap_path, snapshot.clock));
+    let snapshot_clock = snapshot.clock;
+    let mut target = init(snapshot)?;
+
+    // Replay segments in clock order, keeping only the contiguous run.
+    let mut next_clock = snapshot_clock;
+    let mut resume: Option<(PathBuf, u64)> = None;
+    let mut stopped = false;
+    for (name_clock, path) in list_segments(dir)? {
+        if stopped {
+            // Unreachable after a truncation or gap: a later writer could
+            // otherwise collide with or resurrect these frames.
+            if repair {
+                fs::remove_file(&path).map_err(|e| StoreError::io_at(&path, e))?;
+            }
+            report.orphaned_segments.push(path);
+            continue;
+        }
+        let scan = scan_segment(&path)?;
+        report.segments_scanned += 1;
+
+        // A segment that cannot even state its start clock (torn or
+        // corrupt header) holds nothing recoverable: remove it and stop.
+        if matches!(scan.end, SegmentEnd::Invalid { offset: 0, .. }) {
+            let SegmentEnd::Invalid { reason, .. } = scan.end else {
+                unreachable!()
+            };
+            let len = fs::metadata(&path)
+                .map_err(|e| StoreError::io_at(&path, e))?
+                .len();
+            report.truncated = Some(Truncation {
+                segment: path.clone(),
+                offset: 0,
+                dropped_bytes: len,
+                reason,
+            });
+            if repair {
+                fs::remove_file(&path).map_err(|e| StoreError::io_at(&path, e))?;
+            }
+            report.orphaned_segments.push(path);
+            stopped = true;
+            continue;
+        }
+
+        // A renamed file or a start clock ahead of contiguous history
+        // makes this segment (and everything after) unreachable.
+        if scan.start_clock != name_clock || scan.start_clock > next_clock {
+            if repair {
+                fs::remove_file(&path).map_err(|e| StoreError::io_at(&path, e))?;
+            }
+            report.orphaned_segments.push(path);
+            stopped = true;
+            continue;
+        }
+
+        // Apply frames past the snapshot's clock; earlier ones are
+        // already folded into the snapshot. Within a segment the k-th
+        // frame has clock `start + k`, so once replay catches up the
+        // frames are exactly contiguous.
+        let frame_count = scan.frames.len() as u64;
+        let mut replay_failure: Option<(u64, String)> = None;
+        for (i, (offset, record)) in scan.frames.into_iter().enumerate() {
+            let frame_clock = scan.start_clock + i as u64;
+            if frame_clock < next_clock {
+                continue;
+            }
+            debug_assert_eq!(frame_clock, next_clock);
+            match target.apply(record) {
+                Ok(()) => {
+                    report.records_replayed += 1;
+                    next_clock += 1;
+                }
+                Err(reason) => {
+                    replay_failure = Some((offset, format!("invalid record: {reason}")));
+                    break;
+                }
+            }
+        }
+        let (end, end_clock) = match replay_failure {
+            // A semantically invalid record truncates like a corrupt
+            // frame; everything applied before it ends at `next_clock`.
+            Some((offset, reason)) => (SegmentEnd::Invalid { offset, reason }, next_clock),
+            None => (scan.end, scan.start_clock + frame_count),
+        };
+
+        match end {
+            SegmentEnd::Clean => {
+                // The writer may only resume a segment whose frames end
+                // exactly at the recovered clock; an older, fully
+                // snapshot-covered segment stays behind untouched and a
+                // fresh segment is started instead.
+                if end_clock == next_clock {
+                    let len = fs::metadata(&path)
+                        .map_err(|e| StoreError::io_at(&path, e))?
+                        .len();
+                    resume = Some((path, len));
+                } else {
+                    resume = None;
+                }
+            }
+            SegmentEnd::Invalid { offset, reason } => {
+                let len = fs::metadata(&path)
+                    .map_err(|e| StoreError::io_at(&path, e))?
+                    .len();
+                if repair {
+                    truncate_file(&path, offset)?;
+                }
+                report.truncated = Some(Truncation {
+                    segment: path.clone(),
+                    offset,
+                    dropped_bytes: len.saturating_sub(offset),
+                    reason,
+                });
+                resume = (end_clock == next_clock).then_some((path, offset));
+                stopped = true;
+            }
+        }
+    }
+
+    report.clock = next_clock;
+    if !repair {
+        resume = None;
+    }
+    Ok((target, resume, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_roundtrip_through_listing() {
+        let dir = std::env::temp_dir().join(format!("wal-paths-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let snap = snapshot_path(&dir, 0x2a);
+        let seg = segment_path(&dir, 7);
+        fs::write(&snap, b"x").unwrap();
+        fs::write(&seg, b"y").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"z").unwrap();
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![(0x2a, snap)]);
+        assert_eq!(list_segments(&dir).unwrap(), vec![(7, seg)]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_options_favor_safety() {
+        let options = DurabilityOptions::default();
+        assert!(options.fsync, "fsync must default on");
+        assert!(options.segment_max_bytes >= 1 << 20);
+    }
+}

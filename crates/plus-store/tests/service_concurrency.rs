@@ -1,6 +1,7 @@
 //! Concurrency contract of `AccountService`: several reader threads
-//! hammer `get_account` / `query` while a writer applies mutations, and
-//! every answer must be consistent with the epoch it claims.
+//! hammer `get_account` / `query` while a writer applies mutations (or
+//! re-registers strategies), and every answer must be consistent with
+//! the epoch — and the strategy registration — it claims.
 //!
 //! The store construction makes "consistent" checkable: after the base
 //! fixture, **every mutation appends exactly one Public node**, so the
@@ -222,4 +223,120 @@ fn concurrent_policy_mutations_flip_visibility_atomically() {
     for reader in readers {
         reader.join().unwrap();
     }
+}
+
+/// A strategy whose account shape identifies which registration built
+/// it: `wide` serves the surrogate account (3 public nodes on the base
+/// fixture), narrow the naive node-hide account (2 — the secret is
+/// dropped outright).
+struct FlipStrategy {
+    wide: bool,
+}
+
+impl surrogate_core::strategy::ProtectionStrategy for FlipStrategy {
+    fn name(&self) -> &str {
+        "flip"
+    }
+
+    fn protect(
+        &self,
+        ctx: &surrogate_core::account::ProtectionContext<'_>,
+        preds: &[surrogate_core::privilege::PrivilegeId],
+    ) -> surrogate_core::error::Result<surrogate_core::account::ProtectedAccount> {
+        if self.wide {
+            Strategy::Surrogate.protect(ctx, preds)
+        } else {
+            Strategy::HideNodes.protect(ctx, preds)
+        }
+    }
+}
+
+/// Account shape of registration `i` on the base fixture's public view.
+fn flip_nodes(i: usize) -> usize {
+    if i % 2 == 0 {
+        3
+    } else {
+        2
+    }
+}
+
+/// Readers hammer a named strategy while the writer re-registers it with
+/// alternating implementations. The contract under test: once a
+/// registration completes, *no* later-starting request may be served an
+/// account generated by a previous registration — even though a request
+/// racing the swap may cache its (old) account after the swap's purge.
+///
+/// Each reader brackets its call with two counters: `done` (stored after
+/// `register_strategy` returns) read *before* the call, and `started`
+/// (stored before `register_strategy` begins) read *after* it. When the
+/// two agree, the whole call ran inside one stable registration, so the
+/// served account must match that registration exactly.
+#[test]
+fn re_registration_is_never_shadowed_by_racing_caches() {
+    const SWAPS: usize = 200;
+    let store = base_store();
+    let service = Arc::new(AccountService::new(store));
+    service.register_strategy(Arc::new(FlipStrategy { wide: true })); // registration 0
+    let started = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    for reader in 0..READERS {
+        let service = service.clone();
+        let started = started.clone();
+        let done = done.clone();
+        let stop = stop.clone();
+        readers.push(std::thread::spawn(move || {
+            let consumer = Consumer::public(&service.snapshot().lattice);
+            let mut stable_windows = 0u64;
+            let mut last_pass = false;
+            while !last_pass {
+                // One guaranteed-stable pass after the writer quiesces.
+                last_pass = stop.load(Ordering::SeqCst);
+                let d = done.load(Ordering::SeqCst);
+                let account = service
+                    .get_account_named(&consumer, "flip")
+                    .expect("flip stays registered");
+                let s = started.load(Ordering::SeqCst);
+                let nodes = account.graph().node_count();
+                assert!(
+                    nodes == 2 || nodes == 3,
+                    "reader {reader}: impossible account shape ({nodes} nodes)"
+                );
+                if d == s {
+                    // Registration `d` completed before the call began and
+                    // no replacement started before it returned: serving
+                    // any other registration's account is a stale read.
+                    stable_windows += 1;
+                    assert_eq!(
+                        nodes,
+                        flip_nodes(d),
+                        "reader {reader}: stale strategy served in stable window {d}"
+                    );
+                }
+            }
+            stable_windows
+        }));
+    }
+
+    for i in 1..=SWAPS {
+        started.store(i, Ordering::SeqCst);
+        service.register_strategy(Arc::new(FlipStrategy { wide: i % 2 == 0 }));
+        done.store(i, Ordering::SeqCst);
+        if i % 8 == 0 {
+            std::thread::yield_now();
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+
+    let stable: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(
+        stable >= READERS as u64,
+        "every reader saw at least its quiescent stable window"
+    );
+    // Quiesced: the name serves exactly the final registration.
+    let consumer = Consumer::public(&service.snapshot().lattice);
+    let account = service.get_account_named(&consumer, "flip").unwrap();
+    assert_eq!(account.graph().node_count(), flip_nodes(SWAPS));
 }

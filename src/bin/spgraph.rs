@@ -1,18 +1,26 @@
-//! `spgraph` — inspect, protect, query, and measure PLUS snapshot files.
+//! `spgraph` — inspect, protect, query, measure, and administer PLUS
+//! stores: single snapshot files *or* durable write-ahead-logged store
+//! directories.
 //!
 //! ```text
 //! spgraph demo <snapshot>                      write the paper's Figure 1 example
-//! spgraph info <snapshot>                      counts, lattice, high-water set, epoch
-//! spgraph protect <snapshot> -p <predicate> [--strategy surrogate|hide|naive]
+//! spgraph demo <dir> --durable                 the same example as a durable store
+//! spgraph info <store>                         counts, lattice, high-water set, epoch
+//! spgraph protect <store> -p <predicate> [--strategy surrogate|hide|naive]
 //!                                  [--dot <file>]   summarize/export an account
-//! spgraph query <snapshot> -p <predicate> --root <id> [--direction up|down|both]
+//! spgraph query <store> -p <predicate> --root <id> [--direction up|down|both]
 //!                                  [--depth <n>] [--strategy <s>]   protected lineage
-//! spgraph measure <snapshot> -p <predicate> [--threshold <t>]
+//! spgraph measure <store> -p <predicate> [--threshold <t>]
 //!                                              utilities, opacity, risk report
+//! spgraph checkpoint <dir>                     snapshot the log, prune segments
+//! spgraph recover <dir> [--verify]             recover; report what was replayed,
+//!                                              truncated, or pruned
 //! ```
 //!
-//! All commands route through the `AccountService` serving layer, the
-//! same concurrent surface a deployment would put in front of the store.
+//! `<store>` is a snapshot file or a durable store directory — directory
+//! arguments are recovered via the write-ahead log before serving. All
+//! commands route through the `AccountService` serving layer, the same
+//! concurrent surface a deployment would put in front of the store.
 //! Argument parsing is deliberately dependency-free.
 
 use std::process::ExitCode;
@@ -30,10 +38,12 @@ use surrogate_parenthood::surrogate_core::hw::high_water_set;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  spgraph demo <snapshot>\n  spgraph info <snapshot>\n  \
-         spgraph protect <snapshot> -p <predicate> [--strategy surrogate|hide|naive] [--dot <file>]\n  \
-         spgraph query <snapshot> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n  \
-         spgraph measure <snapshot> -p <predicate> [--threshold <t>]"
+        "usage:\n  spgraph demo <snapshot | dir --durable>\n  spgraph info <store>\n  \
+         spgraph protect <store> -p <predicate> [--strategy surrogate|hide|naive] [--dot <file>]\n  \
+         spgraph query <store> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n  \
+         spgraph measure <store> -p <predicate> [--threshold <t>]\n  \
+         spgraph checkpoint <dir>\n  spgraph recover <dir> [--verify]\n\
+         <store> is a snapshot file or a durable (write-ahead-logged) store directory"
     );
     ExitCode::from(2)
 }
@@ -55,6 +65,8 @@ fn main() -> ExitCode {
         "protect" => cmd_protect(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "measure" => cmd_measure(&args[1..]),
+        "checkpoint" => cmd_checkpoint(&args[1..]),
+        "recover" => cmd_recover(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -66,10 +78,16 @@ fn main() -> ExitCode {
     }
 }
 
-/// Loads a snapshot file and stands the serving layer up in front of it.
+/// Loads a snapshot file — or recovers a durable store directory,
+/// read-only, so inspecting a store never mutates it (and is safe next
+/// to a live writer) — and stands the serving layer up in front of it.
 fn serve(args: &[String]) -> CliResult<(AccountService, String)> {
-    let path = args.first().ok_or("missing snapshot path")?;
-    let store = Store::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let path = args.first().ok_or("missing store path")?;
+    let store = if std::path::Path::new(path).is_dir() {
+        Store::open_read_only(path).map_err(|e| format!("cannot load {path}: {e}"))?
+    } else {
+        Store::load(path).map_err(|e| format!("cannot load {path}: {e}"))?
+    };
     Ok((AccountService::new(Arc::new(store)), path.clone()))
 }
 
@@ -91,9 +109,11 @@ fn resolve_strategy(args: &[String]) -> CliResult<Strategy> {
 }
 
 /// Writes the paper's Figure 1 example (graph, lattice, scenario (d)
-/// policy) as a snapshot — a ready-made playground.
+/// policy) as a snapshot — or, with `--durable`, as a durable store
+/// directory whose appends are write-ahead logged.
 fn cmd_demo(args: &[String]) -> CliResult<()> {
     let path = args.first().ok_or("missing snapshot path")?;
+    let durable = args.iter().any(|a| a == "--durable");
     let fig = surrogate_parenthood::graphgen::Figure2::new(
         surrogate_parenthood::graphgen::Figure2Scenario::D,
     );
@@ -105,16 +125,116 @@ fn cmd_demo(args: &[String]) -> CliResult<()> {
         IngestKinds::default(),
     )
     .map_err(|e| e.to_string())?;
-    store.save(path).map_err(|e| e.to_string())?;
+    if durable {
+        store.save_durable(path).map_err(|e| e.to_string())?;
+        // Opening attaches the write-ahead log, so the directory is
+        // immediately ready for durable appends and `recover --verify`.
+        Store::open(path).map_err(|e| e.to_string())?;
+    } else {
+        store.save(path).map_err(|e| e.to_string())?;
+    }
     println!(
-        "wrote the Figure 1/2(d) example to {path}: {} nodes, {} edges",
+        "wrote the Figure 1/2(d) example to {path}: {} nodes, {} edges{}",
         store.node_count(),
-        store.edge_count()
+        store.edge_count(),
+        if durable { " (durable)" } else { "" }
     );
     println!("try: spgraph info {path}");
     println!("     spgraph protect {path} -p High-2");
     println!("     spgraph query {path} -p High-2 --root 7 --direction up");
     println!("     spgraph measure {path} -p High-2");
+    if durable {
+        println!("     spgraph checkpoint {path}");
+        println!("     spgraph recover {path} --verify");
+    }
+    Ok(())
+}
+
+/// Folds the write-ahead log into a fresh snapshot and prunes what it
+/// supersedes.
+fn cmd_checkpoint(args: &[String]) -> CliResult<()> {
+    let dir = args.first().ok_or("missing store directory")?;
+    let store = Store::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
+    let stats = store.checkpoint().map_err(|e| e.to_string())?;
+    println!(
+        "checkpointed {dir} at clock {}: {} snapshot bytes, pruned {} segment(s) and {} snapshot(s)",
+        stats.clock, stats.snapshot_bytes, stats.pruned_segments, stats.pruned_snapshots
+    );
+    Ok(())
+}
+
+/// Recovers a durable store directory and reports what recovery found;
+/// with `--verify`, additionally proves the recovered state is
+/// self-consistent and servable.
+fn cmd_recover(args: &[String]) -> CliResult<()> {
+    let dir = args.first().ok_or("missing store directory")?;
+    let verify = args.iter().any(|a| a == "--verify");
+    let (store, report) = Store::open_reporting(dir, Default::default())
+        .map_err(|e| format!("cannot recover {dir}: {e}"))?;
+
+    match &report.snapshot {
+        Some((path, clock)) => println!(
+            "recovered {dir} from snapshot {} (clock {clock})",
+            path.display()
+        ),
+        None => println!("recovered {dir}"),
+    }
+    for path in &report.corrupt_snapshots {
+        println!("  skipped corrupt snapshot {}", path.display());
+    }
+    println!(
+        "  replayed {} record(s) from {} segment(s); clock {}",
+        report.records_replayed, report.segments_scanned, report.clock
+    );
+    if let Some(t) = &report.truncated {
+        println!(
+            "  truncated {} at byte {} ({} byte(s) dropped): {}",
+            t.segment.display(),
+            t.offset,
+            t.dropped_bytes,
+            t.reason
+        );
+    }
+    for path in &report.orphaned_segments {
+        println!("  removed unreachable segment {}", path.display());
+    }
+
+    if verify {
+        // Clock arithmetic: recovered clock = snapshot clock + replay.
+        let snapshot_clock = report.snapshot.as_ref().map_or(0, |&(_, c)| c);
+        if store.clock() != snapshot_clock + report.records_replayed {
+            return Err(format!(
+                "verify failed: clock {} != snapshot {} + {} replayed",
+                store.clock(),
+                snapshot_clock,
+                report.records_replayed
+            ));
+        }
+        // The recovered state re-encodes to a decodable, stable snapshot.
+        let bytes = store.to_bytes();
+        let reencoded = Store::from_bytes(&bytes)
+            .map_err(|e| format!("verify failed: recovered state does not re-encode: {e}"))?;
+        if reencoded.to_bytes() != bytes {
+            return Err("verify failed: re-encoding is not stable".to_string());
+        }
+        // The recovered store materializes and serves a protected account
+        // at the recovered epoch.
+        let service = AccountService::new(Arc::new(store));
+        let snapshot = service.snapshot();
+        if snapshot.epoch() != reencoded.clock() {
+            return Err("verify failed: serving epoch diverges from recovered clock".to_string());
+        }
+        let consumer = Consumer::public(&snapshot.lattice);
+        let account = service
+            .get_account(&consumer, &Strategy::Surrogate)
+            .map_err(|e| format!("verify failed: cannot serve a public account: {e}"))?;
+        println!(
+            "verify: ok — epoch {}, {} node(s) materialized, {} visible to Public",
+            snapshot.epoch(),
+            snapshot.graph.node_count(),
+            account.graph().node_count()
+        );
+    }
     Ok(())
 }
 

@@ -77,6 +77,36 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Durability
+//!
+//! For crash safety, create the store durably: every append is then
+//! written to a segmented, checksummed write-ahead log *before* it is
+//! applied, and reopening replays the log (truncating any torn tail)
+//! so the service resumes at exactly the epoch the log ends at:
+//!
+//! ```
+//! use plus_store::{AccountService, NodeKind, Store};
+//! use surrogate_parenthood::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! # let dir = std::env::temp_dir().join(format!("sp-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let store = Store::create_durable(&dir, &["Public"], &[])?;
+//! let public = store.predicate("Public").unwrap();
+//! store.append_node("report", NodeKind::Data, Features::new(), public);
+//! store.checkpoint()?; // fold the log into a snapshot, prune segments
+//! drop(store); // …or crash: the log has every acknowledged append
+//!
+//! let service = AccountService::open_durable(&dir)?; // recover + serve
+//! assert_eq!(service.epoch(), 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `plus_store` crate docs (and its `wal` module) for the frame
+//! format, recovery protocol, and checkpoint policy.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

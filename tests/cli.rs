@@ -102,6 +102,73 @@ fn demo_info_protect_measure_pipeline() {
 }
 
 #[test]
+fn durable_demo_checkpoint_recover_pipeline() {
+    let dir = temp_path("durable-store");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (ok, stdout, stderr) = spgraph(&["demo", &dir, "--durable"]);
+    assert!(ok, "durable demo failed: {stderr}");
+    assert!(stdout.contains("(durable)"), "{stdout}");
+
+    // The ordinary pipeline serves straight off the recovered directory.
+    let (ok, stdout, _) = spgraph(&["info", &dir]);
+    assert!(ok);
+    assert!(stdout.contains("11 node records"), "{stdout}");
+
+    let (ok, stdout, _) = spgraph(&["protect", &dir, "-p", "High-2"]);
+    assert!(ok);
+    assert!(
+        stdout.contains("7 of 11 nodes visible (1 surrogate)"),
+        "{stdout}"
+    );
+
+    // recover --verify exits 0 and proves the state is servable.
+    let (ok, stdout, stderr) = spgraph(&["recover", &dir, "--verify"]);
+    assert!(ok, "recover --verify failed: {stderr}");
+    assert!(stdout.contains("verify: ok"), "{stdout}");
+    assert!(stdout.contains("clock 24"), "{stdout}");
+
+    let (ok, stdout, stderr) = spgraph(&["checkpoint", &dir]);
+    assert!(ok, "checkpoint failed: {stderr}");
+    assert!(stdout.contains("checkpointed"), "{stdout}");
+    assert!(stdout.contains("clock 24"), "{stdout}");
+
+    // Still recoverable and identical after the checkpoint.
+    let (ok, stdout, _) = spgraph(&["recover", &dir, "--verify"]);
+    assert!(ok);
+    assert!(stdout.contains("verify: ok"), "{stdout}");
+
+    // Corrupt the write-ahead log tail: recovery truncates, reports the
+    // failing segment by name, and still verifies.
+    let segment = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "wal"))
+        .expect("a wal segment exists");
+    let mut bytes = std::fs::read(&segment).unwrap();
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
+    std::fs::write(&segment, &bytes).unwrap();
+    let (ok, stdout, stderr) = spgraph(&["recover", &dir, "--verify"]);
+    assert!(ok, "recover over a torn tail failed: {stderr}");
+    assert!(stdout.contains("truncated"), "{stdout}");
+    assert!(
+        stdout.contains(segment.file_name().unwrap().to_str().unwrap()),
+        "truncation names the failing segment: {stdout}"
+    );
+    assert!(stdout.contains("verify: ok"), "{stdout}");
+
+    // A directory with no store inside is a clean error.
+    let empty = temp_path("durable-empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let (ok, _, stderr) = spgraph(&["recover", &empty, "--verify"]);
+    assert!(!ok);
+    assert!(stderr.contains("no decodable snapshot"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+#[test]
 fn bad_usage_is_reported() {
     let (ok, _, stderr) = spgraph(&[]);
     assert!(!ok);

@@ -1,0 +1,159 @@
+//! Golden-fixture compatibility: committed serialized artifacts under
+//! `tests/fixtures/` must keep loading **byte-identically** across PRs.
+//! A failure here means the snapshot codec or the WAL frame format
+//! changed silently — bump `codec::VERSION` / `codec::WAL_VERSION` and
+//! write a migration instead.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```sh
+//! cargo test --test golden_fixture -- --ignored regenerate
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use surrogate_parenthood::plus_store::{codec, wal, Store};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The deterministic store behind the snapshot fixture: the paper's
+/// Figure 1/2(d) example, exactly what `spgraph demo` writes.
+fn fig2d_store() -> Store {
+    let fig = surrogate_parenthood::graphgen::Figure2::new(
+        surrogate_parenthood::graphgen::Figure2Scenario::D,
+    );
+    surrogate_parenthood::plus_store::ingest(
+        &fig.base.graph,
+        &fig.base.lattice,
+        &fig.markings,
+        &fig.catalog,
+        surrogate_parenthood::plus_store::IngestKinds::default(),
+    )
+    .expect("the paper's example is representable")
+}
+
+/// The deterministic workload behind the durable-directory fixture.
+fn build_durable(dir: &Path) -> Store {
+    use surrogate_core::feature::Features;
+    use surrogate_parenthood::plus_store::{
+        DurabilityOptions, EdgeKind, NodeKind, PolicyStatement,
+    };
+    let store = Store::create_durable_with(
+        dir,
+        &["Public", "High"],
+        &[(1, 0)],
+        DurabilityOptions {
+            fsync: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let public = store.predicate("Public").unwrap();
+    let high = store.predicate("High").unwrap();
+    let src = store.append_node(
+        "source",
+        NodeKind::Agent,
+        Features::new().with("v", 1i64),
+        high,
+    );
+    let out = store.append_node("report", NodeKind::Data, Features::new(), public);
+    store.append_edge(src, out, EdgeKind::GeneratedBy).unwrap();
+    store
+        .apply_policy(PolicyStatement::AddSurrogate {
+            node: src,
+            label: "a source".into(),
+            features: Features::new(),
+            lowest: public,
+            info_score: 0.5,
+        })
+        .unwrap();
+    store
+}
+
+#[test]
+fn golden_snapshot_stays_byte_compatible() {
+    let path = fixtures().join("fig2d.snap");
+    let bytes = std::fs::read(&path).expect("committed fixture exists");
+
+    // Decodes under the current codec…
+    let data = codec::decode(&bytes).expect("golden snapshot decodes");
+    assert_eq!(data.nodes.len(), 11);
+    assert_eq!(data.edges.len(), 10);
+    assert_eq!(data.policy.len(), 3);
+    assert_eq!(data.clock, 24);
+
+    // …loads as a store with the same shape…
+    let store = Store::load(&path).expect("golden snapshot loads");
+    assert_eq!(store.node_count(), 11);
+    assert_eq!(store.edge_count(), 10);
+    assert_eq!(store.clock(), 24);
+    let m = store.materialize();
+    assert_eq!(m.graph.node_count(), 11);
+
+    // …and the current encoder reproduces it byte for byte.
+    assert_eq!(
+        codec::encode(&data),
+        bytes,
+        "snapshot encoding drifted — bump codec::VERSION and migrate"
+    );
+    assert_eq!(store.to_bytes(), bytes, "store re-encoding drifted");
+
+    // Today's generator still produces the identical artifact.
+    assert_eq!(
+        fig2d_store().to_bytes(),
+        bytes,
+        "the Figure 2(d) generator no longer matches the committed fixture"
+    );
+}
+
+#[test]
+fn golden_durable_directory_stays_recoverable() {
+    let src = fixtures().join("durable");
+    let expected = std::fs::read(fixtures().join("durable-expected.snap"))
+        .expect("committed expected-state fixture");
+
+    // Recovery truncates torn tails in place, so operate on a copy.
+    let work = std::env::temp_dir().join(format!("golden-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).unwrap();
+    for entry in std::fs::read_dir(&src).expect("committed durable fixture exists") {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), work.join(entry.file_name())).unwrap();
+    }
+
+    let (store, report) = Store::open_reporting(&work, Default::default())
+        .expect("golden durable directory recovers");
+    assert!(
+        report.truncated.is_none(),
+        "fixture log is whole: {report:?}"
+    );
+    assert_eq!(report.records_replayed, 4, "all four logged ops replay");
+    assert_eq!(
+        store.to_bytes(),
+        expected,
+        "WAL recovery of the golden directory drifted — bump codec::WAL_VERSION and migrate"
+    );
+    std::fs::remove_dir_all(&work).ok();
+}
+
+/// Writes the fixtures. Run explicitly (`-- --ignored regenerate`) only
+/// after an intentional, version-bumped format change.
+#[test]
+#[ignore = "regenerates the committed golden fixtures"]
+fn regenerate_golden_fixtures() {
+    let dir = fixtures();
+    std::fs::create_dir_all(&dir).unwrap();
+    fig2d_store().save(dir.join("fig2d.snap")).unwrap();
+
+    let durable = dir.join("durable");
+    let _ = std::fs::remove_dir_all(&durable);
+    let store = build_durable(&durable);
+    store
+        .save(dir.join("durable-expected.snap"))
+        .expect("expected-state snapshot writes");
+    let segments = wal::list_segments(&durable).unwrap();
+    assert_eq!(segments.len(), 1);
+    println!("regenerated fixtures under {}", dir.display());
+}
