@@ -1,0 +1,305 @@
+//! Closed-loop load generation against the wire-protocol query server —
+//! the ROADMAP's serving-at-scale metric, measured at the network edge
+//! instead of in-process.
+//!
+//! Each client thread owns one connection and issues single-query round
+//! trips as fast as the server answers (closed loop: offered load equals
+//! served load, so latency percentiles are honest). A second phase sends
+//! the same queries in [`ServeConfig::batch`]-sized `Batch` frames to
+//! show what amortizing the round trip buys.
+//!
+//! Two modes: in-process (`addr: None` — boot a [`server::Server`] over
+//! a synthetic workflow store on a loopback port) or external
+//! (`addr: Some` — e.g. CI's `spgraph serve` smoke, with connect
+//! retries while the server boots).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use plus_store::{AccountService, Direction, QueryRequest, RecordId};
+use server::{Client, Server, ServerConfig};
+use surrogate_core::account::Strategy;
+
+use super::fig10::{build_store, Fig10Config};
+
+/// Workload shape for the wire-serving benchmark.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address of an already-running server; `None` boots one
+    /// in-process on a loopback port.
+    pub addr: Option<String>,
+    /// Closed-loop client threads (one connection each).
+    pub threads: usize,
+    /// Total single-query round trips across all threads.
+    pub requests: usize,
+    /// Queries per frame in the batched phase.
+    pub batch: usize,
+    /// Total queries in the batched phase.
+    pub batch_queries: usize,
+    /// Hop bound per query. The default (4) is an interactive lineage
+    /// probe; pass `u32::MAX` for whole-graph scans (roughly 2-3x more
+    /// rows per response on the default workload, and proportionally
+    /// fewer round trips per second).
+    pub max_depth: u32,
+    /// Workflow stages of the synthetic store (in-process mode).
+    pub stages: usize,
+    /// Artifacts per stage (in-process mode).
+    pub width: usize,
+    /// Fraction of sensitive nodes (in-process mode).
+    pub sensitive_fraction: f64,
+    /// RNG seed (in-process mode).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            threads: 4,
+            requests: 200_000,
+            batch: 32,
+            batch_queries: 400_000,
+            max_depth: 4,
+            stages: 12,
+            width: 12,
+            sensitive_fraction: 0.15,
+            seed: 23,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The CI smoke shape: small enough for a debug build on a busy
+    /// runner, same code paths.
+    pub fn smoke() -> Self {
+        Self {
+            requests: 4_000,
+            batch_queries: 8_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Measured wire-serving performance.
+#[derive(Debug, Clone)]
+pub struct ServeResult {
+    /// Node records served (from the handshake).
+    pub nodes: u64,
+    /// The server epoch every response carried.
+    pub epoch: u64,
+    /// Client threads.
+    pub threads: usize,
+    /// Single-query round trips completed.
+    pub requests: usize,
+    /// Rows received across all single queries.
+    pub rows: usize,
+    /// Single-query phase wall clock, milliseconds.
+    pub elapsed_ms: f64,
+    /// Single-query round trips per second (all threads).
+    pub requests_per_sec: f64,
+    /// Median single-query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile single-query latency, microseconds.
+    pub p99_us: f64,
+    /// Worst observed single-query latency, microseconds.
+    pub max_us: f64,
+    /// Queries per frame in the batched phase.
+    pub batch: usize,
+    /// Queries completed in the batched phase.
+    pub batch_queries: usize,
+    /// Batched-phase queries per second (all threads).
+    pub batch_queries_per_sec: f64,
+}
+
+/// One load thread's phase-1 outcome: per-request latencies + row count.
+type ThreadSamples = Result<(Vec<u64>, usize), String>;
+
+/// Connects with retries, so a server still booting (CI smoke) is not a
+/// failure.
+fn connect_patiently(addr: &str) -> Result<Client, String> {
+    let mut last = String::new();
+    for _ in 0..100 {
+        match Client::connect(addr, "loadgen", &[]) {
+            Ok(client) => return Ok(client),
+            Err(e) => last = e.to_string(),
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    Err(format!("cannot reach {addr} after 10s: {last}"))
+}
+
+/// Runs the closed-loop load test. Errors are strings: this is a
+/// harness, and every failure is terminal for the run.
+pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
+    // In-process mode owns the server for the duration of the run.
+    let (_server, addr) = match &config.addr {
+        Some(addr) => (None, addr.clone()),
+        None => {
+            let store = build_store(Fig10Config {
+                stages: config.stages,
+                width: config.width,
+                sensitive_fraction: config.sensitive_fraction,
+                seed: config.seed,
+                iterations: 1,
+                simulated_db_roundtrip_us: None,
+            });
+            let service = Arc::new(AccountService::new(Arc::new(store)));
+            let server = Server::bind_with(
+                service,
+                "127.0.0.1:0",
+                ServerConfig {
+                    threads: config.threads.max(2),
+                    ..ServerConfig::default()
+                },
+            )
+            .map_err(|e| format!("cannot bind loopback: {e}"))?;
+            let addr = server.local_addr().to_string();
+            (Some(server), addr)
+        }
+    };
+
+    let probe = connect_patiently(&addr)?;
+    let nodes = probe.hello().nodes.max(1);
+    let epoch = probe.hello().epoch;
+    drop(probe);
+
+    let request = |i: usize| {
+        let direction = if i % 2 == 0 {
+            Direction::Backward
+        } else {
+            Direction::Forward
+        };
+        QueryRequest::new(
+            RecordId((i as u64 % nodes) as u32),
+            direction,
+            config.max_depth,
+            Strategy::Surrogate,
+        )
+    };
+
+    // --- Phase 1: single-query round trips, per-request latencies -----
+    let per_thread = config.requests / config.threads.max(1);
+    // Every thread connects and warms up *before* the clock starts;
+    // the barrier keeps connect retries and cold account generation
+    // out of the timed window (the +1 participant is the timer below).
+    let start_line = std::sync::Barrier::new(config.threads + 1);
+    let mut latencies: Vec<u64> = Vec::with_capacity(per_thread * config.threads);
+    let mut rows = 0usize;
+    let (results, elapsed_ms): (Vec<ThreadSamples>, f64) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|tid| {
+                let addr = addr.as_str();
+                let start_line = &start_line;
+                scope.spawn(move || -> ThreadSamples {
+                    let warmed = connect_patiently(addr).and_then(|mut client| {
+                        for i in 0..64.min(per_thread) {
+                            client
+                                .query(&request(i))
+                                .map_err(|e| format!("warmup query failed: {e}"))?;
+                        }
+                        Ok(client)
+                    });
+                    // Reach the line even on failure, or the timer
+                    // (and the other threads) would wait forever.
+                    start_line.wait();
+                    let mut client = warmed?;
+                    let mut latencies = Vec::with_capacity(per_thread);
+                    let mut rows = 0usize;
+                    for i in 0..per_thread {
+                        let n = i * config.threads + tid;
+                        let t = Instant::now();
+                        let response = client
+                            .query(&request(n))
+                            .map_err(|e| format!("query {n} failed: {e}"))?;
+                        latencies.push(t.elapsed().as_nanos() as u64);
+                        rows += response.rows.len();
+                        if response.epoch != epoch {
+                            return Err(format!(
+                                "epoch moved under a static store: {} != {epoch}",
+                                response.epoch
+                            ));
+                        }
+                    }
+                    Ok((latencies, rows))
+                })
+            })
+            .collect();
+        start_line.wait();
+        let started = Instant::now();
+        let results = handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread never panics"))
+            .collect();
+        (results, started.elapsed().as_secs_f64() * 1e3)
+    });
+    for result in results {
+        let (thread_latencies, thread_rows) = result?;
+        latencies.extend(thread_latencies);
+        rows += thread_rows;
+    }
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[rank] as f64 / 1e3
+    };
+    let requests = latencies.len();
+
+    // --- Phase 2: batched frames, throughput only ---------------------
+    let batches_per_thread = config.batch_queries / config.batch.max(1) / config.threads.max(1);
+    let start_line = std::sync::Barrier::new(config.threads + 1);
+    let (batch_results, batch_elapsed_ms): (Vec<Result<usize, String>>, f64) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.threads)
+                .map(|tid| {
+                    let addr = addr.as_str();
+                    let start_line = &start_line;
+                    scope.spawn(move || -> Result<usize, String> {
+                        let connected = connect_patiently(addr);
+                        start_line.wait();
+                        let mut client = connected?;
+                        let mut served = 0usize;
+                        for b in 0..batches_per_thread {
+                            let base = (b * config.threads + tid) * config.batch;
+                            let batch: Vec<QueryRequest> =
+                                (base..base + config.batch).map(request).collect();
+                            let responses = client
+                                .query_batch(&batch)
+                                .map_err(|e| format!("batch {b} failed: {e}"))?;
+                            served += responses.len();
+                        }
+                        Ok(served)
+                    })
+                })
+                .collect();
+            start_line.wait();
+            let started = Instant::now();
+            let results = handles
+                .into_iter()
+                .map(|h| h.join().expect("load thread never panics"))
+                .collect();
+            (results, started.elapsed().as_secs_f64() * 1e3)
+        });
+    let mut batch_queries = 0usize;
+    for result in batch_results {
+        batch_queries += result?;
+    }
+
+    Ok(ServeResult {
+        nodes,
+        epoch,
+        threads: config.threads,
+        requests,
+        rows,
+        elapsed_ms,
+        requests_per_sec: requests as f64 / (elapsed_ms / 1e3),
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        max_us: latencies.last().copied().unwrap_or(0) as f64 / 1e3,
+        batch: config.batch,
+        batch_queries,
+        batch_queries_per_sec: batch_queries as f64 / (batch_elapsed_ms / 1e3),
+    })
+}

@@ -14,6 +14,7 @@
 //! | Fig. 9 | [`experiments::fig9`] | `repro_fig9` |
 //! | Fig. 10 | [`experiments::fig10`] | `repro_fig10` |
 //! | — (serving throughput, beyond the paper) | [`experiments::service`] | `repro_table1 --json` |
+//! | — (wire-protocol serving edge, beyond the paper) | [`experiments::serve`] | `repro_serve` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

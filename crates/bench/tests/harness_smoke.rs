@@ -18,6 +18,7 @@ const REPRO_BINS: &[&str] = &[
     "repro_fig8",
     "repro_fig9",
     "repro_fig10",
+    "repro_serve",
     "repro_all",
 ];
 

@@ -123,12 +123,12 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn put_features(buf: &mut BytesMut, features: &Features) {
+pub(crate) fn put_features(buf: &mut BytesMut, features: &Features) {
     buf.put_u16_le(features.len() as u16);
     for (key, value) in features.iter() {
         put_str(buf, key);
@@ -283,14 +283,15 @@ pub fn encode(data: &SnapshotData) -> Vec<u8> {
     buf.to_vec()
 }
 
-/// Bounds-checked little-endian reader.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+/// Bounds-checked little-endian reader, shared by the snapshot, WAL, and
+/// wire-protocol decoders.
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.pos + n > self.bytes.len() {
             return Err(CodecError::Truncated);
         }
@@ -299,37 +300,37 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, CodecError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, CodecError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, CodecError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
     }
 
-    fn u32(&mut self) -> Result<u32, CodecError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
     }
 
-    fn u64(&mut self) -> Result<u64, CodecError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 
-    fn i64(&mut self) -> Result<i64, CodecError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, CodecError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 
-    fn f64(&mut self) -> Result<f64, CodecError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 
-    fn string(&mut self) -> Result<String, CodecError> {
+    pub(crate) fn string(&mut self) -> Result<String, CodecError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::InvalidUtf8)
     }
 
-    fn features(&mut self) -> Result<Features, CodecError> {
+    pub(crate) fn features(&mut self) -> Result<Features, CodecError> {
         let count = self.u16()?;
         let mut features = Features::new();
         for _ in 0..count {
@@ -353,7 +354,7 @@ impl<'a> Reader<'a> {
         Ok(features)
     }
 
-    fn opt_predicate(&mut self) -> Result<Option<PrivilegeId>, CodecError> {
+    pub(crate) fn opt_predicate(&mut self) -> Result<Option<PrivilegeId>, CodecError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(PrivilegeId(self.u16()?))),
@@ -364,7 +365,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn node_record(&mut self) -> Result<NodeRecord, CodecError> {
+    pub(crate) fn node_record(&mut self) -> Result<NodeRecord, CodecError> {
         let label = self.string()?;
         let kind_tag = self.u8()?;
         let kind = NodeKind::from_tag(kind_tag).ok_or(CodecError::InvalidTag {
@@ -383,7 +384,7 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn edge_record(&mut self) -> Result<EdgeRecord, CodecError> {
+    pub(crate) fn edge_record(&mut self) -> Result<EdgeRecord, CodecError> {
         let from = RecordId(self.u32()?);
         let to = RecordId(self.u32()?);
         let kind_tag = self.u8()?;
@@ -394,7 +395,7 @@ impl<'a> Reader<'a> {
         Ok(EdgeRecord { from, to, kind })
     }
 
-    fn policy_statement(&mut self) -> Result<PolicyStatement, CodecError> {
+    pub(crate) fn policy_statement(&mut self) -> Result<PolicyStatement, CodecError> {
         let tag = self.u8()?;
         match tag {
             0 => Ok(PolicyStatement::MarkIncidence {
@@ -599,11 +600,7 @@ pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
             put_policy(&mut payload, statement);
         }
     }
-    let mut frame = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
-    frame.put_u32_le(payload.len() as u32);
-    frame.put_u32_le(crc32(&payload));
-    frame.put_slice(&payload);
-    frame.to_vec()
+    seal_frame(&payload)
 }
 
 /// Outcome of decoding the frame at the head of `bytes`.
@@ -624,28 +621,71 @@ pub enum FrameDecode {
     Corrupt(CodecError),
 }
 
+/// Outcome of opening the raw frame at the head of a byte slice, before
+/// any payload interpretation. The WAL record decoder and the wire
+/// protocol share this layer (`len u32 | crc32 u32 | payload`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawFrame<'a> {
+    /// A whole, checksum-valid frame; `payload` is its body.
+    Complete {
+        /// The checksum-verified payload bytes.
+        payload: &'a [u8],
+        /// Total frame bytes consumed (header + payload).
+        consumed: usize,
+    },
+    /// The bytes end mid-frame — a torn tail or a short read.
+    Torn,
+    /// The frame is structurally invalid or fails its checksum.
+    Corrupt(CodecError),
+}
+
+/// Wraps a payload in the shared frame convention:
+/// `len u32 | crc32 u32 (IEEE, over payload) | payload`.
+pub fn seal_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    let mut frame = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.put_u32_le(payload.len() as u32);
+    frame.put_u32_le(crc32(payload));
+    frame.put_slice(payload);
+    frame.to_vec()
+}
+
+/// Opens the frame at the head of `bytes`: checks the length bound and
+/// the CRC, but does not interpret the payload. Never panics.
+pub fn open_frame(bytes: &[u8]) -> RawFrame<'_> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return RawFrame::Torn;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("len 4"));
+    if len > MAX_FRAME_LEN {
+        return RawFrame::Corrupt(CodecError::FrameTooLarge(len));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().expect("len 4"));
+    let end = FRAME_HEADER_LEN + len as usize;
+    if bytes.len() < end {
+        return RawFrame::Torn;
+    }
+    let payload = &bytes[FRAME_HEADER_LEN..end];
+    if crc32(payload) != stored_crc {
+        return RawFrame::Corrupt(CodecError::ChecksumMismatch);
+    }
+    RawFrame::Complete {
+        payload,
+        consumed: end,
+    }
+}
+
 /// Decodes the frame at the head of `bytes`. Never panics: arbitrary
 /// bytes produce [`FrameDecode::Torn`] or [`FrameDecode::Corrupt`].
 ///
 /// An empty slice is a *clean* end of log, which the caller should test
 /// for before calling; here it reports `Torn` like any other short read.
 pub fn decode_frame(bytes: &[u8]) -> FrameDecode {
-    if bytes.len() < FRAME_HEADER_LEN {
-        return FrameDecode::Torn;
-    }
-    let len = u32::from_le_bytes(bytes[..4].try_into().expect("len 4"));
-    if len > MAX_FRAME_LEN {
-        return FrameDecode::Corrupt(CodecError::FrameTooLarge(len));
-    }
-    let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().expect("len 4"));
-    let end = FRAME_HEADER_LEN + len as usize;
-    if bytes.len() < end {
-        return FrameDecode::Torn;
-    }
-    let payload = &bytes[FRAME_HEADER_LEN..end];
-    if crc32(payload) != stored_crc {
-        return FrameDecode::Corrupt(CodecError::ChecksumMismatch);
-    }
+    let (payload, end) = match open_frame(bytes) {
+        RawFrame::Complete { payload, consumed } => (payload, consumed),
+        RawFrame::Torn => return FrameDecode::Torn,
+        RawFrame::Corrupt(e) => return FrameDecode::Corrupt(e),
+    };
     let mut r = Reader {
         bytes: payload,
         pos: 0,

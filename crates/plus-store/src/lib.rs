@@ -16,7 +16,10 @@
 //! * [`service`] — **the serving layer**: the concurrent, epoch-versioned
 //!   [`AccountService`] with a sharded account cache, pluggable
 //!   protection strategies, and the typed batch query API;
-//! * [`session`] — thin per-consumer views over a shared service.
+//! * [`session`] — thin per-consumer views over a shared service;
+//! * [`wire`] — the query-serving wire protocol: the framed
+//!   request/response messages that may cross the trust boundary, and
+//!   their binary codecs (spoken over TCP by the `server` crate).
 //!
 //! The Fig. 10 performance pipeline maps to: `Store::load` (DB access) →
 //! [`AccountService::snapshot`] (build graph, epoch-cached) →
@@ -53,6 +56,7 @@ pub mod service;
 pub mod session;
 pub mod store;
 pub mod wal;
+pub mod wire;
 
 pub use error::{CodecError, Result, StoreError};
 pub use ingest::{ingest, IngestKinds};
@@ -66,3 +70,4 @@ pub use surrogate_core::account::Strategy;
 pub use surrogate_core::query::Direction;
 pub use surrogate_core::strategy::ProtectionStrategy;
 pub use wal::{DurabilityOptions, RecoveryReport};
+pub use wire::{ServerHello, WireError, WireErrorKind, PROTOCOL_VERSION};

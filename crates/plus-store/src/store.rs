@@ -20,7 +20,7 @@
 //!   valid snapshot plus a replay of the log tail, truncated at the
 //!   first torn or corrupt frame. [`Store::checkpoint`] folds the log
 //!   into a fresh snapshot and prunes superseded files. See the
-//!   [`wal`](crate::wal) module docs for the on-disk layout and
+//!   [`crate::wal`] module docs for the on-disk layout and
 //!   protocol.
 
 use std::path::{Path, PathBuf};

@@ -23,8 +23,9 @@
 //!   the in-memory mutation is applied, so an acknowledged mutation is
 //!   always recoverable. Segments rotate once the active one crosses
 //!   [`DurabilityOptions::segment_max_bytes`].
-//! * **Recovery** ([`recover`]): load the newest decodable snapshot
-//!   (falling back through older ones), then replay segments in clock
+//! * **Recovery** (`recover`, run by `Store::open*`): load the newest
+//!   decodable snapshot (falling back through older ones), then replay
+//!   segments in clock
 //!   order. Replay stops — and the log is physically truncated — at the
 //!   first torn or corrupt frame; segments beyond a truncation or a clock
 //!   gap are unreachable and removed. The result is always a valid
@@ -379,7 +380,8 @@ pub struct Truncation {
     pub reason: String,
 }
 
-/// What [`recover`] found and did.
+/// What recovery (any of the `Store::open*` constructors) found and
+/// did.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
     /// The snapshot recovery started from: path and its clock.

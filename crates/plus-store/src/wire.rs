@@ -1,0 +1,713 @@
+//! The query-serving wire protocol: what crosses the trust boundary
+//! between a data owner's store and a remote consumer.
+//!
+//! The paper's deployment sketch (§6.4) and the whole protection argument
+//! assume the unprotected graph never leaves the owner's process: remote
+//! consumers only ever see [`QueryResponse`] rows computed through a
+//! protected account. This module defines the messages of that boundary
+//! and their binary codecs; the `server` crate speaks them over TCP.
+//!
+//! # Framing
+//!
+//! Every message travels in the same frame convention as the write-ahead
+//! log ([`codec`](crate::codec) module):
+//!
+//! ```text
+//! frame: len u32 | crc32 u32 (IEEE, over payload) | payload (len bytes)
+//! ```
+//!
+//! with the same `MAX_FRAME_LEN` sanity bound. A frame whose length field
+//! exceeds the bound, whose checksum fails, or whose payload does not
+//! decode to exactly one message is **malformed** — a server hangs up on
+//! it rather than guessing (a typed [`Response::Error`] is sent
+//! best-effort first).
+//!
+//! # Messages
+//!
+//! Payloads are tagged little-endian structures (strings are `u32` length
+//! + UTF-8, like snapshots):
+//!
+//! ```text
+//! request:  tag u8 — 0 Hello      { version u16, consumer str,
+//!                                   u16 n { pred-name str }×n }
+//!                    1 Query      { query-request }
+//!                    2 Batch      { u32 n (≤ MAX_BATCH), query-request ×n }
+//!                    3 Epoch      { }
+//!                    4 Checkpoint { }
+//!
+//! response: tag u8 — 0 Hello      { version u16, epoch u64, nodes u64,
+//!                                   u16 n { pred-name str }×n }
+//!                    1 Query      { query-response }
+//!                    2 Batch      { u32 n, query-response ×n }
+//!                    3 Epoch      { epoch u64 }
+//!                    4 Checkpoint { clock u64, snapshot_bytes u64,
+//!                                   pruned_segments u64, pruned_snapshots u64 }
+//!                    5 Error      { kind u8, message str }
+//!
+//! query-request:  root u32 | direction u8 (0 back, 1 fwd, 2 both) |
+//!                 max_depth u32 | strategy u8 (0 surrogate, 1 hide,
+//!                 2 naive) | predicate (0 | 1 u16)
+//! query-response: epoch u64 | root u32 | u32 n { record u32, label str,
+//!                 depth u32, surrogate u8 }×n
+//! ```
+//!
+//! The Hello exchange authenticates nothing (credential generation is out
+//! of scope for the paper, §2): the client *names* the predicates it
+//! claims, the server resolves them against its lattice and derives the
+//! [`Consumer`](surrogate_core::credential::Consumer). An empty claim set
+//! is the Public consumer. The server's Hello answers with its protocol
+//! version, current epoch, record count, and the lattice's predicate
+//! names — everything a client needs to phrase requests, and nothing
+//! about the unprotected graph.
+
+use bytes::{BufMut, BytesMut};
+use surrogate_core::account::Strategy;
+use surrogate_core::privilege::PrivilegeId;
+use surrogate_core::query::Direction;
+
+use crate::codec::{put_str, Reader};
+use crate::error::CodecError;
+use crate::record::RecordId;
+use crate::service::{ProtectedLineageRow, QueryRequest, QueryResponse};
+use crate::store::CheckpointStats;
+
+/// Version of the wire protocol spoken by this build. A server answers a
+/// mismatched [`Request::Hello`] with [`WireErrorKind::VersionMismatch`]
+/// and hangs up.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Sanity bound on requests per [`Request::Batch`] frame; larger batches
+/// are rejected at decode time so a hostile frame cannot force an
+/// unbounded allocation or an unbounded amount of server work.
+pub const MAX_BATCH: u32 = 1 << 14;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens a connection: protocol version, consumer name, and the
+    /// predicate names the consumer claims. Empty claims = Public.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Display name of the consumer (shows up in error messages).
+        consumer: String,
+        /// Claimed predicate names, resolved against the server lattice.
+        claims: Vec<String>,
+    },
+    /// One lineage query.
+    Query(QueryRequest),
+    /// Many lineage queries answered against one pinned epoch.
+    Batch(Vec<QueryRequest>),
+    /// Asks for the server's current epoch.
+    Epoch,
+    /// Asks the server to checkpoint its durable store.
+    Checkpoint,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Hello`].
+    Hello(ServerHello),
+    /// Answer to [`Request::Query`].
+    Query(QueryResponse),
+    /// Answer to [`Request::Batch`], one response per request, in order.
+    Batch(Vec<QueryResponse>),
+    /// Answer to [`Request::Epoch`].
+    Epoch(u64),
+    /// Answer to [`Request::Checkpoint`].
+    Checkpoint(CheckpointStats),
+    /// A typed failure. Recoverable kinds leave the connection open;
+    /// protocol violations are followed by a hangup.
+    Error(WireError),
+}
+
+/// What a server tells a client at connection time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// The server's [`PROTOCOL_VERSION`].
+    pub version: u16,
+    /// The epoch at handshake time.
+    pub epoch: u64,
+    /// Node records in the store at handshake time — lets load drivers
+    /// and CLIs pick valid roots without another round trip.
+    pub nodes: u64,
+    /// The lattice's predicate names, index = [`PrivilegeId`]. Clients
+    /// resolve `-p <name>` flags against this without seeing the graph.
+    pub predicates: Vec<String>,
+}
+
+impl ServerHello {
+    /// Resolves a predicate name against the handshake lattice.
+    pub fn predicate(&self, name: &str) -> Option<PrivilegeId> {
+        self.predicates
+            .iter()
+            .position(|p| p == name)
+            .map(|i| PrivilegeId(i as u16))
+    }
+}
+
+/// A typed error crossing the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The machine-readable category.
+    pub kind: WireErrorKind,
+    /// Human-readable detail, safe to show a remote consumer.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error of `kind` with a message.
+    pub fn new(kind: WireErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Machine-readable categories of [`WireError`].
+///
+/// `#[non_exhaustive]`: the protocol will grow kinds (admission control,
+/// quotas, …) without a version bump; unknown tags decode to
+/// [`WireErrorKind::Internal`]-compatible handling on old clients is NOT
+/// attempted — instead the tag is part of the frame and an unknown tag is
+/// a malformed frame, which is why new kinds require a protocol version
+/// bump after all. Keep matches non-exhaustive anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireErrorKind {
+    /// The consumer does not satisfy the predicate it asked through.
+    NotAuthorized,
+    /// The request named an unregistered protection strategy.
+    UnknownStrategy,
+    /// A claimed or pinned predicate is not in the server's lattice.
+    UnknownPredicate,
+    /// The server's store is in-memory; checkpoint has no meaning.
+    NotDurable,
+    /// The client spoke a different protocol version.
+    VersionMismatch,
+    /// The frame decoded but the message is invalid in this state
+    /// (e.g. a second Hello, or a request before Hello).
+    BadRequest,
+    /// The server failed internally; the message carries no store detail
+    /// beyond the error's display form.
+    Internal,
+}
+
+impl WireErrorKind {
+    fn tag(self) -> u8 {
+        match self {
+            WireErrorKind::NotAuthorized => 0,
+            WireErrorKind::UnknownStrategy => 1,
+            WireErrorKind::UnknownPredicate => 2,
+            WireErrorKind::NotDurable => 3,
+            WireErrorKind::VersionMismatch => 4,
+            WireErrorKind::BadRequest => 5,
+            WireErrorKind::Internal => 6,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        Ok(match tag {
+            0 => WireErrorKind::NotAuthorized,
+            1 => WireErrorKind::UnknownStrategy,
+            2 => WireErrorKind::UnknownPredicate,
+            3 => WireErrorKind::NotDurable,
+            4 => WireErrorKind::VersionMismatch,
+            5 => WireErrorKind::BadRequest,
+            6 => WireErrorKind::Internal,
+            _ => {
+                return Err(CodecError::InvalidTag {
+                    what: "wire error kind",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for WireErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WireErrorKind::NotAuthorized => "not authorized",
+            WireErrorKind::UnknownStrategy => "unknown strategy",
+            WireErrorKind::UnknownPredicate => "unknown predicate",
+            WireErrorKind::NotDurable => "not durable",
+            WireErrorKind::VersionMismatch => "protocol version mismatch",
+            WireErrorKind::BadRequest => "bad request",
+            WireErrorKind::Internal => "internal error",
+        })
+    }
+}
+
+fn direction_tag(direction: Direction) -> u8 {
+    match direction {
+        Direction::Backward => 0,
+        Direction::Forward => 1,
+        Direction::Both => 2,
+    }
+}
+
+fn direction_from_tag(tag: u8) -> Result<Direction, CodecError> {
+    match tag {
+        0 => Ok(Direction::Backward),
+        1 => Ok(Direction::Forward),
+        2 => Ok(Direction::Both),
+        _ => Err(CodecError::InvalidTag {
+            what: "direction",
+            tag,
+        }),
+    }
+}
+
+fn strategy_tag(strategy: Strategy) -> u8 {
+    match strategy {
+        Strategy::Surrogate => 0,
+        Strategy::HideEdges => 1,
+        Strategy::HideNodes => 2,
+        // `Strategy` is #[non_exhaustive]; a new selector needs a wire
+        // tag (and a protocol version bump) before it can be serialized.
+        _ => unreachable!("unserializable strategy selector"),
+    }
+}
+
+fn strategy_from_tag(tag: u8) -> Result<Strategy, CodecError> {
+    match tag {
+        0 => Ok(Strategy::Surrogate),
+        1 => Ok(Strategy::HideEdges),
+        2 => Ok(Strategy::HideNodes),
+        _ => Err(CodecError::InvalidTag {
+            what: "strategy",
+            tag,
+        }),
+    }
+}
+
+fn put_query_request(buf: &mut BytesMut, request: &QueryRequest) {
+    buf.put_u32_le(request.root.0);
+    buf.put_u8(direction_tag(request.direction));
+    buf.put_u32_le(request.max_depth);
+    buf.put_u8(strategy_tag(request.strategy));
+    match request.predicate {
+        Some(p) => {
+            buf.put_u8(1);
+            buf.put_u16_le(p.0);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn read_query_request(r: &mut Reader<'_>) -> Result<QueryRequest, CodecError> {
+    let root = RecordId(r.u32()?);
+    let direction = direction_from_tag(r.u8()?)?;
+    let max_depth = r.u32()?;
+    let strategy = strategy_from_tag(r.u8()?)?;
+    let predicate = r.opt_predicate()?;
+    let mut request = QueryRequest::new(root, direction, max_depth, strategy);
+    if let Some(p) = predicate {
+        request = request.with_predicate(p);
+    }
+    Ok(request)
+}
+
+fn put_query_response(buf: &mut BytesMut, response: &QueryResponse) {
+    buf.put_u64_le(response.epoch);
+    buf.put_u32_le(response.root.0);
+    buf.put_u32_le(response.rows.len() as u32);
+    for row in &response.rows {
+        buf.put_u32_le(row.record.0);
+        put_str(buf, &row.label);
+        buf.put_u32_le(row.depth);
+        buf.put_u8(row.surrogate as u8);
+    }
+}
+
+fn read_query_response(r: &mut Reader<'_>) -> Result<QueryResponse, CodecError> {
+    let epoch = r.u64()?;
+    let root = RecordId(r.u32()?);
+    let count = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let record = RecordId(r.u32()?);
+        let label = r.string()?;
+        let depth = r.u32()?;
+        let surrogate = match r.u8()? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    what: "surrogate flag",
+                    tag,
+                })
+            }
+        };
+        rows.push(ProtectedLineageRow {
+            record,
+            label,
+            depth,
+            surrogate,
+        });
+    }
+    Ok(QueryResponse { epoch, root, rows })
+}
+
+fn put_names(buf: &mut BytesMut, names: &[String]) {
+    buf.put_u16_le(names.len() as u16);
+    for name in names {
+        put_str(buf, name);
+    }
+}
+
+fn read_names(r: &mut Reader<'_>) -> Result<Vec<String>, CodecError> {
+    let count = r.u16()? as usize;
+    let mut names = Vec::with_capacity(count);
+    for _ in 0..count {
+        names.push(r.string()?);
+    }
+    Ok(names)
+}
+
+/// Encodes a request payload (frame it with
+/// [`seal_frame`](crate::codec::seal_frame) before writing).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(32);
+    match request {
+        Request::Hello {
+            version,
+            consumer,
+            claims,
+        } => {
+            buf.put_u8(0);
+            buf.put_u16_le(*version);
+            put_str(&mut buf, consumer);
+            put_names(&mut buf, claims);
+        }
+        Request::Query(query) => {
+            buf.put_u8(1);
+            put_query_request(&mut buf, query);
+        }
+        Request::Batch(queries) => {
+            buf.put_u8(2);
+            buf.put_u32_le(queries.len() as u32);
+            for query in queries {
+                put_query_request(&mut buf, query);
+            }
+        }
+        Request::Epoch => buf.put_u8(3),
+        Request::Checkpoint => buf.put_u8(4),
+    }
+    buf.to_vec()
+}
+
+/// Decodes a request payload. The payload must hold exactly one message;
+/// trailing bytes are an error (the frame does not describe one request).
+pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let request = match r.u8()? {
+        0 => {
+            let version = r.u16()?;
+            let consumer = r.string()?;
+            let claims = read_names(&mut r)?;
+            Request::Hello {
+                version,
+                consumer,
+                claims,
+            }
+        }
+        1 => Request::Query(read_query_request(&mut r)?),
+        2 => {
+            let count = r.u32()?;
+            if count > MAX_BATCH {
+                return Err(CodecError::FrameTooLarge(count));
+            }
+            let mut queries = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                queries.push(read_query_request(&mut r)?);
+            }
+            Request::Batch(queries)
+        }
+        3 => Request::Epoch,
+        4 => Request::Checkpoint,
+        tag => {
+            return Err(CodecError::InvalidTag {
+                what: "request",
+                tag,
+            })
+        }
+    };
+    if r.pos != payload.len() {
+        return Err(CodecError::Truncated); // trailing garbage
+    }
+    Ok(request)
+}
+
+/// Encodes a response payload (frame it with
+/// [`seal_frame`](crate::codec::seal_frame) before writing).
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    match response {
+        Response::Hello(hello) => {
+            buf.put_u8(0);
+            buf.put_u16_le(hello.version);
+            buf.put_u64_le(hello.epoch);
+            buf.put_u64_le(hello.nodes);
+            put_names(&mut buf, &hello.predicates);
+        }
+        Response::Query(query) => {
+            buf.put_u8(1);
+            put_query_response(&mut buf, query);
+        }
+        Response::Batch(queries) => {
+            buf.put_u8(2);
+            buf.put_u32_le(queries.len() as u32);
+            for query in queries {
+                put_query_response(&mut buf, query);
+            }
+        }
+        Response::Epoch(epoch) => {
+            buf.put_u8(3);
+            buf.put_u64_le(*epoch);
+        }
+        Response::Checkpoint(stats) => {
+            buf.put_u8(4);
+            buf.put_u64_le(stats.clock);
+            buf.put_u64_le(stats.snapshot_bytes);
+            buf.put_u64_le(stats.pruned_segments as u64);
+            buf.put_u64_le(stats.pruned_snapshots as u64);
+        }
+        Response::Error(error) => {
+            buf.put_u8(5);
+            buf.put_u8(error.kind.tag());
+            put_str(&mut buf, &error.message);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decodes a response payload. Exactly one message per payload, as with
+/// [`decode_request`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let response = match r.u8()? {
+        0 => {
+            let version = r.u16()?;
+            let epoch = r.u64()?;
+            let nodes = r.u64()?;
+            let predicates = read_names(&mut r)?;
+            Response::Hello(ServerHello {
+                version,
+                epoch,
+                nodes,
+                predicates,
+            })
+        }
+        1 => Response::Query(read_query_response(&mut r)?),
+        2 => {
+            let count = r.u32()?;
+            if count > MAX_BATCH {
+                return Err(CodecError::FrameTooLarge(count));
+            }
+            let mut queries = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                queries.push(read_query_response(&mut r)?);
+            }
+            Response::Batch(queries)
+        }
+        3 => Response::Epoch(r.u64()?),
+        4 => {
+            let clock = r.u64()?;
+            let snapshot_bytes = r.u64()?;
+            let pruned_segments = r.u64()? as usize;
+            let pruned_snapshots = r.u64()? as usize;
+            Response::Checkpoint(CheckpointStats {
+                clock,
+                snapshot_bytes,
+                pruned_segments,
+                pruned_snapshots,
+            })
+        }
+        5 => {
+            let kind = WireErrorKind::from_tag(r.u8()?)?;
+            let message = r.string()?;
+            Response::Error(WireError { kind, message })
+        }
+        tag => {
+            return Err(CodecError::InvalidTag {
+                what: "response",
+                tag,
+            })
+        }
+    };
+    if r.pos != payload.len() {
+        return Err(CodecError::Truncated); // trailing garbage
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                consumer: "alice".into(),
+                claims: vec!["Public".into(), "High".into()],
+            },
+            Request::Hello {
+                version: 7,
+                consumer: String::new(),
+                claims: vec![],
+            },
+            Request::Query(QueryRequest::new(
+                RecordId(9),
+                Direction::Backward,
+                u32::MAX,
+                Strategy::Surrogate,
+            )),
+            Request::Query(
+                QueryRequest::new(RecordId(0), Direction::Both, 3, Strategy::HideNodes)
+                    .with_predicate(PrivilegeId(2)),
+            ),
+            Request::Batch(vec![
+                QueryRequest::new(RecordId(1), Direction::Forward, 1, Strategy::HideEdges),
+                QueryRequest::new(RecordId(2), Direction::Backward, 0, Strategy::Surrogate)
+                    .with_predicate(PrivilegeId(0)),
+            ]),
+            Request::Batch(vec![]),
+            Request::Epoch,
+            Request::Checkpoint,
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        vec![
+            Response::Hello(ServerHello {
+                version: PROTOCOL_VERSION,
+                epoch: 42,
+                nodes: 11,
+                predicates: vec!["Public".into(), "High-1".into(), "High-2".into()],
+            }),
+            Response::Query(QueryResponse {
+                epoch: 3,
+                root: RecordId(7),
+                rows: vec![
+                    ProtectedLineageRow {
+                        record: RecordId(5),
+                        label: "analysis".into(),
+                        depth: 1,
+                        surrogate: false,
+                    },
+                    ProtectedLineageRow {
+                        record: RecordId(2),
+                        label: "a trusted source".into(),
+                        depth: 2,
+                        surrogate: true,
+                    },
+                ],
+            }),
+            Response::Batch(vec![QueryResponse {
+                epoch: 0,
+                root: RecordId(0),
+                rows: vec![],
+            }]),
+            Response::Epoch(u64::MAX),
+            Response::Checkpoint(CheckpointStats {
+                clock: 17,
+                snapshot_bytes: 4096,
+                pruned_segments: 2,
+                pruned_snapshots: 1,
+            }),
+            Response::Error(WireError::new(WireErrorKind::NotAuthorized, "nope")),
+            Response::Error(WireError::new(WireErrorKind::Internal, "")),
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for request in requests() {
+            let payload = encode_request(&request);
+            assert_eq!(decode_request(&payload).unwrap(), request, "{request:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for response in responses() {
+            let payload = encode_response(&response);
+            assert_eq!(decode_response(&payload).unwrap(), response, "{response:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request::Epoch);
+        payload.push(0);
+        assert_eq!(decode_request(&payload).unwrap_err(), CodecError::Truncated);
+        let mut payload = encode_response(&Response::Epoch(1));
+        payload.push(0);
+        assert_eq!(
+            decode_response(&payload).unwrap_err(),
+            CodecError::Truncated
+        );
+    }
+
+    #[test]
+    fn oversized_batch_counts_are_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        buf.put_u32_le(MAX_BATCH + 1);
+        assert_eq!(
+            decode_request(&buf).unwrap_err(),
+            CodecError::FrameTooLarge(MAX_BATCH + 1)
+        );
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(
+            decode_request(&[99]).unwrap_err(),
+            CodecError::InvalidTag {
+                what: "request",
+                ..
+            }
+        ));
+        assert!(matches!(
+            decode_response(&[99]).unwrap_err(),
+            CodecError::InvalidTag {
+                what: "response",
+                ..
+            }
+        ));
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_response(&[]).is_err());
+    }
+
+    #[test]
+    fn hello_resolves_predicates_by_name() {
+        let hello = ServerHello {
+            version: PROTOCOL_VERSION,
+            epoch: 0,
+            nodes: 0,
+            predicates: vec!["Public".into(), "High".into()],
+        };
+        assert_eq!(hello.predicate("High"), Some(PrivilegeId(1)));
+        assert_eq!(hello.predicate("Nope"), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! Property tests for the wire protocol: arbitrary requests and
+//! responses survive encode/decode unchanged, and no byte stream — torn,
+//! bit-flipped, oversized, or pure garbage — can panic the decoders or
+//! smuggle a different message through a checksum-valid frame.
+//!
+//! Mirrors the `wal_recovery.rs` frame-codec properties: the wire reuses
+//! the WAL's `len | crc32 | payload` convention, so the same corruption
+//! discipline is proven at the same boundary.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use plus_store::codec::{open_frame, seal_frame, RawFrame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use plus_store::wire::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    ServerHello, WireError, WireErrorKind, MAX_BATCH, PROTOCOL_VERSION,
+};
+use plus_store::{
+    CheckpointStats, ProtectedLineageRow, QueryRequest, QueryResponse, RecordId, Strategy,
+};
+use surrogate_core::privilege::PrivilegeId;
+use surrogate_core::query::Direction;
+
+fn random_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            // Bias toward ASCII but keep multi-byte UTF-8 in play.
+            if rng.gen_bool(0.9) {
+                rng.gen_range(b' '..=b'~') as char
+            } else {
+                ['é', 'ü', '界', '🦀'][rng.gen_range(0..4usize)]
+            }
+        })
+        .collect()
+}
+
+fn random_query_request(rng: &mut StdRng) -> QueryRequest {
+    let direction =
+        [Direction::Backward, Direction::Forward, Direction::Both][rng.gen_range(0..3usize)];
+    let strategy = [
+        Strategy::Surrogate,
+        Strategy::HideEdges,
+        Strategy::HideNodes,
+    ][rng.gen_range(0..3usize)];
+    let mut request = QueryRequest::new(RecordId(rng.gen()), direction, rng.gen(), strategy);
+    if rng.gen_bool(0.5) {
+        request = request.with_predicate(PrivilegeId(rng.gen()));
+    }
+    request
+}
+
+fn random_query_response(rng: &mut StdRng) -> QueryResponse {
+    let rows = (0..rng.gen_range(0..6usize))
+        .map(|_| ProtectedLineageRow {
+            record: RecordId(rng.gen()),
+            label: random_string(rng, 24),
+            depth: rng.gen(),
+            surrogate: rng.gen_bool(0.3),
+        })
+        .collect();
+    QueryResponse {
+        epoch: rng.gen(),
+        root: RecordId(rng.gen()),
+        rows,
+    }
+}
+
+fn random_request(rng: &mut StdRng) -> Request {
+    match rng.gen_range(0..5usize) {
+        0 => Request::Hello {
+            version: rng.gen(),
+            consumer: random_string(rng, 16),
+            claims: (0..rng.gen_range(0..4usize))
+                .map(|_| random_string(rng, 12))
+                .collect(),
+        },
+        1 => Request::Query(random_query_request(rng)),
+        2 => Request::Batch(
+            (0..rng.gen_range(0..5usize))
+                .map(|_| random_query_request(rng))
+                .collect(),
+        ),
+        3 => Request::Epoch,
+        _ => Request::Checkpoint,
+    }
+}
+
+fn random_response(rng: &mut StdRng) -> Response {
+    match rng.gen_range(0..6usize) {
+        0 => Response::Hello(ServerHello {
+            version: rng.gen(),
+            epoch: rng.gen(),
+            nodes: rng.gen(),
+            predicates: (0..rng.gen_range(0..5usize))
+                .map(|_| random_string(rng, 12))
+                .collect(),
+        }),
+        1 => Response::Query(random_query_response(rng)),
+        2 => Response::Batch(
+            (0..rng.gen_range(0..4usize))
+                .map(|_| random_query_response(rng))
+                .collect(),
+        ),
+        3 => Response::Epoch(rng.gen()),
+        4 => Response::Checkpoint(CheckpointStats {
+            clock: rng.gen(),
+            snapshot_bytes: rng.gen(),
+            pruned_segments: rng.gen_range(0..1000),
+            pruned_snapshots: rng.gen_range(0..1000),
+        }),
+        _ => Response::Error(WireError::new(
+            [
+                WireErrorKind::NotAuthorized,
+                WireErrorKind::UnknownStrategy,
+                WireErrorKind::UnknownPredicate,
+                WireErrorKind::NotDurable,
+                WireErrorKind::VersionMismatch,
+                WireErrorKind::BadRequest,
+                WireErrorKind::Internal,
+            ][rng.gen_range(0..7usize)],
+            random_string(rng, 32),
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Request encode → decode is the identity, framed or bare.
+    #[test]
+    fn requests_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let request = random_request(&mut rng);
+        let payload = encode_request(&request);
+        prop_assert_eq!(decode_request(&payload).unwrap(), request.clone());
+        let framed = seal_frame(&payload);
+        match open_frame(&framed) {
+            RawFrame::Complete { payload: body, consumed } => {
+                prop_assert_eq!(consumed, framed.len());
+                prop_assert_eq!(decode_request(body).unwrap(), request);
+            }
+            other => prop_assert!(false, "sealed frame did not open: {other:?}"),
+        }
+    }
+
+    /// Response encode → decode is the identity, framed or bare.
+    #[test]
+    fn responses_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let response = random_response(&mut rng);
+        let payload = encode_response(&response);
+        prop_assert_eq!(decode_response(&payload).unwrap(), response.clone());
+        let framed = seal_frame(&payload);
+        match open_frame(&framed) {
+            RawFrame::Complete { payload: body, consumed } => {
+                prop_assert_eq!(consumed, framed.len());
+                prop_assert_eq!(decode_response(body).unwrap(), response);
+            }
+            other => prop_assert!(false, "sealed frame did not open: {other:?}"),
+        }
+    }
+
+    /// Torn write: every proper prefix of a sealed frame reads as Torn,
+    /// never as a (different) complete message.
+    #[test]
+    fn torn_frames_never_complete(seed in any::<u64>(), cut in any::<u16>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload = encode_request(&random_request(&mut rng));
+        let framed = seal_frame(&payload);
+        let cut = cut as usize % framed.len(); // proper prefix
+        match open_frame(&framed[..cut]) {
+            RawFrame::Torn | RawFrame::Corrupt(_) => {}
+            RawFrame::Complete { .. } => prop_assert!(false, "prefix decoded as complete"),
+        }
+    }
+
+    /// Bit flip: flipping any bit of a sealed frame can never yield a
+    /// checksum-valid frame carrying a *different* payload — the CRC
+    /// catches every single-bit change.
+    #[test]
+    fn bit_flips_never_alter_the_payload(seed in any::<u64>(), at in any::<u32>(), bit in 0u8..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload = encode_request(&random_request(&mut rng));
+        let mut framed = seal_frame(&payload);
+        let at = at as usize % framed.len();
+        framed[at] ^= 1 << bit;
+        match open_frame(&framed) {
+            RawFrame::Complete { payload: body, .. } => {
+                // Only reachable if the flip landed in the length field
+                // and the truncated/extended payload still checksummed —
+                // CRC32 makes that impossible for one bit.
+                prop_assert_eq!(body, payload.as_slice(), "flipped frame changed the payload");
+            }
+            RawFrame::Torn | RawFrame::Corrupt(_) => {}
+        }
+    }
+
+    /// Oversized length fields are corruption, not an allocation.
+    #[test]
+    fn oversized_frames_are_corrupt(extra in 1u32..1000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut framed = seal_frame(&encode_request(&random_request(&mut rng)));
+        framed[..4].copy_from_slice(&(MAX_FRAME_LEN + extra).to_le_bytes());
+        prop_assert!(matches!(open_frame(&framed), RawFrame::Corrupt(_)));
+    }
+
+    /// Arbitrary garbage never panics any layer: the frame opener, the
+    /// request decoder, or the response decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = open_frame(&bytes);
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        if bytes.len() > FRAME_HEADER_LEN {
+            if let RawFrame::Complete { payload, .. } = open_frame(&bytes) {
+                let _ = decode_request(payload);
+                let _ = decode_response(payload);
+            }
+        }
+    }
+
+    /// A batch count beyond MAX_BATCH is rejected before allocation.
+    #[test]
+    fn oversized_batch_counts_are_rejected(extra in 1u32..1000) {
+        let mut payload = vec![2u8]; // Batch tag
+        payload.extend_from_slice(&(MAX_BATCH + extra).to_le_bytes());
+        prop_assert!(decode_request(&payload).is_err());
+    }
+}
+
+/// The version constant is part of the on-wire contract: changing it is
+/// a compatibility break and must be deliberate.
+#[test]
+fn protocol_version_is_pinned() {
+    assert_eq!(PROTOCOL_VERSION, 1);
+}

@@ -1,0 +1,278 @@
+//! The blocking client and connection pool.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use parking_lot::Mutex;
+use plus_store::wire::{
+    decode_response, encode_request, Request, Response, ServerHello, PROTOCOL_VERSION,
+};
+use plus_store::{CheckpointStats, QueryRequest, QueryResponse};
+use surrogate_core::privilege::PrivilegeId;
+
+use crate::error::ClientError;
+use crate::frame::{read_frame, write_frame};
+
+/// A blocking connection to a query server.
+///
+/// One request is in flight at a time (the protocol is strict
+/// request/response); clone connections or use a [`ClientPool`] for
+/// parallelism. Connecting performs the Hello handshake, so a
+/// constructed client is always usable and knows the server's lattice
+/// ([`ServerHello::predicates`]) without ever seeing the graph.
+pub struct Client {
+    stream: TcpStream,
+    hello: ServerHello,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    healthy: bool,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .field("epoch_at_connect", &self.hello.epoch)
+            .field("healthy", &self.healthy)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects and handshakes as `consumer`, claiming `claims`
+    /// predicates by name (empty = the Public consumer).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        consumer: &str,
+        claims: &[&str],
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            stream,
+            hello: ServerHello {
+                version: PROTOCOL_VERSION,
+                epoch: 0,
+                nodes: 0,
+                predicates: Vec::new(),
+            },
+            inbuf: Vec::with_capacity(512),
+            outbuf: Vec::with_capacity(512),
+            healthy: true,
+        };
+        let hello = Request::Hello {
+            version: PROTOCOL_VERSION,
+            consumer: consumer.to_string(),
+            claims: claims.iter().map(|c| c.to_string()).collect(),
+        };
+        match client.call(&hello)? {
+            Response::Hello(hello) => {
+                if hello.version != PROTOCOL_VERSION {
+                    return Err(ClientError::VersionMismatch {
+                        server: hello.version,
+                    });
+                }
+                client.hello = hello;
+                Ok(client)
+            }
+            // A typed refusal (unknown predicate claim, version skew):
+            // surface the server's own words.
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => Err(ClientError::Unexpected("non-Hello")),
+        }
+    }
+
+    /// What the server announced at handshake time.
+    pub fn hello(&self) -> &ServerHello {
+        &self.hello
+    }
+
+    /// Resolves a predicate name against the server's lattice.
+    pub fn predicate(&self, name: &str) -> Option<PrivilegeId> {
+        self.hello.predicate(name)
+    }
+
+    /// Whether the connection is still believed usable. Typed server
+    /// errors do not poison a client; transport and framing failures do.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy
+    }
+
+    /// One framed round trip. Typed error frames come back as
+    /// `Ok(Response::Error(_))`; the public wrappers turn them into
+    /// [`ClientError::Remote`].
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = encode_request(request);
+        if let Err(e) = write_frame(&mut self.stream, &payload, &mut self.outbuf) {
+            self.healthy = false;
+            return Err(e.into());
+        }
+        match read_frame(&mut self.stream, &mut self.inbuf) {
+            Ok(Some(payload)) => match decode_response(payload) {
+                Ok(response) => Ok(response),
+                Err(e) => {
+                    self.healthy = false;
+                    Err(ClientError::Malformed(e))
+                }
+            },
+            Ok(None) => {
+                self.healthy = false;
+                Err(ClientError::Disconnected)
+            }
+            Err(e) => {
+                self.healthy = false;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Answers one lineage query remotely.
+    pub fn query(&mut self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
+        match self.call(&Request::Query(request.clone()))? {
+            Response::Query(response) => Ok(response),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => {
+                self.healthy = false;
+                Err(ClientError::Unexpected("non-Query"))
+            }
+        }
+    }
+
+    /// Answers many lineage queries against one pinned server epoch.
+    pub fn query_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<QueryResponse>, ClientError> {
+        match self.call(&Request::Batch(requests.to_vec()))? {
+            Response::Batch(responses) => Ok(responses),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => {
+                self.healthy = false;
+                Err(ClientError::Unexpected("non-Batch"))
+            }
+        }
+    }
+
+    /// The server's current epoch.
+    pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Epoch)? {
+            Response::Epoch(epoch) => Ok(epoch),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => {
+                self.healthy = false;
+                Err(ClientError::Unexpected("non-Epoch"))
+            }
+        }
+    }
+
+    /// Asks the server to checkpoint its durable store.
+    pub fn checkpoint(&mut self) -> Result<CheckpointStats, ClientError> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Checkpoint(stats) => Ok(stats),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => {
+                self.healthy = false;
+                Err(ClientError::Unexpected("non-Checkpoint"))
+            }
+        }
+    }
+}
+
+/// A pool of [`Client`] connections to one server, for callers that
+/// fan requests out across threads.
+///
+/// [`get`](ClientPool::get) hands out an idle connection or dials a new
+/// one; the guard returns the connection on drop if it is still
+/// [healthy](Client::is_healthy), so transport failures age out of the
+/// pool instead of being redealt.
+pub struct ClientPool {
+    addr: String,
+    consumer: String,
+    claims: Vec<String>,
+    idle: Mutex<Vec<Client>>,
+    max_idle: usize,
+}
+
+impl std::fmt::Debug for ClientPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientPool")
+            .field("addr", &self.addr)
+            .field("consumer", &self.consumer)
+            .field("idle", &self.idle.lock().len())
+            .finish()
+    }
+}
+
+impl ClientPool {
+    /// A pool dialing `addr` as `consumer` with `claims`. No connection
+    /// is opened until the first [`get`](Self::get).
+    pub fn new(addr: impl Into<String>, consumer: impl Into<String>, claims: &[&str]) -> Self {
+        Self {
+            addr: addr.into(),
+            consumer: consumer.into(),
+            claims: claims.iter().map(|c| c.to_string()).collect(),
+            idle: Mutex::new(Vec::new()),
+            max_idle: 16,
+        }
+    }
+
+    /// Caps how many idle connections the pool retains (default 16).
+    pub fn with_max_idle(mut self, max_idle: usize) -> Self {
+        self.max_idle = max_idle;
+        self
+    }
+
+    /// Checks out a connection, dialing if none is idle.
+    pub fn get(&self) -> Result<PooledClient<'_>, ClientError> {
+        if let Some(client) = self.idle.lock().pop() {
+            return Ok(PooledClient {
+                pool: self,
+                client: Some(client),
+            });
+        }
+        let claims: Vec<&str> = self.claims.iter().map(String::as_str).collect();
+        let client = Client::connect(self.addr.as_str(), &self.consumer, &claims)?;
+        Ok(PooledClient {
+            pool: self,
+            client: Some(client),
+        })
+    }
+
+    /// Idle connections currently held.
+    pub fn idle(&self) -> usize {
+        self.idle.lock().len()
+    }
+}
+
+/// A checked-out pool connection; dereferences to [`Client`] and returns
+/// to the pool on drop when still healthy.
+pub struct PooledClient<'a> {
+    pool: &'a ClientPool,
+    client: Option<Client>,
+}
+
+impl std::ops::Deref for PooledClient<'_> {
+    type Target = Client;
+
+    fn deref(&self) -> &Client {
+        self.client.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledClient<'_> {
+    fn deref_mut(&mut self) -> &mut Client {
+        self.client.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledClient<'_> {
+    fn drop(&mut self) {
+        if let Some(client) = self.client.take() {
+            if client.healthy {
+                let mut idle = self.pool.idle.lock();
+                if idle.len() < self.pool.max_idle {
+                    idle.push(client);
+                }
+            }
+        }
+    }
+}

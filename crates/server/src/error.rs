@@ -1,0 +1,95 @@
+//! Client-side errors.
+
+use std::fmt;
+use std::io;
+
+use plus_store::{CodecError, WireError};
+
+/// Why a [`Client`](crate::Client) call failed.
+///
+/// `#[non_exhaustive]`: transports and the protocol will grow failure
+/// modes; downstream matches need a wildcard arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(io::Error),
+    /// The server closed the connection (cleanly or mid-frame) where a
+    /// response was expected.
+    Disconnected,
+    /// The server sent bytes that are not a valid response frame — a
+    /// version skew or a corrupted link. The connection is unusable.
+    Malformed(CodecError),
+    /// The server answered with a typed error frame. The connection
+    /// stays usable for further requests.
+    Remote(WireError),
+    /// The server answered with the wrong response type for the request
+    /// (e.g. a Batch answer to a Query). Protocol bug; unusable.
+    Unexpected(&'static str),
+    /// The server speaks a different protocol version.
+    VersionMismatch {
+        /// What the server announced in its Hello.
+        server: u16,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Malformed(e) => write!(f, "malformed response frame: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(what) => {
+                write!(f, "protocol violation: unexpected {what} response")
+            }
+            ClientError::VersionMismatch { server } => write!(
+                f,
+                "server speaks protocol version {server}, this client speaks {}",
+                plus_store::PROTOCOL_VERSION
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Malformed(e) => Some(e),
+            ClientError::Remote(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<crate::frame::FrameError> for ClientError {
+    fn from(e: crate::frame::FrameError) -> Self {
+        match e {
+            crate::frame::FrameError::Io(e) => ClientError::Io(e),
+            crate::frame::FrameError::Torn => ClientError::Disconnected,
+            crate::frame::FrameError::Malformed(e) => ClientError::Malformed(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plus_store::WireErrorKind;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ClientError::Remote(WireError::new(WireErrorKind::NotAuthorized, "no"));
+        assert!(e.to_string().contains("not authorized"), "{e}");
+        let e = ClientError::VersionMismatch { server: 9 };
+        assert!(e.to_string().contains('9'), "{e}");
+        assert!(ClientError::Disconnected.to_string().contains("closed"));
+    }
+}

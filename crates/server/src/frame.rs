@@ -1,0 +1,164 @@
+//! Blocking frame I/O over any `Read`/`Write` pair.
+//!
+//! Frames are the shared store convention — `len u32 | crc32 u32 |
+//! payload` (see `plus_store::codec`) — so a wire capture and a WAL
+//! segment tail are checked by the same rules. The reader distinguishes
+//! a *clean* close (EOF exactly at a frame boundary) from a *torn* one
+//! (EOF mid-frame) from a *malformed* frame (oversized length field or
+//! checksum failure), because servers react differently: the first is a
+//! normal disconnect, the second a dropped peer, the third a protocol
+//! violation that warrants hanging up.
+
+use std::io::{self, Read, Write};
+
+use plus_store::codec::{crc32, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use plus_store::CodecError;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The peer closed the connection mid-frame.
+    Torn,
+    /// The frame violates the protocol: oversized declared length or a
+    /// checksum mismatch. The right response is to hang up.
+    Malformed(CodecError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Torn => write!(f, "connection closed mid-frame"),
+            FrameError::Malformed(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Malformed(e) => Some(e),
+            FrameError::Torn => None,
+        }
+    }
+}
+
+/// Writes `payload` as one sealed frame, assembling header and body in
+/// `scratch` so one `write_all` (one syscall on an unbuffered socket)
+/// carries the whole frame.
+///
+/// A payload beyond `MAX_FRAME_LEN` is refused with `InvalidData`
+/// *before* any byte is written: the peer would reject the frame as
+/// malformed anyway (and beyond `u32::MAX` the length field would wrap
+/// and desynchronize the stream), so the writer fails loudly instead.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], scratch: &mut Vec<u8>) -> io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame payload of {} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})",
+                payload.len()
+            ),
+        ));
+    }
+    scratch.clear();
+    scratch.reserve(FRAME_HEADER_LEN + payload.len());
+    scratch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    scratch.extend_from_slice(&crc32(payload).to_le_bytes());
+    scratch.extend_from_slice(payload);
+    w.write_all(scratch)
+}
+
+/// Reads one frame into `scratch`, returning its payload — or `Ok(None)`
+/// on a clean close (EOF before the first header byte).
+pub fn read_frame<'a>(
+    r: &mut impl Read,
+    scratch: &'a mut Vec<u8>,
+) -> Result<Option<&'a [u8]>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // First byte by hand: a clean EOF here is a normal disconnect, not a
+    // torn frame.
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Torn),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("len 4"));
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Malformed(CodecError::FrameTooLarge(len)));
+    }
+    let stored_crc = u32::from_le_bytes(header[4..8].try_into().expect("len 4"));
+    scratch.clear();
+    scratch.resize(len as usize, 0);
+    if let Err(e) = r.read_exact(scratch) {
+        return Err(match e.kind() {
+            io::ErrorKind::UnexpectedEof => FrameError::Torn,
+            _ => FrameError::Io(e),
+        });
+    }
+    if crc32(scratch) != stored_crc {
+        return Err(FrameError::Malformed(CodecError::ChecksumMismatch));
+    }
+    Ok(Some(scratch.as_slice()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plus_store::codec::seal_frame;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut wire, b"hello", &mut scratch).unwrap();
+        assert_eq!(wire, seal_frame(b"hello"), "same bytes as the codec");
+        let mut cursor = Cursor::new(wire);
+        let payload = read_frame(&mut cursor, &mut scratch).unwrap().unwrap();
+        assert_eq!(payload, b"hello");
+        assert!(read_frame(&mut cursor, &mut scratch).unwrap().is_none());
+    }
+
+    #[test]
+    fn clean_close_vs_torn() {
+        let sealed = seal_frame(b"abc");
+        let mut scratch = Vec::new();
+        // Empty stream: clean close.
+        assert!(read_frame(&mut Cursor::new(vec![]), &mut scratch)
+            .unwrap()
+            .is_none());
+        // Every proper prefix: torn.
+        for cut in 1..sealed.len() {
+            let result = read_frame(&mut Cursor::new(sealed[..cut].to_vec()), &mut scratch);
+            assert!(matches!(result, Err(FrameError::Torn)), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_and_corrupt_are_malformed() {
+        let mut scratch = Vec::new();
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        oversized.extend_from_slice(&[0; 4]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(oversized), &mut scratch),
+            Err(FrameError::Malformed(CodecError::FrameTooLarge(_)))
+        ));
+        let mut corrupt = seal_frame(b"abc");
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(corrupt), &mut scratch),
+            Err(FrameError::Malformed(CodecError::ChecksumMismatch))
+        ));
+    }
+}

@@ -1,0 +1,518 @@
+//! The threaded TCP query server.
+//!
+//! One accept loop feeds accepted connections to a fixed pool of worker
+//! threads over a channel; each worker owns one connection at a time and
+//! serves its requests synchronously against the shared
+//! [`AccountService`]. No async runtime: blocking sockets, `std::thread`,
+//! and `parking_lot` locks are the whole concurrency story, which keeps
+//! the trust boundary auditable.
+//!
+//! # Connection protocol
+//!
+//! A connection must open with [`Request::Hello`]; the server resolves
+//! the claimed predicate names against its lattice, derives the
+//! connection's [`Consumer`] (empty claims = Public), and answers with
+//! its own Hello. Every later frame is a query, epoch probe, or
+//! checkpoint request. Recoverable failures come back as typed
+//! [`Response::Error`] frames and leave the connection open; a malformed
+//! frame (bad checksum, oversized length, undecodable payload) gets a
+//! best-effort error frame and a hangup — the server never guesses at
+//! intent.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use plus_store::wire::{
+    decode_request, encode_response, Request, Response, ServerHello, WireError, WireErrorKind,
+    PROTOCOL_VERSION,
+};
+use plus_store::{AccountService, StoreError};
+use surrogate_core::credential::Consumer;
+use surrogate_core::privilege::PrivilegeId;
+
+use crate::frame::{read_frame, write_frame, FrameError};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads — the maximum number of concurrently served
+    /// connections. Further accepted connections wait in the channel.
+    pub threads: usize,
+    /// Whether remote [`Request::Checkpoint`] frames are honored.
+    /// Off by default: checkpointing is an operator action (it drives
+    /// owner-side disk I/O), and the Hello handshake verifies nothing,
+    /// so an open socket should not expose it to every consumer.
+    pub allow_remote_checkpoint: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        Self {
+            threads,
+            allow_remote_checkpoint: false,
+        }
+    }
+}
+
+/// Monotone counters describing a server's lifetime traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections that completed a Hello handshake.
+    pub connections: u64,
+    /// Request frames answered (Hello excluded).
+    pub requests: u64,
+    /// Connections hung up on for a malformed frame or protocol
+    /// violation.
+    pub hangups: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    hangups: AtomicU64,
+}
+
+/// Live connections, so shutdown can unblock workers parked in `read`.
+#[derive(Default)]
+struct ConnTable {
+    inner: Mutex<ConnTableInner>,
+}
+
+#[derive(Default)]
+struct ConnTableInner {
+    closed: bool,
+    next_id: u64,
+    streams: HashMap<u64, TcpStream>,
+}
+
+impl ConnTable {
+    /// Registers a connection; `None` once the table is closed (the
+    /// caller must drop the stream instead of serving it).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return None;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        // No clone means close_all() could never hang this connection
+        // up, and shutdown would block on the worker join — refuse the
+        // connection instead (fd exhaustion is the typical cause, so
+        // shedding load is the right response anyway).
+        let clone = stream.try_clone().ok()?;
+        inner.streams.insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.inner.lock().streams.remove(&id);
+    }
+
+    /// Marks the table closed and shuts every live socket down, which
+    /// makes blocked reads in the workers return EOF.
+    fn close_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        for stream in inner.streams.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        inner.streams.clear();
+    }
+}
+
+/// A running query server. Dropping it (or calling
+/// [`shutdown`](Server::shutdown)) stops the accept loop, hangs up every
+/// live connection, and joins all threads.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<ConnTable>,
+    counters: Arc<Counters>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` and starts serving `service` on
+    /// [`ServerConfig::default`] worker threads.
+    pub fn bind(service: Arc<AccountService>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Self::bind_with(service, addr, ServerConfig::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit tuning.
+    pub fn bind_with(
+        service: Arc<AccountService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnTable::default());
+        let counters = Arc::new(Counters::default());
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let threads = config.threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = rx.clone();
+            let service = service.clone();
+            let shutdown = shutdown.clone();
+            let conns = conns.clone();
+            let counters = counters.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("spgraph-serve-{i}"))
+                    .spawn(move || loop {
+                        // Take the next connection; holding the lock only
+                        // for the recv keeps the pool a simple queue.
+                        let stream = { rx.lock().recv() };
+                        let Ok(stream) = stream else { break };
+                        if shutdown.load(Ordering::SeqCst) {
+                            continue; // drain without serving
+                        }
+                        let Some(id) = conns.register(&stream) else {
+                            continue;
+                        };
+                        serve_connection(&service, stream, &counters, &config);
+                        conns.deregister(id);
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        let accept = {
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("spgraph-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // `tx` drops here; idle workers wake from `recv` and
+                    // exit.
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            conns,
+            counters,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The address the server actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            hangups: self.counters.hangups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, hangs up every live connection, and joins all
+    /// threads. Equivalent to dropping the server, but explicit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a wake-up connection; it
+        // re-checks the flag per accepted connection. A wildcard bind
+        // (0.0.0.0 / ::) is not dialable on every platform, so rewrite
+        // it to the matching loopback.
+        let mut wake_addr = self.local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let woke =
+            TcpStream::connect_timeout(&wake_addr, std::time::Duration::from_secs(1)).is_ok();
+        self.conns.close_all();
+        if woke {
+            if let Some(accept) = self.accept.take() {
+                let _ = accept.join();
+            }
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
+        } else {
+            // The wake-up could not be delivered (e.g. a firewalled
+            // self-connect): the accept thread stays parked in
+            // `accept()` and still owns the channel sender, so joining
+            // it — or the idle workers blocked in `recv` — would hang
+            // forever. Live connections were hung up above; detach the
+            // threads instead of deadlocking the caller.
+            self.accept.take();
+            self.workers.drain(..);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Maps a service failure to what may cross the wire: the kind plus the
+/// error's display form (which never includes raw graph content).
+fn wire_error(e: &StoreError) -> WireError {
+    let kind = match e {
+        StoreError::NotAuthorized { .. } => WireErrorKind::NotAuthorized,
+        StoreError::UnknownStrategy(_) => WireErrorKind::UnknownStrategy,
+        StoreError::UnknownPredicate(_) => WireErrorKind::UnknownPredicate,
+        StoreError::NotDurable => WireErrorKind::NotDurable,
+        StoreError::UnknownRecord(_) => WireErrorKind::BadRequest,
+        _ => WireErrorKind::Internal,
+    };
+    WireError::new(kind, e.to_string())
+}
+
+enum Outcome {
+    /// Keep serving this connection.
+    Continue,
+    /// Protocol violation: hang up (after the best-effort error frame).
+    HangUp,
+}
+
+/// Serves one connection to completion. All protocol policy lives here.
+fn serve_connection(
+    service: &AccountService,
+    mut stream: TcpStream,
+    counters: &Counters,
+    config: &ServerConfig,
+) {
+    // Per-round-trip latency is the product metric; never batch tiny
+    // frames behind Nagle.
+    let _ = stream.set_nodelay(true);
+    let mut inbuf = Vec::with_capacity(512);
+    let mut outbuf = Vec::with_capacity(512);
+
+    let send = |stream: &mut TcpStream, response: &Response, outbuf: &mut Vec<u8>| {
+        let payload = encode_response(response);
+        match write_frame(stream, &payload, outbuf) {
+            Ok(()) => true,
+            // The response exceeds the frame bound (e.g. a huge batch of
+            // unbounded-depth queries): tell the client instead of
+            // desynchronizing the stream. The connection stays usable.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let error = Response::Error(WireError::new(
+                    WireErrorKind::BadRequest,
+                    "response exceeds the maximum frame size; split the batch or bound max_depth",
+                ));
+                write_frame(stream, &encode_response(&error), outbuf).is_ok()
+            }
+            Err(_) => false,
+        }
+    };
+
+    // --- Handshake -------------------------------------------------------
+    let consumer = match read_frame(&mut stream, &mut inbuf) {
+        Ok(Some(payload)) => match decode_request(payload) {
+            Ok(Request::Hello {
+                version,
+                consumer,
+                claims,
+            }) => {
+                if version != PROTOCOL_VERSION {
+                    let error = WireError::new(
+                        WireErrorKind::VersionMismatch,
+                        format!("server speaks protocol version {PROTOCOL_VERSION}, not {version}"),
+                    );
+                    send(&mut stream, &Response::Error(error), &mut outbuf);
+                    counters.hangups.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                let snapshot = service.snapshot();
+                let mut granted: Vec<PrivilegeId> = Vec::with_capacity(claims.len());
+                for claim in &claims {
+                    match snapshot.lattice.by_name(claim) {
+                        Some(p) => granted.push(p),
+                        None => {
+                            let error = WireError::new(
+                                WireErrorKind::UnknownPredicate,
+                                format!("predicate {claim:?} is not in the server's lattice"),
+                            );
+                            send(&mut stream, &Response::Error(error), &mut outbuf);
+                            counters.hangups.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                let consumer = if granted.is_empty() {
+                    Consumer::public(&snapshot.lattice)
+                } else {
+                    Consumer::new(consumer, &snapshot.lattice, &granted)
+                };
+                let hello = ServerHello {
+                    version: PROTOCOL_VERSION,
+                    epoch: snapshot.epoch(),
+                    nodes: snapshot.graph.node_count() as u64,
+                    predicates: snapshot
+                        .lattice
+                        .ids()
+                        .map(|p| snapshot.lattice.name(p).to_string())
+                        .collect(),
+                };
+                if !send(&mut stream, &Response::Hello(hello), &mut outbuf) {
+                    return;
+                }
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                consumer
+            }
+            Ok(_) => {
+                let error = WireError::new(
+                    WireErrorKind::BadRequest,
+                    "the first frame on a connection must be Hello",
+                );
+                send(&mut stream, &Response::Error(error), &mut outbuf);
+                counters.hangups.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(e) => {
+                malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
+                return;
+            }
+        },
+        Ok(None) => return, // connected and left without a word
+        Err(FrameError::Malformed(e)) => {
+            malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
+            return;
+        }
+        Err(_) => return, // torn or transport failure: nothing to say
+    };
+
+    // --- Request loop ----------------------------------------------------
+    loop {
+        let request = match read_frame(&mut stream, &mut inbuf) {
+            Ok(Some(payload)) => match decode_request(payload) {
+                Ok(request) => request,
+                Err(e) => {
+                    malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
+                    return;
+                }
+            },
+            Ok(None) => return, // clean disconnect
+            Err(FrameError::Malformed(e)) => {
+                malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
+                return;
+            }
+            Err(_) => return, // torn or transport failure
+        };
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, outcome) = answer(service, &consumer, request, config);
+        if !send(&mut stream, &response, &mut outbuf) {
+            return;
+        }
+        if let Outcome::HangUp = outcome {
+            counters.hangups.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+/// Best-effort typed error, then hang up: the malformed-frame path.
+fn malformed_hangup(
+    stream: &mut TcpStream,
+    detail: &str,
+    outbuf: &mut Vec<u8>,
+    counters: &Counters,
+) {
+    let error = WireError::new(
+        WireErrorKind::BadRequest,
+        format!("malformed frame: {detail}"),
+    );
+    let payload = encode_response(&Response::Error(error));
+    let _ = write_frame(stream, &payload, outbuf);
+    let _ = stream.shutdown(Shutdown::Both);
+    counters.hangups.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Computes the response for one decoded in-session request.
+fn answer(
+    service: &AccountService,
+    consumer: &Consumer,
+    request: Request,
+    config: &ServerConfig,
+) -> (Response, Outcome) {
+    match request {
+        Request::Hello { .. } => (
+            Response::Error(WireError::new(
+                WireErrorKind::BadRequest,
+                "connection is already past its Hello",
+            )),
+            Outcome::HangUp,
+        ),
+        Request::Query(query) => match service.query(consumer, &query) {
+            Ok(response) => (Response::Query(response), Outcome::Continue),
+            Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
+        },
+        Request::Batch(queries) => match service.query_batch(consumer, &queries) {
+            Ok(responses) => (Response::Batch(responses), Outcome::Continue),
+            Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
+        },
+        Request::Epoch => (Response::Epoch(service.epoch()), Outcome::Continue),
+        Request::Checkpoint => {
+            if !config.allow_remote_checkpoint {
+                return (
+                    Response::Error(WireError::new(
+                        WireErrorKind::NotAuthorized,
+                        "remote checkpoints are disabled on this server",
+                    )),
+                    Outcome::Continue,
+                );
+            }
+            let result = match service.store() {
+                Some(store) => store.checkpoint(),
+                None => Err(StoreError::NotDurable),
+            };
+            match result {
+                Ok(stats) => (Response::Checkpoint(stats), Outcome::Continue),
+                Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
+            }
+        }
+    }
+}

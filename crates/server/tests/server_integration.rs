@@ -1,0 +1,437 @@
+//! Integration tests for the query server: many concurrent remote
+//! consumers, epoch coherence under a live writer, the typed-error and
+//! malformed-frame paths, and checkpointing over the wire.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use plus_store::codec::seal_frame;
+use plus_store::wire::{encode_request, Request, PROTOCOL_VERSION};
+use plus_store::{
+    AccountService, Direction, EdgeKind, NodeKind, PolicyStatement, QueryRequest, RecordId, Store,
+    Strategy, WireErrorKind,
+};
+use server::{Client, ClientError, ClientPool, Server, ServerConfig};
+use surrogate_core::feature::Features;
+
+/// source(High) → mid(Public) → sink(Public) with a Public surrogate for
+/// the source — the Fig. 2(a)-style chain the service tests use.
+fn setup() -> (Arc<Store>, Vec<RecordId>) {
+    let store = Arc::new(Store::new(&["Public", "High"], &[(1, 0)]).unwrap());
+    let public = store.predicate("Public").unwrap();
+    let high = store.predicate("High").unwrap();
+    let source = store.append_node("secret source", NodeKind::Agent, Features::new(), high);
+    let mid = store.append_node("analysis", NodeKind::Process, Features::new(), public);
+    let sink = store.append_node("report", NodeKind::Data, Features::new(), public);
+    store.append_edge(source, mid, EdgeKind::InputTo).unwrap();
+    store.append_edge(mid, sink, EdgeKind::GeneratedBy).unwrap();
+    store
+        .apply_policy(PolicyStatement::AddSurrogate {
+            node: source,
+            label: "a trusted source".into(),
+            features: Features::new(),
+            lowest: public,
+            info_score: 0.3,
+        })
+        .unwrap();
+    (store, vec![source, mid, sink])
+}
+
+fn serve(store: Arc<Store>) -> Server {
+    serve_with(store, ServerConfig::default())
+}
+
+fn serve_with(store: Arc<Store>, config: ServerConfig) -> Server {
+    Server::bind_with(
+        Arc::new(AccountService::new(store)),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 4,
+            ..config
+        },
+    )
+    .expect("bind loopback")
+}
+
+#[test]
+fn hello_handshake_describes_the_server() {
+    let (store, _) = setup();
+    let epoch = store.version();
+    let server = serve(store);
+    let client = Client::connect(server.local_addr(), "reader", &[]).unwrap();
+    let hello = client.hello();
+    assert_eq!(hello.version, PROTOCOL_VERSION);
+    assert_eq!(hello.epoch, epoch);
+    assert_eq!(hello.nodes, 3);
+    assert_eq!(
+        hello.predicates,
+        vec!["Public".to_string(), "High".to_string()]
+    );
+    assert_eq!(
+        client.predicate("High"),
+        Some(hello.predicate("High").unwrap())
+    );
+    assert_eq!(server.stats().connections, 1);
+    server.shutdown();
+}
+
+#[test]
+fn remote_queries_see_protected_rows_only() {
+    let (store, ids) = setup();
+    let server = serve(store);
+    // A public consumer: the High source must come back as its surrogate.
+    let mut client = Client::connect(server.local_addr(), "public-reader", &[]).unwrap();
+    let response = client
+        .query(&QueryRequest::new(
+            ids[2],
+            Direction::Backward,
+            u32::MAX,
+            Strategy::Surrogate,
+        ))
+        .unwrap();
+    assert_eq!(response.rows.len(), 2);
+    assert_eq!(response.rows[0].label, "analysis");
+    assert!(!response.rows[0].surrogate);
+    assert_eq!(response.rows[1].label, "a trusted source");
+    assert!(response.rows[1].surrogate);
+    // The insider sees the original label.
+    let mut insider = Client::connect(server.local_addr(), "insider", &["High"]).unwrap();
+    let rows = insider
+        .query(&QueryRequest::new(
+            ids[2],
+            Direction::Backward,
+            u32::MAX,
+            Strategy::Surrogate,
+        ))
+        .unwrap()
+        .rows;
+    assert_eq!(rows[1].label, "secret source");
+    assert!(!rows[1].surrogate);
+    server.shutdown();
+}
+
+/// The tentpole's coherence claim: concurrent remote clients, with a
+/// writer appending underneath, each see (1) per-connection monotone
+/// epochs, (2) one shared epoch per batch, and (3) row counts consistent
+/// with the epoch they were stamped with.
+#[test]
+fn concurrent_remote_queries_see_a_coherent_epoch() {
+    let (store, ids) = setup();
+    let base_epoch = store.version();
+    let base_rows = 2; // upstream of the sink at the base epoch
+    let server = serve(store.clone());
+    let addr = server.local_addr();
+    let stop = AtomicBool::new(false);
+    let (mid, sink) = (ids[1], ids[2]);
+
+    std::thread::scope(|scope| {
+        // A live writer: each append bumps the epoch (never touching the
+        // sink's upstream chain, so row counts stay comparable).
+        let writer = {
+            let store = store.clone();
+            let stop = &stop;
+            scope.spawn(move || {
+                let public = store.predicate("Public").unwrap();
+                let mut appended = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    store.append_node(
+                        format!("late-{appended}"),
+                        NodeKind::Data,
+                        Features::new(),
+                        public,
+                    );
+                    appended += 1;
+                    std::thread::yield_now();
+                }
+                appended
+            })
+        };
+
+        let readers: Vec<_> = (0..6)
+            .map(|_| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr, "reader", &[]).unwrap();
+                    let mut last_epoch = 0u64;
+                    let mut served = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let requests = [
+                            QueryRequest::new(
+                                sink,
+                                Direction::Backward,
+                                u32::MAX,
+                                Strategy::Surrogate,
+                            ),
+                            QueryRequest::new(
+                                mid,
+                                Direction::Backward,
+                                u32::MAX,
+                                Strategy::Surrogate,
+                            ),
+                        ];
+                        let responses = client.query_batch(&requests).unwrap();
+                        assert_eq!(responses.len(), 2);
+                        // One pinned epoch per batch…
+                        assert_eq!(responses[0].epoch, responses[1].epoch);
+                        let epoch = responses[0].epoch;
+                        // …monotone along the connection…
+                        assert!(epoch >= last_epoch, "epoch went backward");
+                        assert!(epoch >= base_epoch);
+                        last_epoch = epoch;
+                        // …and the protected answer itself is stable: the
+                        // writer only appends disconnected nodes.
+                        assert_eq!(responses[0].rows.len(), base_rows);
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        let appended = writer.join().unwrap();
+        let total: usize = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(appended > 0, "writer made progress");
+        assert!(total > 0, "readers made progress");
+    });
+
+    // After the dust settles, a fresh connection sees the final epoch.
+    let mut client = Client::connect(addr, "reader", &[]).unwrap();
+    assert_eq!(client.epoch().unwrap(), store.version());
+    server.shutdown();
+}
+
+#[test]
+fn typed_errors_keep_the_connection_usable() {
+    let (store, ids) = setup();
+    let server = serve(store);
+    let mut client = Client::connect(server.local_addr(), "public-reader", &[]).unwrap();
+    let high = client.predicate("High").unwrap();
+    // Asking through a predicate the consumer does not satisfy: a typed
+    // NotAuthorized error frame…
+    let err = client
+        .query(
+            &QueryRequest::new(ids[2], Direction::Backward, u32::MAX, Strategy::Surrogate)
+                .with_predicate(high),
+        )
+        .unwrap_err();
+    match err {
+        ClientError::Remote(e) => assert_eq!(e.kind, WireErrorKind::NotAuthorized),
+        other => panic!("expected a typed remote error, got {other}"),
+    }
+    assert!(client.is_healthy());
+    // …and the same connection still answers the authorized version.
+    let response = client
+        .query(&QueryRequest::new(
+            ids[2],
+            Direction::Backward,
+            u32::MAX,
+            Strategy::Surrogate,
+        ))
+        .unwrap();
+    assert_eq!(response.rows.len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_predicate_claims_are_refused_at_hello() {
+    let (store, _) = setup();
+    let server = serve(store);
+    let err = Client::connect(server.local_addr(), "liar", &["Ultra"]).unwrap_err();
+    match err {
+        ClientError::Remote(e) => assert_eq!(e.kind, WireErrorKind::UnknownPredicate),
+        other => panic!("expected a typed remote error, got {other}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_refused_at_hello() {
+    let (store, _) = setup();
+    let server = serve(store);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let hello = Request::Hello {
+        version: PROTOCOL_VERSION + 1,
+        consumer: "future".into(),
+        claims: vec![],
+    };
+    stream
+        .write_all(&seal_frame(&encode_request(&hello)))
+        .unwrap();
+    let mut scratch = Vec::new();
+    let payload = server::read_frame(&mut stream, &mut scratch)
+        .unwrap()
+        .expect("an error frame before the hangup");
+    match plus_store::wire::decode_response(payload).unwrap() {
+        plus_store::wire::Response::Error(e) => {
+            assert_eq!(e.kind, WireErrorKind::VersionMismatch)
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    // Then the server hangs up.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_hang_up() {
+    let (store, _) = setup();
+    let server = serve(store);
+
+    // Garbage that parses as a plausible header but fails its checksum.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut bogus = seal_frame(b"not a protocol message at all");
+    let last = bogus.len() - 1;
+    bogus[last] ^= 0xff;
+    stream.write_all(&bogus).unwrap();
+    let mut rest = Vec::new();
+    // Best-effort error frame then EOF; either way the connection ends.
+    stream.read_to_end(&mut rest).ok();
+
+    // An oversized declared length.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+    oversized.extend_from_slice(&[0u8; 4]);
+    stream.write_all(&oversized).unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).ok();
+
+    // A checksum-valid frame whose payload is not a request.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(&seal_frame(&[99, 1, 2, 3])).unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).ok();
+
+    // All three were counted as hangups, and the server still serves.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.stats().hangups < 3 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().hangups, 3);
+    let mut client = Client::connect(server.local_addr(), "reader", &[]).unwrap();
+    assert!(client.epoch().is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn requests_before_hello_are_rejected() {
+    let (store, _) = setup();
+    let server = serve(store);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(&seal_frame(&encode_request(&Request::Epoch)))
+        .unwrap();
+    let mut scratch = Vec::new();
+    let payload = server::read_frame(&mut stream, &mut scratch)
+        .unwrap()
+        .expect("an error frame");
+    match plus_store::wire::decode_response(payload).unwrap() {
+        plus_store::wire::Response::Error(e) => assert_eq!(e.kind, WireErrorKind::BadRequest),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn checkpoint_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("server-checkpoint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::create_durable(&dir, &["Public"], &[]).unwrap();
+    let public = store.predicate("Public").unwrap();
+    for i in 0..5 {
+        store.append_node(format!("n{i}"), NodeKind::Data, Features::new(), public);
+    }
+    let clock = store.clock();
+    let server = serve_with(
+        Arc::new(store),
+        ServerConfig {
+            allow_remote_checkpoint: true,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr(), "operator", &[]).unwrap();
+    let stats = client.checkpoint().unwrap();
+    assert_eq!(stats.clock, clock);
+    assert!(stats.snapshot_bytes > 0);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_of_an_in_memory_store_is_not_durable() {
+    let (store, _) = setup();
+    let server = serve_with(
+        store,
+        ServerConfig {
+            allow_remote_checkpoint: true,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr(), "operator", &[]).unwrap();
+    match client.checkpoint().unwrap_err() {
+        ClientError::Remote(e) => assert_eq!(e.kind, WireErrorKind::NotDurable),
+        other => panic!("expected a typed remote error, got {other}"),
+    }
+    server.shutdown();
+}
+
+/// Remote checkpoints are an operator opt-in: the default refuses them
+/// with a typed error, and the connection stays usable.
+#[test]
+fn remote_checkpoints_are_disabled_by_default() {
+    let (store, _) = setup();
+    let server = serve(store);
+    let mut client = Client::connect(server.local_addr(), "anyone", &[]).unwrap();
+    match client.checkpoint().unwrap_err() {
+        ClientError::Remote(e) => assert_eq!(e.kind, WireErrorKind::NotAuthorized),
+        other => panic!("expected a typed remote error, got {other}"),
+    }
+    assert!(client.epoch().is_ok(), "connection survives the refusal");
+    server.shutdown();
+}
+
+#[test]
+fn pool_reuses_healthy_connections() {
+    let (store, ids) = setup();
+    let server = serve(store);
+    let pool = ClientPool::new(server.local_addr().to_string(), "reader", &[]);
+    {
+        let mut client = pool.get().unwrap();
+        client
+            .query(&QueryRequest::new(
+                ids[2],
+                Direction::Backward,
+                u32::MAX,
+                Strategy::Surrogate,
+            ))
+            .unwrap();
+    }
+    assert_eq!(pool.idle(), 1, "healthy connection returned to the pool");
+    {
+        let _a = pool.get().unwrap();
+        assert_eq!(pool.idle(), 0, "idle connection was handed back out");
+        let _b = pool.get().unwrap(); // dials a second
+    }
+    assert_eq!(pool.idle(), 2);
+    // Only the handshake connections were dialed: 3 total (1 + 1 extra +
+    // 0 reuses).
+    assert_eq!(server.stats().connections, 2);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_hangs_up_live_connections() {
+    let (store, _) = setup();
+    let server = serve(store);
+    let mut client = Client::connect(server.local_addr(), "reader", &[]).unwrap();
+    assert!(client.epoch().is_ok());
+    server.shutdown();
+    // The parked connection is gone; the next call fails cleanly.
+    assert!(client.epoch().is_err());
+    assert!(!client.is_healthy());
+}

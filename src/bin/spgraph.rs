@@ -15,12 +15,21 @@
 //! spgraph checkpoint <dir>                     snapshot the log, prune segments
 //! spgraph recover <dir> [--verify]             recover; report what was replayed,
 //!                                              truncated, or pruned
+//! spgraph serve <store> [--addr a:p] [--threads n] [--allow-checkpoint]
+//!                                              serve the protected query
+//!                                              surface over TCP (trust boundary)
+//! spgraph query --remote <addr> -p <predicate> --root <id> [...]
+//!                                              the same lineage query, answered
+//!                                              by a remote spgraph serve
 //! ```
 //!
 //! `<store>` is a snapshot file or a durable store directory — directory
 //! arguments are recovered via the write-ahead log before serving. All
 //! commands route through the `AccountService` serving layer, the same
-//! concurrent surface a deployment would put in front of the store.
+//! concurrent surface a deployment would put in front of the store;
+//! `serve` binds that surface to a socket so the unprotected store never
+//! leaves this process, and `query --remote` produces byte-identical
+//! output to a local `query` against the same store state.
 //! Argument parsing is deliberately dependency-free.
 
 use std::process::ExitCode;
@@ -42,7 +51,9 @@ fn usage() -> ExitCode {
          spgraph protect <store> -p <predicate> [--strategy surrogate|hide|naive] [--dot <file>]\n  \
          spgraph query <store> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n  \
          spgraph measure <store> -p <predicate> [--threshold <t>]\n  \
-         spgraph checkpoint <dir>\n  spgraph recover <dir> [--verify]\n\
+         spgraph checkpoint <dir>\n  spgraph recover <dir> [--verify]\n  \
+         spgraph serve <store> [--addr <addr:port>] [--threads <n>] [--allow-checkpoint]\n  \
+         spgraph query --remote <addr:port> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n\
          <store> is a snapshot file or a durable (write-ahead-logged) store directory"
     );
     ExitCode::from(2)
@@ -67,6 +78,7 @@ fn main() -> ExitCode {
         "measure" => cmd_measure(&args[1..]),
         "checkpoint" => cmd_checkpoint(&args[1..]),
         "recover" => cmd_recover(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -325,13 +337,9 @@ fn cmd_protect(args: &[String]) -> CliResult<()> {
     Ok(())
 }
 
-/// Protected lineage through the batch query API: what a consumer holding
-/// the predicate actually sees upstream/downstream of a record.
-fn cmd_query(args: &[String]) -> CliResult<()> {
-    let (service, _) = serve(args)?;
-    let snapshot = service.snapshot();
-    let predicate = resolve_predicate(&snapshot, args)?;
-    let strategy = resolve_strategy(args)?;
+/// The query flags shared by the local and remote paths: root,
+/// direction, depth bound, strategy.
+fn parse_query_shape(args: &[String]) -> CliResult<(u32, Direction, u32, Strategy)> {
     let root: u32 = flag_value(args, "--root")
         .ok_or("missing --root <record id>")?
         .parse()
@@ -346,21 +354,20 @@ fn cmd_query(args: &[String]) -> CliResult<()> {
         .map(|d| d.parse().map_err(|_| format!("bad depth {d:?}")))
         .transpose()?
         .unwrap_or(u32::MAX);
+    let strategy = resolve_strategy(args)?;
+    Ok((root, direction, max_depth, strategy))
+}
 
-    let consumer = Consumer::new("spgraph", &snapshot.lattice, &[predicate]);
-    let request = QueryRequest::new(
-        surrogate_parenthood::plus_store::RecordId(root),
-        direction,
-        max_depth,
-        strategy,
-    )
-    .with_predicate(predicate);
-    let response = service
-        .query(&consumer, &request)
-        .map_err(|e| e.to_string())?;
+/// Renders a lineage answer — one shared renderer, so a remote query is
+/// byte-identical to a local one against the same store state.
+fn print_lineage(
+    root: u32,
+    predicate_name: &str,
+    strategy: Strategy,
+    response: &surrogate_parenthood::plus_store::QueryResponse,
+) {
     println!(
-        "lineage of record {root} for {:?} ({strategy}), epoch {}:",
-        snapshot.lattice.name(predicate),
+        "lineage of record {root} for {predicate_name:?} ({strategy}), epoch {}:",
         response.epoch
     );
     if response.rows.is_empty() {
@@ -375,7 +382,103 @@ fn cmd_query(args: &[String]) -> CliResult<()> {
             if row.surrogate { "  [surrogate]" } else { "" }
         );
     }
+}
+
+/// Protected lineage through the batch query API: what a consumer holding
+/// the predicate actually sees upstream/downstream of a record. With
+/// `--remote <addr>`, the same question is answered by an `spgraph serve`
+/// across the wire instead of a locally opened store.
+fn cmd_query(args: &[String]) -> CliResult<()> {
+    if let Some(addr) = flag_value(args, "--remote") {
+        return cmd_query_remote(&addr, args);
+    }
+    let (service, _) = serve(args)?;
+    let snapshot = service.snapshot();
+    let predicate = resolve_predicate(&snapshot, args)?;
+    let (root, direction, max_depth, strategy) = parse_query_shape(args)?;
+
+    let consumer = Consumer::new("spgraph", &snapshot.lattice, &[predicate]);
+    let request = QueryRequest::new(
+        surrogate_parenthood::plus_store::RecordId(root),
+        direction,
+        max_depth,
+        strategy,
+    )
+    .with_predicate(predicate);
+    let response = service
+        .query(&consumer, &request)
+        .map_err(|e| e.to_string())?;
+    print_lineage(root, snapshot.lattice.name(predicate), strategy, &response);
     Ok(())
+}
+
+/// The remote arm of `query`: connect to an `spgraph serve`, claim the
+/// predicate by name, resolve it against the handshake lattice, and
+/// render through the same printer as the local arm.
+fn cmd_query_remote(addr: &str, args: &[String]) -> CliResult<()> {
+    let name = flag_value(args, "-p")
+        .or_else(|| flag_value(args, "--predicate"))
+        .ok_or("missing -p <predicate>")?;
+    let (root, direction, max_depth, strategy) = parse_query_shape(args)?;
+    let mut client = surrogate_parenthood::Client::connect(addr, "spgraph", &[name.as_str()])
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let predicate = client
+        .predicate(&name)
+        .ok_or_else(|| format!("unknown predicate {name:?}"))?;
+    let request = QueryRequest::new(
+        surrogate_parenthood::plus_store::RecordId(root),
+        direction,
+        max_depth,
+        strategy,
+    )
+    .with_predicate(predicate);
+    let response = client.query(&request).map_err(|e| e.to_string())?;
+    print_lineage(root, &name, strategy, &response);
+    Ok(())
+}
+
+/// Binds the protected query surface to a TCP socket: the trust
+/// boundary. The unprotected store stays in this process; remote
+/// consumers only ever receive protected `QueryResponse` rows.
+fn cmd_serve(args: &[String]) -> CliResult<()> {
+    let path = args.first().ok_or("missing store path")?;
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7654".to_string());
+    let threads: Option<usize> = flag_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| format!("bad --threads {t:?}")))
+        .transpose()?;
+    // Writable open (unlike the read-only inspection commands): a serving
+    // process is the store's single attached writer, so remote
+    // `Checkpoint` requests can fold the log.
+    let store = if std::path::Path::new(path).is_dir() {
+        Store::open(path).map_err(|e| format!("cannot load {path}: {e}"))?
+    } else {
+        Store::load(path).map_err(|e| format!("cannot load {path}: {e}"))?
+    };
+    let service = Arc::new(AccountService::new(Arc::new(store)));
+    let mut config = surrogate_parenthood::server::ServerConfig::default();
+    if let Some(threads) = threads {
+        config.threads = threads.max(1);
+    }
+    // Remote checkpoints drive owner-side disk I/O; an operator must
+    // opt in to expose them on the socket.
+    config.allow_remote_checkpoint = args.iter().any(|a| a == "--allow-checkpoint");
+    let epoch = service.epoch();
+    let nodes = service.snapshot().graph.node_count();
+    let server = Server::bind_with(service, &addr as &str, config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "serving {path} on {} (epoch {epoch}, {nodes} nodes, {} worker threads)",
+        server.local_addr(),
+        config.threads
+    );
+    println!("only protected query responses cross this socket; stop with ^C");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // Serve until killed. The worker threads own all the work; this
+    // thread only keeps the process (and the Server it owns) alive.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_measure(args: &[String]) -> CliResult<()> {

@@ -8,6 +8,10 @@
 //!   pluggable [`ProtectionStrategy`] trait;
 //! * [`plus_store`] — the PLUS-like provenance store substrate and the
 //!   concurrent, epoch-versioned [`AccountService`] serving layer;
+//! * [`server`] — the network edge: a std-only threaded TCP server that
+//!   exposes *only* the protected query surface over a checksummed
+//!   binary protocol, plus the blocking [`Client`]/[`ClientPool`]
+//!   (`spgraph serve` / `spgraph query --remote`);
 //! * [`graphgen`] — evaluation workload generators.
 //!
 //! See the `examples/` directory for runnable walkthroughs and the
@@ -113,13 +117,16 @@
 
 pub use graphgen;
 pub use plus_store;
+pub use server;
 pub use surrogate_core;
 
 pub use plus_store::{AccountService, QueryRequest, QueryResponse, Session, Snapshot};
+pub use server::{Client, ClientPool, Server};
 pub use surrogate_core::strategy::ProtectionStrategy;
 
 /// The most used types across the workspace.
 pub mod prelude {
     pub use plus_store::{AccountService, QueryRequest, QueryResponse, Session, Snapshot};
+    pub use server::{Client, ClientPool, Server};
     pub use surrogate_core::prelude::*;
 }
