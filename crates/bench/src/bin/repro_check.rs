@@ -1,0 +1,167 @@
+//! Bench-regression gate: compares a freshly generated `BENCH_*.json`
+//! against the committed record of the previous PR and fails (exit 1)
+//! on excessive throughput regression — so the perf claims checked into
+//! `BENCH_*.json` stay honest instead of silently decaying.
+//!
+//! ```text
+//! repro_check --baseline BENCH_PR4.json --current BENCH_PR5.json
+//!             [--max-regression 0.30]      allowed fractional drop
+//!             [--keys a.b,c.d]             dotted throughput keys to gate
+//! ```
+//!
+//! Default keys gate the `repro_table1` service throughput and the
+//! `repro_serve` wire throughput (single-query and batched). A key
+//! missing from the **baseline** is skipped with a note (older records
+//! predate the metric); a key missing from the **current** record fails
+//! (the metric stopped being measured — that is itself a regression).
+//! Throughputs are higher-is-better: a current value below
+//! `baseline * (1 - max_regression)` fails the gate.
+
+use surrogate_bench::report::{json, render_table};
+
+/// Throughput keys gated by default: service-layer and wire-layer.
+const DEFAULT_KEYS: &[&str] = &[
+    "account_service.warm_queries_per_sec",
+    "serve.requests_per_sec",
+    "serve.batch_queries_per_sec",
+];
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = flag_value(&args, "--baseline").unwrap_or_else(|| {
+        eprintln!("usage: repro_check --baseline <json> --current <json> [--max-regression 0.30] [--keys a.b,c.d]");
+        std::process::exit(2);
+    });
+    let current_path = flag_value(&args, "--current").unwrap_or_else(|| {
+        eprintln!("repro_check: missing --current <json>");
+        std::process::exit(2);
+    });
+    let max_regression: f64 = flag_value(&args, "--max-regression")
+        .map(|m| m.parse().expect("--max-regression takes a fraction"))
+        .unwrap_or(0.30);
+    let keys: Vec<String> = flag_value(&args, "--keys")
+        .map(|k| k.split(',').map(|s| s.trim().to_string()).collect())
+        .unwrap_or_else(|| DEFAULT_KEYS.iter().map(|s| s.to_string()).collect());
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("repro_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for key in &keys {
+        let (verdict, detail) = check_key(&baseline, &current, key, max_regression);
+        if let Verdict::Fail = verdict {
+            failures.push(key.clone());
+        }
+        rows.push(vec![key.clone(), verdict.label().to_string(), detail]);
+    }
+
+    println!(
+        "bench gate: {current_path} vs {baseline_path} (allowed regression {:.0}%)\n",
+        max_regression * 100.0
+    );
+    println!("{}", render_table(&["key", "verdict", "detail"], &rows));
+
+    if failures.is_empty() {
+        println!("gate passed");
+    } else {
+        eprintln!("gate FAILED on: {}", failures.join(", "));
+        std::process::exit(1);
+    }
+}
+
+enum Verdict {
+    Pass,
+    Skip,
+    Fail,
+}
+
+impl Verdict {
+    fn label(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "ok",
+            Verdict::Skip => "skipped",
+            Verdict::Fail => "FAIL",
+        }
+    }
+}
+
+/// Gates one higher-is-better key.
+fn check_key(baseline: &str, current: &str, key: &str, max_regression: f64) -> (Verdict, String) {
+    let Some(base) = json::number_at(baseline, key) else {
+        return (
+            Verdict::Skip,
+            "not in baseline (metric newer than the record)".to_string(),
+        );
+    };
+    let Some(now) = json::number_at(current, key) else {
+        return (Verdict::Fail, "missing from the current record".to_string());
+    };
+    let floor = base * (1.0 - max_regression);
+    let delta = (now - base) / base * 100.0;
+    let detail = format!("{now:.0} vs {base:.0} ({delta:+.1}%)");
+    if now < floor {
+        (Verdict::Fail, detail)
+    } else {
+        (Verdict::Pass, detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{"serve": {"requests_per_sec": 1000.0}, "flat": 500.0}"#;
+
+    #[test]
+    fn within_threshold_passes() {
+        let current = r#"{"serve": {"requests_per_sec": 800.0}}"#;
+        assert!(matches!(
+            check_key(BASE, current, "serve.requests_per_sec", 0.30).0,
+            Verdict::Pass
+        ));
+    }
+
+    #[test]
+    fn beyond_threshold_fails() {
+        let current = r#"{"serve": {"requests_per_sec": 600.0}}"#;
+        assert!(matches!(
+            check_key(BASE, current, "serve.requests_per_sec", 0.30).0,
+            Verdict::Fail
+        ));
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let current = r#"{"serve": {"requests_per_sec": 5000.0}}"#;
+        assert!(matches!(
+            check_key(BASE, current, "serve.requests_per_sec", 0.30).0,
+            Verdict::Pass
+        ));
+    }
+
+    #[test]
+    fn new_metrics_skip_missing_metrics_fail() {
+        let current = r#"{"replica": {"catchup_frames_per_sec": 9.0}}"#;
+        assert!(matches!(
+            check_key(BASE, current, "replica.catchup_frames_per_sec", 0.30).0,
+            Verdict::Skip
+        ));
+        assert!(matches!(
+            check_key(BASE, current, "serve.requests_per_sec", 0.30).0,
+            Verdict::Fail
+        ));
+    }
+}

@@ -1,0 +1,111 @@
+//! Replication benchmark — cold-replica catch-up rate (WAL frames/s)
+//! and aggregate query throughput across 1 primary + 2 read replicas,
+//! the PR-over-PR replication record (`BENCH_PR5.json`).
+//!
+//! ```text
+//! repro_replica                       full workload (50k ops, 120k queries)
+//! repro_replica --smoke               small workload, same code paths (CI)
+//! repro_replica --ops 10000           primary mutations before attach
+//! repro_replica --replicas 2          read replicas in the topology
+//! repro_replica --threads 6           closed-loop client threads
+//! repro_replica --json BENCH_PR5.json record results (merging into an
+//!                                     existing bench JSON object)
+//! ```
+
+use surrogate_bench::experiments::replica::{self, ReplicaBenchConfig};
+use surrogate_bench::report::{json, render_table};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = if args.iter().any(|a| a == "--smoke") {
+        ReplicaBenchConfig::smoke()
+    } else {
+        ReplicaBenchConfig::default()
+    };
+    if let Some(ops) = flag_value(&args, "--ops") {
+        config.ops = ops.parse().expect("--ops takes a number");
+    }
+    if let Some(replicas) = flag_value(&args, "--replicas") {
+        config.replicas = replicas.parse().expect("--replicas takes a number");
+    }
+    if let Some(threads) = flag_value(&args, "--threads") {
+        config.threads = threads.parse().expect("--threads takes a number");
+    }
+    if let Some(requests) = flag_value(&args, "--requests") {
+        config.requests = requests.parse().expect("--requests takes a number");
+    }
+
+    println!(
+        "replication benchmark: {} ops on the primary, {} cold replica(s), then {} queries over {} threads\n",
+        config.ops,
+        config.replicas,
+        config.requests,
+        config.threads
+    );
+
+    let result = match replica::run(&config) {
+        Ok(result) => result,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    };
+
+    let table = render_table(
+        &["metric", "value"],
+        &[
+            vec!["primary mutations (frames)".into(), result.ops.to_string()],
+            vec!["replicas".into(), result.replicas.to_string()],
+            vec![
+                "cold catch-up (ms)".into(),
+                format!("{:.1}", result.catchup_ms),
+            ],
+            vec![
+                "catch-up frames/sec".into(),
+                format!("{:.0}", result.catchup_frames_per_sec),
+            ],
+            vec!["client threads".into(), result.threads.to_string()],
+            vec!["queries completed".into(), result.requests.to_string()],
+            vec![
+                "aggregate queries/sec (1+N)".into(),
+                format!("{:.0}", result.aggregate_queries_per_sec),
+            ],
+            vec!["final replica lag".into(), result.final_lag.to_string()],
+        ],
+    );
+    println!("{table}");
+
+    if let Some(path) = flag_value(&args, "--json") {
+        let record = json::object(&[
+            ("ops", result.ops.to_string()),
+            ("replicas", result.replicas.to_string()),
+            ("catchup_ms", json::num(result.catchup_ms)),
+            (
+                "catchup_frames_per_sec",
+                json::num(result.catchup_frames_per_sec),
+            ),
+            ("threads", result.threads.to_string()),
+            ("requests", result.requests.to_string()),
+            (
+                "aggregate_queries_per_sec",
+                json::num(result.aggregate_queries_per_sec),
+            ),
+            ("final_lag", result.final_lag.to_string()),
+        ]);
+        let text = match std::fs::read_to_string(&path) {
+            // Merge into the shared bench record so one file carries
+            // the whole per-PR perf trajectory.
+            Ok(existing) => json::merge_key(existing.trim(), "replica", &record)
+                .unwrap_or_else(|| panic!("{path} does not hold a JSON object to merge into")),
+            Err(_) => format!("{{\"replica\": {record}}}"),
+        };
+        std::fs::write(&path, text).expect("bench JSON writes");
+        println!("replica record written to {path}");
+    }
+}

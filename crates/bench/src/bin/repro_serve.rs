@@ -111,128 +111,11 @@ fn main() {
             // Merge into an existing bench record (repro_table1 --json
             // writes one flat object) so one file carries the whole
             // per-PR perf trajectory.
-            Ok(existing) => merge_serve(existing.trim(), &record)
+            Ok(existing) => json::merge_key(existing.trim(), "serve", &record)
                 .unwrap_or_else(|| panic!("{path} does not hold a JSON object to merge into")),
             Err(_) => format!("{{\"serve\": {record}}}"),
         };
         std::fs::write(&path, text).expect("bench JSON writes");
         println!("serve record written to {path}");
-    }
-}
-
-/// Splices `"serve": record` into a flat JSON object's top level,
-/// replacing any previous `"serve"` entry (re-running against the same
-/// file must not produce duplicate keys).
-fn merge_serve(existing: &str, record: &str) -> Option<String> {
-    let without_old = strip_top_level_key(existing, "serve")?;
-    let body = without_old
-        .strip_prefix('{')?
-        .strip_suffix('}')?
-        .trim()
-        .trim_end_matches(',')
-        .trim_end();
-    Some(if body.is_empty() {
-        format!("{{\"serve\": {record}}}")
-    } else {
-        format!("{{{body}, \"serve\": {record}}}")
-    })
-}
-
-/// Removes `"key": <value>` (and one adjacent comma) from the top level
-/// of a JSON object, tracking strings and nesting so braces inside
-/// labels cannot confuse the scan. Returns the input unchanged when the
-/// key is absent; `None` when the text is not a JSON object.
-fn strip_top_level_key(text: &str, key: &str) -> Option<String> {
-    let text = text.trim();
-    if !text.starts_with('{') || !text.ends_with('}') {
-        return None;
-    }
-    let needle = format!("\"{key}\"");
-    let bytes = text.as_bytes();
-    let (mut depth, mut in_string, mut escaped) = (0i32, false, false);
-    let mut key_start = None;
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        if in_string {
-            match b {
-                _ if escaped => escaped = false,
-                b'\\' => escaped = true,
-                b'"' => in_string = false,
-                _ => {}
-            }
-        } else {
-            match b {
-                b'"' => {
-                    // A key, not a value: the quoted name must be
-                    // followed by a colon.
-                    if depth == 1
-                        && key_start.is_none()
-                        && text[i..].starts_with(&needle)
-                        && text[i + needle.len()..].trim_start().starts_with(':')
-                    {
-                        key_start = Some(i);
-                    }
-                    in_string = true;
-                }
-                b'{' | b'[' => depth += 1,
-                b'}' | b']' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        if let Some(start) = key_start {
-                            // Key ran to the object's end: drop it and a
-                            // comma before it.
-                            let head = text[..start].trim_end().trim_end_matches(',');
-                            return Some(format!("{}{}", head.trim_end(), &text[i..]));
-                        }
-                    }
-                }
-                b',' if depth == 1 => {
-                    if let Some(start) = key_start {
-                        // Value ended at this top-level comma: splice the
-                        // entry (and this comma) out.
-                        return Some(format!("{}{}", &text[..start], text[i + 1..].trim_start()));
-                    }
-                }
-                _ => {}
-            }
-        }
-        i += 1;
-    }
-    Some(text.to_string())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn merge_into_fresh_and_existing_objects() {
-        assert_eq!(
-            merge_serve("{}", "{\"a\": 1}").unwrap(),
-            "{\"serve\": {\"a\": 1}}"
-        );
-        assert_eq!(
-            merge_serve("{\"x\": 2}", "{\"a\": 1}").unwrap(),
-            "{\"x\": 2, \"serve\": {\"a\": 1}}"
-        );
-        assert!(merge_serve("not json", "{}").is_none());
-    }
-
-    #[test]
-    fn remerging_replaces_instead_of_duplicating() {
-        let once = merge_serve("{\"x\": 2}", "{\"a\": 1}").unwrap();
-        let twice = merge_serve(&once, "{\"a\": 9}").unwrap();
-        assert_eq!(twice, "{\"x\": 2, \"serve\": {\"a\": 9}}");
-        assert_eq!(twice.matches("\"serve\"").count(), 1);
-    }
-
-    #[test]
-    fn strip_handles_mid_object_keys_and_braces_in_strings() {
-        let text = "{\"serve\": {\"label\": \"a } tricky { one\"}, \"x\": 2}";
-        assert_eq!(strip_top_level_key(text, "serve").unwrap(), "{\"x\": 2}");
-        // A nested "serve" key is not top-level and survives.
-        let nested = "{\"outer\": {\"serve\": 1}, \"x\": 2}";
-        assert_eq!(strip_top_level_key(nested, "serve").unwrap(), nested);
     }
 }

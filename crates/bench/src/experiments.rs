@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod replica;
 pub mod serve;
 pub mod service;
 pub mod table1;

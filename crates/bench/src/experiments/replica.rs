@@ -1,0 +1,290 @@
+//! Replication benchmarks: how fast a cold replica catches up (WAL
+//! frames replayed per second), and what a replica set buys in
+//! aggregate query throughput — the PR-5 serving-at-scale record
+//! (`BENCH_PR5.json`).
+//!
+//! Two phases:
+//!
+//! 1. **Catch-up.** A durable primary is pre-loaded with
+//!    [`ReplicaBenchConfig::ops`] mutations and served with replication
+//!    enabled; a cold [`Replica`] attaches and the wall clock runs until
+//!    its epoch equals the primary's. (The bootstrap snapshot counts as
+//!    part of catch-up: it is the fast path the feeder chooses, and
+//!    hiding it would flatter the number. A second replica attaches the
+//!    same way, giving the fan-out topology for phase 2.)
+//! 2. **Aggregate throughput.** Closed-loop client threads spread
+//!    single-query round trips across the 1 primary + 2 replica
+//!    endpoints round-robin, all on loopback — the horizontal-read
+//!    story the paper's serving model implies, measured end to end.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use plus_store::{
+    AccountService, Direction, DurabilityOptions, EdgeKind, NodeKind, QueryRequest, RecordId, Store,
+};
+use server::{Client, Replica, ReplicaConfig, Server, ServerConfig};
+use surrogate_core::account::Strategy;
+use surrogate_core::feature::Features;
+
+/// Workload shape for the replication benchmark.
+#[derive(Debug, Clone)]
+pub struct ReplicaBenchConfig {
+    /// Mutations pre-loaded into the primary (nodes + edges).
+    pub ops: usize,
+    /// Read replicas attached (the ISSUE's topology is 2).
+    pub replicas: usize,
+    /// Closed-loop client threads in the aggregate phase.
+    pub threads: usize,
+    /// Total single-query round trips in the aggregate phase.
+    pub requests: usize,
+    /// Hop bound per query.
+    pub max_depth: u32,
+}
+
+impl Default for ReplicaBenchConfig {
+    fn default() -> Self {
+        Self {
+            ops: 50_000,
+            replicas: 2,
+            threads: 6,
+            requests: 120_000,
+            max_depth: 4,
+        }
+    }
+}
+
+impl ReplicaBenchConfig {
+    /// The CI smoke shape: small enough for a busy runner, same paths.
+    pub fn smoke() -> Self {
+        Self {
+            ops: 3_000,
+            requests: 9_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Measured replication performance.
+#[derive(Debug, Clone)]
+pub struct ReplicaBenchResult {
+    /// Mutations the primary held when the replicas attached.
+    pub ops: usize,
+    /// Replicas attached.
+    pub replicas: usize,
+    /// Wall-clock for the **first** (cold) replica to reach the
+    /// primary's epoch, milliseconds.
+    pub catchup_ms: f64,
+    /// `ops / catchup`: frames a cold replica replays per second.
+    pub catchup_frames_per_sec: f64,
+    /// Client threads in the aggregate phase.
+    pub threads: usize,
+    /// Single-query round trips completed across all endpoints.
+    pub requests: usize,
+    /// Aggregate queries per second across 1 primary + N replicas.
+    pub aggregate_queries_per_sec: f64,
+    /// Observed replica lag after the query phase (0 = fully coherent).
+    pub final_lag: u64,
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-replica-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds the primary's workload: a layered pipeline of nodes with a
+/// High-classified minority, edges linking each node back to an
+/// earlier one — every mutation is one WAL frame.
+fn load_primary(store: &Store, ops: usize) {
+    let public = store.predicate("Public").unwrap();
+    let high = store.predicate("High").unwrap();
+    let mut nodes = 0u32;
+    for i in 0..ops {
+        if i % 3 == 2 && nodes >= 2 {
+            // A fresh edge: node k -> k - (k % 7 + 1), never duplicated
+            // because each target node gains at most one inbound edge
+            // from this pattern per source.
+            let from = nodes - 1;
+            let to = from - (from % 7 + 1).min(from);
+            if from != to
+                && store
+                    .append_edge(RecordId(from), RecordId(to), EdgeKind::InputTo)
+                    .is_ok()
+            {
+                continue;
+            }
+        }
+        let lowest = if i % 10 == 0 { high } else { public };
+        store.append_node(
+            format!("n{i}"),
+            [NodeKind::Data, NodeKind::Process, NodeKind::Agent][i % 3],
+            Features::new().with("i", i as i64),
+            lowest,
+        );
+        nodes += 1;
+    }
+}
+
+/// Runs the replication benchmark. Errors are strings: this is a
+/// harness, and every failure is terminal for the run.
+pub fn run(config: &ReplicaBenchConfig) -> Result<ReplicaBenchResult, String> {
+    let primary_dir = temp_dir("primary");
+    let store = Arc::new(
+        Store::create_durable_with(
+            &primary_dir,
+            &["Public", "High"],
+            &[(1, 0)],
+            DurabilityOptions {
+                fsync: false,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| format!("cannot create primary store: {e}"))?,
+    );
+    load_primary(&store, config.ops);
+    let primary_epoch = store.clock();
+
+    let service = Arc::new(AccountService::new(store.clone()));
+    let server_config = ServerConfig {
+        threads: config.threads.max(2),
+        allow_replication: true,
+        ..ServerConfig::default()
+    };
+    let primary = Server::bind_with(service, "127.0.0.1:0", server_config)
+        .map_err(|e| format!("cannot bind primary: {e}"))?;
+    let primary_addr = primary.local_addr().to_string();
+
+    // --- Phase 1: cold catch-up ---------------------------------------
+    let replica_config = ReplicaConfig {
+        durability: DurabilityOptions {
+            fsync: false,
+            ..Default::default()
+        },
+        ..ReplicaConfig::default()
+    };
+    let mut replicas = Vec::new();
+    let mut replica_dirs = Vec::new();
+    let started = Instant::now();
+    let mut catchup_ms = 0.0;
+    for r in 0..config.replicas.max(1) {
+        let dir = temp_dir(&format!("replica-{r}"));
+        let replica = Replica::start_with(&primary_addr, &dir, replica_config)
+            .map_err(|e| format!("replica {r} failed to start: {e}"))?;
+        let deadline = Instant::now() + Duration::from_secs(300);
+        while replica.epoch() < primary_epoch {
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "replica {r} stuck at epoch {} of {primary_epoch}: {:?}",
+                    replica.epoch(),
+                    replica.status()
+                ));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        if r == 0 {
+            catchup_ms = started.elapsed().as_secs_f64() * 1e3;
+        }
+        replicas.push(replica);
+        replica_dirs.push(dir);
+    }
+
+    // --- Phase 2: aggregate throughput over the whole topology --------
+    let mut servers = vec![];
+    let mut addrs = vec![primary_addr.clone()];
+    for replica in &replicas {
+        let server = Server::bind_replica(
+            replica,
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: config.threads.max(2),
+                ..ServerConfig::default()
+            },
+        )
+        .map_err(|e| format!("cannot bind replica server: {e}"))?;
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+
+    let nodes = store.node_count().max(1) as u32;
+    let request = |i: usize| {
+        QueryRequest::new(
+            RecordId(i as u32 % nodes),
+            if i % 2 == 0 {
+                Direction::Backward
+            } else {
+                Direction::Forward
+            },
+            config.max_depth,
+            Strategy::Surrogate,
+        )
+    };
+    let per_thread = config.requests / config.threads.max(1);
+    let start_line = std::sync::Barrier::new(config.threads + 1);
+    let (results, elapsed_ms): (Vec<Result<usize, String>>, f64) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|tid| {
+                // Threads spread across endpoints round-robin: the
+                // aggregate is what the topology serves, not one node.
+                let addr = addrs[tid % addrs.len()].clone();
+                let start_line = &start_line;
+                scope.spawn(move || -> Result<usize, String> {
+                    let connected = Client::connect(addr.as_str(), "loadgen", &[])
+                        .map_err(|e| format!("connect {addr}: {e}"));
+                    let warmed = connected.and_then(|mut client| {
+                        for i in 0..32.min(per_thread) {
+                            client
+                                .query(&request(i))
+                                .map_err(|e| format!("warmup: {e}"))?;
+                        }
+                        Ok(client)
+                    });
+                    start_line.wait();
+                    let mut client = warmed?;
+                    for i in 0..per_thread {
+                        client
+                            .query(&request(i * config.threads + tid))
+                            .map_err(|e| format!("query: {e}"))?;
+                    }
+                    Ok(per_thread)
+                })
+            })
+            .collect();
+        start_line.wait();
+        let started = Instant::now();
+        let results = handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread never panics"))
+            .collect();
+        (results, started.elapsed().as_secs_f64() * 1e3)
+    });
+    let mut requests = 0usize;
+    for result in results {
+        requests += result?;
+    }
+    let final_lag = replicas.iter().map(|r| r.lag()).max().unwrap_or(0);
+
+    for server in servers {
+        server.shutdown();
+    }
+    primary.shutdown();
+    for replica in replicas {
+        replica.shutdown();
+    }
+    std::fs::remove_dir_all(&primary_dir).ok();
+    for dir in replica_dirs {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    Ok(ReplicaBenchResult {
+        ops: primary_epoch as usize,
+        replicas: config.replicas,
+        catchup_ms,
+        catchup_frames_per_sec: primary_epoch as f64 / (catchup_ms / 1e3),
+        threads: config.threads,
+        requests,
+        aggregate_queries_per_sec: requests as f64 / (elapsed_ms / 1e3),
+        final_lag,
+    })
+}

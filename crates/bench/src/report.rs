@@ -87,11 +87,228 @@ pub mod json {
     pub fn array(values: &[String]) -> String {
         format!("[{}]", values.join(", "))
     }
+
+    /// Splices `"key": record` into a flat JSON object's top level,
+    /// replacing any previous entry of that name — how the `repro_*`
+    /// binaries merge their records into one shared `BENCH_*.json`
+    /// without a JSON dependency (re-running against the same file must
+    /// not produce duplicate keys). `None` when `existing` is not a
+    /// JSON object.
+    pub fn merge_key(existing: &str, key: &str, record: &str) -> Option<String> {
+        let without_old = strip_top_level_key(existing, key)?;
+        let body = without_old
+            .strip_prefix('{')?
+            .strip_suffix('}')?
+            .trim()
+            .trim_end_matches(',')
+            .trim_end();
+        Some(if body.is_empty() {
+            format!("{{\"{key}\": {record}}}")
+        } else {
+            format!("{{{body}, \"{key}\": {record}}}")
+        })
+    }
+
+    /// Removes `"key": <value>` (and one adjacent comma) from the top
+    /// level of a JSON object, tracking strings and nesting so braces
+    /// inside labels cannot confuse the scan. Returns the input
+    /// unchanged when the key is absent; `None` when the text is not a
+    /// JSON object.
+    pub fn strip_top_level_key(text: &str, key: &str) -> Option<String> {
+        let text = text.trim();
+        if !text.starts_with('{') || !text.ends_with('}') {
+            return None;
+        }
+        let needle = format!("\"{key}\"");
+        let bytes = text.as_bytes();
+        let (mut depth, mut in_string, mut escaped) = (0i32, false, false);
+        let mut key_start = None;
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if in_string {
+                match b {
+                    _ if escaped => escaped = false,
+                    b'\\' => escaped = true,
+                    b'"' => in_string = false,
+                    _ => {}
+                }
+            } else {
+                match b {
+                    b'"' => {
+                        // A key, not a value: the quoted name must be
+                        // followed by a colon.
+                        if depth == 1
+                            && key_start.is_none()
+                            && text[i..].starts_with(&needle)
+                            && text[i + needle.len()..].trim_start().starts_with(':')
+                        {
+                            key_start = Some(i);
+                        }
+                        in_string = true;
+                    }
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if let Some(start) = key_start {
+                                // Key ran to the object's end: drop it
+                                // and a comma before it.
+                                let head = text[..start].trim_end().trim_end_matches(',');
+                                return Some(format!("{}{}", head.trim_end(), &text[i..]));
+                            }
+                        }
+                    }
+                    b',' if depth == 1 => {
+                        if let Some(start) = key_start {
+                            // Value ended at this top-level comma:
+                            // splice the entry (and this comma) out.
+                            return Some(format!(
+                                "{}{}",
+                                &text[..start],
+                                text[i + 1..].trim_start()
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        Some(text.to_string())
+    }
+
+    /// Reads the number at a dotted path (e.g. `"serve.requests_per_sec"`)
+    /// out of a flat-ish JSON object — the regression gate's extractor.
+    /// `None` when the path is absent or not a number.
+    pub fn number_at(text: &str, dotted_path: &str) -> Option<f64> {
+        let mut value = text.trim().to_string();
+        for segment in dotted_path.split('.') {
+            value = top_level_value(&value, segment)?;
+        }
+        value.trim().parse().ok()
+    }
+
+    /// The raw text of `"key"`'s value at the top level of a JSON
+    /// object, using the same string/nesting-aware scan as
+    /// [`strip_top_level_key`].
+    pub fn top_level_value(text: &str, key: &str) -> Option<String> {
+        let text = text.trim();
+        if !text.starts_with('{') {
+            return None;
+        }
+        let needle = format!("\"{key}\"");
+        let bytes = text.as_bytes();
+        let (mut depth, mut in_string, mut escaped) = (0i32, false, false);
+        let mut value_start: Option<usize> = None;
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if in_string {
+                match b {
+                    _ if escaped => escaped = false,
+                    b'\\' => escaped = true,
+                    b'"' => in_string = false,
+                    _ => {}
+                }
+            } else {
+                match b {
+                    b'"' => {
+                        if depth == 1
+                            && value_start.is_none()
+                            && text[i..].starts_with(&needle)
+                            && text[i + needle.len()..].trim_start().starts_with(':')
+                        {
+                            let after_key = i + needle.len();
+                            let colon = after_key + text[after_key..].find(':')?;
+                            value_start = Some(colon + 1);
+                        }
+                        in_string = true;
+                    }
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if let Some(start) = value_start {
+                                if start <= i {
+                                    return Some(text[start..i].trim().to_string());
+                                }
+                            }
+                        }
+                    }
+                    b',' if depth == 1 => {
+                        if let Some(start) = value_start {
+                            if start <= i {
+                                return Some(text[start..i].trim().to_string());
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        None
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_into_fresh_and_existing_objects() {
+        assert_eq!(
+            json::merge_key("{}", "serve", "{\"a\": 1}").unwrap(),
+            "{\"serve\": {\"a\": 1}}"
+        );
+        assert_eq!(
+            json::merge_key("{\"x\": 2}", "serve", "{\"a\": 1}").unwrap(),
+            "{\"x\": 2, \"serve\": {\"a\": 1}}"
+        );
+        assert!(json::merge_key("not json", "serve", "{}").is_none());
+    }
+
+    #[test]
+    fn remerging_replaces_instead_of_duplicating() {
+        let once = json::merge_key("{\"x\": 2}", "replica", "{\"a\": 1}").unwrap();
+        let twice = json::merge_key(&once, "replica", "{\"a\": 9}").unwrap();
+        assert_eq!(twice, "{\"x\": 2, \"replica\": {\"a\": 9}}");
+        assert_eq!(twice.matches("\"replica\"").count(), 1);
+    }
+
+    #[test]
+    fn strip_handles_mid_object_keys_and_braces_in_strings() {
+        let text = "{\"serve\": {\"label\": \"a } tricky { one\"}, \"x\": 2}";
+        assert_eq!(
+            json::strip_top_level_key(text, "serve").unwrap(),
+            "{\"x\": 2}"
+        );
+        // A nested "serve" key is not top-level and survives.
+        let nested = "{\"outer\": {\"serve\": 1}, \"x\": 2}";
+        assert_eq!(json::strip_top_level_key(nested, "serve").unwrap(), nested);
+    }
+
+    #[test]
+    fn number_at_walks_dotted_paths() {
+        let text = r#"{"serve": {"requests_per_sec": 77088.7, "p50_us": 45.5}, "flat": 3}"#;
+        assert_eq!(
+            json::number_at(text, "serve.requests_per_sec"),
+            Some(77088.7)
+        );
+        assert_eq!(json::number_at(text, "serve.p50_us"), Some(45.5));
+        assert_eq!(json::number_at(text, "flat"), Some(3.0));
+        assert_eq!(json::number_at(text, "serve.missing"), None);
+        assert_eq!(json::number_at(text, "missing.path"), None);
+        assert_eq!(
+            json::number_at(text, "serve"),
+            None,
+            "objects are not numbers"
+        );
+        // Braces inside strings cannot derail the scan.
+        let tricky = r#"{"label": "a } tricky { one", "n": 7}"#;
+        assert_eq!(json::number_at(tricky, "n"), Some(7.0));
+    }
 
     #[test]
     fn table_is_aligned() {

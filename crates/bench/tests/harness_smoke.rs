@@ -19,6 +19,8 @@ const REPRO_BINS: &[&str] = &[
     "repro_fig9",
     "repro_fig10",
     "repro_serve",
+    "repro_replica",
+    "repro_check",
     "repro_all",
 ];
 

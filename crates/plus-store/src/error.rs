@@ -55,6 +55,15 @@ pub enum StoreError {
     /// A predicate id outside the store's lattice was passed to an
     /// append or policy call.
     UnknownPredicate(u16),
+    /// A replicated record or snapshot does not continue this store's
+    /// history: it is stamped for a different clock than the local tail
+    /// (an out-of-order stream, or a primary whose history diverged).
+    ReplicationGap {
+        /// The clock the next replicated record must carry.
+        expected: u64,
+        /// The clock the record actually carried.
+        found: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -96,6 +105,10 @@ impl fmt::Display for StoreError {
             StoreError::UnknownPredicate(id) => {
                 write!(f, "predicate #{id} does not exist in the store's lattice")
             }
+            StoreError::ReplicationGap { expected, found } => write!(
+                f,
+                "replicated record for clock {found} does not continue local history at clock {expected}"
+            ),
         }
     }
 }

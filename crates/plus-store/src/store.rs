@@ -600,6 +600,86 @@ impl Store {
             pruned_snapshots,
         })
     }
+
+    // -----------------------------------------------------------------------
+    // Replication
+    // -----------------------------------------------------------------------
+
+    /// Applies one replicated WAL record at the tail of this store's
+    /// history — the **replica apply path**. The record goes through the
+    /// ordinary append methods, so on a durable store it is logged to
+    /// this store's *own* write-ahead log first: a replica's directory
+    /// recovers by exactly the rules a primary's does, and a restarted
+    /// replica resumes from its local clock.
+    ///
+    /// Validation mirrors the recovery replay path: a node
+    /// record stamped for any clock but the current one is refused with
+    /// [`StoreError::ReplicationGap`] (the stream is out of order or the
+    /// primary's history diverged), and semantically invalid records
+    /// surface the ordinary append errors. Nothing is applied on error.
+    pub fn apply_replicated(&self, record: WalRecord) -> Result<()> {
+        match record {
+            WalRecord::AppendNode(node) => {
+                let expected = self.clock();
+                if node.created_at != expected {
+                    return Err(StoreError::ReplicationGap {
+                        expected,
+                        found: node.created_at,
+                    });
+                }
+                self.try_append_node(node.label, node.kind, node.features, node.lowest)
+                    .map(|_| ())
+            }
+            WalRecord::AppendEdge(edge) => self.append_edge(edge.from, edge.to, edge.kind),
+            WalRecord::ApplyPolicy(statement) => self.apply_policy(statement),
+        }
+    }
+
+    /// Replaces this durable store's entire state with `snapshot` — the
+    /// replica **fast-forward path**, used when the primary has
+    /// checkpointed past this store's clock and the intervening frames
+    /// no longer exist. The snapshot is installed on disk (older
+    /// segments and snapshots are pruned, a fresh write-ahead-log
+    /// segment opens at the snapshot's clock) and the in-memory state is
+    /// swapped under the write lock, so concurrent readers see either
+    /// the old state or the new one, never a mix, and the epoch stays
+    /// monotone.
+    ///
+    /// A snapshot at or behind the current clock is a no-op (the local
+    /// history already covers it); the current clock is returned either
+    /// way. Errors with [`StoreError::NotDurable`] on an in-memory
+    /// store.
+    pub fn install_snapshot(&self, snapshot: &[u8]) -> Result<u64> {
+        let data = codec::decode(snapshot)?;
+        let mut inner = self.inner.write();
+        let Some(wal) = inner.wal.as_ref() else {
+            return Err(StoreError::NotDurable);
+        };
+        if data.clock <= inner.clock {
+            return Ok(inner.clock);
+        }
+        let dir = wal.dir().to_path_buf();
+        let options = wal.options();
+        let clock = data.clock;
+        wal::write_atomic(&wal::snapshot_path(&dir, clock), snapshot)?;
+        // Local history is a prefix of the primary's, so everything on
+        // disk predates the installed snapshot: prune it all (tolerating
+        // races, as checkpoint does).
+        for (_, path) in wal::list_segments(&dir)? {
+            let _ = std::fs::remove_file(&path);
+        }
+        for (snap_clock, path) in wal::list_snapshots(&dir)? {
+            if snap_clock < clock {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        let writer = Wal::open(&dir, options, Box::new(wal::DiskIo), None, clock)?;
+        let fresh = Self::from_snapshot_data(data)?;
+        let mut fresh_inner = fresh.inner.into_inner();
+        fresh_inner.wal = Some(writer);
+        *inner = fresh_inner;
+        Ok(clock)
+    }
 }
 
 /// What [`Store::checkpoint`] wrote and removed.
@@ -1004,6 +1084,127 @@ mod tests {
             Err(StoreError::Io { path: Some(_), .. })
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Replays every frame of `src`'s WAL into `dst` through the
+    /// replica apply path.
+    fn replicate_frames(src_dir: &Path, dst: &Store) {
+        let clock = {
+            let src = Store::open_read_only(src_dir).unwrap();
+            src.clock()
+        };
+        let mut next = dst.clock();
+        while next < clock {
+            let chunk = crate::wal::read_frames(src_dir, next, clock, 4 << 10)
+                .unwrap()
+                .expect("history retained");
+            let mut pos = 0;
+            while pos < chunk.frames.len() {
+                let codec::FrameDecode::Complete { record, consumed } =
+                    codec::decode_frame(&chunk.frames[pos..])
+                else {
+                    panic!("shipped frames are whole")
+                };
+                dst.apply_replicated(record).unwrap();
+                pos += consumed;
+            }
+            next = chunk.end_clock;
+        }
+    }
+
+    #[test]
+    fn apply_replicated_reproduces_the_primary_byte_for_byte() {
+        let primary_dir = temp_dir("replicate-src");
+        let replica_dir = temp_dir("replicate-dst");
+        let primary = durable_sample(&primary_dir);
+        let replica = Store::create_durable_with(
+            &replica_dir,
+            &["Public", "High"],
+            &[(1, 0)],
+            crate::wal::DurabilityOptions {
+                fsync: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        replicate_frames(&primary_dir, &replica);
+        assert_eq!(replica.to_bytes(), primary.to_bytes());
+        // The replica logged every applied record to its own WAL: it
+        // recovers to the same state without the primary.
+        drop(replica);
+        let reopened = Store::open(&replica_dir).unwrap();
+        assert_eq!(reopened.to_bytes(), primary.to_bytes());
+        std::fs::remove_dir_all(&primary_dir).ok();
+        std::fs::remove_dir_all(&replica_dir).ok();
+    }
+
+    #[test]
+    fn apply_replicated_rejects_out_of_order_records() {
+        let (store, ..) = sample_store();
+        let clock = store.clock();
+        let stale = NodeRecord {
+            label: "stale".into(),
+            kind: NodeKind::Data,
+            features: Features::new(),
+            lowest: PrivilegeId(0),
+            created_at: clock + 5,
+        };
+        assert!(matches!(
+            store.apply_replicated(WalRecord::AppendNode(stale)),
+            Err(StoreError::ReplicationGap { expected, found })
+                if expected == clock && found == clock + 5
+        ));
+        assert_eq!(store.clock(), clock, "nothing applied");
+    }
+
+    #[test]
+    fn install_snapshot_fast_forwards_and_stays_durable() {
+        let primary_dir = temp_dir("install-src");
+        let replica_dir = temp_dir("install-dst");
+        let primary = durable_sample(&primary_dir);
+        let snapshot = primary.to_bytes();
+        let replica = Store::create_durable_with(
+            &replica_dir,
+            &["Public", "High"],
+            &[(1, 0)],
+            crate::wal::DurabilityOptions {
+                fsync: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let installed = replica.install_snapshot(&snapshot).unwrap();
+        assert_eq!(installed, primary.clock());
+        assert_eq!(replica.to_bytes(), snapshot);
+        assert!(replica.is_durable(), "writer reattached at the new clock");
+
+        // Replication continues on top of the installed snapshot…
+        let public = primary.predicate("Public").unwrap();
+        primary.append_node("post", NodeKind::Data, Features::new(), public);
+        replicate_frames(&primary_dir, &replica);
+        assert_eq!(replica.to_bytes(), primary.to_bytes());
+
+        // …and the directory recovers to the fast-forwarded state.
+        drop(replica);
+        let reopened = Store::open(&replica_dir).unwrap();
+        assert_eq!(reopened.to_bytes(), primary.to_bytes());
+
+        // A snapshot at or behind the local clock is a no-op.
+        let clock = reopened.clock();
+        assert_eq!(reopened.install_snapshot(&snapshot).unwrap(), clock);
+        assert_eq!(reopened.to_bytes(), primary.to_bytes());
+        std::fs::remove_dir_all(&primary_dir).ok();
+        std::fs::remove_dir_all(&replica_dir).ok();
+    }
+
+    #[test]
+    fn install_snapshot_requires_durability() {
+        let (in_memory, ..) = sample_store();
+        let (other, ..) = sample_store();
+        assert!(matches!(
+            in_memory.install_snapshot(&other.to_bytes()),
+            Err(StoreError::NotDurable)
+        ));
     }
 
     #[test]

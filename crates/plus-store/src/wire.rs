@@ -28,21 +28,29 @@
 //! + UTF-8, like snapshots):
 //!
 //! ```text
-//! request:  tag u8 — 0 Hello      { version u16, consumer str,
-//!                                   u16 n { pred-name str }×n }
-//!                    1 Query      { query-request }
-//!                    2 Batch      { u32 n (≤ MAX_BATCH), query-request ×n }
-//!                    3 Epoch      { }
-//!                    4 Checkpoint { }
+//! request:  tag u8 — 0 Hello         { version u16, consumer str,
+//!                                      u16 n { pred-name str }×n }
+//!                    1 Query         { query-request }
+//!                    2 Batch         { u32 n (≤ MAX_BATCH), query-request ×n }
+//!                    3 Epoch         { }
+//!                    4 Checkpoint    { }
+//!                    5 Subscribe     { from_clock u64 }
+//!                    6 ReplicaStatus { }
 //!
-//! response: tag u8 — 0 Hello      { version u16, epoch u64, nodes u64,
-//!                                   u16 n { pred-name str }×n }
-//!                    1 Query      { query-response }
-//!                    2 Batch      { u32 n, query-response ×n }
-//!                    3 Epoch      { epoch u64 }
-//!                    4 Checkpoint { clock u64, snapshot_bytes u64,
-//!                                   pruned_segments u64, pruned_snapshots u64 }
-//!                    5 Error      { kind u8, message str }
+//! response: tag u8 — 0 Hello         { version u16, epoch u64, nodes u64,
+//!                                      u16 n { pred-name str }×n }
+//!                    1 Query         { query-response }
+//!                    2 Batch         { u32 n, query-response ×n }
+//!                    3 Epoch         { epoch u64 }
+//!                    4 Checkpoint    { clock u64, snapshot_bytes u64,
+//!                                      pruned_segments u64, pruned_snapshots u64 }
+//!                    5 Error         { kind u8, message str }
+//!                    6 WalChunk      { start_clock u64, primary_epoch u64,
+//!                                      snapshot (0 | 1 u32-len bytes),
+//!                                      frames u32-len bytes (≤ MAX_WAL_CHUNK) }
+//!                    7 ReplicaStatus { role u8, local_epoch u64,
+//!                                      primary_epoch u64, connected u8,
+//!                                      error (0 | 1 str) }
 //!
 //! query-request:  root u32 | direction u8 (0 back, 1 fwd, 2 both) |
 //!                 max_depth u32 | strategy u8 (0 surrogate, 1 hide,
@@ -59,6 +67,30 @@
 //! version, current epoch, record count, and the lattice's predicate
 //! names — everything a client needs to phrase requests, and nothing
 //! about the unprotected graph.
+//!
+//! # Replication messages
+//!
+//! [`Request::Subscribe`] converts a connection into a one-way
+//! replication stream: the server (a **primary** fronting a durable
+//! store) answers with a run of [`Response::WalChunk`] frames, each
+//! carrying sealed write-ahead-log frames — the exact bytes of the
+//! primary's segments, re-checked by the same `len | crc32 | payload`
+//! rules at every hop — plus the primary's epoch at send time. A cold
+//! subscriber (`from_clock == 0`), or one whose clock predates the
+//! primary's retained log (a checkpoint pruned it), first receives a
+//! chunk whose `snapshot` field holds full snapshot bytes to install
+//! before any frame applies.
+//!
+//! **These messages cross the trust boundary in the other direction**:
+//! WAL frames carry *raw* records — original labels, features, policy —
+//! not protected views. A server therefore refuses `Subscribe` unless
+//! its operator opted in (`--allow-replication`), and replication links
+//! belong inside the owner's trust domain, next to the store, never on
+//! a consumer-facing socket.
+//!
+//! [`Request::ReplicaStatus`] is consumer-safe: it reports only epochs
+//! and connectivity ([`ReplicaStatus`]), letting clients and operators
+//! measure a replica's lag without seeing any data.
 
 use bytes::{BufMut, BytesMut};
 use surrogate_core::account::Strategy;
@@ -74,12 +106,23 @@ use crate::store::CheckpointStats;
 /// Version of the wire protocol spoken by this build. A server answers a
 /// mismatched [`Request::Hello`] with [`WireErrorKind::VersionMismatch`]
 /// and hangs up.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added the replication messages ([`Request::Subscribe`],
+/// [`Response::WalChunk`], [`Request::ReplicaStatus`]); version-1 peers
+/// would treat their tags as malformed frames, so the bump keeps the
+/// failure a clean handshake refusal instead of a mid-stream hangup.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Sanity bound on requests per [`Request::Batch`] frame; larger batches
 /// are rejected at decode time so a hostile frame cannot force an
 /// unbounded allocation or an unbounded amount of server work.
 pub const MAX_BATCH: u32 = 1 << 14;
+
+/// Sanity bound on the sealed-frame bytes one [`Response::WalChunk`] may
+/// carry; larger declarations are rejected at decode time (the feeder
+/// cuts chunks far smaller — this guards the *reader* against hostile or
+/// corrupt length fields, like [`MAX_BATCH`] does for batches).
+pub const MAX_WAL_CHUNK: u32 = 1 << 22;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +145,20 @@ pub enum Request {
     Epoch,
     /// Asks the server to checkpoint its durable store.
     Checkpoint,
+    /// Converts the connection into a replication stream: the server
+    /// answers with [`Response::WalChunk`] frames from `from_clock`
+    /// onward (a snapshot first when the clock predates the retained
+    /// log, or is 0) and keeps streaming until either side hangs up.
+    ///
+    /// Owner-side only: the stream carries **raw** WAL records, so a
+    /// server refuses this unless replication was explicitly enabled.
+    Subscribe {
+        /// The subscriber's local clock — the first frame it needs.
+        from_clock: u64,
+    },
+    /// Asks for the server's replication status ([`ReplicaStatus`]).
+    /// Safe for any consumer: it reveals epochs and connectivity only.
+    ReplicaStatus,
 }
 
 /// A server-to-client message.
@@ -120,6 +177,81 @@ pub enum Response {
     /// A typed failure. Recoverable kinds leave the connection open;
     /// protocol violations are followed by a hangup.
     Error(WireError),
+    /// One replication chunk, streamed after [`Request::Subscribe`].
+    WalChunk(WalChunk),
+    /// Answer to [`Request::ReplicaStatus`].
+    ReplicaStatus(ReplicaStatus),
+}
+
+/// One replication stream element: sealed write-ahead-log frames (and,
+/// when the subscriber must backfill, a snapshot to install first).
+///
+/// `frames` holds whole sealed frames — `len u32 | crc32 u32 | payload`,
+/// byte-identical to the primary's segment contents — concatenated and
+/// contiguous in clock from [`start_clock`](Self::start_clock). An empty
+/// `frames` with no snapshot is a **heartbeat**: it refreshes
+/// [`primary_epoch`](Self::primary_epoch) (and proves the link is live)
+/// while the subscriber is caught up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalChunk {
+    /// Clock of the first frame in `frames` — or, when `snapshot` is
+    /// present, the clock the snapshot captures (frames then continue
+    /// from there).
+    pub start_clock: u64,
+    /// The primary's clock when the chunk was cut. A replica's **lag**
+    /// is `primary_epoch - local_epoch`.
+    pub primary_epoch: u64,
+    /// Full snapshot bytes to install before applying any frame — sent
+    /// on the first chunk of a cold backfill only.
+    pub snapshot: Option<Vec<u8>>,
+    /// Concatenated sealed WAL frames, contiguous from `start_clock`.
+    pub frames: Vec<u8>,
+}
+
+/// Whether the answering server is the writable primary or a read-only
+/// replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// The single writer: its epoch *is* the primary epoch.
+    Primary,
+    /// A read-only replica replaying a primary's log.
+    Replica,
+}
+
+impl std::fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplicaRole::Primary => "primary",
+            ReplicaRole::Replica => "replica",
+        })
+    }
+}
+
+/// A server's replication status: role, epochs, and link health.
+/// Contains no graph data — safe to expose to any consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Primary or replica.
+    pub role: ReplicaRole,
+    /// The answering server's own epoch.
+    pub local_epoch: u64,
+    /// The primary's epoch as last observed (equal to `local_epoch` on
+    /// a primary; possibly stale on a disconnected replica).
+    pub primary_epoch: u64,
+    /// Whether a replica's feed link is currently up (always true on a
+    /// primary).
+    pub connected: bool,
+    /// The last replication error, if the link is degraded.
+    pub last_error: Option<String>,
+}
+
+impl ReplicaStatus {
+    /// How many mutations behind the primary this server is:
+    /// `primary_epoch - local_epoch` (0 on a primary; a *lower bound*
+    /// on a disconnected replica, whose `primary_epoch` is stale).
+    pub fn lag(&self) -> u64 {
+        self.primary_epoch.saturating_sub(self.local_epoch)
+    }
 }
 
 /// What a server tells a client at connection time.
@@ -404,6 +536,11 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Epoch => buf.put_u8(3),
         Request::Checkpoint => buf.put_u8(4),
+        Request::Subscribe { from_clock } => {
+            buf.put_u8(5);
+            buf.put_u64_le(*from_clock);
+        }
+        Request::ReplicaStatus => buf.put_u8(6),
     }
     buf.to_vec()
 }
@@ -440,6 +577,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
         }
         3 => Request::Epoch,
         4 => Request::Checkpoint,
+        5 => Request::Subscribe {
+            from_clock: r.u64()?,
+        },
+        6 => Request::ReplicaStatus,
         tag => {
             return Err(CodecError::InvalidTag {
                 what: "request",
@@ -491,6 +632,38 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             buf.put_u8(5);
             buf.put_u8(error.kind.tag());
             put_str(&mut buf, &error.message);
+        }
+        Response::WalChunk(chunk) => {
+            buf.put_u8(6);
+            buf.put_u64_le(chunk.start_clock);
+            buf.put_u64_le(chunk.primary_epoch);
+            match &chunk.snapshot {
+                Some(snapshot) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(snapshot.len() as u32);
+                    buf.put_slice(snapshot);
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_u32_le(chunk.frames.len() as u32);
+            buf.put_slice(&chunk.frames);
+        }
+        Response::ReplicaStatus(status) => {
+            buf.put_u8(7);
+            buf.put_u8(match status.role {
+                ReplicaRole::Primary => 0,
+                ReplicaRole::Replica => 1,
+            });
+            buf.put_u64_le(status.local_epoch);
+            buf.put_u64_le(status.primary_epoch);
+            buf.put_u8(status.connected as u8);
+            match &status.last_error {
+                Some(error) => {
+                    buf.put_u8(1);
+                    put_str(&mut buf, error);
+                }
+                None => buf.put_u8(0),
+            }
         }
     }
     buf.to_vec()
@@ -546,6 +719,78 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
             let message = r.string()?;
             Response::Error(WireError { kind, message })
         }
+        6 => {
+            let start_clock = r.u64()?;
+            let primary_epoch = r.u64()?;
+            let snapshot = match r.u8()? {
+                0 => None,
+                1 => {
+                    let len = r.u32()?;
+                    if len > crate::codec::MAX_FRAME_LEN {
+                        return Err(CodecError::FrameTooLarge(len));
+                    }
+                    Some(r.take(len as usize)?.to_vec())
+                }
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "optional snapshot",
+                        tag,
+                    })
+                }
+            };
+            let len = r.u32()?;
+            if len > MAX_WAL_CHUNK {
+                return Err(CodecError::FrameTooLarge(len));
+            }
+            let frames = r.take(len as usize)?.to_vec();
+            Response::WalChunk(WalChunk {
+                start_clock,
+                primary_epoch,
+                snapshot,
+                frames,
+            })
+        }
+        7 => {
+            let role = match r.u8()? {
+                0 => ReplicaRole::Primary,
+                1 => ReplicaRole::Replica,
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "replica role",
+                        tag,
+                    })
+                }
+            };
+            let local_epoch = r.u64()?;
+            let primary_epoch = r.u64()?;
+            let connected = match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "connected flag",
+                        tag,
+                    })
+                }
+            };
+            let last_error = match r.u8()? {
+                0 => None,
+                1 => Some(r.string()?),
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "optional error",
+                        tag,
+                    })
+                }
+            };
+            Response::ReplicaStatus(ReplicaStatus {
+                role,
+                local_epoch,
+                primary_epoch,
+                connected,
+                last_error,
+            })
+        }
         tag => {
             return Err(CodecError::InvalidTag {
                 what: "response",
@@ -593,6 +838,11 @@ mod tests {
             Request::Batch(vec![]),
             Request::Epoch,
             Request::Checkpoint,
+            Request::Subscribe { from_clock: 0 },
+            Request::Subscribe {
+                from_clock: u64::MAX,
+            },
+            Request::ReplicaStatus,
         ]
     }
 
@@ -636,6 +886,32 @@ mod tests {
             }),
             Response::Error(WireError::new(WireErrorKind::NotAuthorized, "nope")),
             Response::Error(WireError::new(WireErrorKind::Internal, "")),
+            Response::WalChunk(WalChunk {
+                start_clock: 7,
+                primary_epoch: 9,
+                snapshot: None,
+                frames: crate::codec::seal_frame(b"opaque payload"),
+            }),
+            Response::WalChunk(WalChunk {
+                start_clock: 0,
+                primary_epoch: 0,
+                snapshot: Some(vec![0xde, 0xad, 0xbe, 0xef]),
+                frames: Vec::new(),
+            }),
+            Response::ReplicaStatus(ReplicaStatus {
+                role: ReplicaRole::Primary,
+                local_epoch: 3,
+                primary_epoch: 3,
+                connected: true,
+                last_error: None,
+            }),
+            Response::ReplicaStatus(ReplicaStatus {
+                role: ReplicaRole::Replica,
+                local_epoch: 5,
+                primary_epoch: 11,
+                connected: false,
+                last_error: Some("connection refused".into()),
+            }),
         ]
     }
 
@@ -697,6 +973,49 @@ mod tests {
         ));
         assert!(decode_request(&[]).is_err());
         assert!(decode_response(&[]).is_err());
+    }
+
+    #[test]
+    fn oversized_wal_chunks_are_rejected() {
+        // A declared frames length beyond the bound must be refused
+        // before allocation, like oversized batches.
+        let mut buf = BytesMut::new();
+        buf.put_u8(6);
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        buf.put_u8(0);
+        buf.put_u32_le(MAX_WAL_CHUNK + 1);
+        assert_eq!(
+            decode_response(&buf).unwrap_err(),
+            CodecError::FrameTooLarge(MAX_WAL_CHUNK + 1)
+        );
+        // Same for an implausible snapshot length.
+        let mut buf = BytesMut::new();
+        buf.put_u8(6);
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        buf.put_u8(1);
+        buf.put_u32_le(crate::codec::MAX_FRAME_LEN + 1);
+        assert_eq!(
+            decode_response(&buf).unwrap_err(),
+            CodecError::FrameTooLarge(crate::codec::MAX_FRAME_LEN + 1)
+        );
+    }
+
+    #[test]
+    fn replica_status_lag_saturates() {
+        let mut status = ReplicaStatus {
+            role: ReplicaRole::Replica,
+            local_epoch: 10,
+            primary_epoch: 25,
+            connected: true,
+            last_error: None,
+        };
+        assert_eq!(status.lag(), 15);
+        // A replica momentarily ahead of a stale primary_epoch reading
+        // reports 0, never underflows.
+        status.local_epoch = 30;
+        assert_eq!(status.lag(), 0);
     }
 
     #[test]

@@ -13,8 +13,9 @@ use rand::{Rng, SeedableRng};
 
 use plus_store::codec::{open_frame, seal_frame, RawFrame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 use plus_store::wire::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response,
-    ServerHello, WireError, WireErrorKind, MAX_BATCH, PROTOCOL_VERSION,
+    decode_request, decode_response, encode_request, encode_response, ReplicaRole, ReplicaStatus,
+    Request, Response, ServerHello, WalChunk, WireError, WireErrorKind, MAX_BATCH, MAX_WAL_CHUNK,
+    PROTOCOL_VERSION,
 };
 use plus_store::{
     CheckpointStats, ProtectedLineageRow, QueryRequest, QueryResponse, RecordId, Strategy,
@@ -68,7 +69,7 @@ fn random_query_response(rng: &mut StdRng) -> QueryResponse {
 }
 
 fn random_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..5usize) {
+    match rng.gen_range(0..7usize) {
         0 => Request::Hello {
             version: rng.gen(),
             consumer: random_string(rng, 16),
@@ -83,12 +84,52 @@ fn random_request(rng: &mut StdRng) -> Request {
                 .collect(),
         ),
         3 => Request::Epoch,
+        4 => Request::Subscribe {
+            from_clock: rng.gen(),
+        },
+        5 => Request::ReplicaStatus,
         _ => Request::Checkpoint,
     }
 }
 
+/// A chunk whose `frames` field is what a real feeder ships: whole
+/// sealed frames of arbitrary payload bytes (the chunk codec treats
+/// them as opaque; their inner validity is the replica's concern).
+fn random_wal_chunk(rng: &mut StdRng) -> WalChunk {
+    let mut frames = Vec::new();
+    for _ in 0..rng.gen_range(0..4usize) {
+        let len = rng.gen_range(0..64usize);
+        let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        frames.extend_from_slice(&seal_frame(&payload));
+    }
+    WalChunk {
+        start_clock: rng.gen(),
+        primary_epoch: rng.gen(),
+        snapshot: rng
+            .gen_bool(0.3)
+            .then(|| (0..rng.gen_range(0..128usize)).map(|_| rng.gen()).collect()),
+        frames,
+    }
+}
+
+fn random_replica_status(rng: &mut StdRng) -> ReplicaStatus {
+    ReplicaStatus {
+        role: if rng.gen_bool(0.5) {
+            ReplicaRole::Primary
+        } else {
+            ReplicaRole::Replica
+        },
+        local_epoch: rng.gen(),
+        primary_epoch: rng.gen(),
+        connected: rng.gen_bool(0.5),
+        last_error: rng.gen_bool(0.4).then(|| random_string(rng, 48)),
+    }
+}
+
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..6usize) {
+    match rng.gen_range(0..8usize) {
+        6 => Response::WalChunk(random_wal_chunk(rng)),
+        7 => Response::ReplicaStatus(random_replica_status(rng)),
         0 => Response::Hello(ServerHello {
             version: rng.gen(),
             epoch: rng.gen(),
@@ -228,11 +269,96 @@ proptest! {
         payload.extend_from_slice(&(MAX_BATCH + extra).to_le_bytes());
         prop_assert!(decode_request(&payload).is_err());
     }
+
+    // --- Replication chunk properties ---------------------------------
+    // The stream a replica replays is WAL frames inside a wire frame:
+    // both layers must uphold the same guarantees independently.
+
+    /// Subscribe/WalChunk/ReplicaStatus roundtrip framed, like every
+    /// other message (the generic roundtrips above include them too;
+    /// this pins the replication shapes explicitly, snapshot and all).
+    #[test]
+    fn replication_messages_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subscribe = Request::Subscribe { from_clock: rng.gen() };
+        let payload = encode_request(&subscribe);
+        prop_assert_eq!(decode_request(&payload).unwrap(), subscribe);
+        for response in [
+            Response::WalChunk(random_wal_chunk(&mut rng)),
+            Response::ReplicaStatus(random_replica_status(&mut rng)),
+        ] {
+            let payload = encode_response(&response);
+            prop_assert_eq!(decode_response(&payload).unwrap(), response.clone());
+            let framed = seal_frame(&payload);
+            let RawFrame::Complete { payload: body, .. } = open_frame(&framed) else {
+                return Err(TestCaseError::fail("sealed chunk did not open"));
+            };
+            prop_assert_eq!(decode_response(body).unwrap(), response);
+        }
+    }
+
+    /// A chunk torn at *every* byte prefix (the wire analogue of a
+    /// primary dying mid-send) reads as Torn or Corrupt at one layer or
+    /// another — never as a complete chunk, and never as a chunk whose
+    /// inner frames decode past the damage.
+    #[test]
+    fn torn_chunk_prefixes_never_complete(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chunk = random_wal_chunk(&mut rng);
+        let framed = seal_frame(&encode_response(&Response::WalChunk(chunk)));
+        for cut in 0..framed.len() {
+            match open_frame(&framed[..cut]) {
+                RawFrame::Torn | RawFrame::Corrupt(_) => {}
+                RawFrame::Complete { .. } => {
+                    return Err(TestCaseError::fail(format!("prefix {cut} decoded as complete")));
+                }
+            }
+        }
+    }
+
+    /// Bit flips anywhere in a sealed chunk can never alter the frames
+    /// a replica would replay: either the outer CRC rejects the frame,
+    /// or the payload is bit-identical (and if the flip evades the
+    /// outer layer entirely — impossible for CRC32 and one bit — the
+    /// inner per-frame CRCs would still catch it before replay).
+    #[test]
+    fn bit_flips_never_alter_replayed_payloads(seed in any::<u64>(), at in any::<u32>(), bit in 0u8..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chunk = random_wal_chunk(&mut rng);
+        let payload = encode_response(&Response::WalChunk(chunk.clone()));
+        let mut framed = seal_frame(&payload);
+        let at = at as usize % framed.len();
+        framed[at] ^= 1 << bit;
+        match open_frame(&framed) {
+            RawFrame::Torn | RawFrame::Corrupt(_) => {}
+            RawFrame::Complete { payload: body, .. } => {
+                let Ok(Response::WalChunk(decoded)) = decode_response(body) else {
+                    return Err(TestCaseError::fail("flipped chunk decoded as another message"));
+                };
+                prop_assert_eq!(decoded.frames, chunk.frames, "replayed bytes changed");
+                prop_assert_eq!(decoded.snapshot, chunk.snapshot, "snapshot bytes changed");
+            }
+        }
+    }
+
+    /// A declared chunk size beyond MAX_WAL_CHUNK is rejected before
+    /// allocation, like oversized batches and frames.
+    #[test]
+    fn oversized_chunk_declarations_are_rejected(extra in 1u32..1000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut payload = vec![6u8]; // WalChunk tag
+        payload.extend_from_slice(&rng.gen::<u64>().to_le_bytes());
+        payload.extend_from_slice(&rng.gen::<u64>().to_le_bytes());
+        payload.push(0); // no snapshot
+        payload.extend_from_slice(&(MAX_WAL_CHUNK + extra).to_le_bytes());
+        prop_assert!(decode_response(&payload).is_err());
+    }
 }
 
 /// The version constant is part of the on-wire contract: changing it is
-/// a compatibility break and must be deliberate.
+/// a compatibility break and must be deliberate. Version 2 added the
+/// replication messages (`Subscribe` / `WalChunk` / `ReplicaStatus`).
 #[test]
 fn protocol_version_is_pinned() {
-    assert_eq!(PROTOCOL_VERSION, 1);
+    assert_eq!(PROTOCOL_VERSION, 2);
 }

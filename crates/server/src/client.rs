@@ -1,10 +1,12 @@
 //! The blocking client and connection pool.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use plus_store::wire::{
-    decode_response, encode_request, Request, Response, ServerHello, PROTOCOL_VERSION,
+    decode_response, encode_request, ReplicaStatus, Request, Response, ServerHello,
+    PROTOCOL_VERSION,
 };
 use plus_store::{CheckpointStats, QueryRequest, QueryResponse};
 use surrogate_core::privilege::PrivilegeId;
@@ -175,17 +177,44 @@ impl Client {
             }
         }
     }
+
+    /// The server's replication status: role (primary or replica),
+    /// epochs, lag, and link health. Safe against any server.
+    pub fn replica_status(&mut self) -> Result<ReplicaStatus, ClientError> {
+        match self.call(&Request::ReplicaStatus)? {
+            Response::ReplicaStatus(status) => Ok(status),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => {
+                self.healthy = false;
+                Err(ClientError::Unexpected("non-ReplicaStatus"))
+            }
+        }
+    }
 }
 
-/// A pool of [`Client`] connections to one server, for callers that
-/// fan requests out across threads.
+/// A pool of [`Client`] connections to one logical service — a primary
+/// and, optionally, its read replicas — for callers that fan requests
+/// out across threads.
 ///
 /// [`get`](ClientPool::get) hands out an idle connection or dials a new
-/// one; the guard returns the connection on drop if it is still
+/// one. Every acquisition **probes** the connection with a cheap
+/// `Epoch` round trip first: a server restart leaves dead sockets in
+/// the idle set (the peer's FIN is only visible on the next I/O), and
+/// without the probe those dead connections would be redealt and fail
+/// mid-request. Stale entries are dropped and replaced by a fresh dial.
+/// The guard returns the connection on drop if it is still
 /// [healthy](Client::is_healthy), so transport failures age out of the
 /// pool instead of being redealt.
+///
+/// With [`with_replicas`](Self::with_replicas), fresh dials spread
+/// round-robin across the replica addresses and **fall back to the
+/// primary** when a replica is down. Replica answers may lag the
+/// primary by a few epochs (each response says which); pin reads that
+/// must be fresh to a primary-only pool.
 pub struct ClientPool {
     addr: String,
+    replicas: Vec<String>,
+    next_replica: AtomicUsize,
     consumer: String,
     claims: Vec<String>,
     idle: Mutex<Vec<Client>>,
@@ -196,6 +225,7 @@ impl std::fmt::Debug for ClientPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClientPool")
             .field("addr", &self.addr)
+            .field("replicas", &self.replicas)
             .field("consumer", &self.consumer)
             .field("idle", &self.idle.lock().len())
             .finish()
@@ -208,6 +238,8 @@ impl ClientPool {
     pub fn new(addr: impl Into<String>, consumer: impl Into<String>, claims: &[&str]) -> Self {
         Self {
             addr: addr.into(),
+            replicas: Vec::new(),
+            next_replica: AtomicUsize::new(0),
             consumer: consumer.into(),
             claims: claims.iter().map(|c| c.to_string()).collect(),
             idle: Mutex::new(Vec::new()),
@@ -221,20 +253,53 @@ impl ClientPool {
         self
     }
 
-    /// Checks out a connection, dialing if none is idle.
+    /// Adds read-replica addresses: fresh dials round-robin across them
+    /// and fall back to the primary when none answers.
+    pub fn with_replicas(mut self, addrs: &[&str]) -> Self {
+        self.replicas = addrs.iter().map(|a| a.to_string()).collect();
+        self
+    }
+
+    /// Checks out a connection, dialing if none is idle. Idle
+    /// connections are probed (one `Epoch` round trip) before being
+    /// handed out; a probe failure drops the stale entry and the next
+    /// candidate — or a fresh dial — takes its place.
     pub fn get(&self) -> Result<PooledClient<'_>, ClientError> {
-        if let Some(client) = self.idle.lock().pop() {
-            return Ok(PooledClient {
-                pool: self,
-                client: Some(client),
-            });
+        loop {
+            let candidate = self.idle.lock().pop();
+            let Some(mut client) = candidate else { break };
+            // The probe also rechecks the health flag: epoch() poisons
+            // the client on any transport or framing failure.
+            if client.is_healthy() && client.epoch().is_ok() {
+                return Ok(PooledClient {
+                    pool: self,
+                    client: Some(client),
+                });
+            }
+            // Stale (a restarted or dead peer): drop and keep looking.
         }
-        let claims: Vec<&str> = self.claims.iter().map(String::as_str).collect();
-        let client = Client::connect(self.addr.as_str(), &self.consumer, &claims)?;
+        let client = self.dial()?;
         Ok(PooledClient {
             pool: self,
             client: Some(client),
         })
+    }
+
+    /// Dials replicas round-robin, then the primary as the fallback.
+    /// With no replicas configured, dials the primary directly.
+    fn dial(&self) -> Result<Client, ClientError> {
+        let claims: Vec<&str> = self.claims.iter().map(String::as_str).collect();
+        if !self.replicas.is_empty() {
+            let start = self.next_replica.fetch_add(1, Ordering::Relaxed);
+            for i in 0..self.replicas.len() {
+                let addr = &self.replicas[(start + i) % self.replicas.len()];
+                if let Ok(client) = Client::connect(addr.as_str(), &self.consumer, &claims) {
+                    return Ok(client);
+                }
+            }
+            // Every replica refused: the primary serves the read.
+        }
+        Client::connect(self.addr.as_str(), &self.consumer, &claims)
     }
 
     /// Idle connections currently held.

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::io;
 
-use plus_store::{CodecError, WireError};
+use plus_store::{CodecError, StoreError, WireError};
 
 /// Why a [`Client`](crate::Client) call failed.
 ///
@@ -79,6 +79,62 @@ impl From<crate::frame::FrameError> for ClientError {
     }
 }
 
+/// Why a [`Replica`](crate::Replica) failed to start or lost its feed.
+///
+/// `#[non_exhaustive]`: the replication runtime will grow failure modes;
+/// downstream matches need a wildcard arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReplicaError {
+    /// The replica's local store failed (recovery, apply, install).
+    Store(StoreError),
+    /// The link to the primary failed (transport, handshake, or a typed
+    /// refusal such as replication being disabled on the primary).
+    Client(ClientError),
+    /// The primary violated the replication protocol (a cold stream
+    /// without a snapshot, a non-chunk frame mid-subscription, damage
+    /// inside a checksum-valid chunk).
+    Protocol(String),
+}
+
+impl ReplicaError {
+    pub(crate) fn protocol(message: &str) -> Self {
+        ReplicaError::Protocol(message.to_string())
+    }
+}
+
+impl fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaError::Store(e) => write!(f, "replica store error: {e}"),
+            ReplicaError::Client(e) => write!(f, "replication link error: {e}"),
+            ReplicaError::Protocol(detail) => write!(f, "replication protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplicaError::Store(e) => Some(e),
+            ReplicaError::Client(e) => Some(e),
+            ReplicaError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<StoreError> for ReplicaError {
+    fn from(e: StoreError) -> Self {
+        ReplicaError::Store(e)
+    }
+}
+
+impl From<ClientError> for ReplicaError {
+    fn from(e: ClientError) -> Self {
+        ReplicaError::Client(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +147,15 @@ mod tests {
         let e = ClientError::VersionMismatch { server: 9 };
         assert!(e.to_string().contains('9'), "{e}");
         assert!(ClientError::Disconnected.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn replica_errors_wrap_their_sources() {
+        let e: ReplicaError = StoreError::NotDurable.into();
+        assert!(e.to_string().contains("replica store error"), "{e}");
+        let e: ReplicaError = ClientError::Disconnected.into();
+        assert!(e.to_string().contains("replication link error"), "{e}");
+        let e = ReplicaError::protocol("no snapshot");
+        assert!(e.to_string().contains("no snapshot"), "{e}");
     }
 }

@@ -74,6 +74,20 @@
 //! discipline covers disk and wire: a frame that fails its checksum or
 //! declares an implausible length is answered with a typed error frame
 //! (best effort) and a hangup, never a guess.
+//!
+//! # Replication
+//!
+//! Read traffic scales horizontally by **WAL shipping**: a primary
+//! server whose operator enabled [`ServerConfig::allow_replication`]
+//! streams its sealed write-ahead-log frames to [`Replica`]s, each of
+//! which replays them into its own durable store and re-serves the same
+//! query protocol read-only at a coherent (possibly lagging) epoch —
+//! bind one with [`Server::bind_replica`]. The unprotected graph still
+//! never crosses a *consumer* socket; the replication stream carries
+//! raw records and belongs inside the owner's trust domain. See the
+//! [`replica`] module docs for the full model, and
+//! [`ClientPool::with_replicas`] for spreading reads across a replica
+//! set with primary fallback.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -82,9 +96,11 @@
 mod client;
 mod error;
 mod frame;
+pub mod replica;
 mod server;
 
 pub use client::{Client, ClientPool, PooledClient};
-pub use error::ClientError;
+pub use error::{ClientError, ReplicaError};
 pub use frame::{read_frame, write_frame, FrameError};
+pub use replica::{Replica, ReplicaConfig, ReplicationMonitor};
 pub use server::{Server, ServerConfig, ServerStats};

@@ -1,0 +1,537 @@
+//! The read-replica runtime: tails a primary's write-ahead log over the
+//! wire and replays it into a local durable store.
+//!
+//! # How a replica works
+//!
+//! A [`Replica`] owns a durable [`Store`] directory of its own and a
+//! background **apply thread**. The thread dials the primary, performs
+//! the ordinary Hello handshake, and sends
+//! [`Subscribe`](plus_store::wire::Request::Subscribe) with the
+//! replica's local clock. From then on the connection is a one-way
+//! stream of [`WalChunk`]s:
+//!
+//! * **Frames** are the primary's sealed WAL frames, byte-identical to
+//!   its segment contents. Each decodes through the same checksummed
+//!   frame codec recovery uses and is applied through
+//!   [`Store::apply_replicated`] — which logs it to the replica's *own*
+//!   write-ahead log before applying, so the replica directory recovers
+//!   by exactly the rules a primary's does.
+//! * **Snapshots** arrive only when the replica must backfill: a cold
+//!   start (clock 0), or a primary checkpoint that pruned the log past
+//!   the replica's clock. [`Store::install_snapshot`] fast-forwards the
+//!   store in place; the epoch stays monotone.
+//! * **Heartbeats** (empty chunks) refresh the observed primary epoch,
+//!   which is what makes [`Replica::lag`] meaningful while idle.
+//!
+//! The replica's [`AccountService`] serves the same query protocol as
+//! the primary — bind it with [`Server::bind_replica`](crate::Server::bind_replica) —
+//! at a **coherent but possibly lagging** epoch: every answer is a true
+//! answer for some prefix of the primary's history, stamped with the
+//! epoch it was computed at.
+//!
+//! # Failure model
+//!
+//! The apply thread reconnects with backoff on any transport failure and
+//! resumes from the replica's local clock, so a primary restart (or a
+//! replica restart — the local WAL recovers first) costs only the frames
+//! appended while the link was down, never a full refetch. A replica is
+//! **read-only** by contract: the replication thread is the store's
+//! single writer, and nothing else may append to it.
+
+use std::net::{Shutdown, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use plus_store::codec::{self, FrameDecode};
+use plus_store::wire::{
+    decode_response, encode_request, ReplicaRole, ReplicaStatus, Request, Response, WalChunk,
+    PROTOCOL_VERSION,
+};
+use plus_store::{AccountService, DurabilityOptions, Store, StoreError};
+
+use crate::error::{ClientError, ReplicaError};
+use crate::frame::{read_frame, write_frame};
+
+/// Tuning knobs for [`Replica::start_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaConfig {
+    /// Durability options for the replica's own store directory.
+    /// Defaults to the safe [`DurabilityOptions::default`] (fsync on);
+    /// replicas that can afford to re-stream on power loss may turn
+    /// fsync off for apply throughput.
+    pub durability: DurabilityOptions,
+    /// Dial attempts during a **cold start** (the replica has no local
+    /// state and cannot serve anything until the primary answers), one
+    /// [`reconnect_backoff`](Self::reconnect_backoff) apart.
+    pub connect_attempts: usize,
+    /// Sleep between reconnect attempts once running.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        Self {
+            durability: DurabilityOptions::default(),
+            connect_attempts: 50,
+            reconnect_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Link state shared between a [`Replica`]'s apply thread and the
+/// [`Server`](crate::Server) fronting it (which answers
+/// `Request::ReplicaStatus` from it).
+#[derive(Debug, Default)]
+pub struct ReplicationMonitor {
+    primary_epoch: AtomicU64,
+    connected: AtomicBool,
+    last_error: Mutex<Option<String>>,
+    /// The live feed socket, cloned so `Replica::shutdown` can unblock a
+    /// read parked on it.
+    live: Mutex<Option<TcpStream>>,
+}
+
+impl ReplicationMonitor {
+    /// The status this monitor describes, for a replica at `local_epoch`.
+    pub fn status(&self, local_epoch: u64) -> ReplicaStatus {
+        ReplicaStatus {
+            role: ReplicaRole::Replica,
+            local_epoch,
+            primary_epoch: self.primary_epoch.load(Ordering::Relaxed),
+            connected: self.connected.load(Ordering::Relaxed),
+            last_error: self.last_error.lock().clone(),
+        }
+    }
+
+    fn record_error(&self, error: &ReplicaError) {
+        *self.last_error.lock() = Some(error.to_string());
+    }
+
+    fn clear_error(&self) {
+        *self.last_error.lock() = None;
+    }
+
+    fn set_live(&self, stream: Option<TcpStream>) {
+        *self.live.lock() = stream;
+    }
+
+    fn hang_up_live(&self) {
+        if let Some(stream) = self.live.lock().take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running read replica: a local durable store kept in sync with a
+/// primary by WAL shipping, plus the [`AccountService`] serving it.
+///
+/// See the [module docs](self) for the replication model. Dropping the
+/// replica (or calling [`shutdown`](Self::shutdown)) stops the apply
+/// thread; the local directory remains and a later
+/// [`Replica::start`] resumes from its recovered clock.
+pub struct Replica {
+    service: Arc<AccountService>,
+    store: Arc<Store>,
+    monitor: Arc<ReplicationMonitor>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("epoch", &self.epoch())
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Starts a replica of the primary at `primary_addr`, keeping its
+    /// durable store in `dir` with default [`ReplicaConfig`].
+    ///
+    /// A fresh `dir` **cold-starts**: the call blocks until the primary
+    /// ships its bootstrap snapshot (so the returned replica can serve
+    /// immediately), failing after
+    /// [`ReplicaConfig::connect_attempts`] dials. A `dir` holding a
+    /// previous replica's store **warm-starts**: local recovery runs
+    /// first, the call returns at the recovered epoch, and catch-up
+    /// streams in the background from the local clock.
+    pub fn start(
+        primary_addr: impl Into<String>,
+        dir: impl AsRef<Path>,
+    ) -> Result<Replica, ReplicaError> {
+        Self::start_with(primary_addr, dir, ReplicaConfig::default())
+    }
+
+    /// [`start`](Self::start) with explicit tuning.
+    pub fn start_with(
+        primary_addr: impl Into<String>,
+        dir: impl AsRef<Path>,
+        config: ReplicaConfig,
+    ) -> Result<Replica, ReplicaError> {
+        let primary_addr = primary_addr.into();
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ReplicaError::Store(StoreError::io_at(&dir, e)))?;
+        let monitor = Arc::new(ReplicationMonitor::default());
+
+        let has_local_state = !plus_store::wal::list_snapshots(&dir)
+            .map_err(ReplicaError::Store)?
+            .is_empty();
+        let (store, pending) = if has_local_state {
+            // Warm start: the local WAL is the source of truth up to its
+            // recovered clock; the primary only supplies what follows.
+            let store = Store::open_with(&dir, config.durability).map_err(ReplicaError::Store)?;
+            (Arc::new(store), None)
+        } else {
+            // Cold start: nothing local — block until the primary ships
+            // the bootstrap snapshot, so the caller gets a servable
+            // replica or a clear error.
+            let (store, conn, primary_epoch) = bootstrap(&primary_addr, &dir, &config, &monitor)?;
+            // The bootstrap chunk already proved the link and told us
+            // the primary's epoch; without this, status would read
+            // connected-with-zero-lag off a stale (zero) primary epoch.
+            monitor
+                .primary_epoch
+                .store(primary_epoch, Ordering::Relaxed);
+            monitor.connected.store(true, Ordering::Relaxed);
+            (Arc::new(store), Some(conn))
+        };
+        let service = Arc::new(AccountService::new(store.clone()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let thread = {
+            let store = store.clone();
+            let monitor = monitor.clone();
+            let stop = stop.clone();
+            let addr = primary_addr.clone();
+            std::thread::Builder::new()
+                .name("spgraph-replica".into())
+                .spawn(move || run(addr, store, monitor, stop, pending, config))
+                .expect("spawn replica apply thread")
+        };
+
+        Ok(Replica {
+            service,
+            store,
+            monitor,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The serving layer over the replica's store — bind it with
+    /// [`Server::bind_replica`](crate::Server::bind_replica), or query
+    /// it in-process. Read-only by contract: do not append through it.
+    pub fn service(&self) -> &Arc<AccountService> {
+        &self.service
+    }
+
+    /// The replica's local store. Owner-side introspection (state
+    /// comparison, checkpointing the replica's own log); never mutate
+    /// it — the apply thread is the single writer.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// The link monitor, shared with a fronting server.
+    pub fn monitor(&self) -> Arc<ReplicationMonitor> {
+        self.monitor.clone()
+    }
+
+    /// The replica's local epoch (its store clock).
+    pub fn epoch(&self) -> u64 {
+        self.store.version()
+    }
+
+    /// `primary_epoch - local_epoch` as last observed: how many
+    /// mutations behind the primary this replica is. A stale lower
+    /// bound while disconnected.
+    pub fn lag(&self) -> u64 {
+        self.status().lag()
+    }
+
+    /// The replica's full status.
+    pub fn status(&self) -> ReplicaStatus {
+        self.monitor.status(self.epoch())
+    }
+
+    /// Waits until the replica is connected with zero observed lag, or
+    /// the deadline passes. Returns whether it caught up.
+    pub fn wait_caught_up(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status();
+            if status.connected && status.lag() == 0 && status.primary_epoch >= self.epoch() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops the apply thread and disconnects. Equivalent to dropping
+    /// the replica, but explicit.
+    pub fn shutdown(mut self) {
+        self.stop_thread();
+    }
+
+    fn stop_thread(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.monitor.hang_up_live();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        self.monitor.connected.store(false, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop_thread();
+    }
+}
+
+/// A subscribed replication connection: Hello handshake done, Subscribe
+/// sent, chunks ready to read.
+struct FeedConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+}
+
+impl FeedConn {
+    /// Dials, handshakes, and subscribes from `from_clock`.
+    fn open(addr: &str, from_clock: u64) -> Result<FeedConn, ReplicaError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        let mut conn = FeedConn {
+            stream,
+            inbuf: Vec::with_capacity(4096),
+        };
+        let hello = Request::Hello {
+            version: PROTOCOL_VERSION,
+            consumer: "replica".to_string(),
+            claims: Vec::new(),
+        };
+        match conn.call(&hello)? {
+            Response::Hello(_) => {}
+            Response::Error(e) => return Err(ReplicaError::Client(ClientError::Remote(e))),
+            _ => return Err(ReplicaError::protocol("non-Hello answer to Hello")),
+        }
+        let mut outbuf = Vec::with_capacity(64);
+        let payload = encode_request(&Request::Subscribe { from_clock });
+        write_frame(&mut conn.stream, &payload, &mut outbuf).map_err(ClientError::Io)?;
+        Ok(conn)
+    }
+
+    /// One strict request/response round trip (handshake only; after
+    /// Subscribe the stream is one-way).
+    fn call(&mut self, request: &Request) -> Result<Response, ReplicaError> {
+        let mut outbuf = Vec::with_capacity(256);
+        let payload = encode_request(request);
+        write_frame(&mut self.stream, &payload, &mut outbuf).map_err(ClientError::Io)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, ReplicaError> {
+        match read_frame(&mut self.stream, &mut self.inbuf) {
+            Ok(Some(payload)) => decode_response(payload)
+                .map_err(|e| ReplicaError::Client(ClientError::Malformed(e))),
+            Ok(None) => Err(ReplicaError::Client(ClientError::Disconnected)),
+            Err(e) => Err(ReplicaError::Client(e.into())),
+        }
+    }
+
+    /// The next chunk of the subscription stream. A typed error frame
+    /// (the primary refusing or failing the feed) is terminal.
+    fn next_chunk(&mut self) -> Result<WalChunk, ReplicaError> {
+        match self.read_response()? {
+            Response::WalChunk(chunk) => Ok(chunk),
+            Response::Error(e) => Err(ReplicaError::Client(ClientError::Remote(e))),
+            _ => Err(ReplicaError::protocol(
+                "non-WalChunk frame on a subscription",
+            )),
+        }
+    }
+}
+
+/// Cold start: dial until the primary ships the bootstrap snapshot,
+/// install it into `dir`, and hand back the opened store plus the live
+/// connection (already mid-stream) for the apply thread to continue on.
+fn bootstrap(
+    addr: &str,
+    dir: &Path,
+    config: &ReplicaConfig,
+    monitor: &ReplicationMonitor,
+) -> Result<(Store, FeedConn, u64), ReplicaError> {
+    let mut last: Option<ReplicaError> = None;
+    for _ in 0..config.connect_attempts.max(1) {
+        match try_bootstrap(addr, dir, config) {
+            Ok(done) => return Ok(done),
+            Err(e) => {
+                monitor.record_error(&e);
+                last = Some(e);
+                std::thread::sleep(config.reconnect_backoff);
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| ReplicaError::protocol("no bootstrap attempt ran")))
+}
+
+fn try_bootstrap(
+    addr: &str,
+    dir: &Path,
+    config: &ReplicaConfig,
+) -> Result<(Store, FeedConn, u64), ReplicaError> {
+    let mut conn = FeedConn::open(addr, 0)?;
+    // The first chunk of a from-zero subscription always carries the
+    // bootstrap snapshot (frames cannot rebuild the lattice).
+    let chunk = conn.next_chunk()?;
+    let Some(snapshot) = chunk.snapshot else {
+        return Err(ReplicaError::protocol(
+            "primary opened a cold subscription without a snapshot",
+        ));
+    };
+    let clock = codec::decode(&snapshot)
+        .map_err(|e| ReplicaError::Protocol(format!("bootstrap snapshot does not decode: {e}")))?
+        .clock;
+    if clock != chunk.start_clock {
+        return Err(ReplicaError::Protocol(format!(
+            "bootstrap snapshot clock {clock} disagrees with chunk start {}",
+            chunk.start_clock
+        )));
+    }
+    plus_store::wal::write_atomic(&plus_store::wal::snapshot_path(dir, clock), &snapshot)
+        .map_err(ReplicaError::Store)?;
+    let store = Store::open_with(dir, config.durability).map_err(ReplicaError::Store)?;
+    apply_frames(&store, chunk.start_clock, &chunk.frames)?;
+    Ok((store, conn, chunk.primary_epoch))
+}
+
+/// The apply thread: stream chunks, reconnect with backoff, forever.
+fn run(
+    addr: String,
+    store: Arc<Store>,
+    monitor: Arc<ReplicationMonitor>,
+    stop: Arc<AtomicBool>,
+    mut pending: Option<FeedConn>,
+    config: ReplicaConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let conn = match pending.take() {
+            Some(conn) => conn,
+            None => match FeedConn::open(&addr, store.version()) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    monitor.record_error(&e);
+                    monitor.connected.store(false, Ordering::Relaxed);
+                    std::thread::sleep(config.reconnect_backoff);
+                    continue;
+                }
+            },
+        };
+        // Register the live socket so shutdown can unblock the read.
+        match conn.stream.try_clone() {
+            Ok(clone) => monitor.set_live(Some(clone)),
+            Err(_) => monitor.set_live(None),
+        }
+        let mut conn = conn;
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                monitor.set_live(None);
+                return;
+            }
+            let chunk = match conn.next_chunk() {
+                Ok(chunk) => chunk,
+                Err(e) => {
+                    monitor.record_error(&e);
+                    break;
+                }
+            };
+            if let Err(e) = apply_chunk(&store, chunk, &monitor) {
+                monitor.record_error(&e);
+                break;
+            }
+            // Connected only once a chunk lands: a reconnect must not
+            // report connected-with-zero-lag off a primary epoch that
+            // predates the disconnect (the first chunk refreshes it).
+            monitor.connected.store(true, Ordering::Relaxed);
+            monitor.clear_error();
+        }
+        monitor.connected.store(false, Ordering::Relaxed);
+        monitor.set_live(None);
+        std::thread::sleep(config.reconnect_backoff);
+    }
+}
+
+/// Applies one chunk: optional snapshot fast-forward, then frames.
+fn apply_chunk(
+    store: &Store,
+    chunk: WalChunk,
+    monitor: &ReplicationMonitor,
+) -> Result<(), ReplicaError> {
+    if let Some(snapshot) = &chunk.snapshot {
+        // install_snapshot no-ops when the local clock already covers
+        // it, so an overlapping backfill is harmless.
+        store
+            .install_snapshot(snapshot)
+            .map_err(ReplicaError::Store)?;
+    }
+    apply_frames(store, chunk.start_clock, &chunk.frames)?;
+    monitor
+        .primary_epoch
+        .store(chunk.primary_epoch, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Replays sealed frames (clock-contiguous from `start_clock`) into the
+/// store, skipping any overlap below the local clock.
+fn apply_frames(store: &Store, start_clock: u64, frames: &[u8]) -> Result<(), ReplicaError> {
+    let mut clock = start_clock;
+    let mut pos = 0;
+    while pos < frames.len() {
+        match codec::decode_frame(&frames[pos..]) {
+            FrameDecode::Complete { record, consumed } => {
+                let local = store.version();
+                if clock > local {
+                    return Err(ReplicaError::Store(StoreError::ReplicationGap {
+                        expected: local,
+                        found: clock,
+                    }));
+                }
+                if clock == local {
+                    store
+                        .apply_replicated(record)
+                        .map_err(ReplicaError::Store)?;
+                }
+                clock += 1;
+                pos += consumed;
+            }
+            // The outer wire frame's checksum already passed, so damage
+            // inside the chunk means a buggy or hostile feeder — drop
+            // the connection rather than guessing.
+            FrameDecode::Torn => {
+                return Err(ReplicaError::protocol("chunk ends mid-frame"));
+            }
+            FrameDecode::Corrupt(e) => {
+                return Err(ReplicaError::Protocol(format!(
+                    "corrupt frame in chunk: {e}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `true` when `dir` already holds a replica (or any durable) store —
+/// i.e. whether [`Replica::start`] would warm-start from it.
+pub fn dir_has_store(dir: impl AsRef<Path>) -> bool {
+    matches!(plus_store::wal::list_snapshots(dir.as_ref()), Ok(snaps) if !snaps.is_empty())
+}

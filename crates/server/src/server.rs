@@ -22,20 +22,24 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use plus_store::wal;
 use plus_store::wire::{
-    decode_request, encode_response, Request, Response, ServerHello, WireError, WireErrorKind,
-    PROTOCOL_VERSION,
+    decode_request, encode_response, ReplicaRole, ReplicaStatus, Request, Response, ServerHello,
+    WalChunk, WireError, WireErrorKind, PROTOCOL_VERSION,
 };
-use plus_store::{AccountService, StoreError};
+use plus_store::{AccountService, Store, StoreError};
 use surrogate_core::credential::Consumer;
 use surrogate_core::privilege::PrivilegeId;
 
 use crate::frame::{read_frame, write_frame, FrameError};
+use crate::replica::{Replica, ReplicationMonitor};
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +52,13 @@ pub struct ServerConfig {
     /// owner-side disk I/O), and the Hello handshake verifies nothing,
     /// so an open socket should not expose it to every consumer.
     pub allow_remote_checkpoint: bool,
+    /// Whether [`Request::Subscribe`] frames are honored. Off by
+    /// default — and **dangerous to enable on a consumer-facing
+    /// socket**: the replication stream ships *raw* write-ahead-log
+    /// records (original labels, features, policy), not protected
+    /// views. Enable it only on a socket that stays inside the owner's
+    /// trust domain (`spgraph serve --allow-replication`).
+    pub allow_replication: bool,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +70,7 @@ impl Default for ServerConfig {
         Self {
             threads,
             allow_remote_checkpoint: false,
+            allow_replication: false,
         }
     }
 }
@@ -73,6 +85,11 @@ pub struct ServerStats {
     /// Connections hung up on for a malformed frame or protocol
     /// violation.
     pub hangups: u64,
+    /// Replication subscriptions accepted (feeder loops entered).
+    pub subscriptions: u64,
+    /// Snapshots shipped to backfilling subscribers. A warm subscriber
+    /// resuming from its local clock never costs one.
+    pub snapshots_shipped: u64,
 }
 
 #[derive(Default)]
@@ -80,6 +97,8 @@ struct Counters {
     connections: AtomicU64,
     requests: AtomicU64,
     hangups: AtomicU64,
+    subscriptions: AtomicU64,
+    snapshots_shipped: AtomicU64,
 }
 
 /// Live connections, so shutdown can unblock workers parked in `read`.
@@ -140,6 +159,10 @@ pub struct Server {
     counters: Arc<Counters>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// One dedicated thread per live replication subscriber — feeders
+    /// stream for the subscriber's lifetime, which must not starve the
+    /// fixed query-worker pool.
+    feeders: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -165,11 +188,38 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        Self::bind_inner(service, addr, config, None)
+    }
+
+    /// Binds a server in front of a [`Replica`]: it serves the same
+    /// query protocol read-only at the replica's (possibly lagging)
+    /// epoch, and answers [`Request::ReplicaStatus`] with the replica's
+    /// live link state instead of the primary default.
+    pub fn bind_replica(
+        replica: &Replica,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        Self::bind_inner(
+            replica.service().clone(),
+            addr,
+            config,
+            Some(replica.monitor()),
+        )
+    }
+
+    fn bind_inner(
+        service: Arc<AccountService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        monitor: Option<Arc<ReplicationMonitor>>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(ConnTable::default());
         let counters = Arc::new(Counters::default());
+        let feeders: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
 
@@ -181,6 +231,8 @@ impl Server {
             let shutdown = shutdown.clone();
             let conns = conns.clone();
             let counters = counters.clone();
+            let monitor = monitor.clone();
+            let feeders = feeders.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("spgraph-serve-{i}"))
@@ -195,8 +247,57 @@ impl Server {
                         let Some(id) = conns.register(&stream) else {
                             continue;
                         };
-                        serve_connection(&service, stream, &counters, &config);
-                        conns.deregister(id);
+                        let ctx = ConnCtx {
+                            service: &service,
+                            counters: &counters,
+                            config: &config,
+                            monitor: monitor.as_deref(),
+                        };
+                        let Some(feed) = serve_connection(&ctx, stream) else {
+                            conns.deregister(id);
+                            continue;
+                        };
+                        // An accepted subscription lives as long as the
+                        // subscriber: hand it to a dedicated feeder
+                        // thread so it cannot starve the query pool.
+                        counters.subscriptions.fetch_add(1, Ordering::Relaxed);
+                        let feeder = {
+                            let service = service.clone();
+                            let counters = counters.clone();
+                            let shutdown = shutdown.clone();
+                            let conns = conns.clone();
+                            std::thread::Builder::new()
+                                .name("spgraph-feeder".into())
+                                .spawn(move || {
+                                    let mut stream = feed.stream;
+                                    let mut outbuf = Vec::with_capacity(4096);
+                                    serve_subscription(
+                                        &service,
+                                        &counters,
+                                        &shutdown,
+                                        &mut stream,
+                                        &feed.dir,
+                                        feed.from_clock,
+                                        &mut outbuf,
+                                    );
+                                    let _ = stream.shutdown(Shutdown::Both);
+                                    conns.deregister(id);
+                                })
+                        };
+                        match feeder {
+                            Ok(handle) => {
+                                let mut feeders = feeders.lock();
+                                // Reap finished feeders (reconnecting
+                                // subscribers create one per attempt) so
+                                // the registry only grows with *live*
+                                // streams; a finished handle drops
+                                // detached, which is a no-op join.
+                                feeders.retain(|f| !f.is_finished());
+                                feeders.push(handle);
+                            }
+                            // Out of threads: shed the subscriber.
+                            Err(_) => conns.deregister(id),
+                        }
                     })
                     .expect("spawn worker thread"),
             );
@@ -229,6 +330,7 @@ impl Server {
             counters,
             accept: Some(accept),
             workers,
+            feeders,
         })
     }
 
@@ -243,6 +345,8 @@ impl Server {
             connections: self.counters.connections.load(Ordering::Relaxed),
             requests: self.counters.requests.load(Ordering::Relaxed),
             hangups: self.counters.hangups.load(Ordering::Relaxed),
+            subscriptions: self.counters.subscriptions.load(Ordering::Relaxed),
+            snapshots_shipped: self.counters.snapshots_shipped.load(Ordering::Relaxed),
         }
     }
 
@@ -270,6 +374,11 @@ impl Server {
         let woke =
             TcpStream::connect_timeout(&wake_addr, std::time::Duration::from_secs(1)).is_ok();
         self.conns.close_all();
+        // Feeders exit on their own: their sockets just closed, and they
+        // re-check the shutdown flag at least every poll interval.
+        for feeder in self.feeders.lock().drain(..) {
+            let _ = feeder.join();
+        }
         if woke {
             if let Some(accept) = self.accept.take() {
                 let _ = accept.join();
@@ -317,13 +426,31 @@ enum Outcome {
     HangUp,
 }
 
-/// Serves one connection to completion. All protocol policy lives here.
-fn serve_connection(
-    service: &AccountService,
-    mut stream: TcpStream,
-    counters: &Counters,
-    config: &ServerConfig,
-) {
+/// Everything a connection handler needs: the service, the tuning, the
+/// traffic counters, and the replica monitor when this server fronts a
+/// [`Replica`].
+struct ConnCtx<'a> {
+    service: &'a AccountService,
+    counters: &'a Counters,
+    config: &'a ServerConfig,
+    monitor: Option<&'a ReplicationMonitor>,
+}
+
+/// A validated subscription handed from the request loop to its
+/// dedicated feeder thread.
+struct Feed {
+    stream: TcpStream,
+    dir: PathBuf,
+    from_clock: u64,
+}
+
+/// Serves one connection to completion — unless it turns into a
+/// replication subscription, which is returned for a dedicated feeder
+/// thread to own. All protocol policy lives here.
+fn serve_connection(ctx: &ConnCtx<'_>, mut stream: TcpStream) -> Option<Feed> {
+    let ConnCtx {
+        service, counters, ..
+    } = *ctx;
     // Per-round-trip latency is the product metric; never batch tiny
     // frames behind Nagle.
     let _ = stream.set_nodelay(true);
@@ -363,7 +490,7 @@ fn serve_connection(
                     );
                     send(&mut stream, &Response::Error(error), &mut outbuf);
                     counters.hangups.fetch_add(1, Ordering::Relaxed);
-                    return;
+                    return None;
                 }
                 let snapshot = service.snapshot();
                 let mut granted: Vec<PrivilegeId> = Vec::with_capacity(claims.len());
@@ -377,7 +504,7 @@ fn serve_connection(
                             );
                             send(&mut stream, &Response::Error(error), &mut outbuf);
                             counters.hangups.fetch_add(1, Ordering::Relaxed);
-                            return;
+                            return None;
                         }
                     }
                 }
@@ -396,10 +523,13 @@ fn serve_connection(
                         .map(|p| snapshot.lattice.name(p).to_string())
                         .collect(),
                 };
-                if !send(&mut stream, &Response::Hello(hello), &mut outbuf) {
-                    return;
-                }
+                // Count the connection *before* the Hello answer goes
+                // out: once a client observes the handshake complete,
+                // the counter must already reflect it.
                 counters.connections.fetch_add(1, Ordering::Relaxed);
+                if !send(&mut stream, &Response::Hello(hello), &mut outbuf) {
+                    return None;
+                }
                 consumer
             }
             Ok(_) => {
@@ -409,19 +539,19 @@ fn serve_connection(
                 );
                 send(&mut stream, &Response::Error(error), &mut outbuf);
                 counters.hangups.fetch_add(1, Ordering::Relaxed);
-                return;
+                return None;
             }
             Err(e) => {
                 malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
-                return;
+                return None;
             }
         },
-        Ok(None) => return, // connected and left without a word
+        Ok(None) => return None, // connected and left without a word
         Err(FrameError::Malformed(e)) => {
             malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
-            return;
+            return None;
         }
-        Err(_) => return, // torn or transport failure: nothing to say
+        Err(_) => return None, // torn or transport failure: nothing to say
     };
 
     // --- Request loop ----------------------------------------------------
@@ -431,25 +561,49 @@ fn serve_connection(
                 Ok(request) => request,
                 Err(e) => {
                     malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
-                    return;
+                    return None;
                 }
             },
-            Ok(None) => return, // clean disconnect
+            Ok(None) => return None, // clean disconnect
             Err(FrameError::Malformed(e)) => {
                 malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
-                return;
+                return None;
             }
-            Err(_) => return, // torn or transport failure
+            Err(_) => return None, // torn or transport failure
         };
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, outcome) = answer(service, &consumer, request, config);
+        // Subscribe converts the connection into a one-way replication
+        // stream: hand it to a dedicated feeder thread ("a feeder
+        // thread per subscriber") so a long-lived subscription cannot
+        // occupy one of the fixed query workers. The request loop ends
+        // here either way.
+        if let Request::Subscribe { from_clock } = request {
+            match check_subscription(ctx, from_clock) {
+                Ok(dir) => {
+                    return Some(Feed {
+                        stream,
+                        dir,
+                        from_clock,
+                    });
+                }
+                Err(error) => {
+                    // A refused subscription is recoverable, like a
+                    // refused checkpoint: the connection can still query.
+                    if !send(&mut stream, &Response::Error(error), &mut outbuf) {
+                        return None;
+                    }
+                    continue;
+                }
+            }
+        }
+        let (response, outcome) = answer(ctx, &consumer, request);
         if !send(&mut stream, &response, &mut outbuf) {
-            return;
+            return None;
         }
         if let Outcome::HangUp = outcome {
             counters.hangups.fetch_add(1, Ordering::Relaxed);
             let _ = stream.shutdown(Shutdown::Both);
-            return;
+            return None;
         }
     }
 }
@@ -471,13 +625,188 @@ fn malformed_hangup(
     counters.hangups.fetch_add(1, Ordering::Relaxed);
 }
 
-/// Computes the response for one decoded in-session request.
-fn answer(
+/// Validates a subscription request, returning the durable directory the
+/// feeder will tail — or the typed refusal to send.
+fn check_subscription(ctx: &ConnCtx<'_>, from_clock: u64) -> Result<PathBuf, WireError> {
+    if !ctx.config.allow_replication {
+        return Err(WireError::new(
+            WireErrorKind::NotAuthorized,
+            "replication is disabled on this server; its operator must opt in (--allow-replication)",
+        ));
+    }
+    let dir = ctx
+        .service
+        .store()
+        .and_then(|store: &Arc<Store>| store.durable_dir());
+    let Some(dir) = dir else {
+        return Err(WireError::new(
+            WireErrorKind::NotDurable,
+            "this server has no write-ahead log to stream; replication needs a durable store",
+        ));
+    };
+    let epoch = ctx.service.epoch();
+    if from_clock > epoch {
+        // A subscriber ahead of its primary replayed a different
+        // history; feeding it would silently fork the replica set.
+        return Err(WireError::new(
+            WireErrorKind::BadRequest,
+            format!("subscriber clock {from_clock} is ahead of this primary's epoch {epoch}"),
+        ));
+    }
+    Ok(dir)
+}
+
+/// Target sealed-frame bytes per [`Response::WalChunk`]; chunks stop at
+/// the first frame boundary past this.
+const FEED_CHUNK_BYTES: usize = 256 << 10;
+/// How often a caught-up feeder re-reads the store clock.
+const FEED_POLL: Duration = Duration::from_millis(10);
+/// How often a caught-up feeder sends an empty heartbeat chunk — the
+/// subscriber's lag/liveness signal, and the feeder's only way to notice
+/// a dead peer while idle.
+const FEED_HEARTBEAT: Duration = Duration::from_millis(250);
+
+/// The feeder loop: streams [`Response::WalChunk`] frames until the
+/// subscriber hangs up, the server shuts down, or the log becomes
+/// unreadable. Runs on a dedicated per-subscriber thread.
+fn serve_subscription(
     service: &AccountService,
-    consumer: &Consumer,
-    request: Request,
-    config: &ServerConfig,
-) -> (Response, Outcome) {
+    counters: &Counters,
+    shutdown: &AtomicBool,
+    stream: &mut TcpStream,
+    dir: &std::path::Path,
+    from_clock: u64,
+    outbuf: &mut Vec<u8>,
+) {
+    let mut next = from_clock;
+    // A subscriber at clock 0 has nothing — not even the lattice, which
+    // frames cannot rebuild — so its stream opens with a snapshot. A
+    // non-zero clock proves a snapshot was already installed once.
+    let mut snapshot_due = next == 0;
+    // The cursor keeps each chunk O(chunk): without it every read
+    // re-scans the covering segment from its header.
+    let mut tail = wal::TailCursor::default();
+    let mut last_send = Instant::now();
+    let send = |stream: &mut TcpStream, chunk: WalChunk, outbuf: &mut Vec<u8>| {
+        let payload = encode_response(&Response::WalChunk(chunk));
+        write_frame(stream, &payload, outbuf).is_ok()
+    };
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let current = service.epoch();
+        if snapshot_due {
+            // Backfill: the subscriber's clock predates the retained
+            // log. The newest snapshot both bootstraps cold replicas
+            // and fast-forwards badly lagged ones.
+            let Ok((clock, bytes)) = wal::read_newest_snapshot(dir) else {
+                let error = WireError::new(
+                    WireErrorKind::Internal,
+                    "the primary's log no longer covers this subscriber and no snapshot decodes",
+                );
+                let payload = encode_response(&Response::Error(error));
+                let _ = write_frame(stream, &payload, outbuf);
+                return;
+            };
+            if clock < next {
+                // The snapshot is *behind* the subscriber yet the log
+                // does not cover it either: diverged history.
+                let error = WireError::new(
+                    WireErrorKind::Internal,
+                    format!(
+                        "retained history restarts at clock {clock}, behind subscriber clock {next}"
+                    ),
+                );
+                let payload = encode_response(&Response::Error(error));
+                let _ = write_frame(stream, &payload, outbuf);
+                return;
+            }
+            // A snapshot too large for one frame would make write_frame
+            // refuse the chunk and the replica retry forever with no
+            // diagnosis; tell it the real problem instead. (Chunked
+            // snapshot shipping is the fix if stores ever grow there.)
+            if bytes.len() as u64 + 256 > plus_store::codec::MAX_FRAME_LEN as u64 {
+                let error = WireError::new(
+                    WireErrorKind::Internal,
+                    format!(
+                        "the {}-byte backfill snapshot exceeds the wire frame bound; \
+                         this store is too large to bootstrap a replica over this protocol",
+                        bytes.len()
+                    ),
+                );
+                let payload = encode_response(&Response::Error(error));
+                let _ = write_frame(stream, &payload, outbuf);
+                return;
+            }
+            let chunk = WalChunk {
+                start_clock: clock,
+                primary_epoch: current,
+                snapshot: Some(bytes),
+                frames: Vec::new(),
+            };
+            if !send(stream, chunk, outbuf) {
+                return;
+            }
+            counters.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+            last_send = Instant::now();
+            next = clock;
+            snapshot_due = false;
+            continue;
+        }
+        if next < current {
+            match wal::read_frames_with(dir, next, current, FEED_CHUNK_BYTES, &mut tail) {
+                Ok(Some(chunk)) if chunk.end_clock > next => {
+                    let end = chunk.end_clock;
+                    let frame_chunk = WalChunk {
+                        start_clock: chunk.start_clock,
+                        primary_epoch: current,
+                        snapshot: None,
+                        frames: chunk.frames,
+                    };
+                    if !send(stream, frame_chunk, outbuf) {
+                        return;
+                    }
+                    last_send = Instant::now();
+                    next = end;
+                }
+                // Covered but empty: the covering segment is mid-write
+                // (rotation race). Let the writer finish.
+                Ok(Some(_)) => std::thread::sleep(FEED_POLL),
+                // A checkpoint pruned past the subscriber mid-stream.
+                Ok(None) => snapshot_due = true,
+                Err(_) => {
+                    let error = WireError::new(
+                        WireErrorKind::Internal,
+                        "the primary's write-ahead log became unreadable",
+                    );
+                    let payload = encode_response(&Response::Error(error));
+                    let _ = write_frame(stream, &payload, outbuf);
+                    return;
+                }
+            }
+        } else if last_send.elapsed() >= FEED_HEARTBEAT {
+            let heartbeat = WalChunk {
+                start_clock: next,
+                primary_epoch: current,
+                snapshot: None,
+                frames: Vec::new(),
+            };
+            if !send(stream, heartbeat, outbuf) {
+                return;
+            }
+            last_send = Instant::now();
+        } else {
+            std::thread::sleep(FEED_POLL);
+        }
+    }
+}
+
+/// Computes the response for one decoded in-session request.
+fn answer(ctx: &ConnCtx<'_>, consumer: &Consumer, request: Request) -> (Response, Outcome) {
+    let ConnCtx {
+        service, config, ..
+    } = *ctx;
     match request {
         Request::Hello { .. } => (
             Response::Error(WireError::new(
@@ -513,6 +842,31 @@ fn answer(
                 Ok(stats) => (Response::Checkpoint(stats), Outcome::Continue),
                 Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
             }
+        }
+        // Handled (or refused) before `answer` — a subscription owns the
+        // connection and never produces a single response.
+        Request::Subscribe { .. } => (
+            Response::Error(WireError::new(
+                WireErrorKind::Internal,
+                "subscription requests are handled by the feeder",
+            )),
+            Outcome::HangUp,
+        ),
+        Request::ReplicaStatus => {
+            let local_epoch = service.epoch();
+            let status = match ctx.monitor {
+                Some(monitor) => monitor.status(local_epoch),
+                // A plain server *is* the primary of whatever it
+                // serves: its epoch is authoritative by definition.
+                None => ReplicaStatus {
+                    role: ReplicaRole::Primary,
+                    local_epoch,
+                    primary_epoch: local_epoch,
+                    connected: true,
+                    last_error: None,
+                },
+            };
+            (Response::ReplicaStatus(status), Outcome::Continue)
         }
     }
 }

@@ -425,6 +425,57 @@ fn pool_reuses_healthy_connections() {
 }
 
 #[test]
+fn pool_probes_idle_connections_and_drops_stale_ones() {
+    let (store, ids) = setup();
+    // A fixed sub-ephemeral port (below the OS ephemeral floor of
+    // 32768): this test frees and rebinds the address, and an
+    // OS-assigned port could be handed to another test's `:0` server
+    // during that window — a sub-ephemeral one cannot.
+    let base = 27000 + (std::process::id() % 5000) as u16;
+    let service = Arc::new(AccountService::new(store.clone()));
+    let server = (0..64u16)
+        .find_map(|attempt| {
+            let addr = format!("127.0.0.1:{}", base + attempt * 37 % 5500);
+            Server::bind_with(service.clone(), addr.as_str(), ServerConfig::default()).ok()
+        })
+        .expect("bind a fixed sub-ephemeral port");
+    let addr = server.local_addr();
+    let pool = ClientPool::new(addr.to_string(), "reader", &[]);
+    let request = QueryRequest::new(ids[2], Direction::Backward, u32::MAX, Strategy::Surrogate);
+    {
+        let mut client = pool.get().unwrap();
+        client.query(&request).unwrap();
+    }
+    assert_eq!(pool.idle(), 1);
+
+    // A server restart (same address) kills the pooled socket without
+    // the pool noticing: exactly what a replica restart does.
+    server.shutdown();
+    let restarted = (0..50)
+        .find_map(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Server::bind_with(service.clone(), addr, ServerConfig::default()).ok()
+        })
+        .expect("rebind the freed port");
+
+    // Without the acquire-time probe, get() would redeal the dead
+    // connection and this query would fail. The probe drops it and
+    // dials the restarted server instead.
+    {
+        let mut client = pool.get().unwrap();
+        let response = client.query(&request).expect("live connection handed out");
+        assert_eq!(response.rows.len(), 2);
+    }
+    assert_eq!(pool.idle(), 1, "the fresh connection was pooled");
+    assert_eq!(
+        restarted.stats().connections,
+        1,
+        "exactly one replacement dial reached the restarted server"
+    );
+    restarted.shutdown();
+}
+
+#[test]
 fn shutdown_hangs_up_live_connections() {
     let (store, _) = setup();
     let server = serve(store);

@@ -16,8 +16,16 @@
 //! spgraph recover <dir> [--verify]             recover; report what was replayed,
 //!                                              truncated, or pruned
 //! spgraph serve <store> [--addr a:p] [--threads n] [--allow-checkpoint]
+//!               [--allow-replication] [--churn <ops/s>]
 //!                                              serve the protected query
 //!                                              surface over TCP (trust boundary)
+//! spgraph serve <dir> --replicate-from <addr> [--addr a:p] [--threads n]
+//!                                              serve as a READ REPLICA: tail the
+//!                                              primary's WAL into <dir> and serve
+//!                                              the same queries at a lagging epoch
+//! spgraph replica-status <addr> [--wait] [--timeout <secs>]
+//!                                              a server's replication status:
+//!                                              role, epochs, lag, link health
 //! spgraph query --remote <addr> -p <predicate> --root <id> [...]
 //!                                              the same lineage query, answered
 //!                                              by a remote spgraph serve
@@ -52,7 +60,9 @@ fn usage() -> ExitCode {
          spgraph query <store> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n  \
          spgraph measure <store> -p <predicate> [--threshold <t>]\n  \
          spgraph checkpoint <dir>\n  spgraph recover <dir> [--verify]\n  \
-         spgraph serve <store> [--addr <addr:port>] [--threads <n>] [--allow-checkpoint]\n  \
+         spgraph serve <store> [--addr <addr:port>] [--threads <n>] [--allow-checkpoint] [--allow-replication] [--churn <ops/s>]\n  \
+         spgraph serve <dir> --replicate-from <addr:port> [--addr <addr:port>] [--threads <n>]\n  \
+         spgraph replica-status <addr:port> [--wait] [--timeout <secs>]\n  \
          spgraph query --remote <addr:port> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n\
          <store> is a snapshot file or a durable (write-ahead-logged) store directory"
     );
@@ -79,6 +89,7 @@ fn main() -> ExitCode {
         "checkpoint" => cmd_checkpoint(&args[1..]),
         "recover" => cmd_recover(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "replica-status" => cmd_replica_status(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -440,12 +451,47 @@ fn cmd_query_remote(addr: &str, args: &[String]) -> CliResult<()> {
 /// Binds the protected query surface to a TCP socket: the trust
 /// boundary. The unprotected store stays in this process; remote
 /// consumers only ever receive protected `QueryResponse` rows.
+///
+/// With `--replicate-from`, this process is a **read replica** instead:
+/// it tails the named primary's write-ahead log into its own durable
+/// directory and re-serves the same queries at a coherent (possibly
+/// lagging) epoch.
 fn cmd_serve(args: &[String]) -> CliResult<()> {
     let path = args.first().ok_or("missing store path")?;
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7654".to_string());
     let threads: Option<usize> = flag_value(args, "--threads")
         .map(|t| t.parse().map_err(|_| format!("bad --threads {t:?}")))
         .transpose()?;
+    let mut config = surrogate_parenthood::server::ServerConfig::default();
+    if let Some(threads) = threads {
+        config.threads = threads.max(1);
+    }
+
+    if let Some(primary) = flag_value(args, "--replicate-from") {
+        for flag in ["--allow-checkpoint", "--allow-replication", "--churn"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!("{flag} applies to a primary, not a replica"));
+            }
+        }
+        let replica = surrogate_parenthood::Replica::start(&primary, path)
+            .map_err(|e| format!("cannot replicate from {primary}: {e}"))?;
+        let epoch = replica.epoch();
+        let server = Server::bind_replica(&replica, &addr as &str, config)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        println!(
+            "replica of {primary} serving {path} on {} (epoch {epoch}, lag {}, {} worker threads)",
+            server.local_addr(),
+            replica.lag(),
+            config.threads
+        );
+        println!("read-only: this replica applies the primary's log and serves queries");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        loop {
+            std::thread::park();
+        }
+    }
+
     // Writable open (unlike the read-only inspection commands): a serving
     // process is the store's single attached writer, so remote
     // `Checkpoint` requests can fold the log.
@@ -454,31 +500,143 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
     } else {
         Store::load(path).map_err(|e| format!("cannot load {path}: {e}"))?
     };
-    let service = Arc::new(AccountService::new(Arc::new(store)));
-    let mut config = surrogate_parenthood::server::ServerConfig::default();
-    if let Some(threads) = threads {
-        config.threads = threads.max(1);
-    }
+    let store = Arc::new(store);
+    let service = Arc::new(AccountService::new(store.clone()));
     // Remote checkpoints drive owner-side disk I/O; an operator must
     // opt in to expose them on the socket.
     config.allow_remote_checkpoint = args.iter().any(|a| a == "--allow-checkpoint");
+    // Replication ships RAW records — owner-side trust domain only.
+    config.allow_replication = args.iter().any(|a| a == "--allow-replication");
+    let churn: Option<u64> = flag_value(args, "--churn")
+        .map(|c| c.parse().map_err(|_| format!("bad --churn {c:?}")))
+        .transpose()?;
+    // Validate churn preconditions *before* binding: a server that
+    // prints its banner and then dies on a usage error strands scripts
+    // that background it after seeing the banner.
+    let churn_writer = match churn.filter(|&r| r > 0) {
+        Some(rate) => {
+            if !store.is_durable() {
+                return Err("--churn needs a durable store directory".to_string());
+            }
+            let public = store
+                .predicate("Public")
+                .ok_or("--churn needs a 'Public' predicate in the lattice")?;
+            Some((rate, public))
+        }
+        None => None,
+    };
     let epoch = service.epoch();
     let nodes = service.snapshot().graph.node_count();
     let server = Server::bind_with(service, &addr as &str, config)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
-        "serving {path} on {} (epoch {epoch}, {nodes} nodes, {} worker threads)",
+        "serving {path} on {} (epoch {epoch}, {nodes} nodes, {} worker threads{}{})",
         server.local_addr(),
-        config.threads
+        config.threads,
+        if config.allow_replication {
+            ", replication on"
+        } else {
+            ""
+        },
+        if churn.is_some() { ", churn on" } else { "" },
     );
     println!("only protected query responses cross this socket; stop with ^C");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    // A synthetic writer, for exercising replication under load (the CI
+    // replication-smoke drives it): append `churn` Public nodes per
+    // second from inside the single-writer process.
+    if let Some((rate, public)) = churn_writer {
+        let pause = std::time::Duration::from_nanos(1_000_000_000 / rate.min(1_000_000));
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            loop {
+                if store
+                    .try_append_node(
+                        format!("churn-{i}"),
+                        surrogate_parenthood::plus_store::NodeKind::Data,
+                        Features::new().with("churn", i as i64),
+                        public,
+                    )
+                    .is_err()
+                {
+                    return; // poisoned log: stop writing, keep serving
+                }
+                i += 1;
+                std::thread::sleep(pause);
+            }
+        });
+    }
     // Serve until killed. The worker threads own all the work; this
     // thread only keeps the process (and the Server it owns) alive.
     loop {
         std::thread::park();
     }
+}
+
+/// Asks any server for its replication status; with `--wait`, polls
+/// until the server reports a connected, fully caught-up state (lag 0).
+fn cmd_replica_status(args: &[String]) -> CliResult<()> {
+    let addr = args.first().ok_or("missing server address")?;
+    let wait = args.iter().any(|a| a == "--wait");
+    let timeout_secs: u64 = flag_value(args, "--timeout")
+        .map(|t| t.parse().map_err(|_| format!("bad --timeout {t:?}")))
+        .transpose()?
+        .unwrap_or(30);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(timeout_secs);
+    let status = loop {
+        let status = surrogate_parenthood::Client::connect(addr as &str, "spgraph", &[])
+            .map_err(|e| format!("cannot reach {addr}: {e}"))
+            .and_then(|mut client| client.replica_status().map_err(|e| e.to_string()));
+        match status {
+            Ok(status) => {
+                let caught_up = status.connected && status.lag() == 0;
+                if !wait || caught_up {
+                    break status;
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(format!(
+                        "timed out after {timeout_secs}s waiting for catch-up: \
+                         epoch {} vs primary {} (lag {}), connected: {}{}",
+                        status.local_epoch,
+                        status.primary_epoch,
+                        status.lag(),
+                        status.connected,
+                        status
+                            .last_error
+                            .as_deref()
+                            .map(|e| format!(", last error: {e}"))
+                            .unwrap_or_default()
+                    ));
+                }
+            }
+            Err(e) => {
+                if !wait || std::time::Instant::now() >= deadline {
+                    return Err(e);
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    };
+    println!("{addr} is a {}", status.role);
+    println!(
+        "  epoch {} | primary epoch {} | lag {}",
+        status.local_epoch,
+        status.primary_epoch,
+        status.lag()
+    );
+    println!(
+        "  link: {}",
+        if status.connected {
+            "connected"
+        } else {
+            "disconnected"
+        }
+    );
+    if let Some(error) = &status.last_error {
+        println!("  last error: {error}");
+    }
+    Ok(())
 }
 
 fn cmd_measure(args: &[String]) -> CliResult<()> {

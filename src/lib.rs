@@ -10,8 +10,10 @@
 //!   concurrent, epoch-versioned [`AccountService`] serving layer;
 //! * [`server`] — the network edge: a std-only threaded TCP server that
 //!   exposes *only* the protected query surface over a checksummed
-//!   binary protocol, plus the blocking [`Client`]/[`ClientPool`]
-//!   (`spgraph serve` / `spgraph query --remote`);
+//!   binary protocol, the blocking [`Client`]/[`ClientPool`]
+//!   (`spgraph serve` / `spgraph query --remote`), and WAL-shipping
+//!   [`Replica`]s that scale reads horizontally
+//!   (`spgraph serve --replicate-from`);
 //! * [`graphgen`] — evaluation workload generators.
 //!
 //! See the `examples/` directory for runnable walkthroughs and the
@@ -121,12 +123,12 @@ pub use server;
 pub use surrogate_core;
 
 pub use plus_store::{AccountService, QueryRequest, QueryResponse, Session, Snapshot};
-pub use server::{Client, ClientPool, Server};
+pub use server::{Client, ClientPool, Replica, Server};
 pub use surrogate_core::strategy::ProtectionStrategy;
 
 /// The most used types across the workspace.
 pub mod prelude {
     pub use plus_store::{AccountService, QueryRequest, QueryResponse, Session, Snapshot};
-    pub use server::{Client, ClientPool, Server};
+    pub use server::{Client, ClientPool, Replica, Server};
     pub use surrogate_core::prelude::*;
 }
