@@ -1,30 +1,49 @@
 //! Bench-regression gate: compares a freshly generated `BENCH_*.json`
 //! against the committed record of the previous PR and fails (exit 1)
-//! on excessive throughput regression — so the perf claims checked into
+//! on excessive regression — so the perf claims checked into
 //! `BENCH_*.json` stay honest instead of silently decaying.
 //!
 //! ```text
-//! repro_check --baseline BENCH_PR4.json --current BENCH_PR5.json
+//! repro_check --baseline BENCH_PR5.json --current BENCH_PR6.json
 //!             [--max-regression 0.30]      allowed fractional drop
-//!             [--keys a.b,c.d]             dotted throughput keys to gate
+//!             [--keys a.b,c.d]             dotted metric keys to gate
+//!             [--allow-missing-baseline]   skip keys the baseline predates
 //! ```
 //!
-//! Default keys gate the `repro_table1` service throughput and the
-//! `repro_serve` wire throughput (single-query and batched). A key
-//! missing from the **baseline** is skipped with a note (older records
-//! predate the metric); a key missing from the **current** record fails
-//! (the metric stopped being measured — that is itself a regression).
-//! Throughputs are higher-is-better: a current value below
-//! `baseline * (1 - max_regression)` fails the gate.
+//! Default keys gate the `repro_table1` service throughput and
+//! protection latency, and the `repro_serve` wire throughput
+//! (single-query, batched, and the sealed-frame cache hit rate).
+//!
+//! The gate fails **loudly** on anything it cannot check: a key missing
+//! (or non-numeric) in the *baseline* fails unless
+//! `--allow-missing-baseline` explicitly waives it for that run; a key
+//! missing from the *current* record always fails (the metric stopped
+//! being measured — that is itself a regression); a record that is not a
+//! JSON object exits 2. Keys ending in `_ms` / `_us` / `_ns` are
+//! latencies and gate lower-is-better (current above
+//! `baseline * (1 + max_regression)` fails); every other key is a
+//! throughput and gates higher-is-better (current below
+//! `baseline * (1 - max_regression)` fails).
 
 use surrogate_bench::report::{json, render_table};
 
-/// Throughput keys gated by default: service-layer and wire-layer.
+/// Metric keys gated by default: service layer, protection latency, and
+/// wire layer.
 const DEFAULT_KEYS: &[&str] = &[
     "account_service.warm_queries_per_sec",
+    "fig10.protect_surrogate_ms",
     "serve.requests_per_sec",
     "serve.batch_queries_per_sec",
+    "serve.frame_cache_hit_rate",
 ];
+
+/// Legacy dotted paths for metrics that moved between records. The gate
+/// falls back to the old path when the new one is absent, so an older
+/// baseline keeps gating newer runs instead of being skipped.
+const ALIASES: &[(&str, &str)] = &[(
+    "fig10.protect_surrogate_ms",
+    "fig10_pipeline_ms.protect_surrogate",
+)];
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -35,7 +54,10 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let baseline_path = flag_value(&args, "--baseline").unwrap_or_else(|| {
-        eprintln!("usage: repro_check --baseline <json> --current <json> [--max-regression 0.30] [--keys a.b,c.d]");
+        eprintln!(
+            "usage: repro_check --baseline <json> --current <json> [--max-regression 0.30] \
+             [--keys a.b,c.d] [--allow-missing-baseline]"
+        );
         std::process::exit(2);
     });
     let current_path = flag_value(&args, "--current").unwrap_or_else(|| {
@@ -45,15 +67,21 @@ fn main() {
     let max_regression: f64 = flag_value(&args, "--max-regression")
         .map(|m| m.parse().expect("--max-regression takes a fraction"))
         .unwrap_or(0.30);
+    let allow_missing_baseline = args.iter().any(|a| a == "--allow-missing-baseline");
     let keys: Vec<String> = flag_value(&args, "--keys")
         .map(|k| k.split(',').map(|s| s.trim().to_string()).collect())
         .unwrap_or_else(|| DEFAULT_KEYS.iter().map(|s| s.to_string()).collect());
 
     let read = |path: &str| {
-        std::fs::read_to_string(path).unwrap_or_else(|e| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("repro_check: cannot read {path}: {e}");
             std::process::exit(2);
-        })
+        });
+        if !looks_like_object(&text) {
+            eprintln!("repro_check: {path} is not a JSON object; regenerate the bench record");
+            std::process::exit(2);
+        }
+        text
     };
     let baseline = read(&baseline_path);
     let current = read(&current_path);
@@ -61,7 +89,13 @@ fn main() {
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     for key in &keys {
-        let (verdict, detail) = check_key(&baseline, &current, key, max_regression);
+        let (verdict, detail) = check_key(
+            &baseline,
+            &current,
+            key,
+            max_regression,
+            allow_missing_baseline,
+        );
         if let Verdict::Fail = verdict {
             failures.push(key.clone());
         }
@@ -82,6 +116,14 @@ fn main() {
     }
 }
 
+/// Cheap structural sanity check — the extractor needs an object; any
+/// other shape means the record generator broke and must not be skipped
+/// over quietly.
+fn looks_like_object(text: &str) -> bool {
+    let t = text.trim();
+    t.starts_with('{') && t.ends_with('}')
+}
+
 enum Verdict {
     Pass,
     Skip,
@@ -98,24 +140,61 @@ impl Verdict {
     }
 }
 
-/// Gates one higher-is-better key.
-fn check_key(baseline: &str, current: &str, key: &str, max_regression: f64) -> (Verdict, String) {
-    let Some(base) = json::number_at(baseline, key) else {
-        return (
-            Verdict::Skip,
-            "not in baseline (metric newer than the record)".to_string(),
-        );
+/// Reads `key` out of a record, falling back to its legacy alias.
+fn lookup(text: &str, key: &str) -> Option<f64> {
+    json::number_at(text, key).or_else(|| {
+        ALIASES
+            .iter()
+            .find(|(new, _)| *new == key)
+            .and_then(|(_, old)| json::number_at(text, old))
+    })
+}
+
+/// Gates one key; latencies (`_ms` / `_us` / `_ns` suffix) are
+/// lower-is-better, everything else higher-is-better.
+fn check_key(
+    baseline: &str,
+    current: &str,
+    key: &str,
+    max_regression: f64,
+    allow_missing_baseline: bool,
+) -> (Verdict, String) {
+    let Some(base) = lookup(baseline, key) else {
+        return if allow_missing_baseline {
+            (
+                Verdict::Skip,
+                "not in baseline (waived by --allow-missing-baseline)".to_string(),
+            )
+        } else {
+            (
+                Verdict::Fail,
+                "missing or non-numeric in the baseline record \
+                 (pass --allow-missing-baseline to waive new metrics)"
+                    .to_string(),
+            )
+        };
     };
-    let Some(now) = json::number_at(current, key) else {
+    let Some(now) = lookup(current, key) else {
         return (Verdict::Fail, "missing from the current record".to_string());
     };
-    let floor = base * (1.0 - max_regression);
     let delta = (now - base) / base * 100.0;
-    let detail = format!("{now:.0} vs {base:.0} ({delta:+.1}%)");
-    if now < floor {
-        (Verdict::Fail, detail)
+    let lower_is_better = key.ends_with("_ms") || key.ends_with("_us") || key.ends_with("_ns");
+    if lower_is_better {
+        let ceiling = base * (1.0 + max_regression);
+        let detail = format!("{now:.3} vs {base:.3} ({delta:+.1}%, lower is better)");
+        if now > ceiling {
+            (Verdict::Fail, detail)
+        } else {
+            (Verdict::Pass, detail)
+        }
     } else {
-        (Verdict::Pass, detail)
+        let floor = base * (1.0 - max_regression);
+        let detail = format!("{now:.0} vs {base:.0} ({delta:+.1}%)");
+        if now < floor {
+            (Verdict::Fail, detail)
+        } else {
+            (Verdict::Pass, detail)
+        }
     }
 }
 
@@ -123,13 +202,14 @@ fn check_key(baseline: &str, current: &str, key: &str, max_regression: f64) -> (
 mod tests {
     use super::*;
 
-    const BASE: &str = r#"{"serve": {"requests_per_sec": 1000.0}, "flat": 500.0}"#;
+    const BASE: &str = r#"{"serve": {"requests_per_sec": 1000.0}, "flat": 500.0,
+        "fig10_pipeline_ms": {"protect_surrogate": 0.600}}"#;
 
     #[test]
     fn within_threshold_passes() {
         let current = r#"{"serve": {"requests_per_sec": 800.0}}"#;
         assert!(matches!(
-            check_key(BASE, current, "serve.requests_per_sec", 0.30).0,
+            check_key(BASE, current, "serve.requests_per_sec", 0.30, false).0,
             Verdict::Pass
         ));
     }
@@ -138,7 +218,7 @@ mod tests {
     fn beyond_threshold_fails() {
         let current = r#"{"serve": {"requests_per_sec": 600.0}}"#;
         assert!(matches!(
-            check_key(BASE, current, "serve.requests_per_sec", 0.30).0,
+            check_key(BASE, current, "serve.requests_per_sec", 0.30, false).0,
             Verdict::Fail
         ));
     }
@@ -147,21 +227,63 @@ mod tests {
     fn improvements_always_pass() {
         let current = r#"{"serve": {"requests_per_sec": 5000.0}}"#;
         assert!(matches!(
-            check_key(BASE, current, "serve.requests_per_sec", 0.30).0,
+            check_key(BASE, current, "serve.requests_per_sec", 0.30, false).0,
             Verdict::Pass
         ));
     }
 
     #[test]
-    fn new_metrics_skip_missing_metrics_fail() {
+    fn missing_baseline_keys_fail_loudly_unless_waived() {
         let current = r#"{"replica": {"catchup_frames_per_sec": 9.0}}"#;
+        // Silent-skip regression: an absent baseline key used to pass
+        // the gate without checking anything.
+        let (verdict, detail) =
+            check_key(BASE, current, "replica.catchup_frames_per_sec", 0.30, false);
+        assert!(matches!(verdict, Verdict::Fail));
+        assert!(detail.contains("--allow-missing-baseline"), "{detail}");
+        // The escape hatch must be explicit, and skips rather than passes.
         assert!(matches!(
-            check_key(BASE, current, "replica.catchup_frames_per_sec", 0.30).0,
+            check_key(BASE, current, "replica.catchup_frames_per_sec", 0.30, true).0,
             Verdict::Skip
         ));
+        // A waiver never excuses a metric that stopped being measured.
         assert!(matches!(
-            check_key(BASE, current, "serve.requests_per_sec", 0.30).0,
+            check_key(BASE, current, "serve.requests_per_sec", 0.30, true).0,
             Verdict::Fail
         ));
+    }
+
+    #[test]
+    fn non_numeric_baseline_values_fail() {
+        let base = r#"{"serve": {"requests_per_sec": "fast"}}"#;
+        let current = r#"{"serve": {"requests_per_sec": 800.0}}"#;
+        assert!(matches!(
+            check_key(base, current, "serve.requests_per_sec", 0.30, false).0,
+            Verdict::Fail
+        ));
+    }
+
+    #[test]
+    fn latency_keys_gate_lower_is_better() {
+        let pass = r#"{"fig10": {"protect_surrogate_ms": 0.100}}"#;
+        let fail = r#"{"fig10": {"protect_surrogate_ms": 0.900}}"#;
+        // Baseline resolves through the legacy alias
+        // `fig10_pipeline_ms.protect_surrogate` (= 0.600).
+        assert!(matches!(
+            check_key(BASE, pass, "fig10.protect_surrogate_ms", 0.30, false).0,
+            Verdict::Pass
+        ));
+        assert!(matches!(
+            check_key(BASE, fail, "fig10.protect_surrogate_ms", 0.30, false).0,
+            Verdict::Fail
+        ));
+    }
+
+    #[test]
+    fn malformed_records_are_detected() {
+        assert!(looks_like_object(r#"{"a": 1}"#));
+        assert!(!looks_like_object("[]"));
+        assert!(!looks_like_object("not json at all"));
+        assert!(!looks_like_object(r#"{"a": 1"#));
     }
 }

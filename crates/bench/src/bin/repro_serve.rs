@@ -83,12 +83,19 @@ fn main() {
                 format!("batched ({}/frame) queries/sec", result.batch),
                 format!("{:.0}", result.batch_queries_per_sec),
             ],
+            vec![
+                "sealed-frame cache hit rate".into(),
+                match result.frame_cache_hit_rate {
+                    Some(rate) => format!("{:.1}%", rate * 100.0),
+                    None => "n/a (external server)".into(),
+                },
+            ],
         ],
     );
     println!("{table}");
 
     if let Some(path) = flag_value(&args, "--json") {
-        let record = json::object(&[
+        let mut pairs = vec![
             ("nodes", result.nodes.to_string()),
             ("epoch", result.epoch.to_string()),
             ("threads", result.threads.to_string()),
@@ -106,7 +113,21 @@ fn main() {
                 "batch_queries_per_sec",
                 json::num(result.batch_queries_per_sec),
             ),
-        ]);
+        ];
+        // Cache counters exist only when the server ran in-process; an
+        // absent key is the honest record for an external run (the gate
+        // is told via --allow-missing-baseline on records that predate
+        // the metric).
+        if let (Some(hits), Some(misses), Some(rate)) = (
+            result.frame_cache_hits,
+            result.frame_cache_misses,
+            result.frame_cache_hit_rate,
+        ) {
+            pairs.push(("frame_cache_hits", hits.to_string()));
+            pairs.push(("frame_cache_misses", misses.to_string()));
+            pairs.push(("frame_cache_hit_rate", json::num(rate)));
+        }
+        let record = json::object(&pairs);
         let text = match std::fs::read_to_string(&path) {
             // Merge into an existing bench record (repro_table1 --json
             // writes one flat object) so one file carries the whole

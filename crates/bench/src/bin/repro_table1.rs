@@ -133,17 +133,20 @@ fn bench_json(rows: &[table1::Table1Row]) -> String {
                 ("fig10", json::num(fig10_ms)),
             ]),
         ),
+        // Latency keys carry a `_ms` suffix so the regression gate knows
+        // they are lower-is-better; `repro_check` resolves older records
+        // through the legacy `fig10_pipeline_ms.*` alias.
         (
-            "fig10_pipeline_ms",
+            "fig10",
             json::object(&[
-                ("db_access", json::num(fig10_result.db_access_ms)),
-                ("build_graph", json::num(fig10_result.build_graph_ms)),
-                ("protect_hide", json::num(fig10_result.protect_hide_ms)),
+                ("db_access_ms", json::num(fig10_result.db_access_ms)),
+                ("build_graph_ms", json::num(fig10_result.build_graph_ms)),
+                ("protect_hide_ms", json::num(fig10_result.protect_hide_ms)),
                 (
-                    "protect_surrogate",
+                    "protect_surrogate_ms",
                     json::num(fig10_result.protect_surrogate_ms),
                 ),
-                ("total", json::num(fig10_result.total_ms)),
+                ("total_ms", json::num(fig10_result.total_ms)),
             ]),
         ),
         (

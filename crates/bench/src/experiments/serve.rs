@@ -109,6 +109,14 @@ pub struct ServeResult {
     pub batch_queries: usize,
     /// Batched-phase queries per second (all threads).
     pub batch_queries_per_sec: f64,
+    /// Sealed-frame cache hits over the whole run. In-process mode only:
+    /// an external server's counters are not observable from here.
+    pub frame_cache_hits: Option<u64>,
+    /// Sealed-frame cache misses over the whole run (in-process only).
+    pub frame_cache_misses: Option<u64>,
+    /// `hits / (hits + misses)` — how much of the load was served as
+    /// pre-sealed bytes (in-process only).
+    pub frame_cache_hit_rate: Option<f64>,
 }
 
 /// One load thread's phase-1 outcome: per-request latencies + row count.
@@ -131,9 +139,11 @@ fn connect_patiently(addr: &str) -> Result<Client, String> {
 /// Runs the closed-loop load test. Errors are strings: this is a
 /// harness, and every failure is terminal for the run.
 pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
-    // In-process mode owns the server for the duration of the run.
-    let (_server, addr) = match &config.addr {
-        Some(addr) => (None, addr.clone()),
+    // In-process mode owns the server for the duration of the run and
+    // keeps a service handle so the sealed-frame cache counters can be
+    // reported after the load.
+    let (_server, addr, service) = match &config.addr {
+        Some(addr) => (None, addr.clone(), None),
         None => {
             let store = build_store(Fig10Config {
                 stages: config.stages,
@@ -145,7 +155,7 @@ pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
             });
             let service = Arc::new(AccountService::new(Arc::new(store)));
             let server = Server::bind_with(
-                service,
+                service.clone(),
                 "127.0.0.1:0",
                 ServerConfig {
                     threads: config.threads.max(2),
@@ -154,7 +164,7 @@ pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
             )
             .map_err(|e| format!("cannot bind loopback: {e}"))?;
             let addr = server.local_addr().to_string();
-            (Some(server), addr)
+            (Some(server), addr, Some(service))
         }
     };
 
@@ -261,12 +271,19 @@ pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
                         start_line.wait();
                         let mut client = connected?;
                         let mut served = 0usize;
+                        // Both the request batch and the decoded responses
+                        // are reused round over round, so the client side
+                        // of the loop is allocation-free at steady state
+                        // and the measurement tracks the serving edge, not
+                        // the load generator's allocator.
+                        let mut batch: Vec<QueryRequest> = Vec::with_capacity(config.batch);
+                        let mut responses = Vec::with_capacity(config.batch);
                         for b in 0..batches_per_thread {
                             let base = (b * config.threads + tid) * config.batch;
-                            let batch: Vec<QueryRequest> =
-                                (base..base + config.batch).map(request).collect();
-                            let responses = client
-                                .query_batch(&batch)
+                            batch.clear();
+                            batch.extend((base..base + config.batch).map(request));
+                            client
+                                .query_batch_into(&batch, &mut responses)
                                 .map_err(|e| format!("batch {b} failed: {e}"))?;
                             served += responses.len();
                         }
@@ -287,6 +304,20 @@ pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
         batch_queries += result?;
     }
 
+    let (frame_cache_hits, frame_cache_misses, frame_cache_hit_rate) = match &service {
+        Some(service) => {
+            let (hits, misses) = service.frame_cache_stats();
+            let total = hits + misses;
+            let rate = if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            };
+            (Some(hits), Some(misses), Some(rate))
+        }
+        None => (None, None, None),
+    };
+
     Ok(ServeResult {
         nodes,
         epoch,
@@ -301,5 +332,8 @@ pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
         batch: config.batch,
         batch_queries,
         batch_queries_per_sec: batch_queries as f64 / (batch_elapsed_ms / 1e3),
+        frame_cache_hits,
+        frame_cache_misses,
+        frame_cache_hit_rate,
     })
 }

@@ -35,7 +35,7 @@
 use std::collections::VecDeque;
 
 use crate::error::Result;
-use crate::graph::{Edge, Graph, NodeId};
+use crate::graph::{Csr, Edge, Graph, NodeId};
 use crate::marking::{Marking, MarkingStore};
 use crate::privilege::{PrivilegeId, PrivilegeLattice};
 use crate::surrogate::SurrogateCatalog;
@@ -125,6 +125,8 @@ pub struct ProtectionContext<'a> {
     pub markings: &'a MarkingStore,
     /// Registered surrogate versions of nodes (§3.1).
     pub catalog: &'a SurrogateCatalog,
+    /// Optional prebuilt CSR index of `graph` (see [`with_csr`](Self::with_csr)).
+    csr: Option<&'a Csr>,
 }
 
 impl<'a> ProtectionContext<'a> {
@@ -140,7 +142,23 @@ impl<'a> ProtectionContext<'a> {
             lattice,
             markings,
             catalog,
+            csr: None,
         }
+    }
+
+    /// Attaches a prebuilt [`Csr`] index of [`graph`](Self::graph), so
+    /// repeated protections against one materialized snapshot skip the
+    /// `O(V + E)` rebuild. The index **must** describe the same graph.
+    pub fn with_csr(mut self, csr: &'a Csr) -> Self {
+        debug_assert_eq!(csr.node_count(), self.graph.node_count());
+        debug_assert_eq!(csr.edge_count(), self.graph.edge_count());
+        self.csr = Some(csr);
+        self
+    }
+
+    /// The attached CSR index, if any.
+    pub fn csr(&self) -> Option<&'a Csr> {
+        self.csr
     }
 
     /// Generates an account with the given strategy.
@@ -441,6 +459,75 @@ fn permitted_reach(
     reach
 }
 
+/// Per-edge marking tables for one high-water set, resolved once per
+/// protection call.
+///
+/// The generator consults exactly four per-edge facts — seed usability
+/// (source incidence `Visible`), endpoint usability (destination
+/// incidence `Visible`), unusability (either side `Hide`), and direct
+/// showability (both sides `Visible`). Resolving them once into a dense
+/// byte-per-edge flag array turns the former `O(E × sources)` hash-map
+/// resolutions into one `O(E × |HW|)` pass, and the BFS afterwards reads
+/// a single byte per edge instead of several spread-out bool arrays.
+struct EdgeTables {
+    /// Bitwise OR of the `SRC_VISIBLE` / `DST_VISIBLE` / `HIDDEN` /
+    /// `VISIBLE` flags, indexed by edge id.
+    flags: Vec<u8>,
+}
+
+impl EdgeTables {
+    /// Source incidence resolves `Visible` (Def. 8 seed condition).
+    const SRC_VISIBLE: u8 = 1;
+    /// Destination incidence resolves `Visible` (Def. 8 cond. 1).
+    const DST_VISIBLE: u8 = 1 << 1;
+    /// Either incidence resolves `Hide` — may not be shown nor used.
+    const HIDDEN: u8 = 1 << 2;
+    /// Both incidences resolve `Visible` — directly showable.
+    const VISIBLE: u8 = 1 << 3;
+
+    fn resolve(ctx: &ProtectionContext<'_>, preds: &[PrivilegeId], csr: &Csr) -> EdgeTables {
+        let e = csr.edge_count();
+        let m = ctx.markings;
+        let flags_for = |src: Marking, dst: Marking| {
+            let mut f = 0u8;
+            if src == Marking::Visible {
+                f |= Self::SRC_VISIBLE;
+            }
+            if dst == Marking::Visible {
+                f |= Self::DST_VISIBLE;
+            }
+            if src == Marking::Hide || dst == Marking::Hide {
+                f |= Self::HIDDEN;
+            }
+            if src == Marking::Visible && dst == Marking::Visible {
+                f |= Self::VISIBLE;
+            }
+            f
+        };
+        // Uniform store: every incidence resolves to the default marking.
+        if m.rule_count() == 0 {
+            let d = m.default_marking();
+            return EdgeTables {
+                flags: vec![flags_for(d, d); e],
+            };
+        }
+        let mut flags = vec![0u8; e];
+        for (id, slot) in flags.iter_mut().enumerate() {
+            let edge = csr.endpoints(id);
+            let src = m.mark_for_set(edge.0, edge, preds);
+            let dst = m.mark_for_set(edge.1, edge, preds);
+            *slot = flags_for(src, dst);
+        }
+        EdgeTables { flags }
+    }
+
+    /// Both incidences `Visible` — the edge may be shown directly.
+    #[inline]
+    fn visible(&self, id: u32) -> bool {
+        self.flags[id as usize] & Self::VISIBLE != 0
+    }
+}
+
 /// Tuning knobs for [`generate_with_options`]; mainly for ablation
 /// studies of the design choices DESIGN.md calls out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -499,6 +586,14 @@ pub fn generate_for_set(
 
 /// Full-control variant of [`generate`] / [`generate_for_set`].
 ///
+/// Runs against a [`Csr`] index of the graph — the one attached via
+/// [`ProtectionContext::with_csr`], or one built on the fly — so the
+/// marking resolution, the permitted-reach BFS, and the redundancy
+/// filter all address dense per-edge/per-node arrays instead of hashing
+/// node or edge keys. Surrogate edges are emitted in canonical
+/// `(source, target)` order, so accounts are deterministic and
+/// comparable edge-for-edge with [`reference::generate_with_options`].
+///
 /// # Panics
 /// Panics if `preds` is empty.
 pub fn generate_with_options(
@@ -511,51 +606,224 @@ pub fn generate_with_options(
     let preds = ctx.lattice.maximal_antichain(preds);
     let plans = plan_nodes(ctx, &preds, true);
     let mut account = build_node_layer(ctx, &preds, Strategy::Surrogate, plans);
-    add_shown_edges(ctx, &preds, &mut account);
 
-    let present: Vec<bool> = (0..ctx.graph.node_count())
-        .map(|i| account.to_account[i].is_some())
-        .collect();
-    let mut visited = BitSet::new(ctx.graph.edge_count());
+    let owned_csr;
+    let csr = match ctx.csr {
+        Some(csr) => csr,
+        None => {
+            owned_csr = Csr::build(ctx.graph);
+            &owned_csr
+        }
+    };
+    let tables = EdgeTables::resolve(ctx, &preds, csr);
+    let n = csr.node_count();
+    let e = csr.edge_count();
 
-    // Shortest permitted-pair distances from every present source.
-    let reach_by_source: Vec<FxHashMap<NodeId, u32>> = ctx
-        .graph
-        .node_ids()
-        .map(|u| {
-            if present[u.index()] {
-                permitted_reach(ctx, &preds, &present, u, &mut visited)
-            } else {
-                FxHashMap::default()
+    // Visible–Visible original edges with both endpoints present, in
+    // insertion order (Algorithm 1 lines 13–14, as in `add_shown_edges`).
+    for id in 0..e {
+        if !tables.visible(id as u32) {
+            continue;
+        }
+        let (a, b) = csr.endpoints(id);
+        if let (Some(u), Some(v)) = (account.to_account[a.index()], account.to_account[b.index()]) {
+            account
+                .graph
+                .add_edge(u, v)
+                .expect("original edges are unique and loop-free");
+        }
+    }
+
+    let present: Vec<bool> = (0..n).map(|i| account.to_account[i].is_some()).collect();
+
+    // Pre-filtered adjacency, resolved once per call and shared by every
+    // per-source BFS: the non-hidden out-edges of each node in CSR
+    // layout, with the per-edge Def. 8 facts folded into a byte — bit 0:
+    // the edge can *record* its target as a permitted pair (destination
+    // incidence Visible and target present); bit 1: the edge can *seed*
+    // a walk (source incidence Visible). The O(V × E) walks below then
+    // read two small sequential arrays instead of gathering from the
+    // flag table and the presence map on every edge examination.
+    const REC: u8 = 1;
+    const SEED: u8 = 1 << 1;
+    let mut fadj_start = vec![0u32; n + 1];
+    let mut fadj_target: Vec<u32> = Vec::with_capacity(e);
+    let mut fadj_bits: Vec<u8> = Vec::with_capacity(e);
+    for (w, start) in fadj_start.iter_mut().enumerate().take(n) {
+        *start = fadj_target.len() as u32;
+        let (targets, edge_ids) = csr.out(NodeId(w as u32));
+        for (&x, &id) in targets.iter().zip(edge_ids) {
+            let f = tables.flags[id as usize];
+            if f & EdgeTables::HIDDEN != 0 {
+                continue;
             }
-        })
-        .collect();
+            let mut bits = 0u8;
+            if f & EdgeTables::DST_VISIBLE != 0 && present[x as usize] {
+                bits |= REC;
+            }
+            if f & EdgeTables::SRC_VISIBLE != 0 {
+                bits |= SEED;
+            }
+            fadj_target.push(x);
+            fadj_bits.push(bits);
+        }
+    }
+    fadj_start[n] = fadj_target.len() as u32;
+
+    // Per-source BFS over the non-hidden subgraph (the repaired
+    // Algorithm 2; see `permitted_reach` for the Def. 8 reasoning). The
+    // frontier holds *nodes* in level-synchronous `Vec`s, and every node
+    // expands its out-edges at most once per source — at its BFS-minimal
+    // depth — so each edge is examined exactly once per source and
+    // frontier traffic is O(V), not O(E). Examining edge `(w, x)` at
+    // `depth(w) + 1` both records the row for `x` (first qualifying
+    // examination = shortest permitted walk, because examinations happen
+    // in nondecreasing source depth) and enqueues `x` if unvisited.
+    //
+    // `status` packs the per-node visited stamp (low 32 bits) and
+    // row-recorded stamp (high 32 bits) into one word, so the hot path
+    // touches a single cache line per node; all scratch is stamped
+    // instead of cleared, keeping per-source setup at O(out-degree).
+    let mut status = vec![0u64; n];
+    let mut cand_depth = vec![0u32; n];
+    let mut direct = vec![0u32; n];
+    let mut direct_id = vec![0u32; n];
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut next_frontier: Vec<u32> = Vec::new();
+    let mut stamp = 0u32;
+
+    // Shortest permitted-pair rows, arena-allocated: source `u`'s rows
+    // live in `rows_flat[row_start[u]..row_start[u + 1]]`, sorted by
+    // target so the redundancy filter can binary-search `d(w, v)`
+    // instead of hashing. `deep_flat` carries the same rows per source as
+    // `(depth, target)` in nondecreasing depth order — recorded for free
+    // by the level-synchronous BFS — so the redundancy filter can stop
+    // scanning witnesses at the candidate's own depth. One pair of
+    // growing buffers instead of `Vec`s per source keeps the BFS free of
+    // per-source reallocation.
+    let mut rows_flat: Vec<(u32, u32)> = Vec::new();
+    let mut deep_flat: Vec<(u32, u32)> = Vec::new();
+    let mut row_start: Vec<u32> = vec![0u32; n + 1];
 
     for u in ctx.graph.node_ids() {
-        let reach = &reach_by_source[u.index()];
-        for (&v, &d) in reach {
-            // A Visible–Visible direct edge is already shown; any other
-            // direct edge forbids the pair (Def. 8 cond. 2) and was never
-            // recorded in `reach`.
-            if ctx.graph.has_edge(u, v) {
+        let ui = u.index();
+        row_start[ui] = rows_flat.len() as u32;
+        if !present[ui] {
+            continue;
+        }
+        stamp += 1;
+        let (targets, edge_ids) = csr.out(u);
+        // Def. 8 cond. 2 lookup table: direct edges out of `u`.
+        for (&t, &id) in targets.iter().zip(edge_ids) {
+            direct[t as usize] = stamp;
+            direct_id[t as usize] = id;
+        }
+        // Examines filtered edge `(w, x)` (bits `b`) entering `x` at
+        // `depth`: Def. 8 cond. 1 — recordability (destination incidence
+        // Visible, target present) was folded into `REC`; cond. 2 — a
+        // direct edge between the pair, if any, must be Visible–Visible.
+        let recorded = (stamp as u64) << 32;
+        macro_rules! examine {
+            ($x:expr, $b:expr, $depth:expr, $next:expr) => {
+                let xi = $x as usize;
+                let s = status[xi];
+                if $b & REC != 0
+                    && (s >> 32) as u32 != stamp
+                    && $x != u.0
+                    && (direct[xi] != stamp
+                        || tables.flags[direct_id[xi] as usize] & EdgeTables::VISIBLE != 0)
+                {
+                    status[xi] = (status[xi] & 0xFFFF_FFFF) | recorded;
+                    cand_depth[xi] = $depth;
+                    deep_flat.push(($depth, $x));
+                }
+                if s as u32 != stamp {
+                    status[xi] = (status[xi] & !0xFFFF_FFFF) | stamp as u64;
+                    $next.push($x);
+                }
+            };
+        }
+        let fedges = |w: usize| {
+            let (lo, hi) = (fadj_start[w] as usize, fadj_start[w + 1] as usize);
+            fadj_target[lo..hi].iter().zip(&fadj_bits[lo..hi])
+        };
+        // Def. 8: the source's incidence on the first edge must be
+        // Visible. `u` itself stays unvisited: if a cycle re-enters it,
+        // it expands *all* its non-hidden out-edges as an intermediate
+        // (re-examining a seed edge is harmless — the row conditions are
+        // depth-independent, so it either recorded at depth 1 or never
+        // will).
+        frontier.clear();
+        for (&x, &b) in fedges(ui) {
+            if b & SEED == 0 {
+                continue;
+            }
+            examine!(x, b, 1, frontier);
+        }
+        let mut depth = 1;
+        while !frontier.is_empty() {
+            depth += 1;
+            next_frontier.clear();
+            for &w in &frontier {
+                for (&x, &b) in fedges(w as usize) {
+                    examine!(x, b, depth, next_frontier);
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next_frontier);
+        }
+        // Harvest the recorded targets by scanning node ids in order: the
+        // rows come out target-sorted without a comparison sort, which
+        // both the redundancy filter's binary search and the canonical
+        // (deterministic) emission order below rely on.
+        for (x, s) in status.iter().enumerate() {
+            if (s >> 32) as u32 == stamp {
+                rows_flat.push((x as u32, cand_depth[x]));
+            }
+        }
+    }
+    row_start[n] = rows_flat.len() as u32;
+    let rows = |w: usize| &rows_flat[row_start[w] as usize..row_start[w + 1] as usize];
+    let rows_by_depth = |w: usize| &deep_flat[row_start[w] as usize..row_start[w + 1] as usize];
+
+    for u in ctx.graph.node_ids() {
+        let ui = u.index();
+        let own = rows(ui);
+        if own.is_empty() {
+            continue;
+        }
+        stamp += 1;
+        // A Visible–Visible direct edge is already shown; any other direct
+        // edge forbids the pair (Def. 8 cond. 2) and was never recorded.
+        let (targets, _) = csr.out(u);
+        for &t in targets {
+            direct[t as usize] = stamp;
+        }
+        let u_acct = account.to_account[ui].expect("present source");
+        for &(v, d) in own {
+            if direct[v as usize] == stamp {
                 continue;
             }
             // Redundancy rule: skip when the pair splits into strictly
-            // shorter permitted pairs via a present intermediate.
+            // shorter permitted pairs via a present intermediate — a
+            // witness must be strictly closer than the candidate, so only
+            // the depth-ascending prefix `dw < d` is worth scanning.
             if options.redundancy_filter {
-                let decomposable = reach.iter().any(|(&w, &dw)| {
-                    w != v
-                        && dw < d
-                        && reach_by_source[w.index()]
-                            .get(&v)
-                            .is_some_and(|&dwv| dwv < d)
-                });
+                let decomposable =
+                    rows_by_depth(ui)
+                        .iter()
+                        .take_while(|&&(dw, _)| dw < d)
+                        .any(|&(_, w)| {
+                            w != v && {
+                                let via = rows(w as usize);
+                                via.binary_search_by_key(&v, |&(t, _)| t)
+                                    .is_ok_and(|pos| via[pos].1 < d)
+                            }
+                        });
                 if decomposable {
                     continue;
                 }
             }
-            let u_acct = account.to_account[u.index()].expect("present source");
-            let v_acct = account.to_account[v.index()].expect("present target");
+            let v_acct = account.to_account[v as usize].expect("present target");
             account
                 .graph
                 .add_edge(u_acct, v_acct)
@@ -646,6 +914,101 @@ pub fn permitted_pairs(
         }
     }
     pairs
+}
+
+/// The pre-CSR Materialized-path generator, kept as an executable
+/// specification.
+///
+/// This is the hash-map implementation the CSR fast path replaced:
+/// per-source `permitted_reach` walks resolving markings through
+/// [`MarkingStore`] lookups and collecting reach rows into hash maps.
+/// It exists so equivalence tests can pin the optimized generator
+/// against an independent implementation on arbitrary graphs — both
+/// paths emit surrogate edges in canonical `(source, target)` order, so
+/// their accounts (and everything downstream: lineage rows, wire
+/// frames) must match byte for byte.
+pub mod reference {
+    use super::*;
+
+    /// Hash-based counterpart of [`generate_with_options`](super::generate_with_options).
+    ///
+    /// # Panics
+    /// Panics if `preds` is empty.
+    pub fn generate_with_options(
+        ctx: &ProtectionContext<'_>,
+        preds: &[PrivilegeId],
+        options: GenerateOptions,
+    ) -> Result<ProtectedAccount> {
+        assert!(!preds.is_empty(), "high-water set must be non-empty");
+        ctx.catalog.validate(ctx.graph, ctx.lattice)?;
+        let preds = ctx.lattice.maximal_antichain(preds);
+        let plans = plan_nodes(ctx, &preds, true);
+        let mut account = build_node_layer(ctx, &preds, Strategy::Surrogate, plans);
+        add_shown_edges(ctx, &preds, &mut account);
+
+        let present: Vec<bool> = (0..ctx.graph.node_count())
+            .map(|i| account.to_account[i].is_some())
+            .collect();
+        let mut visited = BitSet::new(ctx.graph.edge_count());
+
+        // Shortest permitted-pair distances from every present source.
+        let reach_by_source: Vec<FxHashMap<NodeId, u32>> = ctx
+            .graph
+            .node_ids()
+            .map(|u| {
+                if present[u.index()] {
+                    permitted_reach(ctx, &preds, &present, u, &mut visited)
+                } else {
+                    FxHashMap::default()
+                }
+            })
+            .collect();
+
+        for u in ctx.graph.node_ids() {
+            let reach = &reach_by_source[u.index()];
+            // Canonical emission order, matching the CSR path.
+            let mut pairs: Vec<(NodeId, u32)> = reach.iter().map(|(&v, &d)| (v, d)).collect();
+            pairs.sort_unstable();
+            for (v, d) in pairs {
+                // A Visible–Visible direct edge is already shown; any other
+                // direct edge forbids the pair (Def. 8 cond. 2) and was never
+                // recorded in `reach`.
+                if ctx.graph.has_edge(u, v) {
+                    continue;
+                }
+                // Redundancy rule: skip when the pair splits into strictly
+                // shorter permitted pairs via a present intermediate.
+                if options.redundancy_filter {
+                    let decomposable = reach.iter().any(|(&w, &dw)| {
+                        w != v
+                            && dw < d
+                            && reach_by_source[w.index()]
+                                .get(&v)
+                                .is_some_and(|&dwv| dwv < d)
+                    });
+                    if decomposable {
+                        continue;
+                    }
+                }
+                let u_acct = account.to_account[u.index()].expect("present source");
+                let v_acct = account.to_account[v.index()].expect("present target");
+                account
+                    .graph
+                    .add_edge(u_acct, v_acct)
+                    .expect("pairs are unique and loop-free");
+                account.surrogate_edges.insert((u_acct, v_acct));
+            }
+        }
+        Ok(account)
+    }
+
+    /// Hash-based counterpart of [`generate_for_set`](super::generate_for_set).
+    pub fn generate_for_set(
+        ctx: &ProtectionContext<'_>,
+        preds: &[PrivilegeId],
+    ) -> Result<ProtectedAccount> {
+        generate_with_options(ctx, preds, GenerateOptions::default())
+    }
 }
 
 #[cfg(test)]
@@ -1073,6 +1436,36 @@ mod tests {
         let protected: Vec<Edge> = account.protected_edges(&fx.graph).collect();
         // Both original edges touched the hidden b.
         assert_eq!(protected.len(), 2);
+    }
+
+    #[test]
+    fn csr_path_matches_reference_path_on_fixtures() {
+        let fixtures = [chain_fixture(false), chain_fixture(true)];
+        for fx in &fixtures {
+            let public = fx.lattice.public();
+            let ctx = fx.ctx();
+            let csr = Csr::build(&fx.graph);
+            for ctx in [ctx, ctx.with_csr(&csr)] {
+                let fast = generate_for_set(&ctx, &[public]).unwrap();
+                let slow = reference::generate_for_set(&ctx, &[public]).unwrap();
+                assert_eq!(fast.graph().node_count(), slow.graph().node_count());
+                let fast_edges: Vec<Edge> = fast.graph().edges().collect();
+                let slow_edges: Vec<Edge> = slow.graph().edges().collect();
+                assert_eq!(fast_edges, slow_edges, "identical edges, same order");
+                assert_eq!(fast.surrogate_edge_count(), slow.surrogate_edge_count());
+            }
+        }
+        let (graph, lattice, _, [a, b]) = incomparable_fixture();
+        let markings = MarkingStore::new();
+        let catalog = SurrogateCatalog::new();
+        let ctx = ProtectionContext::new(&graph, &lattice, &markings, &catalog);
+        for preds in [vec![a], vec![b], vec![a, b]] {
+            let fast = generate_for_set(&ctx, &preds).unwrap();
+            let slow = reference::generate_for_set(&ctx, &preds).unwrap();
+            let fast_edges: Vec<Edge> = fast.graph().edges().collect();
+            let slow_edges: Vec<Edge> = slow.graph().edges().collect();
+            assert_eq!(fast_edges, slow_edges);
+        }
     }
 
     #[test]

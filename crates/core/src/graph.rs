@@ -74,6 +74,7 @@ impl Graph {
         g.out.reserve(nodes);
         g.inn.reserve(nodes);
         g.edge_list.reserve(edges);
+        g.edge_index.reserve(edges);
         g
     }
 
@@ -110,11 +111,14 @@ impl Graph {
         if from == to {
             return Err(Error::SelfLoop(from));
         }
-        if self.edge_index.contains_key(&(from, to)) {
-            return Err(Error::DuplicateEdge { from, to });
+        match self.edge_index.entry((from, to)) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                return Err(Error::DuplicateEdge { from, to });
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.edge_list.len() as u32);
+            }
         }
-        self.edge_index
-            .insert((from, to), self.edge_list.len() as u32);
         self.out[from.index()].push(to);
         self.inn[to.index()].push(from);
         self.edge_list.push((from, to));
@@ -301,6 +305,144 @@ impl Graph {
     }
 }
 
+/// A compressed-sparse-row view of a finished [`Graph`].
+///
+/// Both adjacency directions are flattened into offset + target arrays,
+/// and every adjacency entry carries the *edge id* (the edge's position
+/// in [`Graph::edges`] insertion order), so per-edge side tables — mark
+/// caches, visited stamps, hidden/visible bitmaps — can be indexed
+/// without ever hashing an `(from, to)` pair. Building is `O(V + E)`
+/// straight off the graph's insertion-ordered edge list; no hash lookups
+/// are involved in construction or traversal.
+///
+/// The layout is the snapshot currency of the protection hot path: a
+/// `Csr` is built once per materialized epoch (or on the fly for a
+/// one-shot protection) and shared read-only across every concurrent
+/// account generation against that epoch.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    nodes: u32,
+    /// `out_offsets[u] .. out_offsets[u + 1]` spans `u`'s out-adjacency.
+    out_offsets: Vec<u32>,
+    /// Target node of each out-adjacency slot.
+    out_targets: Vec<u32>,
+    /// Edge id (insertion index) of each out-adjacency slot.
+    out_edge_ids: Vec<u32>,
+    /// `in_offsets[v] .. in_offsets[v + 1]` spans `v`'s in-adjacency.
+    in_offsets: Vec<u32>,
+    /// Source node of each in-adjacency slot.
+    in_sources: Vec<u32>,
+    /// Edge id (insertion index) of each in-adjacency slot.
+    in_edge_ids: Vec<u32>,
+    /// Endpoints by edge id, mirroring the graph's insertion order.
+    endpoints: Vec<(u32, u32)>,
+}
+
+impl Csr {
+    /// Builds the CSR index of `graph`. Edge ids follow the graph's edge
+    /// insertion order, so `graph.edge_at(i) == csr.endpoints(i)`.
+    pub fn build(graph: &Graph) -> Csr {
+        let n = graph.node_count();
+        let e = graph.edge_count();
+        let mut out_degree = vec![0u32; n];
+        let mut in_degree = vec![0u32; n];
+        let mut endpoints = Vec::with_capacity(e);
+        for (a, b) in graph.edges() {
+            out_degree[a.index()] += 1;
+            in_degree[b.index()] += 1;
+            endpoints.push((a.0, b.0));
+        }
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let (mut out_total, mut in_total) = (0u32, 0u32);
+        for i in 0..n {
+            out_offsets.push(out_total);
+            in_offsets.push(in_total);
+            out_total += out_degree[i];
+            in_total += in_degree[i];
+        }
+        out_offsets.push(out_total);
+        in_offsets.push(in_total);
+        let mut out_targets = vec![0u32; e];
+        let mut out_edge_ids = vec![0u32; e];
+        let mut in_sources = vec![0u32; e];
+        let mut in_edge_ids = vec![0u32; e];
+        // Reuse the degree arrays as per-node write cursors.
+        let mut out_cursor = out_offsets[..n].to_vec();
+        let mut in_cursor = in_offsets[..n].to_vec();
+        for (id, &(a, b)) in endpoints.iter().enumerate() {
+            let slot = out_cursor[a as usize] as usize;
+            out_targets[slot] = b;
+            out_edge_ids[slot] = id as u32;
+            out_cursor[a as usize] += 1;
+            let slot = in_cursor[b as usize] as usize;
+            in_sources[slot] = a;
+            in_edge_ids[slot] = id as u32;
+            in_cursor[b as usize] += 1;
+        }
+        Csr {
+            nodes: n as u32,
+            out_offsets,
+            out_targets,
+            out_edge_ids,
+            in_offsets,
+            in_sources,
+            in_edge_ids,
+            endpoints,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Endpoints of the edge with insertion index `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= edge_count()`.
+    #[inline]
+    pub fn endpoints(&self, id: usize) -> Edge {
+        let (a, b) = self.endpoints[id];
+        (NodeId(a), NodeId(b))
+    }
+
+    /// Out-adjacency of `u` as parallel `(targets, edge ids)` slices.
+    #[inline]
+    pub fn out(&self, u: NodeId) -> (&[u32], &[u32]) {
+        let lo = self.out_offsets[u.index()] as usize;
+        let hi = self.out_offsets[u.index() + 1] as usize;
+        (&self.out_targets[lo..hi], &self.out_edge_ids[lo..hi])
+    }
+
+    /// In-adjacency of `v` as parallel `(sources, edge ids)` slices.
+    #[inline]
+    pub fn inn(&self, v: NodeId) -> (&[u32], &[u32]) {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        (&self.in_sources[lo..hi], &self.in_edge_ids[lo..hi])
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        (self.out_offsets[u.index() + 1] - self.out_offsets[u.index()]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +565,37 @@ mod tests {
         assert!(g.is_connected());
         assert!(g.is_acyclic());
         assert_eq!(g.average_reachable(), 0.0);
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency_and_edge_ids() {
+        let (g, [a, b, c, d]) = diamond();
+        let csr = Csr::build(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for id in 0..g.edge_count() {
+            assert_eq!(csr.endpoints(id), g.edge_at(id));
+        }
+        for n in g.node_ids() {
+            let (targets, edge_ids) = csr.out(n);
+            let got: Vec<NodeId> = targets.iter().map(|&t| NodeId(t)).collect();
+            assert_eq!(got.as_slice(), g.out_neighbors(n));
+            for (&t, &e) in targets.iter().zip(edge_ids) {
+                assert_eq!(csr.endpoints(e as usize), (n, NodeId(t)));
+            }
+            let (sources, edge_ids) = csr.inn(n);
+            let got: Vec<NodeId> = sources.iter().map(|&s| NodeId(s)).collect();
+            assert_eq!(got.as_slice(), g.in_neighbors(n));
+            for (&s, &e) in sources.iter().zip(edge_ids) {
+                assert_eq!(csr.endpoints(e as usize), (NodeId(s), n));
+            }
+            assert_eq!(csr.out_degree(n), g.out_degree(n));
+            assert_eq!(csr.in_degree(n), g.in_degree(n));
+        }
+        assert_eq!(csr.out_degree(a), 2);
+        assert_eq!(csr.in_degree(d), 2);
+        assert_eq!(csr.out(b).0, &[d.0]);
+        assert_eq!(csr.inn(c).0, &[a.0]);
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub mod prelude {
     pub use crate::dot::{account_to_dot, graph_to_dot};
     pub use crate::error::{Error, Result};
     pub use crate::feature::{FeatureValue, Features};
-    pub use crate::graph::{Edge, Graph, Node, NodeId};
+    pub use crate::graph::{Csr, Edge, Graph, Node, NodeId};
     pub use crate::hw::{high_water_set, is_high_water_set};
     pub use crate::marking::{Marking, MarkingStore};
     pub use crate::measures::{

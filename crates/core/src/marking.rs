@@ -181,6 +181,16 @@ impl MarkingStore {
         self.default
     }
 
+    /// Number of explicit rules across layers 1–4. Zero means every
+    /// incidence resolves to the [default](Self::default_marking) — the
+    /// dense protection path exploits this to skip per-edge resolution.
+    pub fn rule_count(&self) -> usize {
+        self.per_incidence_pred.len()
+            + self.per_incidence.len()
+            + self.per_node_pred.len()
+            + self.per_node.len()
+    }
+
     /// Enumerates every explicit rule in the store, in a deterministic
     /// order (layer, then ids). Lets policy be exported — e.g. replayed
     /// into a provenance store's policy log.
@@ -366,6 +376,8 @@ mod tests {
         store.set_node_all_predicates(a, Marking::Visible);
         let rules = store.rules();
         assert_eq!(rules.len(), 4);
+        assert_eq!(store.rule_count(), 4);
+        assert_eq!(MarkingStore::new().rule_count(), 0);
         assert_eq!(rules, store.rules(), "deterministic order");
         assert!(matches!(rules[0], MarkingRule::IncidencePred { .. }));
         assert_eq!(store.default_marking(), Marking::Visible);

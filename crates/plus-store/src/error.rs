@@ -184,6 +184,17 @@ pub enum CodecError {
     /// A WAL frame declares a payload length beyond the sanity bound —
     /// corruption, not a real frame.
     FrameTooLarge(u32),
+    /// An in-memory count exceeds what its wire field can carry, so the
+    /// message cannot be encoded without silently truncating the count
+    /// (and desynchronizing the stream for the peer decoding it).
+    CountOverflow {
+        /// What was being counted.
+        what: &'static str,
+        /// The actual count.
+        count: usize,
+        /// The largest count the wire field can carry.
+        max: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -200,6 +211,9 @@ impl fmt::Display for CodecError {
             CodecError::DanglingReference => write!(f, "snapshot references a missing id"),
             CodecError::FrameTooLarge(len) => {
                 write!(f, "wal frame declares an implausible {len}-byte payload")
+            }
+            CodecError::CountOverflow { what, count, max } => {
+                write!(f, "{count} {what} exceed the wire field's maximum of {max}")
             }
         }
     }

@@ -14,8 +14,11 @@
 //!   recovery, checkpointing;
 //! * [`lineage`] — upstream/downstream provenance queries;
 //! * [`service`] — **the serving layer**: the concurrent, epoch-versioned
-//!   [`AccountService`] with a sharded account cache, pluggable
-//!   protection strategies, and the typed batch query API;
+//!   [`AccountService`] with a sharded account cache, single-flight
+//!   generation, a sealed-frame cache, pluggable protection strategies,
+//!   and the typed batch query API;
+//! * [`snapshot`] — the per-epoch CSR index ([`SnapshotIndex`]) the
+//!   protection hot path runs against;
 //! * [`session`] — thin per-consumer views over a shared service;
 //! * [`wire`] — the query-serving wire protocol: the framed
 //!   request/response messages that may cross the trust boundary, and
@@ -54,6 +57,7 @@ pub mod lineage;
 pub mod record;
 pub mod service;
 pub mod session;
+pub mod snapshot;
 pub mod store;
 pub mod wal;
 pub mod wire;
@@ -63,6 +67,7 @@ pub use ingest::{ingest, IngestKinds};
 pub use record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement, RecordId};
 pub use service::{AccountService, ProtectedLineageRow, QueryRequest, QueryResponse, Snapshot};
 pub use session::Session;
+pub use snapshot::SnapshotIndex;
 // Re-exported so service call sites can name directions and strategies
 // without importing surrogate-core directly.
 pub use store::{CheckpointStats, Materialized, Store};

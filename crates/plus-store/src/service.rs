@@ -28,6 +28,21 @@
 //! request against the right cached account, and stamps each
 //! [`QueryResponse`] with the epoch it answered at.
 //!
+//! Two more layers keep the hot path flat under load:
+//!
+//! * **Single-flight generation.** Concurrent cache misses of one
+//!   account key coalesce onto a single generating leader; followers
+//!   block until it publishes instead of redundantly generating the same
+//!   account N times (the cold-cache thundering herd).
+//! * **A sealed-frame cache.** [`AccountService::query_sealed`] and
+//!   [`AccountService::query_batch_sealed`] answer with the *wire bytes*
+//!   of the response — encoded, framed, checksummed — memoized by
+//!   `(epoch, consumer credential frontier, request bytes)`. A repeat
+//!   query is a hash lookup plus a socket write; nothing is re-traversed
+//!   or re-encoded. Frames are invalidated exactly like accounts: epoch
+//!   bumps sweep stale epochs, [re-registration](AccountService::register_strategy)
+//!   clears the cache outright.
+//!
 //! ```
 //! use plus_store::{AccountService, Direction, QueryRequest, Store};
 //! use plus_store::{EdgeKind, NodeKind, PolicyStatement};
@@ -61,8 +76,9 @@ use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 
+use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use surrogate_core::account::{ProtectedAccount, Strategy};
 use surrogate_core::credential::Consumer;
@@ -71,14 +87,24 @@ use surrogate_core::privilege::PrivilegeId;
 use surrogate_core::query::{traverse, Direction};
 use surrogate_core::strategy::ProtectionStrategy;
 
-use crate::error::{Result, StoreError};
+use crate::error::{CodecError, Result, StoreError};
 use crate::record::RecordId;
+use crate::snapshot::SnapshotIndex;
 use crate::store::{Materialized, Store};
 use crate::wal::DurabilityOptions;
 
 /// Number of cache shards; requests for different `(epoch, preds,
 /// strategy)` keys mostly hit different locks.
 const SHARDS: usize = 16;
+
+/// Number of sealed-frame cache shards (same spreading idea as
+/// [`SHARDS`], keyed by whole frames instead of accounts).
+const FRAME_SHARDS: usize = 16;
+
+/// Per-shard sealed-frame cap. A shard at capacity is cleared rather
+/// than grown without bound — the cache refills from hot traffic, and
+/// frames are cheap to rebuild from the (still cached) account.
+const FRAME_SHARD_CAP: usize = 4096;
 
 /// An epoch-stamped materialization: the consistent view of the store all
 /// accounts and query answers of that epoch are derived from.
@@ -89,9 +115,21 @@ const SHARDS: usize = 16;
 pub struct Snapshot {
     epoch: u64,
     materialized: Materialized,
+    index: SnapshotIndex,
 }
 
 impl Snapshot {
+    fn new(epoch: u64, materialized: Materialized) -> Self {
+        // Build the CSR index once per epoch, here, so every protection
+        // and every sealed frame of the epoch runs hash-free.
+        let index = SnapshotIndex::build(&materialized);
+        Self {
+            epoch,
+            materialized,
+            index,
+        }
+    }
+
     /// The store version this materialization corresponds to.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -100,6 +138,12 @@ impl Snapshot {
     /// The materialized graph, lattice, markings, and catalog.
     pub fn materialized(&self) -> &Materialized {
         &self.materialized
+    }
+
+    /// The dense CSR index of this materialization, built once at
+    /// snapshot time and shared by every protection against this epoch.
+    pub fn index(&self) -> &SnapshotIndex {
+        &self.index
     }
 }
 
@@ -203,6 +247,63 @@ struct CachedAccount {
 /// A registered strategy with the generation stamp of its registration.
 type Registration = (u64, Arc<dyn ProtectionStrategy>);
 
+/// One in-flight account generation, coalescing concurrent misses of a
+/// key onto a single generating **leader**. Followers block on the
+/// condvar until the leader publishes; a cold cache (or an epoch bump)
+/// under N concurrent requests then costs one generation, not N — the
+/// most expensive step in the system is never duplicated.
+///
+/// Built on `std::sync` primitives: the vendored `parking_lot` shim has
+/// no `Condvar`. Poisoning is ignored ([`PoisonError::into_inner`]) —
+/// the state machine below stays consistent across an unwinding leader
+/// because [`FlightGuard`] always publishes an outcome.
+struct Flight {
+    state: StdMutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    /// The leader is still generating.
+    Pending,
+    /// The leader finished; followers take the account directly.
+    Done(Arc<ProtectedAccount>),
+    /// The leader failed; followers loop back and retry (one of them
+    /// becomes the next leader), so one bad generation does not fan its
+    /// error out to every coalesced caller.
+    Failed,
+}
+
+/// Publishes `Failed` if a generation leader unwinds before publishing,
+/// so followers blocked on the flight can never wait forever.
+struct FlightGuard<'a> {
+    service: &'a AccountService,
+    key: &'a CacheKey,
+    flight: &'a Flight,
+    published: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.service
+                .finish_flight(self.key, self.flight, FlightState::Failed);
+        }
+    }
+}
+
+/// Cache key of one pre-sealed response frame: the epoch it answers at,
+/// the consumer's sorted credential frontier, and the canonical wire
+/// bytes of the request(s). The frontier fully determines both
+/// authorization and account content, so consumer *names* are
+/// deliberately absent — consumers holding the same credentials see
+/// byte-identical answers and share cache entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FrameKey {
+    epoch: u64,
+    frontier: Vec<PrivilegeId>,
+    request: Vec<u8>,
+}
+
 enum Source {
     /// A live store: the epoch tracks its version.
     Live(Arc<Store>),
@@ -222,6 +323,12 @@ pub struct AccountService {
     strategies: RwLock<HashMap<String, Registration>>,
     /// Monotone counter stamping each registration; see [`CachedAccount`].
     generation: AtomicU64,
+    /// In-flight account generations, for single-flight coalescing.
+    inflight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    /// Pre-sealed response frames; see [`FrameKey`].
+    frame_shards: Vec<Mutex<HashMap<FrameKey, Bytes>>>,
+    frame_hits: AtomicU64,
+    frame_misses: AtomicU64,
 }
 
 impl std::fmt::Debug for AccountService {
@@ -229,6 +336,7 @@ impl std::fmt::Debug for AccountService {
         f.debug_struct("AccountService")
             .field("epoch", &self.epoch())
             .field("cached_accounts", &self.cached_accounts())
+            .field("cached_frames", &self.cached_frames())
             .field("strategies", &self.strategy_names())
             .finish()
     }
@@ -244,10 +352,7 @@ impl AccountService {
     /// A service over a fixed materialization, pinned at epoch 0 — an
     /// immutable serving replica.
     pub fn from_materialized(materialized: Materialized) -> Self {
-        Self::with_source(Source::Frozen(Arc::new(Snapshot {
-            epoch: 0,
-            materialized,
-        })))
+        Self::with_source(Source::Frozen(Arc::new(Snapshot::new(0, materialized))))
     }
 
     fn with_source(source: Source) -> Self {
@@ -263,6 +368,12 @@ impl AccountService {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             strategies: RwLock::new(strategies),
             generation: AtomicU64::new(generation),
+            inflight: Mutex::new(HashMap::new()),
+            frame_shards: (0..FRAME_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            frame_hits: AtomicU64::new(0),
+            frame_misses: AtomicU64::new(0),
         }
     }
 
@@ -318,10 +429,7 @@ impl AccountService {
             }
         }
         let (epoch, materialized) = store.materialize_versioned();
-        let snapshot = Arc::new(Snapshot {
-            epoch,
-            materialized,
-        });
+        let snapshot = Arc::new(Snapshot::new(epoch, materialized));
         // The epoch never goes backward: materialize_versioned reads the
         // version and the log under one lock, and versions only grow.
         if !cached
@@ -329,9 +437,13 @@ impl AccountService {
             .is_some_and(|old| old.epoch >= snapshot.epoch)
         {
             *cached = Some(snapshot.clone());
-            // Accounts older than the new epoch can never be current
-            // again; drop them so the cache tracks live accounts only.
+            // Accounts and sealed frames older than the new epoch can
+            // never be current again; drop them so the caches track live
+            // entries only.
             for shard in &self.shards {
+                shard.lock().retain(|k, _| k.epoch >= epoch);
+            }
+            for shard in &self.frame_shards {
                 shard.lock().retain(|k, _| k.epoch >= epoch);
             }
         }
@@ -358,6 +470,13 @@ impl AccountService {
         let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
         for shard in &self.shards {
             shard.lock().retain(|k, _| k.strategy != name);
+        }
+        // Sealed frames carry no strategy generation (they are keyed by
+        // the request bytes, which name strategies only by selector), so
+        // a re-registration drops them all rather than guessing which
+        // frames the replaced implementation produced.
+        for shard in &self.frame_shards {
+            shard.lock().clear();
         }
         registry.insert(name, (generation, strategy));
     }
@@ -427,56 +546,127 @@ impl AccountService {
             preds,
             strategy: strategy.name().to_string(),
         };
-        // One consistent view of the name's registration: its generation
-        // stamp and implementation (generation 0 = unregistered, the
-        // passed strategy object generates directly).
-        let (generation, registered) = match self.strategies.read().get(&key.strategy) {
-            Some((generation, registered)) => (*generation, Some(registered.clone())),
-            None => (0, None),
-        };
-        let shard = &self.shards[Self::shard_index(&key)];
-        if let Some(hit) = shard.lock().get(&key) {
-            // Serve only accounts of the name's *current* registration: a
-            // racing generator may have cached an account built from a
-            // replaced registration after register_strategy purged.
-            if hit.generation == generation {
-                return Ok(hit.account.clone());
-            }
-        }
-        // Generate outside the shard lock: account generation is the
-        // expensive step and must not serialize unrelated cache traffic.
-        let account = Arc::new(match &registered {
-            Some(current) => current.protect(&snapshot.context(), &key.preds)?,
-            None => strategy.protect(&snapshot.context(), &key.preds)?,
-        });
-        let mut guard = shard.lock();
-        // Entries for this account older than this epoch can never be
-        // current again (the snapshot rebuild also sweeps all shards).
-        guard.retain(|k, _| {
-            k.epoch >= key.epoch || k.preds != key.preds || k.strategy != key.strategy
-        });
-        // A racing generator may have inserted first; serve whichever
-        // entry carries the newest registration generation.
-        match guard.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut slot) => {
-                if slot.get().generation >= generation {
-                    Ok(slot.get().account.clone())
-                } else {
-                    slot.insert(CachedAccount {
-                        generation,
-                        account: account.clone(),
-                    });
-                    Ok(account)
+        loop {
+            // One consistent view of the name's registration: its
+            // generation stamp and implementation (generation 0 =
+            // unregistered, the passed strategy object generates
+            // directly).
+            let (generation, registered) = match self.strategies.read().get(&key.strategy) {
+                Some((generation, registered)) => (*generation, Some(registered.clone())),
+                None => (0, None),
+            };
+            let shard = &self.shards[Self::shard_index(&key)];
+            if let Some(hit) = shard.lock().get(&key) {
+                // Serve only accounts of the name's *current*
+                // registration: a racing generator may have cached an
+                // account built from a replaced registration after
+                // register_strategy purged.
+                if hit.generation == generation {
+                    return Ok(hit.account.clone());
                 }
             }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(CachedAccount {
-                    generation,
-                    account: account.clone(),
-                });
-                Ok(account)
+            // Single-flight: the first miss of a key becomes the leader
+            // and generates; concurrent misses find the flight and wait.
+            let (flight, leader) = {
+                let mut inflight = self.inflight.lock();
+                match inflight.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(slot) => {
+                        (slot.get().clone(), false)
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        let flight = Arc::new(Flight {
+                            state: StdMutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        (slot.insert(flight).clone(), true)
+                    }
+                }
+            };
+            if !leader {
+                let mut state = flight.state.lock().unwrap_or_else(PoisonError::into_inner);
+                while matches!(*state, FlightState::Pending) {
+                    state = flight
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                if let FlightState::Done(account) = &*state {
+                    return Ok(account.clone());
+                }
+                // The leader failed; retry from the top (possibly as the
+                // new leader) instead of fanning its error out.
+                continue;
             }
+            // Leader: generate outside the shard lock — generation is the
+            // expensive step and must not serialize unrelated cache
+            // traffic. The guard publishes Failed if we unwind.
+            let mut flight_guard = FlightGuard {
+                service: self,
+                key: &key,
+                flight: &flight,
+                published: false,
+            };
+            let ctx = snapshot.context().with_csr(snapshot.index.csr());
+            let generated = match &registered {
+                Some(current) => current.protect(&ctx, &key.preds),
+                None => strategy.protect(&ctx, &key.preds),
+            };
+            let result = match generated {
+                Ok(account) => {
+                    let account = Arc::new(account);
+                    let mut guard = shard.lock();
+                    // Entries for this account older than this epoch can
+                    // never be current again (the snapshot rebuild also
+                    // sweeps all shards).
+                    guard.retain(|k, _| {
+                        k.epoch >= key.epoch || k.preds != key.preds || k.strategy != key.strategy
+                    });
+                    // A racing generator may have inserted first; serve
+                    // whichever entry carries the newest registration
+                    // generation.
+                    match guard.entry(key.clone()) {
+                        std::collections::hash_map::Entry::Occupied(mut slot) => {
+                            if slot.get().generation >= generation {
+                                Ok(slot.get().account.clone())
+                            } else {
+                                slot.insert(CachedAccount {
+                                    generation,
+                                    account: account.clone(),
+                                });
+                                Ok(account)
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(CachedAccount {
+                                generation,
+                                account: account.clone(),
+                            });
+                            Ok(account)
+                        }
+                    }
+                }
+                Err(e) => Err(StoreError::from(e)),
+            };
+            flight_guard.published = true;
+            self.finish_flight(
+                &key,
+                &flight,
+                match &result {
+                    Ok(account) => FlightState::Done(account.clone()),
+                    Err(_) => FlightState::Failed,
+                },
+            );
+            return result;
         }
+    }
+
+    /// Retires an in-flight generation: removes it from the coalescing
+    /// map and wakes every waiting follower with the outcome.
+    fn finish_flight(&self, key: &CacheKey, flight: &Flight, outcome: FlightState) {
+        self.inflight.lock().remove(key);
+        let mut state = flight.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *state = outcome;
+        flight.cv.notify_all();
     }
 
     /// Shard by `(preds, strategy)` — *not* the epoch — so successive
@@ -578,7 +768,18 @@ impl AccountService {
         consumer: &Consumer,
         requests: &[QueryRequest],
     ) -> Result<Vec<QueryResponse>> {
-        let snapshot = self.snapshot();
+        self.query_batch_at(&self.snapshot(), consumer, requests)
+    }
+
+    /// [`query_batch`](Self::query_batch) against a pinned snapshot, so
+    /// callers that key derived artifacts by epoch (the sealed-frame
+    /// cache) answer at exactly the epoch they keyed.
+    fn query_batch_at(
+        &self,
+        snapshot: &Snapshot,
+        consumer: &Consumer,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<QueryResponse>> {
         // Resolve each distinct (predicate, strategy) pair once; the
         // per-request loop then only clones Arcs and traverses.
         let mut accounts: HashMap<(Option<PrivilegeId>, Strategy), Arc<ProtectedAccount>> =
@@ -595,10 +796,10 @@ impl AccountService {
                         let account = match request.predicate {
                             Some(predicate) => {
                                 self.authorize(consumer, predicate)?;
-                                self.protect_at(&snapshot, &[predicate], &request.strategy)?
+                                self.protect_at(snapshot, &[predicate], &request.strategy)?
                             }
                             None => {
-                                self.frontier_account_at(&snapshot, consumer, &request.strategy)?
+                                self.frontier_account_at(snapshot, consumer, &request.strategy)?
                             }
                         };
                         slot.insert(account).clone()
@@ -616,6 +817,91 @@ impl AccountService {
                 })
             })
             .collect()
+    }
+
+    /// Answers one lineage query as a **pre-sealed wire frame**: the
+    /// exact `len | crc32 | payload` bytes of the
+    /// [`Response::Query`](crate::wire::Response::Query) answer, ready
+    /// to write to a socket verbatim. Repeat queries are served from the
+    /// sealed-frame cache (see the [module docs](self)); a cached frame
+    /// is byte-identical to a freshly encoded one by construction — it
+    /// *is* the first encoding, memoized.
+    pub fn query_sealed(&self, consumer: &Consumer, request: &QueryRequest) -> Result<Bytes> {
+        self.sealed_answer(consumer, std::slice::from_ref(request), false)
+    }
+
+    /// [`query_batch`](Self::query_batch) as a pre-sealed
+    /// [`Response::Batch`](crate::wire::Response::Batch) frame, with the
+    /// same caching as [`query_sealed`](Self::query_sealed).
+    pub fn query_batch_sealed(
+        &self,
+        consumer: &Consumer,
+        requests: &[QueryRequest],
+    ) -> Result<Bytes> {
+        self.sealed_answer(consumer, requests, true)
+    }
+
+    /// Lifetime sealed-frame cache counters, `(hits, misses)`.
+    pub fn frame_cache_stats(&self) -> (u64, u64) {
+        (
+            self.frame_hits.load(Ordering::Relaxed),
+            self.frame_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Sealed frames currently cached (all epochs).
+    pub fn cached_frames(&self) -> usize {
+        self.frame_shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn sealed_answer(
+        &self,
+        consumer: &Consumer,
+        requests: &[QueryRequest],
+        batch: bool,
+    ) -> Result<Bytes> {
+        let snapshot = self.snapshot();
+        let mut frontier = consumer.frontier(&snapshot.lattice);
+        frontier.sort_unstable_by_key(|p| p.0);
+        let key = FrameKey {
+            epoch: snapshot.epoch,
+            frontier,
+            request: crate::wire::encode_query_key(requests, batch)?,
+        };
+        let shard = &self.frame_shards[Self::frame_shard_index(&key)];
+        if let Some(hit) = shard.lock().get(&key) {
+            self.frame_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.frame_misses.fetch_add(1, Ordering::Relaxed);
+        let mut responses = self.query_batch_at(&snapshot, consumer, requests)?;
+        let response = if batch {
+            crate::wire::Response::Batch(responses)
+        } else {
+            crate::wire::Response::Query(responses.remove(0))
+        };
+        let payload = crate::wire::encode_response(&response)?;
+        if payload.len() as u64 > crate::codec::MAX_FRAME_LEN as u64 {
+            // The answer cannot travel in one frame; surface the same
+            // error an oversized frame would raise at the codec layer
+            // (callers answer "split the batch").
+            return Err(StoreError::Codec(CodecError::FrameTooLarge(
+                u32::try_from(payload.len()).unwrap_or(u32::MAX),
+            )));
+        }
+        let sealed = Bytes::from(crate::codec::seal_frame(&payload));
+        let mut guard = shard.lock();
+        if guard.len() >= FRAME_SHARD_CAP {
+            guard.clear();
+        }
+        guard.insert(key, sealed.clone());
+        Ok(sealed)
+    }
+
+    fn frame_shard_index(key: &FrameKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % FRAME_SHARDS
     }
 }
 
@@ -948,6 +1234,89 @@ mod tests {
             .unwrap();
         assert_eq!(response.epoch, 0);
         assert_eq!(response.rows.len(), 2);
+    }
+
+    #[test]
+    fn sealed_frames_match_fresh_encodings_and_hit_the_cache() {
+        let (store, ids) = setup();
+        let service = AccountService::new(store);
+        let consumer = Consumer::public(&service.snapshot().lattice);
+        let request = QueryRequest::new(ids[2], Direction::Backward, u32::MAX, Strategy::Surrogate);
+
+        let cold = service.query_sealed(&consumer, &request).unwrap();
+        // Golden check: the cached sealed frame is the seal of the
+        // freshly encoded typed answer, byte for byte.
+        let fresh = service.query(&consumer, &request).unwrap();
+        let expected = crate::codec::seal_frame(
+            &crate::wire::encode_response(&crate::wire::Response::Query(fresh)).unwrap(),
+        );
+        assert_eq!(&*cold, &expected[..]);
+
+        let warm = service.query_sealed(&consumer, &request).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(service.frame_cache_stats(), (1, 1), "(hits, misses)");
+        assert_eq!(service.cached_frames(), 1);
+
+        // Batch frames cache independently and verify the same way.
+        let batch = vec![request.clone(), request.clone()];
+        let sealed_batch = service.query_batch_sealed(&consumer, &batch).unwrap();
+        let fresh_batch = service.query_batch(&consumer, &batch).unwrap();
+        let expected = crate::codec::seal_frame(
+            &crate::wire::encode_response(&crate::wire::Response::Batch(fresh_batch)).unwrap(),
+        );
+        assert_eq!(&*sealed_batch, &expected[..]);
+        assert_eq!(
+            service.query_batch_sealed(&consumer, &batch).unwrap(),
+            sealed_batch
+        );
+    }
+
+    #[test]
+    fn sealed_frames_invalidate_on_epoch_and_registration() {
+        let (store, ids) = setup();
+        let service = AccountService::new(store.clone());
+        let public = store.predicate("Public").unwrap();
+        let consumer = Consumer::public(&service.snapshot().lattice);
+        let request = QueryRequest::new(ids[2], Direction::Backward, u32::MAX, Strategy::Surrogate);
+        let before = service.query_sealed(&consumer, &request).unwrap();
+        assert_eq!(service.cached_frames(), 1);
+
+        // An epoch bump sweeps the stale frame and answers fresh (the
+        // epoch is part of the response payload, so the bytes differ).
+        store.append_node("late", NodeKind::Data, Features::new(), public);
+        let after = service.query_sealed(&consumer, &request).unwrap();
+        assert_ne!(before, after);
+        assert_eq!(service.cached_frames(), 1, "stale frame swept");
+
+        // Re-registering a strategy drops all cached frames.
+        service.register_strategy(Arc::new(ReplacementSurrogate));
+        assert_eq!(service.cached_frames(), 0);
+        let replaced = service.query_sealed(&consumer, &request).unwrap();
+        let fresh = service.query(&consumer, &request).unwrap();
+        let expected = crate::codec::seal_frame(
+            &crate::wire::encode_response(&crate::wire::Response::Query(fresh)).unwrap(),
+        );
+        assert_eq!(&*replaced, &expected[..], "frame reflects the replacement");
+    }
+
+    #[test]
+    fn sealed_frames_key_by_frontier_not_name() {
+        let (store, ids) = setup();
+        let service = AccountService::new(store);
+        let snapshot = service.snapshot();
+        let request = QueryRequest::new(ids[2], Direction::Backward, u32::MAX, Strategy::Surrogate);
+        let public = snapshot.lattice.public();
+        let alice = Consumer::new("alice", &snapshot.lattice, &[public]);
+        let bob = Consumer::new("bob", &snapshot.lattice, &[public]);
+        service.query_sealed(&alice, &request).unwrap();
+        service.query_sealed(&bob, &request).unwrap();
+        // Same credentials ⇒ same frame: bob's query was a cache hit.
+        assert_eq!(service.frame_cache_stats(), (1, 1));
+        // A consumer with more credentials misses (different frontier).
+        let high = snapshot.lattice.by_name("High").unwrap();
+        let insider = Consumer::new("insider", &snapshot.lattice, &[high]);
+        service.query_sealed(&insider, &request).unwrap();
+        assert_eq!(service.frame_cache_stats(), (1, 2));
     }
 
     #[test]

@@ -451,9 +451,20 @@ fn read_query_request(r: &mut Reader<'_>) -> Result<QueryRequest, CodecError> {
     Ok(request)
 }
 
-fn put_query_response(buf: &mut BytesMut, response: &QueryResponse) {
+/// Refuses a count its wire field cannot carry. Encoding is where this
+/// must fail: a bare `as` cast here would truncate the count silently
+/// and desynchronize the peer's decoder mid-payload.
+fn check_count(what: &'static str, count: usize, max: u64) -> Result<(), CodecError> {
+    if count as u64 > max {
+        return Err(CodecError::CountOverflow { what, count, max });
+    }
+    Ok(())
+}
+
+fn put_query_response(buf: &mut BytesMut, response: &QueryResponse) -> Result<(), CodecError> {
     buf.put_u64_le(response.epoch);
     buf.put_u32_le(response.root.0);
+    check_count("lineage rows", response.rows.len(), u32::MAX as u64)?;
     buf.put_u32_le(response.rows.len() as u32);
     for row in &response.rows {
         buf.put_u32_le(row.record.0);
@@ -461,16 +472,36 @@ fn put_query_response(buf: &mut BytesMut, response: &QueryResponse) {
         buf.put_u32_le(row.depth);
         buf.put_u8(row.surrogate as u8);
     }
+    Ok(())
 }
 
 fn read_query_response(r: &mut Reader<'_>) -> Result<QueryResponse, CodecError> {
-    let epoch = r.u64()?;
-    let root = RecordId(r.u32()?);
+    let mut response = QueryResponse {
+        epoch: 0,
+        root: RecordId(0),
+        rows: Vec::new(),
+    };
+    read_query_response_into(r, &mut response)?;
+    Ok(response)
+}
+
+/// Decodes one query response into `response`, reusing its `rows` vector
+/// and the label `String` buffers of the rows already in it. After the
+/// steady first round of a closed-loop client this path performs no heap
+/// allocation at all — the row structures of the previous answer are
+/// overwritten in place.
+fn read_query_response_into(
+    r: &mut Reader<'_>,
+    response: &mut QueryResponse,
+) -> Result<(), CodecError> {
+    response.epoch = r.u64()?;
+    response.root = RecordId(r.u32()?);
     let count = r.u32()? as usize;
-    let mut rows = Vec::with_capacity(count.min(1 << 16));
-    for _ in 0..count {
+    let rows = &mut response.rows;
+    rows.truncate(count);
+    for i in 0..count {
         let record = RecordId(r.u32()?);
-        let label = r.string()?;
+        let label = r.str_ref()?;
         let depth = r.u32()?;
         let surrogate = match r.u8()? {
             0 => false,
@@ -482,21 +513,96 @@ fn read_query_response(r: &mut Reader<'_>) -> Result<QueryResponse, CodecError> 
                 })
             }
         };
-        rows.push(ProtectedLineageRow {
-            record,
-            label,
-            depth,
-            surrogate,
-        });
+        if let Some(row) = rows.get_mut(i) {
+            row.record = record;
+            row.label.clear();
+            row.label.push_str(label);
+            row.depth = depth;
+            row.surrogate = surrogate;
+        } else {
+            rows.push(ProtectedLineageRow {
+                record,
+                label: label.to_owned(),
+                depth,
+                surrogate,
+            });
+        }
     }
-    Ok(QueryResponse { epoch, root, rows })
+    Ok(())
 }
 
-fn put_names(buf: &mut BytesMut, names: &[String]) {
+/// Decodes a [`Response::Batch`] payload into `out`, reusing its
+/// allocations (the response vector, each response's rows, and each
+/// row's label buffer) — the zero-garbage receive path for closed-loop
+/// clients that drain one batch after another.
+///
+/// Returns `Ok(None)` on a batch frame; `Ok(Some(error))` when the
+/// server answered with a typed [`Response::Error`] frame instead (the
+/// wire-level refusal, e.g. an over-[`MAX_BATCH`] request). Any other
+/// response type is a protocol violation and decodes to
+/// [`CodecError::InvalidTag`].
+pub fn decode_batch_response_into(
+    payload: &[u8],
+    out: &mut Vec<QueryResponse>,
+) -> Result<Option<WireError>, CodecError> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    match r.u8()? {
+        2 => {}
+        5 => {
+            let kind = WireErrorKind::from_tag(r.u8()?)?;
+            let message = r.string()?;
+            if r.pos != payload.len() {
+                return Err(CodecError::Truncated);
+            }
+            return Ok(Some(WireError { kind, message }));
+        }
+        tag => {
+            return Err(CodecError::InvalidTag {
+                what: "batch response",
+                tag,
+            })
+        }
+    }
+    let count = r.u32()?;
+    if count > MAX_BATCH {
+        return Err(CodecError::FrameTooLarge(count));
+    }
+    let count = count as usize;
+    out.truncate(count);
+    for i in 0..count {
+        if i == out.len() {
+            out.push(QueryResponse {
+                epoch: 0,
+                root: RecordId(0),
+                rows: Vec::new(),
+            });
+        }
+        read_query_response_into(&mut r, &mut out[i])?;
+    }
+    if r.pos != payload.len() {
+        return Err(CodecError::Truncated); // trailing garbage
+    }
+    Ok(None)
+}
+
+/// The canonical [`Request::Batch`] payload for `requests` — what
+/// [`encode_request`] would produce, without requiring an owned
+/// [`Request`]. The allocation-free client batch path pairs this with
+/// [`decode_batch_response_into`].
+pub fn encode_batch_request(requests: &[QueryRequest]) -> Result<Vec<u8>, CodecError> {
+    encode_query_key(requests, true)
+}
+
+fn put_names(buf: &mut BytesMut, names: &[String]) -> Result<(), CodecError> {
+    check_count("predicate names", names.len(), u16::MAX as u64)?;
     buf.put_u16_le(names.len() as u16);
     for name in names {
         put_str(buf, name);
     }
+    Ok(())
 }
 
 fn read_names(r: &mut Reader<'_>) -> Result<Vec<String>, CodecError> {
@@ -508,9 +614,38 @@ fn read_names(r: &mut Reader<'_>) -> Result<Vec<String>, CodecError> {
     Ok(names)
 }
 
+/// The canonical payload bytes of a Query (`batch == false`, exactly one
+/// request) or Batch (`batch == true`) request — shared by
+/// [`encode_request`] and the service's sealed-frame cache key, so a
+/// cached frame is keyed by exactly the bytes a client would send.
+pub(crate) fn encode_query_key(
+    requests: &[QueryRequest],
+    batch: bool,
+) -> Result<Vec<u8>, CodecError> {
+    let mut buf = BytesMut::with_capacity(8 + requests.len() * 16);
+    if batch {
+        buf.put_u8(2);
+        // Mirror the decode-side bound: an encoded batch the peer would
+        // refuse is an encoding error, not a surprise hangup.
+        check_count("batch requests", requests.len(), MAX_BATCH as u64)?;
+        buf.put_u32_le(requests.len() as u32);
+    } else {
+        debug_assert_eq!(requests.len(), 1, "a non-batch query is one request");
+        buf.put_u8(1);
+    }
+    for query in requests {
+        put_query_request(&mut buf, query);
+    }
+    Ok(buf.to_vec())
+}
+
 /// Encodes a request payload (frame it with
 /// [`seal_frame`](crate::codec::seal_frame) before writing).
-pub fn encode_request(request: &Request) -> Vec<u8> {
+///
+/// Fails with [`CodecError::CountOverflow`] when a collection is larger
+/// than its wire count field (or the decode-side [`MAX_BATCH`] bound) —
+/// never truncates silently.
+pub fn encode_request(request: &Request) -> Result<Vec<u8>, CodecError> {
     let mut buf = BytesMut::with_capacity(32);
     match request {
         Request::Hello {
@@ -521,18 +656,13 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             buf.put_u8(0);
             buf.put_u16_le(*version);
             put_str(&mut buf, consumer);
-            put_names(&mut buf, claims);
+            put_names(&mut buf, claims)?;
         }
         Request::Query(query) => {
-            buf.put_u8(1);
-            put_query_request(&mut buf, query);
+            return encode_query_key(std::slice::from_ref(query), false);
         }
         Request::Batch(queries) => {
-            buf.put_u8(2);
-            buf.put_u32_le(queries.len() as u32);
-            for query in queries {
-                put_query_request(&mut buf, query);
-            }
+            return encode_query_key(queries, true);
         }
         Request::Epoch => buf.put_u8(3),
         Request::Checkpoint => buf.put_u8(4),
@@ -542,7 +672,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::ReplicaStatus => buf.put_u8(6),
     }
-    buf.to_vec()
+    Ok(buf.to_vec())
 }
 
 /// Decodes a request payload. The payload must hold exactly one message;
@@ -596,7 +726,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
 
 /// Encodes a response payload (frame it with
 /// [`seal_frame`](crate::codec::seal_frame) before writing).
-pub fn encode_response(response: &Response) -> Vec<u8> {
+///
+/// Fails with [`CodecError::CountOverflow`] when a collection is larger
+/// than its wire count field (or the decode-side [`MAX_BATCH`] /
+/// [`MAX_WAL_CHUNK`] bounds) — never truncates silently.
+pub fn encode_response(response: &Response) -> Result<Vec<u8>, CodecError> {
     let mut buf = BytesMut::with_capacity(64);
     match response {
         Response::Hello(hello) => {
@@ -604,17 +738,18 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             buf.put_u16_le(hello.version);
             buf.put_u64_le(hello.epoch);
             buf.put_u64_le(hello.nodes);
-            put_names(&mut buf, &hello.predicates);
+            put_names(&mut buf, &hello.predicates)?;
         }
         Response::Query(query) => {
             buf.put_u8(1);
-            put_query_response(&mut buf, query);
+            put_query_response(&mut buf, query)?;
         }
         Response::Batch(queries) => {
             buf.put_u8(2);
+            check_count("batch responses", queries.len(), MAX_BATCH as u64)?;
             buf.put_u32_le(queries.len() as u32);
             for query in queries {
-                put_query_response(&mut buf, query);
+                put_query_response(&mut buf, query)?;
             }
         }
         Response::Epoch(epoch) => {
@@ -640,11 +775,17 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             match &chunk.snapshot {
                 Some(snapshot) => {
                     buf.put_u8(1);
+                    check_count(
+                        "snapshot bytes",
+                        snapshot.len(),
+                        crate::codec::MAX_FRAME_LEN as u64,
+                    )?;
                     buf.put_u32_le(snapshot.len() as u32);
                     buf.put_slice(snapshot);
                 }
                 None => buf.put_u8(0),
             }
+            check_count("wal chunk bytes", chunk.frames.len(), MAX_WAL_CHUNK as u64)?;
             buf.put_u32_le(chunk.frames.len() as u32);
             buf.put_slice(&chunk.frames);
         }
@@ -666,7 +807,7 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             }
         }
     }
-    buf.to_vec()
+    Ok(buf.to_vec())
 }
 
 /// Decodes a response payload. Exactly one message per payload, as with
@@ -918,7 +1059,7 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         for request in requests() {
-            let payload = encode_request(&request);
+            let payload = encode_request(&request).unwrap();
             assert_eq!(decode_request(&payload).unwrap(), request, "{request:?}");
         }
     }
@@ -926,22 +1067,97 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         for response in responses() {
-            let payload = encode_response(&response);
+            let payload = encode_response(&response).unwrap();
             assert_eq!(decode_response(&payload).unwrap(), response, "{response:?}");
         }
     }
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut payload = encode_request(&Request::Epoch);
+        let mut payload = encode_request(&Request::Epoch).unwrap();
         payload.push(0);
         assert_eq!(decode_request(&payload).unwrap_err(), CodecError::Truncated);
-        let mut payload = encode_response(&Response::Epoch(1));
+        let mut payload = encode_response(&Response::Epoch(1)).unwrap();
         payload.push(0);
         assert_eq!(
             decode_response(&payload).unwrap_err(),
             CodecError::Truncated
         );
+    }
+
+    #[test]
+    fn oversized_counts_fail_encoding_instead_of_truncating() {
+        // 2^16 claimed predicate names would truncate to 0 under the old
+        // bare `as u16` cast — the peer would then misparse everything
+        // after the count field.
+        let request = Request::Hello {
+            version: PROTOCOL_VERSION,
+            consumer: "alice".into(),
+            claims: vec![String::new(); u16::MAX as usize + 1],
+        };
+        assert_eq!(
+            encode_request(&request).unwrap_err(),
+            CodecError::CountOverflow {
+                what: "predicate names",
+                count: u16::MAX as usize + 1,
+                max: u16::MAX as u64,
+            }
+        );
+        // Batches beyond the decode-side bound fail symmetrically at
+        // encode time rather than surprising the sender with a hangup.
+        let query = QueryRequest::new(RecordId(0), Direction::Backward, 1, Strategy::Surrogate);
+        let batch = Request::Batch(vec![query; MAX_BATCH as usize + 1]);
+        assert!(matches!(
+            encode_request(&batch).unwrap_err(),
+            CodecError::CountOverflow {
+                what: "batch requests",
+                ..
+            }
+        ));
+        let empty = QueryResponse {
+            epoch: 0,
+            root: RecordId(0),
+            rows: vec![],
+        };
+        let batch = Response::Batch(vec![empty; MAX_BATCH as usize + 1]);
+        assert!(matches!(
+            encode_response(&batch).unwrap_err(),
+            CodecError::CountOverflow {
+                what: "batch responses",
+                ..
+            }
+        ));
+        // WalChunk byte runs beyond their decode-side bounds, likewise.
+        let chunk = Response::WalChunk(WalChunk {
+            start_clock: 0,
+            primary_epoch: 0,
+            snapshot: None,
+            frames: vec![0; MAX_WAL_CHUNK as usize + 1],
+        });
+        assert!(matches!(
+            encode_response(&chunk).unwrap_err(),
+            CodecError::CountOverflow {
+                what: "wal chunk bytes",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn boundary_counts_still_encode() {
+        // Exactly at each bound the message must encode and roundtrip —
+        // the overflow checks must be strict, not off-by-one.
+        let request = Request::Hello {
+            version: PROTOCOL_VERSION,
+            consumer: String::new(),
+            claims: vec![String::new(); u16::MAX as usize],
+        };
+        let payload = encode_request(&request).unwrap();
+        assert_eq!(decode_request(&payload).unwrap(), request);
+        let query = QueryRequest::new(RecordId(0), Direction::Backward, 1, Strategy::Surrogate);
+        let batch = Request::Batch(vec![query; MAX_BATCH as usize]);
+        let payload = encode_request(&batch).unwrap();
+        assert_eq!(decode_request(&payload).unwrap(), batch);
     }
 
     #[test]

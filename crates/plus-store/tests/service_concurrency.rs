@@ -225,6 +225,73 @@ fn concurrent_policy_mutations_flip_visibility_atomically() {
     }
 }
 
+/// A strategy that counts how many times it actually ran. Single-flight
+/// generation makes the count observable: however many threads race on a
+/// cold cache key, exactly one of them may pay for the build.
+struct CountingStrategy {
+    builds: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl surrogate_core::strategy::ProtectionStrategy for CountingStrategy {
+    fn name(&self) -> &str {
+        "counting"
+    }
+
+    fn protect(
+        &self,
+        ctx: &surrogate_core::account::ProtectionContext<'_>,
+        preds: &[surrogate_core::privilege::PrivilegeId],
+    ) -> surrogate_core::error::Result<surrogate_core::account::ProtectedAccount> {
+        self.builds.fetch_add(1, Ordering::SeqCst);
+        // Widen the race window: every thread that sneaks past the cache
+        // check before the leader publishes would add a build here.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        Strategy::Surrogate.protect(ctx, preds)
+    }
+}
+
+/// Satellite regression: a cold cache key under a thundering herd must
+/// trigger exactly one account build. Before single-flight, all sixteen
+/// threads released from the barrier found the cache empty and each ran
+/// the (deliberately slow) strategy; now followers block on the leader's
+/// flight and are served its published account.
+#[test]
+fn cold_cache_misses_build_exactly_once_per_key() {
+    const HERD: usize = 16;
+    let store = base_store();
+    let service = Arc::new(AccountService::new(store));
+    let builds = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    service.register_strategy(Arc::new(CountingStrategy {
+        builds: builds.clone(),
+    }));
+
+    let barrier = Arc::new(std::sync::Barrier::new(HERD));
+    let threads: Vec<_> = (0..HERD)
+        .map(|_| {
+            let service = service.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let consumer = Consumer::public(&service.snapshot().lattice);
+                barrier.wait();
+                service
+                    .get_account_named(&consumer, "counting")
+                    .expect("counting strategy is registered")
+            })
+        })
+        .collect();
+    let accounts: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    assert_eq!(
+        builds.load(Ordering::SeqCst),
+        1,
+        "thundering herd on one cold key must collapse to a single build"
+    );
+    // Every follower got the leader's account, not a private rebuild.
+    for account in &accounts[1..] {
+        assert!(Arc::ptr_eq(account, &accounts[0]));
+    }
+}
+
 /// A strategy whose account shape identifies which registration built
 /// it: `wide` serves the surrogate account (3 public nodes on the base
 /// fixture), narrow the naive node-hide account (2 — the secret is

@@ -18,7 +18,8 @@ use plus_store::wire::{
     PROTOCOL_VERSION,
 };
 use plus_store::{
-    CheckpointStats, ProtectedLineageRow, QueryRequest, QueryResponse, RecordId, Strategy,
+    CheckpointStats, CodecError, ProtectedLineageRow, QueryRequest, QueryResponse, RecordId,
+    Strategy,
 };
 use surrogate_core::privilege::PrivilegeId;
 use surrogate_core::query::Direction;
@@ -174,7 +175,7 @@ proptest! {
     fn requests_roundtrip(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let request = random_request(&mut rng);
-        let payload = encode_request(&request);
+        let payload = encode_request(&request).unwrap();
         prop_assert_eq!(decode_request(&payload).unwrap(), request.clone());
         let framed = seal_frame(&payload);
         match open_frame(&framed) {
@@ -191,7 +192,7 @@ proptest! {
     fn responses_roundtrip(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let response = random_response(&mut rng);
-        let payload = encode_response(&response);
+        let payload = encode_response(&response).unwrap();
         prop_assert_eq!(decode_response(&payload).unwrap(), response.clone());
         let framed = seal_frame(&payload);
         match open_frame(&framed) {
@@ -208,7 +209,7 @@ proptest! {
     #[test]
     fn torn_frames_never_complete(seed in any::<u64>(), cut in any::<u16>()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let payload = encode_request(&random_request(&mut rng));
+        let payload = encode_request(&random_request(&mut rng)).unwrap();
         let framed = seal_frame(&payload);
         let cut = cut as usize % framed.len(); // proper prefix
         match open_frame(&framed[..cut]) {
@@ -223,7 +224,7 @@ proptest! {
     #[test]
     fn bit_flips_never_alter_the_payload(seed in any::<u64>(), at in any::<u32>(), bit in 0u8..8) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let payload = encode_request(&random_request(&mut rng));
+        let payload = encode_request(&random_request(&mut rng)).unwrap();
         let mut framed = seal_frame(&payload);
         let at = at as usize % framed.len();
         framed[at] ^= 1 << bit;
@@ -242,7 +243,7 @@ proptest! {
     #[test]
     fn oversized_frames_are_corrupt(extra in 1u32..1000, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut framed = seal_frame(&encode_request(&random_request(&mut rng)));
+        let mut framed = seal_frame(&encode_request(&random_request(&mut rng)).unwrap());
         framed[..4].copy_from_slice(&(MAX_FRAME_LEN + extra).to_le_bytes());
         prop_assert!(matches!(open_frame(&framed), RawFrame::Corrupt(_)));
     }
@@ -270,6 +271,64 @@ proptest! {
         prop_assert!(decode_request(&payload).is_err());
     }
 
+    /// Counts exactly at each wire field's limit roundtrip; counts
+    /// beyond it fail encoding with a typed overflow instead of being
+    /// truncated by a bare cast (which would desynchronize the peer).
+    #[test]
+    fn counts_at_and_beyond_field_limits(over in 0usize..3, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Hello claims: u16 count field.
+        let at_limit = Request::Hello {
+            version: rng.gen(),
+            consumer: random_string(&mut rng, 8),
+            claims: vec![String::new(); u16::MAX as usize],
+        };
+        let payload = encode_request(&at_limit).unwrap();
+        prop_assert_eq!(decode_request(&payload).unwrap(), at_limit);
+        let beyond = Request::Hello {
+            version: 0,
+            consumer: String::new(),
+            claims: vec![String::new(); u16::MAX as usize + 1 + over],
+        };
+        prop_assert!(matches!(
+            encode_request(&beyond),
+            Err(CodecError::CountOverflow { .. })
+        ));
+        // Request batches: bounded by MAX_BATCH on both wire sides.
+        let request = random_query_request(&mut rng);
+        let at_limit = Request::Batch(vec![request.clone(); MAX_BATCH as usize]);
+        let payload = encode_request(&at_limit).unwrap();
+        prop_assert_eq!(decode_request(&payload).unwrap(), at_limit);
+        let beyond = Request::Batch(vec![request; MAX_BATCH as usize + 1 + over]);
+        prop_assert!(matches!(
+            encode_request(&beyond),
+            Err(CodecError::CountOverflow { .. })
+        ));
+        // Response batches, same bound.
+        let response = QueryResponse { epoch: rng.gen(), root: RecordId(rng.gen()), rows: vec![] };
+        let at_limit = Response::Batch(vec![response.clone(); MAX_BATCH as usize]);
+        let payload = encode_response(&at_limit).unwrap();
+        prop_assert_eq!(decode_response(&payload).unwrap(), at_limit);
+        let beyond = Response::Batch(vec![response; MAX_BATCH as usize + 1 + over]);
+        prop_assert!(matches!(
+            encode_response(&beyond),
+            Err(CodecError::CountOverflow { .. })
+        ));
+        // WalChunk frame bytes: bounded by MAX_WAL_CHUNK (the at-limit
+        // case is covered cheaply: the bound is bytes, not elements, so
+        // an exact-limit chunk is 4 MiB — encoded once, not per case).
+        let chunk = WalChunk {
+            start_clock: rng.gen(),
+            primary_epoch: rng.gen(),
+            snapshot: None,
+            frames: vec![0u8; MAX_WAL_CHUNK as usize + 1 + over],
+        };
+        prop_assert!(matches!(
+            encode_response(&Response::WalChunk(chunk)),
+            Err(CodecError::CountOverflow { .. })
+        ));
+    }
+
     // --- Replication chunk properties ---------------------------------
     // The stream a replica replays is WAL frames inside a wire frame:
     // both layers must uphold the same guarantees independently.
@@ -281,13 +340,13 @@ proptest! {
     fn replication_messages_roundtrip(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let subscribe = Request::Subscribe { from_clock: rng.gen() };
-        let payload = encode_request(&subscribe);
+        let payload = encode_request(&subscribe).unwrap();
         prop_assert_eq!(decode_request(&payload).unwrap(), subscribe);
         for response in [
             Response::WalChunk(random_wal_chunk(&mut rng)),
             Response::ReplicaStatus(random_replica_status(&mut rng)),
         ] {
-            let payload = encode_response(&response);
+            let payload = encode_response(&response).unwrap();
             prop_assert_eq!(decode_response(&payload).unwrap(), response.clone());
             let framed = seal_frame(&payload);
             let RawFrame::Complete { payload: body, .. } = open_frame(&framed) else {
@@ -305,7 +364,7 @@ proptest! {
     fn torn_chunk_prefixes_never_complete(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let chunk = random_wal_chunk(&mut rng);
-        let framed = seal_frame(&encode_response(&Response::WalChunk(chunk)));
+        let framed = seal_frame(&encode_response(&Response::WalChunk(chunk)).unwrap());
         for cut in 0..framed.len() {
             match open_frame(&framed[..cut]) {
                 RawFrame::Torn | RawFrame::Corrupt(_) => {}
@@ -325,7 +384,7 @@ proptest! {
     fn bit_flips_never_alter_replayed_payloads(seed in any::<u64>(), at in any::<u32>(), bit in 0u8..8) {
         let mut rng = StdRng::seed_from_u64(seed);
         let chunk = random_wal_chunk(&mut rng);
-        let payload = encode_response(&Response::WalChunk(chunk.clone()));
+        let payload = encode_response(&Response::WalChunk(chunk.clone())).unwrap();
         let mut framed = seal_frame(&payload);
         let at = at as usize % framed.len();
         framed[at] ^= 1 << bit;

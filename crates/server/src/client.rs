@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use plus_store::wire::{
-    decode_response, encode_request, ReplicaStatus, Request, Response, ServerHello,
-    PROTOCOL_VERSION,
+    decode_batch_response_into, decode_response, encode_batch_request, encode_request,
+    ReplicaStatus, Request, Response, ServerHello, PROTOCOL_VERSION,
 };
 use plus_store::{CheckpointStats, QueryRequest, QueryResponse};
 use surrogate_core::privilege::PrivilegeId;
@@ -103,7 +103,9 @@ impl Client {
     /// `Ok(Response::Error(_))`; the public wrappers turn them into
     /// [`ClientError::Remote`].
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let payload = encode_request(request);
+        // An unencodable request never touches the wire, so it refuses
+        // only itself: the connection stays healthy and in sync.
+        let payload = encode_request(request).map_err(ClientError::Unencodable)?;
         if let Err(e) = write_frame(&mut self.stream, &payload, &mut self.outbuf) {
             self.healthy = false;
             return Err(e.into());
@@ -144,12 +146,43 @@ impl Client {
         &mut self,
         requests: &[QueryRequest],
     ) -> Result<Vec<QueryResponse>, ClientError> {
-        match self.call(&Request::Batch(requests.to_vec()))? {
-            Response::Batch(responses) => Ok(responses),
-            Response::Error(e) => Err(ClientError::Remote(e)),
-            _ => {
+        let mut responses = Vec::with_capacity(requests.len());
+        self.query_batch_into(requests, &mut responses)?;
+        Ok(responses)
+    }
+
+    /// [`query_batch`](Self::query_batch), decoding into `out` and
+    /// reusing its allocations — the response vector, each response's
+    /// rows, and each row's label buffer are overwritten in place. A
+    /// closed loop that drains batch after batch through one `out`
+    /// buffer performs no per-round heap allocation on the receive
+    /// path; see the module docs of [`plus_store::wire`].
+    pub fn query_batch_into(
+        &mut self,
+        requests: &[QueryRequest],
+        out: &mut Vec<QueryResponse>,
+    ) -> Result<(), ClientError> {
+        let payload = encode_batch_request(requests).map_err(ClientError::Unencodable)?;
+        if let Err(e) = write_frame(&mut self.stream, &payload, &mut self.outbuf) {
+            self.healthy = false;
+            return Err(e.into());
+        }
+        match read_frame(&mut self.stream, &mut self.inbuf) {
+            Ok(Some(payload)) => match decode_batch_response_into(payload, out) {
+                Ok(None) => Ok(()),
+                Ok(Some(remote)) => Err(ClientError::Remote(remote)),
+                Err(e) => {
+                    self.healthy = false;
+                    Err(ClientError::Malformed(e))
+                }
+            },
+            Ok(None) => {
                 self.healthy = false;
-                Err(ClientError::Unexpected("non-Batch"))
+                Err(ClientError::Disconnected)
+            }
+            Err(e) => {
+                self.healthy = false;
+                Err(e.into())
             }
         }
     }

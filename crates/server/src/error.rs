@@ -23,6 +23,11 @@ pub enum ClientError {
     /// The server answered with a typed error frame. The connection
     /// stays usable for further requests.
     Remote(WireError),
+    /// The request cannot be encoded at all — a count in it exceeds its
+    /// wire field (e.g. a batch beyond `MAX_BATCH`). Nothing went on the
+    /// wire, so the connection stays usable; only this request is
+    /// refused.
+    Unencodable(CodecError),
     /// The server answered with the wrong response type for the request
     /// (e.g. a Batch answer to a Query). Protocol bug; unusable.
     Unexpected(&'static str),
@@ -40,6 +45,7 @@ impl fmt::Display for ClientError {
             ClientError::Disconnected => write!(f, "server closed the connection"),
             ClientError::Malformed(e) => write!(f, "malformed response frame: {e}"),
             ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Unencodable(e) => write!(f, "request cannot be encoded: {e}"),
             ClientError::Unexpected(what) => {
                 write!(f, "protocol violation: unexpected {what} response")
             }
@@ -58,6 +64,7 @@ impl std::error::Error for ClientError {
             ClientError::Io(e) => Some(e),
             ClientError::Malformed(e) => Some(e),
             ClientError::Remote(e) => Some(e),
+            ClientError::Unencodable(e) => Some(e),
             _ => None,
         }
     }

@@ -326,7 +326,8 @@ impl FeedConn {
             _ => return Err(ReplicaError::protocol("non-Hello answer to Hello")),
         }
         let mut outbuf = Vec::with_capacity(64);
-        let payload = encode_request(&Request::Subscribe { from_clock });
+        let payload = encode_request(&Request::Subscribe { from_clock })
+            .map_err(|e| ReplicaError::Client(ClientError::Unencodable(e)))?;
         write_frame(&mut conn.stream, &payload, &mut outbuf).map_err(ClientError::Io)?;
         Ok(conn)
     }
@@ -335,7 +336,8 @@ impl FeedConn {
     /// Subscribe the stream is one-way).
     fn call(&mut self, request: &Request) -> Result<Response, ReplicaError> {
         let mut outbuf = Vec::with_capacity(256);
-        let payload = encode_request(request);
+        let payload = encode_request(request)
+            .map_err(|e| ReplicaError::Client(ClientError::Unencodable(e)))?;
         write_frame(&mut self.stream, &payload, &mut outbuf).map_err(ClientError::Io)?;
         self.read_response()
     }

@@ -21,6 +21,7 @@
 
 use std::collections::HashMap;
 use std::io;
+use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,7 +35,7 @@ use plus_store::wire::{
     decode_request, encode_response, ReplicaRole, ReplicaStatus, Request, Response, ServerHello,
     WalChunk, WireError, WireErrorKind, PROTOCOL_VERSION,
 };
-use plus_store::{AccountService, Store, StoreError};
+use plus_store::{AccountService, CodecError, Store, StoreError};
 use surrogate_core::credential::Consumer;
 use surrogate_core::privilege::PrivilegeId;
 
@@ -426,6 +427,36 @@ enum Outcome {
     HangUp,
 }
 
+/// Encodes and writes one response frame. An answer too large for the
+/// wire — caught at encode time (a count overflowing its field) or at
+/// write time (payload past the frame bound) — is reported to the client
+/// as a typed error instead of desynchronizing the stream; the
+/// connection stays usable.
+fn send_response(stream: &mut TcpStream, response: &Response, outbuf: &mut Vec<u8>) -> bool {
+    let payload = match encode_response(response) {
+        Ok(payload) => payload,
+        Err(_) => return send_oversize_notice(stream, outbuf),
+    };
+    match write_frame(stream, &payload, outbuf) {
+        Ok(()) => true,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => send_oversize_notice(stream, outbuf),
+        Err(_) => false,
+    }
+}
+
+/// The "split the batch" error frame for answers that cannot travel in
+/// one frame.
+fn send_oversize_notice(stream: &mut TcpStream, outbuf: &mut Vec<u8>) -> bool {
+    let error = Response::Error(WireError::new(
+        WireErrorKind::BadRequest,
+        "response exceeds the maximum frame size; split the batch or bound max_depth",
+    ));
+    match encode_response(&error) {
+        Ok(payload) => write_frame(stream, &payload, outbuf).is_ok(),
+        Err(_) => false,
+    }
+}
+
 /// Everything a connection handler needs: the service, the tuning, the
 /// traffic counters, and the replica monitor when this server fronts a
 /// [`Replica`].
@@ -456,24 +487,7 @@ fn serve_connection(ctx: &ConnCtx<'_>, mut stream: TcpStream) -> Option<Feed> {
     let _ = stream.set_nodelay(true);
     let mut inbuf = Vec::with_capacity(512);
     let mut outbuf = Vec::with_capacity(512);
-
-    let send = |stream: &mut TcpStream, response: &Response, outbuf: &mut Vec<u8>| {
-        let payload = encode_response(response);
-        match write_frame(stream, &payload, outbuf) {
-            Ok(()) => true,
-            // The response exceeds the frame bound (e.g. a huge batch of
-            // unbounded-depth queries): tell the client instead of
-            // desynchronizing the stream. The connection stays usable.
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let error = Response::Error(WireError::new(
-                    WireErrorKind::BadRequest,
-                    "response exceeds the maximum frame size; split the batch or bound max_depth",
-                ));
-                write_frame(stream, &encode_response(&error), outbuf).is_ok()
-            }
-            Err(_) => false,
-        }
-    };
+    let send = send_response;
 
     // --- Handshake -------------------------------------------------------
     let consumer = match read_frame(&mut stream, &mut inbuf) {
@@ -596,6 +610,40 @@ fn serve_connection(ctx: &ConnCtx<'_>, mut stream: TcpStream) -> Option<Feed> {
                 }
             }
         }
+        // Zero-copy fast path: queries are answered from the service's
+        // sealed-frame cache, whose entries are the exact framed bytes
+        // (`len | crc32 | payload`) a fresh encode-and-seal would
+        // produce — a repeat query writes the cached allocation straight
+        // to the socket.
+        let request = match request {
+            Request::Query(query) => {
+                let sent = match service.query_sealed(&consumer, &query) {
+                    Ok(frame) => stream.write_all(&frame).is_ok(),
+                    Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => {
+                        send_oversize_notice(&mut stream, &mut outbuf)
+                    }
+                    Err(e) => send(&mut stream, &Response::Error(wire_error(&e)), &mut outbuf),
+                };
+                if !sent {
+                    return None;
+                }
+                continue;
+            }
+            Request::Batch(queries) => {
+                let sent = match service.query_batch_sealed(&consumer, &queries) {
+                    Ok(frame) => stream.write_all(&frame).is_ok(),
+                    Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => {
+                        send_oversize_notice(&mut stream, &mut outbuf)
+                    }
+                    Err(e) => send(&mut stream, &Response::Error(wire_error(&e)), &mut outbuf),
+                };
+                if !sent {
+                    return None;
+                }
+                continue;
+            }
+            other => other,
+        };
         let (response, outcome) = answer(ctx, &consumer, request);
         if !send(&mut stream, &response, &mut outbuf) {
             return None;
@@ -619,8 +667,9 @@ fn malformed_hangup(
         WireErrorKind::BadRequest,
         format!("malformed frame: {detail}"),
     );
-    let payload = encode_response(&Response::Error(error));
-    let _ = write_frame(stream, &payload, outbuf);
+    if let Ok(payload) = encode_response(&Response::Error(error)) {
+        let _ = write_frame(stream, &payload, outbuf);
+    }
     let _ = stream.shutdown(Shutdown::Both);
     counters.hangups.fetch_add(1, Ordering::Relaxed);
 }
@@ -688,7 +737,9 @@ fn serve_subscription(
     let mut tail = wal::TailCursor::default();
     let mut last_send = Instant::now();
     let send = |stream: &mut TcpStream, chunk: WalChunk, outbuf: &mut Vec<u8>| {
-        let payload = encode_response(&Response::WalChunk(chunk));
+        let Ok(payload) = encode_response(&Response::WalChunk(chunk)) else {
+            return false; // chunk cannot be framed: end the feed
+        };
         write_frame(stream, &payload, outbuf).is_ok()
     };
     loop {
@@ -705,8 +756,9 @@ fn serve_subscription(
                     WireErrorKind::Internal,
                     "the primary's log no longer covers this subscriber and no snapshot decodes",
                 );
-                let payload = encode_response(&Response::Error(error));
-                let _ = write_frame(stream, &payload, outbuf);
+                if let Ok(payload) = encode_response(&Response::Error(error)) {
+                    let _ = write_frame(stream, &payload, outbuf);
+                }
                 return;
             };
             if clock < next {
@@ -718,8 +770,9 @@ fn serve_subscription(
                         "retained history restarts at clock {clock}, behind subscriber clock {next}"
                     ),
                 );
-                let payload = encode_response(&Response::Error(error));
-                let _ = write_frame(stream, &payload, outbuf);
+                if let Ok(payload) = encode_response(&Response::Error(error)) {
+                    let _ = write_frame(stream, &payload, outbuf);
+                }
                 return;
             }
             // A snapshot too large for one frame would make write_frame
@@ -735,8 +788,9 @@ fn serve_subscription(
                         bytes.len()
                     ),
                 );
-                let payload = encode_response(&Response::Error(error));
-                let _ = write_frame(stream, &payload, outbuf);
+                if let Ok(payload) = encode_response(&Response::Error(error)) {
+                    let _ = write_frame(stream, &payload, outbuf);
+                }
                 return;
             }
             let chunk = WalChunk {
@@ -780,8 +834,9 @@ fn serve_subscription(
                         WireErrorKind::Internal,
                         "the primary's write-ahead log became unreadable",
                     );
-                    let payload = encode_response(&Response::Error(error));
-                    let _ = write_frame(stream, &payload, outbuf);
+                    if let Ok(payload) = encode_response(&Response::Error(error)) {
+                        let _ = write_frame(stream, &payload, outbuf);
+                    }
                     return;
                 }
             }

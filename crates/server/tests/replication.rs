@@ -431,12 +431,17 @@ fn subscribers_ahead_of_the_primary_are_refused() {
         consumer: "diverged".into(),
         claims: vec![],
     };
-    write_frame(&mut stream, &encode_request(&hello), &mut outbuf).unwrap();
+    write_frame(&mut stream, &encode_request(&hello).unwrap(), &mut outbuf).unwrap();
     read_frame(&mut stream, &mut inbuf).unwrap().unwrap();
     let subscribe = Request::Subscribe {
         from_clock: store.clock() + 1,
     };
-    write_frame(&mut stream, &encode_request(&subscribe), &mut outbuf).unwrap();
+    write_frame(
+        &mut stream,
+        &encode_request(&subscribe).unwrap(),
+        &mut outbuf,
+    )
+    .unwrap();
     let payload = read_frame(&mut stream, &mut inbuf).unwrap().unwrap();
     let Response::Error(error) = decode_response(payload).unwrap() else {
         panic!("a diverged subscriber must get a typed refusal");

@@ -259,7 +259,7 @@ fn version_mismatch_is_refused_at_hello() {
         claims: vec![],
     };
     stream
-        .write_all(&seal_frame(&encode_request(&hello)))
+        .write_all(&seal_frame(&encode_request(&hello).unwrap()))
         .unwrap();
     let mut scratch = Vec::new();
     let payload = server::read_frame(&mut stream, &mut scratch)
@@ -324,7 +324,7 @@ fn requests_before_hello_are_rejected() {
     let server = serve(store);
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     stream
-        .write_all(&seal_frame(&encode_request(&Request::Epoch)))
+        .write_all(&seal_frame(&encode_request(&Request::Epoch).unwrap()))
         .unwrap();
     let mut scratch = Vec::new();
     let payload = server::read_frame(&mut stream, &mut scratch)

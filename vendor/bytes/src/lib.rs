@@ -2,12 +2,84 @@
 //!
 //! [`BytesMut`] is a growable byte buffer over `Vec<u8>`, and [`BufMut`]
 //! carries the little-endian `put_*` writers the snapshot codec uses.
-//! Unlike the real crate there is no refcounted split/freeze machinery —
-//! the codec only appends and then copies out.
+//! [`Bytes`] is an immutable, cheaply cloneable (`Arc`-backed) byte
+//! slice — the currency of the sealed-frame cache, where one encoded
+//! response frame is shared between the cache and many concurrent
+//! socket writers. Unlike the real crate there is no split machinery —
+//! the codec only appends, freezes, and shares.
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte slice.
+///
+/// Cloning is an `Arc` bump, never a copy, so one frozen buffer can be
+/// held by a cache and written by many connections concurrently.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    inner: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty slice.
+    pub fn new() -> Self {
+        Bytes {
+            inner: Arc::from(Vec::new()),
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            inner: Arc::from(v),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes {
+            inner: Arc::from(v),
+        }
+    }
+}
 
 /// A growable byte buffer.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
