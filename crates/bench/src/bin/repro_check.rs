@@ -35,6 +35,10 @@ const DEFAULT_KEYS: &[&str] = &[
     "serve.requests_per_sec",
     "serve.batch_queries_per_sec",
     "serve.frame_cache_hit_rate",
+    // The readiness-multiplexing headline: active-set p99 with a 10k
+    // mostly-idle fleet connected (repro_serve --connections 10000
+    // --active-pct 1). `_us` suffix: gated lower-is-better.
+    "serve.idle_10k_active_p99_us",
 ];
 
 /// Legacy dotted paths for metrics that moved between records. The gate

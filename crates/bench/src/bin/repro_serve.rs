@@ -1,6 +1,6 @@
-//! Closed-loop load test of the wire-protocol query server — p50/p99
-//! round-trip latency and requests/sec, the PR-over-PR serving-edge
-//! record (`BENCH_PR4.json`).
+//! Closed-loop load test of the wire-protocol query server —
+//! p50/p99/p99.9 round-trip latency and requests/sec, the PR-over-PR
+//! serving-edge record (`BENCH_PR4.json` onward).
 //!
 //! ```text
 //! repro_serve                         boot an in-process server, full load
@@ -9,7 +9,21 @@
 //! repro_serve --threads 4             closed-loop client threads
 //! repro_serve --json BENCH_PR4.json   record results (merging into an
 //!                                     existing bench JSON object)
+//! repro_serve --connections 10000 --active-pct 1
+//!                                     idle-fleet mode: open N connections,
+//!                                     P% active, and compare the active
+//!                                     set's p99 with and without the
+//!                                     idle fleet (records
+//!                                     serve.idle_10k_active_p99_us at
+//!                                     N = 10000)
+//! repro_serve --assert-fleet-p99-within 2.0
+//!                                     exit 1 if the idle fleet costs the
+//!                                     active set more than 2x p99
 //! ```
+//!
+//! JSON records merge **field-by-field** into the `"serve"` object, so
+//! an idle-fleet run against an external server does not erase the
+//! in-process run's frame-cache counters (or vice versa).
 
 use surrogate_bench::experiments::serve::{self, ServeConfig};
 use surrogate_bench::report::{json, render_table};
@@ -41,6 +55,19 @@ fn main() {
                 .parse()
                 .expect("--depth takes a number, 'max', or 'unbounded'"),
         };
+    }
+    if let Some(connections) = flag_value(&args, "--connections") {
+        config.connections = connections.parse().expect("--connections takes a number");
+    }
+    if let Some(pct) = flag_value(&args, "--active-pct") {
+        config.active_pct = pct.parse().expect("--active-pct takes a percentage");
+        assert!(
+            config.active_pct > 0.0 && config.active_pct <= 100.0,
+            "--active-pct must be in (0, 100]"
+        );
+    }
+    if config.connections > 0 {
+        return run_fleet_mode(&args, &config);
     }
 
     let mode = match &config.addr {
@@ -78,6 +105,7 @@ fn main() {
             ],
             vec!["p50 latency (us)".into(), f1(result.p50_us)],
             vec!["p99 latency (us)".into(), f1(result.p99_us)],
+            vec!["p99.9 latency (us)".into(), f1(result.p999_us)],
             vec!["max latency (us)".into(), f1(result.max_us)],
             vec![
                 format!("batched ({}/frame) queries/sec", result.batch),
@@ -106,6 +134,7 @@ fn main() {
             ("requests_per_sec", json::num(result.requests_per_sec)),
             ("p50_us", json::num(result.p50_us)),
             ("p99_us", json::num(result.p99_us)),
+            ("p999_us", json::num(result.p999_us)),
             ("max_us", json::num(result.max_us)),
             ("batch", result.batch.to_string()),
             ("batch_queries", result.batch_queries.to_string()),
@@ -127,16 +156,123 @@ fn main() {
             pairs.push(("frame_cache_misses", misses.to_string()));
             pairs.push(("frame_cache_hit_rate", json::num(rate)));
         }
-        let record = json::object(&pairs);
-        let text = match std::fs::read_to_string(&path) {
-            // Merge into an existing bench record (repro_table1 --json
-            // writes one flat object) so one file carries the whole
-            // per-PR perf trajectory.
-            Ok(existing) => json::merge_key(existing.trim(), "serve", &record)
-                .unwrap_or_else(|| panic!("{path} does not hold a JSON object to merge into")),
-            Err(_) => format!("{{\"serve\": {record}}}"),
-        };
-        std::fs::write(&path, text).expect("bench JSON writes");
-        println!("serve record written to {path}");
+        write_serve_record(&path, &pairs);
+    }
+}
+
+/// Merges `pairs` into the `"serve"` object of the bench JSON at
+/// `path` (field-by-field — see the module doc), creating the file if
+/// it does not exist.
+fn write_serve_record(path: &str, pairs: &[(&str, String)]) {
+    let text = match std::fs::read_to_string(path) {
+        // Merge into an existing bench record (repro_table1 --json
+        // writes one flat object) so one file carries the whole
+        // per-PR perf trajectory.
+        Ok(existing) => json::merge_fields(existing.trim(), "serve", pairs)
+            .unwrap_or_else(|| panic!("{path} does not hold a JSON object to merge into")),
+        Err(_) => format!("{{\"serve\": {}}}", json::object(pairs)),
+    };
+    std::fs::write(path, text).expect("bench JSON writes");
+    println!("serve record written to {path}");
+}
+
+/// The idle-fleet scenario: N open connections, P% active, and the
+/// active set's tail latency measured with and without the idle fleet.
+fn run_fleet_mode(args: &[String], config: &ServeConfig) {
+    let mode = match &config.addr {
+        Some(addr) => format!("external server at {addr}"),
+        None => "in-process loopback server".to_string(),
+    };
+    println!(
+        "idle-fleet wire load test ({mode}): {} connections, {:.1}% active\n",
+        config.connections, config.active_pct
+    );
+
+    let fleet = match serve::run_fleet(config) {
+        Ok(fleet) => fleet,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    };
+
+    let f1 = |x: f64| format!("{x:.1}");
+    let table = render_table(
+        &["metric", "value"],
+        &[
+            vec!["open connections".into(), fleet.connections.to_string()],
+            vec!["active connections".into(), fleet.active.to_string()],
+            vec!["idle connections".into(), fleet.idle.to_string()],
+            vec![
+                "probes per active connection".into(),
+                fleet.probes_per_conn.to_string(),
+            ],
+            vec![
+                "baseline p50 (us, active set alone)".into(),
+                f1(fleet.baseline_p50_us),
+            ],
+            vec![
+                "baseline p99 (us, active set alone)".into(),
+                f1(fleet.baseline_p99_us),
+            ],
+            vec![
+                "loaded p50 (us, fleet open)".into(),
+                f1(fleet.active_p50_us),
+            ],
+            vec![
+                "loaded p99 (us, fleet open)".into(),
+                f1(fleet.active_p99_us),
+            ],
+            vec![
+                "loaded p99.9 (us, fleet open)".into(),
+                f1(fleet.active_p999_us),
+            ],
+            vec![
+                "loaded max (us, fleet open)".into(),
+                f1(fleet.active_max_us),
+            ],
+            vec![
+                "p99 ratio (loaded / baseline)".into(),
+                format!("{:.2}x", fleet.p99_ratio()),
+            ],
+        ],
+    );
+    println!("{table}");
+
+    if let Some(path) = flag_value(args, "--json") {
+        let mut pairs = vec![
+            ("fleet_connections", fleet.connections.to_string()),
+            ("fleet_active", fleet.active.to_string()),
+            ("fleet_probes_per_conn", fleet.probes_per_conn.to_string()),
+            ("fleet_baseline_p50_us", json::num(fleet.baseline_p50_us)),
+            ("fleet_baseline_p99_us", json::num(fleet.baseline_p99_us)),
+            ("fleet_active_p50_us", json::num(fleet.active_p50_us)),
+            ("fleet_active_p99_us", json::num(fleet.active_p99_us)),
+            ("fleet_active_p999_us", json::num(fleet.active_p999_us)),
+            ("fleet_active_max_us", json::num(fleet.active_max_us)),
+        ];
+        // The gated headline number carries its scenario in its name so
+        // a differently-shaped run can never masquerade as the 10k
+        // record.
+        if fleet.connections == 10_000 {
+            pairs.push(("idle_10k_active_p99_us", json::num(fleet.active_p99_us)));
+        }
+        write_serve_record(&path, &pairs);
+    }
+
+    if let Some(bound) = flag_value(args, "--assert-fleet-p99-within") {
+        let bound: f64 = bound
+            .parse()
+            .expect("--assert-fleet-p99-within takes a ratio");
+        let ratio = fleet.p99_ratio();
+        if ratio > bound {
+            eprintln!(
+                "FAIL: idle fleet costs the active set {ratio:.2}x p99 (bound {bound:.2}x): \
+                 {:.1}us vs {:.1}us baseline",
+                fleet.active_p99_us, fleet.baseline_p99_us
+            );
+            std::process::exit(1);
+        }
+        println!("active-set p99 within {bound:.2}x of baseline ({ratio:.2}x)");
     }
 }

@@ -49,6 +49,14 @@ pub struct ServeConfig {
     pub sensitive_fraction: f64,
     /// RNG seed (in-process mode).
     pub seed: u64,
+    /// Total open connections for the idle-fleet phase ([`run_fleet`]);
+    /// `0` disables it. The interesting shape is many mostly-idle
+    /// consumers: 10 000 connections with `active_pct` 1.0 is the
+    /// ROADMAP's readiness-multiplexing scenario.
+    pub connections: usize,
+    /// Percent of the fleet that actively issues queries (the rest hold
+    /// their handshaken connection open and send nothing).
+    pub active_pct: f64,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +72,8 @@ impl Default for ServeConfig {
             width: 12,
             sensitive_fraction: 0.15,
             seed: 23,
+            connections: 0,
+            active_pct: 1.0,
         }
     }
 }
@@ -101,6 +111,9 @@ pub struct ServeResult {
     pub p50_us: f64,
     /// 99th-percentile single-query latency, microseconds.
     pub p99_us: f64,
+    /// 99.9th-percentile single-query latency, microseconds — the tail
+    /// admission control is supposed to protect.
+    pub p999_us: f64,
     /// Worst observed single-query latency, microseconds.
     pub max_us: f64,
     /// Queries per frame in the batched phase.
@@ -136,14 +149,14 @@ fn connect_patiently(addr: &str) -> Result<Client, String> {
     Err(format!("cannot reach {addr} after 10s: {last}"))
 }
 
-/// Runs the closed-loop load test. Errors are strings: this is a
-/// harness, and every failure is terminal for the run.
-pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
-    // In-process mode owns the server for the duration of the run and
-    // keeps a service handle so the sealed-frame cache counters can be
-    // reported after the load.
-    let (_server, addr, service) = match &config.addr {
-        Some(addr) => (None, addr.clone(), None),
+/// In-process mode owns the server for the duration of the run and
+/// keeps a service handle so the sealed-frame cache counters can be
+/// reported after the load; external mode is just the address.
+type Harness = (Option<Server>, String, Option<Arc<AccountService>>);
+
+fn boot(config: &ServeConfig) -> Result<Harness, String> {
+    match &config.addr {
+        Some(addr) => Ok((None, addr.clone(), None)),
         None => {
             let store = build_store(Fig10Config {
                 stages: config.stages,
@@ -154,19 +167,22 @@ pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
                 simulated_db_roundtrip_us: None,
             });
             let service = Arc::new(AccountService::new(Arc::new(store)));
-            let server = Server::bind_with(
-                service.clone(),
-                "127.0.0.1:0",
-                ServerConfig {
-                    threads: config.threads.max(2),
-                    ..ServerConfig::default()
-                },
-            )
-            .map_err(|e| format!("cannot bind loopback: {e}"))?;
+            // The server sizes its event-loop shards from the machine
+            // (`ServerConfig::default`), exactly as `spgraph serve`
+            // does; `config.threads` counts *client* threads. Oversizing
+            // shards to the client count thrashes small hosts.
+            let server = Server::bind_with(service.clone(), "127.0.0.1:0", ServerConfig::default())
+                .map_err(|e| format!("cannot bind loopback: {e}"))?;
             let addr = server.local_addr().to_string();
-            (Some(server), addr, Some(service))
+            Ok((Some(server), addr, Some(service)))
         }
-    };
+    }
+}
+
+/// Runs the closed-loop load test. Errors are strings: this is a
+/// harness, and every failure is terminal for the run.
+pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
+    let (_server, addr, service) = boot(config)?;
 
     let probe = connect_patiently(&addr)?;
     let nodes = probe.hello().nodes.max(1);
@@ -248,13 +264,7 @@ pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
         rows += thread_rows;
     }
     latencies.sort_unstable();
-    let percentile = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
-        }
-        let rank = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
-        latencies[rank] as f64 / 1e3
-    };
+    let percentile = |p: f64| quantile_us(&latencies, p);
     let requests = latencies.len();
 
     // --- Phase 2: batched frames, throughput only ---------------------
@@ -328,6 +338,7 @@ pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
         requests_per_sec: requests as f64 / (elapsed_ms / 1e3),
         p50_us: percentile(0.50),
         p99_us: percentile(0.99),
+        p999_us: percentile(0.999),
         max_us: latencies.last().copied().unwrap_or(0) as f64 / 1e3,
         batch: config.batch,
         batch_queries,
@@ -335,5 +346,190 @@ pub fn run(config: &ServeConfig) -> Result<ServeResult, String> {
         frame_cache_hits,
         frame_cache_misses,
         frame_cache_hit_rate,
+    })
+}
+
+/// Outcome of the idle-fleet experiment ([`run_fleet`]): the same active
+/// probe set measured twice — alone (the baseline) and again with the
+/// idle fleet connected. A readiness-multiplexing server keeps the two
+/// within a small factor; a thread-per-connection server falls over.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Total open connections while the loaded probe ran.
+    pub connections: usize,
+    /// Connections actively issuing queries (one probe thread each).
+    pub active: usize,
+    /// Connections that completed Hello and then sent nothing.
+    pub idle: usize,
+    /// Timed queries issued per active connection, per probe run.
+    pub probes_per_conn: usize,
+    /// Active-set p50 with no idle fleet, microseconds.
+    pub baseline_p50_us: f64,
+    /// Active-set p99 with no idle fleet, microseconds — the denominator
+    /// of the acceptance ratio.
+    pub baseline_p99_us: f64,
+    /// Active-set p50 with the idle fleet connected, microseconds.
+    pub active_p50_us: f64,
+    /// Active-set p99 with the idle fleet connected, microseconds.
+    pub active_p99_us: f64,
+    /// Active-set p99.9 with the idle fleet connected, microseconds.
+    pub active_p999_us: f64,
+    /// Worst active-set latency with the idle fleet, microseconds.
+    pub active_max_us: f64,
+}
+
+impl FleetResult {
+    /// `loaded p99 / baseline p99` — how much tail latency the idle
+    /// fleet costs the active set (the acceptance bound is 2.0).
+    pub fn p99_ratio(&self) -> f64 {
+        if self.baseline_p99_us <= 0.0 {
+            return 1.0;
+        }
+        self.active_p99_us / self.baseline_p99_us
+    }
+}
+
+/// The `p`-quantile of a **sorted** nanosecond sample set, in
+/// microseconds (nearest-rank).
+fn quantile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 * p).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[rank] as f64 / 1e3
+}
+
+/// One probe run: `conns` fresh connections each issue `probes` timed
+/// single-query round trips (after a short warmup, behind a start
+/// barrier). Returns the pooled latencies, sorted, in nanoseconds.
+fn probe_active<F>(addr: &str, conns: usize, probes: usize, request: &F) -> Result<Vec<u64>, String>
+where
+    F: Fn(usize) -> QueryRequest + Sync,
+{
+    let start_line = std::sync::Barrier::new(conns + 1);
+    let results: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|tid| {
+                let start_line = &start_line;
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let warmed = connect_patiently(addr).and_then(|mut client| {
+                        for i in 0..8 {
+                            client
+                                .query(&request(tid + i))
+                                .map_err(|e| format!("warmup query failed: {e}"))?;
+                        }
+                        Ok(client)
+                    });
+                    // Reach the line even on failure, or the other
+                    // threads would wait forever.
+                    start_line.wait();
+                    let mut client = warmed?;
+                    let mut latencies = Vec::with_capacity(probes);
+                    for i in 0..probes {
+                        let n = i * conns + tid;
+                        let t = Instant::now();
+                        client
+                            .query(&request(n))
+                            .map_err(|e| format!("probe query {n} failed: {e}"))?;
+                        latencies.push(t.elapsed().as_nanos() as u64);
+                    }
+                    Ok(latencies)
+                })
+            })
+            .collect();
+        start_line.wait();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("probe thread never panics"))
+            .collect()
+    });
+    let mut all = Vec::with_capacity(conns * probes);
+    for result in results {
+        all.extend(result?);
+    }
+    all.sort_unstable();
+    Ok(all)
+}
+
+/// Opens `count` connections that complete the Hello handshake and then
+/// go silent. The returned clients only exist to hold their sockets
+/// open; dropping the vector closes the fleet.
+fn open_idle(addr: &str, count: usize) -> Result<Vec<Client>, String> {
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let openers = 16.min(count);
+    let per = count.div_ceil(openers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..openers)
+            .map(|o| {
+                scope.spawn(move || -> Result<Vec<Client>, String> {
+                    let n = per.min(count.saturating_sub(o * per));
+                    let mut batch = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        batch.push(connect_patiently(addr)?);
+                    }
+                    Ok(batch)
+                })
+            })
+            .collect();
+        let mut fleet = Vec::with_capacity(count);
+        for handle in handles {
+            fleet.extend(handle.join().expect("opener thread never panics")?);
+        }
+        Ok(fleet)
+    })
+}
+
+/// The idle-fleet experiment: measure the active probe set alone, open
+/// `config.connections - active` idle (handshaken, silent) connections,
+/// and measure the same probe set again. The ROADMAP acceptance shape is
+/// `connections: 10_000, active_pct: 1.0` — note that in-process mode
+/// holds **both** ends, so a 10k fleet needs ~20k file descriptors in
+/// one process; under a tight `RLIMIT_NOFILE`, point `config.addr` at an
+/// external `spgraph serve` so each side pays only its own half.
+pub fn run_fleet(config: &ServeConfig) -> Result<FleetResult, String> {
+    if config.connections == 0 {
+        return Err("fleet mode needs connections > 0".to_string());
+    }
+    let (_server, addr, _service) = boot(config)?;
+    let probe = connect_patiently(&addr)?;
+    let nodes = probe.hello().nodes.max(1);
+    drop(probe);
+
+    let active = ((config.connections as f64 * config.active_pct / 100.0).round() as usize)
+        .clamp(1, config.connections);
+    let idle = config.connections - active;
+    let probes = (config.requests / active).max(20);
+    let request = |i: usize| {
+        let direction = if i % 2 == 0 {
+            Direction::Backward
+        } else {
+            Direction::Forward
+        };
+        QueryRequest::new(
+            RecordId((i as u64 % nodes) as u32),
+            direction,
+            config.max_depth,
+            Strategy::Surrogate,
+        )
+    };
+
+    let baseline = probe_active(&addr, active, probes, &request)?;
+    let fleet = open_idle(&addr, idle)?;
+    let loaded = probe_active(&addr, active, probes, &request)?;
+    drop(fleet);
+
+    Ok(FleetResult {
+        connections: config.connections,
+        active,
+        idle,
+        probes_per_conn: probes,
+        baseline_p50_us: quantile_us(&baseline, 0.50),
+        baseline_p99_us: quantile_us(&baseline, 0.99),
+        active_p50_us: quantile_us(&loaded, 0.50),
+        active_p99_us: quantile_us(&loaded, 0.99),
+        active_p999_us: quantile_us(&loaded, 0.999),
+        active_max_us: loaded.last().copied().unwrap_or(0) as f64 / 1e3,
     })
 }

@@ -109,6 +109,23 @@ pub mod json {
         })
     }
 
+    /// Overlays `pairs` field-by-field onto the object at
+    /// `existing[key]`, creating it if absent — so two runs that measure
+    /// different facets of the same record (an in-process run with cache
+    /// counters, an external idle-fleet run with tail latencies) can
+    /// both contribute to one `"serve"` object instead of the later run
+    /// erasing the earlier one. A non-object value under `key` is
+    /// replaced wholesale. `None` when `existing` is not a JSON object.
+    pub fn merge_fields(existing: &str, key: &str, pairs: &[(&str, String)]) -> Option<String> {
+        let mut record = top_level_value(existing, key)
+            .filter(|v| v.starts_with('{'))
+            .unwrap_or_else(|| "{}".to_string());
+        for (field, value) in pairs {
+            record = merge_key(&record, field, value)?;
+        }
+        merge_key(existing, key, &record)
+    }
+
     /// Removes `"key": <value>` (and one adjacent comma) from the top
     /// level of a JSON object, tracking strings and nesting so braces
     /// inside labels cannot confuse the scan. Returns the input
@@ -275,6 +292,40 @@ mod tests {
         let twice = json::merge_key(&once, "replica", "{\"a\": 9}").unwrap();
         assert_eq!(twice, "{\"x\": 2, \"replica\": {\"a\": 9}}");
         assert_eq!(twice.matches("\"replica\"").count(), 1);
+    }
+
+    #[test]
+    fn merge_fields_overlays_without_erasing() {
+        let existing = r#"{"serve": {"requests_per_sec": 100.0, "p99_us": 50.0}, "x": 2}"#;
+        let merged = json::merge_fields(
+            existing,
+            "serve",
+            &[
+                ("p99_us", "60.0".to_string()),
+                ("idle_10k_active_p99_us", "80.0".to_string()),
+            ],
+        )
+        .unwrap();
+        // Untouched fields survive, overlaid fields replace, new fields
+        // append — and sibling top-level keys are unharmed.
+        assert_eq!(
+            json::number_at(&merged, "serve.requests_per_sec"),
+            Some(100.0)
+        );
+        assert_eq!(json::number_at(&merged, "serve.p99_us"), Some(60.0));
+        assert_eq!(
+            json::number_at(&merged, "serve.idle_10k_active_p99_us"),
+            Some(80.0)
+        );
+        assert_eq!(json::number_at(&merged, "x"), Some(2.0));
+        assert_eq!(merged.matches("\"serve\"").count(), 1);
+        // Absent key: created from scratch.
+        let fresh = json::merge_fields("{}", "serve", &[("a", "1".to_string())]).unwrap();
+        assert_eq!(json::number_at(&fresh, "serve.a"), Some(1.0));
+        // Non-object under the key: replaced wholesale.
+        let clobbered =
+            json::merge_fields(r#"{"serve": 7}"#, "serve", &[("a", "1".to_string())]).unwrap();
+        assert_eq!(json::number_at(&clobbered, "serve.a"), Some(1.0));
     }
 
     #[test]

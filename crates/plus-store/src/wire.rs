@@ -111,7 +111,12 @@ use crate::store::CheckpointStats;
 /// [`Response::WalChunk`], [`Request::ReplicaStatus`]); version-1 peers
 /// would treat their tags as malformed frames, so the bump keeps the
 /// failure a clean handshake refusal instead of a mid-stream hangup.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// Version 3 added [`WireErrorKind::Overloaded`] — the admission-control
+/// refusal a server sheds load with. Error-kind tags are part of the
+/// frame (an unknown tag is a malformed frame), so the new kind needs
+/// the bump for the same reason the replication tags did.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Sanity bound on requests per [`Request::Batch`] frame; larger batches
 /// are rejected at decode time so a hostile frame cannot force an
@@ -333,6 +338,12 @@ pub enum WireErrorKind {
     /// The server failed internally; the message carries no store detail
     /// beyond the error's display form.
     Internal,
+    /// The server is shedding load: the connection cap is reached, the
+    /// consumer's rate limit is exhausted, or the connection's outbound
+    /// queue is saturated. **Retryable** — the request was refused, not
+    /// failed, and the connection (when one exists) stays usable. Typed
+    /// so admission control is visible to clients instead of a hangup.
+    Overloaded,
 }
 
 impl WireErrorKind {
@@ -345,6 +356,7 @@ impl WireErrorKind {
             WireErrorKind::VersionMismatch => 4,
             WireErrorKind::BadRequest => 5,
             WireErrorKind::Internal => 6,
+            WireErrorKind::Overloaded => 7,
         }
     }
 
@@ -357,6 +369,7 @@ impl WireErrorKind {
             4 => WireErrorKind::VersionMismatch,
             5 => WireErrorKind::BadRequest,
             6 => WireErrorKind::Internal,
+            7 => WireErrorKind::Overloaded,
             _ => {
                 return Err(CodecError::InvalidTag {
                     what: "wire error kind",
@@ -377,6 +390,7 @@ impl std::fmt::Display for WireErrorKind {
             WireErrorKind::VersionMismatch => "protocol version mismatch",
             WireErrorKind::BadRequest => "bad request",
             WireErrorKind::Internal => "internal error",
+            WireErrorKind::Overloaded => "overloaded",
         })
     }
 }

@@ -161,7 +161,8 @@ fn random_response(rng: &mut StdRng) -> Response {
                 WireErrorKind::VersionMismatch,
                 WireErrorKind::BadRequest,
                 WireErrorKind::Internal,
-            ][rng.gen_range(0..7usize)],
+                WireErrorKind::Overloaded,
+            ][rng.gen_range(0..8usize)],
             random_string(rng, 32),
         )),
     }
@@ -416,8 +417,9 @@ proptest! {
 
 /// The version constant is part of the on-wire contract: changing it is
 /// a compatibility break and must be deliberate. Version 2 added the
-/// replication messages (`Subscribe` / `WalChunk` / `ReplicaStatus`).
+/// replication messages (`Subscribe` / `WalChunk` / `ReplicaStatus`);
+/// version 3 added the `Overloaded` error kind (admission control).
 #[test]
 fn protocol_version_is_pinned() {
-    assert_eq!(PROTOCOL_VERSION, 2);
+    assert_eq!(PROTOCOL_VERSION, 3);
 }

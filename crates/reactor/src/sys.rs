@@ -1,0 +1,187 @@
+//! The crate's entire `unsafe` surface: thin FFI declarations for the
+//! four syscalls the reactor needs (`epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`, `eventfd`) plus the `rlimit` pair, each wrapped in a
+//! safe function that owns the fd lifetime through [`OwnedFd`] and turns
+//! `-1` into [`io::Error::last_os_error`]. Nothing above this module
+//! touches a raw pointer or a raw fd it does not own.
+//!
+//! The declarations mirror the Linux kernel ABI (the `libc` crate's
+//! definitions, vendored down to what is used). `epoll_event` is
+//! `packed` on x86 — the kernel declares it so — and naturally aligned
+//! elsewhere.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_uint};
+
+// --- epoll constants (uapi/linux/eventpoll.h) ---------------------------
+
+/// `EPOLLIN`: readable (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: error condition; always reported, never requested.
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: hangup; always reported, never requested.
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLRDHUP`: peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0x8_0000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EFD_CLOEXEC: c_int = 0x8_0000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+const RLIMIT_NOFILE: c_int = 7;
+
+/// One readiness record, kernel layout. `data` round-trips the caller's
+/// token verbatim.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-state bit set (`EPOLL*` constants above).
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates an epoll instance (`CLOEXEC`), owned: dropping the fd closes
+/// it.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+    // SAFETY: epoll_create1 returned a fresh fd we now uniquely own.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// Creates a nonblocking `eventfd` (`CLOEXEC`), owned — the wake-up
+/// channel a [`Waker`](crate::Waker) writes into.
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+    // SAFETY: eventfd returned a fresh fd we now uniquely own.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+fn ctl(epfd: &OwnedFd, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut event = EpollEvent {
+        events,
+        data: token,
+    };
+    // SAFETY: `event` outlives the call; the kernel copies it. The fds
+    // are live for the duration (epfd borrowed, fd is the caller's).
+    cvt(unsafe { epoll_ctl(epfd.as_raw_fd(), op, fd, &mut event) })?;
+    Ok(())
+}
+
+/// `EPOLL_CTL_ADD`.
+pub fn epoll_add(epfd: &OwnedFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_ADD, fd, events, token)
+}
+
+/// `EPOLL_CTL_MOD`.
+pub fn epoll_mod(epfd: &OwnedFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_MOD, fd, events, token)
+}
+
+/// `EPOLL_CTL_DEL`.
+pub fn epoll_del(epfd: &OwnedFd, fd: RawFd) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+}
+
+/// Waits for readiness, filling `buf` from the front; returns how many
+/// records landed. `timeout_ms < 0` blocks indefinitely. `EINTR` is
+/// retried here so callers never see a spurious zero.
+pub fn epoll_wait_into(
+    epfd: &OwnedFd,
+    buf: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    loop {
+        // SAFETY: `buf` is valid for `buf.len()` records for the call's
+        // duration; the kernel writes at most `maxevents` of them.
+        let n = unsafe {
+            epoll_wait(
+                epfd.as_raw_fd(),
+                buf.as_mut_ptr(),
+                buf.len().min(c_int::MAX as usize) as c_int,
+                timeout_ms,
+            )
+        };
+        match cvt(n) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Best-effort raise of this process's open-file limit toward `target`
+/// (serving tens of thousands of sockets needs more than the common
+/// 1024-fd default). Returns the resulting soft limit. Never fails the
+/// caller: an `EPERM` (hard limit lower than `target`, no privilege)
+/// just leaves the limit where it was.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a valid out-pointer for the call's duration.
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur >= target {
+        return Ok(lim.rlim_cur);
+    }
+    let want = Rlimit {
+        rlim_cur: target.min(lim.rlim_max),
+        rlim_max: lim.rlim_max,
+    };
+    // SAFETY: `want` is a valid in-pointer for the call's duration.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+        Ok(want.rlim_cur)
+    } else {
+        Ok(lim.rlim_cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_instance_creates_and_closes() {
+        let fd = epoll_create().unwrap();
+        assert!(fd.as_raw_fd() >= 0);
+    }
+
+    #[test]
+    fn nofile_limit_reports_a_sane_value() {
+        let current = raise_nofile_limit(1024).unwrap();
+        assert!(current >= 256, "limit {current} is implausibly low");
+    }
+}

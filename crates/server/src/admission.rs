@@ -1,0 +1,140 @@
+//! Admission control: per-consumer token-bucket rate limiting.
+//!
+//! The other two admission levers — the global connection cap and
+//! per-connection write backpressure — live where their state lives (the
+//! accept loop and the connection state machine in `server.rs`). The
+//! rate limiter is the one piece with cross-connection state: one bucket
+//! per consumer *name*, shared by every connection that consumer opens,
+//! resolved once at Hello time.
+//!
+//! A refill-on-demand token bucket: capacity `burst`, refill `rate`
+//! tokens per second, one token per request frame. A consumer that stays
+//! under its rate never notices; one that bursts past it gets typed
+//! [`WireErrorKind::Overloaded`](plus_store::wire::WireErrorKind)
+//! refusals (retryable — the connection stays open) until the bucket
+//! refills.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Most consumer names tracked at once. Names arrive from untrusted
+/// Hello frames, so the map must not grow without bound; past the cap
+/// the stalest bucket is recycled (a full bucket is the correct state
+/// for a consumer unseen for that long anyway).
+const MAX_TRACKED_CONSUMERS: usize = 64 * 1024;
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// A per-consumer token-bucket rate limiter keyed by consumer name.
+#[derive(Debug)]
+pub(crate) struct RateLimiter {
+    /// Tokens added per second.
+    rate: f64,
+    /// Bucket capacity — the largest tolerated burst (one second's
+    /// allowance, with a floor so tiny rates still admit a few frames).
+    burst: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter admitting `rate` request frames per second per
+    /// consumer, sustained; bursts up to one second's worth.
+    pub(crate) fn new(rate: u64) -> RateLimiter {
+        let rate = rate.max(1) as f64;
+        RateLimiter {
+            rate,
+            burst: rate.max(8.0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes one token from `consumer`'s bucket; `false` means the
+    /// request must be refused with `Overloaded`.
+    pub(crate) fn admit(&self, consumer: &str, now: Instant) -> bool {
+        let mut buckets = self.buckets.lock();
+        if !buckets.contains_key(consumer) && buckets.len() >= MAX_TRACKED_CONSUMERS {
+            // Recycle the stalest bucket instead of growing: an O(n)
+            // scan, but only ever on the 64k-th fresh name.
+            if let Some(stalest) = buckets
+                .iter()
+                .min_by_key(|(_, b)| b.refilled)
+                .map(|(name, _)| name.clone())
+            {
+                buckets.remove(&stalest);
+            }
+        }
+        let bucket = buckets.entry(consumer.to_string()).or_insert(Bucket {
+            tokens: self.burst,
+            refilled: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate).min(self.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_refusal_then_refill() {
+        let limiter = RateLimiter::new(10);
+        let t0 = Instant::now();
+        // The full burst (max(rate, 8) = 10) admits...
+        for i in 0..10 {
+            assert!(limiter.admit("alice", t0), "burst frame {i}");
+        }
+        // ...then the bucket is dry...
+        assert!(!limiter.admit("alice", t0));
+        // ...other consumers are unaffected...
+        assert!(limiter.admit("bob", t0));
+        // ...and half a second refills five tokens.
+        let t1 = t0 + Duration::from_millis(500);
+        for i in 0..5 {
+            assert!(limiter.admit("alice", t1), "refilled frame {i}");
+        }
+        assert!(!limiter.admit("alice", t1));
+    }
+
+    #[test]
+    fn sustained_rate_is_admitted() {
+        let limiter = RateLimiter::new(100);
+        let t0 = Instant::now();
+        // 1 request every 10ms = exactly the sustained rate: no refusal,
+        // even long past the burst allowance.
+        for i in 0..300u32 {
+            let t = t0 + Duration::from_millis(10 * u64::from(i));
+            assert!(limiter.admit("steady", t), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn map_growth_is_bounded() {
+        let limiter = RateLimiter::new(5);
+        let t0 = Instant::now();
+        // More distinct names than the cap; the map must not exceed it.
+        for i in 0..(MAX_TRACKED_CONSUMERS + 100) {
+            limiter.admit(
+                &format!("consumer-{i}"),
+                t0 + Duration::from_micros(i as u64),
+            );
+        }
+        assert!(limiter.buckets.lock().len() <= MAX_TRACKED_CONSUMERS);
+        // Recycled names come back with a full (not stale) bucket.
+        assert!(limiter.admit("consumer-0", t0 + Duration::from_secs(1)));
+    }
+}

@@ -66,11 +66,21 @@
 //!
 //! # Design notes
 //!
-//! No async runtime: an accept thread feeds a fixed worker pool over a
-//! channel, each worker serving one connection at a time with blocking
-//! sockets (`TCP_NODELAY` on) — measured at >100k single-query round
-//! trips per second on loopback (see `BENCH_PR4.json`). Frames reuse the
-//! WAL's `len | crc32 | payload` convention, so the same corruption
+//! No async runtime: an accept thread performs admission control
+//! (connection caps, typed `Overloaded` refusals) and deals admitted
+//! sockets round-robin to a few event-loop shards built on the vendored
+//! [`reactor`] crate (epoll behind a safe `Poller` API). Each shard owns
+//! nonblocking per-connection state machines, so tens of thousands of
+//! idle connections cost file descriptors and buffers, not threads —
+//! while the active set keeps the blocking-era round-trip latency
+//! (`TCP_NODELAY` on, >100k single-query round trips per second on
+//! loopback; see `BENCH_PR4.json` and successors). Slow readers get
+//! bounded write backpressure instead of unbounded buffering, and the
+//! [`metrics`] module exposes the whole edge — request latency
+//! histograms, frame-cache hit rates, overload drops — as a Prometheus
+//! `GET /metrics` endpoint on a separate listener
+//! ([`ServerConfig::metrics_addr`]). Frames reuse the WAL's
+//! `len | crc32 | payload` convention, so the same corruption
 //! discipline covers disk and wire: a frame that fails its checksum or
 //! declares an implausible length is answered with a typed error frame
 //! (best effort) and a hangup, never a guess.
@@ -93,14 +103,18 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod admission;
 mod client;
 mod error;
 mod frame;
+pub mod metrics;
 pub mod replica;
 mod server;
 
 pub use client::{Client, ClientPool, PooledClient};
 pub use error::{ClientError, ReplicaError};
 pub use frame::{read_frame, write_frame, FrameError};
+pub use metrics::{OverloadReason, RequestType, ServerMetrics};
+pub use reactor::sys::raise_nofile_limit;
 pub use replica::{Replica, ReplicaConfig, ReplicationMonitor};
 pub use server::{Server, ServerConfig, ServerStats};

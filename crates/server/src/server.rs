@@ -1,11 +1,15 @@
-//! The threaded TCP query server.
+//! The readiness-based TCP query server.
 //!
-//! One accept loop feeds accepted connections to a fixed pool of worker
-//! threads over a channel; each worker owns one connection at a time and
-//! serves its requests synchronously against the shared
-//! [`AccountService`]. No async runtime: blocking sockets, `std::thread`,
-//! and `parking_lot` locks are the whole concurrency story, which keeps
-//! the trust boundary auditable.
+//! One blocking accept thread performs **admission control** (connection
+//! cap, best-effort typed [`WireErrorKind::Overloaded`] refusals) and
+//! hands admitted sockets round-robin to a small set of **event-loop
+//! shards** ([`ServerConfig::threads`] of them). Each shard owns a
+//! [`reactor::Poller`] and a slab of nonblocking per-connection state
+//! machines; it only touches connections the kernel reports ready, so
+//! ten thousand idle connections cost ten thousand fds and their
+//! buffers — not ten thousand threads. Requests are answered inline on
+//! the shard: the sealed-frame cache makes the hot path a lookup plus a
+//! queued refcount, far cheaper than a cross-thread handoff.
 //!
 //! # Connection protocol
 //!
@@ -18,35 +22,80 @@
 //! frame (bad checksum, oversized length, undecodable payload) gets a
 //! best-effort error frame and a hangup — the server never guesses at
 //! intent.
+//!
+//! # Admission control and backpressure
+//!
+//! Three levers keep an overloaded or hostile client from taking the
+//! server down with it, each answering with the retryable
+//! [`WireErrorKind::Overloaded`] where a reply is still possible:
+//!
+//! * **Connection cap** ([`ServerConfig::max_conns`]): past it the
+//!   accept thread refuses the dial with a best-effort `Overloaded`
+//!   frame and closes — no shard ever owns the socket.
+//! * **Per-consumer rate limits** ([`ServerConfig::rate_limit`]): a
+//!   token bucket per consumer *name* (resolved at Hello, shared across
+//!   that consumer's connections); an exhausted bucket refuses the
+//!   request but keeps the connection.
+//! * **Write backpressure**: responses queue per connection (cached
+//!   frames by refcount, never copied); past a high-water mark the shard
+//!   stops *reading* that connection until the queue drains, so a slow
+//!   reader's memory is bounded by roughly the mark plus one frame. A
+//!   connection making no write progress for
+//!   [`ServerConfig::write_stall_timeout`] is closed and counted as an
+//!   overload drop.
+//!
+//! Connections that never complete a Hello are reaped after
+//! [`ServerConfig::handshake_timeout`]; an optional
+//! [`ServerConfig::idle_timeout`] reaps quiet post-handshake
+//! connections.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] (or drop) stops accepting and **drains**: every
+//! in-flight request completes (requests run inline, so none are ever
+//! abandoned half-executed), queued-but-unsent responses flush, all
+//! bounded by [`ServerConfig::drain_timeout`]; then sockets close and
+//! every thread joins. Idle connections close immediately.
+//!
+//! # Replication
+//!
+//! Replication subscriptions do not stay on the event loops: an accepted
+//! [`Request::Subscribe`] *extracts* the socket from its shard, flips it
+//! back to blocking, and hands it to a dedicated feeder thread for the
+//! subscriber's lifetime — a feeder pushes a continuous WAL stream and
+//! has none of the request/response rhythm the reactor is shaped for.
 
-use std::collections::HashMap;
-use std::io;
-use std::io::Write;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use parking_lot::Mutex;
+use plus_store::codec::{crc32, seal_frame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 use plus_store::wal;
 use plus_store::wire::{
     decode_request, encode_response, ReplicaRole, ReplicaStatus, Request, Response, ServerHello,
     WalChunk, WireError, WireErrorKind, PROTOCOL_VERSION,
 };
 use plus_store::{AccountService, CodecError, Store, StoreError};
+use reactor::{Events, Interest, Poller, Token, Waker};
 use surrogate_core::credential::Consumer;
 use surrogate_core::privilege::PrivilegeId;
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::admission::RateLimiter;
+use crate::metrics::{self, OverloadReason, RequestType, ServerMetrics};
 use crate::replica::{Replica, ReplicationMonitor};
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads — the maximum number of concurrently served
-    /// connections. Further accepted connections wait in the channel.
+    /// Event-loop shards. Each owns its own poller and slab of
+    /// connections; accepted sockets are dealt round-robin.
     pub threads: usize,
     /// Whether remote [`Request::Checkpoint`] frames are honored.
     /// Off by default: checkpointing is an operator action (it drives
@@ -60,6 +109,34 @@ pub struct ServerConfig {
     /// views. Enable it only on a socket that stays inside the owner's
     /// trust domain (`spgraph serve --allow-replication`).
     pub allow_replication: bool,
+    /// Most sockets the server will own at once (event loops plus
+    /// feeders). Dials past the cap are refused at accept with a
+    /// best-effort [`WireErrorKind::Overloaded`] frame.
+    pub max_conns: usize,
+    /// Per-consumer sustained request-frames-per-second budget (bursts
+    /// up to one second's worth). `None` (the default) disables rate
+    /// limiting. Buckets are keyed by the consumer *name* claimed at
+    /// Hello, shared across all of that consumer's connections.
+    pub rate_limit: Option<u64>,
+    /// Where to serve the Prometheus `GET /metrics` endpoint; `None`
+    /// (the default) disables it. Always a separate listener so
+    /// observability survives query-socket saturation.
+    pub metrics_addr: Option<SocketAddr>,
+    /// How long a connection may sit without completing its Hello
+    /// before being reaped (connect-and-never-speak costs one fd, not
+    /// one forever).
+    pub handshake_timeout: Duration,
+    /// Reap a post-handshake connection after this much quiet. `None`
+    /// (the default) keeps idle connections forever — connection pools
+    /// rely on that.
+    pub idle_timeout: Option<Duration>,
+    /// How long a connection with queued responses may make zero write
+    /// progress before it is closed as an overload drop (the
+    /// stopped-reading client).
+    pub write_stall_timeout: Duration,
+    /// Shutdown grace: how long the drain (flushing queued responses)
+    /// may take before remaining sockets are closed hard.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +149,13 @@ impl Default for ServerConfig {
             threads,
             allow_remote_checkpoint: false,
             allow_replication: false,
+            max_conns: 16 * 1024,
+            rate_limit: None,
+            metrics_addr: None,
+            handshake_timeout: Duration::from_secs(10),
+            idle_timeout: None,
+            write_stall_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -91,86 +175,47 @@ pub struct ServerStats {
     /// Snapshots shipped to backfilling subscribers. A warm subscriber
     /// resuming from its local clock never costs one.
     pub snapshots_shipped: u64,
+    /// Connections or requests shed by admission control (connection
+    /// cap, rate limit, write stall).
+    pub overload_drops: u64,
+    /// Connections reaped by the handshake or idle timeout.
+    pub idle_reaped: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    hangups: AtomicU64,
-    subscriptions: AtomicU64,
-    snapshots_shipped: AtomicU64,
-}
-
-/// Live connections, so shutdown can unblock workers parked in `read`.
-#[derive(Default)]
-struct ConnTable {
-    inner: Mutex<ConnTableInner>,
-}
-
-#[derive(Default)]
-struct ConnTableInner {
-    closed: bool,
-    next_id: u64,
-    streams: HashMap<u64, TcpStream>,
-}
-
-impl ConnTable {
-    /// Registers a connection; `None` once the table is closed (the
-    /// caller must drop the stream instead of serving it).
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let mut inner = self.inner.lock();
-        if inner.closed {
-            return None;
-        }
-        let id = inner.next_id;
-        inner.next_id += 1;
-        // No clone means close_all() could never hang this connection
-        // up, and shutdown would block on the worker join — refuse the
-        // connection instead (fd exhaustion is the typical cause, so
-        // shedding load is the right response anyway).
-        let clone = stream.try_clone().ok()?;
-        inner.streams.insert(id, clone);
-        Some(id)
-    }
-
-    fn deregister(&self, id: u64) {
-        self.inner.lock().streams.remove(&id);
-    }
-
-    /// Marks the table closed and shuts every live socket down, which
-    /// makes blocked reads in the workers return EOF.
-    fn close_all(&self) {
-        let mut inner = self.inner.lock();
-        inner.closed = true;
-        for stream in inner.streams.values() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        inner.streams.clear();
-    }
-}
+/// Outbound queue high-water mark: a connection with more unsent bytes
+/// than this stops being read until it drains (backpressure).
+const OUT_HIGH_WATER: usize = 1 << 20;
+/// Resume reading once the queue drains below this.
+const OUT_LOW_WATER: usize = OUT_HIGH_WATER / 2;
+/// Most bytes read from one connection per readiness event, so a
+/// firehose cannot starve its shard-mates (level-triggered readiness
+/// re-reports the rest immediately).
+const READ_BUDGET: usize = 256 << 10;
+/// How often a shard sweeps its slab for timed-out connections.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(250);
+/// The waker's slot in each shard's token space.
+const WAKE_TOKEN: Token = Token(u64::MAX);
 
 /// A running query server. Dropping it (or calling
-/// [`shutdown`](Server::shutdown)) stops the accept loop, hangs up every
-/// live connection, and joins all threads.
+/// [`shutdown`](Server::shutdown)) stops the accept loop, drains live
+/// connections, and joins all threads.
 pub struct Server {
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
-    conns: Arc<ConnTable>,
-    counters: Arc<Counters>,
+    metrics: Arc<ServerMetrics>,
+    inboxes: Vec<Arc<ShardInbox>>,
+    shards: Vec<JoinHandle<()>>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    /// One dedicated thread per live replication subscriber — feeders
-    /// stream for the subscriber's lifetime, which must not starve the
-    /// fixed query-worker pool.
-    feeders: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    feeders: Arc<FeederSet>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("local_addr", &self.local_addr)
-            .field("workers", &self.workers.len())
+            .field("shards", &self.shards.len())
             .field("stats", &self.stats())
             .finish()
     }
@@ -178,7 +223,7 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr` and starts serving `service` on
-    /// [`ServerConfig::default`] worker threads.
+    /// [`ServerConfig::default`] event-loop shards.
     pub fn bind(service: Arc<AccountService>, addr: impl ToSocketAddrs) -> io::Result<Server> {
         Self::bind_with(service, addr, ServerConfig::default())
     }
@@ -218,120 +263,80 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(ConnTable::default());
-        let counters = Arc::new(Counters::default());
-        let feeders: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        let server_metrics = Arc::new(ServerMetrics::default());
+        let feeders = Arc::new(FeederSet::default());
+
+        let (metrics_addr, metrics_thread) = match config.metrics_addr {
+            Some(addr) => {
+                let (bound, handle) = metrics::spawn_metrics_listener(
+                    addr,
+                    server_metrics.clone(),
+                    service.clone(),
+                    shutdown.clone(),
+                )?;
+                (Some(bound), Some(handle))
+            }
+            None => (None, None),
+        };
+
+        let ctx = Arc::new(ShardCtx {
+            service,
+            metrics: server_metrics.clone(),
+            config,
+            monitor,
+            shutdown: shutdown.clone(),
+            limiter: config.rate_limit.map(RateLimiter::new),
+            feeders: feeders.clone(),
+        });
 
         let threads = config.threads.max(1);
-        let mut workers = Vec::with_capacity(threads);
+        let mut inboxes = Vec::with_capacity(threads);
+        let mut shards = Vec::with_capacity(threads);
         for i in 0..threads {
-            let rx = rx.clone();
-            let service = service.clone();
-            let shutdown = shutdown.clone();
-            let conns = conns.clone();
-            let counters = counters.clone();
-            let monitor = monitor.clone();
-            let feeders = feeders.clone();
-            workers.push(
+            let poller = Poller::new()?;
+            let waker = Waker::new(&poller, WAKE_TOKEN)?;
+            let inbox = Arc::new(ShardInbox {
+                queue: Mutex::new(Vec::new()),
+                waker,
+            });
+            inboxes.push(inbox.clone());
+            let ctx = ctx.clone();
+            shards.push(
                 std::thread::Builder::new()
-                    .name(format!("spgraph-serve-{i}"))
-                    .spawn(move || loop {
-                        // Take the next connection; holding the lock only
-                        // for the recv keeps the pool a simple queue.
-                        let stream = { rx.lock().recv() };
-                        let Ok(stream) = stream else { break };
-                        if shutdown.load(Ordering::SeqCst) {
-                            continue; // drain without serving
+                    .name(format!("spgraph-shard-{i}"))
+                    .spawn(move || {
+                        Shard {
+                            poller,
+                            inbox,
+                            ctx,
+                            slab: Slab::default(),
                         }
-                        let Some(id) = conns.register(&stream) else {
-                            continue;
-                        };
-                        let ctx = ConnCtx {
-                            service: &service,
-                            counters: &counters,
-                            config: &config,
-                            monitor: monitor.as_deref(),
-                        };
-                        let Some(feed) = serve_connection(&ctx, stream) else {
-                            conns.deregister(id);
-                            continue;
-                        };
-                        // An accepted subscription lives as long as the
-                        // subscriber: hand it to a dedicated feeder
-                        // thread so it cannot starve the query pool.
-                        counters.subscriptions.fetch_add(1, Ordering::Relaxed);
-                        let feeder = {
-                            let service = service.clone();
-                            let counters = counters.clone();
-                            let shutdown = shutdown.clone();
-                            let conns = conns.clone();
-                            std::thread::Builder::new()
-                                .name("spgraph-feeder".into())
-                                .spawn(move || {
-                                    let mut stream = feed.stream;
-                                    let mut outbuf = Vec::with_capacity(4096);
-                                    serve_subscription(
-                                        &service,
-                                        &counters,
-                                        &shutdown,
-                                        &mut stream,
-                                        &feed.dir,
-                                        feed.from_clock,
-                                        &mut outbuf,
-                                    );
-                                    let _ = stream.shutdown(Shutdown::Both);
-                                    conns.deregister(id);
-                                })
-                        };
-                        match feeder {
-                            Ok(handle) => {
-                                let mut feeders = feeders.lock();
-                                // Reap finished feeders (reconnecting
-                                // subscribers create one per attempt) so
-                                // the registry only grows with *live*
-                                // streams; a finished handle drops
-                                // detached, which is a no-op join.
-                                feeders.retain(|f| !f.is_finished());
-                                feeders.push(handle);
-                            }
-                            // Out of threads: shed the subscriber.
-                            Err(_) => conns.deregister(id),
-                        }
+                        .run()
                     })
-                    .expect("spawn worker thread"),
+                    .expect("spawn shard thread"),
             );
         }
 
         let accept = {
             let shutdown = shutdown.clone();
+            let inboxes = inboxes.clone();
+            let metrics = server_metrics.clone();
             std::thread::Builder::new()
                 .name("spgraph-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    // `tx` drops here; idle workers wake from `recv` and
-                    // exit.
-                })
+                .spawn(move || accept_loop(listener, shutdown, inboxes, metrics, config))
                 .expect("spawn accept thread")
         };
 
         Ok(Server {
             local_addr,
+            metrics_addr,
             shutdown,
-            conns,
-            counters,
+            metrics: server_metrics,
+            inboxes,
+            shards,
             accept: Some(accept),
-            workers,
             feeders,
+            metrics_thread,
         })
     }
 
@@ -340,18 +345,34 @@ impl Server {
         self.local_addr
     }
 
+    /// The address the Prometheus `GET /metrics` endpoint actually
+    /// bound (resolves `:0`); `None` when
+    /// [`ServerConfig::metrics_addr`] was not set.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The live instrument registry — every counter, gauge, and latency
+    /// histogram the `/metrics` endpoint renders, readable in-process.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
     /// A snapshot of the traffic counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
-            connections: self.counters.connections.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            hangups: self.counters.hangups.load(Ordering::Relaxed),
-            subscriptions: self.counters.subscriptions.load(Ordering::Relaxed),
-            snapshots_shipped: self.counters.snapshots_shipped.load(Ordering::Relaxed),
+            connections: self.metrics.connections_total.get(),
+            requests: self.metrics.requests_total(),
+            hangups: self.metrics.hangups.get(),
+            subscriptions: self.metrics.subscriptions_total.get(),
+            snapshots_shipped: self.metrics.snapshots_shipped.get(),
+            overload_drops: self.metrics.overload_drops_total(),
+            idle_reaped: self.metrics.idle_reaped.get(),
         }
     }
 
-    /// Stops accepting, hangs up every live connection, and joins all
+    /// Stops accepting, drains and hangs up every live connection
+    /// (bounded by [`ServerConfig::drain_timeout`]), and joins all
     /// threads. Equivalent to dropping the server, but explicit.
     pub fn shutdown(mut self) {
         self.stop();
@@ -361,41 +382,46 @@ impl Server {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Shards poll with a bounded timeout, so a wake just shortens
+        // the latency of noticing the flag.
+        for inbox in &self.inboxes {
+            let _ = inbox.waker.wake();
+        }
         // Unblock the accept loop with a wake-up connection; it
         // re-checks the flag per accepted connection. A wildcard bind
         // (0.0.0.0 / ::) is not dialable on every platform, so rewrite
         // it to the matching loopback.
-        let mut wake_addr = self.local_addr;
-        if wake_addr.ip().is_unspecified() {
-            wake_addr.set_ip(match wake_addr {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let woke =
-            TcpStream::connect_timeout(&wake_addr, std::time::Duration::from_secs(1)).is_ok();
-        self.conns.close_all();
+        let woke = TcpStream::connect_timeout(
+            &dialable(self.local_addr),
+            std::time::Duration::from_secs(1),
+        )
+        .is_ok();
         // Feeders exit on their own: their sockets just closed, and they
         // re-check the shutdown flag at least every poll interval.
-        for feeder in self.feeders.lock().drain(..) {
+        for feeder in self.feeders.close_all() {
             let _ = feeder.join();
+        }
+        // Shards drain (flush queued responses, bounded) and exit; they
+        // never block indefinitely, so these joins always complete.
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
         }
         if woke {
             if let Some(accept) = self.accept.take() {
                 let _ = accept.join();
             }
-            for worker in self.workers.drain(..) {
-                let _ = worker.join();
-            }
         } else {
             // The wake-up could not be delivered (e.g. a firewalled
             // self-connect): the accept thread stays parked in
-            // `accept()` and still owns the channel sender, so joining
-            // it — or the idle workers blocked in `recv` — would hang
-            // forever. Live connections were hung up above; detach the
-            // threads instead of deadlocking the caller.
+            // `accept()`; detach it instead of deadlocking the caller.
             self.accept.take();
-            self.workers.drain(..);
+        }
+        if let Some(handle) = self.metrics_thread.take() {
+            // Same trick for the scrape listener's blocking accept.
+            let addr = self.metrics_addr.expect("metrics thread implies addr");
+            if TcpStream::connect_timeout(&dialable(addr), Duration::from_secs(1)).is_ok() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -403,6 +429,862 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Rewrites a wildcard address (0.0.0.0 / ::) to the matching loopback
+/// so it can be dialed for a wake-up connection.
+fn dialable(mut addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+// ---------------------------------------------------------------------------
+// Accept thread: admission control and shard handoff
+// ---------------------------------------------------------------------------
+
+/// Where the accept thread parks admitted sockets for a shard, plus the
+/// waker that tells the shard to look.
+struct ShardInbox {
+    queue: Mutex<Vec<TcpStream>>,
+    waker: Waker,
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    inboxes: Vec<Arc<ShardInbox>>,
+    metrics: Arc<ServerMetrics>,
+    config: ServerConfig,
+) {
+    let mut next_shard = 0usize;
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Admission: the connection cap bounds every socket the server
+        // owns (event loops + feeders). Refusing *here* means no shard
+        // ever spends a slab slot or a buffer on the socket.
+        if metrics.connections_open.get() >= config.max_conns as i64 {
+            metrics.count_overload(OverloadReason::ConnCap);
+            shed_connection(stream, config.max_conns);
+            continue;
+        }
+        metrics.connections_open.inc();
+        // Per-round-trip latency is the product metric; never batch tiny
+        // frames behind Nagle.
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            metrics.connections_open.dec();
+            continue;
+        }
+        let inbox = &inboxes[next_shard];
+        next_shard = (next_shard + 1) % inboxes.len();
+        inbox.queue.lock().push(stream);
+        let _ = inbox.waker.wake();
+    }
+}
+
+/// Best-effort typed refusal for a dial past the connection cap, then
+/// close. Short write timeout: the server will not wait on a client it
+/// is refusing.
+fn shed_connection(mut stream: TcpStream, max_conns: usize) {
+    let error = Response::Error(WireError::new(
+        WireErrorKind::Overloaded,
+        format!("connection cap ({max_conns}) reached; retry later or against a replica"),
+    ));
+    if let Ok(payload) = encode_response(&error) {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+        let _ = stream.write_all(&seal_frame(&payload));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shards: the event loops
+// ---------------------------------------------------------------------------
+
+/// Everything a shard (or feeder) needs, shared across all of them.
+struct ShardCtx {
+    service: Arc<AccountService>,
+    metrics: Arc<ServerMetrics>,
+    config: ServerConfig,
+    monitor: Option<Arc<ReplicationMonitor>>,
+    shutdown: Arc<AtomicBool>,
+    limiter: Option<RateLimiter>,
+    feeders: Arc<FeederSet>,
+}
+
+/// Where a connection is in its protocol lifecycle.
+enum Phase {
+    /// Waiting for the opening Hello.
+    AwaitHello,
+    /// Handshake done; every request is answered through this consumer's
+    /// protected account. `Arc` so request handling can hold the
+    /// consumer while mutating the connection's queues.
+    Serving(Arc<Consumer>),
+}
+
+/// One queued response frame: either a refcounted sealed frame straight
+/// from the service's cache (never copied per connection) or an owned
+/// one-off encode.
+enum OutFrame {
+    Shared(Bytes),
+    Owned(Vec<u8>),
+}
+
+impl OutFrame {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            OutFrame::Shared(b) => b,
+            OutFrame::Owned(v) => v,
+        }
+    }
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    token: Token,
+    phase: Phase,
+    /// Unconsumed inbound bytes (at most one partial frame plus read
+    /// slack once the parser has run).
+    inbuf: Vec<u8>,
+    outq: VecDeque<OutFrame>,
+    /// Bytes of the front frame already written.
+    out_head: usize,
+    /// Total unwritten bytes across the queue.
+    out_bytes: usize,
+    /// The interest currently registered with the poller.
+    interest: Interest,
+    /// Backpressured: outbound queue above high water; reads paused.
+    paused: bool,
+    /// Close once the outbound queue drains (hangups flush their
+    /// best-effort error frame first).
+    close_after_flush: bool,
+    /// The peer finished sending (EOF observed).
+    eof: bool,
+    opened: Instant,
+    last_read: Instant,
+    /// When the outbound queue last made zero progress (set on
+    /// would-block with bytes queued, cleared on progress).
+    stalled_since: Option<Instant>,
+}
+
+impl Conn {
+    fn queue(&mut self, frame: OutFrame) {
+        self.out_bytes += frame.bytes().len();
+        self.outq.push_back(frame);
+        if self.out_bytes > OUT_HIGH_WATER {
+            self.paused = true;
+        }
+    }
+}
+
+/// What an event (or sweep) decided about a connection.
+enum Verdict {
+    Keep,
+    Close,
+    /// An accepted subscription: extract the socket for a feeder.
+    Handoff(HandoffFeed),
+}
+
+/// A validated subscription handed from a shard to its feeder thread.
+struct HandoffFeed {
+    dir: PathBuf,
+    from_clock: u64,
+}
+
+/// Generation-tagged connection slab. Tokens pack `generation << 32 |
+/// index` so an event raced against a close (same index, new socket)
+/// is detected and dropped instead of misdelivered.
+#[derive(Default)]
+struct Slab {
+    conns: Vec<Option<Conn>>,
+    free: Vec<u32>,
+    next_gen: u32,
+}
+
+impl Slab {
+    fn insert(&mut self, make: impl FnOnce(Token) -> Conn) -> &mut Conn {
+        let gen = self.next_gen;
+        self.next_gen = self.next_gen.wrapping_add(1);
+        let idx = match self.free.pop() {
+            Some(idx) => idx as usize,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        let token = Token((u64::from(gen) << 32) | idx as u64);
+        self.conns[idx] = Some(make(token));
+        self.conns[idx].as_mut().expect("just inserted")
+    }
+
+    /// The live connection a token refers to, if its generation still
+    /// matches.
+    fn get_mut(&mut self, token: Token) -> Option<&mut Conn> {
+        let idx = (token.0 & 0xffff_ffff) as usize;
+        match self.conns.get_mut(idx) {
+            Some(Some(conn)) if conn.token == token => self.conns[idx].as_mut(),
+            _ => None,
+        }
+    }
+
+    fn remove(&mut self, token: Token) -> Option<Conn> {
+        let idx = (token.0 & 0xffff_ffff) as usize;
+        match self.conns.get(idx) {
+            Some(Some(conn)) if conn.token == token => {
+                self.free.push(idx as u32);
+                self.conns[idx].take()
+            }
+            _ => None,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.conns.iter().all(Option::is_none)
+    }
+
+    fn tokens(&self) -> Vec<Token> {
+        self.conns.iter().flatten().map(|conn| conn.token).collect()
+    }
+}
+
+struct Shard {
+    poller: Poller,
+    inbox: Arc<ShardInbox>,
+    ctx: Arc<ShardCtx>,
+    slab: Slab,
+}
+
+impl Shard {
+    fn run(mut self) {
+        let mut events = Events::with_capacity(1024);
+        let mut next_sweep = Instant::now() + SWEEP_INTERVAL;
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        loop {
+            let timeout = if draining {
+                Duration::from_millis(20)
+            } else {
+                SWEEP_INTERVAL
+            };
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // A broken poller cannot serve; close everything.
+                break;
+            }
+            if !draining && self.ctx.shutdown.load(Ordering::SeqCst) {
+                draining = true;
+                drain_deadline = Instant::now() + self.ctx.config.drain_timeout;
+                self.begin_drain();
+            }
+            let mut saw_wake = false;
+            for event in events.iter() {
+                if event.token() == WAKE_TOKEN {
+                    saw_wake = true;
+                    continue;
+                }
+                let verdict = match self.slab.get_mut(event.token()) {
+                    Some(conn) => {
+                        if event.is_error() {
+                            Verdict::Close
+                        } else {
+                            on_event(&self.poller, &self.ctx, conn, event.is_readable(), draining)
+                        }
+                    }
+                    None => continue, // raced a close; stale token
+                };
+                self.settle(event.token(), verdict);
+            }
+            if saw_wake {
+                self.inbox.waker.drain();
+            }
+            // Collect handed-off sockets every pass (cheap), not only on
+            // wake events: a wake raced against the previous drain must
+            // not strand a socket until the next timeout.
+            self.adopt_new(draining);
+            let now = Instant::now();
+            if draining {
+                if self.slab.is_empty() || now >= drain_deadline {
+                    self.close_all();
+                    break;
+                }
+            } else if now >= next_sweep {
+                next_sweep = now + SWEEP_INTERVAL;
+                self.sweep(now);
+            }
+        }
+    }
+
+    /// Moves sockets from the inbox into the slab (or drops them during
+    /// drain — the accept thread has already stopped, these raced it).
+    fn adopt_new(&mut self, draining: bool) {
+        let streams: Vec<TcpStream> = {
+            let mut queue = self.inbox.queue.lock();
+            if queue.is_empty() {
+                return;
+            }
+            queue.drain(..).collect()
+        };
+        for stream in streams {
+            if draining {
+                self.ctx.metrics.connections_open.dec();
+                continue;
+            }
+            let now = Instant::now();
+            let conn = self.slab.insert(|token| Conn {
+                stream,
+                token,
+                phase: Phase::AwaitHello,
+                inbuf: Vec::with_capacity(512),
+                outq: VecDeque::new(),
+                out_head: 0,
+                out_bytes: 0,
+                interest: Interest::READABLE,
+                paused: false,
+                close_after_flush: false,
+                eof: false,
+                opened: now,
+                last_read: now,
+                stalled_since: None,
+            });
+            let token = conn.token;
+            if self
+                .poller
+                .register(&conn.stream, token, Interest::READABLE)
+                .is_err()
+            {
+                self.slab.remove(token);
+                self.ctx.metrics.connections_open.dec();
+            }
+        }
+    }
+
+    fn settle(&mut self, token: Token, verdict: Verdict) {
+        match verdict {
+            Verdict::Keep => {}
+            Verdict::Close => self.close(token),
+            Verdict::Handoff(feed) => self.handoff(token, feed),
+        }
+    }
+
+    fn close(&mut self, token: Token) {
+        if let Some(conn) = self.slab.remove(token) {
+            let _ = self.poller.deregister(&conn.stream);
+            self.ctx.metrics.connections_open.dec();
+        }
+    }
+
+    /// Extracts an accepted subscriber from the event loop onto a
+    /// dedicated blocking feeder thread (streaming WAL for its
+    /// lifetime must not occupy the reactor).
+    fn handoff(&mut self, token: Token, feed: HandoffFeed) {
+        let Some(conn) = self.slab.remove(token) else {
+            return;
+        };
+        let _ = self.poller.deregister(&conn.stream);
+        if conn.stream.set_nonblocking(false).is_err() {
+            self.ctx.metrics.connections_open.dec();
+            return;
+        }
+        self.ctx.metrics.subscriptions_total.inc();
+        spawn_feeder(self.ctx.clone(), conn, feed);
+    }
+
+    /// Entering drain: stop reading everywhere, close already-flushed
+    /// connections immediately, keep the rest only to flush.
+    fn begin_drain(&mut self) {
+        for token in self.slab.tokens() {
+            let conn = self.slab.get_mut(token).expect("token just listed");
+            if conn.out_bytes == 0 {
+                self.close(token);
+            } else {
+                conn.close_after_flush = true;
+                update_interest(&self.poller, conn, true);
+            }
+        }
+    }
+
+    fn close_all(&mut self) {
+        for token in self.slab.tokens() {
+            self.close(token);
+        }
+    }
+
+    /// Reaps timed-out connections: unfinished handshakes, optional
+    /// idle, and write-stalled peers.
+    fn sweep(&mut self, now: Instant) {
+        for token in self.slab.tokens() {
+            let conn = self.slab.get_mut(token).expect("token just listed");
+            let config = &self.ctx.config;
+            let reap = if let Some(stalled) = conn.stalled_since {
+                if now.saturating_duration_since(stalled) > config.write_stall_timeout {
+                    self.ctx.metrics.count_overload(OverloadReason::WriteStall);
+                    true
+                } else {
+                    false
+                }
+            } else if matches!(conn.phase, Phase::AwaitHello) {
+                let late = now.saturating_duration_since(conn.opened) > config.handshake_timeout;
+                if late {
+                    self.ctx.metrics.idle_reaped.inc();
+                }
+                late
+            } else if let Some(idle) = config.idle_timeout {
+                let quiet =
+                    conn.out_bytes == 0 && now.saturating_duration_since(conn.last_read) > idle;
+                if quiet {
+                    self.ctx.metrics.idle_reaped.inc();
+                }
+                quiet
+            } else {
+                false
+            };
+            if reap {
+                self.close(token);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection event handling
+// ---------------------------------------------------------------------------
+
+/// Drives one ready connection: read, parse/execute, flush, retune
+/// interest. Returns what to do with it.
+fn on_event(
+    poller: &Poller,
+    ctx: &ShardCtx,
+    conn: &mut Conn,
+    readable: bool,
+    draining: bool,
+) -> Verdict {
+    if readable && !conn.paused && !conn.close_after_flush && !conn.eof && !draining {
+        match fill_inbuf(ctx, conn) {
+            Fill::Progress => conn.last_read = Instant::now(),
+            Fill::Eof => conn.eof = true,
+            Fill::Gone => return Verdict::Close,
+        }
+    }
+    // Parse/flush cycle. Flushing below low water unpauses the
+    // connection, and the bytes already sitting in `inbuf` will never
+    // re-trigger level-triggered readiness — so a successful unpause
+    // loops back to the parser.
+    loop {
+        if !conn.paused && !conn.close_after_flush && !draining {
+            if let Parsed::Handoff(feed) = parse_frames(ctx, conn) {
+                return Verdict::Handoff(feed);
+            }
+        }
+        match flush_out(ctx, conn) {
+            Flush::Gone => return Verdict::Close,
+            Flush::Unpaused => continue,
+            Flush::Settled => break,
+        }
+    }
+    if conn.out_bytes == 0 && (conn.close_after_flush || conn.eof) {
+        // Everything owed is on the wire (or nothing is owed and the
+        // peer already left).
+        return Verdict::Close;
+    }
+    if conn.eof {
+        // The peer finished sending but responses are still queued —
+        // one-shot clients half-close and read the tail.
+        conn.close_after_flush = true;
+    }
+    update_interest(poller, conn, draining);
+    Verdict::Keep
+}
+
+enum Fill {
+    Progress,
+    Eof,
+    Gone,
+}
+
+/// Reads what the socket has (bounded per event) into the connection's
+/// buffer.
+fn fill_inbuf(ctx: &ShardCtx, conn: &mut Conn) -> Fill {
+    let mut chunk = [0u8; 16 << 10];
+    let mut total = 0usize;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                return if total == 0 {
+                    Fill::Eof
+                } else {
+                    Fill::Progress
+                }
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                ctx.metrics.bytes_read.add(n as u64);
+                total += n;
+                if total >= READ_BUDGET {
+                    return Fill::Progress;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return if total == 0 {
+                    Fill::Eof
+                } else {
+                    Fill::Progress
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Fill::Gone,
+        }
+    }
+}
+
+enum Parsed {
+    Ok,
+    Handoff(HandoffFeed),
+}
+
+/// One inspected inbound frame.
+enum Step {
+    /// Not enough bytes yet.
+    Incomplete,
+    /// Protocol violation — oversized length or checksum failure.
+    Malformed(String),
+    /// A whole frame: its decode result and total wire size.
+    Frame(Result<Request, CodecError>, usize),
+}
+
+fn next_frame(buf: &[u8]) -> Step {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Step::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("len 4"));
+    if len > MAX_FRAME_LEN {
+        return Step::Malformed(CodecError::FrameTooLarge(len).to_string());
+    }
+    let total = FRAME_HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Step::Incomplete;
+    }
+    let stored_crc = u32::from_le_bytes(buf[4..8].try_into().expect("len 4"));
+    let payload = &buf[FRAME_HEADER_LEN..total];
+    if crc32(payload) != stored_crc {
+        return Step::Malformed(CodecError::ChecksumMismatch.to_string());
+    }
+    Step::Frame(decode_request(payload), total)
+}
+
+/// Parses and executes every complete frame buffered on the connection,
+/// stopping early on backpressure, a hangup decision, or a subscription
+/// handoff.
+fn parse_frames(ctx: &ShardCtx, conn: &mut Conn) -> Parsed {
+    let mut pos = 0usize;
+    let result = loop {
+        if conn.paused || conn.close_after_flush {
+            break Parsed::Ok;
+        }
+        let (request, total) = match next_frame(&conn.inbuf[pos..]) {
+            Step::Incomplete => break Parsed::Ok,
+            Step::Malformed(detail) => {
+                malformed_hangup(ctx, conn, &detail);
+                break Parsed::Ok;
+            }
+            Step::Frame(request, total) => (request, total),
+        };
+        pos += total;
+        let request = match request {
+            Ok(request) => request,
+            Err(e) => {
+                malformed_hangup(ctx, conn, &e.to_string());
+                break Parsed::Ok;
+            }
+        };
+        match handle_request(ctx, conn, request) {
+            Handled::Continue => {}
+            Handled::Handoff(feed) => break Parsed::Handoff(feed),
+        }
+    };
+    conn.inbuf.drain(..pos);
+    result
+}
+
+enum Flush {
+    /// Wrote what the socket would take; nothing more to do now.
+    Settled,
+    /// Draining below low water resumed reading — reparse the buffer.
+    Unpaused,
+    /// The peer is gone (write failure).
+    Gone,
+}
+
+/// Writes queued frames until the socket pushes back or the queue
+/// empties.
+fn flush_out(ctx: &ShardCtx, conn: &mut Conn) -> Flush {
+    let mut progressed = false;
+    while let Some(front) = conn.outq.front() {
+        let bytes = front.bytes();
+        match conn.stream.write(&bytes[conn.out_head..]) {
+            Ok(0) => return Flush::Gone,
+            Ok(n) => {
+                conn.out_head += n;
+                conn.out_bytes -= n;
+                ctx.metrics.bytes_written.add(n as u64);
+                progressed = true;
+                if conn.out_head == bytes.len() {
+                    conn.outq.pop_front();
+                    conn.out_head = 0;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Flush::Gone,
+        }
+    }
+    // Any progress (or an empty queue) clears the stall clock; a
+    // zero-progress pass with bytes still owed starts it.
+    if conn.out_bytes == 0 || progressed {
+        conn.stalled_since = None;
+    } else if conn.stalled_since.is_none() {
+        conn.stalled_since = Some(Instant::now());
+    }
+    if conn.paused && conn.out_bytes <= OUT_LOW_WATER {
+        conn.paused = false;
+        return Flush::Unpaused;
+    }
+    Flush::Settled
+}
+
+/// Re-registers the connection's poller interest if the desired set
+/// changed: read while admitting, write while owing.
+fn update_interest(poller: &Poller, conn: &mut Conn, draining: bool) {
+    let wants_read = !conn.paused && !conn.close_after_flush && !conn.eof && !draining;
+    let wants_write = conn.out_bytes > 0;
+    let desired = match (wants_read, wants_write) {
+        (true, true) => Interest::READABLE.add(Interest::WRITABLE),
+        (true, false) => Interest::READABLE,
+        (false, true) => Interest::WRITABLE,
+        (false, false) => Interest::NONE,
+    };
+    if desired != conn.interest && poller.reregister(&conn.stream, conn.token, desired).is_ok() {
+        conn.interest = desired;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request execution (inline on the shard)
+// ---------------------------------------------------------------------------
+
+enum Handled {
+    Continue,
+    Handoff(HandoffFeed),
+}
+
+fn request_type(request: &Request) -> RequestType {
+    match request {
+        Request::Hello { .. } => RequestType::Hello,
+        Request::Query(_) => RequestType::Query,
+        Request::Batch(_) => RequestType::Batch,
+        Request::Epoch => RequestType::Epoch,
+        Request::Checkpoint => RequestType::Checkpoint,
+        Request::ReplicaStatus => RequestType::ReplicaStatus,
+        Request::Subscribe { .. } => RequestType::Subscribe,
+    }
+}
+
+fn handle_request(ctx: &ShardCtx, conn: &mut Conn, request: Request) -> Handled {
+    let consumer = match &conn.phase {
+        Phase::AwaitHello => {
+            // Handshake frames are deliberately absent from the request
+            // counters: completed handshakes are `connections_total`,
+            // and the `type="hello"` series counts only misplaced
+            // in-session Hellos (a protocol-violation signal).
+            handle_hello(ctx, conn, request);
+            return Handled::Continue;
+        }
+        Phase::Serving(consumer) => consumer.clone(),
+    };
+    let kind = request_type(&request);
+    ctx.metrics.count_request(kind);
+    if let Some(limiter) = &ctx.limiter {
+        if !limiter.admit(consumer.name(), Instant::now()) {
+            ctx.metrics.count_overload(OverloadReason::RateLimit);
+            queue_response(
+                conn,
+                &Response::Error(WireError::new(
+                    WireErrorKind::Overloaded,
+                    format!(
+                        "rate limit exhausted for consumer {:?}; retry after backoff",
+                        consumer.name()
+                    ),
+                )),
+            );
+            return Handled::Continue;
+        }
+    }
+    let start = Instant::now();
+    let handled = match request {
+        // Zero-copy fast path: queries are answered from the service's
+        // sealed-frame cache, whose entries are the exact framed bytes
+        // (`len | crc32 | payload`) a fresh encode-and-seal would
+        // produce — a repeat query queues the cached allocation by
+        // refcount, never a copy.
+        Request::Query(query) => {
+            match ctx.service.query_sealed(&consumer, &query) {
+                Ok(frame) => conn.queue(OutFrame::Shared(frame)),
+                Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => queue_oversize(conn),
+                Err(e) => queue_response(conn, &Response::Error(wire_error(&e))),
+            }
+            Handled::Continue
+        }
+        Request::Batch(queries) => {
+            match ctx.service.query_batch_sealed(&consumer, &queries) {
+                Ok(frame) => conn.queue(OutFrame::Shared(frame)),
+                Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => queue_oversize(conn),
+                Err(e) => queue_response(conn, &Response::Error(wire_error(&e))),
+            }
+            Handled::Continue
+        }
+        // Subscribe converts the connection into a one-way replication
+        // stream owned by a dedicated feeder thread. A refused
+        // subscription is recoverable, like a refused checkpoint: the
+        // connection can still query.
+        Request::Subscribe { from_clock } => match check_subscription(ctx, from_clock) {
+            Ok(dir) => {
+                return Handled::Handoff(HandoffFeed { dir, from_clock });
+            }
+            Err(error) => {
+                queue_response(conn, &Response::Error(error));
+                Handled::Continue
+            }
+        },
+        other => {
+            let (response, outcome) = answer(ctx, &consumer, other);
+            queue_response(conn, &response);
+            if let Outcome::HangUp = outcome {
+                ctx.metrics.hangups.inc();
+                conn.close_after_flush = true;
+            }
+            Handled::Continue
+        }
+    };
+    ctx.metrics.observe_latency(kind, start.elapsed());
+    handled
+}
+
+/// The opening-frame state: only a version-matched Hello with resolvable
+/// claims moves the connection to `Serving`.
+fn handle_hello(ctx: &ShardCtx, conn: &mut Conn, request: Request) {
+    let (version, consumer_name, claims) = match request {
+        Request::Hello {
+            version,
+            consumer,
+            claims,
+        } => (version, consumer, claims),
+        _ => {
+            protocol_hangup(
+                ctx,
+                conn,
+                WireErrorKind::BadRequest,
+                "the first frame on a connection must be Hello".to_string(),
+            );
+            return;
+        }
+    };
+    if version != PROTOCOL_VERSION {
+        protocol_hangup(
+            ctx,
+            conn,
+            WireErrorKind::VersionMismatch,
+            format!("server speaks protocol version {PROTOCOL_VERSION}, not {version}"),
+        );
+        return;
+    }
+    let snapshot = ctx.service.snapshot();
+    let mut granted: Vec<PrivilegeId> = Vec::with_capacity(claims.len());
+    for claim in &claims {
+        match snapshot.lattice.by_name(claim) {
+            Some(p) => granted.push(p),
+            None => {
+                protocol_hangup(
+                    ctx,
+                    conn,
+                    WireErrorKind::UnknownPredicate,
+                    format!("predicate {claim:?} is not in the server's lattice"),
+                );
+                return;
+            }
+        }
+    }
+    let consumer = if granted.is_empty() {
+        Consumer::public(&snapshot.lattice)
+    } else {
+        Consumer::new(consumer_name, &snapshot.lattice, &granted)
+    };
+    let hello = ServerHello {
+        version: PROTOCOL_VERSION,
+        epoch: snapshot.epoch(),
+        nodes: snapshot.graph.node_count() as u64,
+        predicates: snapshot
+            .lattice
+            .ids()
+            .map(|p| snapshot.lattice.name(p).to_string())
+            .collect(),
+    };
+    // Count the connection *before* the Hello answer is queued: once a
+    // client observes the handshake complete, the counter must already
+    // reflect it.
+    ctx.metrics.connections_total.inc();
+    queue_response(conn, &Response::Hello(hello));
+    conn.phase = Phase::Serving(Arc::new(consumer));
+}
+
+/// Best-effort typed error, then close after it flushes: the
+/// protocol-violation path (misplaced Hello, version mismatch, unknown
+/// predicate).
+fn protocol_hangup(ctx: &ShardCtx, conn: &mut Conn, kind: WireErrorKind, detail: String) {
+    ctx.metrics.hangups.inc();
+    queue_response(conn, &Response::Error(WireError::new(kind, detail)));
+    conn.close_after_flush = true;
+}
+
+/// Best-effort typed error, then close: the malformed-frame path.
+fn malformed_hangup(ctx: &ShardCtx, conn: &mut Conn, detail: &str) {
+    protocol_hangup(
+        ctx,
+        conn,
+        WireErrorKind::BadRequest,
+        format!("malformed frame: {detail}"),
+    );
+}
+
+/// Encodes and queues one response frame. An answer too large for the
+/// wire — caught at encode time (a count overflowing its field) or at
+/// seal time (payload past the frame bound) — is reported to the client
+/// as a typed error instead of desynchronizing the stream; the
+/// connection stays usable.
+fn queue_response(conn: &mut Conn, response: &Response) {
+    match encode_response(response) {
+        Ok(payload) if payload.len() as u64 <= MAX_FRAME_LEN as u64 => {
+            conn.queue(OutFrame::Owned(seal_frame(&payload)));
+        }
+        _ => queue_oversize(conn),
+    }
+}
+
+/// The "split the batch" error frame for answers that cannot travel in
+/// one frame.
+fn queue_oversize(conn: &mut Conn) {
+    let error = Response::Error(WireError::new(
+        WireErrorKind::BadRequest,
+        "response exceeds the maximum frame size; split the batch or bound max_depth",
+    ));
+    if let Ok(payload) = encode_response(&error) {
+        conn.queue(OutFrame::Owned(seal_frame(&payload)));
     }
 }
 
@@ -427,256 +1309,192 @@ enum Outcome {
     HangUp,
 }
 
-/// Encodes and writes one response frame. An answer too large for the
-/// wire — caught at encode time (a count overflowing its field) or at
-/// write time (payload past the frame bound) — is reported to the client
-/// as a typed error instead of desynchronizing the stream; the
-/// connection stays usable.
-fn send_response(stream: &mut TcpStream, response: &Response, outbuf: &mut Vec<u8>) -> bool {
-    let payload = match encode_response(response) {
-        Ok(payload) => payload,
-        Err(_) => return send_oversize_notice(stream, outbuf),
-    };
-    match write_frame(stream, &payload, outbuf) {
-        Ok(()) => true,
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => send_oversize_notice(stream, outbuf),
-        Err(_) => false,
-    }
-}
-
-/// The "split the batch" error frame for answers that cannot travel in
-/// one frame.
-fn send_oversize_notice(stream: &mut TcpStream, outbuf: &mut Vec<u8>) -> bool {
-    let error = Response::Error(WireError::new(
-        WireErrorKind::BadRequest,
-        "response exceeds the maximum frame size; split the batch or bound max_depth",
-    ));
-    match encode_response(&error) {
-        Ok(payload) => write_frame(stream, &payload, outbuf).is_ok(),
-        Err(_) => false,
-    }
-}
-
-/// Everything a connection handler needs: the service, the tuning, the
-/// traffic counters, and the replica monitor when this server fronts a
-/// [`Replica`].
-struct ConnCtx<'a> {
-    service: &'a AccountService,
-    counters: &'a Counters,
-    config: &'a ServerConfig,
-    monitor: Option<&'a ReplicationMonitor>,
-}
-
-/// A validated subscription handed from the request loop to its
-/// dedicated feeder thread.
-struct Feed {
-    stream: TcpStream,
-    dir: PathBuf,
-    from_clock: u64,
-}
-
-/// Serves one connection to completion — unless it turns into a
-/// replication subscription, which is returned for a dedicated feeder
-/// thread to own. All protocol policy lives here.
-fn serve_connection(ctx: &ConnCtx<'_>, mut stream: TcpStream) -> Option<Feed> {
-    let ConnCtx {
-        service, counters, ..
-    } = *ctx;
-    // Per-round-trip latency is the product metric; never batch tiny
-    // frames behind Nagle.
-    let _ = stream.set_nodelay(true);
-    let mut inbuf = Vec::with_capacity(512);
-    let mut outbuf = Vec::with_capacity(512);
-    let send = send_response;
-
-    // --- Handshake -------------------------------------------------------
-    let consumer = match read_frame(&mut stream, &mut inbuf) {
-        Ok(Some(payload)) => match decode_request(payload) {
-            Ok(Request::Hello {
-                version,
-                consumer,
-                claims,
-            }) => {
-                if version != PROTOCOL_VERSION {
-                    let error = WireError::new(
-                        WireErrorKind::VersionMismatch,
-                        format!("server speaks protocol version {PROTOCOL_VERSION}, not {version}"),
-                    );
-                    send(&mut stream, &Response::Error(error), &mut outbuf);
-                    counters.hangups.fetch_add(1, Ordering::Relaxed);
-                    return None;
-                }
-                let snapshot = service.snapshot();
-                let mut granted: Vec<PrivilegeId> = Vec::with_capacity(claims.len());
-                for claim in &claims {
-                    match snapshot.lattice.by_name(claim) {
-                        Some(p) => granted.push(p),
-                        None => {
-                            let error = WireError::new(
-                                WireErrorKind::UnknownPredicate,
-                                format!("predicate {claim:?} is not in the server's lattice"),
-                            );
-                            send(&mut stream, &Response::Error(error), &mut outbuf);
-                            counters.hangups.fetch_add(1, Ordering::Relaxed);
-                            return None;
-                        }
-                    }
-                }
-                let consumer = if granted.is_empty() {
-                    Consumer::public(&snapshot.lattice)
-                } else {
-                    Consumer::new(consumer, &snapshot.lattice, &granted)
-                };
-                let hello = ServerHello {
-                    version: PROTOCOL_VERSION,
-                    epoch: snapshot.epoch(),
-                    nodes: snapshot.graph.node_count() as u64,
-                    predicates: snapshot
-                        .lattice
-                        .ids()
-                        .map(|p| snapshot.lattice.name(p).to_string())
-                        .collect(),
-                };
-                // Count the connection *before* the Hello answer goes
-                // out: once a client observes the handshake complete,
-                // the counter must already reflect it.
-                counters.connections.fetch_add(1, Ordering::Relaxed);
-                if !send(&mut stream, &Response::Hello(hello), &mut outbuf) {
-                    return None;
-                }
-                consumer
-            }
-            Ok(_) => {
-                let error = WireError::new(
-                    WireErrorKind::BadRequest,
-                    "the first frame on a connection must be Hello",
-                );
-                send(&mut stream, &Response::Error(error), &mut outbuf);
-                counters.hangups.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
-            Err(e) => {
-                malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
-                return None;
-            }
+/// Computes the response for one decoded in-session request (the
+/// non-fast-path types).
+fn answer(ctx: &ShardCtx, consumer: &Consumer, request: Request) -> (Response, Outcome) {
+    let service = &ctx.service;
+    match request {
+        Request::Hello { .. } => (
+            Response::Error(WireError::new(
+                WireErrorKind::BadRequest,
+                "connection is already past its Hello",
+            )),
+            Outcome::HangUp,
+        ),
+        Request::Query(query) => match service.query(consumer, &query) {
+            Ok(response) => (Response::Query(response), Outcome::Continue),
+            Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
         },
-        Ok(None) => return None, // connected and left without a word
-        Err(FrameError::Malformed(e)) => {
-            malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
-            return None;
-        }
-        Err(_) => return None, // torn or transport failure: nothing to say
-    };
-
-    // --- Request loop ----------------------------------------------------
-    loop {
-        let request = match read_frame(&mut stream, &mut inbuf) {
-            Ok(Some(payload)) => match decode_request(payload) {
-                Ok(request) => request,
-                Err(e) => {
-                    malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
-                    return None;
-                }
-            },
-            Ok(None) => return None, // clean disconnect
-            Err(FrameError::Malformed(e)) => {
-                malformed_hangup(&mut stream, &e.to_string(), &mut outbuf, counters);
-                return None;
+        Request::Batch(queries) => match service.query_batch(consumer, &queries) {
+            Ok(responses) => (Response::Batch(responses), Outcome::Continue),
+            Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
+        },
+        Request::Epoch => (Response::Epoch(service.epoch()), Outcome::Continue),
+        Request::Checkpoint => {
+            if !ctx.config.allow_remote_checkpoint {
+                return (
+                    Response::Error(WireError::new(
+                        WireErrorKind::NotAuthorized,
+                        "remote checkpoints are disabled on this server",
+                    )),
+                    Outcome::Continue,
+                );
             }
-            Err(_) => return None, // torn or transport failure
-        };
-        counters.requests.fetch_add(1, Ordering::Relaxed);
-        // Subscribe converts the connection into a one-way replication
-        // stream: hand it to a dedicated feeder thread ("a feeder
-        // thread per subscriber") so a long-lived subscription cannot
-        // occupy one of the fixed query workers. The request loop ends
-        // here either way.
-        if let Request::Subscribe { from_clock } = request {
-            match check_subscription(ctx, from_clock) {
-                Ok(dir) => {
-                    return Some(Feed {
-                        stream,
-                        dir,
-                        from_clock,
-                    });
-                }
-                Err(error) => {
-                    // A refused subscription is recoverable, like a
-                    // refused checkpoint: the connection can still query.
-                    if !send(&mut stream, &Response::Error(error), &mut outbuf) {
-                        return None;
-                    }
-                    continue;
-                }
+            let result = match service.store() {
+                Some(store) => store.checkpoint(),
+                None => Err(StoreError::NotDurable),
+            };
+            match result {
+                Ok(stats) => (Response::Checkpoint(stats), Outcome::Continue),
+                Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
             }
         }
-        // Zero-copy fast path: queries are answered from the service's
-        // sealed-frame cache, whose entries are the exact framed bytes
-        // (`len | crc32 | payload`) a fresh encode-and-seal would
-        // produce — a repeat query writes the cached allocation straight
-        // to the socket.
-        let request = match request {
-            Request::Query(query) => {
-                let sent = match service.query_sealed(&consumer, &query) {
-                    Ok(frame) => stream.write_all(&frame).is_ok(),
-                    Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => {
-                        send_oversize_notice(&mut stream, &mut outbuf)
-                    }
-                    Err(e) => send(&mut stream, &Response::Error(wire_error(&e)), &mut outbuf),
-                };
-                if !sent {
-                    return None;
-                }
-                continue;
-            }
-            Request::Batch(queries) => {
-                let sent = match service.query_batch_sealed(&consumer, &queries) {
-                    Ok(frame) => stream.write_all(&frame).is_ok(),
-                    Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => {
-                        send_oversize_notice(&mut stream, &mut outbuf)
-                    }
-                    Err(e) => send(&mut stream, &Response::Error(wire_error(&e)), &mut outbuf),
-                };
-                if !sent {
-                    return None;
-                }
-                continue;
-            }
-            other => other,
-        };
-        let (response, outcome) = answer(ctx, &consumer, request);
-        if !send(&mut stream, &response, &mut outbuf) {
-            return None;
-        }
-        if let Outcome::HangUp = outcome {
-            counters.hangups.fetch_add(1, Ordering::Relaxed);
-            let _ = stream.shutdown(Shutdown::Both);
-            return None;
+        // Handled (or refused) before `answer` — a subscription owns the
+        // connection and never produces a single response.
+        Request::Subscribe { .. } => (
+            Response::Error(WireError::new(
+                WireErrorKind::Internal,
+                "subscription requests are handled by the feeder",
+            )),
+            Outcome::HangUp,
+        ),
+        Request::ReplicaStatus => {
+            let local_epoch = service.epoch();
+            let status = match ctx.monitor.as_deref() {
+                Some(monitor) => monitor.status(local_epoch),
+                // A plain server *is* the primary of whatever it
+                // serves: its epoch is authoritative by definition.
+                None => ReplicaStatus {
+                    role: ReplicaRole::Primary,
+                    local_epoch,
+                    primary_epoch: local_epoch,
+                    connected: true,
+                    last_error: None,
+                },
+            };
+            (Response::ReplicaStatus(status), Outcome::Continue)
         }
     }
 }
 
-/// Best-effort typed error, then hang up: the malformed-frame path.
-fn malformed_hangup(
-    stream: &mut TcpStream,
-    detail: &str,
-    outbuf: &mut Vec<u8>,
-    counters: &Counters,
-) {
-    let error = WireError::new(
-        WireErrorKind::BadRequest,
-        format!("malformed frame: {detail}"),
-    );
-    if let Ok(payload) = encode_response(&Response::Error(error)) {
-        let _ = write_frame(stream, &payload, outbuf);
+// ---------------------------------------------------------------------------
+// Replication feeders (dedicated blocking threads)
+// ---------------------------------------------------------------------------
+
+/// Live feeder threads and clones of their sockets, so shutdown can
+/// unblock a feeder parked in a blocking write.
+#[derive(Default)]
+struct FeederSet {
+    inner: Mutex<FeederInner>,
+}
+
+#[derive(Default)]
+struct FeederInner {
+    closed: bool,
+    next_id: u64,
+    streams: HashMap<u64, TcpStream>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl FeederSet {
+    /// Registers a feeder's socket; `None` once the set is closed (the
+    /// caller must drop the stream instead of serving it).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return None;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        // No clone means close_all() could never hang this feeder up and
+        // shutdown would block on the join — refuse instead (fd
+        // exhaustion is the typical cause, so shedding is right anyway).
+        let clone = stream.try_clone().ok()?;
+        inner.streams.insert(id, clone);
+        Some(id)
     }
-    let _ = stream.shutdown(Shutdown::Both);
-    counters.hangups.fetch_add(1, Ordering::Relaxed);
+
+    fn deregister(&self, id: u64) {
+        self.inner.lock().streams.remove(&id);
+    }
+
+    fn adopt(&self, handle: JoinHandle<()>) {
+        let mut inner = self.inner.lock();
+        // Reap finished feeders (reconnecting subscribers create one per
+        // attempt) so the registry only grows with *live* streams; a
+        // finished handle drops detached, which is a no-op join.
+        inner.handles.retain(|h| !h.is_finished());
+        inner.handles.push(handle);
+    }
+
+    /// Marks the set closed, shuts every feeder socket down (unblocking
+    /// parked reads/writes), and returns the handles for joining.
+    fn close_all(&self) -> Vec<JoinHandle<()>> {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        for stream in inner.streams.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        inner.streams.clear();
+        std::mem::take(&mut inner.handles)
+    }
+}
+
+/// Moves an extracted (blocking again) subscriber connection onto its
+/// dedicated feeder thread: flush whatever the reactor still owed it,
+/// then stream WAL.
+fn spawn_feeder(ctx: Arc<ShardCtx>, conn: Conn, feed: HandoffFeed) {
+    let Some(id) = ctx.feeders.register(&conn.stream) else {
+        // Shutting down: the subscription dies with the server.
+        ctx.metrics.connections_open.dec();
+        return;
+    };
+    let thread_ctx = ctx.clone();
+    let handle = std::thread::Builder::new()
+        .name("spgraph-feeder".into())
+        .spawn(move || {
+            let ctx = thread_ctx;
+            ctx.metrics.subscriptions_active.inc();
+            let mut stream = conn.stream;
+            let mut head = conn.out_head;
+            let mut delivered = true;
+            for frame in &conn.outq {
+                if stream.write_all(&frame.bytes()[head..]).is_err() {
+                    delivered = false;
+                    break;
+                }
+                head = 0;
+            }
+            if delivered {
+                let mut outbuf = Vec::with_capacity(4096);
+                serve_subscription(
+                    &ctx.service,
+                    &ctx.metrics,
+                    &ctx.shutdown,
+                    &mut stream,
+                    &feed.dir,
+                    feed.from_clock,
+                    &mut outbuf,
+                );
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+            ctx.feeders.deregister(id);
+            ctx.metrics.subscriptions_active.dec();
+            ctx.metrics.connections_open.dec();
+        });
+    match handle {
+        Ok(handle) => ctx.feeders.adopt(handle),
+        // Out of threads: shed the subscriber.
+        Err(_) => {
+            ctx.feeders.deregister(id);
+            ctx.metrics.connections_open.dec();
+        }
+    }
 }
 
 /// Validates a subscription request, returning the durable directory the
 /// feeder will tail — or the typed refusal to send.
-fn check_subscription(ctx: &ConnCtx<'_>, from_clock: u64) -> Result<PathBuf, WireError> {
+fn check_subscription(ctx: &ShardCtx, from_clock: u64) -> Result<PathBuf, WireError> {
     if !ctx.config.allow_replication {
         return Err(WireError::new(
             WireErrorKind::NotAuthorized,
@@ -715,12 +1533,17 @@ const FEED_POLL: Duration = Duration::from_millis(10);
 /// a dead peer while idle.
 const FEED_HEARTBEAT: Duration = Duration::from_millis(250);
 
+/// Writes `payload` as one sealed frame over a blocking stream.
+fn write_blocking_frame(stream: &mut TcpStream, payload: &[u8], scratch: &mut Vec<u8>) -> bool {
+    crate::frame::write_frame(stream, payload, scratch).is_ok()
+}
+
 /// The feeder loop: streams [`Response::WalChunk`] frames until the
 /// subscriber hangs up, the server shuts down, or the log becomes
 /// unreadable. Runs on a dedicated per-subscriber thread.
 fn serve_subscription(
     service: &AccountService,
-    counters: &Counters,
+    metrics: &ServerMetrics,
     shutdown: &AtomicBool,
     stream: &mut TcpStream,
     dir: &std::path::Path,
@@ -740,7 +1563,12 @@ fn serve_subscription(
         let Ok(payload) = encode_response(&Response::WalChunk(chunk)) else {
             return false; // chunk cannot be framed: end the feed
         };
-        write_frame(stream, &payload, outbuf).is_ok()
+        write_blocking_frame(stream, &payload, outbuf)
+    };
+    let send_error = |stream: &mut TcpStream, error: WireError, outbuf: &mut Vec<u8>| {
+        if let Ok(payload) = encode_response(&Response::Error(error)) {
+            let _ = write_blocking_frame(stream, &payload, outbuf);
+        }
     };
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -752,45 +1580,48 @@ fn serve_subscription(
             // log. The newest snapshot both bootstraps cold replicas
             // and fast-forwards badly lagged ones.
             let Ok((clock, bytes)) = wal::read_newest_snapshot(dir) else {
-                let error = WireError::new(
-                    WireErrorKind::Internal,
-                    "the primary's log no longer covers this subscriber and no snapshot decodes",
+                send_error(
+                    stream,
+                    WireError::new(
+                        WireErrorKind::Internal,
+                        "the primary's log no longer covers this subscriber and no snapshot decodes",
+                    ),
+                    outbuf,
                 );
-                if let Ok(payload) = encode_response(&Response::Error(error)) {
-                    let _ = write_frame(stream, &payload, outbuf);
-                }
                 return;
             };
             if clock < next {
                 // The snapshot is *behind* the subscriber yet the log
                 // does not cover it either: diverged history.
-                let error = WireError::new(
-                    WireErrorKind::Internal,
-                    format!(
-                        "retained history restarts at clock {clock}, behind subscriber clock {next}"
+                send_error(
+                    stream,
+                    WireError::new(
+                        WireErrorKind::Internal,
+                        format!(
+                            "retained history restarts at clock {clock}, behind subscriber clock {next}"
+                        ),
                     ),
+                    outbuf,
                 );
-                if let Ok(payload) = encode_response(&Response::Error(error)) {
-                    let _ = write_frame(stream, &payload, outbuf);
-                }
                 return;
             }
-            // A snapshot too large for one frame would make write_frame
-            // refuse the chunk and the replica retry forever with no
-            // diagnosis; tell it the real problem instead. (Chunked
+            // A snapshot too large for one frame would make the frame
+            // writer refuse the chunk and the replica retry forever with
+            // no diagnosis; tell it the real problem instead. (Chunked
             // snapshot shipping is the fix if stores ever grow there.)
-            if bytes.len() as u64 + 256 > plus_store::codec::MAX_FRAME_LEN as u64 {
-                let error = WireError::new(
-                    WireErrorKind::Internal,
-                    format!(
-                        "the {}-byte backfill snapshot exceeds the wire frame bound; \
-                         this store is too large to bootstrap a replica over this protocol",
-                        bytes.len()
+            if bytes.len() as u64 + 256 > MAX_FRAME_LEN as u64 {
+                send_error(
+                    stream,
+                    WireError::new(
+                        WireErrorKind::Internal,
+                        format!(
+                            "the {}-byte backfill snapshot exceeds the wire frame bound; \
+                             this store is too large to bootstrap a replica over this protocol",
+                            bytes.len()
+                        ),
                     ),
+                    outbuf,
                 );
-                if let Ok(payload) = encode_response(&Response::Error(error)) {
-                    let _ = write_frame(stream, &payload, outbuf);
-                }
                 return;
             }
             let chunk = WalChunk {
@@ -802,7 +1633,7 @@ fn serve_subscription(
             if !send(stream, chunk, outbuf) {
                 return;
             }
-            counters.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+            metrics.snapshots_shipped.inc();
             last_send = Instant::now();
             next = clock;
             snapshot_due = false;
@@ -830,13 +1661,14 @@ fn serve_subscription(
                 // A checkpoint pruned past the subscriber mid-stream.
                 Ok(None) => snapshot_due = true,
                 Err(_) => {
-                    let error = WireError::new(
-                        WireErrorKind::Internal,
-                        "the primary's write-ahead log became unreadable",
+                    send_error(
+                        stream,
+                        WireError::new(
+                            WireErrorKind::Internal,
+                            "the primary's write-ahead log became unreadable",
+                        ),
+                        outbuf,
                     );
-                    if let Ok(payload) = encode_response(&Response::Error(error)) {
-                        let _ = write_frame(stream, &payload, outbuf);
-                    }
                     return;
                 }
             }
@@ -853,75 +1685,6 @@ fn serve_subscription(
             last_send = Instant::now();
         } else {
             std::thread::sleep(FEED_POLL);
-        }
-    }
-}
-
-/// Computes the response for one decoded in-session request.
-fn answer(ctx: &ConnCtx<'_>, consumer: &Consumer, request: Request) -> (Response, Outcome) {
-    let ConnCtx {
-        service, config, ..
-    } = *ctx;
-    match request {
-        Request::Hello { .. } => (
-            Response::Error(WireError::new(
-                WireErrorKind::BadRequest,
-                "connection is already past its Hello",
-            )),
-            Outcome::HangUp,
-        ),
-        Request::Query(query) => match service.query(consumer, &query) {
-            Ok(response) => (Response::Query(response), Outcome::Continue),
-            Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
-        },
-        Request::Batch(queries) => match service.query_batch(consumer, &queries) {
-            Ok(responses) => (Response::Batch(responses), Outcome::Continue),
-            Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
-        },
-        Request::Epoch => (Response::Epoch(service.epoch()), Outcome::Continue),
-        Request::Checkpoint => {
-            if !config.allow_remote_checkpoint {
-                return (
-                    Response::Error(WireError::new(
-                        WireErrorKind::NotAuthorized,
-                        "remote checkpoints are disabled on this server",
-                    )),
-                    Outcome::Continue,
-                );
-            }
-            let result = match service.store() {
-                Some(store) => store.checkpoint(),
-                None => Err(StoreError::NotDurable),
-            };
-            match result {
-                Ok(stats) => (Response::Checkpoint(stats), Outcome::Continue),
-                Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
-            }
-        }
-        // Handled (or refused) before `answer` — a subscription owns the
-        // connection and never produces a single response.
-        Request::Subscribe { .. } => (
-            Response::Error(WireError::new(
-                WireErrorKind::Internal,
-                "subscription requests are handled by the feeder",
-            )),
-            Outcome::HangUp,
-        ),
-        Request::ReplicaStatus => {
-            let local_epoch = service.epoch();
-            let status = match ctx.monitor {
-                Some(monitor) => monitor.status(local_epoch),
-                // A plain server *is* the primary of whatever it
-                // serves: its epoch is authoritative by definition.
-                None => ReplicaStatus {
-                    role: ReplicaRole::Primary,
-                    local_epoch,
-                    primary_epoch: local_epoch,
-                    connected: true,
-                    last_error: None,
-                },
-            };
-            (Response::ReplicaStatus(status), Outcome::Continue)
         }
     }
 }

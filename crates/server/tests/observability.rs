@@ -1,0 +1,147 @@
+//! The metrics subsystem end to end: a real `GET /metrics` scrape over
+//! HTTP, counter consistency against known traffic, and the in-process
+//! instrument registry.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use plus_store::{
+    AccountService, Direction, EdgeKind, NodeKind, QueryRequest, RecordId, Store, Strategy,
+};
+use server::{Client, Server, ServerConfig};
+use surrogate_core::feature::Features;
+
+fn setup() -> (Arc<Store>, RecordId) {
+    let store = Arc::new(Store::new(&["Public"], &[]).unwrap());
+    let public = store.predicate("Public").unwrap();
+    let a = store.append_node("a", NodeKind::Data, Features::new(), public);
+    let b = store.append_node("b", NodeKind::Data, Features::new(), public);
+    store.append_edge(a, b, EdgeKind::InputTo).unwrap();
+    (store, b)
+}
+
+/// One raw HTTP request against the scrape listener.
+fn scrape(addr: std::net::SocketAddr, target: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("a complete HTTP response");
+    (head.to_string(), body.to_string())
+}
+
+/// Extracts one sample's value from the exposition text.
+fn sample(body: &str, name: &str) -> f64 {
+    body.lines()
+        .find(|line| line.starts_with(name) && line[name.len()..].starts_with([' ', '{']))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|value| value.parse().ok())
+        .unwrap_or_else(|| panic!("no sample {name:?} in:\n{body}"))
+}
+
+#[test]
+fn metrics_endpoint_serves_consistent_prometheus_text() {
+    let (store, sink) = setup();
+    let server = Server::bind_with(
+        Arc::new(AccountService::new(store)),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let metrics_addr = server.metrics_local_addr().expect("metrics listener bound");
+
+    // Known traffic: 5 identical queries (cache hits after the first),
+    // 2 batches, 1 epoch probe, over one connection.
+    let mut client = Client::connect(server.local_addr(), "reader", &[]).unwrap();
+    let request = QueryRequest::new(sink, Direction::Backward, u32::MAX, Strategy::Surrogate);
+    for _ in 0..5 {
+        client.query(&request).unwrap();
+    }
+    for _ in 0..2 {
+        client
+            .query_batch(&[request.clone(), request.clone()])
+            .unwrap();
+    }
+    client.epoch().unwrap();
+
+    let (head, body) = scrape(metrics_addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "bad status: {head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "Prometheus exposition content type: {head}"
+    );
+
+    // Counter consistency against the traffic just generated.
+    assert_eq!(sample(&body, "spgraph_requests_total{type=\"query\"}"), 5.0);
+    assert_eq!(sample(&body, "spgraph_requests_total{type=\"batch\"}"), 2.0);
+    assert_eq!(sample(&body, "spgraph_requests_total{type=\"epoch\"}"), 1.0);
+    assert_eq!(sample(&body, "spgraph_connections_total"), 1.0);
+    assert_eq!(sample(&body, "spgraph_connections_open"), 1.0);
+    assert_eq!(
+        sample(
+            &body,
+            "spgraph_request_latency_seconds_count{type=\"query\"}"
+        ),
+        5.0
+    );
+    assert_eq!(
+        sample(&body, "spgraph_overload_drops_total{reason=\"conn_cap\"}"),
+        0.0
+    );
+    // The repeat queries hit the sealed-frame cache; the scrape reads
+    // the live service counters.
+    assert!(sample(&body, "spgraph_frame_cache_hits_total") >= 4.0);
+    assert!(sample(&body, "spgraph_frame_cache_hit_rate") > 0.0);
+    assert!(sample(&body, "spgraph_bytes_written_total") > 0.0);
+    assert!(sample(&body, "spgraph_epoch") >= 1.0);
+
+    // The in-process registry agrees with the scrape.
+    assert_eq!(server.stats().requests, 8);
+    assert_eq!(server.metrics().connections_total.get(), 1);
+
+    // Histograms are well-formed: cumulative buckets end at +Inf ==
+    // _count.
+    let inf = sample(
+        &body,
+        "spgraph_request_latency_seconds_bucket{type=\"query\",le=\"+Inf\"}",
+    );
+    assert_eq!(inf, 5.0);
+
+    // Anything but /metrics is a 404, and the scrape listener survives
+    // to answer again.
+    let (head, _) = scrape(metrics_addr, "/wrong");
+    assert!(head.starts_with("HTTP/1.1 404"), "bad status: {head}");
+    let (head, body) = scrape(metrics_addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"));
+    assert_eq!(sample(&body, "spgraph_connections_total"), 1.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn metrics_listener_is_optional_and_shut_down_cleanly() {
+    let (store, _) = setup();
+    let server = Server::bind_with(
+        Arc::new(AccountService::new(store)),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(server.metrics_local_addr(), None);
+    server.shutdown();
+}

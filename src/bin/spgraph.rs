@@ -16,9 +16,12 @@
 //! spgraph recover <dir> [--verify]             recover; report what was replayed,
 //!                                              truncated, or pruned
 //! spgraph serve <store> [--addr a:p] [--threads n] [--allow-checkpoint]
-//!               [--allow-replication] [--churn <ops/s>]
+//!               [--allow-replication] [--churn <ops/s>] [--max-conns n]
+//!               [--rate-limit req/s] [--metrics-addr a:p]
 //!                                              serve the protected query
 //!                                              surface over TCP (trust boundary)
+//!                                              with admission control and an
+//!                                              optional Prometheus endpoint
 //! spgraph serve <dir> --replicate-from <addr> [--addr a:p] [--threads n]
 //!                                              serve as a READ REPLICA: tail the
 //!                                              primary's WAL into <dir> and serve
@@ -61,6 +64,7 @@ fn usage() -> ExitCode {
          spgraph measure <store> -p <predicate> [--threshold <t>]\n  \
          spgraph checkpoint <dir>\n  spgraph recover <dir> [--verify]\n  \
          spgraph serve <store> [--addr <addr:port>] [--threads <n>] [--allow-checkpoint] [--allow-replication] [--churn <ops/s>]\n  \
+         \u{20}             [--max-conns <n>] [--rate-limit <req/s>] [--metrics-addr <addr:port>]\n  \
          spgraph serve <dir> --replicate-from <addr:port> [--addr <addr:port>] [--threads <n>]\n  \
          spgraph replica-status <addr:port> [--wait] [--timeout <secs>]\n  \
          spgraph query --remote <addr:port> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n\
@@ -466,6 +470,30 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
     if let Some(threads) = threads {
         config.threads = threads.max(1);
     }
+    if let Some(cap) = flag_value(args, "--max-conns") {
+        config.max_conns = cap
+            .parse::<usize>()
+            .map_err(|_| format!("bad --max-conns {cap:?}"))?
+            .max(1);
+    }
+    if let Some(rate) = flag_value(args, "--rate-limit") {
+        let rate: u64 = rate
+            .parse()
+            .map_err(|_| format!("bad --rate-limit {rate:?}"))?;
+        config.rate_limit = (rate > 0).then_some(rate);
+    }
+    if let Some(metrics) = flag_value(args, "--metrics-addr") {
+        config.metrics_addr = Some(
+            metrics
+                .parse()
+                .map_err(|_| format!("bad --metrics-addr {metrics:?}"))?,
+        );
+    }
+    // Idle connections cost a file descriptor each; ask the kernel for
+    // enough headroom to actually reach the configured cap. Best effort:
+    // a refusal leaves the default limit, it does not stop the server.
+    let fd_limit =
+        surrogate_parenthood::server::raise_nofile_limit(config.max_conns as u64 + 512).ok();
 
     if let Some(primary) = flag_value(args, "--replicate-from") {
         for flag in ["--allow-checkpoint", "--allow-replication", "--churn"] {
@@ -485,6 +513,11 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
             config.threads
         );
         println!("read-only: this replica applies the primary's log and serves queries");
+        // Machine-parseable: scripts resolve `--addr :0` from this line.
+        println!("listening on {}", server.local_addr());
+        if let Some(metrics) = server.metrics_local_addr() {
+            println!("metrics listening on {metrics}");
+        }
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
         loop {
@@ -541,6 +574,23 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
         if churn.is_some() { ", churn on" } else { "" },
     );
     println!("only protected query responses cross this socket; stop with ^C");
+    println!(
+        "admission: {} connections max{}{}",
+        config.max_conns,
+        match config.rate_limit {
+            Some(rate) => format!(", {rate} req/s per consumer"),
+            None => String::new(),
+        },
+        match fd_limit {
+            Some(limit) => format!(", fd limit {limit}"),
+            None => String::new(),
+        },
+    );
+    // Machine-parseable: scripts resolve `--addr :0` from this line.
+    println!("listening on {}", server.local_addr());
+    if let Some(metrics) = server.metrics_local_addr() {
+        println!("metrics listening on {metrics}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     // A synthetic writer, for exercising replication under load (the CI
