@@ -4,8 +4,10 @@
 //! per-connection write backpressure — live where their state lives (the
 //! accept loop and the connection state machine in `server.rs`). The
 //! rate limiter is the one piece with cross-connection state: one bucket
-//! per consumer *name*, shared by every connection that consumer opens,
-//! resolved once at Hello time.
+//! per key, shared by every connection resolving to that key. The
+//! server keys buckets by (peer IP, consumer name) — the name alone is
+//! an unauthenticated client claim — but the limiter itself is
+//! key-agnostic.
 //!
 //! A refill-on-demand token bucket: capacity `burst`, refill `rate`
 //! tokens per second, one token per request frame. A consumer that stays
@@ -14,24 +16,70 @@
 //! refusals (retryable — the connection stays open) until the bucket
 //! refills.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
-/// Most consumer names tracked at once. Names arrive from untrusted
-/// Hello frames, so the map must not grow without bound; past the cap
-/// the stalest bucket is recycled (a full bucket is the correct state
-/// for a consumer unseen for that long anyway).
+/// Most bucket keys tracked at once. Keys derive from untrusted Hello
+/// frames, so the map must not grow without bound; past the cap a
+/// not-recently-used bucket is recycled (a full bucket is the correct
+/// state for a key unseen for that long anyway).
 const MAX_TRACKED_CONSUMERS: usize = 64 * 1024;
 
-#[derive(Debug, Clone, Copy)]
+/// How many second-chance candidates one eviction will examine before
+/// evicting unconditionally. Bounds the worst case; the common case
+/// under a fresh-key flood is one probe (flood keys are never
+/// re-referenced).
+const EVICT_PROBES: usize = 8;
+
+#[derive(Debug, Clone)]
 struct Bucket {
     tokens: f64,
     refilled: Instant,
+    /// Second-chance bit: set when an existing bucket is used again,
+    /// cleared when the eviction clock sweeps past it.
+    referenced: bool,
 }
 
-/// A per-consumer token-bucket rate limiter keyed by consumer name.
+#[derive(Debug, Default)]
+struct Buckets {
+    map: HashMap<String, Bucket>,
+    /// The eviction clock: every tracked key exactly once, oldest
+    /// insertion at the front. Kept in lockstep with `map`.
+    clock: VecDeque<String>,
+}
+
+impl Buckets {
+    /// Frees one slot via the clock/second-chance sweep: pop the oldest
+    /// key; if it was used since the clock last passed it, give it
+    /// another lap instead of evicting. O(EVICT_PROBES) worst case, so
+    /// a flood of fresh keys cannot turn admission into a linear scan.
+    fn evict_one(&mut self) {
+        for _ in 0..EVICT_PROBES {
+            let Some(key) = self.clock.pop_front() else {
+                return;
+            };
+            match self.map.get_mut(&key) {
+                Some(bucket) if bucket.referenced => {
+                    bucket.referenced = false;
+                    self.clock.push_back(key);
+                }
+                _ => {
+                    self.map.remove(&key);
+                    return;
+                }
+            }
+        }
+        // Every probe earned its second chance; evict the next key
+        // unconditionally so the map stays bounded regardless.
+        if let Some(key) = self.clock.pop_front() {
+            self.map.remove(&key);
+        }
+    }
+}
+
+/// A token-bucket rate limiter with one bucket per key.
 #[derive(Debug)]
 pub(crate) struct RateLimiter {
     /// Tokens added per second.
@@ -39,48 +87,56 @@ pub(crate) struct RateLimiter {
     /// Bucket capacity — the largest tolerated burst (one second's
     /// allowance, with a floor so tiny rates still admit a few frames).
     burst: f64,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    buckets: Mutex<Buckets>,
 }
 
 impl RateLimiter {
-    /// A limiter admitting `rate` request frames per second per
-    /// consumer, sustained; bursts up to one second's worth.
+    /// A limiter admitting `rate` request frames per second per key,
+    /// sustained; bursts up to one second's worth.
     pub(crate) fn new(rate: u64) -> RateLimiter {
         let rate = rate.max(1) as f64;
         RateLimiter {
             rate,
             burst: rate.max(8.0),
-            buckets: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(Buckets::default()),
         }
     }
 
-    /// Takes one token from `consumer`'s bucket; `false` means the
-    /// request must be refused with `Overloaded`.
-    pub(crate) fn admit(&self, consumer: &str, now: Instant) -> bool {
-        let mut buckets = self.buckets.lock();
-        if !buckets.contains_key(consumer) && buckets.len() >= MAX_TRACKED_CONSUMERS {
-            // Recycle the stalest bucket instead of growing: an O(n)
-            // scan, but only ever on the 64k-th fresh name.
-            if let Some(stalest) = buckets
-                .iter()
-                .min_by_key(|(_, b)| b.refilled)
-                .map(|(name, _)| name.clone())
-            {
-                buckets.remove(&stalest);
+    /// Takes one token from `key`'s bucket; `false` means the request
+    /// must be refused with `Overloaded`.
+    pub(crate) fn admit(&self, key: &str, now: Instant) -> bool {
+        let buckets = &mut *self.buckets.lock();
+        match buckets.map.get_mut(key) {
+            Some(bucket) => {
+                bucket.referenced = true;
+                let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+                bucket.tokens = (bucket.tokens + elapsed * self.rate).min(self.burst);
+                bucket.refilled = now;
+                if bucket.tokens >= 1.0 {
+                    bucket.tokens -= 1.0;
+                    true
+                } else {
+                    false
+                }
             }
-        }
-        let bucket = buckets.entry(consumer.to_string()).or_insert(Bucket {
-            tokens: self.burst,
-            refilled: now,
-        });
-        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
-        bucket.tokens = (bucket.tokens + elapsed * self.rate).min(self.burst);
-        bucket.refilled = now;
-        if bucket.tokens >= 1.0 {
-            bucket.tokens -= 1.0;
-            true
-        } else {
-            false
+            None => {
+                if buckets.map.len() >= MAX_TRACKED_CONSUMERS {
+                    buckets.evict_one();
+                }
+                buckets.map.insert(
+                    key.to_string(),
+                    Bucket {
+                        tokens: self.burst - 1.0,
+                        refilled: now,
+                        // A fresh key starts unreferenced: if it never
+                        // comes back, the clock evicts it on first
+                        // sight instead of granting a wasted lap.
+                        referenced: false,
+                    },
+                );
+                buckets.clock.push_back(key.to_string());
+                true
+            }
         }
     }
 }
@@ -126,15 +182,49 @@ mod tests {
     fn map_growth_is_bounded() {
         let limiter = RateLimiter::new(5);
         let t0 = Instant::now();
-        // More distinct names than the cap; the map must not exceed it.
+        // More distinct keys than the cap; the map must not exceed it.
         for i in 0..(MAX_TRACKED_CONSUMERS + 100) {
             limiter.admit(
                 &format!("consumer-{i}"),
                 t0 + Duration::from_micros(i as u64),
             );
         }
-        assert!(limiter.buckets.lock().len() <= MAX_TRACKED_CONSUMERS);
-        // Recycled names come back with a full (not stale) bucket.
+        let buckets = limiter.buckets.lock();
+        assert!(buckets.map.len() <= MAX_TRACKED_CONSUMERS);
+        assert_eq!(buckets.map.len(), buckets.clock.len(), "clock in lockstep");
+        drop(buckets);
+        // Recycled keys come back with a full (not stale) bucket.
         assert!(limiter.admit("consumer-0", t0 + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn eviction_spares_active_keys_under_name_flood() {
+        let limiter = RateLimiter::new(1000);
+        let t0 = Instant::now();
+        // A key used repeatedly keeps its referenced bit set...
+        limiter.admit("regular", t0);
+        let mut regular_admits = 1u32;
+        for i in 0..(2 * MAX_TRACKED_CONSUMERS) {
+            limiter.admit(&format!("flood-{i}"), t0 + Duration::from_micros(i as u64));
+            if i % 1024 == 0 {
+                // Always at t0, so the bucket never refills: every
+                // admit drains one token — identity evidence below.
+                limiter.admit("regular", t0);
+                regular_admits += 1;
+            }
+        }
+        // ...so a flood of single-use keys recycles its own buckets,
+        // not the active consumer's. A recycled-then-recreated bucket
+        // would be nearly full; the original is short exactly one
+        // token per admit.
+        let buckets = limiter.buckets.lock();
+        assert!(buckets.map.len() <= MAX_TRACKED_CONSUMERS);
+        let regular = buckets.map.get("regular").expect("active key survives");
+        let drained = limiter.burst - f64::from(regular_admits);
+        assert!(
+            (regular.tokens - drained).abs() < 1e-6,
+            "original bucket survived: {} tokens, expected {drained}",
+            regular.tokens
+        );
     }
 }

@@ -33,9 +33,11 @@
 //!   accept thread refuses the dial with a best-effort `Overloaded`
 //!   frame and closes — no shard ever owns the socket.
 //! * **Per-consumer rate limits** ([`ServerConfig::rate_limit`]): a
-//!   token bucket per consumer *name* (resolved at Hello, shared across
-//!   that consumer's connections); an exhausted bucket refuses the
-//!   request but keeps the connection.
+//!   token bucket per (peer IP, consumer name) pair — resolved at
+//!   Hello, shared across that consumer's connections from that
+//!   address; an exhausted bucket refuses the request but keeps the
+//!   connection. Names arrive unauthenticated, so the source address
+//!   in the key stops one client from draining a name it spoofed.
 //! * **Write backpressure**: responses queue per connection (cached
 //!   frames by refcount, never copied); past a high-water mark the shard
 //!   stops *reading* that connection until the queue drains, so a slow
@@ -115,8 +117,12 @@ pub struct ServerConfig {
     pub max_conns: usize,
     /// Per-consumer sustained request-frames-per-second budget (bursts
     /// up to one second's worth). `None` (the default) disables rate
-    /// limiting. Buckets are keyed by the consumer *name* claimed at
-    /// Hello, shared across all of that consumer's connections.
+    /// limiting. Buckets are keyed by (peer IP, consumer name as
+    /// claimed at Hello), shared across all of that consumer's
+    /// connections from that address — names are unauthenticated, so
+    /// the address scope keeps a spoofed name from draining the real
+    /// consumer's budget and gives anonymous clients per-address
+    /// buckets instead of one shared one.
     pub rate_limit: Option<u64>,
     /// Where to serve the Prometheus `GET /metrics` endpoint; `None`
     /// (the default) disables it. Always a separate listener so
@@ -467,7 +473,26 @@ fn accept_loop(
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let stream = match stream {
+            Ok(stream) => stream,
+            // A handful of per-connection errors (the peer aborted
+            // mid-handshake) resolve themselves; anything else —
+            // EMFILE/ENFILE above all, which is exactly what an fd
+            // flood produces — persists, and retrying instantly would
+            // pin a core at 100%. Back off briefly instead.
+            Err(e) => {
+                if !matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::Interrupted
+                        | io::ErrorKind::WouldBlock
+                ) {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                continue;
+            }
+        };
         // Admission: the connection cap bounds every socket the server
         // owns (event loops + feeders). Refusing *here* means no shard
         // ever spends a slab slot or a buffer on the socket.
@@ -524,10 +549,24 @@ struct ShardCtx {
 enum Phase {
     /// Waiting for the opening Hello.
     AwaitHello,
-    /// Handshake done; every request is answered through this consumer's
-    /// protected account. `Arc` so request handling can hold the
-    /// consumer while mutating the connection's queues.
-    Serving(Arc<Consumer>),
+    /// Handshake done; every request is answered through the session's
+    /// protected account.
+    Serving(Session),
+}
+
+/// The post-Hello identity a connection serves under. `Arc` fields so
+/// request handling can hold the session while mutating the
+/// connection's queues.
+#[derive(Clone)]
+struct Session {
+    consumer: Arc<Consumer>,
+    /// Rate-limit bucket key: peer IP plus resolved consumer name.
+    /// Names arrive unauthenticated in the Hello, so a name alone would
+    /// let a hostile client drain a victim's budget by claiming it —
+    /// and would pool every anonymous client into one shared bucket.
+    /// Scoping by source address keeps a consumer's budget shared
+    /// across its own connections without either failure mode.
+    limit_key: Arc<str>,
 }
 
 /// One queued response frame: either a refcounted sealed frame straight
@@ -571,13 +610,21 @@ struct Conn {
     eof: bool,
     opened: Instant,
     last_read: Instant,
-    /// When the outbound queue last made zero progress (set on
-    /// would-block with bytes queued, cleared on progress).
-    stalled_since: Option<Instant>,
+    /// When the outbound queue last shrank (or first took on debt after
+    /// being empty). The sweep reaps a connection still owing bytes
+    /// whose clock is older than the write-stall timeout — a clock
+    /// rather than a "stall observed" flag, because a stopped reader
+    /// generates no further events for a flush pass to observe.
+    last_write_progress: Instant,
 }
 
 impl Conn {
     fn queue(&mut self, frame: OutFrame) {
+        if self.out_bytes == 0 {
+            // New debt after a clean slate: the stall clock starts now,
+            // not at whatever the last drain happened to leave behind.
+            self.last_write_progress = Instant::now();
+        }
         self.out_bytes += frame.bytes().len();
         self.outq.push_back(frame);
         if self.out_bytes > OUT_HIGH_WATER {
@@ -752,7 +799,7 @@ impl Shard {
                 eof: false,
                 opened: now,
                 last_read: now,
-                stalled_since: None,
+                last_write_progress: now,
             });
             let token = conn.token;
             if self
@@ -823,13 +870,17 @@ impl Shard {
         for token in self.slab.tokens() {
             let conn = self.slab.get_mut(token).expect("token just listed");
             let config = &self.ctx.config;
-            let reap = if let Some(stalled) = conn.stalled_since {
-                if now.saturating_duration_since(stalled) > config.write_stall_timeout {
+            let reap = if conn.out_bytes > 0 {
+                // Owed bytes with no recent write progress: the peer
+                // stopped reading. Judged from the progress clock, not
+                // from flush passes — a stopped reader produces no
+                // events, so no flush pass would run to observe it.
+                let stalled = now.saturating_duration_since(conn.last_write_progress)
+                    > config.write_stall_timeout;
+                if stalled {
                     self.ctx.metrics.count_overload(OverloadReason::WriteStall);
-                    true
-                } else {
-                    false
                 }
+                stalled
             } else if matches!(conn.phase, Phase::AwaitHello) {
                 let late = now.saturating_duration_since(conn.opened) > config.handshake_timeout;
                 if late {
@@ -869,6 +920,7 @@ fn on_event(
     if readable && !conn.paused && !conn.close_after_flush && !conn.eof && !draining {
         match fill_inbuf(ctx, conn) {
             Fill::Progress => conn.last_read = Instant::now(),
+            Fill::Idle => {}
             Fill::Eof => conn.eof = true,
             Fill::Gone => return Verdict::Close,
         }
@@ -904,8 +956,13 @@ fn on_event(
 }
 
 enum Fill {
+    /// Bytes arrived.
     Progress,
+    /// Nothing to read after all (a spurious readiness wakeup).
+    Idle,
+    /// The peer half-closed (a true zero-byte read).
     Eof,
+    /// The peer is gone (read error).
     Gone,
 }
 
@@ -931,9 +988,12 @@ fn fill_inbuf(ctx: &ShardCtx, conn: &mut Conn) -> Fill {
                     return Fill::Progress;
                 }
             }
+            // EAGAIN is not EOF: with zero bytes read this was a
+            // spurious wakeup, not a half-close — leave the
+            // connection exactly as it was.
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 return if total == 0 {
-                    Fill::Eof
+                    Fill::Idle
                 } else {
                     Fill::Progress
                 }
@@ -1045,12 +1105,8 @@ fn flush_out(ctx: &ShardCtx, conn: &mut Conn) -> Flush {
             Err(_) => return Flush::Gone,
         }
     }
-    // Any progress (or an empty queue) clears the stall clock; a
-    // zero-progress pass with bytes still owed starts it.
-    if conn.out_bytes == 0 || progressed {
-        conn.stalled_since = None;
-    } else if conn.stalled_since.is_none() {
-        conn.stalled_since = Some(Instant::now());
+    if progressed {
+        conn.last_write_progress = Instant::now();
     }
     if conn.paused && conn.out_bytes <= OUT_LOW_WATER {
         conn.paused = false;
@@ -1097,7 +1153,7 @@ fn request_type(request: &Request) -> RequestType {
 }
 
 fn handle_request(ctx: &ShardCtx, conn: &mut Conn, request: Request) -> Handled {
-    let consumer = match &conn.phase {
+    let session = match &conn.phase {
         Phase::AwaitHello => {
             // Handshake frames are deliberately absent from the request
             // counters: completed handshakes are `connections_total`,
@@ -1106,12 +1162,13 @@ fn handle_request(ctx: &ShardCtx, conn: &mut Conn, request: Request) -> Handled 
             handle_hello(ctx, conn, request);
             return Handled::Continue;
         }
-        Phase::Serving(consumer) => consumer.clone(),
+        Phase::Serving(session) => session.clone(),
     };
+    let consumer = session.consumer;
     let kind = request_type(&request);
     ctx.metrics.count_request(kind);
     if let Some(limiter) = &ctx.limiter {
-        if !limiter.admit(consumer.name(), Instant::now()) {
+        if !limiter.admit(&session.limit_key, Instant::now()) {
             ctx.metrics.count_overload(OverloadReason::RateLimit);
             queue_response(
                 conn,
@@ -1240,7 +1297,18 @@ fn handle_hello(ctx: &ShardCtx, conn: &mut Conn, request: Request) {
     // reflect it.
     ctx.metrics.connections_total.inc();
     queue_response(conn, &Response::Hello(hello));
-    conn.phase = Phase::Serving(Arc::new(consumer));
+    // A failed peer_addr() (the socket died mid-handshake) still needs
+    // *a* key; the connection is about to error out anyway, so the
+    // shared fallback bucket is harmless.
+    let peer_ip = conn
+        .stream
+        .peer_addr()
+        .map(|addr| addr.ip().to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    conn.phase = Phase::Serving(Session {
+        limit_key: format!("{peer_ip}|{}", consumer.name()).into(),
+        consumer: Arc::new(consumer),
+    });
 }
 
 /// Best-effort typed error, then close after it flushes: the

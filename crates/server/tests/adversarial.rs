@@ -256,6 +256,70 @@ fn stops_reading_mid_batch_is_shed_with_bounded_memory() {
     server.shutdown();
 }
 
+/// The subtler stall: a backlog small enough to be parsed and queued in
+/// a single event, whose one flush pass makes *partial* progress (the
+/// kernel buffer absorbs what it can). A client that then never reads
+/// produces no further readiness events, so no later flush pass exists
+/// to observe the stall — the sweep must reap from the write-progress
+/// clock alone.
+#[test]
+fn stops_reading_after_partial_flush_is_still_shed() {
+    let (store, tail) = chain_store(2000);
+    let server = serve(
+        store,
+        ServerConfig {
+            write_stall_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(&seal_frame(
+            &encode_request(&Request::Hello {
+                version: plus_store::wire::PROTOCOL_VERSION,
+                consumer: "half-reader".into(),
+                claims: vec![],
+            })
+            .unwrap(),
+        ))
+        .unwrap();
+    let mut scratch = Vec::new();
+    server::read_frame(&mut stream, &mut scratch)
+        .unwrap()
+        .expect("hello answer");
+    // 200 tiny query frames in one write: the server parses them in
+    // one read event and queues tens of MiB of responses (far past any
+    // auto-tuned socket buffering), flushes with partial progress, and
+    // then hears nothing from this socket again.
+    let query = seal_frame(
+        &encode_request(&Request::Query(QueryRequest::new(
+            tail,
+            Direction::Backward,
+            u32::MAX,
+            Strategy::Surrogate,
+        )))
+        .unwrap(),
+    );
+    let mut burst = Vec::new();
+    for _ in 0..200 {
+        burst.extend_from_slice(&query);
+    }
+    stream.write_all(&burst).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            server.stats().overload_drops >= 1
+        }),
+        "the silent half-drained connection was reaped on the progress clock"
+    );
+    // A well-behaved client never notices.
+    let mut client = Client::connect(server.local_addr(), "reader", &[]).unwrap();
+    assert!(client.epoch().is_ok());
+    server.shutdown();
+}
+
 /// Dials past `max_conns` are refused at accept with a typed,
 /// retryable Overloaded frame — no shard ever owns the socket.
 #[test]
