@@ -64,6 +64,15 @@ pub enum StoreError {
         /// The clock the record actually carried.
         found: u64,
     },
+    /// A replicated frame carried a fencing term lower than one this
+    /// store has already observed: its sender was deposed by a promotion
+    /// and must not be allowed to extend (and thereby fork) history.
+    DeposedPrimary {
+        /// The stale term the frame carried.
+        term: u64,
+        /// The fencing term this store has observed.
+        current: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -108,6 +117,10 @@ impl fmt::Display for StoreError {
             StoreError::ReplicationGap { expected, found } => write!(
                 f,
                 "replicated record for clock {found} does not continue local history at clock {expected}"
+            ),
+            StoreError::DeposedPrimary { term, current } => write!(
+                f,
+                "replicated frame carries fencing term {term}, but term {current} has already been observed: its sender was deposed"
             ),
         }
     }

@@ -74,7 +74,7 @@ pub use store::{CheckpointStats, Materialized, Store};
 pub use surrogate_core::account::Strategy;
 pub use surrogate_core::query::Direction;
 pub use surrogate_core::strategy::ProtectionStrategy;
-pub use wal::{DurabilityOptions, RecoveryReport, TailChunk, TailCursor};
+pub use wal::{DurabilityOptions, RecoveryReport, SegmentDigest, TailChunk, TailCursor};
 pub use wire::{
     ReplicaRole, ReplicaStatus, ServerHello, WalChunk, WireError, WireErrorKind, PROTOCOL_VERSION,
 };

@@ -72,6 +72,11 @@ struct Inner {
     edge_set: std::collections::HashSet<(RecordId, RecordId)>,
     policy: Vec<PolicyStatement>,
     clock: u64,
+    /// The replication fencing term this store has observed — the
+    /// highest promotion generation. 0 until a promotion happens
+    /// anywhere in the deployment. Durable stores persist it in the
+    /// [`wal::TERM_FILE`] beside the segments.
+    term: u64,
     /// The write-ahead log, when this store is durable. Living inside the
     /// write lock, log order always equals clock order.
     wal: Option<Wal>,
@@ -109,6 +114,7 @@ impl Store {
                 edge_set: std::collections::HashSet::new(),
                 policy: Vec::new(),
                 clock: 0,
+                term: 0,
                 wal: None,
             }),
         })
@@ -419,6 +425,7 @@ impl Store {
                 edge_set,
                 policy: data.policy,
                 clock: data.clock,
+                term: 0,
                 wal: None,
             }),
         })
@@ -483,7 +490,11 @@ impl Store {
         let store = Self::new(names, dominance)?;
         wal::write_atomic(&wal::snapshot_path(dir, 0), &store.to_bytes())?;
         let writer = Wal::open(dir, options, io, None, 0)?;
-        store.inner.write().wal = Some(writer);
+        let term = wal::read_term(dir)?;
+        let mut inner = store.inner.write();
+        inner.wal = Some(writer);
+        inner.term = term;
+        drop(inner);
         Ok(store)
     }
 
@@ -510,7 +521,11 @@ impl Store {
         let (store, resume, report) = wal::recover(dir, true, Self::from_snapshot_data)?;
         let clock = store.clock();
         let writer = Wal::open(dir, options, Box::new(wal::DiskIo), resume, clock)?;
-        store.inner.write().wal = Some(writer);
+        let term = wal::read_term(dir)?;
+        let mut inner = store.inner.write();
+        inner.wal = Some(writer);
+        inner.term = term;
+        drop(inner);
         Ok((store, report))
     }
 
@@ -520,6 +535,7 @@ impl Store {
     /// a live writer — the substrate of the CLI's read commands.
     pub fn open_read_only(dir: impl AsRef<Path>) -> Result<Self> {
         let (store, _, _) = wal::recover(dir.as_ref(), false, Self::from_snapshot_data)?;
+        store.inner.write().term = wal::read_term(dir.as_ref())?;
         Ok(store)
     }
 
@@ -547,7 +563,11 @@ impl Store {
         wal::ensure_vacant(dir)?;
         let inner = self.inner.read();
         let bytes = codec::encode(&Self::snapshot_data(&inner));
-        wal::write_atomic(&wal::snapshot_path(dir, inner.clock), &bytes)
+        wal::write_atomic(&wal::snapshot_path(dir, inner.clock), &bytes)?;
+        if inner.term > 0 {
+            wal::write_term(dir, inner.term)?;
+        }
+        Ok(())
     }
 
     /// Writes a snapshot of the current state, rotates to a fresh
@@ -605,6 +625,51 @@ impl Store {
     // Replication
     // -----------------------------------------------------------------------
 
+    /// The replication fencing term this store has observed: the highest
+    /// promotion generation, durably recorded beside the segments on
+    /// durable stores. 0 means no promotion has ever been observed.
+    pub fn replication_term(&self) -> u64 {
+        self.inner.read().term
+    }
+
+    /// Observes a peer's fencing term: raises (and durably records) the
+    /// local term when `term` is higher, accepts an equal term, and
+    /// refuses a lower one with [`StoreError::DeposedPrimary`] — the
+    /// fencing check every replicated chunk passes through before any of
+    /// its frames may touch this store.
+    pub fn observe_replication_term(&self, term: u64) -> Result<()> {
+        let mut inner = self.inner.write();
+        let current = inner.term;
+        if term < current {
+            return Err(StoreError::DeposedPrimary { term, current });
+        }
+        if term > current {
+            // Persist before adopting: a term observed in memory only
+            // could be forgotten by a crash, letting the deposed
+            // primary's frames back in on restart.
+            if let Some(wal) = inner.wal.as_ref() {
+                wal::write_term(wal.dir(), term)?;
+            }
+            inner.term = term;
+        }
+        Ok(())
+    }
+
+    /// Bumps the fencing term by one and durably records it — the core
+    /// of a **promotion**. Every chunk this store ships afterwards
+    /// carries the new term, so the deposed primary's frames (still
+    /// stamped with the old term) are refused everywhere the new term
+    /// has been observed. Returns the new term.
+    pub fn promote_term(&self) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let next = inner.term + 1;
+        if let Some(wal) = inner.wal.as_ref() {
+            wal::write_term(wal.dir(), next)?;
+        }
+        inner.term = next;
+        Ok(next)
+    }
+
     /// Applies one replicated WAL record at the tail of this store's
     /// history — the **replica apply path**. The record goes through the
     /// ordinary append methods, so on a durable store it is logged to
@@ -612,12 +677,20 @@ impl Store {
     /// recovers by exactly the rules a primary's does, and a restarted
     /// replica resumes from its local clock.
     ///
-    /// Validation mirrors the recovery replay path: a node
+    /// `term` is the fencing term the record's chunk carried. A term
+    /// below one this store has observed is refused with
+    /// [`StoreError::DeposedPrimary`] before anything else — frames
+    /// from a deposed primary are never applied, even when their clocks
+    /// would line up. A higher term is adopted (and durably recorded)
+    /// first.
+    ///
+    /// Validation then mirrors the recovery replay path: a node
     /// record stamped for any clock but the current one is refused with
     /// [`StoreError::ReplicationGap`] (the stream is out of order or the
     /// primary's history diverged), and semantically invalid records
     /// surface the ordinary append errors. Nothing is applied on error.
-    pub fn apply_replicated(&self, record: WalRecord) -> Result<()> {
+    pub fn apply_replicated(&self, record: WalRecord, term: u64) -> Result<()> {
+        self.observe_replication_term(term)?;
         match record {
             WalRecord::AppendNode(node) => {
                 let expected = self.clock();
@@ -677,6 +750,9 @@ impl Store {
         let fresh = Self::from_snapshot_data(data)?;
         let mut fresh_inner = fresh.inner.into_inner();
         fresh_inner.wal = Some(writer);
+        // The fencing term outlives the state swap: it fences senders,
+        // not history, and the durable term file was never touched.
+        fresh_inner.term = inner.term;
         *inner = fresh_inner;
         Ok(clock)
     }
@@ -1105,7 +1181,7 @@ mod tests {
                 else {
                     panic!("shipped frames are whole")
                 };
-                dst.apply_replicated(record).unwrap();
+                dst.apply_replicated(record, 0).unwrap();
                 pos += consumed;
             }
             next = chunk.end_clock;
@@ -1150,11 +1226,54 @@ mod tests {
             created_at: clock + 5,
         };
         assert!(matches!(
-            store.apply_replicated(WalRecord::AppendNode(stale)),
+            store.apply_replicated(WalRecord::AppendNode(stale), 0),
             Err(StoreError::ReplicationGap { expected, found })
                 if expected == clock && found == clock + 5
         ));
         assert_eq!(store.clock(), clock, "nothing applied");
+    }
+
+    #[test]
+    fn deposed_terms_are_refused_and_higher_terms_persist() {
+        let dir = temp_dir("fencing");
+        let store = durable_sample(&dir);
+        assert_eq!(store.replication_term(), 0, "fresh store starts at 0");
+
+        // A record from a correctly-clocked but deposed sender is
+        // refused before the clock is even looked at.
+        store.observe_replication_term(3).unwrap();
+        let clock = store.clock();
+        let record = NodeRecord {
+            label: "forked".into(),
+            kind: NodeKind::Data,
+            features: Features::new(),
+            lowest: PrivilegeId(0),
+            created_at: clock,
+        };
+        assert!(matches!(
+            store.apply_replicated(WalRecord::AppendNode(record.clone()), 2),
+            Err(StoreError::DeposedPrimary {
+                term: 2,
+                current: 3
+            })
+        ));
+        assert_eq!(store.clock(), clock, "nothing applied");
+        // Equal and higher terms pass through to the ordinary apply path.
+        store
+            .apply_replicated(WalRecord::AppendNode(record), 5)
+            .unwrap();
+        assert_eq!(store.clock(), clock + 1);
+        assert_eq!(store.replication_term(), 5);
+
+        // The observed term survives a reopen (durably recorded), and a
+        // promotion bumps past it.
+        drop(store);
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.replication_term(), 5);
+        assert_eq!(reopened.promote_term().unwrap(), 6);
+        drop(reopened);
+        assert_eq!(Store::open(&dir).unwrap().replication_term(), 6);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

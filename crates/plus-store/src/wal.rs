@@ -9,6 +9,7 @@
 //! store/
 //!   snap-<clock:016x>.snap   full snapshot at logical clock <clock>
 //!   wal-<start:016x>.wal     segment of frames for clocks <start>, <start>+1, …
+//!   term                     replication fencing term, u64 LE (absent = 0)
 //! ```
 //!
 //! Snapshots use the [`codec`] snapshot format; segments are a
@@ -66,6 +67,8 @@ use crate::error::{Result, StoreError};
 pub const SNAPSHOT_SUFFIX: &str = ".snap";
 /// Suffix of WAL segment files in a durable store directory.
 pub const SEGMENT_SUFFIX: &str = ".wal";
+/// Name of the durable fencing-term file beside the segments.
+pub const TERM_FILE: &str = "term";
 
 /// Tuning knobs for a durable store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +192,111 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
         sync_dir(dir)?;
     }
     Ok(())
+}
+
+/// Path of the fencing-term file inside `dir`.
+pub fn term_path(dir: &Path) -> PathBuf {
+    dir.join(TERM_FILE)
+}
+
+/// Reads the durable replication fencing term of the store under `dir`.
+///
+/// A store that predates fencing (no `term` file) is at term 0, the
+/// lowest possible term, so pre-v4 directories interoperate unchanged. A
+/// present-but-undecodable file is an error, never silently term 0 — a
+/// reset fencing term could let a deposed primary's frames back in.
+pub fn read_term(dir: &Path) -> Result<u64> {
+    let path = term_path(dir);
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(StoreError::io_at(&path, e)),
+    };
+    let raw: [u8; 8] = match bytes.as_slice().try_into() {
+        Ok(raw) => raw,
+        Err(_) => {
+            return Err(StoreError::io_at(
+                &path,
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("term file must be exactly 8 bytes, found {}", bytes.len()),
+                ),
+            ))
+        }
+    };
+    Ok(u64::from_le_bytes(raw))
+}
+
+/// Durably records `term` as the fencing term of the store under `dir`
+/// (atomic write: temp file, fsync, rename, directory fsync).
+pub fn write_term(dir: &Path, term: u64) -> Result<()> {
+    write_atomic(&term_path(dir), &term.to_le_bytes())
+}
+
+/// One WAL segment's identity for anti-entropy: peers compare these to
+/// find where their logs diverge without shipping frame data.
+///
+/// Two segments with equal `(start_clock, bytes, crc)` hold the same
+/// sealed frames; any difference — content, length, or existence — marks
+/// the divergence point, and everything from that segment's `start_clock`
+/// on must be considered suspect on the side that is not the primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentDigest {
+    /// Clock of the segment's first frame (its `wal-<start>` name).
+    pub start_clock: u64,
+    /// Total file length in bytes, header included.
+    pub bytes: u64,
+    /// CRC-32C over the entire file contents.
+    pub crc: u32,
+}
+
+/// Digests every segment under `dir`, ascending by start clock — the
+/// anti-entropy exchange payload. Safe against a live writer: a segment
+/// still being appended simply digests its current prefix, which compares
+/// unequal and lands on the divergent-suffix path (re-shipping frames the
+/// subscriber would have received anyway).
+pub fn segment_digests(dir: &Path) -> Result<Vec<SegmentDigest>> {
+    let mut out = Vec::new();
+    for (start_clock, path) in list_segments(dir)? {
+        // Pruned between listing and read (checkpoint): skip, the peer
+        // falls back to snapshot backfill exactly as the feeder does.
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(StoreError::io_at(&path, e)),
+        };
+        out.push(SegmentDigest {
+            start_clock,
+            bytes: bytes.len() as u64,
+            crc: codec::crc32(&bytes),
+        });
+    }
+    Ok(out)
+}
+
+/// Removes every segment starting at or after `clock` and every snapshot
+/// taken after `clock` — the anti-entropy repair a deposed primary
+/// applies before rejoining as a replica, discarding its unreplicated
+/// (and possibly forked) tail. Returns the removed paths. The caller
+/// must not have a store attached to `dir`.
+pub fn truncate_history_from(dir: &Path, clock: u64) -> Result<Vec<PathBuf>> {
+    let mut removed = Vec::new();
+    for (start, path) in list_segments(dir)? {
+        if start >= clock {
+            fs::remove_file(&path).map_err(|e| StoreError::io_at(&path, e))?;
+            removed.push(path);
+        }
+    }
+    for (snap_clock, path) in list_snapshots(dir)? {
+        if snap_clock > clock {
+            fs::remove_file(&path).map_err(|e| StoreError::io_at(&path, e))?;
+            removed.push(path);
+        }
+    }
+    if !removed.is_empty() {
+        sync_dir(dir)?;
+    }
+    Ok(removed)
 }
 
 /// Fsyncs a directory so freshly created/renamed/removed entries survive

@@ -36,6 +36,8 @@
 //!                    4 Checkpoint    { }
 //!                    5 Subscribe     { from_clock u64 }
 //!                    6 ReplicaStatus { }
+//!                    7 LogDigests    { }
+//!                    8 Promote       { }
 //!
 //! response: tag u8 — 0 Hello         { version u16, epoch u64, nodes u64,
 //!                                      u16 n { pred-name str }×n }
@@ -46,11 +48,16 @@
 //!                                      pruned_segments u64, pruned_snapshots u64 }
 //!                    5 Error         { kind u8, message str }
 //!                    6 WalChunk      { start_clock u64, primary_epoch u64,
+//!                                      term u64,
 //!                                      snapshot (0 | 1 u32-len bytes),
 //!                                      frames u32-len bytes (≤ MAX_WAL_CHUNK) }
 //!                    7 ReplicaStatus { role u8, local_epoch u64,
-//!                                      primary_epoch u64, connected u8,
-//!                                      error (0 | 1 str) }
+//!                                      primary_epoch u64, term u64,
+//!                                      connected u8, error (0 | 1 str),
+//!                                      primary_addr (0 | 1 str) }
+//!                    8 LogDigests    { term u64, u32 n (≤ MAX_SEGMENT_DIGESTS)
+//!                                      { start_clock u64, bytes u64, crc u32 }×n }
+//!                    9 Promoted      { term u64 }
 //!
 //! query-request:  root u32 | direction u8 (0 back, 1 fwd, 2 both) |
 //!                 max_depth u32 | strategy u8 (0 surrogate, 1 hide,
@@ -91,6 +98,19 @@
 //! [`Request::ReplicaStatus`] is consumer-safe: it reports only epochs
 //! and connectivity ([`ReplicaStatus`]), letting clients and operators
 //! measure a replica's lag without seeing any data.
+//!
+//! # Fencing
+//!
+//! Every [`Response::WalChunk`] carries the sender's **fencing term** —
+//! a durable counter bumped exactly once per promotion. A store refuses
+//! frames stamped with a term lower than one it has observed, so a
+//! deposed primary that comes back after a `spgraph promote` cannot
+//! extend (fork) anyone's history: its chunks die with a typed
+//! `DeposedPrimary` error instead of being applied. The anti-entropy
+//! exchange ([`Request::LogDigests`]) closes the loop in the other
+//! direction: the deposed primary compares per-segment digests against
+//! the new primary, truncates its unreplicated tail, and rejoins as a
+//! replica.
 
 use bytes::{BufMut, BytesMut};
 use surrogate_core::account::Strategy;
@@ -102,6 +122,7 @@ use crate::error::CodecError;
 use crate::record::RecordId;
 use crate::service::{ProtectedLineageRow, QueryRequest, QueryResponse};
 use crate::store::CheckpointStats;
+use crate::wal::SegmentDigest;
 
 /// Version of the wire protocol spoken by this build. A server answers a
 /// mismatched [`Request::Hello`] with [`WireErrorKind::VersionMismatch`]
@@ -116,7 +137,16 @@ use crate::store::CheckpointStats;
 /// refusal a server sheds load with. Error-kind tags are part of the
 /// frame (an unknown tag is a malformed frame), so the new kind needs
 /// the bump for the same reason the replication tags did.
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// Version 4 added failover: a fencing `term` field in
+/// [`Response::WalChunk`] and [`ReplicaStatus`] (and a `primary_addr`
+/// redirect hint in the latter), the anti-entropy exchange
+/// ([`Request::LogDigests`] / [`Response::LogDigests`]), live promotion
+/// ([`Request::Promote`] / [`Response::Promoted`]), and
+/// [`WireErrorKind::NotWritable`] — the typed refusal a read-only
+/// replica answers write-path requests with, carrying the writable
+/// primary's address so clients can fail over without restart.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Sanity bound on requests per [`Request::Batch`] frame; larger batches
 /// are rejected at decode time so a hostile frame cannot force an
@@ -128,6 +158,12 @@ pub const MAX_BATCH: u32 = 1 << 14;
 /// cuts chunks far smaller — this guards the *reader* against hostile or
 /// corrupt length fields, like [`MAX_BATCH`] does for batches).
 pub const MAX_WAL_CHUNK: u32 = 1 << 22;
+
+/// Sanity bound on segment digests per [`Response::LogDigests`] frame.
+/// A store would need an absurd retained log to exceed it (segments
+/// rotate at megabytes each); hostile declarations beyond it are
+/// rejected at decode time before any allocation.
+pub const MAX_SEGMENT_DIGESTS: u32 = 1 << 20;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,6 +200,18 @@ pub enum Request {
     /// Asks for the server's replication status ([`ReplicaStatus`]).
     /// Safe for any consumer: it reveals epochs and connectivity only.
     ReplicaStatus,
+    /// Asks for the server's per-segment WAL digests
+    /// ([`Response::LogDigests`]) — the anti-entropy exchange a rejoining
+    /// peer uses to find where its log diverged from the primary's.
+    ///
+    /// Owner-side only, like [`Request::Subscribe`]: digests reveal log
+    /// structure, so a server refuses this unless replication is enabled.
+    LogDigests,
+    /// Asks the server to promote itself to primary: bump its durable
+    /// fencing term, flip [`ReplicaRole::Primary`], and stop following
+    /// its old primary. Idempotent on a server that is already primary
+    /// (answers with the current term). Owner-side only.
+    Promote,
 }
 
 /// A server-to-client message.
@@ -186,6 +234,20 @@ pub enum Response {
     WalChunk(WalChunk),
     /// Answer to [`Request::ReplicaStatus`].
     ReplicaStatus(ReplicaStatus),
+    /// Answer to [`Request::LogDigests`]: the server's fencing term and
+    /// one digest per retained WAL segment, ascending by start clock.
+    LogDigests {
+        /// The server's current fencing term.
+        term: u64,
+        /// Per-segment digests (see [`SegmentDigest`]).
+        segments: Vec<SegmentDigest>,
+    },
+    /// Answer to [`Request::Promote`]: the (possibly just bumped)
+    /// fencing term the server now serves at.
+    Promoted {
+        /// The server's fencing term after the promotion.
+        term: u64,
+    },
 }
 
 /// One replication stream element: sealed write-ahead-log frames (and,
@@ -206,6 +268,12 @@ pub struct WalChunk {
     /// The primary's clock when the chunk was cut. A replica's **lag**
     /// is `primary_epoch - local_epoch`.
     pub primary_epoch: u64,
+    /// The sender's fencing term. A subscriber refuses chunks carrying a
+    /// term lower than one it has observed
+    /// ([`StoreError::DeposedPrimary`](crate::error::StoreError)): after
+    /// a promotion the deposed primary keeps its old term and can no
+    /// longer extend anyone's history.
+    pub term: u64,
     /// Full snapshot bytes to install before applying any frame — sent
     /// on the first chunk of a cold backfill only.
     pub snapshot: Option<Vec<u8>>,
@@ -243,11 +311,20 @@ pub struct ReplicaStatus {
     /// The primary's epoch as last observed (equal to `local_epoch` on
     /// a primary; possibly stale on a disconnected replica).
     pub primary_epoch: u64,
+    /// The server's fencing term: the highest promotion generation it
+    /// has durably observed. Exposing it lets operators confirm a
+    /// promotion propagated.
+    pub term: u64,
     /// Whether a replica's feed link is currently up (always true on a
     /// primary).
     pub connected: bool,
     /// The last replication error, if the link is degraded.
     pub last_error: Option<String>,
+    /// The address of the writable primary, as this server knows it: a
+    /// replica reports the endpoint it follows, a primary may report its
+    /// own. Write clients use it to re-resolve after a failover; `None`
+    /// when unknown. An address, not graph data — still consumer-safe.
+    pub primary_addr: Option<String>,
 }
 
 impl ReplicaStatus {
@@ -344,6 +421,11 @@ pub enum WireErrorKind {
     /// failed, and the connection (when one exists) stays usable. Typed
     /// so admission control is visible to clients instead of a hangup.
     Overloaded,
+    /// The request needs the writable primary but this server is a
+    /// read-only replica (or a freshly deposed primary). The message is
+    /// the writable primary's address when known (empty otherwise) — a
+    /// redirect, so write clients fail over without restart.
+    NotWritable,
 }
 
 impl WireErrorKind {
@@ -357,6 +439,7 @@ impl WireErrorKind {
             WireErrorKind::BadRequest => 5,
             WireErrorKind::Internal => 6,
             WireErrorKind::Overloaded => 7,
+            WireErrorKind::NotWritable => 8,
         }
     }
 
@@ -370,6 +453,7 @@ impl WireErrorKind {
             5 => WireErrorKind::BadRequest,
             6 => WireErrorKind::Internal,
             7 => WireErrorKind::Overloaded,
+            8 => WireErrorKind::NotWritable,
             _ => {
                 return Err(CodecError::InvalidTag {
                     what: "wire error kind",
@@ -391,6 +475,7 @@ impl std::fmt::Display for WireErrorKind {
             WireErrorKind::BadRequest => "bad request",
             WireErrorKind::Internal => "internal error",
             WireErrorKind::Overloaded => "overloaded",
+            WireErrorKind::NotWritable => "not writable",
         })
     }
 }
@@ -685,6 +770,8 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, CodecError> {
             buf.put_u64_le(*from_clock);
         }
         Request::ReplicaStatus => buf.put_u8(6),
+        Request::LogDigests => buf.put_u8(7),
+        Request::Promote => buf.put_u8(8),
     }
     Ok(buf.to_vec())
 }
@@ -725,6 +812,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
             from_clock: r.u64()?,
         },
         6 => Request::ReplicaStatus,
+        7 => Request::LogDigests,
+        8 => Request::Promote,
         tag => {
             return Err(CodecError::InvalidTag {
                 what: "request",
@@ -786,6 +875,7 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, CodecError> {
             buf.put_u8(6);
             buf.put_u64_le(chunk.start_clock);
             buf.put_u64_le(chunk.primary_epoch);
+            buf.put_u64_le(chunk.term);
             match &chunk.snapshot {
                 Some(snapshot) => {
                     buf.put_u8(1);
@@ -811,6 +901,7 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, CodecError> {
             });
             buf.put_u64_le(status.local_epoch);
             buf.put_u64_le(status.primary_epoch);
+            buf.put_u64_le(status.term);
             buf.put_u8(status.connected as u8);
             match &status.last_error {
                 Some(error) => {
@@ -819,6 +910,32 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, CodecError> {
                 }
                 None => buf.put_u8(0),
             }
+            match &status.primary_addr {
+                Some(addr) => {
+                    buf.put_u8(1);
+                    put_str(&mut buf, addr);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Response::LogDigests { term, segments } => {
+            buf.put_u8(8);
+            buf.put_u64_le(*term);
+            check_count(
+                "segment digests",
+                segments.len(),
+                MAX_SEGMENT_DIGESTS as u64,
+            )?;
+            buf.put_u32_le(segments.len() as u32);
+            for digest in segments {
+                buf.put_u64_le(digest.start_clock);
+                buf.put_u64_le(digest.bytes);
+                buf.put_u32_le(digest.crc);
+            }
+        }
+        Response::Promoted { term } => {
+            buf.put_u8(9);
+            buf.put_u64_le(*term);
         }
     }
     Ok(buf.to_vec())
@@ -877,6 +994,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
         6 => {
             let start_clock = r.u64()?;
             let primary_epoch = r.u64()?;
+            let term = r.u64()?;
             let snapshot = match r.u8()? {
                 0 => None,
                 1 => {
@@ -901,6 +1019,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
             Response::WalChunk(WalChunk {
                 start_clock,
                 primary_epoch,
+                term,
                 snapshot,
                 frames,
             })
@@ -918,6 +1037,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
             };
             let local_epoch = r.u64()?;
             let primary_epoch = r.u64()?;
+            let term = r.u64()?;
             let connected = match r.u8()? {
                 0 => false,
                 1 => true,
@@ -938,14 +1058,43 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
                     })
                 }
             };
+            let primary_addr = match r.u8()? {
+                0 => None,
+                1 => Some(r.string()?),
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "optional primary address",
+                        tag,
+                    })
+                }
+            };
             Response::ReplicaStatus(ReplicaStatus {
                 role,
                 local_epoch,
                 primary_epoch,
+                term,
                 connected,
                 last_error,
+                primary_addr,
             })
         }
+        8 => {
+            let term = r.u64()?;
+            let count = r.u32()?;
+            if count > MAX_SEGMENT_DIGESTS {
+                return Err(CodecError::FrameTooLarge(count));
+            }
+            let mut segments = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                segments.push(SegmentDigest {
+                    start_clock: r.u64()?,
+                    bytes: r.u64()?,
+                    crc: r.u32()?,
+                });
+            }
+            Response::LogDigests { term, segments }
+        }
+        9 => Response::Promoted { term: r.u64()? },
         tag => {
             return Err(CodecError::InvalidTag {
                 what: "response",
@@ -998,6 +1147,8 @@ mod tests {
                 from_clock: u64::MAX,
             },
             Request::ReplicaStatus,
+            Request::LogDigests,
+            Request::Promote,
         ]
     }
 
@@ -1044,12 +1195,14 @@ mod tests {
             Response::WalChunk(WalChunk {
                 start_clock: 7,
                 primary_epoch: 9,
+                term: 2,
                 snapshot: None,
                 frames: crate::codec::seal_frame(b"opaque payload"),
             }),
             Response::WalChunk(WalChunk {
                 start_clock: 0,
                 primary_epoch: 0,
+                term: 0,
                 snapshot: Some(vec![0xde, 0xad, 0xbe, 0xef]),
                 frames: Vec::new(),
             }),
@@ -1057,16 +1210,40 @@ mod tests {
                 role: ReplicaRole::Primary,
                 local_epoch: 3,
                 primary_epoch: 3,
+                term: 1,
                 connected: true,
                 last_error: None,
+                primary_addr: None,
             }),
             Response::ReplicaStatus(ReplicaStatus {
                 role: ReplicaRole::Replica,
                 local_epoch: 5,
                 primary_epoch: 11,
+                term: u64::MAX,
                 connected: false,
                 last_error: Some("connection refused".into()),
+                primary_addr: Some("10.0.0.7:7655".into()),
             }),
+            Response::LogDigests {
+                term: 3,
+                segments: vec![
+                    SegmentDigest {
+                        start_clock: 0,
+                        bytes: 18,
+                        crc: 0xdead_beef,
+                    },
+                    SegmentDigest {
+                        start_clock: 40,
+                        bytes: 4096,
+                        crc: 7,
+                    },
+                ],
+            },
+            Response::LogDigests {
+                term: 0,
+                segments: vec![],
+            },
+            Response::Promoted { term: 2 },
         ]
     }
 
@@ -1145,6 +1322,7 @@ mod tests {
         let chunk = Response::WalChunk(WalChunk {
             start_clock: 0,
             primary_epoch: 0,
+            term: 0,
             snapshot: None,
             frames: vec![0; MAX_WAL_CHUNK as usize + 1],
         });
@@ -1213,6 +1391,7 @@ mod tests {
         buf.put_u8(6);
         buf.put_u64_le(0);
         buf.put_u64_le(0);
+        buf.put_u64_le(0); // term
         buf.put_u8(0);
         buf.put_u32_le(MAX_WAL_CHUNK + 1);
         assert_eq!(
@@ -1224,11 +1403,21 @@ mod tests {
         buf.put_u8(6);
         buf.put_u64_le(0);
         buf.put_u64_le(0);
+        buf.put_u64_le(0); // term
         buf.put_u8(1);
         buf.put_u32_le(crate::codec::MAX_FRAME_LEN + 1);
         assert_eq!(
             decode_response(&buf).unwrap_err(),
             CodecError::FrameTooLarge(crate::codec::MAX_FRAME_LEN + 1)
+        );
+        // And for a hostile digest count.
+        let mut buf = BytesMut::new();
+        buf.put_u8(8);
+        buf.put_u64_le(1); // term
+        buf.put_u32_le(MAX_SEGMENT_DIGESTS + 1);
+        assert_eq!(
+            decode_response(&buf).unwrap_err(),
+            CodecError::FrameTooLarge(MAX_SEGMENT_DIGESTS + 1)
         );
     }
 
@@ -1238,8 +1427,10 @@ mod tests {
             role: ReplicaRole::Replica,
             local_epoch: 10,
             primary_epoch: 25,
+            term: 1,
             connected: true,
             last_error: None,
+            primary_addr: None,
         };
         assert_eq!(status.lag(), 15);
         // A replica momentarily ahead of a stale primary_epoch reading

@@ -19,7 +19,7 @@ use plus_store::wire::{
 };
 use plus_store::{
     CheckpointStats, CodecError, ProtectedLineageRow, QueryRequest, QueryResponse, RecordId,
-    Strategy,
+    SegmentDigest, Strategy,
 };
 use surrogate_core::privilege::PrivilegeId;
 use surrogate_core::query::Direction;
@@ -70,7 +70,7 @@ fn random_query_response(rng: &mut StdRng) -> QueryResponse {
 }
 
 fn random_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..7usize) {
+    match rng.gen_range(0..9usize) {
         0 => Request::Hello {
             version: rng.gen(),
             consumer: random_string(rng, 16),
@@ -89,6 +89,8 @@ fn random_request(rng: &mut StdRng) -> Request {
             from_clock: rng.gen(),
         },
         5 => Request::ReplicaStatus,
+        6 => Request::LogDigests,
+        7 => Request::Promote,
         _ => Request::Checkpoint,
     }
 }
@@ -106,6 +108,7 @@ fn random_wal_chunk(rng: &mut StdRng) -> WalChunk {
     WalChunk {
         start_clock: rng.gen(),
         primary_epoch: rng.gen(),
+        term: rng.gen(),
         snapshot: rng
             .gen_bool(0.3)
             .then(|| (0..rng.gen_range(0..128usize)).map(|_| rng.gen()).collect()),
@@ -122,15 +125,32 @@ fn random_replica_status(rng: &mut StdRng) -> ReplicaStatus {
         },
         local_epoch: rng.gen(),
         primary_epoch: rng.gen(),
+        term: rng.gen(),
         connected: rng.gen_bool(0.5),
         last_error: rng.gen_bool(0.4).then(|| random_string(rng, 48)),
+        primary_addr: rng.gen_bool(0.4).then(|| random_string(rng, 32)),
+    }
+}
+
+fn random_log_digests(rng: &mut StdRng) -> Response {
+    Response::LogDigests {
+        term: rng.gen(),
+        segments: (0..rng.gen_range(0..6usize))
+            .map(|_| SegmentDigest {
+                start_clock: rng.gen(),
+                bytes: rng.gen(),
+                crc: rng.gen(),
+            })
+            .collect(),
     }
 }
 
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..8usize) {
+    match rng.gen_range(0..10usize) {
         6 => Response::WalChunk(random_wal_chunk(rng)),
         7 => Response::ReplicaStatus(random_replica_status(rng)),
+        8 => random_log_digests(rng),
+        9 => Response::Promoted { term: rng.gen() },
         0 => Response::Hello(ServerHello {
             version: rng.gen(),
             epoch: rng.gen(),
@@ -162,7 +182,8 @@ fn random_response(rng: &mut StdRng) -> Response {
                 WireErrorKind::BadRequest,
                 WireErrorKind::Internal,
                 WireErrorKind::Overloaded,
-            ][rng.gen_range(0..8usize)],
+                WireErrorKind::NotWritable,
+            ][rng.gen_range(0..9usize)],
             random_string(rng, 32),
         )),
     }
@@ -321,6 +342,7 @@ proptest! {
         let chunk = WalChunk {
             start_clock: rng.gen(),
             primary_epoch: rng.gen(),
+            term: rng.gen(),
             snapshot: None,
             frames: vec![0u8; MAX_WAL_CHUNK as usize + 1 + over],
         };
@@ -407,19 +429,47 @@ proptest! {
     fn oversized_chunk_declarations_are_rejected(extra in 1u32..1000, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut payload = vec![6u8]; // WalChunk tag
-        payload.extend_from_slice(&rng.gen::<u64>().to_le_bytes());
-        payload.extend_from_slice(&rng.gen::<u64>().to_le_bytes());
+        payload.extend_from_slice(&rng.gen::<u64>().to_le_bytes()); // start_clock
+        payload.extend_from_slice(&rng.gen::<u64>().to_le_bytes()); // primary_epoch
+        payload.extend_from_slice(&rng.gen::<u64>().to_le_bytes()); // term
         payload.push(0); // no snapshot
         payload.extend_from_slice(&(MAX_WAL_CHUNK + extra).to_le_bytes());
         prop_assert!(decode_response(&payload).is_err());
+    }
+
+    /// The anti-entropy and promotion messages roundtrip framed like
+    /// every other shape (pinned explicitly, as the replication chunk
+    /// shapes are above).
+    #[test]
+    fn failover_messages_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for request in [Request::LogDigests, Request::Promote] {
+            let payload = encode_request(&request).unwrap();
+            prop_assert_eq!(decode_request(&payload).unwrap(), request);
+        }
+        for response in [
+            random_log_digests(&mut rng),
+            Response::Promoted { term: rng.gen() },
+        ] {
+            let payload = encode_response(&response).unwrap();
+            prop_assert_eq!(decode_response(&payload).unwrap(), response.clone());
+            let framed = seal_frame(&payload);
+            let RawFrame::Complete { payload: body, .. } = open_frame(&framed) else {
+                return Err(TestCaseError::fail("sealed frame did not open"));
+            };
+            prop_assert_eq!(decode_response(body).unwrap(), response);
+        }
     }
 }
 
 /// The version constant is part of the on-wire contract: changing it is
 /// a compatibility break and must be deliberate. Version 2 added the
 /// replication messages (`Subscribe` / `WalChunk` / `ReplicaStatus`);
-/// version 3 added the `Overloaded` error kind (admission control).
+/// version 3 added the `Overloaded` error kind (admission control);
+/// version 4 added failover — fencing terms on `WalChunk` and
+/// `ReplicaStatus`, `LogDigests` / `Promote`, and the `NotWritable`
+/// redirect.
 #[test]
 fn protocol_version_is_pinned() {
-    assert_eq!(PROTOCOL_VERSION, 3);
+    assert_eq!(PROTOCOL_VERSION, 4);
 }

@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use plus_store::wire::{
-    decode_batch_response_into, decode_response, encode_batch_request, encode_request,
-    ReplicaStatus, Request, Response, ServerHello, PROTOCOL_VERSION,
+    decode_batch_response_into, decode_response, encode_batch_request, encode_request, ReplicaRole,
+    ReplicaStatus, Request, Response, ServerHello, WireErrorKind, PROTOCOL_VERSION,
 };
 use plus_store::{CheckpointStats, QueryRequest, QueryResponse};
 use surrogate_core::privilege::PrivilegeId;
@@ -212,7 +212,8 @@ impl Client {
     }
 
     /// The server's replication status: role (primary or replica),
-    /// epochs, lag, and link health. Safe against any server.
+    /// epochs, fencing term, lag, and link health. Safe against any
+    /// server.
     pub fn replica_status(&mut self) -> Result<ReplicaStatus, ClientError> {
         match self.call(&Request::ReplicaStatus)? {
             Response::ReplicaStatus(status) => Ok(status),
@@ -220,6 +221,21 @@ impl Client {
             _ => {
                 self.healthy = false;
                 Err(ClientError::Unexpected("non-ReplicaStatus"))
+            }
+        }
+    }
+
+    /// Asks the server to promote the replica it fronts to primary,
+    /// bumping the fencing term (owner-side: the server must have
+    /// replication enabled). Idempotent — an already-primary server
+    /// answers with its current term.
+    pub fn promote(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Promote)? {
+            Response::Promoted { term } => Ok(term),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => {
+                self.healthy = false;
+                Err(ClientError::Unexpected("non-Promoted"))
             }
         }
     }
@@ -252,6 +268,10 @@ pub struct ClientPool {
     claims: Vec<String>,
     idle: Mutex<Vec<Client>>,
     max_idle: usize,
+    /// Where writes last landed: the address [`writable`](Self::writable)
+    /// resolved, or a `NotWritable` redirect target. Tried first on the
+    /// next resolution.
+    writable_addr: Mutex<Option<String>>,
 }
 
 impl std::fmt::Debug for ClientPool {
@@ -277,6 +297,7 @@ impl ClientPool {
             claims: claims.iter().map(|c| c.to_string()).collect(),
             idle: Mutex::new(Vec::new()),
             max_idle: 16,
+            writable_addr: Mutex::new(None),
         }
     }
 
@@ -338,6 +359,74 @@ impl ClientPool {
     /// Idle connections currently held.
     pub fn idle(&self) -> usize {
         self.idle.lock().len()
+    }
+
+    /// Resolves the **writable** endpoint: dials candidates — the last
+    /// known writable address, the configured primary, then the replica
+    /// list — asks each for its [`replica_status`](Client::replica_status),
+    /// and returns the first that identifies as a primary. Replicas that
+    /// answer contribute their `primary_addr` hint to the candidate
+    /// list, so after a failover the pool follows the breadcrumbs to the
+    /// promoted node even when it was never configured. The resolved
+    /// address is cached and tried first next time.
+    ///
+    /// Fails with [`ClientError::NoWritable`] when every candidate is
+    /// down or read-only.
+    pub fn writable(&self) -> Result<PooledClient<'_>, ClientError> {
+        let claims: Vec<&str> = self.claims.iter().map(String::as_str).collect();
+        let mut candidates: Vec<String> = Vec::new();
+        let push = |list: &mut Vec<String>, addr: String| {
+            if !addr.is_empty() && !list.contains(&addr) {
+                list.push(addr);
+            }
+        };
+        if let Some(cached) = self.writable_addr.lock().clone() {
+            push(&mut candidates, cached);
+        }
+        push(&mut candidates, self.addr.clone());
+        for replica in &self.replicas {
+            push(&mut candidates, replica.clone());
+        }
+        let mut next = 0;
+        while next < candidates.len() {
+            let addr = candidates[next].clone();
+            next += 1;
+            let Ok(mut client) = Client::connect(addr.as_str(), &self.consumer, &claims) else {
+                continue;
+            };
+            match client.replica_status() {
+                Ok(status) if status.role == ReplicaRole::Primary => {
+                    *self.writable_addr.lock() = Some(addr);
+                    return Ok(PooledClient {
+                        pool: self,
+                        client: Some(client),
+                    });
+                }
+                Ok(status) => {
+                    if let Some(hint) = status.primary_addr {
+                        push(&mut candidates, hint);
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        Err(ClientError::NoWritable)
+    }
+
+    /// Feeds a write failure back into the pool's routing: a
+    /// `NotWritable` refusal carries the writable primary's address when
+    /// the refusing replica knows it. Returns `true` when the error was
+    /// a redirect and the cached writable address was updated — retry
+    /// via [`writable`](Self::writable); on any other error, `false`.
+    pub fn note_redirect(&self, error: &ClientError) -> bool {
+        let ClientError::Remote(remote) = error else {
+            return false;
+        };
+        if remote.kind != WireErrorKind::NotWritable || remote.message.is_empty() {
+            return false;
+        }
+        *self.writable_addr.lock() = Some(remote.message.clone());
+        true
     }
 }
 

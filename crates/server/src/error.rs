@@ -36,6 +36,10 @@ pub enum ClientError {
         /// What the server announced in its Hello.
         server: u16,
     },
+    /// No configured endpoint (primary, replicas, or redirect hints)
+    /// currently identifies as a writable primary — see
+    /// [`ClientPool::writable`](crate::ClientPool::writable).
+    NoWritable,
 }
 
 impl fmt::Display for ClientError {
@@ -54,6 +58,9 @@ impl fmt::Display for ClientError {
                 "server speaks protocol version {server}, this client speaks {}",
                 plus_store::PROTOCOL_VERSION
             ),
+            ClientError::NoWritable => {
+                write!(f, "no configured endpoint identifies as a writable primary")
+            }
         }
     }
 }

@@ -98,6 +98,16 @@
 //! [`replica`] module docs for the full model, and
 //! [`ClientPool::with_replicas`] for spreading reads across a replica
 //! set with primary fallback.
+//!
+//! When a primary dies, a replica can be **promoted** in place
+//! ([`Replica::promote`], or [`Client::promote`] against its fronting
+//! server): promotion durably bumps a **fencing term** that every
+//! shipped WAL chunk carries, so frames from the deposed primary are
+//! refused rather than applied, and a restarted deposed primary
+//! truncates its unreplicated tail via anti-entropy digests and rejoins
+//! as a replica. [`ClientPool::writable`] re-resolves the writable
+//! endpoint across a failover. The [`replica`] module's *Failover*
+//! section has the runbook and the guarantees.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -33,6 +33,9 @@
 //! | `spgraph_bytes_{read,written}_total` | counter | query-socket traffic volume |
 //! | `spgraph_epoch` | gauge | the served store's current epoch |
 //! | `spgraph_snapshots_shipped_total` | counter | replica backfill snapshots |
+//! | `spgraph_replication_term` | gauge | the fencing term this node has observed (promotion generation) |
+//! | `spgraph_replication_lag` | gauge | mutations behind the primary (0 on a primary; stale lower bound while disconnected) |
+//! | `spgraph_promotions_total` | counter | replica-to-primary promotions served by this process |
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -42,6 +45,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use plus_store::AccountService;
+
+use crate::replica::ReplicationMonitor;
 
 /// A monotone event count. Relaxed atomics: totals are exact, momentary
 /// cross-counter skew is acceptable (standard scrape semantics).
@@ -188,10 +193,14 @@ pub enum RequestType {
     ReplicaStatus,
     /// A subscription request.
     Subscribe,
+    /// An anti-entropy digest exchange.
+    LogDigests,
+    /// A live promotion request.
+    Promote,
 }
 
 /// All request types, in render order.
-pub const REQUEST_TYPES: [RequestType; 7] = [
+pub const REQUEST_TYPES: [RequestType; 9] = [
     RequestType::Hello,
     RequestType::Query,
     RequestType::Batch,
@@ -199,6 +208,8 @@ pub const REQUEST_TYPES: [RequestType; 7] = [
     RequestType::Checkpoint,
     RequestType::ReplicaStatus,
     RequestType::Subscribe,
+    RequestType::LogDigests,
+    RequestType::Promote,
 ];
 
 impl RequestType {
@@ -212,6 +223,8 @@ impl RequestType {
             RequestType::Checkpoint => "checkpoint",
             RequestType::ReplicaStatus => "replica_status",
             RequestType::Subscribe => "subscribe",
+            RequestType::LogDigests => "log_digests",
+            RequestType::Promote => "promote",
         }
     }
 
@@ -276,6 +289,9 @@ pub struct ServerMetrics {
     pub bytes_read: Counter,
     /// Bytes written to query sockets.
     pub bytes_written: Counter,
+    /// Replica-to-primary promotions served (`Request::Promote` frames
+    /// that actually bumped the term — idempotent re-asks are free).
+    pub promotions: Counter,
 }
 
 impl ServerMetrics {
@@ -307,8 +323,14 @@ impl ServerMetrics {
     }
 
     /// Serializes the full Prometheus text exposition. `service` supplies
-    /// the scrape-time store facts (epoch, sealed-frame cache counters).
-    pub fn render_prometheus(&self, service: &AccountService) -> String {
+    /// the scrape-time store facts (epoch, sealed-frame cache counters);
+    /// `monitor` — present when the server fronts a replica — supplies
+    /// the replication link facts (observed term, lag).
+    pub fn render_prometheus(
+        &self,
+        service: &AccountService,
+        monitor: Option<&ReplicationMonitor>,
+    ) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(8192);
 
@@ -363,6 +385,11 @@ impl ServerMetrics {
             "Sealed-frame cache misses.",
             misses,
         );
+        counter(
+            "spgraph_promotions_total",
+            "Replica-to-primary promotions served by this process.",
+            self.promotions.get(),
+        );
 
         let _ = writeln!(
             out,
@@ -416,6 +443,28 @@ impl ServerMetrics {
             "Current epoch of the served store.",
             service.epoch() as f64,
         );
+        // The term a replica-fronting server reports is the monitor's
+        // (refreshed by the feed without locking the store); a plain
+        // primary reads its store directly.
+        let term = match monitor {
+            Some(monitor) => monitor.term(),
+            None => service
+                .store()
+                .map(|store| store.replication_term())
+                .unwrap_or(0),
+        };
+        gauge(
+            "spgraph_replication_term",
+            "The replication fencing term this node has observed (promotion generation).",
+            term as f64,
+        );
+        gauge(
+            "spgraph_replication_lag",
+            "Mutations behind the primary (0 on a primary; a stale lower bound while disconnected).",
+            monitor
+                .map(|monitor| monitor.status(service.epoch()).lag())
+                .unwrap_or(0) as f64,
+        );
         let total = hits + misses;
         gauge(
             "spgraph_frame_cache_hit_rate",
@@ -454,6 +503,7 @@ pub(crate) fn serve_metrics(
     listener: TcpListener,
     metrics: Arc<ServerMetrics>,
     service: Arc<AccountService>,
+    monitor: Option<Arc<ReplicationMonitor>>,
     shutdown: Arc<AtomicBool>,
 ) {
     for stream in listener.incoming() {
@@ -464,7 +514,7 @@ pub(crate) fn serve_metrics(
         // A stuck scraper must not wedge observability for the next one.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        let _ = answer_scrape(stream, &metrics, &service);
+        let _ = answer_scrape(stream, &metrics, &service, monitor.as_deref());
     }
 }
 
@@ -472,6 +522,7 @@ fn answer_scrape(
     mut stream: TcpStream,
     metrics: &ServerMetrics,
     service: &AccountService,
+    monitor: Option<&ReplicationMonitor>,
 ) -> std::io::Result<()> {
     let mut head = [0u8; MAX_SCRAPE_REQUEST];
     let mut got = 0usize;
@@ -494,7 +545,7 @@ fn answer_scrape(
         (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
-            metrics.render_prometheus(service),
+            metrics.render_prometheus(service, monitor),
         )
     } else {
         (
@@ -516,13 +567,14 @@ pub(crate) fn spawn_metrics_listener(
     addr: SocketAddr,
     metrics: Arc<ServerMetrics>,
     service: Arc<AccountService>,
+    monitor: Option<Arc<ReplicationMonitor>>,
     shutdown: Arc<AtomicBool>,
 ) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
     let handle = std::thread::Builder::new()
         .name("spgraph-metrics".into())
-        .spawn(move || serve_metrics(listener, metrics, service, shutdown))?;
+        .spawn(move || serve_metrics(listener, metrics, service, monitor, shutdown))?;
     Ok((bound, handle))
 }
 
@@ -562,16 +614,22 @@ mod tests {
         metrics.observe_latency(RequestType::Query, Duration::from_micros(42));
         metrics.count_overload(OverloadReason::RateLimit);
         metrics.connections_open.inc();
+        metrics.promotions.inc();
         let store = plus_store::Store::new(&["Public"], &[]).unwrap();
         let service = AccountService::new(std::sync::Arc::new(store));
-        let text = metrics.render_prometheus(&service);
+        let text = metrics.render_prometheus(&service, None);
         for needle in [
             "spgraph_requests_total{type=\"query\"} 1",
+            "spgraph_requests_total{type=\"promote\"} 0",
+            "spgraph_requests_total{type=\"log_digests\"} 0",
             "spgraph_overload_drops_total{reason=\"rate_limit\"} 1",
             "spgraph_overload_drops_total{reason=\"conn_cap\"} 0",
             "spgraph_connections_open 1",
             "spgraph_frame_cache_hits_total 0",
             "spgraph_frame_cache_hit_rate 0",
+            "spgraph_replication_term 0",
+            "spgraph_replication_lag 0",
+            "spgraph_promotions_total 1",
             "spgraph_request_latency_seconds_bucket{type=\"query\",le=\"0.00005\"} 1",
             "spgraph_request_latency_seconds_count{type=\"query\"} 1",
             "# TYPE spgraph_request_latency_seconds histogram",

@@ -34,9 +34,40 @@
 //! The apply thread reconnects with backoff on any transport failure and
 //! resumes from the replica's local clock, so a primary restart (or a
 //! replica restart — the local WAL recovers first) costs only the frames
-//! appended while the link was down, never a full refetch. A replica is
+//! appended while the link was down, never a full refetch. The feed
+//! socket carries a read deadline of
+//! [`ReplicaConfig::feed_read_timeout`]: the primary heartbeats several
+//! times per second, so a silent link — a half-open TCP connection after
+//! a primary power loss, a black-holing network — is detected within a
+//! few heartbeat intervals and treated exactly like a disconnect instead
+//! of parking the apply thread forever on a dead socket. A replica is
 //! **read-only** by contract: the replication thread is the store's
 //! single writer, and nothing else may append to it.
+//!
+//! # Failover
+//!
+//! Every chunk is stamped with the primary's **fencing term** (see the
+//! [`wire`](plus_store::wire) docs). [`Replica::promote`] bumps the
+//! local store's durable term and flips the monitor's role to
+//! [`ReplicaRole::Primary`]: the apply thread exits, the fronting server
+//! starts accepting writes, and any chunk still arriving from the old
+//! primary is refused by the store with
+//! [`StoreError::DeposedPrimary`] — the term is bumped *first*, so the
+//! deposed primary cannot extend (and thereby fork) the promoted
+//! history, not even with an in-flight frame.
+//!
+//! On a **warm start**, before local recovery runs, the replica performs
+//! an **anti-entropy pass** against the primary: it fetches the
+//! primary's per-segment digests
+//! ([`LogDigests`](plus_store::wire::Request::LogDigests)), compares
+//! them with its own, and truncates its local history from the first
+//! divergent segment. This is how a deposed primary rejoins the cluster:
+//! restarted with `--replicate-from` pointed at the new primary, it
+//! discovers its unreplicated tail was never part of the promoted
+//! history, discards it, and resumes as an ordinary replica instead of
+//! serving a fork. The pass is best-effort — an unreachable primary
+//! degrades to the plain warm start, and the per-frame fencing above
+//! still guarantees no forked frame is ever *applied*.
 
 use std::net::{Shutdown, TcpStream};
 use std::path::Path;
@@ -47,11 +78,12 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use plus_store::codec::{self, FrameDecode};
+use plus_store::wal;
 use plus_store::wire::{
     decode_response, encode_request, ReplicaRole, ReplicaStatus, Request, Response, WalChunk,
     PROTOCOL_VERSION,
 };
-use plus_store::{AccountService, DurabilityOptions, Store, StoreError};
+use plus_store::{AccountService, DurabilityOptions, SegmentDigest, Store, StoreError};
 
 use crate::error::{ClientError, ReplicaError};
 use crate::frame::{read_frame, write_frame};
@@ -70,6 +102,11 @@ pub struct ReplicaConfig {
     pub connect_attempts: usize,
     /// Sleep between reconnect attempts once running.
     pub reconnect_backoff: Duration,
+    /// Read deadline on the feed socket. The primary heartbeats every
+    /// 250ms, so the default (1s) tolerates a few lost beats; a socket
+    /// silent for longer is treated as a dead link and reconnected, even
+    /// if TCP still believes it is established (half-open peer).
+    pub feed_read_timeout: Duration,
 }
 
 impl Default for ReplicaConfig {
@@ -78,17 +115,29 @@ impl Default for ReplicaConfig {
             durability: DurabilityOptions::default(),
             connect_attempts: 50,
             reconnect_backoff: Duration::from_millis(100),
+            feed_read_timeout: Duration::from_secs(1),
         }
     }
 }
 
 /// Link state shared between a [`Replica`]'s apply thread and the
 /// [`Server`](crate::Server) fronting it (which answers
-/// `Request::ReplicaStatus` from it).
+/// `Request::ReplicaStatus` from it — and, after a promotion, gates
+/// writes on the role recorded here).
 #[derive(Debug, Default)]
 pub struct ReplicationMonitor {
     primary_epoch: AtomicU64,
     connected: AtomicBool,
+    /// The fencing term as last observed from the feed (or set by a
+    /// promotion) — mirrored here so status answers need not lock the
+    /// store.
+    term: AtomicU64,
+    /// Raised by [`Replica::promote`]; never lowered. The apply thread
+    /// exits when it sees this, and `status` reports `Primary`.
+    promoted: AtomicBool,
+    /// The primary address this replica follows — the re-resolution hint
+    /// write clients read out of `ReplicaStatus` after a failover.
+    primary_addr: Mutex<String>,
     last_error: Mutex<Option<String>>,
     /// The live feed socket, cloned so `Replica::shutdown` can unblock a
     /// read parked on it.
@@ -98,13 +147,72 @@ pub struct ReplicationMonitor {
 impl ReplicationMonitor {
     /// The status this monitor describes, for a replica at `local_epoch`.
     pub fn status(&self, local_epoch: u64) -> ReplicaStatus {
+        let promoted = self.promoted.load(Ordering::Relaxed);
+        let primary_addr = self.primary_addr.lock().clone();
         ReplicaStatus {
-            role: ReplicaRole::Replica,
+            role: if promoted {
+                ReplicaRole::Primary
+            } else {
+                ReplicaRole::Replica
+            },
             local_epoch,
-            primary_epoch: self.primary_epoch.load(Ordering::Relaxed),
-            connected: self.connected.load(Ordering::Relaxed),
-            last_error: self.last_error.lock().clone(),
+            // A promoted node *is* the primary: its own epoch is the
+            // primary epoch, whatever the stale feed last reported.
+            primary_epoch: if promoted {
+                local_epoch
+            } else {
+                self.primary_epoch.load(Ordering::Relaxed)
+            },
+            term: self.term.load(Ordering::Relaxed),
+            connected: if promoted {
+                true
+            } else {
+                self.connected.load(Ordering::Relaxed)
+            },
+            last_error: if promoted {
+                None
+            } else {
+                self.last_error.lock().clone()
+            },
+            // A promoted node no longer follows anyone; the address it
+            // would report is the deposed primary's.
+            primary_addr: if promoted || primary_addr.is_empty() {
+                None
+            } else {
+                Some(primary_addr)
+            },
         }
+    }
+
+    /// The role this node currently plays: `Replica` until a promotion
+    /// flips it to `Primary`.
+    pub fn role(&self) -> ReplicaRole {
+        if self.promoted.load(Ordering::Relaxed) {
+            ReplicaRole::Primary
+        } else {
+            ReplicaRole::Replica
+        }
+    }
+
+    /// Whether [`Replica::promote`] has run.
+    pub fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::Relaxed)
+    }
+
+    /// The fencing term as last observed (or set by a promotion).
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Relaxed)
+    }
+
+    /// Promotes the node this monitor describes: bumps `store`'s durable
+    /// fencing term, then flips the monitor to `Primary` and hangs up
+    /// the feed. The store-first order is what fences the deposed
+    /// primary — see [`Replica::promote`], which delegates here; a
+    /// fronting server answering `Request::Promote` uses this directly.
+    pub fn promote(&self, store: &Store) -> Result<u64, StoreError> {
+        let term = store.promote_term()?;
+        self.note_promoted(term);
+        Ok(term)
     }
 
     fn record_error(&self, error: &ReplicaError) {
@@ -123,6 +231,12 @@ impl ReplicationMonitor {
         if let Some(stream) = self.live.lock().take() {
             let _ = stream.shutdown(Shutdown::Both);
         }
+    }
+
+    fn note_promoted(&self, term: u64) {
+        self.term.store(term, Ordering::Relaxed);
+        self.promoted.store(true, Ordering::Relaxed);
+        self.hang_up_live();
     }
 }
 
@@ -158,9 +272,11 @@ impl Replica {
     /// ships its bootstrap snapshot (so the returned replica can serve
     /// immediately), failing after
     /// [`ReplicaConfig::connect_attempts`] dials. A `dir` holding a
-    /// previous replica's store **warm-starts**: local recovery runs
-    /// first, the call returns at the recovered epoch, and catch-up
-    /// streams in the background from the local clock.
+    /// previous replica's store **warm-starts**: an anti-entropy pass
+    /// truncates any history that diverged from the primary's (see the
+    /// [module docs](self#failover)), local recovery runs, the call
+    /// returns at the recovered epoch, and catch-up streams in the
+    /// background from the local clock.
     pub fn start(
         primary_addr: impl Into<String>,
         dir: impl AsRef<Path>,
@@ -179,14 +295,30 @@ impl Replica {
         std::fs::create_dir_all(&dir)
             .map_err(|e| ReplicaError::Store(StoreError::io_at(&dir, e)))?;
         let monitor = Arc::new(ReplicationMonitor::default());
+        *monitor.primary_addr.lock() = primary_addr.clone();
 
-        let has_local_state = !plus_store::wal::list_snapshots(&dir)
+        let mut has_local_state = !wal::list_snapshots(&dir)
             .map_err(ReplicaError::Store)?
             .is_empty();
+        if has_local_state {
+            // Anti-entropy before recovery: if this directory's history
+            // diverged from the primary's (a deposed primary rejoining),
+            // truncate the fork *before* the store recovers it into
+            // servable state. Best-effort — an unreachable primary just
+            // means the plain warm start below.
+            match repair_divergence(&primary_addr, &dir, &config) {
+                Ok(Repair::Clean) | Ok(Repair::Truncated) => {}
+                Ok(Repair::Wiped) => has_local_state = false,
+                Err(e) => monitor.record_error(&e),
+            }
+        }
         let (store, pending) = if has_local_state {
             // Warm start: the local WAL is the source of truth up to its
             // recovered clock; the primary only supplies what follows.
             let store = Store::open_with(&dir, config.durability).map_err(ReplicaError::Store)?;
+            monitor
+                .term
+                .store(store.replication_term(), Ordering::Relaxed);
             (Arc::new(store), None)
         } else {
             // Cold start: nothing local — block until the primary ships
@@ -199,6 +331,9 @@ impl Replica {
             monitor
                 .primary_epoch
                 .store(primary_epoch, Ordering::Relaxed);
+            monitor
+                .term
+                .store(store.replication_term(), Ordering::Relaxed);
             monitor.connected.store(true, Ordering::Relaxed);
             (Arc::new(store), Some(conn))
         };
@@ -234,7 +369,8 @@ impl Replica {
 
     /// The replica's local store. Owner-side introspection (state
     /// comparison, checkpointing the replica's own log); never mutate
-    /// it — the apply thread is the single writer.
+    /// it — the apply thread is the single writer, until
+    /// [`promote`](Self::promote) retires it.
     pub fn store(&self) -> &Arc<Store> {
         &self.store
     }
@@ -261,8 +397,31 @@ impl Replica {
         self.monitor.status(self.epoch())
     }
 
+    /// Promotes this replica to primary, returning the new fencing term.
+    ///
+    /// Ordered for safety: the store's durable term is bumped *first*,
+    /// so from the instant this can return, any frame still arriving
+    /// from the deposed primary is refused with
+    /// [`StoreError::DeposedPrimary`] — then the monitor's role flips
+    /// (a fronting server starts accepting writes and feeding
+    /// subscribers) and the feed socket is hung up so the apply thread
+    /// exits. The store becomes an ordinary writable primary store; the
+    /// deposed primary must rejoin *as a replica* — its next warm start
+    /// against this node truncates its unreplicated tail.
+    ///
+    /// Idempotent in effect but not in term: promoting twice bumps the
+    /// term twice, which is safe (terms only fence, never address).
+    pub fn promote(&self) -> Result<u64, ReplicaError> {
+        self.monitor
+            .promote(&self.store)
+            .map_err(ReplicaError::Store)
+    }
+
     /// Waits until the replica is connected with zero observed lag, or
-    /// the deadline passes. Returns whether it caught up.
+    /// the deadline passes. Returns whether it caught up — `false`, not
+    /// a hang, against a primary that stopped talking (the feed's read
+    /// deadline flips `connected` off within
+    /// [`ReplicaConfig::feed_read_timeout`]).
     pub fn wait_caught_up(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
@@ -289,7 +448,9 @@ impl Replica {
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
-        self.monitor.connected.store(false, Ordering::Relaxed);
+        if !self.monitor.is_promoted() {
+            self.monitor.connected.store(false, Ordering::Relaxed);
+        }
     }
 }
 
@@ -307,10 +468,21 @@ struct FeedConn {
 }
 
 impl FeedConn {
-    /// Dials, handshakes, and subscribes from `from_clock`.
-    fn open(addr: &str, from_clock: u64) -> Result<FeedConn, ReplicaError> {
+    /// Dials and handshakes, leaving the connection in request/response
+    /// mode (no subscription yet). The read deadline applies from the
+    /// first byte: a peer that accepts and goes silent fails the
+    /// handshake instead of hanging it.
+    fn connect(addr: &str, read_timeout: Duration) -> Result<FeedConn, ReplicaError> {
         let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
         stream.set_nodelay(true).map_err(ClientError::Io)?;
+        // The deadline that detects a half-open primary: a read that
+        // sees no bytes for this long fails, and the caller treats that
+        // exactly like a hangup (reconnect with backoff). Without it the
+        // apply thread parks forever on a dead socket while status keeps
+        // reporting connected.
+        stream
+            .set_read_timeout(Some(read_timeout.max(Duration::from_millis(1))))
+            .map_err(ClientError::Io)?;
         let mut conn = FeedConn {
             stream,
             inbuf: Vec::with_capacity(4096),
@@ -325,6 +497,12 @@ impl FeedConn {
             Response::Error(e) => return Err(ReplicaError::Client(ClientError::Remote(e))),
             _ => return Err(ReplicaError::protocol("non-Hello answer to Hello")),
         }
+        Ok(conn)
+    }
+
+    /// Dials, handshakes, and subscribes from `from_clock`.
+    fn open(addr: &str, from_clock: u64, read_timeout: Duration) -> Result<FeedConn, ReplicaError> {
+        let mut conn = Self::connect(addr, read_timeout)?;
         let mut outbuf = Vec::with_capacity(64);
         let payload = encode_request(&Request::Subscribe { from_clock })
             .map_err(|e| ReplicaError::Client(ClientError::Unencodable(e)))?;
@@ -332,8 +510,8 @@ impl FeedConn {
         Ok(conn)
     }
 
-    /// One strict request/response round trip (handshake only; after
-    /// Subscribe the stream is one-way).
+    /// One strict request/response round trip (handshake and
+    /// anti-entropy only; after Subscribe the stream is one-way).
     fn call(&mut self, request: &Request) -> Result<Response, ReplicaError> {
         let mut outbuf = Vec::with_capacity(256);
         let payload = encode_request(request)
@@ -352,7 +530,9 @@ impl FeedConn {
     }
 
     /// The next chunk of the subscription stream. A typed error frame
-    /// (the primary refusing or failing the feed) is terminal.
+    /// (the primary refusing or failing the feed) is terminal, and so is
+    /// a read-deadline expiry — the primary heartbeats far more often
+    /// than the deadline, so silence *is* a dead link.
     fn next_chunk(&mut self) -> Result<WalChunk, ReplicaError> {
         match self.read_response()? {
             Response::WalChunk(chunk) => Ok(chunk),
@@ -362,6 +542,123 @@ impl FeedConn {
             )),
         }
     }
+}
+
+/// What the warm-start anti-entropy pass did to the local directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Repair {
+    /// Local history is consistent with the primary's — nothing to do.
+    Clean,
+    /// A divergent suffix was truncated; warm start resumes from what
+    /// remains, and the feed re-ships the rest.
+    Truncated,
+    /// The divergence predates every local snapshot, so nothing local
+    /// could anchor recovery — the directory was emptied and the caller
+    /// must cold-start from the primary's bootstrap snapshot.
+    Wiped,
+}
+
+/// Fetches the primary's fencing term and per-segment digests.
+fn fetch_log_digests(
+    addr: &str,
+    read_timeout: Duration,
+) -> Result<(u64, Vec<SegmentDigest>), ReplicaError> {
+    let mut conn = FeedConn::connect(addr, read_timeout)?;
+    match conn.call(&Request::LogDigests)? {
+        Response::LogDigests { term, segments } => Ok((term, segments)),
+        Response::Error(e) => Err(ReplicaError::Client(ClientError::Remote(e))),
+        _ => Err(ReplicaError::protocol(
+            "non-LogDigests answer to LogDigests",
+        )),
+    }
+}
+
+/// The warm-start anti-entropy pass: compare local segment digests with
+/// the primary's and discard any divergent suffix. See the [module
+/// docs](self#failover).
+fn repair_divergence(
+    addr: &str,
+    dir: &Path,
+    config: &ReplicaConfig,
+) -> Result<Repair, ReplicaError> {
+    let (primary_term, primary) = fetch_log_digests(addr, config.feed_read_timeout)?;
+    let local = wal::segment_digests(dir).map_err(ReplicaError::Store)?;
+    let local_term = wal::read_term(dir).map_err(ReplicaError::Store)?;
+    // A primary at a higher term means a promotion this directory may
+    // have missed — its tail may be a fork, so comparison is strict:
+    // any segment that is not byte-identical is suspect. At an equal
+    // term no fork is possible (single writer), so a shorter local
+    // segment is just ordinary lag and survives.
+    let strict = primary_term > local_term;
+    let Some(cutoff) = divergence_point(&primary, &local, strict) else {
+        return Ok(Repair::Clean);
+    };
+    let snapshots = wal::list_snapshots(dir).map_err(ReplicaError::Store)?;
+    if snapshots.iter().any(|(clock, _)| *clock <= cutoff) {
+        wal::truncate_history_from(dir, cutoff).map_err(ReplicaError::Store)?;
+        Ok(Repair::Truncated)
+    } else {
+        // Every local snapshot postdates the divergence: recovery has
+        // nothing trustworthy to start from. Empty the directory (term
+        // file included — the bootstrap chunk re-establishes it) and
+        // cold-start.
+        for (_, path) in snapshots {
+            std::fs::remove_file(&path)
+                .map_err(|e| ReplicaError::Store(StoreError::io_at(&path, e)))?;
+        }
+        for (_, path) in wal::list_segments(dir).map_err(ReplicaError::Store)? {
+            std::fs::remove_file(&path)
+                .map_err(|e| ReplicaError::Store(StoreError::io_at(&path, e)))?;
+        }
+        let term_file = wal::term_path(dir);
+        if let Err(e) = std::fs::remove_file(&term_file) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                return Err(ReplicaError::Store(StoreError::io_at(&term_file, e)));
+            }
+        }
+        Ok(Repair::Wiped)
+    }
+}
+
+/// The first local segment start clock from which history must be
+/// discarded, or `None` when local history is consistent with the
+/// primary's.
+///
+/// Segments are compared by `(start_clock, bytes, crc)` identity. Local
+/// segments older than the primary's oldest digest were pruned by a
+/// primary checkpoint and cannot be verified — they are assumed good
+/// (the fencing term, not this pass, is what guarantees forked *frames*
+/// never apply). In `strict` mode (the primary's term is ahead) any
+/// non-identical segment diverges; otherwise a local segment that is a
+/// shorter prefix of the primary's is ordinary replication lag.
+fn divergence_point(
+    primary: &[SegmentDigest],
+    local: &[SegmentDigest],
+    strict: bool,
+) -> Option<u64> {
+    let oldest_primary = primary.first().map(|p| p.start_clock);
+    for l in local {
+        match primary.iter().find(|p| p.start_clock == l.start_clock) {
+            Some(p) if p == l => continue,
+            Some(p) => {
+                if strict || l.bytes >= p.bytes {
+                    return Some(l.start_clock);
+                }
+                // Equal term, shorter file: a clean prefix of the
+                // segment the primary is still appending to.
+            }
+            None => match oldest_primary {
+                // Pruned on the primary — unverifiable, assume good.
+                Some(oldest) if l.start_clock < oldest => continue,
+                None => continue,
+                // A start clock the primary never sealed a segment at:
+                // an unreplicated local tail (or misaligned segment
+                // boundaries) — discard from here.
+                Some(_) => return Some(l.start_clock),
+            },
+        }
+    }
+    None
 }
 
 /// Cold start: dial until the primary ships the bootstrap snapshot,
@@ -374,13 +671,18 @@ fn bootstrap(
     monitor: &ReplicationMonitor,
 ) -> Result<(Store, FeedConn, u64), ReplicaError> {
     let mut last: Option<ReplicaError> = None;
-    for _ in 0..config.connect_attempts.max(1) {
+    let attempts = config.connect_attempts.max(1);
+    for attempt in 0..attempts {
         match try_bootstrap(addr, dir, config) {
             Ok(done) => return Ok(done),
             Err(e) => {
                 monitor.record_error(&e);
                 last = Some(e);
-                std::thread::sleep(config.reconnect_backoff);
+                // Backoff *between* attempts only: the final failure
+                // returns immediately instead of sleeping into an error.
+                if attempt + 1 < attempts {
+                    std::thread::sleep(config.reconnect_backoff);
+                }
             }
         }
     }
@@ -392,16 +694,16 @@ fn try_bootstrap(
     dir: &Path,
     config: &ReplicaConfig,
 ) -> Result<(Store, FeedConn, u64), ReplicaError> {
-    let mut conn = FeedConn::open(addr, 0)?;
+    let mut conn = FeedConn::open(addr, 0, config.feed_read_timeout)?;
     // The first chunk of a from-zero subscription always carries the
     // bootstrap snapshot (frames cannot rebuild the lattice).
     let chunk = conn.next_chunk()?;
-    let Some(snapshot) = chunk.snapshot else {
+    let Some(snapshot) = &chunk.snapshot else {
         return Err(ReplicaError::protocol(
             "primary opened a cold subscription without a snapshot",
         ));
     };
-    let clock = codec::decode(&snapshot)
+    let clock = codec::decode(snapshot)
         .map_err(|e| ReplicaError::Protocol(format!("bootstrap snapshot does not decode: {e}")))?
         .clock;
     if clock != chunk.start_clock {
@@ -410,14 +712,35 @@ fn try_bootstrap(
             chunk.start_clock
         )));
     }
-    plus_store::wal::write_atomic(&plus_store::wal::snapshot_path(dir, clock), &snapshot)
-        .map_err(ReplicaError::Store)?;
+    wal::write_atomic(&wal::snapshot_path(dir, clock), snapshot).map_err(ReplicaError::Store)?;
     let store = Store::open_with(dir, config.durability).map_err(ReplicaError::Store)?;
-    apply_frames(&store, chunk.start_clock, &chunk.frames)?;
+    // Adopt (and durably record) the primary's fencing term before the
+    // first frame applies.
+    store
+        .observe_replication_term(chunk.term)
+        .map_err(ReplicaError::Store)?;
+    apply_frames(&store, chunk.start_clock, &chunk.frames, chunk.term)?;
     Ok((store, conn, chunk.primary_epoch))
 }
 
-/// The apply thread: stream chunks, reconnect with backoff, forever.
+/// Sleeps `total` in small slices so a raised stop flag (or a
+/// promotion) interrupts it promptly. Returns `true` when interrupted.
+fn interruptible_sleep(stop: &AtomicBool, monitor: &ReplicationMonitor, total: Duration) -> bool {
+    let deadline = Instant::now() + total;
+    loop {
+        if stop.load(Ordering::SeqCst) || monitor.is_promoted() {
+            return true;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return false;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(10)));
+    }
+}
+
+/// The apply thread: stream chunks, reconnect with backoff, until
+/// stopped or promoted.
 fn run(
     addr: String,
     store: Arc<Store>,
@@ -426,15 +749,15 @@ fn run(
     mut pending: Option<FeedConn>,
     config: ReplicaConfig,
 ) {
-    while !stop.load(Ordering::SeqCst) {
+    while !stop.load(Ordering::SeqCst) && !monitor.is_promoted() {
         let conn = match pending.take() {
             Some(conn) => conn,
-            None => match FeedConn::open(&addr, store.version()) {
+            None => match FeedConn::open(&addr, store.version(), config.feed_read_timeout) {
                 Ok(conn) => conn,
                 Err(e) => {
                     monitor.record_error(&e);
                     monitor.connected.store(false, Ordering::Relaxed);
-                    std::thread::sleep(config.reconnect_backoff);
+                    interruptible_sleep(&stop, &monitor, config.reconnect_backoff);
                     continue;
                 }
             },
@@ -446,7 +769,7 @@ fn run(
         }
         let mut conn = conn;
         loop {
-            if stop.load(Ordering::SeqCst) {
+            if stop.load(Ordering::SeqCst) || monitor.is_promoted() {
                 monitor.set_live(None);
                 return;
             }
@@ -469,16 +792,24 @@ fn run(
         }
         monitor.connected.store(false, Ordering::Relaxed);
         monitor.set_live(None);
-        std::thread::sleep(config.reconnect_backoff);
+        interruptible_sleep(&stop, &monitor, config.reconnect_backoff);
     }
 }
 
-/// Applies one chunk: optional snapshot fast-forward, then frames.
+/// Applies one chunk: fencing check, optional snapshot fast-forward,
+/// then frames.
 fn apply_chunk(
     store: &Store,
     chunk: WalChunk,
     monitor: &ReplicationMonitor,
 ) -> Result<(), ReplicaError> {
+    // Fence before anything touches the store: a chunk from a deposed
+    // primary must not even install its snapshot. (Every frame is
+    // re-checked inside apply_replicated, so a promotion racing this
+    // window still cannot let a forked frame in.)
+    store
+        .observe_replication_term(chunk.term)
+        .map_err(ReplicaError::Store)?;
     if let Some(snapshot) = &chunk.snapshot {
         // install_snapshot no-ops when the local clock already covers
         // it, so an overlapping backfill is harmless.
@@ -486,16 +817,23 @@ fn apply_chunk(
             .install_snapshot(snapshot)
             .map_err(ReplicaError::Store)?;
     }
-    apply_frames(store, chunk.start_clock, &chunk.frames)?;
+    apply_frames(store, chunk.start_clock, &chunk.frames, chunk.term)?;
+    monitor.term.store(chunk.term, Ordering::Relaxed);
     monitor
         .primary_epoch
         .store(chunk.primary_epoch, Ordering::Relaxed);
     Ok(())
 }
 
-/// Replays sealed frames (clock-contiguous from `start_clock`) into the
-/// store, skipping any overlap below the local clock.
-fn apply_frames(store: &Store, start_clock: u64, frames: &[u8]) -> Result<(), ReplicaError> {
+/// Replays sealed frames (clock-contiguous from `start_clock`, stamped
+/// with the feeder's fencing `term`) into the store, skipping any
+/// overlap below the local clock.
+fn apply_frames(
+    store: &Store,
+    start_clock: u64,
+    frames: &[u8],
+    term: u64,
+) -> Result<(), ReplicaError> {
     let mut clock = start_clock;
     let mut pos = 0;
     while pos < frames.len() {
@@ -510,7 +848,7 @@ fn apply_frames(store: &Store, start_clock: u64, frames: &[u8]) -> Result<(), Re
                 }
                 if clock == local {
                     store
-                        .apply_replicated(record)
+                        .apply_replicated(record, term)
                         .map_err(ReplicaError::Store)?;
                 }
                 clock += 1;
@@ -535,5 +873,68 @@ fn apply_frames(store: &Store, start_clock: u64, frames: &[u8]) -> Result<(), Re
 /// `true` when `dir` already holds a replica (or any durable) store —
 /// i.e. whether [`Replica::start`] would warm-start from it.
 pub fn dir_has_store(dir: impl AsRef<Path>) -> bool {
-    matches!(plus_store::wal::list_snapshots(dir.as_ref()), Ok(snaps) if !snaps.is_empty())
+    matches!(wal::list_snapshots(dir.as_ref()), Ok(snaps) if !snaps.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(start_clock: u64, bytes: u64, crc: u32) -> SegmentDigest {
+        SegmentDigest {
+            start_clock,
+            bytes,
+            crc,
+        }
+    }
+
+    #[test]
+    fn identical_histories_are_clean() {
+        let p = vec![seg(0, 100, 1), seg(8, 200, 2)];
+        assert_eq!(divergence_point(&p, &p, false), None);
+        assert_eq!(divergence_point(&p, &p, true), None);
+    }
+
+    #[test]
+    fn lagging_tail_segment_is_clean_at_equal_term() {
+        let p = vec![seg(0, 100, 1), seg(8, 200, 2)];
+        let l = vec![seg(0, 100, 1), seg(8, 120, 9)];
+        assert_eq!(divergence_point(&p, &l, false), None);
+        // ...but suspect when the primary's term is ahead.
+        assert_eq!(divergence_point(&p, &l, true), Some(8));
+    }
+
+    #[test]
+    fn longer_local_segment_diverges() {
+        // A local segment longer than the primary's own: frames the
+        // primary does not have, forked at any term.
+        let p = vec![seg(0, 100, 1), seg(8, 200, 2)];
+        let l = vec![seg(0, 100, 1), seg(8, 260, 9)];
+        assert_eq!(divergence_point(&p, &l, false), Some(8));
+    }
+
+    #[test]
+    fn equal_length_crc_mismatch_diverges() {
+        let p = vec![seg(0, 100, 1)];
+        let l = vec![seg(0, 100, 7)];
+        assert_eq!(divergence_point(&p, &l, false), Some(0));
+    }
+
+    #[test]
+    fn unreplicated_tail_segments_diverge() {
+        let p = vec![seg(0, 100, 1)];
+        let l = vec![seg(0, 100, 1), seg(8, 40, 5)];
+        assert_eq!(divergence_point(&p, &l, false), Some(8));
+    }
+
+    #[test]
+    fn pruned_history_is_assumed_good() {
+        // The primary checkpointed past clock 16: older local segments
+        // cannot be verified and are kept.
+        let p = vec![seg(16, 300, 3)];
+        let l = vec![seg(0, 100, 1), seg(8, 200, 2), seg(16, 300, 3)];
+        assert_eq!(divergence_point(&p, &l, false), None);
+        let p_empty: Vec<SegmentDigest> = Vec::new();
+        assert_eq!(divergence_point(&p_empty, &l, false), None);
+    }
 }

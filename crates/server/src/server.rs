@@ -278,6 +278,7 @@ impl Server {
                     addr,
                     server_metrics.clone(),
                     service.clone(),
+                    monitor.clone(),
                     shutdown.clone(),
                 )?;
                 (Some(bound), Some(handle))
@@ -1149,6 +1150,8 @@ fn request_type(request: &Request) -> RequestType {
         Request::Checkpoint => RequestType::Checkpoint,
         Request::ReplicaStatus => RequestType::ReplicaStatus,
         Request::Subscribe { .. } => RequestType::Subscribe,
+        Request::LogDigests => RequestType::LogDigests,
+        Request::Promote => RequestType::Promote,
     }
 }
 
@@ -1399,6 +1402,23 @@ fn answer(ctx: &ShardCtx, consumer: &Consumer, request: Request) -> (Response, O
         },
         Request::Epoch => (Response::Epoch(service.epoch()), Outcome::Continue),
         Request::Checkpoint => {
+            if let Some(monitor) = ctx.monitor.as_deref() {
+                if !monitor.is_promoted() {
+                    // A checkpoint is a write-side operator action; on a
+                    // replica the caller almost certainly wanted the
+                    // primary. The NotWritable message carries the
+                    // writable address (when known) so client pools
+                    // re-resolve after a failover instead of restarting.
+                    let addr = monitor
+                        .status(service.epoch())
+                        .primary_addr
+                        .unwrap_or_default();
+                    return (
+                        Response::Error(WireError::new(WireErrorKind::NotWritable, addr)),
+                        Outcome::Continue,
+                    );
+                }
+            }
             if !ctx.config.allow_remote_checkpoint {
                 return (
                     Response::Error(WireError::new(
@@ -1436,11 +1456,89 @@ fn answer(ctx: &ShardCtx, consumer: &Consumer, request: Request) -> (Response, O
                     role: ReplicaRole::Primary,
                     local_epoch,
                     primary_epoch: local_epoch,
+                    term: service
+                        .store()
+                        .map(|store| store.replication_term())
+                        .unwrap_or(0),
                     connected: true,
                     last_error: None,
+                    primary_addr: None,
                 },
             };
             (Response::ReplicaStatus(status), Outcome::Continue)
+        }
+        // Anti-entropy: a peer comparing logs. Gated exactly like
+        // Subscribe — digests reveal history shape (clock ranges, sizes)
+        // and exist only to support replication inside the owner's
+        // trust domain.
+        Request::LogDigests => {
+            if !ctx.config.allow_replication {
+                return (
+                    Response::Error(WireError::new(
+                        WireErrorKind::NotAuthorized,
+                        "replication is disabled on this server; its operator must opt in (--allow-replication)",
+                    )),
+                    Outcome::Continue,
+                );
+            }
+            let dir = service.store().and_then(|store| store.durable_dir());
+            let (Some(store), Some(dir)) = (service.store(), dir) else {
+                return (
+                    Response::Error(WireError::new(
+                        WireErrorKind::NotDurable,
+                        "this server has no write-ahead log to digest; anti-entropy needs a durable store",
+                    )),
+                    Outcome::Continue,
+                );
+            };
+            match wal::segment_digests(&dir) {
+                Ok(segments) => (
+                    Response::LogDigests {
+                        term: store.replication_term(),
+                        segments,
+                    },
+                    Outcome::Continue,
+                ),
+                Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
+            }
+        }
+        // Live promotion over the wire (`spgraph promote <addr>`).
+        // Owner-side like Subscribe; idempotent on a node that is
+        // already primary (answers the standing term without bumping).
+        Request::Promote => {
+            if !ctx.config.allow_replication {
+                return (
+                    Response::Error(WireError::new(
+                        WireErrorKind::NotAuthorized,
+                        "promotion is disabled on this server; its operator must opt in (--allow-replication)",
+                    )),
+                    Outcome::Continue,
+                );
+            }
+            let Some(store) = service.store() else {
+                return (
+                    Response::Error(WireError::new(
+                        WireErrorKind::NotDurable,
+                        "this server has no durable store; the fencing term has nowhere to live",
+                    )),
+                    Outcome::Continue,
+                );
+            };
+            match ctx.monitor.as_deref() {
+                Some(monitor) if !monitor.is_promoted() => match monitor.promote(store) {
+                    Ok(term) => {
+                        ctx.metrics.promotions.inc();
+                        (Response::Promoted { term }, Outcome::Continue)
+                    }
+                    Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
+                },
+                _ => (
+                    Response::Promoted {
+                        term: store.replication_term(),
+                    },
+                    Outcome::Continue,
+                ),
+            }
         }
     }
 }
@@ -1643,6 +1741,13 @@ fn serve_subscription(
             return;
         }
         let current = service.epoch();
+        // Re-read per chunk, not once: a promotion of *this* node (or a
+        // higher term adopted from upstream) must reach subscribers with
+        // the next chunk, so their fencing state tracks the feeder's.
+        let term = service
+            .store()
+            .map(|store| store.replication_term())
+            .unwrap_or(0);
         if snapshot_due {
             // Backfill: the subscriber's clock predates the retained
             // log. The newest snapshot both bootstraps cold replicas
@@ -1695,6 +1800,7 @@ fn serve_subscription(
             let chunk = WalChunk {
                 start_clock: clock,
                 primary_epoch: current,
+                term,
                 snapshot: Some(bytes),
                 frames: Vec::new(),
             };
@@ -1714,6 +1820,7 @@ fn serve_subscription(
                     let frame_chunk = WalChunk {
                         start_clock: chunk.start_clock,
                         primary_epoch: current,
+                        term,
                         snapshot: None,
                         frames: chunk.frames,
                     };
@@ -1744,6 +1851,7 @@ fn serve_subscription(
             let heartbeat = WalChunk {
                 start_clock: next,
                 primary_epoch: current,
+                term,
                 snapshot: None,
                 frames: Vec::new(),
             };

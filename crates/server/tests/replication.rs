@@ -119,6 +119,7 @@ fn replica_config() -> ReplicaConfig {
         durability: fast(),
         connect_attempts: 100,
         reconnect_backoff: Duration::from_millis(10),
+        ..ReplicaConfig::default()
     }
 }
 

@@ -23,12 +23,18 @@
 //!                                              with admission control and an
 //!                                              optional Prometheus endpoint
 //! spgraph serve <dir> --replicate-from <addr> [--addr a:p] [--threads n]
+//!               [--allow-replication] [--churn <ops/s>]
 //!                                              serve as a READ REPLICA: tail the
 //!                                              primary's WAL into <dir> and serve
 //!                                              the same queries at a lagging epoch
+//!                                              (--churn arms a standby writer that
+//!                                              activates on promotion)
+//! spgraph promote <dir | addr>                 promote a replica to primary: bump
+//!                                              the fencing term (live via its
+//!                                              server, or offline on its directory)
 //! spgraph replica-status <addr> [--wait] [--timeout <secs>]
-//!                                              a server's replication status:
-//!                                              role, epochs, lag, link health
+//!                                              a server's replication status: role,
+//!                                              epochs, lag, term, link health
 //! spgraph query --remote <addr> -p <predicate> --root <id> [...]
 //!                                              the same lineage query, answered
 //!                                              by a remote spgraph serve
@@ -65,7 +71,8 @@ fn usage() -> ExitCode {
          spgraph checkpoint <dir>\n  spgraph recover <dir> [--verify]\n  \
          spgraph serve <store> [--addr <addr:port>] [--threads <n>] [--allow-checkpoint] [--allow-replication] [--churn <ops/s>]\n  \
          \u{20}             [--max-conns <n>] [--rate-limit <req/s>] [--metrics-addr <addr:port>]\n  \
-         spgraph serve <dir> --replicate-from <addr:port> [--addr <addr:port>] [--threads <n>]\n  \
+         spgraph serve <dir> --replicate-from <addr:port> [--addr <addr:port>] [--threads <n>] [--allow-replication] [--churn <ops/s>]\n  \
+         spgraph promote <dir | addr:port>\n  \
          spgraph replica-status <addr:port> [--wait] [--timeout <secs>]\n  \
          spgraph query --remote <addr:port> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n\
          <store> is a snapshot file or a durable (write-ahead-logged) store directory"
@@ -93,6 +100,7 @@ fn main() -> ExitCode {
         "checkpoint" => cmd_checkpoint(&args[1..]),
         "recover" => cmd_recover(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "promote" => cmd_promote(&args[1..]),
         "replica-status" => cmd_replica_status(&args[1..]),
         _ => return usage(),
     };
@@ -496,11 +504,15 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
         surrogate_parenthood::server::raise_nofile_limit(config.max_conns as u64 + 512).ok();
 
     if let Some(primary) = flag_value(args, "--replicate-from") {
-        for flag in ["--allow-checkpoint", "--allow-replication", "--churn"] {
-            if args.iter().any(|a| a == flag) {
-                return Err(format!("{flag} applies to a primary, not a replica"));
-            }
+        if args.iter().any(|a| a == "--allow-checkpoint") {
+            return Err("--allow-checkpoint applies to a primary, not a replica".to_string());
         }
+        // Opting in up front lets a promoted replica feed rejoining
+        // peers (and accept `spgraph promote`) without a restart.
+        config.allow_replication = args.iter().any(|a| a == "--allow-replication");
+        let standby_churn: Option<u64> = flag_value(args, "--churn")
+            .map(|c| c.parse().map_err(|_| format!("bad --churn {c:?}")))
+            .transpose()?;
         let replica = surrogate_parenthood::Replica::start(&primary, path)
             .map_err(|e| format!("cannot replicate from {primary}: {e}"))?;
         let epoch = replica.epoch();
@@ -513,6 +525,38 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
             config.threads
         );
         println!("read-only: this replica applies the primary's log and serves queries");
+        // A standby writer: inert while the node is a replica, it starts
+        // appending the moment the node is promoted — so a failover
+        // smoke can prove writes land on the new primary.
+        if let Some(rate) = standby_churn.filter(|&r| r > 0) {
+            let monitor = replica.monitor();
+            let store = replica.store().clone();
+            let pause = std::time::Duration::from_nanos(1_000_000_000 / rate.min(1_000_000));
+            std::thread::spawn(move || {
+                while !monitor.is_promoted() {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                let Some(public) = store.predicate("Public") else {
+                    return; // no Public predicate: nothing safe to append
+                };
+                let mut i = 0u64;
+                loop {
+                    if store
+                        .try_append_node(
+                            format!("churn-promoted-{i}"),
+                            surrogate_parenthood::plus_store::NodeKind::Data,
+                            Features::new().with("churn", i as i64),
+                            public,
+                        )
+                        .is_err()
+                    {
+                        return; // poisoned log: stop writing, keep serving
+                    }
+                    i += 1;
+                    std::thread::sleep(pause);
+                }
+            });
+        }
         // Machine-parseable: scripts resolve `--addr :0` from this line.
         println!("listening on {}", server.local_addr());
         if let Some(metrics) = server.metrics_local_addr() {
@@ -624,6 +668,34 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
     }
 }
 
+/// Promotes a replica to primary, durably bumping the fencing term so
+/// frames from the deposed primary are refused from that instant on.
+/// The target is either a live replica server's address (preferred: the
+/// running process flips role in place) or a stopped replica's store
+/// directory (offline bump; serve it writable afterwards).
+fn cmd_promote(args: &[String]) -> CliResult<()> {
+    let target = args
+        .first()
+        .ok_or("missing target: a replica server address or a stopped replica's store directory")?;
+    if std::path::Path::new(target).is_dir() {
+        let store =
+            Store::open(target).map_err(|e| format!("cannot open {target} for promotion: {e}"))?;
+        let term = store
+            .promote_term()
+            .map_err(|e| format!("cannot promote {target}: {e}"))?;
+        println!("{target} promoted offline: fencing term {term}");
+        println!("serve it writable (spgraph serve {target} ...) to accept appends");
+    } else {
+        let mut client = surrogate_parenthood::Client::connect(target as &str, "spgraph", &[])
+            .map_err(|e| format!("cannot reach {target}: {e}"))?;
+        let term = client
+            .promote()
+            .map_err(|e| format!("cannot promote {target}: {e}"))?;
+        println!("{target} promoted: fencing term {term}, accepting writes");
+    }
+    Ok(())
+}
+
 /// Asks any server for its replication status; with `--wait`, polls
 /// until the server reports a connected, fully caught-up state (lag 0).
 fn cmd_replica_status(args: &[String]) -> CliResult<()> {
@@ -670,11 +742,15 @@ fn cmd_replica_status(args: &[String]) -> CliResult<()> {
     };
     println!("{addr} is a {}", status.role);
     println!(
-        "  epoch {} | primary epoch {} | lag {}",
+        "  epoch {} | primary epoch {} | lag {} | term {}",
         status.local_epoch,
         status.primary_epoch,
-        status.lag()
+        status.lag(),
+        status.term
     );
+    if let Some(primary) = &status.primary_addr {
+        println!("  primary: {primary}");
+    }
     println!(
         "  link: {}",
         if status.connected {
