@@ -1,0 +1,118 @@
+//! Sharding benchmark — aggregate multi-primary write throughput and
+//! scatter-gather traversal throughput over a partitioned deployment,
+//! the PR-over-PR sharding record (`BENCH_PR9.json`).
+//!
+//! ```text
+//! repro_shard                         full workload (2 shards, 25k writes each)
+//! repro_shard --smoke                 small workload, same code paths (CI)
+//! repro_shard --shards 4              shard primaries in the deployment
+//! repro_shard --ops 10000             wire writes per shard
+//! repro_shard --threads 6             closed-loop reader threads
+//! repro_shard --requests 50000        traversals against the gather
+//! repro_shard --json BENCH_PR9.json   record results (merging into an
+//!                                     existing bench JSON object)
+//! ```
+
+use surrogate_bench::experiments::shard::{self, ShardBenchConfig};
+use surrogate_bench::report::{json, render_table};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = if args.iter().any(|a| a == "--smoke") {
+        ShardBenchConfig::smoke()
+    } else {
+        ShardBenchConfig::default()
+    };
+    if let Some(shards) = flag_value(&args, "--shards") {
+        config.shards = shards.parse().expect("--shards takes a number");
+    }
+    if let Some(ops) = flag_value(&args, "--ops") {
+        config.ops_per_shard = ops.parse().expect("--ops takes a number");
+    }
+    if let Some(threads) = flag_value(&args, "--threads") {
+        config.threads = threads.parse().expect("--threads takes a number");
+    }
+    if let Some(requests) = flag_value(&args, "--requests") {
+        config.requests = requests.parse().expect("--requests takes a number");
+    }
+
+    println!(
+        "sharding benchmark: {} shard(s) x {} wire writes, then {} traversals over {} threads through a gather\n",
+        config.shards, config.ops_per_shard, config.requests, config.threads
+    );
+
+    let result = match shard::run(&config) {
+        Ok(result) => result,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    };
+
+    let table = render_table(
+        &["metric", "value"],
+        &[
+            vec!["shards".into(), result.shards.to_string()],
+            vec!["wire writes (total)".into(), result.ops.to_string()],
+            vec![
+                "aggregate writes/sec".into(),
+                format!("{:.0}", result.write_per_sec),
+            ],
+            vec![
+                "gather catch-up (ms)".into(),
+                format!("{:.1}", result.gather_catchup_ms),
+            ],
+            vec!["reader threads".into(), result.threads.to_string()],
+            vec!["traversals completed".into(), result.requests.to_string()],
+            vec![
+                "scatter-gather queries/sec".into(),
+                format!("{:.0}", result.gather_queries_per_sec),
+            ],
+            vec![
+                "final shard epochs".into(),
+                format!("{:?}", result.shard_epochs),
+            ],
+        ],
+    );
+    println!("{table}");
+
+    if let Some(path) = flag_value(&args, "--json") {
+        let record = json::object(&[
+            ("shards", result.shards.to_string()),
+            ("ops", result.ops.to_string()),
+            ("write_per_sec", json::num(result.write_per_sec)),
+            ("gather_catchup_ms", json::num(result.gather_catchup_ms)),
+            ("threads", result.threads.to_string()),
+            ("requests", result.requests.to_string()),
+            (
+                "gather_queries_per_sec",
+                json::num(result.gather_queries_per_sec),
+            ),
+            (
+                "shard_epochs",
+                json::array(
+                    &result
+                        .shard_epochs
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ]);
+        let text = match std::fs::read_to_string(&path) {
+            // Merge into the shared bench record so one file carries
+            // the whole per-PR perf trajectory.
+            Ok(existing) => json::merge_key(existing.trim(), "shard", &record)
+                .unwrap_or_else(|| panic!("{path} does not hold a JSON object to merge into")),
+            Err(_) => format!("{{\"shard\": {record}}}"),
+        };
+        std::fs::write(&path, text).expect("bench JSON writes");
+        println!("shard record written to {path}");
+    }
+}

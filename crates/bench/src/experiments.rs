@@ -10,4 +10,5 @@ pub mod fig9;
 pub mod replica;
 pub mod serve;
 pub mod service;
+pub mod shard;
 pub mod table1;

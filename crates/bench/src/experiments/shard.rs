@@ -1,0 +1,291 @@
+//! Sharding benchmarks: aggregate multi-primary write throughput and
+//! scatter-gather traversal throughput across a partitioned deployment —
+//! the PR-9 record (`BENCH_PR9.json`).
+//!
+//! Two phases:
+//!
+//! 1. **Scatter writes.** `shards` shard primaries boot over partitioned
+//!    durable stores; one closed-loop writer per shard pushes
+//!    `WriteOp::AppendNode`/`AppendEdge` over the wire to its own
+//!    primary. Because the keyspace is congruence-class partitioned,
+//!    the writers never contend — the aggregate writes/s is the
+//!    multi-primary scaling story.
+//! 2. **Gather reads.** A gather node follows every shard's replication
+//!    feed into one merged graph; once it has caught up to the write
+//!    phase, closed-loop client threads hammer it with bounded
+//!    traversals whose lineages cross shards on almost every hop
+//!    (neighboring ids live on different shards by construction).
+//!
+//! The recorded per-shard epoch vector is the proof of full ingestion:
+//! each slot must equal that shard's operation count.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use plus_store::wire::WriteOp;
+use plus_store::{
+    AccountService, Direction, DurabilityOptions, EdgeKind, NodeKind, QueryRequest, RecordId, Store,
+};
+use server::{Client, Gather, Server, ServerConfig};
+use surrogate_core::account::Strategy;
+use surrogate_core::feature::Features;
+use surrogate_core::shard::Partition;
+
+/// Workload shape for the sharding benchmark.
+#[derive(Debug, Clone)]
+pub struct ShardBenchConfig {
+    /// Shard primaries in the deployment.
+    pub shards: u32,
+    /// Wire writes per shard (nodes + edges, one frame each).
+    pub ops_per_shard: usize,
+    /// Closed-loop client threads in the gather phase.
+    pub threads: usize,
+    /// Total traversal round trips in the gather phase.
+    pub requests: usize,
+    /// Hop bound per traversal.
+    pub max_depth: u32,
+}
+
+impl Default for ShardBenchConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            ops_per_shard: 25_000,
+            threads: 6,
+            requests: 120_000,
+            max_depth: 4,
+        }
+    }
+}
+
+impl ShardBenchConfig {
+    /// The CI smoke shape: small enough for a busy runner, same paths.
+    pub fn smoke() -> Self {
+        Self {
+            ops_per_shard: 1_500,
+            requests: 9_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Measured sharding performance.
+#[derive(Debug, Clone)]
+pub struct ShardBenchResult {
+    /// Shard primaries in the deployment.
+    pub shards: u32,
+    /// Wire writes applied across all shards.
+    pub ops: usize,
+    /// Aggregate writes per second across the shard primaries.
+    pub write_per_sec: f64,
+    /// Wall-clock for the gather to ingest the whole write phase, ms.
+    pub gather_catchup_ms: f64,
+    /// Client threads in the gather phase.
+    pub threads: usize,
+    /// Traversal round trips completed against the gather.
+    pub requests: usize,
+    /// Scatter-gather traversals per second.
+    pub gather_queries_per_sec: f64,
+    /// Final per-shard epoch vector as the gather reports it.
+    pub shard_epochs: Vec<u64>,
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-shard-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One shard's closed-loop writer: appends nodes and, every third op,
+/// an edge from the previous node of *this shard's class* back to an
+/// earlier id — a layered lineage whose backward walk alternates shards
+/// (neighboring global ids live in different congruence classes).
+fn run_writer(addr: &str, shard: u32, shards: u32, ops: usize) -> Result<usize, String> {
+    let mut client = Client::connect(addr, "bench-writer", &[])
+        .map_err(|e| format!("writer {shard} cannot connect: {e}"))?;
+    let public = client
+        .predicate("Public")
+        .ok_or_else(|| format!("writer {shard}: no Public predicate"))?;
+    let mut owned: Vec<RecordId> = Vec::new();
+    let mut applied = 0usize;
+    for i in 0..ops {
+        if i % 3 == 2 && owned.len() >= 2 {
+            let from = *owned.last().unwrap();
+            // Target an earlier global id; the gather-phase walk from a
+            // late node then hops across classes (≈ across shards).
+            let back = (from.0 / shards).min(7 * shards + 1);
+            let to = RecordId(from.0 - back.max(1).min(from.0));
+            if to != from {
+                client
+                    .write(WriteOp::AppendEdge {
+                        from,
+                        to,
+                        kind: EdgeKind::InputTo,
+                    })
+                    .map_err(|e| format!("writer {shard} edge failed: {e}"))?;
+                applied += 1;
+                continue;
+            }
+        }
+        let (_, id) = client
+            .write(WriteOp::AppendNode {
+                label: format!("s{shard}-n{i}"),
+                kind: [NodeKind::Data, NodeKind::Process, NodeKind::Agent][i % 3],
+                features: Features::new().with("i", i as i64),
+                lowest: public,
+            })
+            .map_err(|e| format!("writer {shard} node failed: {e}"))?;
+        owned.push(id.ok_or_else(|| format!("writer {shard}: node ack without id"))?);
+        applied += 1;
+    }
+    Ok(applied)
+}
+
+/// Runs the sharding benchmark. Errors are strings: this is a harness,
+/// and every failure is terminal for the run.
+pub fn run(config: &ShardBenchConfig) -> Result<ShardBenchResult, String> {
+    let shards = config.shards.max(1);
+
+    // Boot the shard primaries.
+    let mut servers = Vec::new();
+    let mut dirs = Vec::new();
+    let mut addrs = Vec::new();
+    for index in 0..shards {
+        let dir = temp_dir(&format!("s{index}"));
+        let partition = Partition::new(index, shards)
+            .ok_or_else(|| format!("invalid partition {index}/{shards}"))?;
+        let store = Store::create_durable_partitioned(
+            &dir,
+            &["Public"],
+            &[],
+            DurabilityOptions {
+                fsync: false,
+                ..Default::default()
+            },
+            partition,
+        )
+        .map_err(|e| format!("cannot create shard {index} store: {e}"))?;
+        let server = Server::bind_sharded(
+            Arc::new(AccountService::new(Arc::new(store))),
+            "127.0.0.1:0",
+            ServerConfig {
+                allow_replication: true,
+                ..ServerConfig::default()
+            },
+            &[],
+        )
+        .map_err(|e| format!("cannot bind shard {index}: {e}"))?;
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+        dirs.push(dir);
+    }
+
+    // The gather attaches *before* the write phase: it ingests the
+    // stream live, so catch-up below measures residual lag, not a cold
+    // replay of the whole history.
+    let peer_refs: Vec<&str> = addrs.iter().map(String::as_str).collect();
+    let gather =
+        Arc::new(Gather::start(&peer_refs).map_err(|e| format!("gather failed to start: {e}"))?);
+    let front = Server::bind_gather(gather.clone(), "127.0.0.1:0", ServerConfig::default())
+        .map_err(|e| format!("cannot bind gather front: {e}"))?;
+
+    // --- Phase 1: scatter writes, one closed loop per shard -----------
+    let write_started = Instant::now();
+    let writers: Vec<_> = (0..shards)
+        .map(|index| {
+            let addr = addrs[index as usize].clone();
+            let ops = config.ops_per_shard;
+            std::thread::spawn(move || run_writer(&addr, index, shards, ops))
+        })
+        .collect();
+    let mut ops = 0usize;
+    for writer in writers {
+        ops += writer.join().map_err(|_| "writer thread panicked")??;
+    }
+    let write_secs = write_started.elapsed().as_secs_f64();
+
+    // --- Gather catch-up ----------------------------------------------
+    let catchup_started = Instant::now();
+    let target: u64 = ops as u64;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let ingested: u64 = gather.clocks().iter().sum();
+        if ingested >= target {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "gather stuck at {ingested} of {target} frames (down: {:?})",
+                gather.first_down()
+            ));
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let gather_catchup_ms = catchup_started.elapsed().as_secs_f64() * 1e3;
+
+    // --- Phase 2: scatter-gather traversals ---------------------------
+    let front_addr = front.local_addr().to_string();
+    // Counts *up*: a count-down with `fetch_sub` would wrap past zero
+    // under racing readers and strand one of them in an endless loop.
+    let issued = Arc::new(AtomicUsize::new(0));
+    let total_requests = config.requests;
+    let total_nodes = (ops as u32 / 3) * 2; // ~2/3 of ops are node appends
+    let query_started = Instant::now();
+    let readers: Vec<_> = (0..config.threads.max(1))
+        .map(|t| {
+            let addr = front_addr.clone();
+            let issued = issued.clone();
+            let max_depth = config.max_depth;
+            std::thread::spawn(move || -> Result<usize, String> {
+                let mut client = Client::connect(&addr, "bench-reader", &["Public"])
+                    .map_err(|e| format!("reader {t} cannot connect: {e}"))?;
+                let mut done = 0usize;
+                let mut at = (t as u32).wrapping_mul(2_654_435_761);
+                while issued.fetch_add(1, Ordering::Relaxed) < total_requests {
+                    // A cheap LCG spreads roots over the id space; late
+                    // ids have the deepest lineages.
+                    at = at.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    let root = RecordId(at % total_nodes.max(1));
+                    client
+                        .query(&QueryRequest::new(
+                            root,
+                            Direction::Backward,
+                            max_depth,
+                            Strategy::Surrogate,
+                        ))
+                        .map_err(|e| format!("reader {t} query failed: {e}"))?;
+                    done += 1;
+                }
+                Ok(done)
+            })
+        })
+        .collect();
+    let mut requests = 0usize;
+    for reader in readers {
+        requests += reader.join().map_err(|_| "reader thread panicked")??;
+    }
+    let query_secs = query_started.elapsed().as_secs_f64();
+
+    let shard_epochs = gather.clocks();
+    front.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+    drop(gather);
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    Ok(ShardBenchResult {
+        shards,
+        ops,
+        write_per_sec: ops as f64 / write_secs.max(1e-9),
+        gather_catchup_ms,
+        threads: config.threads.max(1),
+        requests,
+        gather_queries_per_sec: requests as f64 / query_secs.max(1e-9),
+        shard_epochs,
+    })
+}

@@ -362,6 +362,56 @@ mod tests {
     }
 
     #[test]
+    fn shard_vector_records_merge_cleanly() {
+        // PR 9's `repro_shard` records carry a per-shard epoch *array* —
+        // the scans must treat `[...]` as one value, not a place to find
+        // top-level commas, and re-merging must still replace in place.
+        let record = json::object(&[
+            ("shards", "2".to_string()),
+            (
+                "shard_epochs",
+                json::array(&["41".to_string(), "40".to_string()]),
+            ),
+            ("write_per_sec", json::num(12345.678901)),
+        ]);
+        let merged = json::merge_key(r#"{"serve": {"p99_us": 50.0}}"#, "shard", &record).unwrap();
+        assert_eq!(json::number_at(&merged, "shard.shards"), Some(2.0));
+        assert_eq!(json::number_at(&merged, "serve.p99_us"), Some(50.0));
+        assert_eq!(
+            json::top_level_value(
+                &json::top_level_value(&merged, "shard").unwrap(),
+                "shard_epochs"
+            )
+            .unwrap(),
+            "[41, 40]"
+        );
+        // Replace the record: the epoch vector must not duplicate or
+        // leak a stray element into the sibling keys.
+        let record2 = json::object(&[(
+            "shard_epochs",
+            json::array(&["50".to_string(), "52".to_string()]),
+        )]);
+        let remerged = json::merge_key(&merged, "shard", &record2).unwrap();
+        assert_eq!(remerged.matches("shard_epochs").count(), 1);
+        assert!(remerged.contains("[50, 52]"));
+        assert_eq!(json::number_at(&remerged, "serve.p99_us"), Some(50.0));
+        // Overlay one facet of the record; the vector survives.
+        let overlaid = json::merge_fields(
+            &remerged,
+            "shard",
+            &[("gather_queries_per_sec", json::num(999.0))],
+        )
+        .unwrap();
+        assert!(overlaid.contains("[50, 52]"));
+        assert_eq!(
+            json::number_at(&overlaid, "shard.gather_queries_per_sec"),
+            Some(999.0)
+        );
+        // And the regression gate can still read scalars through it.
+        assert_eq!(json::number_at(&overlaid, "shard.shard_epochs"), None);
+    }
+
+    #[test]
     fn table_is_aligned() {
         let out = render_table(
             &["name", "value"],

@@ -20,6 +20,7 @@ const REPRO_BINS: &[&str] = &[
     "repro_fig10",
     "repro_serve",
     "repro_replica",
+    "repro_shard",
     "repro_check",
     "repro_all",
 ];

@@ -89,6 +89,7 @@ pub mod marking;
 pub mod measures;
 pub mod privilege;
 pub mod query;
+pub mod shard;
 pub mod strategy;
 pub mod surrogate;
 pub mod util;
@@ -122,6 +123,7 @@ pub mod prelude {
     pub use crate::query::{
         ancestors, descendants, reaches, shortest_path, traverse, Direction, Traversal,
     };
+    pub use crate::shard::{Partition, ShardMap};
     pub use crate::strategy::ProtectionStrategy;
     pub use crate::surrogate::{SurrogateCatalog, SurrogateDef};
 }

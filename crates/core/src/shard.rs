@@ -1,0 +1,183 @@
+//! Keyspace partitioning for horizontally sharded stores.
+//!
+//! A sharded deployment splits the node-id space across `N` primaries.
+//! The split is *arithmetic*, not tabular: shard `i` of `N` owns every
+//! id congruent to `i` modulo `N`. Nothing is stored or looked up — a
+//! [`ShardMap`] is just the modulus, and a [`Partition`] is the modulus
+//! plus one residue class. Two consequences fall out of this choice:
+//!
+//! * **Routing is stateless.** Any client that knows `N` can compute
+//!   the owner of any id without a directory service, and the map
+//!   serializes to a pair of integers in snapshots and the Hello
+//!   handshake.
+//! * **Local storage stays dense.** A shard stores its residue class at
+//!   *local* positions `0, 1, 2, …`; the bijection to global ids is
+//!   `global = local * N + i` / `local = global / N`. Appending the
+//!   `k`-th record on shard `i` therefore yields global id `k*N + i`
+//!   with no coordination.
+//!
+//! ```
+//! use surrogate_core::shard::{Partition, ShardMap};
+//!
+//! let map = ShardMap::new(4).unwrap();
+//! assert_eq!(map.shard_of(10), 2);
+//!
+//! let p = Partition::new(2, 4).unwrap();
+//! assert!(p.owns(10));
+//! assert_eq!(p.local(10), 2); // 10 = 2*4 + 2
+//! assert_eq!(p.global(2), 10);
+//! ```
+
+/// The number of shards a keyspace is split across. Shard `i` owns the
+/// ids `{ g : g ≡ i (mod count) }`.
+///
+/// A `count` of 1 is the degenerate single-shard map — every id maps to
+/// shard 0 and `global == local`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardMap {
+    count: u32,
+}
+
+impl ShardMap {
+    /// Creates a map over `count` shards. Returns `None` when `count`
+    /// is zero (an empty cluster owns nothing).
+    pub fn new(count: u32) -> Option<Self> {
+        (count > 0).then_some(ShardMap { count })
+    }
+
+    /// The number of shards.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The shard that owns global id `id`.
+    pub fn shard_of(&self, id: u32) -> u32 {
+        id % self.count
+    }
+
+    /// The partition of shard `index` under this map, if `index` is in
+    /// range.
+    pub fn partition(&self, index: u32) -> Option<Partition> {
+        Partition::new(index, self.count)
+    }
+}
+
+/// One shard's slice of a [`ShardMap`]: shard `index` of `count`,
+/// owning the ids congruent to `index` modulo `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Partition {
+    index: u32,
+    count: u32,
+}
+
+impl Partition {
+    /// Creates the partition for shard `index` of `count`. Returns
+    /// `None` unless `index < count`.
+    pub fn new(index: u32, count: u32) -> Option<Self> {
+        (index < count).then_some(Partition { index, count })
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The total shard count.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The whole-keyspace map this partition belongs to.
+    pub fn map(&self) -> ShardMap {
+        ShardMap { count: self.count }
+    }
+
+    /// Whether global id `id` belongs to this shard.
+    pub fn owns(&self, id: u32) -> bool {
+        id % self.count == self.index
+    }
+
+    /// The local (dense) position of global id `id` on this shard.
+    ///
+    /// Meaningful only when [`owns`](Self::owns) holds; for foreign ids
+    /// the result is the position the id *would* have, which callers
+    /// must not use as a storage index.
+    pub fn local(&self, id: u32) -> u32 {
+        id / self.count
+    }
+
+    /// The global id of the record at local position `pos` on this
+    /// shard.
+    ///
+    /// Saturates at `u32::MAX` (an unreachable id) instead of wrapping
+    /// when `pos * count + index` overflows, so a hostile local
+    /// position can never alias a small global id.
+    pub fn global(&self, pos: u32) -> u32 {
+        pos.checked_mul(self.count)
+            .and_then(|g| g.checked_add(self.index))
+            .unwrap_or(u32::MAX)
+    }
+
+    /// The number of local records needed so that every owned global id
+    /// `< bound` is materialized: the count of `{ g < bound : g ≡ index
+    /// (mod count) }`.
+    pub fn local_len(&self, bound: u32) -> u32 {
+        // Owned ids below `bound` are index, index+count, … — there are
+        // ceil((bound - index) / count) of them when bound > index.
+        if bound > self.index {
+            1 + (bound - self.index - 1) / self.count
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_count_is_rejected() {
+        assert!(ShardMap::new(0).is_none());
+        assert!(Partition::new(0, 0).is_none());
+        assert!(Partition::new(3, 3).is_none());
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let p = Partition::new(0, 1).unwrap();
+        for id in [0u32, 1, 7, u32::MAX] {
+            assert!(p.owns(id));
+            assert_eq!(p.local(id), id);
+        }
+        assert_eq!(p.global(42), 42);
+    }
+
+    #[test]
+    fn local_global_roundtrip() {
+        let p = Partition::new(2, 5).unwrap();
+        for pos in 0..100u32 {
+            let g = p.global(pos);
+            assert!(p.owns(g));
+            assert_eq!(p.local(g), pos);
+        }
+    }
+
+    #[test]
+    fn global_saturates_instead_of_wrapping() {
+        let p = Partition::new(1, 1 << 16).unwrap();
+        assert_eq!(p.global(u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn local_len_counts_owned_ids() {
+        let map = ShardMap::new(3).unwrap();
+        for bound in 0..50u32 {
+            for idx in 0..3u32 {
+                let p = map.partition(idx).unwrap();
+                let expect = (0..bound).filter(|&g| p.owns(g)).count() as u32;
+                assert_eq!(p.local_len(bound), expect, "bound={bound} idx={idx}");
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! magic "PLUS" | version u16 | clock u64
+//! v2 only:  u32 shard_count | u32 shard_index
 //! lattice:  u16 n  { str name }×n   u32 m  { u16 higher, u16 lower }×m
 //! nodes:    u32 n  { str label, u8 kind, u16 lowest, u64 created_at, features }×n
 //! edges:    u32 n  { u32 from, u32 to, u8 kind }×n
@@ -17,6 +18,16 @@
 //! Strings are `u32` length + UTF-8 bytes. Features are `u16` count of
 //! `(str key, u8 value-tag, value)` entries. The checksum catches torn
 //! writes and bit rot before a corrupt snapshot reaches the graph layer.
+//!
+//! Version 2 exists solely for **partitioned** (sharded) stores: an
+//! unpartitioned snapshot always encodes as version 1, byte-identical to
+//! what earlier releases wrote, so old snapshots decode and new
+//! unpartitioned snapshots stay readable by old binaries. In a
+//! partitioned snapshot the node list holds only this shard's residue
+//! class (local position `p` is global id `p * shard_count +
+//! shard_index`), while edge and policy records keep **global** ids —
+//! foreign endpoints are accepted unvalidated, since the owning shard is
+//! the authority on their existence.
 //!
 //! # WAL frame format
 //!
@@ -45,6 +56,7 @@ use bytes::{BufMut, BytesMut};
 use surrogate_core::feature::{FeatureValue, Features};
 use surrogate_core::marking::Marking;
 use surrogate_core::privilege::PrivilegeId;
+use surrogate_core::shard::Partition;
 
 use crate::error::CodecError;
 use crate::record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement, RecordId};
@@ -53,6 +65,10 @@ use crate::record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement,
 pub const MAGIC: &[u8; 4] = b"PLUS";
 /// Current snapshot version.
 pub const VERSION: u16 = 1;
+/// Snapshot version for partitioned (sharded) stores, which carry a
+/// `shard_count`/`shard_index` pair after the clock. Unpartitioned
+/// snapshots keep encoding as [`VERSION`].
+pub const VERSION_PARTITIONED: u16 = 2;
 
 /// WAL segment magic bytes.
 pub const WAL_MAGIC: &[u8; 8] = b"PLUSWAL\0";
@@ -81,6 +97,11 @@ pub struct SnapshotData {
     pub policy: Vec<PolicyStatement>,
     /// The store's logical clock.
     pub clock: u64,
+    /// The keyspace slice this store owns, when it is one shard of a
+    /// partitioned deployment. `None` for ordinary single-primary
+    /// stores; `Some` switches the snapshot to [`VERSION_PARTITIONED`]
+    /// and relaxes reference validation for foreign (remote-shard) ids.
+    pub partition: Option<Partition>,
 }
 
 /// FNV-1a 64-bit, the snapshot integrity hash.
@@ -239,7 +260,7 @@ fn put_edge(buf: &mut BytesMut, edge: &EdgeRecord) {
     buf.put_u8(edge.kind.tag());
 }
 
-fn put_policy(buf: &mut BytesMut, statement: &PolicyStatement) {
+pub(crate) fn put_policy(buf: &mut BytesMut, statement: &PolicyStatement) {
     match statement {
         PolicyStatement::MarkIncidence {
             node,
@@ -288,8 +309,15 @@ pub fn encode(data: &SnapshotData) -> Vec<u8> {
         64 + data.nodes.len() * 48 + data.edges.len() * 9 + data.policy.len() * 24,
     );
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(match data.partition {
+        Some(_) => VERSION_PARTITIONED,
+        None => VERSION,
+    });
     buf.put_u64_le(data.clock);
+    if let Some(p) = data.partition {
+        buf.put_u32_le(p.count());
+        buf.put_u32_le(p.index());
+    }
 
     buf.put_u16_le(data.lattice_names.len() as u16);
     for name in &data.lattice_names {
@@ -506,10 +534,17 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
         return Err(CodecError::BadMagic);
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_PARTITIONED {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let clock = r.u64()?;
+    let partition = if version == VERSION_PARTITIONED {
+        let count = r.u32()?;
+        let index = r.u32()?;
+        Some(Partition::new(index, count).ok_or(CodecError::DanglingReference)?)
+    } else {
+        None
+    };
 
     let name_count = r.u16()? as usize;
     let mut lattice_names = Vec::with_capacity(name_count);
@@ -543,12 +578,15 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
         nodes.push(node);
     }
 
-    let check_node = |id: RecordId| {
-        if id.index() >= node_count {
-            Err(CodecError::DanglingReference)
-        } else {
-            Ok(id)
-        }
+    // Partitioned stores hold only their own residue class: an owned id
+    // must land inside the local node list, while a foreign id's
+    // existence is the owning shard's business and passes unvalidated.
+    let check_node = |id: RecordId| match partition {
+        Some(p) if !p.owns(id.0) => Ok(id),
+        Some(p) if (p.local(id.0) as usize) < node_count => Ok(id),
+        Some(_) => Err(CodecError::DanglingReference),
+        None if id.index() < node_count => Ok(id),
+        None => Err(CodecError::DanglingReference),
     };
 
     let edge_count = r.u32()? as usize;
@@ -585,6 +623,7 @@ pub fn decode(bytes: &[u8]) -> Result<SnapshotData, CodecError> {
         edges,
         policy,
         clock,
+        partition,
     })
 }
 
@@ -836,6 +875,7 @@ mod tests {
                 },
             ],
             clock: 12,
+            partition: None,
         }
     }
 
@@ -856,8 +896,74 @@ mod tests {
             edges: vec![],
             policy: vec![],
             clock: 0,
+            partition: None,
         };
         assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn unpartitioned_snapshots_stay_version_1() {
+        let bytes = encode(&sample());
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        assert_eq!(version, VERSION);
+    }
+
+    #[test]
+    fn partitioned_roundtrip() {
+        // Shard 1 of 2 owns the odd ids; its two local nodes are global
+        // ids 1 and 3. Edges and policy reference the foreign (even)
+        // ids freely.
+        let mut data = sample();
+        data.partition = Partition::new(1, 2);
+        data.edges = vec![EdgeRecord {
+            from: RecordId(1),
+            to: RecordId(2), // foreign: owned by shard 0
+            kind: EdgeKind::InputTo,
+        }];
+        data.policy = vec![PolicyStatement::MarkNode {
+            node: RecordId(3),
+            predicate: None,
+            marking: Marking::Hide,
+        }];
+        let bytes = encode(&data);
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        assert_eq!(version, VERSION_PARTITIONED);
+        assert_eq!(decode(&bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn partitioned_rejects_out_of_range_local_id() {
+        // Shard 1 of 2 with two nodes owns global ids 1 and 3; global
+        // id 5 is owned but beyond the node list.
+        let mut data = sample();
+        data.partition = Partition::new(1, 2);
+        data.edges = vec![EdgeRecord {
+            from: RecordId(5),
+            to: RecordId(1),
+            kind: EdgeKind::InputTo,
+        }];
+        data.policy.clear();
+        assert_eq!(
+            decode(&encode(&data)).unwrap_err(),
+            CodecError::DanglingReference
+        );
+    }
+
+    #[test]
+    fn partitioned_rejects_invalid_partition_pair() {
+        // Hand-corrupt a v2 snapshot so index >= count, re-seal the
+        // checksum, and confirm the decoder refuses it.
+        let mut data = sample();
+        data.partition = Partition::new(0, 2);
+        data.edges.clear();
+        data.policy.clear();
+        let mut bytes = encode(&data);
+        // Layout: magic(4) version(2) clock(8) count(4) index(4).
+        bytes[18..22].copy_from_slice(&7u32.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let checksum = super::fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::DanglingReference);
     }
 
     #[test]

@@ -73,6 +73,26 @@ pub enum StoreError {
         /// The fencing term this store has observed.
         current: u64,
     },
+    /// A write was routed to the wrong shard of a partitioned
+    /// deployment: the record id that determines its placement (`from`
+    /// for edges, the governed `node` for policy) belongs to another
+    /// shard's residue class. The client should retry against the
+    /// owning shard.
+    WrongShard {
+        /// The id that routed the write.
+        id: RecordId,
+        /// The index of the shard that owns it.
+        owner: u32,
+    },
+    /// A gather feed delivered data inconsistent with the merge: a
+    /// snapshot stamped for the wrong partition, a lattice differing
+    /// from the one the other shards declared, or a corrupt chunk.
+    ShardMismatch {
+        /// The shard slot of the offending feed.
+        slot: u32,
+        /// What was inconsistent.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -122,6 +142,14 @@ impl fmt::Display for StoreError {
                 f,
                 "replicated frame carries fencing term {term}, but term {current} has already been observed: its sender was deposed"
             ),
+            StoreError::WrongShard { id, owner } => write!(
+                f,
+                "record {} is owned by shard {owner}; retry the write there",
+                id.0
+            ),
+            StoreError::ShardMismatch { slot, reason } => {
+                write!(f, "shard feed {slot} is inconsistent: {reason}")
+            }
         }
     }
 }

@@ -20,6 +20,10 @@
 //! * [`snapshot`] — the per-epoch CSR index ([`SnapshotIndex`]) the
 //!   protection hot path runs against;
 //! * [`session`] — thin per-consumer views over a shared service;
+//! * [`shard`] — scatter-gather support for partitioned deployments:
+//!   [`ShardMerge`] folds per-shard record feeds into one
+//!   order-canonical graph, and [`MergedSource`] serves it through
+//!   [`AccountService::sharded`];
 //! * [`wire`] — the query-serving wire protocol: the framed
 //!   request/response messages that may cross the trust boundary, and
 //!   their binary codecs (spoken over TCP by the `server` crate).
@@ -57,6 +61,7 @@ pub mod lineage;
 pub mod record;
 pub mod service;
 pub mod session;
+pub mod shard;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
@@ -67,6 +72,7 @@ pub use ingest::{ingest, IngestKinds};
 pub use record::{EdgeKind, EdgeRecord, NodeKind, NodeRecord, PolicyStatement, RecordId};
 pub use service::{AccountService, ProtectedLineageRow, QueryRequest, QueryResponse, Snapshot};
 pub use session::Session;
+pub use shard::{MergedSource, ShardMerge};
 pub use snapshot::SnapshotIndex;
 // Re-exported so service call sites can name directions and strategies
 // without importing surrogate-core directly.
@@ -76,5 +82,6 @@ pub use surrogate_core::query::Direction;
 pub use surrogate_core::strategy::ProtectionStrategy;
 pub use wal::{DurabilityOptions, RecoveryReport, SegmentDigest, TailChunk, TailCursor};
 pub use wire::{
-    ReplicaRole, ReplicaStatus, ServerHello, WalChunk, WireError, WireErrorKind, PROTOCOL_VERSION,
+    ReplicaRole, ReplicaStatus, ServerHello, ShardStatusInfo, WalChunk, WireError, WireErrorKind,
+    WriteOp, MAX_SHARDS, PROTOCOL_VERSION,
 };

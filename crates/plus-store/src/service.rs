@@ -114,17 +114,19 @@ const FRAME_SHARD_CAP: usize = 4096;
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     epoch: u64,
+    shard_epochs: Vec<u64>,
     materialized: Materialized,
     index: SnapshotIndex,
 }
 
 impl Snapshot {
-    fn new(epoch: u64, materialized: Materialized) -> Self {
+    fn new(epoch: u64, shard_epochs: Vec<u64>, materialized: Materialized) -> Self {
         // Build the CSR index once per epoch, here, so every protection
         // and every sealed frame of the epoch runs hash-free.
         let index = SnapshotIndex::build(&materialized);
         Self {
             epoch,
+            shard_epochs,
             materialized,
             index,
         }
@@ -133,6 +135,16 @@ impl Snapshot {
     /// The store version this materialization corresponds to.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The per-shard clock vector this materialization reflects, stamped
+    /// onto every [`QueryResponse`] answered from it. Empty for an
+    /// unsharded service; a single shard's slot on a shard server (the
+    /// other slots are zero — an honest lower bound on histories this
+    /// server does not follow); the full gather vector on a
+    /// scatter-gather service, where [`epoch`](Self::epoch) is its sum.
+    pub fn shard_epochs(&self) -> &[u64] {
+        &self.shard_epochs
     }
 
     /// The materialized graph, lattice, markings, and catalog.
@@ -209,6 +221,10 @@ pub struct QueryResponse {
     /// Visited records in BFS order; empty when the root is invisible to
     /// the consumer.
     pub rows: Vec<ProtectedLineageRow>,
+    /// Per-shard clocks of a sharded deployment (see
+    /// [`Snapshot::shard_epochs`]). Empty when the answering service is
+    /// unsharded — `epoch` alone identifies the view.
+    pub shard_epochs: Vec<u64>,
 }
 
 /// A lineage row as seen through a protected account.
@@ -310,6 +326,10 @@ enum Source {
     /// A fixed materialization pinned at epoch 0 — an immutable serving
     /// replica (also the substrate of the deprecated `Session::new`).
     Frozen(Arc<Snapshot>),
+    /// A scatter-gather merge of every shard's record stream: the epoch
+    /// is the sum of the per-shard clocks, and responses carry the full
+    /// clock vector.
+    Sharded(Arc<crate::shard::MergedSource>),
 }
 
 /// Thread-safe, epoch-versioned protected-account server over a [`Store`].
@@ -352,7 +372,19 @@ impl AccountService {
     /// A service over a fixed materialization, pinned at epoch 0 — an
     /// immutable serving replica.
     pub fn from_materialized(materialized: Materialized) -> Self {
-        Self::with_source(Source::Frozen(Arc::new(Snapshot::new(0, materialized))))
+        Self::with_source(Source::Frozen(Arc::new(Snapshot::new(
+            0,
+            Vec::new(),
+            materialized,
+        ))))
+    }
+
+    /// A service over a scatter-gather merge of shard feeds: queries
+    /// traverse the merged whole-keyspace graph, the epoch is the sum
+    /// of the per-shard clocks, and every response carries the full
+    /// clock vector ([`QueryResponse::shard_epochs`]).
+    pub fn sharded(source: Arc<crate::shard::MergedSource>) -> Self {
+        Self::with_source(Source::Sharded(source))
     }
 
     fn with_source(source: Source) -> Self {
@@ -393,43 +425,69 @@ impl AccountService {
     pub fn store(&self) -> Option<&Arc<Store>> {
         match &self.source {
             Source::Live(store) => Some(store),
-            Source::Frozen(_) => None,
+            Source::Frozen(_) | Source::Sharded(_) => None,
         }
     }
 
-    /// The current epoch: the live store's version, or 0 for a frozen
-    /// service. Strictly monotone over the lifetime of the service.
+    /// The current epoch: the live store's version, the sum of the
+    /// per-shard clocks for a sharded service, or 0 for a frozen one.
+    /// Strictly monotone over the lifetime of the service.
     pub fn epoch(&self) -> u64 {
         match &self.source {
             Source::Live(store) => store.version(),
             Source::Frozen(snapshot) => snapshot.epoch,
+            Source::Sharded(merged) => merged.version(),
         }
     }
 
     /// The current epoch-stamped materialization, rebuilt (and cached)
-    /// whenever the store has moved past the cached epoch.
+    /// whenever the source has moved past the cached epoch.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        let store = match &self.source {
-            Source::Live(store) => store,
+        let source_epoch = match &self.source {
+            Source::Live(store) => store.version(),
             Source::Frozen(snapshot) => return snapshot.clone(),
+            Source::Sharded(merged) => merged.version(),
         };
         {
             let cached = self.current.read();
             if let Some(snapshot) = cached.as_ref() {
-                if snapshot.epoch == store.version() {
+                if snapshot.epoch == source_epoch {
                     return snapshot.clone();
                 }
             }
         }
         let mut cached = self.current.write();
         // Another writer may have rebuilt while we waited for the lock.
+        // (Re-read the source version: it may have advanced again.)
+        let source_epoch = self.epoch();
         if let Some(snapshot) = cached.as_ref() {
-            if snapshot.epoch == store.version() {
+            if snapshot.epoch == source_epoch {
                 return snapshot.clone();
             }
         }
-        let (epoch, materialized) = store.materialize_versioned();
-        let snapshot = Arc::new(Snapshot::new(epoch, materialized));
+        let snapshot = Arc::new(match &self.source {
+            Source::Live(store) => {
+                let (epoch, materialized) = store.materialize_versioned();
+                // A shard server stamps its own slot of the epoch
+                // vector; zeros elsewhere are honest lower bounds on
+                // histories it does not follow.
+                let shard_epochs = match store.partition() {
+                    Some(p) => {
+                        let mut v = vec![0; p.count() as usize];
+                        v[p.index() as usize] = epoch;
+                        v
+                    }
+                    None => Vec::new(),
+                };
+                Snapshot::new(epoch, shard_epochs, materialized)
+            }
+            Source::Frozen(_) => unreachable!("frozen services returned above"),
+            Source::Sharded(merged) => {
+                let (epoch, clocks, materialized) = merged.materialize_versioned();
+                Snapshot::new(epoch, clocks, materialized)
+            }
+        });
+        let epoch = snapshot.epoch;
         // The epoch never goes backward: materialize_versioned reads the
         // version and the log under one lock, and versions only grow.
         if !cached
@@ -814,6 +872,7 @@ impl AccountService {
                         request.direction,
                         request.max_depth,
                     ),
+                    shard_epochs: snapshot.shard_epochs.clone(),
                 })
             })
             .collect()
@@ -826,6 +885,28 @@ impl AccountService {
     /// sealed-frame cache (see the [module docs](self)); a cached frame
     /// is byte-identical to a freshly encoded one by construction — it
     /// *is* the first encoding, memoized.
+    ///
+    /// ```
+    /// use plus_store::{AccountService, Direction, NodeKind, QueryRequest, Store, Strategy};
+    /// use std::sync::Arc;
+    /// use surrogate_core::credential::Consumer;
+    /// use surrogate_core::feature::Features;
+    ///
+    /// # fn main() -> plus_store::Result<()> {
+    /// let store = Arc::new(Store::new(&["Public"], &[])?);
+    /// let public = store.predicate("Public").unwrap();
+    /// let root = store.append_node("report", NodeKind::Data, Features::new(), public);
+    /// let service = AccountService::new(store);
+    /// let consumer = Consumer::public(&service.snapshot().lattice);
+    /// let request = QueryRequest::new(root, Direction::Backward, 1, Strategy::Surrogate);
+    ///
+    /// let frame = service.query_sealed(&consumer, &request)?;
+    /// // The frame is the exact sealed wire answer; a repeat is a cache hit.
+    /// assert_eq!(service.query_sealed(&consumer, &request)?, frame);
+    /// assert_eq!(service.frame_cache_stats(), (1, 1), "(hits, misses)");
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn query_sealed(&self, consumer: &Consumer, request: &QueryRequest) -> Result<Bytes> {
         self.sealed_answer(consumer, std::slice::from_ref(request), false)
     }

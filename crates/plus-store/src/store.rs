@@ -29,6 +29,7 @@ use parking_lot::RwLock;
 use surrogate_core::graph::{Graph, NodeId};
 use surrogate_core::marking::MarkingStore;
 use surrogate_core::privilege::{PrivilegeId, PrivilegeLattice};
+use surrogate_core::shard::Partition;
 use surrogate_core::surrogate::{SurrogateCatalog, SurrogateDef};
 
 use crate::codec::{self, SnapshotData, WalRecord};
@@ -80,6 +81,13 @@ struct Inner {
     /// The write-ahead log, when this store is durable. Living inside the
     /// write lock, log order always equals clock order.
     wal: Option<Wal>,
+    /// The keyspace slice this store owns when it is one shard of a
+    /// partitioned deployment. `None` for ordinary stores. A partitioned
+    /// store assigns **global** node ids (`local_position * count +
+    /// index`), stores only its own residue class in `nodes`, and
+    /// accepts foreign ids in edges and policy without validating their
+    /// existence — the owning shard is the authority on those.
+    partition: Option<Partition>,
 }
 
 /// Thread-safe provenance store.
@@ -116,8 +124,26 @@ impl Store {
                 clock: 0,
                 term: 0,
                 wal: None,
+                partition: None,
             }),
         })
+    }
+
+    /// An empty **partitioned** store: shard `partition.index()` of
+    /// `partition.count()`, owning the global node ids congruent to its
+    /// index. Appends assign global ids from the owned residue class;
+    /// edges and policy may reference foreign ids, but their *routing*
+    /// fields (`from` for edges, the target `node` for policy) must be
+    /// owned — a misrouted write is refused with
+    /// [`StoreError::WrongShard`].
+    pub fn new_partitioned(
+        names: &[&str],
+        dominance: &[(usize, usize)],
+        partition: Partition,
+    ) -> Result<Self> {
+        let store = Self::new(names, dominance)?;
+        store.inner.write().partition = Some(partition);
+        Ok(store)
     }
 
     /// A store with only the `Public` predicate.
@@ -177,21 +203,33 @@ impl Store {
         let WalRecord::AppendNode(record) = record else {
             unreachable!()
         };
-        let id = RecordId(inner.nodes.len() as u32);
+        let pos = inner.nodes.len() as u32;
+        let id = RecordId(match inner.partition {
+            Some(p) => p.global(pos),
+            None => pos,
+        });
         inner.clock += 1;
         inner.nodes.push(record);
         Ok(id)
     }
 
     /// Appends an edge record after validating endpoints and uniqueness.
+    ///
+    /// On a partitioned store `from` must be owned by this shard (edges
+    /// route by their source); `to` may be a foreign id, accepted
+    /// unvalidated.
     pub fn append_edge(&self, from: RecordId, to: RecordId, kind: EdgeKind) -> Result<()> {
         let mut inner = self.inner.write();
-        let n = inner.nodes.len();
-        for id in [from, to] {
-            if id.index() >= n {
-                return Err(StoreError::UnknownRecord(id));
+        if let Some(p) = inner.partition {
+            if !p.owns(from.0) {
+                return Err(StoreError::WrongShard {
+                    id: from,
+                    owner: p.map().shard_of(from.0),
+                });
             }
         }
+        Self::check_record(&inner, from)?;
+        Self::check_record(&inner, to)?;
         if from == to {
             return Err(StoreError::Graph(surrogate_core::error::Error::SelfLoop(
                 NodeId(from.0),
@@ -216,24 +254,33 @@ impl Store {
     }
 
     /// Appends a policy statement after validating its references.
+    ///
+    /// On a partitioned store the statement's target `node` must be
+    /// owned by this shard (policy routes by the node it governs);
+    /// incidental `from`/`to` references may be foreign.
     pub fn apply_policy(&self, statement: PolicyStatement) -> Result<()> {
         let mut inner = self.inner.write();
-        let n = inner.nodes.len();
-        let check = |id: RecordId| {
-            if id.index() >= n {
-                Err(StoreError::UnknownRecord(id))
-            } else {
-                Ok(())
+        if let Some(p) = inner.partition {
+            let target = match &statement {
+                PolicyStatement::MarkIncidence { node, .. }
+                | PolicyStatement::MarkNode { node, .. }
+                | PolicyStatement::AddSurrogate { node, .. } => *node,
+            };
+            if !p.owns(target.0) {
+                return Err(StoreError::WrongShard {
+                    id: target,
+                    owner: p.map().shard_of(target.0),
+                });
             }
-        };
+        }
         match &statement {
             PolicyStatement::MarkIncidence { node, from, to, .. } => {
-                check(*node)?;
-                check(*from)?;
-                check(*to)?;
+                Self::check_record(&inner, *node)?;
+                Self::check_record(&inner, *from)?;
+                Self::check_record(&inner, *to)?;
             }
-            PolicyStatement::MarkNode { node, .. } => check(*node)?,
-            PolicyStatement::AddSurrogate { node, .. } => check(*node)?,
+            PolicyStatement::MarkNode { node, .. } => Self::check_record(&inner, *node)?,
+            PolicyStatement::AddSurrogate { node, .. } => Self::check_record(&inner, *node)?,
         }
         if let (_, Some(predicate)) = codec::policy_refs(&statement) {
             Self::check_predicate(&inner, predicate)?;
@@ -245,6 +292,23 @@ impl Store {
         inner.clock += 1;
         inner.policy.push(statement);
         Ok(())
+    }
+
+    /// Rejects record ids that cannot exist here: out-of-range on an
+    /// ordinary store; on a partitioned store, owned ids beyond the
+    /// local list (foreign ids pass — the owning shard validates them).
+    fn check_record(inner: &Inner, id: RecordId) -> Result<()> {
+        let n = inner.nodes.len();
+        let known = match inner.partition {
+            Some(p) if !p.owns(id.0) => true,
+            Some(p) => (p.local(id.0) as usize) < n,
+            None => id.index() < n,
+        };
+        if known {
+            Ok(())
+        } else {
+            Err(StoreError::UnknownRecord(id))
+        }
     }
 
     /// Rejects predicate ids outside the lattice — mirroring the bounds
@@ -303,9 +367,21 @@ impl Store {
         (inner.clock, Self::materialize_inner(&inner))
     }
 
-    /// A copy of node record `id`.
+    /// The keyspace slice this store owns, when partitioned.
+    pub fn partition(&self) -> Option<Partition> {
+        self.inner.read().partition
+    }
+
+    /// A copy of node record `id` (a global id on partitioned stores;
+    /// foreign ids return `None` — ask the owning shard).
     pub fn node(&self, id: RecordId) -> Option<NodeRecord> {
-        self.inner.read().nodes.get(id.index()).cloned()
+        let inner = self.inner.read();
+        let pos = match inner.partition {
+            Some(p) if !p.owns(id.0) => return None,
+            Some(p) => p.local(id.0) as usize,
+            None => id.index(),
+        };
+        inner.nodes.get(pos).cloned()
     }
 
     /// A copy of all edge records in append order. Edge kinds live only at
@@ -323,17 +399,63 @@ impl Store {
 
     fn materialize_inner(inner: &Inner) -> Materialized {
         let mut graph = Graph::with_capacity(inner.nodes.len(), inner.edges.len());
-        for record in &inner.nodes {
-            graph.add_node_with_features(
-                record.label.clone(),
-                record.features.clone(),
-                record.lowest,
-            );
-        }
-        for edge in &inner.edges {
-            graph
-                .add_edge(NodeId(edge.from.0), NodeId(edge.to.0))
-                .expect("store validated edges on append");
+        match inner.partition {
+            None => {
+                for record in &inner.nodes {
+                    graph.add_node_with_features(
+                        record.label.clone(),
+                        record.features.clone(),
+                        record.lowest,
+                    );
+                }
+                for edge in &inner.edges {
+                    graph
+                        .add_edge(NodeId(edge.from.0), NodeId(edge.to.0))
+                        .expect("store validated edges on append");
+                }
+            }
+            Some(p) => {
+                // Graph node ids must equal *global* record ids, so the
+                // owned residue class is laid out at its global
+                // positions with inert placeholders at foreign ids. The
+                // graph covers every id any local record references;
+                // edges to ids beyond the placeholder bound (foreign
+                // nodes nothing pins) are dropped — a shard's partial
+                // view only answers point reads, and cross-shard
+                // traversal goes through the gather merge.
+                let mut bound = match inner.nodes.len() as u32 {
+                    0 => 0,
+                    n => p.global(n - 1).saturating_add(1),
+                };
+                for edge in &inner.edges {
+                    bound = bound.max(edge.from.0.saturating_add(1));
+                    bound = bound.max(edge.to.0.saturating_add(1));
+                }
+                let bottom = inner.lattice.public();
+                for g in 0..bound {
+                    // An owned id beyond the local list can be pulled
+                    // under the bound by an edge to a *higher* foreign
+                    // id; it gets a placeholder like any foreign id.
+                    let local = inner.nodes.get(p.local(g) as usize).filter(|_| p.owns(g));
+                    match local {
+                        Some(record) => graph.add_node_with_features(
+                            record.label.clone(),
+                            record.features.clone(),
+                            record.lowest,
+                        ),
+                        None => graph.add_node_with_features(
+                            String::new(),
+                            surrogate_core::feature::Features::new(),
+                            bottom,
+                        ),
+                    };
+                }
+                for edge in &inner.edges {
+                    graph
+                        .add_edge(NodeId(edge.from.0), NodeId(edge.to.0))
+                        .expect("edge endpoints are covered by the placeholder bound");
+                }
+            }
         }
 
         let mut markings = MarkingStore::new();
@@ -395,6 +517,7 @@ impl Store {
             edges: inner.edges.clone(),
             policy: inner.policy.clone(),
             clock: inner.clock,
+            partition: inner.partition,
         }
     }
 
@@ -427,6 +550,7 @@ impl Store {
                 clock: data.clock,
                 term: 0,
                 wal: None,
+                partition: data.partition,
             }),
         })
     }
@@ -484,10 +608,39 @@ impl Store {
         options: DurabilityOptions,
         io: Box<dyn WalIo>,
     ) -> Result<Self> {
-        let dir = dir.as_ref();
+        Self::attach_new_wal(dir.as_ref(), Self::new(names, dominance)?, options, io)
+    }
+
+    /// [`create_durable_with`](Self::create_durable_with) for one shard
+    /// of a partitioned deployment: the initial snapshot records the
+    /// partition (snapshot version 2), so [`Store::open`] recovers the
+    /// shard with its keyspace slice intact.
+    pub fn create_durable_partitioned(
+        dir: impl AsRef<Path>,
+        names: &[&str],
+        dominance: &[(usize, usize)],
+        options: DurabilityOptions,
+        partition: Partition,
+    ) -> Result<Self> {
+        Self::attach_new_wal(
+            dir.as_ref(),
+            Self::new_partitioned(names, dominance, partition)?,
+            options,
+            Box::new(wal::DiskIo),
+        )
+    }
+
+    /// Seeds `dir` with `store`'s initial snapshot and attaches a fresh
+    /// write-ahead-log writer — the shared tail of the `create_durable*`
+    /// constructors.
+    fn attach_new_wal(
+        dir: &Path,
+        store: Self,
+        options: DurabilityOptions,
+        io: Box<dyn WalIo>,
+    ) -> Result<Self> {
         std::fs::create_dir_all(dir).map_err(|e| StoreError::io_at(dir, e))?;
         wal::ensure_vacant(dir)?;
-        let store = Self::new(names, dominance)?;
         wal::write_atomic(&wal::snapshot_path(dir, 0), &store.to_bytes())?;
         let writer = Wal::open(dir, options, io, None, 0)?;
         let term = wal::read_term(dir)?;
@@ -1349,5 +1502,123 @@ mod tests {
         }
         assert_eq!(store.node_count(), 400);
         assert_eq!(store.clock(), 400);
+    }
+
+    #[test]
+    fn partitioned_store_assigns_global_ids() {
+        let p = Partition::new(1, 3).unwrap();
+        let store = Store::new_partitioned(&["Public"], &[], p).unwrap();
+        let public = store.predicate("Public").unwrap();
+        let a = store.append_node("a", NodeKind::Data, Features::new(), public);
+        let b = store.append_node("b", NodeKind::Data, Features::new(), public);
+        assert_eq!(a, RecordId(1));
+        assert_eq!(b, RecordId(4));
+        assert_eq!(store.partition(), Some(p));
+        assert_eq!(store.node(a).unwrap().label, "a");
+        assert_eq!(store.node(RecordId(0)), None, "foreign id");
+        assert_eq!(store.node(RecordId(7)), None, "owned but unassigned");
+    }
+
+    #[test]
+    fn partitioned_store_routes_writes_by_ownership() {
+        let p = Partition::new(0, 2).unwrap();
+        let store = Store::new_partitioned(&["Public"], &[], p).unwrap();
+        let public = store.predicate("Public").unwrap();
+        let a = store.append_node("a", NodeKind::Data, Features::new(), public); // global 0
+                                                                                 // Edge from an owned node to a foreign id is accepted.
+        store
+            .append_edge(a, RecordId(1), EdgeKind::Related)
+            .unwrap();
+        // Edge *from* a foreign id is a misrouted write.
+        assert!(matches!(
+            store.append_edge(RecordId(1), a, EdgeKind::Related),
+            Err(StoreError::WrongShard {
+                id: RecordId(1),
+                owner: 1
+            })
+        ));
+        // Policy targeting a foreign node is misrouted too…
+        assert!(matches!(
+            store.apply_policy(PolicyStatement::MarkNode {
+                node: RecordId(3),
+                predicate: None,
+                marking: Marking::Hide,
+            }),
+            Err(StoreError::WrongShard {
+                id: RecordId(3),
+                owner: 1
+            })
+        ));
+        // …while an owned-but-unassigned target is simply unknown.
+        assert!(matches!(
+            store.apply_policy(PolicyStatement::MarkNode {
+                node: RecordId(4),
+                predicate: None,
+                marking: Marking::Hide,
+            }),
+            Err(StoreError::UnknownRecord(RecordId(4)))
+        ));
+    }
+
+    #[test]
+    fn partitioned_store_roundtrips_and_materializes_globally() {
+        let p = Partition::new(1, 2).unwrap();
+        let store = Store::new_partitioned(&["Public"], &[], p).unwrap();
+        let public = store.predicate("Public").unwrap();
+        let a = store.append_node("odd-0", NodeKind::Data, Features::new(), public); // 1
+        let b = store.append_node("odd-1", NodeKind::Data, Features::new(), public); // 3
+        store.append_edge(a, b, EdgeKind::Related).unwrap();
+        store
+            .append_edge(b, RecordId(0), EdgeKind::Related)
+            .unwrap();
+
+        let restored = Store::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(restored.partition(), Some(p));
+        assert_eq!(restored.to_bytes(), store.to_bytes());
+
+        let m = store.materialize();
+        // Global ids 0..4: placeholders at 0 and 2, records at 1 and 3.
+        assert_eq!(m.graph.node_count(), 4);
+        assert_eq!(m.graph.node(NodeId(1)).label, "odd-0");
+        assert_eq!(m.graph.node(NodeId(3)).label, "odd-1");
+        assert_eq!(m.graph.node(NodeId(0)).label, "");
+        assert!(m.graph.has_edge(NodeId(1), NodeId(3)));
+        assert!(m.graph.has_edge(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn partitioned_durable_store_recovers_its_partition() {
+        let dir = temp_dir("partitioned");
+        let p = Partition::new(0, 2).unwrap();
+        let committed = {
+            let store = Store::create_durable_partitioned(
+                &dir,
+                &["Public"],
+                &[],
+                crate::wal::DurabilityOptions {
+                    fsync: false,
+                    ..Default::default()
+                },
+                p,
+            )
+            .unwrap();
+            let public = store.predicate("Public").unwrap();
+            let a = store.append_node("even", NodeKind::Data, Features::new(), public);
+            assert_eq!(a, RecordId(0));
+            store
+                .append_edge(a, RecordId(1), EdgeKind::Related)
+                .unwrap();
+            store.to_bytes()
+        };
+        let restored = Store::open(&dir).unwrap();
+        assert_eq!(restored.partition(), Some(p));
+        assert_eq!(restored.to_bytes(), committed);
+        // Checkpoint keeps the partition in the folded snapshot.
+        restored.checkpoint().unwrap();
+        drop(restored);
+        let again = Store::open(&dir).unwrap();
+        assert_eq!(again.partition(), Some(p));
+        assert_eq!(again.to_bytes(), committed);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -38,8 +38,12 @@
 //!                    6 ReplicaStatus { }
 //!                    7 LogDigests    { }
 //!                    8 Promote       { }
+//!                    9 Write         { write-op }
+//!                   10 ShardStatus   { }
 //!
 //! response: tag u8 — 0 Hello         { version u16, epoch u64, nodes u64,
+//!                                      shard_count u32,
+//!                                      shard_index (0 | 1 u32),
 //!                                      u16 n { pred-name str }×n }
 //!                    1 Query         { query-response }
 //!                    2 Batch         { u32 n, query-response ×n }
@@ -58,12 +62,21 @@
 //!                    8 LogDigests    { term u64, u32 n (≤ MAX_SEGMENT_DIGESTS)
 //!                                      { start_clock u64, bytes u64, crc u32 }×n }
 //!                    9 Promoted      { term u64 }
+//!                   10 Written       { clock u64, id (0 | 1 u32) }
+//!                   11 ShardStatus   { count u32, index (0 | 1 u32),
+//!                                      u32 n (≤ MAX_SHARDS) { epoch u64 }×n }
 //!
 //! query-request:  root u32 | direction u8 (0 back, 1 fwd, 2 both) |
 //!                 max_depth u32 | strategy u8 (0 surrogate, 1 hide,
 //!                 2 naive) | predicate (0 | 1 u16)
 //! query-response: epoch u64 | root u32 | u32 n { record u32, label str,
-//!                 depth u32, surrogate u8 }×n
+//!                 depth u32, surrogate u8 }×n |
+//!                 u32 m (≤ MAX_SHARDS) { shard-epoch u64 }×m
+//! write-op:       tag u8 — 0 AppendNode  { label str, kind u8,
+//!                                          lowest u16, features }
+//!                          1 AppendEdge  { from u32, to u32, kind u8 }
+//!                          2 ApplyPolicy { policy statement, as in
+//!                                          snapshots }
 //! ```
 //!
 //! The Hello exchange authenticates nothing (credential generation is out
@@ -111,15 +124,35 @@
 //! direction: the deposed primary compares per-segment digests against
 //! the new primary, truncates its unreplicated tail, and rejoins as a
 //! replica.
+//!
+//! # Sharding messages
+//!
+//! A partitioned deployment splits the keyspace across `N` shard
+//! primaries (shard `i` owns ids ≡ `i` mod `N`; see
+//! [`surrogate_core::shard`]). [`Request::Write`] carries one mutation —
+//! a [`WriteOp`] — to the shard that owns its routing id; a mis-routed
+//! write is refused with [`WireErrorKind::WrongShard`], whose message is
+//! the owning shard's address when known (a redirect, like
+//! [`NotWritable`](WireErrorKind::NotWritable)). [`Request::ShardStatus`]
+//! asks any server where it sits in the topology and how much of each
+//! shard's history it reflects; consumer-safe, like `ReplicaStatus`.
+//!
+//! Every [`QueryResponse`] carries a per-shard **epoch vector** next to
+//! its scalar epoch: empty from an unsharded server; one live slot from
+//! a shard primary; the full vector from a scatter-gather server, whose
+//! scalar epoch is the vector's sum. A gather that has lost a feed
+//! refuses queries with [`WireErrorKind::ShardUnavailable`] rather than
+//! serving an answer with a silent gap in it.
 
 use bytes::{BufMut, BytesMut};
 use surrogate_core::account::Strategy;
+use surrogate_core::feature::Features;
 use surrogate_core::privilege::PrivilegeId;
 use surrogate_core::query::Direction;
 
-use crate::codec::{put_str, Reader};
+use crate::codec::{put_features, put_policy, put_str, Reader};
 use crate::error::CodecError;
-use crate::record::RecordId;
+use crate::record::{EdgeKind, NodeKind, PolicyStatement, RecordId};
 use crate::service::{ProtectedLineageRow, QueryRequest, QueryResponse};
 use crate::store::CheckpointStats;
 use crate::wal::SegmentDigest;
@@ -146,7 +179,15 @@ use crate::wal::SegmentDigest;
 /// [`WireErrorKind::NotWritable`] — the typed refusal a read-only
 /// replica answers write-path requests with, carrying the writable
 /// primary's address so clients can fail over without restart.
-pub const PROTOCOL_VERSION: u16 = 4;
+///
+/// Version 5 added sharding: [`Request::Write`] / [`Response::Written`]
+/// (single-record remote mutation, routed by ownership),
+/// [`Request::ShardStatus`] / [`Response::ShardStatus`] (topology and
+/// the per-shard epoch vector), shard fields in the server Hello, the
+/// shard-epoch vector appended to every query response, and the
+/// [`WireErrorKind::WrongShard`] / [`WireErrorKind::ShardUnavailable`]
+/// refusals.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Sanity bound on requests per [`Request::Batch`] frame; larger batches
 /// are rejected at decode time so a hostile frame cannot force an
@@ -164,6 +205,61 @@ pub const MAX_WAL_CHUNK: u32 = 1 << 22;
 /// rotate at megabytes each); hostile declarations beyond it are
 /// rejected at decode time before any allocation.
 pub const MAX_SEGMENT_DIGESTS: u32 = 1 << 20;
+
+/// Sanity bound on the shard-epoch vectors in query responses and
+/// [`Response::ShardStatus`]: no real cluster approaches a thousand
+/// shards, and a hostile count beyond it is rejected at decode time
+/// before any allocation.
+pub const MAX_SHARDS: u32 = 1 << 10;
+
+/// Every [`Request`] variant name, in tag order — the normative list
+/// the wire-spec conformance test checks `docs/WIRE.md` against.
+pub const REQUEST_VARIANTS: [&str; 11] = [
+    "Hello",
+    "Query",
+    "Batch",
+    "Epoch",
+    "Checkpoint",
+    "Subscribe",
+    "ReplicaStatus",
+    "LogDigests",
+    "Promote",
+    "Write",
+    "ShardStatus",
+];
+
+/// Every [`Response`] variant name, in tag order (see
+/// [`REQUEST_VARIANTS`]).
+pub const RESPONSE_VARIANTS: [&str; 12] = [
+    "Hello",
+    "Query",
+    "Batch",
+    "Epoch",
+    "Checkpoint",
+    "Error",
+    "WalChunk",
+    "ReplicaStatus",
+    "LogDigests",
+    "Promoted",
+    "Written",
+    "ShardStatus",
+];
+
+/// Every [`WireErrorKind`] name, in tag order (see
+/// [`REQUEST_VARIANTS`]).
+pub const ERROR_KINDS: [&str; 11] = [
+    "NotAuthorized",
+    "UnknownStrategy",
+    "UnknownPredicate",
+    "NotDurable",
+    "VersionMismatch",
+    "BadRequest",
+    "Internal",
+    "Overloaded",
+    "NotWritable",
+    "WrongShard",
+    "ShardUnavailable",
+];
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,6 +308,71 @@ pub enum Request {
     /// its old primary. Idempotent on a server that is already primary
     /// (answers with the current term). Owner-side only.
     Promote,
+    /// One remote mutation, routed to the shard that owns its routing
+    /// id (a node append may go to any shard; an edge goes to `from`'s
+    /// owner, policy to the governed node's owner). A mis-routed write
+    /// is refused with [`WireErrorKind::WrongShard`]; an unsharded
+    /// writable server accepts any write. The mutation crosses the
+    /// trust boundary *into* the store, so servers gate it like
+    /// checkpointing (operator opt-in), not like queries.
+    Write {
+        /// The mutation to apply.
+        op: WriteOp,
+    },
+    /// Asks where this server sits in the shard topology and how much
+    /// of each shard's history it reflects ([`Response::ShardStatus`]).
+    /// Safe for any consumer: epochs and indices only, like
+    /// [`Request::ReplicaStatus`].
+    ShardStatus,
+}
+
+/// One mutation crossing the wire — the payload of [`Request::Write`].
+///
+/// The store-assigned fields of the corresponding records (`created_at`,
+/// the node's id) are *absent*: the owning shard assigns them at apply
+/// time and answers with [`Response::Written`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOp {
+    /// Append a node record. The answering shard assigns the global id
+    /// (its next local position, mapped through its partition).
+    AppendNode {
+        /// Display label.
+        label: String,
+        /// Provenance role.
+        kind: NodeKind,
+        /// Attribute–value features.
+        features: Features,
+        /// Lowest privilege-predicate required to see the node.
+        lowest: PrivilegeId,
+    },
+    /// Append an edge. Routed by `from`'s owner; `to` may be foreign.
+    AppendEdge {
+        /// Source node (global id; must be owned by the answering shard).
+        from: RecordId,
+        /// Destination node (global id; may be foreign).
+        to: RecordId,
+        /// Relationship kind.
+        kind: EdgeKind,
+    },
+    /// Apply a policy statement. Routed by the owner of the node the
+    /// statement governs.
+    ApplyPolicy(PolicyStatement),
+}
+
+impl WriteOp {
+    /// The global id that decides which shard must apply this write, or
+    /// `None` for node appends (any shard may take them).
+    pub fn routing_id(&self) -> Option<RecordId> {
+        match self {
+            WriteOp::AppendNode { .. } => None,
+            WriteOp::AppendEdge { from, .. } => Some(*from),
+            WriteOp::ApplyPolicy(statement) => Some(match statement {
+                PolicyStatement::MarkIncidence { node, .. }
+                | PolicyStatement::MarkNode { node, .. }
+                | PolicyStatement::AddSurrogate { node, .. } => *node,
+            }),
+        }
+    }
 }
 
 /// A server-to-client message.
@@ -248,6 +409,35 @@ pub enum Response {
         /// The server's fencing term after the promotion.
         term: u64,
     },
+    /// Answer to [`Request::Write`]: the mutation was applied durably
+    /// (by the store's durability options).
+    Written {
+        /// The server's clock after the mutation — the epoch at which
+        /// the write is first visible.
+        clock: u64,
+        /// The assigned global id, for [`WriteOp::AppendNode`]; `None`
+        /// for edges and policy.
+        id: Option<RecordId>,
+    },
+    /// Answer to [`Request::ShardStatus`].
+    ShardStatus(ShardStatusInfo),
+}
+
+/// A server's place in the shard topology and its view of each shard's
+/// history. Contains no graph data — safe for any consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatusInfo {
+    /// Total shards in the deployment; 0 for an unsharded server.
+    pub count: u32,
+    /// The answering server's own shard index; `None` on a
+    /// scatter-gather server (it serves all shards) and on unsharded
+    /// servers.
+    pub index: Option<u32>,
+    /// Per-shard epochs as this server knows them: its own slot live
+    /// and the rest zero on a shard primary; the full gather vector on
+    /// a scatter-gather server; a single element (the store version) on
+    /// an unsharded server.
+    pub epochs: Vec<u64>,
 }
 
 /// One replication stream element: sealed write-ahead-log frames (and,
@@ -346,6 +536,13 @@ pub struct ServerHello {
     /// Node records in the store at handshake time — lets load drivers
     /// and CLIs pick valid roots without another round trip.
     pub nodes: u64,
+    /// Total shards in the deployment this server belongs to; 0 for an
+    /// ordinary unsharded server.
+    pub shard_count: u32,
+    /// This server's shard index, when it is one shard primary; `None`
+    /// on unsharded servers and on scatter-gather servers (which serve
+    /// the whole keyspace).
+    pub shard_index: Option<u32>,
     /// The lattice's predicate names, index = [`PrivilegeId`]. Clients
     /// resolve `-p <name>` flags against this without seeing the graph.
     pub predicates: Vec<String>,
@@ -426,6 +623,15 @@ pub enum WireErrorKind {
     /// the writable primary's address when known (empty otherwise) — a
     /// redirect, so write clients fail over without restart.
     NotWritable,
+    /// The write's routing id is owned by another shard. The message is
+    /// the owning shard's address when the answering server knows it
+    /// (a redirect, like [`NotWritable`](Self::NotWritable)); otherwise
+    /// the owning shard's index as decimal text.
+    WrongShard,
+    /// A scatter-gather server is missing at least one shard feed and
+    /// refuses to answer with a silent gap. **Retryable** once the feed
+    /// reconnects; the message names the missing shard(s).
+    ShardUnavailable,
 }
 
 impl WireErrorKind {
@@ -440,6 +646,8 @@ impl WireErrorKind {
             WireErrorKind::Internal => 6,
             WireErrorKind::Overloaded => 7,
             WireErrorKind::NotWritable => 8,
+            WireErrorKind::WrongShard => 9,
+            WireErrorKind::ShardUnavailable => 10,
         }
     }
 
@@ -454,6 +662,8 @@ impl WireErrorKind {
             6 => WireErrorKind::Internal,
             7 => WireErrorKind::Overloaded,
             8 => WireErrorKind::NotWritable,
+            9 => WireErrorKind::WrongShard,
+            10 => WireErrorKind::ShardUnavailable,
             _ => {
                 return Err(CodecError::InvalidTag {
                     what: "wire error kind",
@@ -476,6 +686,8 @@ impl std::fmt::Display for WireErrorKind {
             WireErrorKind::Internal => "internal error",
             WireErrorKind::Overloaded => "overloaded",
             WireErrorKind::NotWritable => "not writable",
+            WireErrorKind::WrongShard => "wrong shard",
+            WireErrorKind::ShardUnavailable => "shard unavailable",
         })
     }
 }
@@ -550,6 +762,71 @@ fn read_query_request(r: &mut Reader<'_>) -> Result<QueryRequest, CodecError> {
     Ok(request)
 }
 
+fn put_write_op(buf: &mut BytesMut, op: &WriteOp) {
+    match op {
+        WriteOp::AppendNode {
+            label,
+            kind,
+            features,
+            lowest,
+        } => {
+            buf.put_u8(0);
+            put_str(buf, label);
+            buf.put_u8(kind.tag());
+            buf.put_u16_le(lowest.0);
+            put_features(buf, features);
+        }
+        WriteOp::AppendEdge { from, to, kind } => {
+            buf.put_u8(1);
+            buf.put_u32_le(from.0);
+            buf.put_u32_le(to.0);
+            buf.put_u8(kind.tag());
+        }
+        WriteOp::ApplyPolicy(statement) => {
+            buf.put_u8(2);
+            put_policy(buf, statement);
+        }
+    }
+}
+
+fn read_write_op(r: &mut Reader<'_>) -> Result<WriteOp, CodecError> {
+    Ok(match r.u8()? {
+        0 => {
+            let label = r.string()?;
+            let tag = r.u8()?;
+            let kind = NodeKind::from_tag(tag).ok_or(CodecError::InvalidTag {
+                what: "node kind",
+                tag,
+            })?;
+            let lowest = PrivilegeId(r.u16()?);
+            let features = r.features()?;
+            WriteOp::AppendNode {
+                label,
+                kind,
+                features,
+                lowest,
+            }
+        }
+        1 => {
+            let from = RecordId(r.u32()?);
+            let to = RecordId(r.u32()?);
+            let tag = r.u8()?;
+            let kind = EdgeKind::from_tag(tag).ok_or(CodecError::InvalidTag {
+                what: "edge kind",
+                tag,
+            })?;
+            WriteOp::AppendEdge { from, to, kind }
+        }
+        2 => WriteOp::ApplyPolicy(r.policy_statement()?),
+        tag => {
+            return Err(CodecError::InvalidTag {
+                what: "write op",
+                tag,
+            })
+        }
+    })
+}
+
 /// Refuses a count its wire field cannot carry. Encoding is where this
 /// must fail: a bare `as` cast here would truncate the count silently
 /// and desynchronize the peer's decoder mid-payload.
@@ -571,6 +848,15 @@ fn put_query_response(buf: &mut BytesMut, response: &QueryResponse) -> Result<()
         buf.put_u32_le(row.depth);
         buf.put_u8(row.surrogate as u8);
     }
+    check_count(
+        "shard epochs",
+        response.shard_epochs.len(),
+        MAX_SHARDS as u64,
+    )?;
+    buf.put_u32_le(response.shard_epochs.len() as u32);
+    for &epoch in &response.shard_epochs {
+        buf.put_u64_le(epoch);
+    }
     Ok(())
 }
 
@@ -579,6 +865,7 @@ fn read_query_response(r: &mut Reader<'_>) -> Result<QueryResponse, CodecError> 
         epoch: 0,
         root: RecordId(0),
         rows: Vec::new(),
+        shard_epochs: Vec::new(),
     };
     read_query_response_into(r, &mut response)?;
     Ok(response)
@@ -626,6 +913,15 @@ fn read_query_response_into(
                 surrogate,
             });
         }
+    }
+    let shards = r.u32()?;
+    if shards > MAX_SHARDS {
+        return Err(CodecError::FrameTooLarge(shards));
+    }
+    response.shard_epochs.clear();
+    response.shard_epochs.reserve(shards as usize);
+    for _ in 0..shards {
+        response.shard_epochs.push(r.u64()?);
     }
     Ok(())
 }
@@ -677,6 +973,7 @@ pub fn decode_batch_response_into(
                 epoch: 0,
                 root: RecordId(0),
                 rows: Vec::new(),
+                shard_epochs: Vec::new(),
             });
         }
         read_query_response_into(&mut r, &mut out[i])?;
@@ -772,6 +1069,11 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, CodecError> {
         Request::ReplicaStatus => buf.put_u8(6),
         Request::LogDigests => buf.put_u8(7),
         Request::Promote => buf.put_u8(8),
+        Request::Write { op } => {
+            buf.put_u8(9);
+            put_write_op(&mut buf, op);
+        }
+        Request::ShardStatus => buf.put_u8(10),
     }
     Ok(buf.to_vec())
 }
@@ -814,6 +1116,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
         6 => Request::ReplicaStatus,
         7 => Request::LogDigests,
         8 => Request::Promote,
+        9 => Request::Write {
+            op: read_write_op(&mut r)?,
+        },
+        10 => Request::ShardStatus,
         tag => {
             return Err(CodecError::InvalidTag {
                 what: "request",
@@ -841,6 +1147,14 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, CodecError> {
             buf.put_u16_le(hello.version);
             buf.put_u64_le(hello.epoch);
             buf.put_u64_le(hello.nodes);
+            buf.put_u32_le(hello.shard_count);
+            match hello.shard_index {
+                Some(index) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(index);
+                }
+                None => buf.put_u8(0),
+            }
             put_names(&mut buf, &hello.predicates)?;
         }
         Response::Query(query) => {
@@ -937,6 +1251,33 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, CodecError> {
             buf.put_u8(9);
             buf.put_u64_le(*term);
         }
+        Response::Written { clock, id } => {
+            buf.put_u8(10);
+            buf.put_u64_le(*clock);
+            match id {
+                Some(id) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(id.0);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Response::ShardStatus(status) => {
+            buf.put_u8(11);
+            buf.put_u32_le(status.count);
+            match status.index {
+                Some(index) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(index);
+                }
+                None => buf.put_u8(0),
+            }
+            check_count("shard epochs", status.epochs.len(), MAX_SHARDS as u64)?;
+            buf.put_u32_le(status.epochs.len() as u32);
+            for &epoch in &status.epochs {
+                buf.put_u64_le(epoch);
+            }
+        }
     }
     Ok(buf.to_vec())
 }
@@ -953,11 +1294,24 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
             let version = r.u16()?;
             let epoch = r.u64()?;
             let nodes = r.u64()?;
+            let shard_count = r.u32()?;
+            let shard_index = match r.u8()? {
+                0 => None,
+                1 => Some(r.u32()?),
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "optional shard index",
+                        tag,
+                    })
+                }
+            };
             let predicates = read_names(&mut r)?;
             Response::Hello(ServerHello {
                 version,
                 epoch,
                 nodes,
+                shard_count,
+                shard_index,
                 predicates,
             })
         }
@@ -1095,6 +1449,46 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
             Response::LogDigests { term, segments }
         }
         9 => Response::Promoted { term: r.u64()? },
+        10 => {
+            let clock = r.u64()?;
+            let id = match r.u8()? {
+                0 => None,
+                1 => Some(RecordId(r.u32()?)),
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "optional record id",
+                        tag,
+                    })
+                }
+            };
+            Response::Written { clock, id }
+        }
+        11 => {
+            let count = r.u32()?;
+            let index = match r.u8()? {
+                0 => None,
+                1 => Some(r.u32()?),
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "optional shard index",
+                        tag,
+                    })
+                }
+            };
+            let epochs_len = r.u32()?;
+            if epochs_len > MAX_SHARDS {
+                return Err(CodecError::FrameTooLarge(epochs_len));
+            }
+            let mut epochs = Vec::with_capacity(epochs_len as usize);
+            for _ in 0..epochs_len {
+                epochs.push(r.u64()?);
+            }
+            Response::ShardStatus(ShardStatusInfo {
+                count,
+                index,
+                epochs,
+            })
+        }
         tag => {
             return Err(CodecError::InvalidTag {
                 what: "response",
@@ -1149,6 +1543,38 @@ mod tests {
             Request::ReplicaStatus,
             Request::LogDigests,
             Request::Promote,
+            Request::Write {
+                op: WriteOp::AppendNode {
+                    label: "invoice".into(),
+                    kind: NodeKind::Data,
+                    features: Features::new().with("origin", "edi"),
+                    lowest: PrivilegeId(1),
+                },
+            },
+            Request::Write {
+                op: WriteOp::AppendEdge {
+                    from: RecordId(4),
+                    to: RecordId(9),
+                    kind: EdgeKind::GeneratedBy,
+                },
+            },
+            Request::Write {
+                op: WriteOp::ApplyPolicy(PolicyStatement::MarkNode {
+                    node: RecordId(2),
+                    predicate: Some(PrivilegeId(1)),
+                    marking: surrogate_core::marking::Marking::Hide,
+                }),
+            },
+            Request::Write {
+                op: WriteOp::ApplyPolicy(PolicyStatement::AddSurrogate {
+                    node: RecordId(3),
+                    label: "a trusted source".into(),
+                    features: Features::new(),
+                    lowest: PrivilegeId(0),
+                    info_score: 2.0,
+                }),
+            },
+            Request::ShardStatus,
         ]
     }
 
@@ -1158,7 +1584,17 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 epoch: 42,
                 nodes: 11,
+                shard_count: 0,
+                shard_index: None,
                 predicates: vec!["Public".into(), "High-1".into(), "High-2".into()],
+            }),
+            Response::Hello(ServerHello {
+                version: PROTOCOL_VERSION,
+                epoch: 7,
+                nodes: 3,
+                shard_count: 4,
+                shard_index: Some(2),
+                predicates: vec!["Public".into()],
             }),
             Response::Query(QueryResponse {
                 epoch: 3,
@@ -1177,11 +1613,13 @@ mod tests {
                         surrogate: true,
                     },
                 ],
+                shard_epochs: vec![7, 9],
             }),
             Response::Batch(vec![QueryResponse {
                 epoch: 0,
                 root: RecordId(0),
                 rows: vec![],
+                shard_epochs: vec![],
             }]),
             Response::Epoch(u64::MAX),
             Response::Checkpoint(CheckpointStats {
@@ -1244,6 +1682,24 @@ mod tests {
                 segments: vec![],
             },
             Response::Promoted { term: 2 },
+            Response::Written {
+                clock: 19,
+                id: Some(RecordId(6)),
+            },
+            Response::Written {
+                clock: u64::MAX,
+                id: None,
+            },
+            Response::ShardStatus(ShardStatusInfo {
+                count: 3,
+                index: Some(1),
+                epochs: vec![4, 0, 9],
+            }),
+            Response::ShardStatus(ShardStatusInfo {
+                count: 2,
+                index: None,
+                epochs: vec![],
+            }),
         ]
     }
 
@@ -1309,6 +1765,7 @@ mod tests {
             epoch: 0,
             root: RecordId(0),
             rows: vec![],
+            shard_epochs: vec![],
         };
         let batch = Response::Batch(vec![empty; MAX_BATCH as usize + 1]);
         assert!(matches!(
@@ -1445,6 +1902,8 @@ mod tests {
             version: PROTOCOL_VERSION,
             epoch: 0,
             nodes: 0,
+            shard_count: 0,
+            shard_index: None,
             predicates: vec!["Public".into(), "High".into()],
         };
         assert_eq!(hello.predicate("High"), Some(PrivilegeId(1)));

@@ -6,9 +6,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use plus_store::{EdgeKind, NodeKind, PolicyStatement, RecordId, Store};
+use plus_store::{codec, EdgeKind, NodeKind, PolicyStatement, RecordId, Store};
 use surrogate_core::feature::{FeatureValue, Features};
 use surrogate_core::marking::Marking;
+use surrogate_core::shard::{Partition, ShardMap};
 
 fn random_store(nodes: usize, seed: u64) -> Store {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -145,5 +146,53 @@ proptest! {
         let idx = flip as usize % bytes.len();
         bytes[idx] ^= 0x01;
         prop_assert!(Store::from_bytes(&bytes).is_err());
+    }
+
+    /// The sharding invariant the whole scatter-gather design leans on:
+    /// under any map, every global id is owned by *exactly one* shard,
+    /// that shard is `shard_of(id)`, and the local ↔ global position
+    /// arithmetic is a bijection on the owned class.
+    #[test]
+    fn every_id_has_exactly_one_owner(count in 1u32..64, id in any::<u32>()) {
+        let map = ShardMap::new(count).unwrap();
+        let owners: Vec<u32> = (0..count)
+            .filter(|&i| map.partition(i).unwrap().owns(id))
+            .collect();
+        prop_assert_eq!(&owners, &vec![map.shard_of(id)], "id {} under {} shards", id, count);
+        let partition = map.partition(owners[0]).unwrap();
+        let local = partition.local(id);
+        prop_assert_eq!(partition.global(local), id, "local/global roundtrip");
+    }
+
+    /// A partitioned store's slice survives the snapshot codec: the
+    /// `SnapshotData.partition` field roundtrips, re-encoding is
+    /// byte-stable, and an unpartitioned snapshot stays version 1 (no
+    /// partition material on disk at all).
+    #[test]
+    fn partition_roundtrips_through_snapshots(
+        count in 1u32..8,
+        index_seed in any::<u32>(),
+        nodes in 0usize..12,
+    ) {
+        let index = index_seed % count;
+        let partition = Partition::new(index, count).unwrap();
+        let store = Store::new_partitioned(&["Public"], &[], partition).unwrap();
+        let public = store.predicate("Public").unwrap();
+        for i in 0..nodes {
+            let id = store
+                .try_append_node(format!("n{i}"), NodeKind::Data, Features::new(), public)
+                .unwrap();
+            prop_assert!(partition.owns(id.0), "assigned ids stay in the owned class");
+        }
+        let bytes = store.to_bytes();
+        let data = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(data.partition, Some(partition));
+        let restored = Store::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(restored.partition(), Some(partition));
+        prop_assert_eq!(restored.node_count(), store.node_count());
+        prop_assert_eq!(restored.to_bytes(), bytes);
+        // The degenerate unpartitioned store encodes no partition.
+        let plain = Store::new(&["Public"], &[]).unwrap();
+        prop_assert_eq!(codec::decode(&plain.to_bytes()).unwrap().partition, None);
     }
 }

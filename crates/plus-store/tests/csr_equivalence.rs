@@ -32,6 +32,7 @@ fn sealed(root: RecordId, rows: Vec<ProtectedLineageRow>) -> Vec<u8> {
         epoch: 1,
         root,
         rows,
+        shard_epochs: vec![],
     });
     seal_frame(&encode_response(&response).expect("lineage responses encode"))
 }

@@ -14,13 +14,15 @@ use rand::{Rng, SeedableRng};
 use plus_store::codec::{open_frame, seal_frame, RawFrame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 use plus_store::wire::{
     decode_request, decode_response, encode_request, encode_response, ReplicaRole, ReplicaStatus,
-    Request, Response, ServerHello, WalChunk, WireError, WireErrorKind, MAX_BATCH, MAX_WAL_CHUNK,
-    PROTOCOL_VERSION,
+    Request, Response, ServerHello, ShardStatusInfo, WalChunk, WireError, WireErrorKind, WriteOp,
+    MAX_BATCH, MAX_SHARDS, MAX_WAL_CHUNK, PROTOCOL_VERSION,
 };
 use plus_store::{
-    CheckpointStats, CodecError, ProtectedLineageRow, QueryRequest, QueryResponse, RecordId,
-    SegmentDigest, Strategy,
+    CheckpointStats, CodecError, EdgeKind, NodeKind, PolicyStatement, ProtectedLineageRow,
+    QueryRequest, QueryResponse, RecordId, SegmentDigest, Strategy,
 };
+use surrogate_core::feature::Features;
+use surrogate_core::marking::Marking;
 use surrogate_core::privilege::PrivilegeId;
 use surrogate_core::query::Direction;
 
@@ -66,11 +68,72 @@ fn random_query_response(rng: &mut StdRng) -> QueryResponse {
         epoch: rng.gen(),
         root: RecordId(rng.gen()),
         rows,
+        shard_epochs: (0..rng.gen_range(0..4usize)).map(|_| rng.gen()).collect(),
+    }
+}
+
+fn random_features(rng: &mut StdRng) -> Features {
+    let mut features = Features::new();
+    for _ in 0..rng.gen_range(0..3usize) {
+        features.set(random_string(rng, 8), random_string(rng, 12));
+    }
+    features
+}
+
+fn random_write_op(rng: &mut StdRng) -> WriteOp {
+    match rng.gen_range(0..3usize) {
+        0 => WriteOp::AppendNode {
+            label: random_string(rng, 16),
+            kind: [NodeKind::Data, NodeKind::Process, NodeKind::Agent][rng.gen_range(0..3usize)],
+            features: random_features(rng),
+            lowest: PrivilegeId(rng.gen()),
+        },
+        1 => WriteOp::AppendEdge {
+            from: RecordId(rng.gen()),
+            to: RecordId(rng.gen()),
+            kind: [
+                EdgeKind::InputTo,
+                EdgeKind::GeneratedBy,
+                EdgeKind::TriggeredBy,
+                EdgeKind::Related,
+            ][rng.gen_range(0..4usize)],
+        },
+        _ => {
+            let node = RecordId(rng.gen());
+            let predicate = rng.gen_bool(0.5).then(|| PrivilegeId(rng.gen()));
+            let marking =
+                [Marking::Visible, Marking::Hide, Marking::Surrogate][rng.gen_range(0..3usize)];
+            WriteOp::ApplyPolicy(match rng.gen_range(0..3usize) {
+                0 => PolicyStatement::MarkIncidence {
+                    node,
+                    from: RecordId(rng.gen()),
+                    to: RecordId(rng.gen()),
+                    predicate,
+                    marking,
+                },
+                1 => PolicyStatement::MarkNode {
+                    node,
+                    predicate,
+                    marking,
+                },
+                _ => PolicyStatement::AddSurrogate {
+                    node,
+                    label: random_string(rng, 16),
+                    features: random_features(rng),
+                    lowest: PrivilegeId(rng.gen()),
+                    info_score: f64::from(rng.gen::<u16>()),
+                },
+            })
+        }
     }
 }
 
 fn random_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..9usize) {
+    match rng.gen_range(0..11usize) {
+        9 => Request::Write {
+            op: random_write_op(rng),
+        },
+        10 => Request::ShardStatus,
         0 => Request::Hello {
             version: rng.gen(),
             consumer: random_string(rng, 16),
@@ -146,15 +209,26 @@ fn random_log_digests(rng: &mut StdRng) -> Response {
 }
 
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..10usize) {
+    match rng.gen_range(0..12usize) {
         6 => Response::WalChunk(random_wal_chunk(rng)),
         7 => Response::ReplicaStatus(random_replica_status(rng)),
         8 => random_log_digests(rng),
         9 => Response::Promoted { term: rng.gen() },
+        10 => Response::Written {
+            clock: rng.gen(),
+            id: rng.gen_bool(0.5).then(|| RecordId(rng.gen())),
+        },
+        11 => Response::ShardStatus(ShardStatusInfo {
+            count: rng.gen(),
+            index: rng.gen_bool(0.5).then(|| rng.gen()),
+            epochs: (0..rng.gen_range(0..5usize)).map(|_| rng.gen()).collect(),
+        }),
         0 => Response::Hello(ServerHello {
             version: rng.gen(),
             epoch: rng.gen(),
             nodes: rng.gen(),
+            shard_count: rng.gen(),
+            shard_index: rng.gen_bool(0.5).then(|| rng.gen()),
             predicates: (0..rng.gen_range(0..5usize))
                 .map(|_| random_string(rng, 12))
                 .collect(),
@@ -183,7 +257,9 @@ fn random_response(rng: &mut StdRng) -> Response {
                 WireErrorKind::Internal,
                 WireErrorKind::Overloaded,
                 WireErrorKind::NotWritable,
-            ][rng.gen_range(0..9usize)],
+                WireErrorKind::WrongShard,
+                WireErrorKind::ShardUnavailable,
+            ][rng.gen_range(0..11usize)],
             random_string(rng, 32),
         )),
     }
@@ -327,7 +403,12 @@ proptest! {
             Err(CodecError::CountOverflow { .. })
         ));
         // Response batches, same bound.
-        let response = QueryResponse { epoch: rng.gen(), root: RecordId(rng.gen()), rows: vec![] };
+        let response = QueryResponse {
+            epoch: rng.gen(),
+            root: RecordId(rng.gen()),
+            rows: vec![],
+            shard_epochs: vec![],
+        };
         let at_limit = Response::Batch(vec![response.clone(); MAX_BATCH as usize]);
         let payload = encode_response(&at_limit).unwrap();
         prop_assert_eq!(decode_response(&payload).unwrap(), at_limit);
@@ -468,8 +549,30 @@ proptest! {
 /// version 3 added the `Overloaded` error kind (admission control);
 /// version 4 added failover — fencing terms on `WalChunk` and
 /// `ReplicaStatus`, `LogDigests` / `Promote`, and the `NotWritable`
-/// redirect.
+/// redirect; version 5 added sharding — `Write` / `ShardStatus`, shard
+/// fields on `ServerHello`, per-shard epoch vectors on `QueryResponse`,
+/// and the `WrongShard` / `ShardUnavailable` error kinds.
 #[test]
 fn protocol_version_is_pinned() {
-    assert_eq!(PROTOCOL_VERSION, 4);
+    assert_eq!(PROTOCOL_VERSION, 5);
+}
+
+/// A declared shard-epoch vector beyond MAX_SHARDS is rejected before
+/// allocation, on both the query-response tail and the status message.
+#[test]
+fn oversized_shard_epoch_declarations_are_rejected() {
+    let response = Response::ShardStatus(ShardStatusInfo {
+        count: 2,
+        index: None,
+        epochs: vec![0; MAX_SHARDS as usize + 1],
+    });
+    assert!(matches!(
+        encode_response(&response),
+        Err(CodecError::CountOverflow { .. })
+    ));
+    let mut payload = vec![11u8]; // ShardStatus tag
+    payload.extend_from_slice(&2u32.to_le_bytes()); // count
+    payload.push(0); // no index
+    payload.extend_from_slice(&(MAX_SHARDS + 1).to_le_bytes());
+    assert!(decode_response(&payload).is_err());
 }

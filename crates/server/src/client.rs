@@ -6,10 +6,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use parking_lot::Mutex;
 use plus_store::wire::{
     decode_batch_response_into, decode_response, encode_batch_request, encode_request, ReplicaRole,
-    ReplicaStatus, Request, Response, ServerHello, WireErrorKind, PROTOCOL_VERSION,
+    ReplicaStatus, Request, Response, ServerHello, ShardStatusInfo, WireErrorKind, WriteOp,
+    PROTOCOL_VERSION,
 };
-use plus_store::{CheckpointStats, QueryRequest, QueryResponse};
+use plus_store::{CheckpointStats, QueryRequest, QueryResponse, RecordId};
 use surrogate_core::privilege::PrivilegeId;
+use surrogate_core::shard::ShardMap;
 
 use crate::error::ClientError;
 use crate::frame::{read_frame, write_frame};
@@ -55,6 +57,8 @@ impl Client {
                 version: PROTOCOL_VERSION,
                 epoch: 0,
                 nodes: 0,
+                shard_count: 0,
+                shard_index: None,
                 predicates: Vec::new(),
             },
             inbuf: Vec::with_capacity(512),
@@ -236,6 +240,41 @@ impl Client {
             _ => {
                 self.healthy = false;
                 Err(ClientError::Unexpected("non-Promoted"))
+            }
+        }
+    }
+
+    /// Applies one write on the server (owner-side: the server must
+    /// have remote writes enabled, as a shard primary does). Returns
+    /// the server's store clock after the write and, for an
+    /// [`WriteOp::AppendNode`], the assigned global id.
+    ///
+    /// A write routed to the wrong shard of a partitioned deployment
+    /// fails with a typed [`WireErrorKind::WrongShard`] refusal whose
+    /// message names the owner; [`ShardRouter::write`] does the routing
+    /// and the redirect retry for you.
+    pub fn write(&mut self, op: WriteOp) -> Result<(u64, Option<RecordId>), ClientError> {
+        match self.call(&Request::Write { op })? {
+            Response::Written { clock, id } => Ok((clock, id)),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => {
+                self.healthy = false;
+                Err(ClientError::Unexpected("non-Written"))
+            }
+        }
+    }
+
+    /// The server's shard topology and per-shard epochs: its own slot
+    /// live on a shard primary, the full merge vector on a gather, the
+    /// degenerate single-epoch answer on an unsharded server. Safe
+    /// against any server.
+    pub fn shard_status(&mut self) -> Result<ShardStatusInfo, ClientError> {
+        match self.call(&Request::ShardStatus)? {
+            Response::ShardStatus(status) => Ok(status),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => {
+                self.healthy = false;
+                Err(ClientError::Unexpected("non-ShardStatus"))
             }
         }
     }
@@ -461,5 +500,123 @@ impl Drop for PooledClient<'_> {
                 }
             }
         }
+    }
+}
+
+/// Shard-aware routing over a partitioned deployment: one [`ClientPool`]
+/// per shard primary, writes and point reads steered to the owner.
+///
+/// Routing is stateless arithmetic (shard `i` of `N` owns ids ≡ `i` mod
+/// `N`; see [`surrogate_core::shard`]): no directory service, no
+/// topology refresh. Node appends have no routing id — the store assigns
+/// the id — so they round-robin across shards, which keeps the keyspace
+/// dense everywhere. Edges route by their source's owner, policy by the
+/// governed node's owner.
+///
+/// A write the router mis-steered (say, the operator re-ordered the peer
+/// list) comes back as a typed [`WireErrorKind::WrongShard`] refusal
+/// whose message names the owner — its address when the refusing server
+/// knows the peer list, its shard index in decimal otherwise. The router
+/// follows that redirect **once**; a second refusal is surfaced, because
+/// two disagreeing servers mean the topology itself is misconfigured and
+/// retrying would bounce forever.
+///
+/// Traversals (`max_depth > 0`) need every shard's edges and belong on a
+/// gather node's pool, not here — shard primaries refuse them.
+pub struct ShardRouter {
+    pools: Vec<ClientPool>,
+    map: ShardMap,
+    next_node: AtomicUsize,
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.pools.len())
+            .finish()
+    }
+}
+
+impl ShardRouter {
+    /// A router over the shard primaries at `peers`, in shard order
+    /// (`peers[i]` is shard `i` of `peers.len()`), each dialed as
+    /// `consumer` with `claims`. Returns `None` for an empty peer list.
+    pub fn new(peers: &[&str], consumer: &str, claims: &[&str]) -> Option<Self> {
+        let map = ShardMap::new(u32::try_from(peers.len()).ok()?)?;
+        Some(Self {
+            pools: peers
+                .iter()
+                .map(|addr| ClientPool::new(*addr, consumer, claims))
+                .collect(),
+            map,
+            next_node: AtomicUsize::new(0),
+        })
+    }
+
+    /// How many shards the router spreads over.
+    pub fn shard_count(&self) -> u32 {
+        self.map.count()
+    }
+
+    /// The shard that owns global id `id`.
+    pub fn shard_of(&self, id: u32) -> u32 {
+        self.map.shard_of(id)
+    }
+
+    /// The pool for shard `slot`, for callers that need to pin one
+    /// (epoch probes, shard status, per-shard maintenance).
+    pub fn pool(&self, slot: u32) -> &ClientPool {
+        &self.pools[slot as usize]
+    }
+
+    /// Applies one write on the owning shard: edges to their source's
+    /// owner, policy to the governed node's owner, node appends
+    /// round-robin. Follows one [`WireErrorKind::WrongShard`] redirect.
+    /// Returns the answering shard's clock and, for a node append, the
+    /// assigned global id.
+    pub fn write(&self, op: WriteOp) -> Result<(u64, Option<RecordId>), ClientError> {
+        let slot = match op.routing_id() {
+            Some(id) => self.map.shard_of(id.0),
+            None => (self.next_node.fetch_add(1, Ordering::Relaxed) % self.pools.len()) as u32,
+        };
+        let error = match self.pools[slot as usize].get()?.write(op.clone()) {
+            Ok(ack) => return Ok(ack),
+            Err(error) => error,
+        };
+        let Some(target) = self.redirect_slot(&error) else {
+            return Err(error);
+        };
+        self.pools[target as usize].get()?.write(op)
+    }
+
+    /// Answers a point read (`max_depth == 0`) on the shard that owns
+    /// the root. Traversals belong on a gather pool.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
+        let slot = self.map.shard_of(request.root.0);
+        self.pools[slot as usize].get()?.query(request)
+    }
+
+    /// Decodes a [`WireErrorKind::WrongShard`] refusal into the slot to
+    /// retry on: the message is the owner's address when the server knew
+    /// its peers, else the owner's index in decimal.
+    fn redirect_slot(&self, error: &ClientError) -> Option<u32> {
+        let ClientError::Remote(remote) = error else {
+            return None;
+        };
+        if remote.kind != WireErrorKind::WrongShard || remote.message.is_empty() {
+            return None;
+        }
+        if let Some(slot) = self
+            .pools
+            .iter()
+            .position(|pool| pool.addr == remote.message)
+        {
+            return Some(slot as u32);
+        }
+        remote
+            .message
+            .parse::<u32>()
+            .ok()
+            .filter(|&slot| slot < self.map.count())
     }
 }

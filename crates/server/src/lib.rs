@@ -108,6 +108,23 @@
 //! as a replica. [`ClientPool::writable`] re-resolves the writable
 //! endpoint across a failover. The [`replica`] module's *Failover*
 //! section has the runbook and the guarantees.
+//!
+//! # Sharding
+//!
+//! *Write* traffic scales horizontally by **partitioning the keyspace**:
+//! shard `i` of `N` owns the ids ≡ `i` (mod `N`) and runs an ordinary
+//! primary over a partitioned store, accepting remote
+//! [`WriteOp`](plus_store::WriteOp)s for the ids it owns — bind one with
+//! [`Server::bind_sharded`], route to them with a [`ShardRouter`].
+//! Cross-shard traversals are served by a **gather node**
+//! ([`scatter::Gather`], bound with [`Server::bind_gather`]): it follows
+//! every shard's replication feed, folds them into one order-canonical
+//! merged graph, and stamps each response with the per-shard epoch
+//! vector it was computed at. Mis-routed writes come back as typed
+//! `WrongShard` redirects; a gather missing a feed *refuses* queries
+//! (`ShardUnavailable`) instead of serving an answer with a silent gap.
+//! See the [`scatter`] module docs and `docs/ARCHITECTURE.md` for the
+//! topology.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -119,12 +136,14 @@ mod error;
 mod frame;
 pub mod metrics;
 pub mod replica;
+pub mod scatter;
 mod server;
 
-pub use client::{Client, ClientPool, PooledClient};
+pub use client::{Client, ClientPool, PooledClient, ShardRouter};
 pub use error::{ClientError, ReplicaError};
 pub use frame::{read_frame, write_frame, FrameError};
 pub use metrics::{OverloadReason, RequestType, ServerMetrics};
 pub use reactor::sys::raise_nofile_limit;
 pub use replica::{Replica, ReplicaConfig, ReplicationMonitor};
+pub use scatter::{Gather, GatherConfig};
 pub use server::{Server, ServerConfig, ServerStats};

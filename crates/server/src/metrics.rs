@@ -197,10 +197,14 @@ pub enum RequestType {
     LogDigests,
     /// A live promotion request.
     Promote,
+    /// A remote write (sharded deployments).
+    Write,
+    /// A shard-topology probe.
+    ShardStatus,
 }
 
 /// All request types, in render order.
-pub const REQUEST_TYPES: [RequestType; 9] = [
+pub const REQUEST_TYPES: [RequestType; 11] = [
     RequestType::Hello,
     RequestType::Query,
     RequestType::Batch,
@@ -210,6 +214,8 @@ pub const REQUEST_TYPES: [RequestType; 9] = [
     RequestType::Subscribe,
     RequestType::LogDigests,
     RequestType::Promote,
+    RequestType::Write,
+    RequestType::ShardStatus,
 ];
 
 impl RequestType {
@@ -225,6 +231,8 @@ impl RequestType {
             RequestType::Subscribe => "subscribe",
             RequestType::LogDigests => "log_digests",
             RequestType::Promote => "promote",
+            RequestType::Write => "write",
+            RequestType::ShardStatus => "shard_status",
         }
     }
 

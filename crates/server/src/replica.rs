@@ -411,6 +411,17 @@ impl Replica {
     ///
     /// Idempotent in effect but not in term: promoting twice bumps the
     /// term twice, which is safe (terms only fence, never address).
+    ///
+    /// ```no_run
+    /// use server::Replica;
+    ///
+    /// let replica = Replica::start("127.0.0.1:7655", "/var/lib/spgraph/replica")?;
+    /// // ... the primary dies; the operator chooses this replica ...
+    /// let term = replica.promote()?;
+    /// assert!(term >= 1, "the fencing term is durably bumped");
+    /// // The fronting server now accepts writes; repoint the fleet here.
+    /// # Ok::<(), server::ReplicaError>(())
+    /// ```
     pub fn promote(&self) -> Result<u64, ReplicaError> {
         self.monitor
             .promote(&self.store)
@@ -461,8 +472,10 @@ impl Drop for Replica {
 }
 
 /// A subscribed replication connection: Hello handshake done, Subscribe
-/// sent, chunks ready to read.
-struct FeedConn {
+/// sent, chunks ready to read. Shared with the scatter-gather runtime
+/// ([`crate::scatter`]), whose per-shard feeds are ordinary replication
+/// subscriptions.
+pub(crate) struct FeedConn {
     stream: TcpStream,
     inbuf: Vec<u8>,
 }
@@ -501,7 +514,11 @@ impl FeedConn {
     }
 
     /// Dials, handshakes, and subscribes from `from_clock`.
-    fn open(addr: &str, from_clock: u64, read_timeout: Duration) -> Result<FeedConn, ReplicaError> {
+    pub(crate) fn open(
+        addr: &str,
+        from_clock: u64,
+        read_timeout: Duration,
+    ) -> Result<FeedConn, ReplicaError> {
         let mut conn = Self::connect(addr, read_timeout)?;
         let mut outbuf = Vec::with_capacity(64);
         let payload = encode_request(&Request::Subscribe { from_clock })
@@ -529,11 +546,17 @@ impl FeedConn {
         }
     }
 
+    /// The underlying socket (so a shutdown path can unblock a parked
+    /// read by hanging the clone up).
+    pub(crate) fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+
     /// The next chunk of the subscription stream. A typed error frame
     /// (the primary refusing or failing the feed) is terminal, and so is
     /// a read-deadline expiry — the primary heartbeats far more often
     /// than the deadline, so silence *is* a dead link.
-    fn next_chunk(&mut self) -> Result<WalChunk, ReplicaError> {
+    pub(crate) fn next_chunk(&mut self) -> Result<WalChunk, ReplicaError> {
         match self.read_response()? {
             Response::WalChunk(chunk) => Ok(chunk),
             Response::Error(e) => Err(ReplicaError::Client(ClientError::Remote(e))),

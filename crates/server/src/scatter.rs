@@ -1,0 +1,346 @@
+//! The gather node of a sharded deployment: scatter-gather over the
+//! shard primaries' replication feeds.
+//!
+//! # How a gather works
+//!
+//! A [`Gather`] follows every shard primary of a partitioned deployment
+//! the way a [`Replica`](crate::Replica) follows its primary: one
+//! background feed thread per shard dials the shard's server, performs
+//! the Hello handshake, and subscribes to its write-ahead-log stream
+//! from the merge's per-shard clock. Chunks are folded into a shared
+//! [`ShardMerge`](plus_store::ShardMerge) — cold feeds bootstrap from
+//! the shard's snapshot (which carries its partition stamp, verified on
+//! ingest), warm feeds replay sealed frames — and the merged record
+//! sets materialize into one **order-canonical** global graph served by
+//! an ordinary [`AccountService`] (bind it with
+//! [`Server::bind_gather`](crate::Server::bind_gather)).
+//!
+//! Because each shard feed is an ordinary replication subscription, the
+//! shard servers must run with replication enabled
+//! (`--allow-replication`, or `--shard`, which implies it), and the
+//! gather belongs inside the owner's trust domain: the feeds carry raw
+//! records. Consumers talk to the gather's *query* socket, which serves
+//! only protected views, exactly like any other server.
+//!
+//! # Partial results are refused, never silent
+//!
+//! Every query response from a gather carries the full per-shard epoch
+//! vector it was computed at. While any feed is down, the fronting
+//! server refuses cross-shard queries with the typed
+//! [`WireErrorKind::ShardUnavailable`](plus_store::WireErrorKind) —
+//! a traversal with a shard's records missing would return a silently
+//! truncated answer, indistinguishable from a true one. Clients retry
+//! or fall back; they never get a gap dressed up as an answer.
+
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use plus_store::codec;
+use plus_store::{AccountService, MergedSource, StoreError};
+use surrogate_core::shard::ShardMap;
+
+use crate::error::ReplicaError;
+use crate::replica::FeedConn;
+
+/// Tuning knobs for [`Gather::start_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct GatherConfig {
+    /// Sleep between reconnect attempts on a failed shard feed.
+    pub reconnect_backoff: Duration,
+    /// Read deadline on each feed socket (shard primaries heartbeat
+    /// every 250ms; silence past this is treated as a dead link).
+    pub feed_read_timeout: Duration,
+}
+
+impl Default for GatherConfig {
+    fn default() -> Self {
+        Self {
+            reconnect_backoff: Duration::from_millis(100),
+            feed_read_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Per-slot feed state shared with the fronting server.
+struct FeedState {
+    connected: AtomicBool,
+    /// The shard's epoch as last observed from its chunks — what
+    /// [`Gather::synced`] compares the merge clock against.
+    shard_epoch: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl Default for FeedState {
+    fn default() -> Self {
+        Self {
+            connected: AtomicBool::new(false),
+            shard_epoch: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        }
+    }
+}
+
+/// A running gather: one feed thread per shard folding replication
+/// streams into a merged [`AccountService`].
+///
+/// Dropping it (or calling [`shutdown`](Self::shutdown)) stops the feed
+/// threads. The merge is in-memory only; a restarted gather re-ingests
+/// each shard's bootstrap snapshot.
+pub struct Gather {
+    service: Arc<AccountService>,
+    merged: Arc<MergedSource>,
+    peers: Vec<String>,
+    feeds: Vec<Arc<FeedState>>,
+    stop: Arc<AtomicBool>,
+    /// Clones of the live feed sockets so shutdown can unblock parked
+    /// reads.
+    live: Arc<Mutex<Vec<Option<TcpStream>>>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Gather {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gather")
+            .field("peers", &self.peers)
+            .field("clocks", &self.clocks())
+            .field("synced", &self.synced())
+            .finish()
+    }
+}
+
+impl Gather {
+    /// Starts a gather over the shard primaries at `peers`, in shard
+    /// order: `peers[i]` must be shard `i` of `peers.len()`.
+    pub fn start(peers: &[&str]) -> Result<Gather, ReplicaError> {
+        Self::start_with(peers, GatherConfig::default())
+    }
+
+    /// [`start`](Self::start) with explicit tuning.
+    pub fn start_with(peers: &[&str], config: GatherConfig) -> Result<Gather, ReplicaError> {
+        let count = u32::try_from(peers.len())
+            .ok()
+            .filter(|&n| n > 0 && n <= plus_store::MAX_SHARDS)
+            .ok_or_else(|| {
+                ReplicaError::protocol("a gather needs between 1 and MAX_SHARDS peers")
+            })?;
+        let map = ShardMap::new(count).expect("count checked nonzero");
+        let merged = Arc::new(MergedSource::new(map));
+        let service = Arc::new(AccountService::sharded(merged.clone()));
+        let peers: Vec<String> = peers.iter().map(|p| p.to_string()).collect();
+        let feeds: Vec<Arc<FeedState>> =
+            (0..count).map(|_| Arc::new(FeedState::default())).collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(Mutex::new((0..count).map(|_| None).collect::<Vec<_>>()));
+        let mut threads = Vec::with_capacity(peers.len());
+        for (slot, addr) in peers.iter().enumerate() {
+            let merged = merged.clone();
+            let feed = feeds[slot].clone();
+            let stop = stop.clone();
+            let live = live.clone();
+            let addr = addr.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("spgraph-gather-{slot}"))
+                    .spawn(move || run_feed(slot as u32, addr, merged, feed, stop, live, config))
+                    .expect("spawn gather feed thread"),
+            );
+        }
+        Ok(Gather {
+            service,
+            merged,
+            peers,
+            feeds,
+            stop,
+            live,
+            threads,
+        })
+    }
+
+    /// The serving layer over the merged graph — bind it with
+    /// [`Server::bind_gather`](crate::Server::bind_gather), or query it
+    /// in-process. Read-only: writes go to the shard primaries.
+    pub fn service(&self) -> &Arc<AccountService> {
+        &self.service
+    }
+
+    /// The shard primaries this gather follows, in shard order.
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// The address of the shard that owns global id `id` — the redirect
+    /// target for a write that landed here by mistake.
+    pub fn peer_of(&self, id: u32) -> &str {
+        let slot = self.merged.map().shard_of(id) as usize;
+        &self.peers[slot]
+    }
+
+    /// How many shards the keyspace is partitioned across.
+    pub fn shard_count(&self) -> u32 {
+        self.merged.map().count()
+    }
+
+    /// The per-shard merge clocks: how many of each shard's mutations
+    /// the merged graph reflects.
+    pub fn clocks(&self) -> Vec<u64> {
+        self.merged.clocks()
+    }
+
+    /// Whether the feed for `slot` is currently connected.
+    pub fn connected(&self, slot: u32) -> bool {
+        self.feeds
+            .get(slot as usize)
+            .is_some_and(|f| f.connected.load(Ordering::Relaxed))
+    }
+
+    /// The first disconnected shard slot, if any — what the fronting
+    /// server names in its [`ShardUnavailable`](plus_store::WireErrorKind)
+    /// refusals.
+    pub fn first_down(&self) -> Option<u32> {
+        self.feeds
+            .iter()
+            .position(|f| !f.connected.load(Ordering::Relaxed))
+            .map(|slot| slot as u32)
+    }
+
+    /// Whether every feed is connected and the merge has caught up with
+    /// each shard's last observed epoch.
+    pub fn synced(&self) -> bool {
+        let clocks = self.merged.clocks();
+        self.feeds.iter().enumerate().all(|(slot, feed)| {
+            feed.connected.load(Ordering::Relaxed)
+                && clocks[slot] >= feed.shard_epoch.load(Ordering::Relaxed)
+        })
+    }
+
+    /// Waits until [`synced`](Self::synced) holds, or the deadline
+    /// passes; returns whether it does.
+    pub fn wait_synced(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.synced() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// The last feed error recorded for `slot`, if any.
+    pub fn last_error(&self, slot: u32) -> Option<String> {
+        self.feeds
+            .get(slot as usize)
+            .and_then(|f| f.last_error.lock().clone())
+    }
+
+    /// Stops the feed threads and disconnects. Equivalent to dropping
+    /// the gather, but explicit.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for stream in self.live.lock().iter_mut() {
+            if let Some(stream) = stream.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        for feed in &self.feeds {
+            feed.connected.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Gather {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Sleeps `total` in small slices so a raised stop flag interrupts it
+/// promptly.
+fn backoff(stop: &AtomicBool, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::SeqCst) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(10)));
+    }
+}
+
+/// One shard's feed loop: subscribe from the merge's clock for this
+/// slot, fold chunks in, reconnect with backoff on any failure.
+fn run_feed(
+    slot: u32,
+    addr: String,
+    merged: Arc<MergedSource>,
+    feed: Arc<FeedState>,
+    stop: Arc<AtomicBool>,
+    live: Arc<Mutex<Vec<Option<TcpStream>>>>,
+    config: GatherConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let from_clock = merged.clocks()[slot as usize];
+        let mut conn = match FeedConn::open(&addr, from_clock, config.feed_read_timeout) {
+            Ok(conn) => conn,
+            Err(e) => {
+                *feed.last_error.lock() = Some(e.to_string());
+                backoff(&stop, config.reconnect_backoff);
+                continue;
+            }
+        };
+        live.lock()[slot as usize] = conn.try_clone_stream().ok();
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                live.lock()[slot as usize] = None;
+                return;
+            }
+            let chunk = match conn.next_chunk() {
+                Ok(chunk) => chunk,
+                Err(e) => {
+                    *feed.last_error.lock() = Some(e.to_string());
+                    break;
+                }
+            };
+            if let Err(e) = fold_chunk(slot, &merged, &chunk) {
+                *feed.last_error.lock() = Some(e.to_string());
+                break;
+            }
+            feed.shard_epoch
+                .store(chunk.primary_epoch, Ordering::Relaxed);
+            // Connected only once a chunk lands, so `synced` never
+            // reports a reconnect caught-up against a stale epoch.
+            feed.connected.store(true, Ordering::Relaxed);
+            *feed.last_error.lock() = None;
+        }
+        feed.connected.store(false, Ordering::Relaxed);
+        live.lock()[slot as usize] = None;
+        backoff(&stop, config.reconnect_backoff);
+    }
+}
+
+/// Folds one chunk into the merge: snapshot bootstrap (stamped for this
+/// slot, verified by the merge), then frames.
+fn fold_chunk(
+    slot: u32,
+    merged: &MergedSource,
+    chunk: &plus_store::WalChunk,
+) -> Result<(), StoreError> {
+    if let Some(snapshot) = &chunk.snapshot {
+        let data = codec::decode(snapshot)?;
+        merged.update(|m| m.ingest_snapshot(slot, &data))?;
+    }
+    merged.update(|m| m.apply_frames(slot, chunk.start_clock, &chunk.frames))
+}

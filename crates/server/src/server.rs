@@ -82,16 +82,18 @@ use plus_store::codec::{crc32, seal_frame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 use plus_store::wal;
 use plus_store::wire::{
     decode_request, encode_response, ReplicaRole, ReplicaStatus, Request, Response, ServerHello,
-    WalChunk, WireError, WireErrorKind, PROTOCOL_VERSION,
+    ShardStatusInfo, WalChunk, WireError, WireErrorKind, WriteOp, PROTOCOL_VERSION,
 };
-use plus_store::{AccountService, CodecError, Store, StoreError};
+use plus_store::{AccountService, CodecError, QueryRequest, Store, StoreError};
 use reactor::{Events, Interest, Poller, Token, Waker};
 use surrogate_core::credential::Consumer;
 use surrogate_core::privilege::PrivilegeId;
+use surrogate_core::shard::Partition;
 
 use crate::admission::RateLimiter;
 use crate::metrics::{self, OverloadReason, RequestType, ServerMetrics};
 use crate::replica::{Replica, ReplicationMonitor};
+use crate::scatter::Gather;
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +113,13 @@ pub struct ServerConfig {
     /// views. Enable it only on a socket that stays inside the owner's
     /// trust domain (`spgraph serve --allow-replication`).
     pub allow_replication: bool,
+    /// Whether [`Request::Write`] frames are honored. Off by default:
+    /// the query socket serves *protected* views, and the Hello
+    /// handshake verifies nothing, so writes over the wire belong only
+    /// on sockets inside the owner's trust domain — the shard primaries
+    /// of a partitioned deployment (`spgraph serve --shard i/n`, which
+    /// implies it).
+    pub allow_remote_write: bool,
     /// Most sockets the server will own at once (event loops plus
     /// feeders). Dials past the cap are refused at accept with a
     /// best-effort [`WireErrorKind::Overloaded`] frame.
@@ -155,6 +164,7 @@ impl Default for ServerConfig {
             threads,
             allow_remote_checkpoint: false,
             allow_replication: false,
+            allow_remote_write: false,
             max_conns: 16 * 1024,
             rate_limit: None,
             metrics_addr: None,
@@ -240,7 +250,7 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<Server> {
-        Self::bind_inner(service, addr, config, None)
+        Self::bind_inner(service, addr, config, None, None)
     }
 
     /// Binds a server in front of a [`Replica`]: it serves the same
@@ -257,7 +267,71 @@ impl Server {
             addr,
             config,
             Some(replica.monitor()),
+            None,
         )
+    }
+
+    /// Binds one shard primary of a partitioned deployment: the service
+    /// must be backed by a partitioned store
+    /// ([`Store::create_durable_partitioned`]), and `peers` — when
+    /// non-empty — names every shard's address in shard order, so
+    /// mis-routed writes are refused with a
+    /// [`WireErrorKind::WrongShard`] redirect that carries the owner's
+    /// address.
+    ///
+    /// A shard serves point reads for the ids it owns and refuses
+    /// traversals (send those to a gather node,
+    /// [`Server::bind_gather`]). Remote writes are implied on: a shard
+    /// primary that cannot be written to over the wire serves no
+    /// purpose — keep its socket inside the owner's trust domain.
+    pub fn bind_sharded(
+        service: Arc<AccountService>,
+        addr: impl ToSocketAddrs,
+        mut config: ServerConfig,
+        peers: &[&str],
+    ) -> io::Result<Server> {
+        let partition = service
+            .store()
+            .and_then(|store| store.partition())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "bind_sharded needs a partitioned store (Store::create_durable_partitioned)",
+                )
+            })?;
+        if !peers.is_empty() && peers.len() != partition.count() as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "peer list names {} shards but the store is partitioned {}-way",
+                    peers.len(),
+                    partition.count()
+                ),
+            ));
+        }
+        config.allow_remote_write = true;
+        let role = Arc::new(ShardRole::Shard {
+            partition,
+            peers: peers.iter().map(|p| p.to_string()).collect(),
+        });
+        Self::bind_inner(service, addr, config, None, Some(role))
+    }
+
+    /// Binds a server in front of a [`Gather`]: it serves the ordinary
+    /// query protocol over the merged multi-shard graph, stamps every
+    /// response with the per-shard epoch vector, refuses queries with
+    /// [`WireErrorKind::ShardUnavailable`] while any shard feed is down
+    /// (a partial merge would be a silent gap), and answers mis-routed
+    /// writes with a [`WireErrorKind::WrongShard`] redirect to the
+    /// owning shard.
+    pub fn bind_gather(
+        gather: Arc<Gather>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let service = gather.service().clone();
+        let role = Arc::new(ShardRole::Gather(gather));
+        Self::bind_inner(service, addr, config, None, Some(role))
     }
 
     fn bind_inner(
@@ -265,6 +339,7 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
         monitor: Option<Arc<ReplicationMonitor>>,
+        shard: Option<Arc<ShardRole>>,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -294,6 +369,7 @@ impl Server {
             shutdown: shutdown.clone(),
             limiter: config.rate_limit.map(RateLimiter::new),
             feeders: feeders.clone(),
+            shard,
         });
 
         let threads = config.threads.max(1);
@@ -544,6 +620,25 @@ struct ShardCtx {
     shutdown: Arc<AtomicBool>,
     limiter: Option<RateLimiter>,
     feeders: Arc<FeederSet>,
+    shard: Option<Arc<ShardRole>>,
+}
+
+/// What this server is in a partitioned deployment, when it is part of
+/// one. (The event-loop "shards" above are an unrelated use of the
+/// word: those split *connections* across threads, these split the
+/// *keyspace* across servers.)
+enum ShardRole {
+    /// One shard primary: serves point reads for the ids its partition
+    /// owns, accepts writes routed here, refuses the rest with typed
+    /// redirects. `peers` (when non-empty) names every shard's address
+    /// in shard order, so redirects can carry the owner's address.
+    Shard {
+        partition: Partition,
+        peers: Vec<String>,
+    },
+    /// A gather node: serves cross-shard queries over the merged graph,
+    /// redirects writes to the owning shard.
+    Gather(Arc<Gather>),
 }
 
 /// Where a connection is in its protocol lifecycle.
@@ -1152,7 +1247,60 @@ fn request_type(request: &Request) -> RequestType {
         Request::Subscribe { .. } => RequestType::Subscribe,
         Request::LogDigests => RequestType::LogDigests,
         Request::Promote => RequestType::Promote,
+        Request::Write { .. } => RequestType::Write,
+        Request::ShardStatus => RequestType::ShardStatus,
     }
+}
+
+/// Why a query cannot be served at this node of a partitioned
+/// deployment, if it cannot. `None` on an unsharded server, and on the
+/// serving paths of a shard (owned point read) or gather (all feeds
+/// up).
+fn shard_query_refusal(ctx: &ShardCtx, query: &QueryRequest) -> Option<WireError> {
+    match ctx.shard.as_deref()? {
+        ShardRole::Shard { partition, peers } => {
+            if query.max_depth > 0 {
+                // A traversal stopped at the shard boundary would be a
+                // silently truncated answer; only a gather node sees
+                // every shard's edges.
+                return Some(WireError::new(
+                    WireErrorKind::BadRequest,
+                    format!(
+                        "shard {}/{} serves point reads only (max_depth 0); send traversals to a gather node",
+                        partition.index(),
+                        partition.count()
+                    ),
+                ));
+            }
+            if partition.owns(query.root.0) {
+                return None;
+            }
+            let owner = partition.map().shard_of(query.root.0);
+            Some(wrong_shard(owner, peers))
+        }
+        ShardRole::Gather(gather) => {
+            let slot = gather.first_down()?;
+            Some(WireError::new(
+                WireErrorKind::ShardUnavailable,
+                format!(
+                    "shard {slot} ({}) is unreachable; a cross-shard answer would be missing its records",
+                    gather.peers()[slot as usize]
+                ),
+            ))
+        }
+    }
+}
+
+/// The typed redirect for a record owned elsewhere. The message is the
+/// owner's address when the peer list names it (mirroring NotWritable's
+/// address-in-message convention, so pools re-route without a topology
+/// refresh), else the owner's shard index in decimal.
+fn wrong_shard(owner: u32, peers: &[String]) -> WireError {
+    let target = match peers.get(owner as usize) {
+        Some(addr) => addr.clone(),
+        None => owner.to_string(),
+    };
+    WireError::new(WireErrorKind::WrongShard, target)
 }
 
 fn handle_request(ctx: &ShardCtx, conn: &mut Conn, request: Request) -> Handled {
@@ -1194,6 +1342,11 @@ fn handle_request(ctx: &ShardCtx, conn: &mut Conn, request: Request) -> Handled 
         // produce — a repeat query queues the cached allocation by
         // refcount, never a copy.
         Request::Query(query) => {
+            if let Some(error) = shard_query_refusal(ctx, &query) {
+                queue_response(conn, &Response::Error(error));
+                ctx.metrics.observe_latency(kind, start.elapsed());
+                return Handled::Continue;
+            }
             match ctx.service.query_sealed(&consumer, &query) {
                 Ok(frame) => conn.queue(OutFrame::Shared(frame)),
                 Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => queue_oversize(conn),
@@ -1202,6 +1355,14 @@ fn handle_request(ctx: &ShardCtx, conn: &mut Conn, request: Request) -> Handled 
             Handled::Continue
         }
         Request::Batch(queries) => {
+            // All-or-nothing, like every other batch failure: one
+            // unservable query refuses the batch rather than answering
+            // a subset.
+            if let Some(error) = queries.iter().find_map(|q| shard_query_refusal(ctx, q)) {
+                queue_response(conn, &Response::Error(error));
+                ctx.metrics.observe_latency(kind, start.elapsed());
+                return Handled::Continue;
+            }
             match ctx.service.query_batch_sealed(&consumer, &queries) {
                 Ok(frame) => conn.queue(OutFrame::Shared(frame)),
                 Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => queue_oversize(conn),
@@ -1285,10 +1446,24 @@ fn handle_hello(ctx: &ShardCtx, conn: &mut Conn, request: Request) {
     } else {
         Consumer::new(consumer_name, &snapshot.lattice, &granted)
     };
+    // Shard topology travels in the Hello so routing is client-side and
+    // stateless: a pool that knows (count, index) computes any id's
+    // owner without a directory service.
+    let (shard_count, shard_index) = match ctx.shard.as_deref() {
+        Some(ShardRole::Shard { partition, .. }) => (partition.count(), Some(partition.index())),
+        Some(ShardRole::Gather(gather)) => (gather.shard_count(), None),
+        None => ctx
+            .service
+            .store()
+            .and_then(|store| store.partition())
+            .map_or((0, None), |p| (p.count(), Some(p.index()))),
+    };
     let hello = ServerHello {
         version: PROTOCOL_VERSION,
         epoch: snapshot.epoch(),
         nodes: snapshot.graph.node_count() as u64,
+        shard_count,
+        shard_index,
         predicates: snapshot
             .lattice
             .ids()
@@ -1368,6 +1543,7 @@ fn wire_error(e: &StoreError) -> WireError {
         StoreError::UnknownPredicate(_) => WireErrorKind::UnknownPredicate,
         StoreError::NotDurable => WireErrorKind::NotDurable,
         StoreError::UnknownRecord(_) => WireErrorKind::BadRequest,
+        StoreError::WrongShard { .. } => WireErrorKind::WrongShard,
         _ => WireErrorKind::Internal,
     };
     WireError::new(kind, e.to_string())
@@ -1540,6 +1716,132 @@ fn answer(ctx: &ShardCtx, consumer: &Consumer, request: Request) -> (Response, O
                 ),
             }
         }
+        // A remote write, routed to a shard primary by the client
+        // (edges by their source, policy by the governed node). Gated
+        // like Checkpoint: a replica redirects to its primary, and the
+        // operator must have opted in — the Hello verifies nothing, so
+        // a write-open socket belongs inside the owner's trust domain.
+        Request::Write { op } => {
+            if let Some(monitor) = ctx.monitor.as_deref() {
+                if !monitor.is_promoted() {
+                    let addr = monitor
+                        .status(service.epoch())
+                        .primary_addr
+                        .unwrap_or_default();
+                    return (
+                        Response::Error(WireError::new(WireErrorKind::NotWritable, addr)),
+                        Outcome::Continue,
+                    );
+                }
+            }
+            if !ctx.config.allow_remote_write {
+                return (
+                    Response::Error(WireError::new(
+                        WireErrorKind::NotAuthorized,
+                        "remote writes are disabled on this server; its operator must opt in (--shard or --allow-remote-write)",
+                    )),
+                    Outcome::Continue,
+                );
+            }
+            // A gather owns no partition — every write belongs on a
+            // shard primary; redirect to the owner when the op names
+            // one (an AppendNode routes anywhere, so the message is
+            // empty and the client picks a shard itself).
+            if let Some(ShardRole::Gather(gather)) = ctx.shard.as_deref() {
+                let target = op
+                    .routing_id()
+                    .map(|id| gather.peer_of(id.0).to_string())
+                    .unwrap_or_default();
+                return (
+                    Response::Error(WireError::new(WireErrorKind::WrongShard, target)),
+                    Outcome::Continue,
+                );
+            }
+            let Some(store) = service.store() else {
+                return (
+                    Response::Error(WireError::new(
+                        WireErrorKind::BadRequest,
+                        "this server serves a frozen graph; it has no writable store",
+                    )),
+                    Outcome::Continue,
+                );
+            };
+            let result = match op {
+                WriteOp::AppendNode {
+                    label,
+                    kind,
+                    features,
+                    lowest,
+                } => store
+                    .try_append_node(label, kind, features, lowest)
+                    .map(Some),
+                WriteOp::AppendEdge { from, to, kind } => {
+                    store.append_edge(from, to, kind).map(|()| None)
+                }
+                WriteOp::ApplyPolicy(statement) => store.apply_policy(statement).map(|()| None),
+            };
+            match result {
+                Ok(id) => (
+                    Response::Written {
+                        clock: store.version(),
+                        id,
+                    },
+                    Outcome::Continue,
+                ),
+                // The store's ownership check names the owner; put the
+                // owner's *address* in the message when the peer list
+                // knows it, so the client re-routes without a topology
+                // refresh (the NotWritable convention).
+                Err(StoreError::WrongShard { owner, .. }) => {
+                    let peers: &[String] = match ctx.shard.as_deref() {
+                        Some(ShardRole::Shard { peers, .. }) => peers,
+                        _ => &[],
+                    };
+                    (
+                        Response::Error(wrong_shard(owner, peers)),
+                        Outcome::Continue,
+                    )
+                }
+                Err(e) => (Response::Error(wire_error(&e)), Outcome::Continue),
+            }
+        }
+        Request::ShardStatus => {
+            let status = match ctx.shard.as_deref() {
+                Some(ShardRole::Shard { partition, .. }) => {
+                    shard_primary_status(service, *partition)
+                }
+                Some(ShardRole::Gather(gather)) => ShardStatusInfo {
+                    count: gather.shard_count(),
+                    index: None,
+                    epochs: gather.clocks(),
+                },
+                // A plain server in front of a partitioned store still
+                // reports its slice; a truly unsharded one answers the
+                // degenerate topology (count 0, its version as the one
+                // epoch).
+                None => match service.store().and_then(|store| store.partition()) {
+                    Some(partition) => shard_primary_status(service, partition),
+                    None => ShardStatusInfo {
+                        count: 0,
+                        index: None,
+                        epochs: vec![service.epoch()],
+                    },
+                },
+            };
+            (Response::ShardStatus(status), Outcome::Continue)
+        }
+    }
+}
+
+/// A shard primary knows one live epoch — its own; its status vector
+/// carries zeros in the slots only a gather observes.
+fn shard_primary_status(service: &AccountService, partition: Partition) -> ShardStatusInfo {
+    let mut epochs = vec![0u64; partition.count() as usize];
+    epochs[partition.index() as usize] = service.epoch();
+    ShardStatusInfo {
+        count: partition.count(),
+        index: Some(partition.index()),
+        epochs,
     }
 }
 

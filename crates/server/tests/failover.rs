@@ -390,6 +390,8 @@ fn spawn_silent_primary(epoch: u64) -> String {
                             version: PROTOCOL_VERSION,
                             epoch,
                             nodes: 0,
+                            shard_count: 0,
+                            shard_index: None,
                             predicates: Vec::new(),
                         }),
                         Request::LogDigests => Response::LogDigests {

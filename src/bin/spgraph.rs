@@ -35,6 +35,29 @@
 //! spgraph replica-status <addr> [--wait] [--timeout <secs>]
 //!                                              a server's replication status: role,
 //!                                              epochs, lag, term, link health
+//! spgraph serve <dir> --shard <i>/<n> [--peers a,b,...] [--addr a:p] [...]
+//!                                              serve as SHARD i of an n-way
+//!                                              partitioned deployment: owns the ids
+//!                                              ≡ i (mod n), accepts remote writes
+//!                                              for them, refuses the rest with
+//!                                              typed redirects (implies
+//!                                              --allow-replication, which feeds
+//!                                              the gather); a vacant <dir> is
+//!                                              seeded with an empty Public store
+//! spgraph serve --gather --peers a,b,... [--addr a:p] [...]
+//!                                              serve cross-shard queries: follow
+//!                                              every shard's feed, merge into one
+//!                                              order-canonical graph, stamp each
+//!                                              answer with the per-shard epoch
+//!                                              vector; refuse (never truncate)
+//!                                              while any shard feed is down
+//! spgraph shard-status <addr>                  a server's shard topology and
+//!                                              per-shard epochs
+//! spgraph write <addr> --node <label> [-p <predicate>]
+//! spgraph write <addr> --edge <from>,<to> [--kind <k>]
+//!                                              one remote write (the server must
+//!                                              allow it); mis-routed writes follow
+//!                                              one WrongShard redirect
 //! spgraph query --remote <addr> -p <predicate> --root <id> [...]
 //!                                              the same lineage query, answered
 //!                                              by a remote spgraph serve
@@ -72,8 +95,12 @@ fn usage() -> ExitCode {
          spgraph serve <store> [--addr <addr:port>] [--threads <n>] [--allow-checkpoint] [--allow-replication] [--churn <ops/s>]\n  \
          \u{20}             [--max-conns <n>] [--rate-limit <req/s>] [--metrics-addr <addr:port>]\n  \
          spgraph serve <dir> --replicate-from <addr:port> [--addr <addr:port>] [--threads <n>] [--allow-replication] [--churn <ops/s>]\n  \
+         spgraph serve <dir> --shard <i>/<n> [--peers <addr,addr,...>] [--addr <addr:port>] [--threads <n>]\n  \
+         spgraph serve --gather --peers <addr,addr,...> [--addr <addr:port>] [--threads <n>]\n  \
          spgraph promote <dir | addr:port>\n  \
          spgraph replica-status <addr:port> [--wait] [--timeout <secs>]\n  \
+         spgraph shard-status <addr:port>\n  \
+         spgraph write <addr:port> (--node <label> [-p <predicate>] | --edge <from>,<to> [--kind input-to|generated-by|triggered-by|related])\n  \
          spgraph query --remote <addr:port> -p <predicate> --root <id> [--direction up|down|both] [--depth <n>] [--strategy <s>]\n\
          <store> is a snapshot file or a durable (write-ahead-logged) store directory"
     );
@@ -84,6 +111,24 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `--peers a,b,...` into a shard-ordered address list; `None`
+/// when the flag is absent.
+fn parse_peers(args: &[String]) -> CliResult<Option<Vec<String>>> {
+    let Some(raw) = flag_value(args, "--peers") else {
+        return Ok(None);
+    };
+    let peers: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if peers.is_empty() {
+        return Err("--peers needs at least one address".to_string());
+    }
+    Ok(Some(peers))
 }
 
 fn main() -> ExitCode {
@@ -102,6 +147,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "promote" => cmd_promote(&args[1..]),
         "replica-status" => cmd_replica_status(&args[1..]),
+        "shard-status" => cmd_shard_status(&args[1..]),
+        "write" => cmd_write(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -469,7 +516,6 @@ fn cmd_query_remote(addr: &str, args: &[String]) -> CliResult<()> {
 /// directory and re-serves the same queries at a coherent (possibly
 /// lagging) epoch.
 fn cmd_serve(args: &[String]) -> CliResult<()> {
-    let path = args.first().ok_or("missing store path")?;
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7654".to_string());
     let threads: Option<usize> = flag_value(args, "--threads")
         .map(|t| t.parse().map_err(|_| format!("bad --threads {t:?}")))
@@ -502,6 +548,103 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
     // a refusal leaves the default limit, it does not stop the server.
     let fd_limit =
         surrogate_parenthood::server::raise_nofile_limit(config.max_conns as u64 + 512).ok();
+
+    // A gather node owns no store: it follows every shard's replication
+    // feed into an in-memory merged graph and serves cross-shard
+    // queries over it.
+    if args.iter().any(|a| a == "--gather") {
+        let peers = parse_peers(args)?.ok_or(
+            "--gather needs --peers <addr,addr,...> (one address per shard, in shard order)",
+        )?;
+        let peer_refs: Vec<&str> = peers.iter().map(String::as_str).collect();
+        let gather = Arc::new(
+            surrogate_parenthood::server::Gather::start(&peer_refs)
+                .map_err(|e| format!("cannot start gather: {e}"))?,
+        );
+        let synced = gather.wait_synced(std::time::Duration::from_secs(10));
+        let server = Server::bind_gather(gather.clone(), &addr as &str, config)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        println!(
+            "gather over {} shard(s) [{}] serving on {} ({})",
+            gather.shard_count(),
+            peers.join(", "),
+            server.local_addr(),
+            if synced {
+                "all feeds synced".to_string()
+            } else {
+                "still syncing; queries are refused until every feed connects".to_string()
+            }
+        );
+        println!("read-only: writes are redirected to the owning shard");
+        // Machine-parseable: scripts resolve `--addr :0` from this line.
+        println!("listening on {}", server.local_addr());
+        if let Some(metrics) = server.metrics_local_addr() {
+            println!("metrics listening on {metrics}");
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        loop {
+            std::thread::park();
+        }
+    }
+
+    let path = args.first().ok_or("missing store path")?;
+
+    // One shard primary of a partitioned deployment: a durable store
+    // over this shard's residue class, remote writes on, replication on
+    // (the gather follows the shard feeds).
+    if let Some(spec) = flag_value(args, "--shard") {
+        let (index, count) = spec
+            .split_once('/')
+            .and_then(|(i, n)| Some((i.parse::<u32>().ok()?, n.parse::<u32>().ok()?)))
+            .ok_or_else(|| format!("bad --shard {spec:?}: expected <i>/<n>, e.g. 0/2"))?;
+        let partition = surrogate_parenthood::surrogate_core::shard::Partition::new(index, count)
+            .ok_or_else(|| format!("bad --shard {spec:?}: need i < n and n > 0"))?;
+        let peers = parse_peers(args)?.unwrap_or_default();
+        let peer_refs: Vec<&str> = peers.iter().map(String::as_str).collect();
+        let vacant = match std::fs::read_dir(path) {
+            Ok(mut entries) => entries.next().is_none(),
+            Err(_) => !std::path::Path::new(path).exists(),
+        };
+        let store = if vacant {
+            Store::create_durable_partitioned(path, &["Public"], &[], Default::default(), partition)
+                .map_err(|e| format!("cannot create shard store {path}: {e}"))?
+        } else {
+            let store = Store::open(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+            if store.partition() != Some(partition) {
+                return Err(format!(
+                    "{path} is partitioned {:?}, not shard {index}/{count}; a shard's slice is fixed at creation",
+                    store.partition()
+                ));
+            }
+            store
+        };
+        let service = Arc::new(AccountService::new(Arc::new(store)));
+        // The gather follows this shard's WAL feed; without replication
+        // the deployment has writes but no cross-shard reads.
+        config.allow_replication = true;
+        config.allow_remote_checkpoint = args.iter().any(|a| a == "--allow-checkpoint");
+        let epoch = service.epoch();
+        let server = Server::bind_sharded(service, &addr as &str, config, &peer_refs)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        println!(
+            "shard {index}/{count} serving {path} on {} (epoch {epoch}, owns ids \u{2261} {index} mod {count})",
+            server.local_addr()
+        );
+        println!(
+            "remote writes on (trust-domain socket); point reads only — traversals go to a gather"
+        );
+        // Machine-parseable: scripts resolve `--addr :0` from this line.
+        println!("listening on {}", server.local_addr());
+        if let Some(metrics) = server.metrics_local_addr() {
+            println!("metrics listening on {metrics}");
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        loop {
+            std::thread::park();
+        }
+    }
 
     if let Some(primary) = flag_value(args, "--replicate-from") {
         if args.iter().any(|a| a == "--allow-checkpoint") {
@@ -572,7 +715,14 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
     // Writable open (unlike the read-only inspection commands): a serving
     // process is the store's single attached writer, so remote
     // `Checkpoint` requests can fold the log.
-    let store = if std::path::Path::new(path).is_dir() {
+    let vacant = match std::fs::read_dir(path) {
+        Ok(mut entries) => entries.next().is_none(),
+        Err(_) => !std::path::Path::new(path).exists(),
+    };
+    let store = if args.iter().any(|a| a == "--create") && vacant {
+        Store::create_durable(path, &["Public"], &[])
+            .map_err(|e| format!("cannot create {path}: {e}"))?
+    } else if std::path::Path::new(path).is_dir() {
         Store::open(path).map_err(|e| format!("cannot load {path}: {e}"))?
     } else {
         Store::load(path).map_err(|e| format!("cannot load {path}: {e}"))?
@@ -584,6 +734,8 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
     config.allow_remote_checkpoint = args.iter().any(|a| a == "--allow-checkpoint");
     // Replication ships RAW records — owner-side trust domain only.
     config.allow_replication = args.iter().any(|a| a == "--allow-replication");
+    // Remote writes mutate the store — same opt-in discipline.
+    config.allow_remote_write = args.iter().any(|a| a == "--allow-write");
     let churn: Option<u64> = flag_value(args, "--churn")
         .map(|c| c.parse().map_err(|_| format!("bad --churn {c:?}")))
         .transpose()?;
@@ -761,6 +913,104 @@ fn cmd_replica_status(args: &[String]) -> CliResult<()> {
     );
     if let Some(error) = &status.last_error {
         println!("  last error: {error}");
+    }
+    Ok(())
+}
+
+/// Asks any server where it sits in the shard topology and how much of
+/// each shard's history it reflects.
+fn cmd_shard_status(args: &[String]) -> CliResult<()> {
+    let addr = args.first().ok_or("missing server address")?;
+    let mut client = surrogate_parenthood::Client::connect(addr as &str, "spgraph", &[])
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let status = client.shard_status().map_err(|e| e.to_string())?;
+    if status.count == 0 {
+        println!("{addr} is unsharded");
+    } else {
+        match status.index {
+            Some(index) => println!("{addr} is shard {index}/{}", status.count),
+            None => println!("{addr} is a gather over {} shard(s)", status.count),
+        }
+    }
+    for (slot, epoch) in status.epochs.iter().enumerate() {
+        println!(
+            "  shard {slot}: epoch {epoch}{}",
+            if status.index == Some(slot as u32) {
+                "  [this server]"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(())
+}
+
+/// One remote write: a node append or an edge append, sent to `addr`.
+/// A `WrongShard` refusal that names the owner's address is followed
+/// once (the redirect discipline [`server::ShardRouter`] applies
+/// programmatically).
+fn cmd_write(args: &[String]) -> CliResult<()> {
+    use surrogate_parenthood::plus_store::{EdgeKind, NodeKind, RecordId, WriteOp};
+    let addr = args.first().ok_or("missing server address")?;
+    let mut client = surrogate_parenthood::Client::connect(addr as &str, "spgraph", &[])
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let op = if let Some(label) = flag_value(args, "--node") {
+        let name = flag_value(args, "-p")
+            .or_else(|| flag_value(args, "--predicate"))
+            .unwrap_or_else(|| "Public".to_string());
+        let lowest = client
+            .predicate(&name)
+            .ok_or_else(|| format!("unknown predicate {name:?}"))?;
+        WriteOp::AppendNode {
+            label,
+            kind: NodeKind::Data,
+            features: Features::new(),
+            lowest,
+        }
+    } else if let Some(edge) = flag_value(args, "--edge") {
+        let (from, to) = edge
+            .split_once(',')
+            .and_then(|(f, t)| Some((f.trim().parse::<u32>().ok()?, t.trim().parse::<u32>().ok()?)))
+            .ok_or_else(|| format!("bad --edge {edge:?}: expected <from>,<to>"))?;
+        let kind = match flag_value(args, "--kind").as_deref() {
+            None | Some("generated-by") => EdgeKind::GeneratedBy,
+            Some("input-to") => EdgeKind::InputTo,
+            Some("triggered-by") => EdgeKind::TriggeredBy,
+            Some("related") => EdgeKind::Related,
+            Some(other) => return Err(format!("unknown edge kind {other:?}")),
+        };
+        WriteOp::AppendEdge {
+            from: RecordId(from),
+            to: RecordId(to),
+            kind,
+        }
+    } else {
+        return Err("write needs --node <label> or --edge <from>,<to>".to_string());
+    };
+    let (clock, id) = match client.write(op.clone()) {
+        Ok(ack) => ack,
+        Err(e) => {
+            // A WrongShard refusal whose message is the owner's address
+            // is a redirect: retry there, once.
+            let target = match &e {
+                surrogate_parenthood::server::ClientError::Remote(remote)
+                    if remote.kind
+                        == surrogate_parenthood::plus_store::WireErrorKind::WrongShard
+                        && remote.message.contains(':') =>
+                {
+                    remote.message.clone()
+                }
+                _ => return Err(e.to_string()),
+            };
+            let mut owner = surrogate_parenthood::Client::connect(target.as_str(), "spgraph", &[])
+                .map_err(|e| format!("cannot reach redirect target {target}: {e}"))?;
+            println!("redirected to owning shard {target}");
+            owner.write(op).map_err(|e| e.to_string())?
+        }
+    };
+    match id {
+        Some(id) => println!("appended node {} at clock {clock}", id.0),
+        None => println!("applied at clock {clock}"),
     }
     Ok(())
 }

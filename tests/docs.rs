@@ -1,0 +1,94 @@
+//! Documentation conformance: the prose under `docs/` cannot drift from
+//! the implementation silently.
+//!
+//! Two checks:
+//!
+//! 1. `docs/WIRE.md` names every request variant, response variant, and
+//!    error kind the wire module actually ships (the normative lists
+//!    live next to the types as `REQUEST_VARIANTS` / `RESPONSE_VARIANTS`
+//!    / `ERROR_KINDS`) — adding a message without documenting it fails
+//!    the build.
+//! 2. Every relative Markdown link in `README.md` and `docs/*.md`
+//!    resolves to a file that exists in the repository.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use surrogate_parenthood::plus_store::wire::{
+    ERROR_KINDS, PROTOCOL_VERSION, REQUEST_VARIANTS, RESPONSE_VARIANTS,
+};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn wire_spec_names_every_message_and_error_kind() {
+    let spec = read(&repo_root().join("docs/WIRE.md"));
+    let mut missing = Vec::new();
+    for (list, names) in [
+        ("request variant", &REQUEST_VARIANTS[..]),
+        ("response variant", &RESPONSE_VARIANTS[..]),
+        ("error kind", &ERROR_KINDS[..]),
+    ] {
+        for name in names {
+            // Wrapped in backticks in the doc's tables and prose; a bare
+            // substring match would let e.g. "Written" satisfy "Write".
+            if !spec.contains(&format!("`{name}`")) {
+                missing.push(format!("{list} `{name}`"));
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "docs/WIRE.md is missing: {missing:?} — the spec is normative; document the change"
+    );
+    assert!(
+        spec.contains(&format!("**Protocol version:** {PROTOCOL_VERSION}")),
+        "docs/WIRE.md states protocol version {PROTOCOL_VERSION}"
+    );
+}
+
+#[test]
+fn doc_links_resolve() {
+    let root = repo_root();
+    let mut pages = vec![root.join("README.md")];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            pages.push(path);
+        }
+    }
+    assert!(pages.len() >= 4, "README + three docs pages at minimum");
+
+    let mut broken = BTreeSet::new();
+    for page in &pages {
+        let text = read(page);
+        let dir = page.parent().expect("pages live in a directory");
+        // Scan inline links: `](target)`. External and intra-page
+        // targets are out of scope; everything else must exist on disk.
+        let mut rest = text.as_str();
+        while let Some(at) = rest.find("](") {
+            rest = &rest[at + 2..];
+            let Some(end) = rest.find(')') else { break };
+            let target = &rest[..end];
+            rest = &rest[end + 1..];
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            let path = target.split('#').next().unwrap_or(target);
+            if !dir.join(path).exists() {
+                broken.insert(format!("{}: {target}", page.display()));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken relative links: {broken:?}");
+}
