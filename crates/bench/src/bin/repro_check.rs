@@ -39,6 +39,14 @@ const DEFAULT_KEYS: &[&str] = &[
     // mostly-idle fleet connected (repro_serve --connections 10000
     // --active-pct 1). `_us` suffix: gated lower-is-better.
     "serve.idle_10k_active_p99_us",
+    // The sharding records: aggregate multi-primary write throughput
+    // and scatter-gather traversal throughput (repro_shard), plus the
+    // PR-10 failover drill (repro_shard --failover) — recovery wall
+    // clock (lower-is-better) and post-failover gather throughput.
+    "shard.write_per_sec",
+    "shard.gather_queries_per_sec",
+    "shard_failover.recovery_ms",
+    "shard_failover.post_failover_queries_per_sec",
 ];
 
 /// Legacy dotted paths for metrics that moved between records. The gate

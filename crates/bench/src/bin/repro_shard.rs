@@ -11,6 +11,12 @@
 //! repro_shard --requests 50000        traversals against the gather
 //! repro_shard --json BENCH_PR9.json   record results (merging into an
 //!                                     existing bench JSON object)
+//! repro_shard --failover              replicated-shard failover drill:
+//!                                     kill shard 0's primary, promote
+//!                                     its replica, record the recovery
+//!                                     time and post-failover
+//!                                     scatter-gather throughput under
+//!                                     the `shard_failover` key
 //! ```
 
 use surrogate_bench::experiments::shard::{self, ShardBenchConfig};
@@ -40,6 +46,11 @@ fn main() {
     }
     if let Some(requests) = flag_value(&args, "--requests") {
         config.requests = requests.parse().expect("--requests takes a number");
+    }
+
+    if args.iter().any(|a| a == "--failover") {
+        run_failover_mode(&args, &config);
+        return;
     }
 
     println!(
@@ -114,5 +125,79 @@ fn main() {
         };
         std::fs::write(&path, text).expect("bench JSON writes");
         println!("shard record written to {path}");
+    }
+}
+
+/// The `--failover` drill: replicated shards, a kill, a promotion, and
+/// the recovery/throughput record under the `shard_failover` key.
+fn run_failover_mode(args: &[String], config: &ShardBenchConfig) {
+    println!(
+        "replicated-shard failover drill: {} shard(s) x 1 replica, {} wire writes per shard, \
+         kill shard 0's primary, promote, then {} traversals over {} threads\n",
+        config.shards, config.ops_per_shard, config.requests, config.threads
+    );
+
+    let result = match shard::run_failover(config) {
+        Ok(result) => result,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    };
+
+    let table = render_table(
+        &["metric", "value"],
+        &[
+            vec![
+                "shards (each + 1 replica)".into(),
+                result.shards.to_string(),
+            ],
+            vec!["wire writes before the kill".into(), result.ops.to_string()],
+            vec!["recovery (ms)".into(), format!("{:.1}", result.recovery_ms)],
+            vec!["promoted term".into(), result.promoted_term.to_string()],
+            vec!["reader threads".into(), result.threads.to_string()],
+            vec!["traversals completed".into(), result.requests.to_string()],
+            vec![
+                "post-failover queries/sec".into(),
+                format!("{:.0}", result.post_failover_queries_per_sec),
+            ],
+            vec![
+                "final shard epochs".into(),
+                format!("{:?}", result.shard_epochs),
+            ],
+        ],
+    );
+    println!("{table}");
+
+    if let Some(path) = flag_value(args, "--json") {
+        let record = json::object(&[
+            ("shards", result.shards.to_string()),
+            ("ops", result.ops.to_string()),
+            ("recovery_ms", json::num(result.recovery_ms)),
+            ("promoted_term", result.promoted_term.to_string()),
+            ("threads", result.threads.to_string()),
+            ("requests", result.requests.to_string()),
+            (
+                "post_failover_queries_per_sec",
+                json::num(result.post_failover_queries_per_sec),
+            ),
+            (
+                "shard_epochs",
+                json::array(
+                    &result
+                        .shard_epochs
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ]);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(existing) => json::merge_key(existing.trim(), "shard_failover", &record)
+                .unwrap_or_else(|| panic!("{path} does not hold a JSON object to merge into")),
+            Err(_) => format!("{{\"shard_failover\": {record}}}"),
+        };
+        std::fs::write(&path, text).expect("bench JSON writes");
+        println!("shard_failover record written to {path}");
     }
 }

@@ -152,7 +152,7 @@ pub fn run(config: &ReplicaBenchConfig) -> Result<ReplicaBenchResult, String> {
         allow_replication: true,
         ..ServerConfig::default()
     };
-    let primary = Server::bind_with(service, "127.0.0.1:0", server_config)
+    let primary = Server::bind(service, "127.0.0.1:0", &server_config)
         .map_err(|e| format!("cannot bind primary: {e}"))?;
     let primary_addr = primary.local_addr().to_string();
 
@@ -194,10 +194,13 @@ pub fn run(config: &ReplicaBenchConfig) -> Result<ReplicaBenchResult, String> {
     let mut servers = vec![];
     let mut addrs = vec![primary_addr.clone()];
     for replica in &replicas {
-        let server = Server::bind_replica(
-            replica,
+        let server = Server::bind(
+            replica.service().clone(),
             "127.0.0.1:0",
-            ServerConfig {
+            &ServerConfig {
+                role: server::Role::Replica {
+                    feed: replica.monitor(),
+                },
                 threads: config.threads.max(2),
                 ..ServerConfig::default()
             },

@@ -171,7 +171,7 @@ fn boot(config: &ServeConfig) -> Result<Harness, String> {
             // (`ServerConfig::default`), exactly as `spgraph serve`
             // does; `config.threads` counts *client* threads. Oversizing
             // shards to the client count thrashes small hosts.
-            let server = Server::bind_with(service.clone(), "127.0.0.1:0", ServerConfig::default())
+            let server = Server::bind(service.clone(), "127.0.0.1:0", &ServerConfig::default())
                 .map_err(|e| format!("cannot bind loopback: {e}"))?;
             let addr = server.local_addr().to_string();
             Ok((Some(server), addr, Some(service)))

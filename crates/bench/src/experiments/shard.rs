@@ -28,7 +28,9 @@ use plus_store::wire::WriteOp;
 use plus_store::{
     AccountService, Direction, DurabilityOptions, EdgeKind, NodeKind, QueryRequest, RecordId, Store,
 };
-use server::{Client, Gather, Server, ServerConfig};
+use server::{
+    Client, Gather, GatherConfig, Replica, ReplicaConfig, Server, ServerConfig, Topology,
+};
 use surrogate_core::account::Strategy;
 use surrogate_core::feature::Features;
 use surrogate_core::shard::Partition;
@@ -143,6 +145,55 @@ fn run_writer(addr: &str, shard: u32, shards: u32, ops: usize) -> Result<usize, 
     Ok(applied)
 }
 
+/// The closed-loop gather readers: `threads` clients issuing
+/// `total_requests` bounded traversals between them. Returns the
+/// completed count and the elapsed seconds.
+fn run_readers(
+    front_addr: &str,
+    threads: usize,
+    total_requests: usize,
+    max_depth: u32,
+    total_nodes: u32,
+) -> Result<(usize, f64), String> {
+    // Counts *up*: a count-down with `fetch_sub` would wrap past zero
+    // under racing readers and strand one of them in an endless loop.
+    let issued = Arc::new(AtomicUsize::new(0));
+    let query_started = Instant::now();
+    let readers: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = front_addr.to_string();
+            let issued = issued.clone();
+            std::thread::spawn(move || -> Result<usize, String> {
+                let mut client = Client::connect(&addr, "bench-reader", &["Public"])
+                    .map_err(|e| format!("reader {t} cannot connect: {e}"))?;
+                let mut done = 0usize;
+                let mut at = (t as u32).wrapping_mul(2_654_435_761);
+                while issued.fetch_add(1, Ordering::Relaxed) < total_requests {
+                    // A cheap LCG spreads roots over the id space; late
+                    // ids have the deepest lineages.
+                    at = at.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    let root = RecordId(at % total_nodes.max(1));
+                    client
+                        .query(&QueryRequest::new(
+                            root,
+                            Direction::Backward,
+                            max_depth,
+                            Strategy::Surrogate,
+                        ))
+                        .map_err(|e| format!("reader {t} query failed: {e}"))?;
+                    done += 1;
+                }
+                Ok(done)
+            })
+        })
+        .collect();
+    let mut requests = 0usize;
+    for reader in readers {
+        requests += reader.join().map_err(|_| "reader thread panicked")??;
+    }
+    Ok((requests, query_started.elapsed().as_secs_f64()))
+}
+
 /// Runs the sharding benchmark. Errors are strings: this is a harness,
 /// and every failure is terminal for the run.
 pub fn run(config: &ShardBenchConfig) -> Result<ShardBenchResult, String> {
@@ -167,14 +218,19 @@ pub fn run(config: &ShardBenchConfig) -> Result<ShardBenchResult, String> {
             partition,
         )
         .map_err(|e| format!("cannot create shard {index} store: {e}"))?;
-        let server = Server::bind_sharded(
+        let server = Server::bind(
             Arc::new(AccountService::new(Arc::new(store))),
             "127.0.0.1:0",
-            ServerConfig {
+            &ServerConfig {
+                role: server::Role::Shard {
+                    index,
+                    count: shards,
+                    topology: server::Topology::default(),
+                    feed: None,
+                },
                 allow_replication: true,
                 ..ServerConfig::default()
             },
-            &[],
         )
         .map_err(|e| format!("cannot bind shard {index}: {e}"))?;
         addrs.push(server.local_addr().to_string());
@@ -188,8 +244,17 @@ pub fn run(config: &ShardBenchConfig) -> Result<ShardBenchResult, String> {
     let peer_refs: Vec<&str> = addrs.iter().map(String::as_str).collect();
     let gather =
         Arc::new(Gather::start(&peer_refs).map_err(|e| format!("gather failed to start: {e}"))?);
-    let front = Server::bind_gather(gather.clone(), "127.0.0.1:0", ServerConfig::default())
-        .map_err(|e| format!("cannot bind gather front: {e}"))?;
+    let front = Server::bind(
+        gather.service().clone(),
+        "127.0.0.1:0",
+        &ServerConfig {
+            role: server::Role::Gather {
+                gather: gather.clone(),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind gather front: {e}"))?;
 
     // --- Phase 1: scatter writes, one closed loop per shard -----------
     let write_started = Instant::now();
@@ -227,46 +292,14 @@ pub fn run(config: &ShardBenchConfig) -> Result<ShardBenchResult, String> {
 
     // --- Phase 2: scatter-gather traversals ---------------------------
     let front_addr = front.local_addr().to_string();
-    // Counts *up*: a count-down with `fetch_sub` would wrap past zero
-    // under racing readers and strand one of them in an endless loop.
-    let issued = Arc::new(AtomicUsize::new(0));
-    let total_requests = config.requests;
     let total_nodes = (ops as u32 / 3) * 2; // ~2/3 of ops are node appends
-    let query_started = Instant::now();
-    let readers: Vec<_> = (0..config.threads.max(1))
-        .map(|t| {
-            let addr = front_addr.clone();
-            let issued = issued.clone();
-            let max_depth = config.max_depth;
-            std::thread::spawn(move || -> Result<usize, String> {
-                let mut client = Client::connect(&addr, "bench-reader", &["Public"])
-                    .map_err(|e| format!("reader {t} cannot connect: {e}"))?;
-                let mut done = 0usize;
-                let mut at = (t as u32).wrapping_mul(2_654_435_761);
-                while issued.fetch_add(1, Ordering::Relaxed) < total_requests {
-                    // A cheap LCG spreads roots over the id space; late
-                    // ids have the deepest lineages.
-                    at = at.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
-                    let root = RecordId(at % total_nodes.max(1));
-                    client
-                        .query(&QueryRequest::new(
-                            root,
-                            Direction::Backward,
-                            max_depth,
-                            Strategy::Surrogate,
-                        ))
-                        .map_err(|e| format!("reader {t} query failed: {e}"))?;
-                    done += 1;
-                }
-                Ok(done)
-            })
-        })
-        .collect();
-    let mut requests = 0usize;
-    for reader in readers {
-        requests += reader.join().map_err(|_| "reader thread panicked")??;
-    }
-    let query_secs = query_started.elapsed().as_secs_f64();
+    let (requests, query_secs) = run_readers(
+        &front_addr,
+        config.threads.max(1),
+        config.requests,
+        config.max_depth,
+        total_nodes,
+    )?;
 
     let shard_epochs = gather.clocks();
     front.shutdown();
@@ -286,6 +319,254 @@ pub fn run(config: &ShardBenchConfig) -> Result<ShardBenchResult, String> {
         threads: config.threads.max(1),
         requests,
         gather_queries_per_sec: requests as f64 / query_secs.max(1e-9),
+        shard_epochs,
+    })
+}
+
+/// Measured failover performance — the PR-10 record: how long a
+/// replicated-shard deployment takes to heal after a shard primary
+/// dies, and what scatter-gather throughput looks like afterwards.
+#[derive(Debug, Clone)]
+pub struct ShardFailoverResult {
+    /// Shard primaries in the deployment (each with one replica).
+    pub shards: u32,
+    /// Wire writes applied before the kill.
+    pub ops: usize,
+    /// Wall-clock from the kill to a healed deployment, ms: the shard's
+    /// replica promoted, a write landed on it, and the gather
+    /// re-resolved the slot's feed under the new term and resynced.
+    pub recovery_ms: f64,
+    /// The fencing term the promotion produced.
+    pub promoted_term: u64,
+    /// Traversal round trips completed against the gather afterwards.
+    pub requests: usize,
+    /// Client threads in the post-failover read phase.
+    pub threads: usize,
+    /// Post-failover scatter-gather traversals per second.
+    pub post_failover_queries_per_sec: f64,
+    /// Final per-shard epoch vector as the gather reports it.
+    pub shard_epochs: Vec<u64>,
+}
+
+/// Runs the failover benchmark: boots `shards` primaries each backed by
+/// one WAL-shipping replica, writes the configured load, kills shard
+/// 0's primary, promotes its replica, and measures how long the
+/// deployment takes to heal — then measures post-failover scatter-gather
+/// throughput through the recovered gather.
+pub fn run_failover(config: &ShardBenchConfig) -> Result<ShardFailoverResult, String> {
+    let shards = config.shards.max(1);
+    let durability = DurabilityOptions {
+        fsync: false,
+        ..Default::default()
+    };
+
+    // Shard primaries, keeping the store handles for the ack barrier.
+    let mut stores = Vec::new();
+    let mut servers = Vec::new();
+    let mut dirs = Vec::new();
+    let mut addrs = Vec::new();
+    for index in 0..shards {
+        let dir = temp_dir(&format!("f-s{index}"));
+        let partition = Partition::new(index, shards)
+            .ok_or_else(|| format!("invalid partition {index}/{shards}"))?;
+        let store = Arc::new(
+            Store::create_durable_partitioned(&dir, &["Public"], &[], durability, partition)
+                .map_err(|e| format!("cannot create shard {index} store: {e}"))?,
+        );
+        let server = Server::bind(
+            Arc::new(AccountService::new(store.clone())),
+            "127.0.0.1:0",
+            &ServerConfig {
+                role: server::Role::Shard {
+                    index,
+                    count: shards,
+                    topology: Topology::default(),
+                    feed: None,
+                },
+                allow_replication: true,
+                ..ServerConfig::default()
+            },
+        )
+        .map_err(|e| format!("cannot bind shard {index}: {e}"))?;
+        addrs.push(server.local_addr().to_string());
+        stores.push(store);
+        servers.push(Some(server));
+        dirs.push(dir);
+    }
+
+    // One replica per shard, each fronted by a shard-role server that
+    // flips writable on promotion.
+    let replica_options = ReplicaConfig {
+        durability,
+        reconnect_backoff: Duration::from_millis(10),
+        ..ReplicaConfig::default()
+    };
+    let mut replicas = Vec::new();
+    let mut fronts = Vec::new();
+    let mut sites = Vec::new();
+    for index in 0..shards {
+        let dir = temp_dir(&format!("f-r{index}"));
+        let replica = Replica::start_with(&addrs[index as usize], &dir, replica_options)
+            .map_err(|e| format!("shard {index} replica failed to start: {e}"))?;
+        let front = Server::bind(
+            replica.service().clone(),
+            "127.0.0.1:0",
+            &ServerConfig {
+                role: server::Role::Shard {
+                    index,
+                    count: shards,
+                    topology: Topology::default(),
+                    feed: Some(replica.monitor()),
+                },
+                allow_replication: true,
+                ..ServerConfig::default()
+            },
+        )
+        .map_err(|e| format!("cannot bind shard {index} replica front: {e}"))?;
+        sites.push(format!("{}+{}", addrs[index as usize], front.local_addr()));
+        replicas.push(replica);
+        fronts.push(front);
+        dirs.push(dir);
+    }
+
+    let topology =
+        Topology::parse(&sites.join(",")).map_err(|e| format!("bad failover topology: {e}"))?;
+    let gather = Arc::new(
+        Gather::start_topology(&topology, GatherConfig::default())
+            .map_err(|e| format!("gather failed to start: {e}"))?,
+    );
+    let front = Server::bind(
+        gather.service().clone(),
+        "127.0.0.1:0",
+        &ServerConfig {
+            role: server::Role::Gather {
+                gather: gather.clone(),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind gather front: {e}"))?;
+
+    // The write phase, then the ack barrier: every shard's replica has
+    // the whole history, so the kill below cannot lose acknowledged
+    // writes.
+    let writers: Vec<_> = (0..shards)
+        .map(|index| {
+            let addr = addrs[index as usize].clone();
+            let ops = config.ops_per_shard;
+            std::thread::spawn(move || run_writer(&addr, index, shards, ops))
+        })
+        .collect();
+    let mut ops = 0usize;
+    for writer in writers {
+        ops += writer.join().map_err(|_| "writer thread panicked")??;
+    }
+    let deadline = Instant::now() + Duration::from_secs(300);
+    for index in 0..shards as usize {
+        let clock = stores[index].clock();
+        while replicas[index].epoch() < clock {
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "shard {index} replica stuck at {} of {clock}",
+                    replicas[index].epoch()
+                ));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    while gather.clocks().iter().sum::<u64>() < ops as u64 {
+        if Instant::now() > deadline {
+            return Err(format!(
+                "gather stuck before the kill (down: {:?})",
+                gather.first_down()
+            ));
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // Kill shard 0's primary; the clock runs until the deployment heals.
+    let kill_started = Instant::now();
+    servers[0].take().unwrap().shutdown();
+    let promoted_term = replicas[0]
+        .promote()
+        .map_err(|e| format!("promotion failed: {e}"))?;
+
+    // Healed means (a) a write lands on the promoted primary and (b)
+    // the gather has re-resolved the slot under the new term and
+    // resynced past everything it had served.
+    let promoted_addr = fronts[0].local_addr().to_string();
+    let recover_deadline = Instant::now() + Duration::from_secs(60);
+    'write: loop {
+        if let Ok(mut client) = Client::connect(promoted_addr.as_str(), "bench-failover", &[]) {
+            if let Some(public) = client.predicate("Public") {
+                loop {
+                    match client.write(WriteOp::AppendNode {
+                        label: "post-failover".to_string(),
+                        kind: NodeKind::Data,
+                        features: Features::new(),
+                        lowest: public,
+                    }) {
+                        Ok(_) => break 'write,
+                        Err(e) => {
+                            if Instant::now() > recover_deadline {
+                                return Err(format!("promoted shard never took a write: {e}"));
+                            }
+                            std::thread::sleep(Duration::from_micros(500));
+                        }
+                    }
+                }
+            }
+        }
+        if Instant::now() > recover_deadline {
+            return Err("promoted shard front never accepted a connection".to_string());
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    while !gather.synced() {
+        if Instant::now() > recover_deadline {
+            return Err(format!(
+                "gather never resynced after the failover (down: {:?})",
+                gather.first_down()
+            ));
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let recovery_ms = kill_started.elapsed().as_secs_f64() * 1e3;
+
+    // Post-failover scatter-gather reads through the healed gather.
+    let total_nodes = (ops as u32 / 3) * 2;
+    let (requests, query_secs) = run_readers(
+        &front.local_addr().to_string(),
+        config.threads.max(1),
+        config.requests,
+        config.max_depth,
+        total_nodes,
+    )?;
+
+    let shard_epochs = gather.clocks();
+    front.shutdown();
+    for server in fronts {
+        server.shutdown();
+    }
+    for replica in replicas {
+        replica.shutdown();
+    }
+    for server in servers.into_iter().flatten() {
+        server.shutdown();
+    }
+    drop(gather);
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    Ok(ShardFailoverResult {
+        shards,
+        ops,
+        recovery_ms,
+        promoted_term,
+        requests,
+        threads: config.threads.max(1),
+        post_failover_queries_per_sec: requests as f64 / query_secs.max(1e-9),
         shard_epochs,
     })
 }

@@ -132,6 +132,179 @@ impl Partition {
     }
 }
 
+/// A monotone per-shard epoch vector: each component may grow under
+/// observation, never shrink.
+///
+/// This is the invariant a scatter-gather consumer relies on to detect
+/// time travel: every answer from a sharded deployment carries the
+/// per-shard clock vector it was computed at, and a correct serving
+/// layer never hands out a vector any component of which is older than
+/// one it already served. Folding each observed vector into an
+/// `EpochVector` makes a violation a typed error instead of a silently
+/// rewound read.
+///
+/// ```
+/// use surrogate_core::shard::EpochVector;
+///
+/// let mut seen = EpochVector::new(2);
+/// seen.observe(&[3, 5]).unwrap();
+/// seen.observe(&[3, 7]).unwrap(); // growth is fine, per component
+/// assert_eq!(seen.as_slice(), &[3, 7]);
+/// assert_eq!(seen.sum(), 10);
+/// assert!(seen.observe(&[2, 9]).is_err()); // slot 0 went backward
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochVector {
+    epochs: Vec<u64>,
+}
+
+/// Why an [`EpochVector`] observation was rejected. The vector itself is
+/// unchanged by a rejected observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochVectorError {
+    /// The observed vector had a different number of shards.
+    LengthMismatch {
+        /// Components tracked by the vector.
+        expected: usize,
+        /// Components in the rejected observation.
+        observed: usize,
+    },
+    /// A component of the observed vector was below the tracked one.
+    Regressed {
+        /// The shard slot that went backward.
+        slot: u32,
+        /// The epoch already observed for that slot.
+        tracked: u64,
+        /// The lower epoch the rejected observation carried.
+        observed: u64,
+    },
+}
+
+impl std::fmt::Display for EpochVectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochVectorError::LengthMismatch { expected, observed } => {
+                write!(f, "epoch vector has {observed} slots, expected {expected}")
+            }
+            EpochVectorError::Regressed {
+                slot,
+                tracked,
+                observed,
+            } => write!(
+                f,
+                "epoch vector regressed at slot {slot}: {observed} after {tracked}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EpochVectorError {}
+
+impl EpochVector {
+    /// A vector of `count` slots, all at epoch 0.
+    pub fn new(count: u32) -> Self {
+        EpochVector {
+            epochs: vec![0; count as usize],
+        }
+    }
+
+    /// The number of shard slots tracked.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether the vector tracks no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The tracked epochs, one per shard slot.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// The scalar epoch: the sum of the per-slot epochs. Monotone
+    /// because every slot is.
+    pub fn sum(&self) -> u64 {
+        self.epochs.iter().sum()
+    }
+
+    /// Whether every tracked component is at least the corresponding
+    /// component of `other` (vectors of different lengths are never
+    /// comparable).
+    pub fn dominates(&self, other: &[u64]) -> bool {
+        self.epochs.len() == other.len()
+            && self
+                .epochs
+                .iter()
+                .zip(other)
+                .all(|(mine, theirs)| mine >= theirs)
+    }
+
+    /// Folds one observed vector in: every slot must be at least its
+    /// tracked value, and afterwards the tracked vector equals the
+    /// observation. Returns whether any slot actually advanced. On
+    /// error nothing is folded in.
+    pub fn observe(&mut self, observed: &[u64]) -> Result<bool, EpochVectorError> {
+        if observed.len() != self.epochs.len() {
+            return Err(EpochVectorError::LengthMismatch {
+                expected: self.epochs.len(),
+                observed: observed.len(),
+            });
+        }
+        for (slot, (&tracked, &seen)) in self.epochs.iter().zip(observed).enumerate() {
+            if seen < tracked {
+                return Err(EpochVectorError::Regressed {
+                    slot: slot as u32,
+                    tracked,
+                    observed: seen,
+                });
+            }
+        }
+        let advanced = self.epochs.iter().zip(observed).any(|(t, o)| o > t);
+        self.epochs.copy_from_slice(observed);
+        Ok(advanced)
+    }
+
+    /// Raises one slot to at least `epoch`, *ignoring* lower
+    /// observations instead of rejecting them — the fold for a
+    /// high-water mark over a source that may legitimately rewind (a
+    /// repaired shard feed re-bootstrapping from a promoted primary).
+    /// Returns whether the slot advanced; out-of-range slots are
+    /// ignored.
+    pub fn raise_slot(&mut self, slot: u32, epoch: u64) -> bool {
+        match self.epochs.get_mut(slot as usize) {
+            Some(tracked) if epoch > *tracked => {
+                *tracked = epoch;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Folds one slot's observation in, requiring monotonicity exactly
+    /// like [`observe`](Self::observe).
+    pub fn observe_slot(&mut self, slot: u32, epoch: u64) -> Result<bool, EpochVectorError> {
+        let tracked =
+            self.epochs
+                .get(slot as usize)
+                .copied()
+                .ok_or(EpochVectorError::LengthMismatch {
+                    expected: self.epochs.len(),
+                    observed: slot as usize + 1,
+                })?;
+        if epoch < tracked {
+            return Err(EpochVectorError::Regressed {
+                slot,
+                tracked,
+                observed: epoch,
+            });
+        }
+        self.epochs[slot as usize] = epoch;
+        Ok(epoch > tracked)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +340,40 @@ mod tests {
     fn global_saturates_instead_of_wrapping() {
         let p = Partition::new(1, 1 << 16).unwrap();
         assert_eq!(p.global(u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn epoch_vector_grows_and_rejects_regression() {
+        let mut v = EpochVector::new(3);
+        assert!(!v.observe(&[0, 0, 0]).unwrap(), "no-op advance");
+        assert!(v.observe(&[1, 0, 4]).unwrap());
+        assert_eq!(v.as_slice(), &[1, 0, 4]);
+        assert_eq!(v.sum(), 5);
+        assert!(v.dominates(&[1, 0, 3]));
+        assert!(!v.dominates(&[2, 0, 0]));
+        assert!(!v.dominates(&[1, 0]), "length mismatch never dominates");
+        let err = v.observe(&[1, 0, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            EpochVectorError::Regressed {
+                slot: 2,
+                tracked: 4,
+                observed: 3
+            }
+        );
+        assert_eq!(v.as_slice(), &[1, 0, 4], "rejected observation not folded");
+        assert!(matches!(
+            v.observe(&[1, 0]).unwrap_err(),
+            EpochVectorError::LengthMismatch { .. }
+        ));
+        assert!(v.observe_slot(1, 9).unwrap());
+        assert!(v.observe_slot(1, 8).is_err());
+        assert!(v.observe_slot(7, 1).is_err(), "out-of-range slot");
+        assert_eq!(v.as_slice(), &[1, 9, 4]);
+        assert!(!v.raise_slot(1, 3), "raise ignores a rewind");
+        assert!(v.raise_slot(1, 12));
+        assert!(!v.raise_slot(7, 1), "out-of-range raise is ignored");
+        assert_eq!(v.as_slice(), &[1, 12, 4]);
     }
 
     #[test]

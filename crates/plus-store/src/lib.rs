@@ -83,5 +83,5 @@ pub use surrogate_core::strategy::ProtectionStrategy;
 pub use wal::{DurabilityOptions, RecoveryReport, SegmentDigest, TailChunk, TailCursor};
 pub use wire::{
     ReplicaRole, ReplicaStatus, ServerHello, ShardStatusInfo, WalChunk, WireError, WireErrorKind,
-    WriteOp, MAX_SHARDS, PROTOCOL_VERSION,
+    WriteOp, MAX_REPLICAS, MAX_SHARDS, PROTOCOL_VERSION,
 };

@@ -115,18 +115,37 @@ const FRAME_SHARD_CAP: usize = 4096;
 pub struct Snapshot {
     epoch: u64,
     shard_epochs: Vec<u64>,
+    /// The source's reset generation (see
+    /// [`ShardMerge::generation`](crate::ShardMerge::generation)) this
+    /// materialization was taken at; always 0 for live and frozen
+    /// sources. `(source_gen, epoch)` — not `epoch` alone — identifies
+    /// a sharded view, because a gather-side slot reset is the one
+    /// event that can rewind a shard clock; every derived cache entry
+    /// carries the pair so repaired history can never alias cached
+    /// pre-repair answers.
+    source_gen: u64,
     materialized: Materialized,
     index: SnapshotIndex,
 }
 
 impl Snapshot {
     fn new(epoch: u64, shard_epochs: Vec<u64>, materialized: Materialized) -> Self {
+        Self::stamped(0, epoch, shard_epochs, materialized)
+    }
+
+    fn stamped(
+        source_gen: u64,
+        epoch: u64,
+        shard_epochs: Vec<u64>,
+        materialized: Materialized,
+    ) -> Self {
         // Build the CSR index once per epoch, here, so every protection
         // and every sealed frame of the epoch runs hash-free.
         let index = SnapshotIndex::build(&materialized);
         Self {
             epoch,
             shard_epochs,
+            source_gen,
             materialized,
             index,
         }
@@ -243,6 +262,10 @@ pub struct ProtectedLineageRow {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     epoch: u64,
+    /// The snapshot's source reset generation (see
+    /// [`Snapshot::source_gen`]); 0 except on a sharded service that
+    /// has repaired a slot.
+    source_gen: u64,
     preds: Vec<PrivilegeId>,
     strategy: String,
 }
@@ -316,6 +339,8 @@ impl Drop for FlightGuard<'_> {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct FrameKey {
     epoch: u64,
+    /// See [`CacheKey::source_gen`].
+    source_gen: u64,
     frontier: Vec<PrivilegeId>,
     request: Vec<u8>,
 }
@@ -440,28 +465,38 @@ impl AccountService {
         }
     }
 
+    /// The `(reset generation, version)` pair identifying the source's
+    /// current state; the generation is 0 except for a sharded source.
+    fn source_state(&self) -> (u64, u64) {
+        match &self.source {
+            Source::Live(store) => (0, store.version()),
+            Source::Frozen(snapshot) => (0, snapshot.epoch),
+            Source::Sharded(merged) => merged.stamped_version(),
+        }
+    }
+
     /// The current epoch-stamped materialization, rebuilt (and cached)
-    /// whenever the source has moved past the cached epoch.
+    /// whenever the source has moved past the cached epoch — or, on a
+    /// sharded source, whenever a slot reset bumped the generation.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        let source_epoch = match &self.source {
-            Source::Live(store) => store.version(),
-            Source::Frozen(snapshot) => return snapshot.clone(),
-            Source::Sharded(merged) => merged.version(),
-        };
+        if let Source::Frozen(snapshot) = &self.source {
+            return snapshot.clone();
+        }
+        let (source_gen, source_epoch) = self.source_state();
         {
             let cached = self.current.read();
             if let Some(snapshot) = cached.as_ref() {
-                if snapshot.epoch == source_epoch {
+                if snapshot.epoch == source_epoch && snapshot.source_gen == source_gen {
                     return snapshot.clone();
                 }
             }
         }
         let mut cached = self.current.write();
         // Another writer may have rebuilt while we waited for the lock.
-        // (Re-read the source version: it may have advanced again.)
-        let source_epoch = self.epoch();
+        // (Re-read the source state: it may have advanced again.)
+        let (source_gen, source_epoch) = self.source_state();
         if let Some(snapshot) = cached.as_ref() {
-            if snapshot.epoch == source_epoch {
+            if snapshot.epoch == source_epoch && snapshot.source_gen == source_gen {
                 return snapshot.clone();
             }
         }
@@ -483,17 +518,35 @@ impl AccountService {
             }
             Source::Frozen(_) => unreachable!("frozen services returned above"),
             Source::Sharded(merged) => {
-                let (epoch, clocks, materialized) = merged.materialize_versioned();
-                Snapshot::new(epoch, clocks, materialized)
+                let (generation, epoch, clocks, materialized) = merged.materialize_stamped();
+                Snapshot::stamped(generation, epoch, clocks, materialized)
             }
         });
         let epoch = snapshot.epoch;
-        // The epoch never goes backward: materialize_versioned reads the
-        // version and the log under one lock, and versions only grow.
-        if !cached
+        if cached
+            .as_ref()
+            .is_some_and(|old| old.source_gen != snapshot.source_gen)
+        {
+            // A slot reset intervened: the new materialization may sit
+            // at a *lower* epoch than the cached one while the repaired
+            // slot re-bootstraps. Entries of older generations can never
+            // hit again (the generation is part of every key), so drop
+            // them wholesale and adopt the post-reset snapshot.
+            let generation = snapshot.source_gen;
+            *cached = Some(snapshot.clone());
+            for shard in &self.shards {
+                shard.lock().retain(|k, _| k.source_gen >= generation);
+            }
+            for shard in &self.frame_shards {
+                shard.lock().retain(|k, _| k.source_gen >= generation);
+            }
+        } else if !cached
             .as_ref()
             .is_some_and(|old| old.epoch >= snapshot.epoch)
         {
+            // Within one generation the epoch never goes backward:
+            // materialization reads the version and the log under one
+            // lock, and versions only grow.
             *cached = Some(snapshot.clone());
             // Accounts and sealed frames older than the new epoch can
             // never be current again; drop them so the caches track live
@@ -601,6 +654,7 @@ impl AccountService {
         preds.sort_unstable_by_key(|p| p.0);
         let key = CacheKey {
             epoch: snapshot.epoch,
+            source_gen: snapshot.source_gen,
             preds,
             strategy: strategy.name().to_string(),
         };
@@ -946,6 +1000,7 @@ impl AccountService {
         frontier.sort_unstable_by_key(|p| p.0);
         let key = FrameKey {
             epoch: snapshot.epoch,
+            source_gen: snapshot.source_gen,
             frontier,
             request: crate::wire::encode_query_key(requests, batch)?,
         };

@@ -74,6 +74,11 @@ pub struct ShardMerge {
     /// materialization uses a single-"Public" lattice.
     lattice_names: Vec<String>,
     dominance: Vec<(PrivilegeId, PrivilegeId)>,
+    /// Bumped by every [`reset_slot`](Self::reset_slot). A reset is the
+    /// one operation that can rewind a clock, so `(generation,
+    /// version)` — not `version` alone — identifies a merge state; the
+    /// service layer folds the generation into its cache keys.
+    generation: u64,
 }
 
 impl ShardMerge {
@@ -84,6 +89,7 @@ impl ShardMerge {
             slices: (0..map.count()).map(|_| ShardSlice::default()).collect(),
             lattice_names: Vec::new(),
             dominance: Vec::new(),
+            generation: 0,
         }
     }
 
@@ -107,9 +113,36 @@ impl ShardMerge {
     }
 
     /// The scalar epoch: the sum of the per-shard clocks. Monotone
-    /// under ingestion, so the service layer can key caches by it.
+    /// under ingestion; only a [`reset_slot`](Self::reset_slot) can
+    /// lower it, which is why cache keys pair it with
+    /// [`generation`](Self::generation).
     pub fn version(&self) -> u64 {
         self.slices.iter().map(|s| s.clock).sum()
+    }
+
+    /// How many slot resets this merge has performed. `(generation,
+    /// version)` uniquely identifies a merge state even across resets.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Discards everything ingested for shard `slot` and rewinds its
+    /// clock to zero, returning the abandoned clock. This is the
+    /// gather-side anti-entropy step: when a shard's feed resumes under
+    /// a **higher fencing term**, the records this merge ingested from
+    /// the deposed primary may include an unacknowledged tail the new
+    /// primary never saw, and the only safe repair is to drop the slice
+    /// and re-bootstrap from the new primary's snapshot (exactly as a
+    /// rejoining replica truncates against the new term's history).
+    ///
+    /// Bumps [`generation`](Self::generation) so stale epoch-keyed
+    /// cache entries can never be mistaken for post-reset state.
+    pub fn reset_slot(&mut self, slot: u32) -> Result<u64> {
+        let slice = self.slice_mut(slot)?;
+        let abandoned = slice.clock;
+        *slice = ShardSlice::default();
+        self.generation += 1;
+        Ok(abandoned)
     }
 
     fn slice_mut(&mut self, slot: u32) -> Result<&mut ShardSlice> {
@@ -382,18 +415,50 @@ impl MergedSource {
         self.merge.read().version()
     }
 
+    /// The reset generation at this instant (see
+    /// [`ShardMerge::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.merge.read().generation()
+    }
+
+    /// `(generation, version)` read under one lock — the pair that
+    /// uniquely identifies a merge state across slot resets.
+    pub fn stamped_version(&self) -> (u64, u64) {
+        let merge = self.merge.read();
+        (merge.generation(), merge.version())
+    }
+
     /// Runs `f` with exclusive access to the merge — the feed threads'
     /// ingestion entry point.
     pub fn update<R>(&self, f: impl FnOnce(&mut ShardMerge) -> R) -> R {
         f(&mut self.merge.write())
     }
 
+    /// Drops shard `slot`'s ingested slice and rewinds its clock to
+    /// zero (see [`ShardMerge::reset_slot`]), returning the abandoned
+    /// clock.
+    pub fn reset_slot(&self, slot: u32) -> Result<u64> {
+        self.merge.write().reset_slot(slot)
+    }
+
     /// One consistent read: the scalar epoch, the clock vector, and the
     /// materialization, all of the same instant (no ingestion can slip
     /// between them).
     pub fn materialize_versioned(&self) -> (u64, Vec<u64>, Materialized) {
+        let (_, epoch, clocks, materialized) = self.materialize_stamped();
+        (epoch, clocks, materialized)
+    }
+
+    /// [`materialize_versioned`](Self::materialize_versioned) plus the
+    /// reset generation, all of the same instant.
+    pub fn materialize_stamped(&self) -> (u64, u64, Vec<u64>, Materialized) {
         let merge = self.merge.read();
-        (merge.version(), merge.clocks(), merge.materialize())
+        (
+            merge.generation(),
+            merge.version(),
+            merge.clocks(),
+            merge.materialize(),
+        )
     }
 }
 
@@ -540,6 +605,37 @@ mod tests {
         // A stale re-ingest (same clock) is idempotent.
         merge.ingest_snapshot(0, &data).unwrap();
         assert_eq!(merge.clocks(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reset_slot_rewinds_and_bumps_generation() {
+        let map = ShardMap::new(2).unwrap();
+        let mut merge = ShardMerge::new(map);
+        merge
+            .apply_record(1, WalRecord::AppendNode(node("one")))
+            .unwrap();
+        merge
+            .apply_record(1, WalRecord::AppendNode(node("three")))
+            .unwrap();
+        assert_eq!(merge.generation(), 0);
+        assert_eq!(merge.reset_slot(1).unwrap(), 2, "abandoned clock");
+        assert_eq!(merge.generation(), 1);
+        assert_eq!(merge.clocks(), vec![0, 0]);
+        assert_eq!(merge.materialize().graph.node_count(), 0);
+        // After the reset the slot re-ingests from scratch — a snapshot
+        // that would have been "stale" against the abandoned clock now
+        // bootstraps normally.
+        let store = Store::new_partitioned(&["Public"], &[], map.partition(1).unwrap()).unwrap();
+        let public = store.predicate("Public").unwrap();
+        store.append_node("one", NodeKind::Data, Features::new(), public);
+        let data = codec::decode(&store.to_bytes()).unwrap();
+        merge.ingest_snapshot(1, &data).unwrap();
+        assert_eq!(merge.clocks(), vec![0, 1]);
+        assert!(matches!(
+            merge.reset_slot(9),
+            Err(StoreError::ShardMismatch { slot: 9, .. })
+        ));
+        assert_eq!(merge.generation(), 1, "failed reset does not bump");
     }
 
     #[test]

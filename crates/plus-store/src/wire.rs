@@ -44,7 +44,9 @@
 //! response: tag u8 — 0 Hello         { version u16, epoch u64, nodes u64,
 //!                                      shard_count u32,
 //!                                      shard_index (0 | 1 u32),
-//!                                      u16 n { pred-name str }×n }
+//!                                      u16 n { pred-name str }×n,
+//!                                      u32 p (≤ MAX_SHARDS)
+//!                                      { peer-addr str }×p }
 //!                    1 Query         { query-response }
 //!                    2 Batch         { u32 n, query-response ×n }
 //!                    3 Epoch         { epoch u64 }
@@ -64,7 +66,10 @@
 //!                    9 Promoted      { term u64 }
 //!                   10 Written       { clock u64, id (0 | 1 u32) }
 //!                   11 ShardStatus   { count u32, index (0 | 1 u32),
-//!                                      u32 n (≤ MAX_SHARDS) { epoch u64 }×n }
+//!                                      u32 n (≤ MAX_SHARDS) { epoch u64 }×n,
+//!                                      u32 s (≤ MAX_SHARDS)
+//!                                      { u32 r (≤ MAX_REPLICAS)
+//!                                        { replica-addr str }×r }×s }
 //!
 //! query-request:  root u32 | direction u8 (0 back, 1 fwd, 2 both) |
 //!                 max_depth u32 | strategy u8 (0 surrogate, 1 hide,
@@ -187,7 +192,16 @@ use crate::wal::SegmentDigest;
 /// shard-epoch vector appended to every query response, and the
 /// [`WireErrorKind::WrongShard`] / [`WireErrorKind::ShardUnavailable`]
 /// refusals.
-pub const PROTOCOL_VERSION: u16 = 5;
+///
+/// Version 6 added replicated-shard topology discovery: the server
+/// Hello now carries the shard primaries' addresses in shard order
+/// (`peers`, empty when the server does not know its deployment's
+/// topology), and [`Response::ShardStatus`] carries each shard's
+/// configured replica addresses (`replicas`, bounded per shard by
+/// [`MAX_REPLICAS`]) — together, everything a client or gather needs to
+/// re-resolve a promoted shard primary after a failover without an
+/// out-of-band directory.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Sanity bound on requests per [`Request::Batch`] frame; larger batches
 /// are rejected at decode time so a hostile frame cannot force an
@@ -211,6 +225,13 @@ pub const MAX_SEGMENT_DIGESTS: u32 = 1 << 20;
 /// shards, and a hostile count beyond it is rejected at decode time
 /// before any allocation.
 pub const MAX_SHARDS: u32 = 1 << 10;
+
+/// Sanity bound on the replica addresses listed *per shard* in
+/// [`Response::ShardStatus`]: no shard runs hundreds of replicas, and a
+/// hostile count beyond it is rejected at decode time before any
+/// allocation (the whole replica table is further bounded by
+/// [`MAX_SHARDS`] shards).
+pub const MAX_REPLICAS: u32 = 1 << 8;
 
 /// Every [`Request`] variant name, in tag order — the normative list
 /// the wire-spec conformance test checks `docs/WIRE.md` against.
@@ -438,6 +459,13 @@ pub struct ShardStatusInfo {
     /// a scatter-gather server; a single element (the store version) on
     /// an unsharded server.
     pub epochs: Vec<u64>,
+    /// Per-shard replica addresses, in shard order, as configured on
+    /// the answering server's topology: `replicas[i]` lists the
+    /// replicas following shard `i`'s primary (the promotion candidates
+    /// a client re-resolves against when that primary dies). Empty when
+    /// the server knows no replica topology; bounded by [`MAX_SHARDS`]
+    /// shards of [`MAX_REPLICAS`] addresses each.
+    pub replicas: Vec<Vec<String>>,
 }
 
 /// One replication stream element: sealed write-ahead-log frames (and,
@@ -546,6 +574,12 @@ pub struct ServerHello {
     /// The lattice's predicate names, index = [`PrivilegeId`]. Clients
     /// resolve `-p <name>` flags against this without seeing the graph.
     pub predicates: Vec<String>,
+    /// The shard primaries' addresses in shard order (`peers[i]` is
+    /// shard `i` of [`shard_count`](Self::shard_count)), when the
+    /// answering server knows its deployment's topology; empty
+    /// otherwise (including every unsharded server). Lets a client
+    /// route writes without a directory service.
+    pub peers: Vec<String>,
 }
 
 impl ServerHello {
@@ -1156,6 +1190,11 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, CodecError> {
                 None => buf.put_u8(0),
             }
             put_names(&mut buf, &hello.predicates)?;
+            check_count("hello peers", hello.peers.len(), MAX_SHARDS as u64)?;
+            buf.put_u32_le(hello.peers.len() as u32);
+            for peer in &hello.peers {
+                put_str(&mut buf, peer);
+            }
         }
         Response::Query(query) => {
             buf.put_u8(1);
@@ -1277,6 +1316,23 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, CodecError> {
             for &epoch in &status.epochs {
                 buf.put_u64_le(epoch);
             }
+            check_count(
+                "shard replica lists",
+                status.replicas.len(),
+                MAX_SHARDS as u64,
+            )?;
+            buf.put_u32_le(status.replicas.len() as u32);
+            for shard_replicas in &status.replicas {
+                check_count(
+                    "replica addresses",
+                    shard_replicas.len(),
+                    MAX_REPLICAS as u64,
+                )?;
+                buf.put_u32_le(shard_replicas.len() as u32);
+                for addr in shard_replicas {
+                    put_str(&mut buf, addr);
+                }
+            }
         }
     }
     Ok(buf.to_vec())
@@ -1306,6 +1362,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
                 }
             };
             let predicates = read_names(&mut r)?;
+            let peer_count = r.u32()?;
+            if peer_count > MAX_SHARDS {
+                return Err(CodecError::FrameTooLarge(peer_count));
+            }
+            let mut peers = Vec::with_capacity(peer_count as usize);
+            for _ in 0..peer_count {
+                peers.push(r.string()?);
+            }
             Response::Hello(ServerHello {
                 version,
                 epoch,
@@ -1313,6 +1377,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
                 shard_count,
                 shard_index,
                 predicates,
+                peers,
             })
         }
         1 => Response::Query(read_query_response(&mut r)?),
@@ -1483,10 +1548,27 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
             for _ in 0..epochs_len {
                 epochs.push(r.u64()?);
             }
+            let replicas_len = r.u32()?;
+            if replicas_len > MAX_SHARDS {
+                return Err(CodecError::FrameTooLarge(replicas_len));
+            }
+            let mut replicas = Vec::with_capacity(replicas_len as usize);
+            for _ in 0..replicas_len {
+                let addr_count = r.u32()?;
+                if addr_count > MAX_REPLICAS {
+                    return Err(CodecError::FrameTooLarge(addr_count));
+                }
+                let mut addrs = Vec::with_capacity(addr_count as usize);
+                for _ in 0..addr_count {
+                    addrs.push(r.string()?);
+                }
+                replicas.push(addrs);
+            }
             Response::ShardStatus(ShardStatusInfo {
                 count,
                 index,
                 epochs,
+                replicas,
             })
         }
         tag => {
@@ -1587,6 +1669,7 @@ mod tests {
                 shard_count: 0,
                 shard_index: None,
                 predicates: vec!["Public".into(), "High-1".into(), "High-2".into()],
+                peers: vec![],
             }),
             Response::Hello(ServerHello {
                 version: PROTOCOL_VERSION,
@@ -1595,6 +1678,12 @@ mod tests {
                 shard_count: 4,
                 shard_index: Some(2),
                 predicates: vec!["Public".into()],
+                peers: vec![
+                    "10.0.0.1:7660".into(),
+                    "10.0.0.2:7660".into(),
+                    "10.0.0.3:7660".into(),
+                    "10.0.0.4:7660".into(),
+                ],
             }),
             Response::Query(QueryResponse {
                 epoch: 3,
@@ -1694,11 +1783,17 @@ mod tests {
                 count: 3,
                 index: Some(1),
                 epochs: vec![4, 0, 9],
+                replicas: vec![
+                    vec!["10.0.0.5:7661".into(), "10.0.0.6:7661".into()],
+                    vec![],
+                    vec!["10.0.0.7:7661".into()],
+                ],
             }),
             Response::ShardStatus(ShardStatusInfo {
                 count: 2,
                 index: None,
                 epochs: vec![],
+                replicas: vec![],
             }),
         ]
     }
@@ -1897,6 +1992,27 @@ mod tests {
     }
 
     #[test]
+    fn oversized_topology_fields_are_refused_at_encode_time() {
+        let status = ShardStatusInfo {
+            count: 1,
+            index: Some(0),
+            epochs: vec![0],
+            replicas: vec![vec![String::new(); MAX_REPLICAS as usize + 1]],
+        };
+        assert!(encode_response(&Response::ShardStatus(status)).is_err());
+        let hello = ServerHello {
+            version: PROTOCOL_VERSION,
+            epoch: 0,
+            nodes: 0,
+            shard_count: 0,
+            shard_index: None,
+            predicates: vec![],
+            peers: vec![String::new(); MAX_SHARDS as usize + 1],
+        };
+        assert!(encode_response(&Response::Hello(hello)).is_err());
+    }
+
+    #[test]
     fn hello_resolves_predicates_by_name() {
         let hello = ServerHello {
             version: PROTOCOL_VERSION,
@@ -1905,6 +2021,7 @@ mod tests {
             shard_count: 0,
             shard_index: None,
             predicates: vec!["Public".into(), "High".into()],
+            peers: vec![],
         };
         assert_eq!(hello.predicate("High"), Some(PrivilegeId(1)));
         assert_eq!(hello.predicate("Nope"), None);

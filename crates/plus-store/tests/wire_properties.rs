@@ -222,6 +222,13 @@ fn random_response(rng: &mut StdRng) -> Response {
             count: rng.gen(),
             index: rng.gen_bool(0.5).then(|| rng.gen()),
             epochs: (0..rng.gen_range(0..5usize)).map(|_| rng.gen()).collect(),
+            replicas: (0..rng.gen_range(0..4usize))
+                .map(|_| {
+                    (0..rng.gen_range(0..3usize))
+                        .map(|_| random_string(rng, 16))
+                        .collect()
+                })
+                .collect(),
         }),
         0 => Response::Hello(ServerHello {
             version: rng.gen(),
@@ -231,6 +238,9 @@ fn random_response(rng: &mut StdRng) -> Response {
             shard_index: rng.gen_bool(0.5).then(|| rng.gen()),
             predicates: (0..rng.gen_range(0..5usize))
                 .map(|_| random_string(rng, 12))
+                .collect(),
+            peers: (0..rng.gen_range(0..4usize))
+                .map(|_| random_string(rng, 16))
                 .collect(),
         }),
         1 => Response::Query(random_query_response(rng)),
@@ -551,10 +561,12 @@ proptest! {
 /// `ReplicaStatus`, `LogDigests` / `Promote`, and the `NotWritable`
 /// redirect; version 5 added sharding — `Write` / `ShardStatus`, shard
 /// fields on `ServerHello`, per-shard epoch vectors on `QueryResponse`,
-/// and the `WrongShard` / `ShardUnavailable` error kinds.
+/// and the `WrongShard` / `ShardUnavailable` error kinds; version 6
+/// added topology announcements — peer lists on `ServerHello` and
+/// per-shard replica lists on `ShardStatus`.
 #[test]
 fn protocol_version_is_pinned() {
-    assert_eq!(PROTOCOL_VERSION, 5);
+    assert_eq!(PROTOCOL_VERSION, 6);
 }
 
 /// A declared shard-epoch vector beyond MAX_SHARDS is rejected before
@@ -565,6 +577,7 @@ fn oversized_shard_epoch_declarations_are_rejected() {
         count: 2,
         index: None,
         epochs: vec![0; MAX_SHARDS as usize + 1],
+        replicas: Vec::new(),
     });
     assert!(matches!(
         encode_response(&response),
@@ -575,4 +588,38 @@ fn oversized_shard_epoch_declarations_are_rejected() {
     payload.push(0); // no index
     payload.extend_from_slice(&(MAX_SHARDS + 1).to_le_bytes());
     assert!(decode_response(&payload).is_err());
+}
+
+/// The v6 topology fields obey the same bounded-declaration discipline:
+/// a peer or replica list beyond its bound is refused at decode time
+/// before any allocation happens.
+#[test]
+fn oversized_topology_declarations_are_rejected() {
+    // Hello with a declared peer count beyond MAX_SHARDS.
+    let hello = Response::Hello(ServerHello {
+        version: PROTOCOL_VERSION,
+        epoch: 0,
+        nodes: 0,
+        shard_count: 0,
+        shard_index: None,
+        predicates: Vec::new(),
+        peers: Vec::new(),
+    });
+    let mut bytes = encode_response(&hello).expect("encodes");
+    // The peer count is the trailing u32 of the payload; inflate it.
+    let len = bytes.len();
+    bytes[len - 4..].copy_from_slice(&(MAX_SHARDS + 1).to_le_bytes());
+    assert!(decode_response(&bytes).is_err());
+
+    // ShardStatus with a declared replica-list count beyond MAX_SHARDS.
+    let status = Response::ShardStatus(ShardStatusInfo {
+        count: 1,
+        index: Some(0),
+        epochs: vec![7],
+        replicas: Vec::new(),
+    });
+    let mut bytes = encode_response(&status).expect("encodes");
+    let len = bytes.len();
+    bytes[len - 4..].copy_from_slice(&(MAX_SHARDS + 1).to_le_bytes());
+    assert!(decode_response(&bytes).is_err());
 }

@@ -15,6 +15,7 @@ use surrogate_core::shard::ShardMap;
 
 use crate::error::ClientError;
 use crate::frame::{read_frame, write_frame};
+use crate::topology::Topology;
 
 /// A blocking connection to a query server.
 ///
@@ -60,6 +61,7 @@ impl Client {
                 shard_count: 0,
                 shard_index: None,
                 predicates: Vec::new(),
+                peers: Vec::new(),
             },
             inbuf: Vec::with_capacity(512),
             outbuf: Vec::with_capacity(512),
@@ -347,9 +349,12 @@ impl ClientPool {
     }
 
     /// Adds read-replica addresses: fresh dials round-robin across them
-    /// and fall back to the primary when none answers.
-    pub fn with_replicas(mut self, addrs: &[&str]) -> Self {
-        self.replicas = addrs.iter().map(|a| a.to_string()).collect();
+    /// and fall back to the primary when none answers. Accepts any
+    /// iterable of string-likes — `&["a:1"]`, `vec!["a:1".to_string()]`,
+    /// or a [`Topology`](crate::Topology) slot's
+    /// [`replicas`](crate::Topology::replicas).
+    pub fn with_replicas(mut self, addrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.replicas = addrs.into_iter().map(Into::into).collect();
         self
     }
 
@@ -521,6 +526,14 @@ impl Drop for PooledClient<'_> {
 /// two disagreeing servers mean the topology itself is misconfigured and
 /// retrying would bounce forever.
 ///
+/// When the [`Topology`] names replicas for a shard, the router also
+/// survives that shard's **primary dying**: a dead connection or a
+/// [`WireErrorKind::NotWritable`] refusal makes it re-resolve the
+/// slot's writable endpoint through
+/// [`ClientPool::writable`](ClientPool::writable) — the replica set
+/// plus any redirect breadcrumbs — and retry the write once against the
+/// promoted primary.
+///
 /// Traversals (`max_depth > 0`) need every shard's edges and belong on a
 /// gather node's pool, not here — shard primaries refuse them.
 pub struct ShardRouter {
@@ -538,15 +551,22 @@ impl std::fmt::Debug for ShardRouter {
 }
 
 impl ShardRouter {
-    /// A router over the shard primaries at `peers`, in shard order
-    /// (`peers[i]` is shard `i` of `peers.len()`), each dialed as
-    /// `consumer` with `claims`. Returns `None` for an empty peer list.
-    pub fn new(peers: &[&str], consumer: &str, claims: &[&str]) -> Option<Self> {
-        let map = ShardMap::new(u32::try_from(peers.len()).ok()?)?;
-        Some(Self {
-            pools: peers
+    /// A router over the deployment `topology`: one pool per shard, in
+    /// shard order, each dialing that shard's primary with its replicas
+    /// as read spill-over and failover candidates, handshaking as the
+    /// topology's consumer. Fails with [`ClientError::BadTopology`]
+    /// when the topology names no shards.
+    pub fn new(topology: &Topology) -> Result<Self, ClientError> {
+        let map = topology.map()?;
+        let claims: Vec<&str> = topology.claims().iter().map(String::as_str).collect();
+        Ok(Self {
+            pools: topology
+                .shards()
                 .iter()
-                .map(|addr| ClientPool::new(*addr, consumer, claims))
+                .map(|site| {
+                    ClientPool::new(site.primary.clone(), topology.consumer(), &claims)
+                        .with_replicas(site.replicas.iter().cloned())
+                })
                 .collect(),
             map,
             next_node: AtomicUsize::new(0),
@@ -574,19 +594,48 @@ impl ShardRouter {
     /// round-robin. Follows one [`WireErrorKind::WrongShard`] redirect.
     /// Returns the answering shard's clock and, for a node append, the
     /// assigned global id.
+    ///
+    /// A dead shard primary or a [`WireErrorKind::NotWritable`] refusal
+    /// triggers **failover**: the slot's writable endpoint is
+    /// re-resolved through [`ClientPool::writable`] (replica set plus
+    /// redirect breadcrumbs) and the write retried once against the
+    /// promoted primary. The original error is surfaced when no
+    /// candidate identifies as writable.
     pub fn write(&self, op: WriteOp) -> Result<(u64, Option<RecordId>), ClientError> {
         let slot = match op.routing_id() {
             Some(id) => self.map.shard_of(id.0),
             None => (self.next_node.fetch_add(1, Ordering::Relaxed) % self.pools.len()) as u32,
         };
-        let error = match self.pools[slot as usize].get()?.write(op.clone()) {
+        let pool = &self.pools[slot as usize];
+        let error = match pool.get().and_then(|mut client| client.write(op.clone())) {
             Ok(ack) => return Ok(ack),
             Err(error) => error,
         };
+        if Self::failover_worthy(&error) {
+            // A redirect breadcrumb seeds the resolution when present;
+            // otherwise writable() walks the replica set itself.
+            pool.note_redirect(&error);
+            return match pool.writable() {
+                Ok(mut client) => client.write(op),
+                Err(_) => Err(error),
+            };
+        }
         let Some(target) = self.redirect_slot(&error) else {
             return Err(error);
         };
         self.pools[target as usize].get()?.write(op)
+    }
+
+    /// Whether a write failure means "the shard primary is gone or
+    /// deposed" — the cases worth a failover resolution — rather than a
+    /// refusal that would just repeat (authorization, encoding, wrong
+    /// shard).
+    fn failover_worthy(error: &ClientError) -> bool {
+        match error {
+            ClientError::Io(_) | ClientError::Disconnected => true,
+            ClientError::Remote(remote) => remote.kind == WireErrorKind::NotWritable,
+            _ => false,
+        }
     }
 
     /// Answers a point read (`max_depth == 0`) on the shard that owns

@@ -40,6 +40,11 @@ pub enum ClientError {
     /// currently identifies as a writable primary — see
     /// [`ClientPool::writable`](crate::ClientPool::writable).
     NoWritable,
+    /// The deployment descriptor itself is unusable — an empty peer
+    /// list, an empty address, or a shard/replica count beyond the wire
+    /// caps. See [`Topology::parse`](crate::Topology::parse); the
+    /// message says which rule was broken.
+    BadTopology(String),
 }
 
 impl fmt::Display for ClientError {
@@ -61,6 +66,7 @@ impl fmt::Display for ClientError {
             ClientError::NoWritable => {
                 write!(f, "no configured endpoint identifies as a writable primary")
             }
+            ClientError::BadTopology(reason) => write!(f, "bad topology: {reason}"),
         }
     }
 }
@@ -161,6 +167,8 @@ mod tests {
         let e = ClientError::VersionMismatch { server: 9 };
         assert!(e.to_string().contains('9'), "{e}");
         assert!(ClientError::Disconnected.to_string().contains("closed"));
+        let e = ClientError::BadTopology("empty peer list".to_string());
+        assert!(e.to_string().contains("empty peer list"), "{e}");
     }
 
     #[test]

@@ -48,7 +48,8 @@
 //! let report = store.append_node("report", NodeKind::Data, Features::new(), public);
 //!
 //! // Owner side: bind the service to a socket.
-//! let server = server::Server::bind(Arc::new(AccountService::new(store)), "127.0.0.1:0")?;
+//! let config = server::ServerConfig::default();
+//! let server = server::Server::bind(Arc::new(AccountService::new(store)), "127.0.0.1:0", &config)?;
 //!
 //! // Consumer side: connect, query, never see the store.
 //! let mut client = server::Client::connect(server.local_addr(), "reader", &[])?;
@@ -92,7 +93,7 @@
 //! streams its sealed write-ahead-log frames to [`Replica`]s, each of
 //! which replays them into its own durable store and re-serves the same
 //! query protocol read-only at a coherent (possibly lagging) epoch —
-//! bind one with [`Server::bind_replica`]. The unprotected graph still
+//! bind one with [`Role::Replica`]. The unprotected graph still
 //! never crosses a *consumer* socket; the replication stream carries
 //! raw records and belongs inside the owner's trust domain. See the
 //! [`replica`] module docs for the full model, and
@@ -115,16 +116,23 @@
 //! shard `i` of `N` owns the ids ≡ `i` (mod `N`) and runs an ordinary
 //! primary over a partitioned store, accepting remote
 //! [`WriteOp`](plus_store::WriteOp)s for the ids it owns — bind one with
-//! [`Server::bind_sharded`], route to them with a [`ShardRouter`].
-//! Cross-shard traversals are served by a **gather node**
-//! ([`scatter::Gather`], bound with [`Server::bind_gather`]): it follows
-//! every shard's replication feed, folds them into one order-canonical
-//! merged graph, and stamps each response with the per-shard epoch
-//! vector it was computed at. Mis-routed writes come back as typed
-//! `WrongShard` redirects; a gather missing a feed *refuses* queries
-//! (`ShardUnavailable`) instead of serving an answer with a silent gap.
-//! See the [`scatter`] module docs and `docs/ARCHITECTURE.md` for the
-//! topology.
+//! [`Role::Shard`], route to them with a [`ShardRouter`]. Cross-shard
+//! traversals are served by a **gather node** ([`scatter::Gather`],
+//! bound with [`Role::Gather`]): it follows every shard's replication
+//! feed, folds them into one order-canonical merged graph, and stamps
+//! each response with the per-shard epoch vector it was computed at.
+//! Mis-routed writes come back as typed `WrongShard` redirects; a
+//! gather missing a feed *refuses* queries (`ShardUnavailable`) instead
+//! of serving an answer with a silent gap.
+//!
+//! The whole deployment — shard primaries, their replica sets, and the
+//! consumer identity — is described once by a [`Topology`] (parsed from
+//! the operator's `--peers` spec) and consumed by [`ShardRouter`],
+//! [`Gather`], and the server [`Role`]s, so every layer agrees on shard
+//! order and failover candidates. Each shard primary may carry its own
+//! replica set with fenced promotion; the gather and the router both
+//! re-resolve a promoted shard primary on their own. See the
+//! [`scatter`] module docs and `docs/ARCHITECTURE.md` for the topology.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -138,6 +146,7 @@ pub mod metrics;
 pub mod replica;
 pub mod scatter;
 mod server;
+pub mod topology;
 
 pub use client::{Client, ClientPool, PooledClient, ShardRouter};
 pub use error::{ClientError, ReplicaError};
@@ -146,4 +155,5 @@ pub use metrics::{OverloadReason, RequestType, ServerMetrics};
 pub use reactor::sys::raise_nofile_limit;
 pub use replica::{Replica, ReplicaConfig, ReplicationMonitor};
 pub use scatter::{Gather, GatherConfig};
-pub use server::{Server, ServerConfig, ServerStats};
+pub use server::{Role, Server, ServerConfig, ServerStats};
+pub use topology::{ShardSite, Topology};

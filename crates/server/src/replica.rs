@@ -485,7 +485,7 @@ impl FeedConn {
     /// mode (no subscription yet). The read deadline applies from the
     /// first byte: a peer that accepts and goes silent fails the
     /// handshake instead of hanging it.
-    fn connect(addr: &str, read_timeout: Duration) -> Result<FeedConn, ReplicaError> {
+    pub(crate) fn connect(addr: &str, read_timeout: Duration) -> Result<FeedConn, ReplicaError> {
         let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
         stream.set_nodelay(true).map_err(ClientError::Io)?;
         // The deadline that detects a half-open primary: a read that
@@ -520,11 +520,33 @@ impl FeedConn {
         read_timeout: Duration,
     ) -> Result<FeedConn, ReplicaError> {
         let mut conn = Self::connect(addr, read_timeout)?;
+        conn.subscribe(from_clock)?;
+        Ok(conn)
+    }
+
+    /// Converts a handshaken connection into a one-way subscription
+    /// stream from `from_clock`. After this, only
+    /// [`next_chunk`](Self::next_chunk) is valid.
+    pub(crate) fn subscribe(&mut self, from_clock: u64) -> Result<(), ReplicaError> {
         let mut outbuf = Vec::with_capacity(64);
         let payload = encode_request(&Request::Subscribe { from_clock })
             .map_err(|e| ReplicaError::Client(ClientError::Unencodable(e)))?;
-        write_frame(&mut conn.stream, &payload, &mut outbuf).map_err(ClientError::Io)?;
-        Ok(conn)
+        write_frame(&mut self.stream, &payload, &mut outbuf).map_err(ClientError::Io)?;
+        Ok(())
+    }
+
+    /// Asks the peer for its replication status — role, fencing term,
+    /// and the primary-address breadcrumb a replica leaves. Valid only
+    /// before [`subscribe`](Self::subscribe); the scatter runtime uses
+    /// it to re-resolve a promoted shard primary.
+    pub(crate) fn role_status(&mut self) -> Result<ReplicaStatus, ReplicaError> {
+        match self.call(&Request::ReplicaStatus)? {
+            Response::ReplicaStatus(status) => Ok(status),
+            Response::Error(e) => Err(ReplicaError::Client(ClientError::Remote(e))),
+            _ => Err(ReplicaError::protocol(
+                "non-ReplicaStatus answer to ReplicaStatus",
+            )),
+        }
     }
 
     /// One strict request/response round trip (handshake and

@@ -13,7 +13,7 @@
 //! ingest), warm feeds replay sealed frames — and the merged record
 //! sets materialize into one **order-canonical** global graph served by
 //! an ordinary [`AccountService`] (bind it with
-//! [`Server::bind_gather`](crate::Server::bind_gather)).
+//! [`Role::Gather`](crate::Role::Gather)).
 //!
 //! Because each shard feed is an ordinary replication subscription, the
 //! shard servers must run with replication enabled
@@ -25,12 +25,43 @@
 //! # Partial results are refused, never silent
 //!
 //! Every query response from a gather carries the full per-shard epoch
-//! vector it was computed at. While any feed is down, the fronting
-//! server refuses cross-shard queries with the typed
+//! vector it was computed at. While any feed is down — or behind the
+//! slot's served high-water mark after a repair — the fronting server
+//! refuses cross-shard queries with the typed
 //! [`WireErrorKind::ShardUnavailable`](plus_store::WireErrorKind) —
 //! a traversal with a shard's records missing would return a silently
 //! truncated answer, indistinguishable from a true one. Clients retry
 //! or fall back; they never get a gap dressed up as an answer.
+//!
+//! # Surviving a shard-primary failover
+//!
+//! Started from a [`Topology`] that names replicas
+//! ([`Gather::start_topology`]), each feed **re-resolves its shard's
+//! writable primary** the way
+//! [`ClientPool::writable`](crate::ClientPool::writable) does: dial the
+//! candidates (last good address, configured primary, then replicas),
+//! ask each for its replication status, follow primary-address
+//! breadcrumbs, and subscribe only to a node that identifies as
+//! primary.
+//!
+//! Promotion is **fenced** per shard. Each feed tracks the highest
+//! fencing term it has folded a chunk under:
+//!
+//! * a candidate or chunk carrying a *lower* term is a deposed primary
+//!   still claiming the role — refused, never folded;
+//! * a *higher* term means the shard failed over. The clocks of the old
+//!   stream and the new one are not comparable (an unreplicated tail
+//!   may have been truncated), so the feed **resets its merge slot**
+//!   and re-bootstraps from the new primary's snapshot — the
+//!   gather-side analogue of a rejoining replica's anti-entropy repair.
+//!
+//! A reset rewinds the slot's merge clock, but never what the gather
+//! *serves*: the gather keeps a per-slot **epoch floor** (the
+//! high-water mark of folded clocks), a repaired slot is not
+//! [`ready`](Gather::ready) until it has caught back up to its floor,
+//! and the merge's repair [`generation`](Gather::generation) lets the
+//! fronting server refuse an answer that straddled a reset. Together:
+//! the epoch vector a consumer observes **never regresses**.
 
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -40,11 +71,13 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use plus_store::codec;
-use plus_store::{AccountService, MergedSource, StoreError};
-use surrogate_core::shard::ShardMap;
+use plus_store::wire::ReplicaRole;
+use plus_store::{AccountService, MergedSource, ReplicaStatus, StoreError};
+use surrogate_core::shard::{EpochVector, ShardMap};
 
 use crate::error::ReplicaError;
 use crate::replica::FeedConn;
+use crate::topology::Topology;
 
 /// Tuning knobs for [`Gather::start_with`].
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +104,13 @@ struct FeedState {
     /// The shard's epoch as last observed from its chunks — what
     /// [`Gather::synced`] compares the merge clock against.
     shard_epoch: AtomicU64,
+    /// The highest fencing term folded for this slot, stored shifted by
+    /// one (`0` = no chunk observed yet, `t + 1` = term `t`).
+    term: AtomicU64,
+    /// The address the feed last subscribed to — the slot's current
+    /// writable primary as far as the gather knows. Tried first on the
+    /// next resolution, and what [`Gather::peer_of`] redirects to.
+    addr: Mutex<Option<String>>,
     last_error: Mutex<Option<String>>,
 }
 
@@ -79,6 +119,8 @@ impl Default for FeedState {
         Self {
             connected: AtomicBool::new(false),
             shard_epoch: AtomicU64::new(0),
+            term: AtomicU64::new(0),
+            addr: Mutex::new(None),
             last_error: Mutex::new(None),
         }
     }
@@ -93,8 +135,12 @@ impl Default for FeedState {
 pub struct Gather {
     service: Arc<AccountService>,
     merged: Arc<MergedSource>,
+    topology: Topology,
     peers: Vec<String>,
     feeds: Vec<Arc<FeedState>>,
+    /// Per-slot served high-water marks: a slot whose merge clock is
+    /// below its floor (mid-repair) is not ready.
+    floors: Arc<Mutex<EpochVector>>,
     stop: Arc<AtomicBool>,
     /// Clones of the live feed sockets so shutdown can unblock parked
     /// reads.
@@ -114,46 +160,66 @@ impl std::fmt::Debug for Gather {
 
 impl Gather {
     /// Starts a gather over the shard primaries at `peers`, in shard
-    /// order: `peers[i]` must be shard `i` of `peers.len()`.
+    /// order: `peers[i]` must be shard `i` of `peers.len()`. No
+    /// replicas: a dead shard primary stays down until it returns. Use
+    /// [`start_topology`](Self::start_topology) for failover.
     pub fn start(peers: &[&str]) -> Result<Gather, ReplicaError> {
         Self::start_with(peers, GatherConfig::default())
     }
 
     /// [`start`](Self::start) with explicit tuning.
     pub fn start_with(peers: &[&str], config: GatherConfig) -> Result<Gather, ReplicaError> {
-        let count = u32::try_from(peers.len())
-            .ok()
+        let topology = Topology::from_peers(peers.iter().copied())
+            .map_err(|e| ReplicaError::Protocol(e.to_string()))?;
+        Self::start_topology(&topology, config)
+    }
+
+    /// Starts a gather over a full [`Topology`]: each slot follows its
+    /// shard's *current* primary, re-resolving through the replica set
+    /// (and any breadcrumbs they leave) after a failover — see the
+    /// [module docs](self).
+    pub fn start_topology(
+        topology: &Topology,
+        config: GatherConfig,
+    ) -> Result<Gather, ReplicaError> {
+        let count = Some(topology.shard_count())
             .filter(|&n| n > 0 && n <= plus_store::MAX_SHARDS)
             .ok_or_else(|| {
-                ReplicaError::protocol("a gather needs between 1 and MAX_SHARDS peers")
+                ReplicaError::protocol("a gather needs between 1 and MAX_SHARDS shards")
             })?;
         let map = ShardMap::new(count).expect("count checked nonzero");
         let merged = Arc::new(MergedSource::new(map));
         let service = Arc::new(AccountService::sharded(merged.clone()));
-        let peers: Vec<String> = peers.iter().map(|p| p.to_string()).collect();
+        let peers = topology.primaries();
         let feeds: Vec<Arc<FeedState>> =
             (0..count).map(|_| Arc::new(FeedState::default())).collect();
+        let floors = Arc::new(Mutex::new(EpochVector::new(count)));
         let stop = Arc::new(AtomicBool::new(false));
         let live = Arc::new(Mutex::new((0..count).map(|_| None).collect::<Vec<_>>()));
         let mut threads = Vec::with_capacity(peers.len());
-        for (slot, addr) in peers.iter().enumerate() {
+        for slot in 0..count {
             let merged = merged.clone();
-            let feed = feeds[slot].clone();
+            let feed = feeds[slot as usize].clone();
             let stop = stop.clone();
             let live = live.clone();
-            let addr = addr.clone();
+            let floors = floors.clone();
+            let candidates = topology.candidates(slot);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("spgraph-gather-{slot}"))
-                    .spawn(move || run_feed(slot as u32, addr, merged, feed, stop, live, config))
+                    .spawn(move || {
+                        run_feed(slot, candidates, merged, feed, stop, live, floors, config)
+                    })
                     .expect("spawn gather feed thread"),
             );
         }
         Ok(Gather {
             service,
             merged,
+            topology: topology.clone(),
             peers,
             feeds,
+            floors,
             stop,
             live,
             threads,
@@ -161,22 +227,36 @@ impl Gather {
     }
 
     /// The serving layer over the merged graph — bind it with
-    /// [`Server::bind_gather`](crate::Server::bind_gather), or query it
-    /// in-process. Read-only: writes go to the shard primaries.
+    /// [`Role::Gather`](crate::Role::Gather), or query it in-process.
+    /// Read-only: writes go to the shard primaries.
     pub fn service(&self) -> &Arc<AccountService> {
         &self.service
     }
 
-    /// The shard primaries this gather follows, in shard order.
+    /// The shard primaries this gather was configured with, in shard
+    /// order (the topology's view; a failed-over slot's *live* primary
+    /// is what [`peer_of`](Self::peer_of) names).
     pub fn peers(&self) -> &[String] {
         &self.peers
     }
 
+    /// The per-shard replica addresses the gather was configured with,
+    /// in shard order — what its `ShardStatus` answers announce.
+    pub fn replicas(&self) -> Vec<Vec<String>> {
+        self.topology.replica_table()
+    }
+
     /// The address of the shard that owns global id `id` — the redirect
-    /// target for a write that landed here by mistake.
-    pub fn peer_of(&self, id: u32) -> &str {
+    /// target for a write that landed here by mistake. After a
+    /// failover this is the *promoted* primary the slot's feed last
+    /// subscribed to, not the configured (dead) one.
+    pub fn peer_of(&self, id: u32) -> String {
         let slot = self.merged.map().shard_of(id) as usize;
-        &self.peers[slot]
+        self.feeds[slot]
+            .addr
+            .lock()
+            .clone()
+            .unwrap_or_else(|| self.peers[slot].clone())
     }
 
     /// How many shards the keyspace is partitioned across.
@@ -190,6 +270,20 @@ impl Gather {
         self.merged.clocks()
     }
 
+    /// The per-shard served floors: the high-water mark of folded
+    /// clocks per slot. The serving layer never hands out an epoch
+    /// vector below this, even across a failover repair.
+    pub fn floors(&self) -> Vec<u64> {
+        self.floors.lock().as_slice().to_vec()
+    }
+
+    /// The merge's repair generation: bumped every time a slot is reset
+    /// for a failover re-bootstrap. The fronting server pins it across
+    /// an answer and refuses the answer when it moved.
+    pub fn generation(&self) -> u64 {
+        self.merged.generation()
+    }
+
     /// Whether the feed for `slot` is currently connected.
     pub fn connected(&self, slot: u32) -> bool {
         self.feeds
@@ -197,23 +291,41 @@ impl Gather {
             .is_some_and(|f| f.connected.load(Ordering::Relaxed))
     }
 
-    /// The first disconnected shard slot, if any — what the fronting
+    /// Whether `slot` is servable: its feed is connected **and** its
+    /// merge clock has reached the slot's served floor (a mid-repair
+    /// slot is connected but not yet ready).
+    pub fn ready(&self, slot: u32) -> bool {
+        let Some(feed) = self.feeds.get(slot as usize) else {
+            return false;
+        };
+        feed.connected.load(Ordering::Relaxed)
+            && self.merged.clocks()[slot as usize] >= self.floors.lock().as_slice()[slot as usize]
+    }
+
+    /// The first unservable shard slot, if any — what the fronting
     /// server names in its [`ShardUnavailable`](plus_store::WireErrorKind)
     /// refusals.
     pub fn first_down(&self) -> Option<u32> {
+        let clocks = self.merged.clocks();
+        let floors = self.floors.lock();
         self.feeds
             .iter()
-            .position(|f| !f.connected.load(Ordering::Relaxed))
+            .enumerate()
+            .position(|(slot, feed)| {
+                !feed.connected.load(Ordering::Relaxed) || clocks[slot] < floors.as_slice()[slot]
+            })
             .map(|slot| slot as u32)
     }
 
     /// Whether every feed is connected and the merge has caught up with
-    /// each shard's last observed epoch.
+    /// each shard's last observed epoch and its served floor.
     pub fn synced(&self) -> bool {
         let clocks = self.merged.clocks();
+        let floors = self.floors.lock();
         self.feeds.iter().enumerate().all(|(slot, feed)| {
             feed.connected.load(Ordering::Relaxed)
                 && clocks[slot] >= feed.shard_epoch.load(Ordering::Relaxed)
+                && clocks[slot] >= floors.as_slice()[slot]
         })
     }
 
@@ -237,6 +349,16 @@ impl Gather {
         self.feeds
             .get(slot as usize)
             .and_then(|f| f.last_error.lock().clone())
+    }
+
+    /// The fencing term the feed for `slot` last folded a chunk under,
+    /// if it has folded any.
+    pub fn term(&self, slot: u32) -> Option<u64> {
+        self.feeds
+            .get(slot as usize)
+            .map(|f| f.term.load(Ordering::Relaxed))
+            .filter(|&t| t > 0)
+            .map(|t| t - 1)
     }
 
     /// Stops the feed threads and disconnects. Equivalent to dropping
@@ -280,27 +402,110 @@ fn backoff(stop: &AtomicBool, total: Duration) {
     }
 }
 
-/// One shard's feed loop: subscribe from the merge's clock for this
-/// slot, fold chunks in, reconnect with backoff on any failure.
+/// Resolves a slot's current *writable primary* the way
+/// [`ClientPool::writable`](crate::ClientPool::writable) does: dial the
+/// candidates in order (last good address first, then the configured
+/// primary and replicas), ask each for its replication status, and
+/// collect the `primary_addr` breadcrumbs replicas leave. Returns the
+/// handshaken connection, the address that answered, and its status.
+fn resolve_primary(
+    candidates: &[String],
+    last_good: Option<String>,
+    read_timeout: Duration,
+) -> Result<(FeedConn, String, ReplicaStatus), String> {
+    let push = |list: &mut Vec<String>, addr: String| {
+        if !addr.is_empty() && !list.contains(&addr) {
+            list.push(addr);
+        }
+    };
+    let mut list: Vec<String> = Vec::new();
+    if let Some(addr) = last_good {
+        push(&mut list, addr);
+    }
+    for addr in candidates {
+        push(&mut list, addr.clone());
+    }
+    let mut last_error = "no candidate addresses".to_string();
+    let mut next = 0;
+    while next < list.len() {
+        let addr = list[next].clone();
+        next += 1;
+        let mut conn = match FeedConn::connect(&addr, read_timeout) {
+            Ok(conn) => conn,
+            Err(e) => {
+                last_error = format!("{addr}: {e}");
+                continue;
+            }
+        };
+        match conn.role_status() {
+            Ok(status) if status.role == ReplicaRole::Primary => return Ok((conn, addr, status)),
+            Ok(status) => {
+                last_error = format!("{addr}: read-only replica, not a primary");
+                if let Some(hint) = status.primary_addr {
+                    push(&mut list, hint);
+                }
+            }
+            Err(e) => last_error = format!("{addr}: {e}"),
+        }
+    }
+    Err(last_error)
+}
+
+/// One shard's feed loop: resolve the slot's writable primary, fence by
+/// term (resetting the slot on a term bump — the failover repair),
+/// subscribe from the merge's clock, fold chunks in, reconnect with
+/// backoff on any failure.
+#[allow(clippy::too_many_arguments)]
 fn run_feed(
     slot: u32,
-    addr: String,
+    candidates: Vec<String>,
     merged: Arc<MergedSource>,
     feed: Arc<FeedState>,
     stop: Arc<AtomicBool>,
     live: Arc<Mutex<Vec<Option<TcpStream>>>>,
+    floors: Arc<Mutex<EpochVector>>,
     config: GatherConfig,
 ) {
+    let record = |message: String| *feed.last_error.lock() = Some(message);
     while !stop.load(Ordering::SeqCst) {
-        let from_clock = merged.clocks()[slot as usize];
-        let mut conn = match FeedConn::open(&addr, from_clock, config.feed_read_timeout) {
-            Ok(conn) => conn,
-            Err(e) => {
-                *feed.last_error.lock() = Some(e.to_string());
+        let last_good = feed.addr.lock().clone();
+        let (mut conn, addr, status) =
+            match resolve_primary(&candidates, last_good, config.feed_read_timeout) {
+                Ok(resolved) => resolved,
+                Err(e) => {
+                    record(e);
+                    backoff(&stop, config.reconnect_backoff);
+                    continue;
+                }
+            };
+        // Fencing at resolve time, mirroring the in-stream check below:
+        // refuse a deposed primary outright, repair on a term bump
+        // *before* subscribing so the subscription clock is already the
+        // post-reset one.
+        match fence(slot, &merged, &feed, status.term) {
+            Fence::Fold => {}
+            Fence::Deposed => {
+                record(format!(
+                    "{addr}: deposed shard primary (stale fencing term {})",
+                    status.term
+                ));
                 backoff(&stop, config.reconnect_backoff);
                 continue;
             }
-        };
+            Fence::Repaired => {}
+            Fence::Failed(e) => {
+                record(format!("{addr}: slot repair failed: {e}"));
+                backoff(&stop, config.reconnect_backoff);
+                continue;
+            }
+        }
+        let from_clock = merged.clocks()[slot as usize];
+        if let Err(e) = conn.subscribe(from_clock) {
+            record(format!("{addr}: {e}"));
+            backoff(&stop, config.reconnect_backoff);
+            continue;
+        }
+        *feed.addr.lock() = Some(addr.clone());
         live.lock()[slot as usize] = conn.try_clone_stream().ok();
         loop {
             if stop.load(Ordering::SeqCst) {
@@ -310,14 +515,46 @@ fn run_feed(
             let chunk = match conn.next_chunk() {
                 Ok(chunk) => chunk,
                 Err(e) => {
-                    *feed.last_error.lock() = Some(e.to_string());
+                    record(e.to_string());
                     break;
                 }
             };
+            // In-stream fencing: a promotion can race the resolve-time
+            // check (the chunk's term is authoritative — it is what the
+            // primary durably stamped).
+            match fence(slot, &merged, &feed, chunk.term) {
+                Fence::Fold => {}
+                Fence::Deposed => {
+                    record(format!(
+                        "{addr}: chunk from deposed primary (stale fencing term {})",
+                        chunk.term
+                    ));
+                    break;
+                }
+                Fence::Repaired => {
+                    // The chunk belongs to the new term's stream, which
+                    // starts at the reset clock — resubscribe rather
+                    // than guess at contiguity.
+                    record(format!(
+                        "{addr}: shard failed over to term {}; re-bootstrapping",
+                        chunk.term
+                    ));
+                    break;
+                }
+                Fence::Failed(e) => {
+                    record(format!("{addr}: slot repair failed: {e}"));
+                    break;
+                }
+            }
             if let Err(e) = fold_chunk(slot, &merged, &chunk) {
-                *feed.last_error.lock() = Some(e.to_string());
+                record(e.to_string());
                 break;
             }
+            // The floor only ever rises: it is the serving layer's
+            // guarantee that a repair never rewinds what consumers see.
+            floors
+                .lock()
+                .raise_slot(slot, merged.clocks()[slot as usize]);
             feed.shard_epoch
                 .store(chunk.primary_epoch, Ordering::Relaxed);
             // Connected only once a chunk lands, so `synced` never
@@ -329,6 +566,47 @@ fn run_feed(
         live.lock()[slot as usize] = None;
         backoff(&stop, config.reconnect_backoff);
     }
+}
+
+/// What the fencing check decided for an offered term.
+enum Fence {
+    /// Same term as every fold so far (or the first observed): fold.
+    Fold,
+    /// Lower term: the sender was deposed; do not fold, disconnect.
+    Deposed,
+    /// Higher term: the shard failed over. The slot has been reset and
+    /// the new term adopted; re-bootstrap from the new primary.
+    Repaired,
+    /// The slot reset itself failed (merge poisoned or slot vanished).
+    Failed(StoreError),
+}
+
+/// Applies the fencing rule for `offered` against the slot's recorded
+/// term, resetting the merge slot on a term bump.
+fn fence(slot: u32, merged: &MergedSource, feed: &FeedState, offered: u64) -> Fence {
+    let observed = feed.term.load(Ordering::Relaxed);
+    let shifted = offered + 1; // stored shifted: 0 = never observed
+    if observed == 0 {
+        feed.term.store(shifted, Ordering::Relaxed);
+        return Fence::Fold;
+    }
+    if shifted < observed {
+        return Fence::Deposed;
+    }
+    if shifted > observed {
+        // The old stream's clocks and the new one's are incomparable
+        // past the truncation point: drop the slot's records and
+        // re-bootstrap from the new primary's snapshot (gather-side
+        // anti-entropy). The merge generation bump invalidates every
+        // cached answer computed over the old records.
+        if let Err(e) = merged.reset_slot(slot) {
+            return Fence::Failed(e);
+        }
+        feed.connected.store(false, Ordering::Relaxed);
+        feed.term.store(shifted, Ordering::Relaxed);
+        return Fence::Repaired;
+    }
+    Fence::Fold
 }
 
 /// Folds one chunk into the merge: snapshot bootstrap (stamped for this

@@ -94,10 +94,87 @@ use crate::admission::RateLimiter;
 use crate::metrics::{self, OverloadReason, RequestType, ServerMetrics};
 use crate::replica::{Replica, ReplicationMonitor};
 use crate::scatter::Gather;
+use crate::topology::Topology;
+
+/// What a server *is* in its deployment — the topology role the unified
+/// [`Server::bind`] constructor serves under.
+///
+/// One server binary, four shapes. The role decides which requests are
+/// honored, how queries are gated, and what the server announces about
+/// the deployment in its Hello and `ShardStatus` answers:
+///
+/// * [`Primary`](Role::Primary) — an ordinary single-store server (the
+///   default).
+/// * [`Replica`](Role::Replica) — fronts a [`Replica`]'s store
+///   read-only, answering `ReplicaStatus` with the live feed state and
+///   refusing writes with a `NotWritable` redirect to the primary.
+/// * [`Shard`](Role::Shard) — one shard primary of a partitioned
+///   deployment: point reads and routed writes for the ids it owns,
+///   typed `WrongShard` redirects for the rest. Composes with a
+///   replication feed (`feed: Some(monitor)`) for a **shard replica**
+///   that serves read-only until promoted.
+/// * [`Gather`](Role::Gather) — fronts a [`Gather`]'s merged graph,
+///   refusing cross-shard queries while any feed is down rather than
+///   answering with a silent gap.
+#[derive(Clone, Default)]
+#[non_exhaustive]
+pub enum Role {
+    /// An ordinary single-store server: serves queries, owns its store.
+    #[default]
+    Primary,
+    /// Fronts a replica store: read-only at the feed's (possibly
+    /// lagging) epoch until the monitor is promoted.
+    Replica {
+        /// The replica's monitor, from [`Replica::monitor`].
+        feed: Arc<ReplicationMonitor>,
+    },
+    /// One shard primary (or shard replica) of a partitioned
+    /// deployment. The bound service must be backed by a store
+    /// partitioned exactly `index`/`count`
+    /// ([`Store::create_durable_partitioned`]); remote writes are
+    /// implied on.
+    Shard {
+        /// This server's shard slot.
+        index: u32,
+        /// The deployment's shard count.
+        count: u32,
+        /// The full deployment map (primaries and replica sets, in
+        /// shard order), so `WrongShard` redirects carry the owner's
+        /// address and `ShardStatus` announces the replica table. An
+        /// empty (default) topology degrades redirects to decimal
+        /// shard indexes.
+        topology: Topology,
+        /// `Some` when this shard server fronts a [`Replica`] that has
+        /// not been promoted yet — a **shard replica**: it refuses
+        /// writes with `NotWritable` until promotion, then serves as
+        /// the shard's new primary.
+        feed: Option<Arc<ReplicationMonitor>>,
+    },
+    /// Fronts a [`Gather`]'s merged multi-shard graph. The bound
+    /// service must be the gather's own ([`Gather::service`]).
+    Gather {
+        /// The running gather whose merge this server serves.
+        gather: Arc<Gather>,
+    },
+}
+
+impl std::fmt::Debug for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Primary => f.write_str("Primary"),
+            Role::Replica { .. } => f.write_str("Replica"),
+            Role::Shard { index, count, .. } => write!(f, "Shard({index}/{count})"),
+            Role::Gather { .. } => f.write_str("Gather"),
+        }
+    }
+}
 
 /// Tuning knobs for [`Server::bind`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
+    /// The topology role this server fills — see [`Role`]. Defaults to
+    /// [`Role::Primary`].
+    pub role: Role,
     /// Event-loop shards. Each owns its own poller and slab of
     /// connections; accepted sockets are dealt round-robin.
     pub threads: usize,
@@ -161,6 +238,7 @@ impl Default for ServerConfig {
             .unwrap_or(4)
             .clamp(2, 8);
         Self {
+            role: Role::Primary,
             threads,
             allow_remote_checkpoint: false,
             allow_replication: false,
@@ -238,37 +316,117 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds `addr` and starts serving `service` on
-    /// [`ServerConfig::default`] event-loop shards.
-    pub fn bind(service: Arc<AccountService>, addr: impl ToSocketAddrs) -> io::Result<Server> {
-        Self::bind_with(service, addr, ServerConfig::default())
+    /// Binds `addr` and starts serving `service` under
+    /// [`ServerConfig::role`] — the **one** constructor every topology
+    /// role goes through.
+    ///
+    /// * [`Role::Primary`] needs nothing else.
+    /// * [`Role::Replica`] serves `replica.service().clone()` read-only;
+    ///   pass `feed: replica.monitor()`.
+    /// * [`Role::Shard`] requires `service` to be backed by a store
+    ///   partitioned exactly `index`/`count`
+    ///   ([`Store::create_durable_partitioned`]); a non-empty topology
+    ///   must agree on the shard count. Remote writes are forced on.
+    /// * [`Role::Gather`] requires `service` to be the gather's own
+    ///   ([`Gather::service`]).
+    ///
+    /// Fails with [`io::ErrorKind::InvalidInput`] when the service and
+    /// the role disagree.
+    pub fn bind(
+        service: Arc<AccountService>,
+        addr: impl ToSocketAddrs,
+        config: &ServerConfig,
+    ) -> io::Result<Server> {
+        let mut config = config.clone();
+        let invalid = |message: String| io::Error::new(io::ErrorKind::InvalidInput, message);
+        let (monitor, shard) = match config.role.clone() {
+            Role::Primary => (None, None),
+            Role::Replica { feed } => (Some(feed), None),
+            Role::Shard {
+                index,
+                count,
+                topology,
+                feed,
+            } => {
+                let partition = service
+                    .store()
+                    .and_then(|store| store.partition())
+                    .ok_or_else(|| {
+                        invalid(
+                            "Role::Shard needs a partitioned store \
+                             (Store::create_durable_partitioned)"
+                                .to_string(),
+                        )
+                    })?;
+                if (partition.index(), partition.count()) != (index, count) {
+                    return Err(invalid(format!(
+                        "Role::Shard says shard {index}/{count} but the store is \
+                         partitioned {}/{}",
+                        partition.index(),
+                        partition.count()
+                    )));
+                }
+                if !topology.is_empty() && topology.shard_count() != count {
+                    return Err(invalid(format!(
+                        "topology names {} shards but the store is partitioned {count}-way",
+                        topology.shard_count()
+                    )));
+                }
+                config.allow_remote_write = true;
+                let role = Arc::new(ShardRole::Shard {
+                    partition,
+                    peers: topology.primaries(),
+                    replicas: topology.replica_table(),
+                });
+                (feed, Some(role))
+            }
+            Role::Gather { gather } => {
+                if !Arc::ptr_eq(&service, gather.service()) {
+                    return Err(invalid(
+                        "Role::Gather must bind the gather's own service \
+                         (pass gather.service().clone())"
+                            .to_string(),
+                    ));
+                }
+                (None, Some(Arc::new(ShardRole::Gather(gather))))
+            }
+        };
+        Self::bind_inner(service, addr, config, monitor, shard)
     }
 
-    /// [`bind`](Self::bind) with explicit tuning.
+    /// [`bind`](Self::bind) with owned tuning.
+    #[deprecated(
+        since = "0.10.0",
+        note = "call `Server::bind(service, addr, &config)` — the unified constructor \
+                takes the config by reference and reads the topology role from \
+                `ServerConfig::role`"
+    )]
     pub fn bind_with(
         service: Arc<AccountService>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<Server> {
-        Self::bind_inner(service, addr, config, None, None)
+        Self::bind(service, addr, &config)
     }
 
     /// Binds a server in front of a [`Replica`]: it serves the same
     /// query protocol read-only at the replica's (possibly lagging)
     /// epoch, and answers [`Request::ReplicaStatus`] with the replica's
     /// live link state instead of the primary default.
+    #[deprecated(
+        since = "0.10.0",
+        note = "set `config.role = Role::Replica { feed: replica.monitor() }` and call \
+                `Server::bind(replica.service().clone(), addr, &config)`"
+    )]
     pub fn bind_replica(
         replica: &Replica,
         addr: impl ToSocketAddrs,
-        config: ServerConfig,
+        mut config: ServerConfig,
     ) -> io::Result<Server> {
-        Self::bind_inner(
-            replica.service().clone(),
-            addr,
-            config,
-            Some(replica.monitor()),
-            None,
-        )
+        config.role = Role::Replica {
+            feed: replica.monitor(),
+        };
+        Self::bind(replica.service().clone(), addr, &config)
     }
 
     /// Binds one shard primary of a partitioned deployment: the service
@@ -278,12 +436,12 @@ impl Server {
     /// mis-routed writes are refused with a
     /// [`WireErrorKind::WrongShard`] redirect that carries the owner's
     /// address.
-    ///
-    /// A shard serves point reads for the ids it owns and refuses
-    /// traversals (send those to a gather node,
-    /// [`Server::bind_gather`]). Remote writes are implied on: a shard
-    /// primary that cannot be written to over the wire serves no
-    /// purpose — keep its socket inside the owner's trust domain.
+    #[deprecated(
+        since = "0.10.0",
+        note = "set `config.role = Role::Shard { index, count, topology, feed: None }` \
+                (build the topology with `Topology::from_peers` or `Topology::parse`) \
+                and call `Server::bind(service, addr, &config)`"
+    )]
     pub fn bind_sharded(
         service: Arc<AccountService>,
         addr: impl ToSocketAddrs,
@@ -299,22 +457,29 @@ impl Server {
                     "bind_sharded needs a partitioned store (Store::create_durable_partitioned)",
                 )
             })?;
-        if !peers.is_empty() && peers.len() != partition.count() as usize {
+        let topology = if peers.is_empty() {
+            Topology::default()
+        } else {
+            Topology::from_peers(peers.iter().copied())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+        };
+        if !topology.is_empty() && topology.shard_count() != partition.count() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 format!(
                     "peer list names {} shards but the store is partitioned {}-way",
-                    peers.len(),
+                    topology.shard_count(),
                     partition.count()
                 ),
             ));
         }
-        config.allow_remote_write = true;
-        let role = Arc::new(ShardRole::Shard {
-            partition,
-            peers: peers.iter().map(|p| p.to_string()).collect(),
-        });
-        Self::bind_inner(service, addr, config, None, Some(role))
+        config.role = Role::Shard {
+            index: partition.index(),
+            count: partition.count(),
+            topology,
+            feed: None,
+        };
+        Self::bind(service, addr, &config)
     }
 
     /// Binds a server in front of a [`Gather`]: it serves the ordinary
@@ -324,14 +489,20 @@ impl Server {
     /// (a partial merge would be a silent gap), and answers mis-routed
     /// writes with a [`WireErrorKind::WrongShard`] redirect to the
     /// owning shard.
+    #[deprecated(
+        since = "0.10.0",
+        note = "set `config.role = Role::Gather { gather }` and call \
+                `Server::bind(gather_service, addr, &config)` with the gather's own \
+                service (`gather.service().clone()`, captured before the move)"
+    )]
     pub fn bind_gather(
         gather: Arc<Gather>,
         addr: impl ToSocketAddrs,
-        config: ServerConfig,
+        mut config: ServerConfig,
     ) -> io::Result<Server> {
         let service = gather.service().clone();
-        let role = Arc::new(ShardRole::Gather(gather));
-        Self::bind_inner(service, addr, config, None, Some(role))
+        config.role = Role::Gather { gather };
+        Self::bind(service, addr, &config)
     }
 
     fn bind_inner(
@@ -361,18 +532,19 @@ impl Server {
             None => (None, None),
         };
 
+        let threads = config.threads.max(1);
+        let max_conns = config.max_conns;
         let ctx = Arc::new(ShardCtx {
             service,
             metrics: server_metrics.clone(),
+            limiter: config.rate_limit.map(RateLimiter::new),
             config,
             monitor,
             shutdown: shutdown.clone(),
-            limiter: config.rate_limit.map(RateLimiter::new),
             feeders: feeders.clone(),
             shard,
         });
 
-        let threads = config.threads.max(1);
         let mut inboxes = Vec::with_capacity(threads);
         let mut shards = Vec::with_capacity(threads);
         for i in 0..threads {
@@ -406,7 +578,7 @@ impl Server {
             let metrics = server_metrics.clone();
             std::thread::Builder::new()
                 .name("spgraph-accept".into())
-                .spawn(move || accept_loop(listener, shutdown, inboxes, metrics, config))
+                .spawn(move || accept_loop(listener, shutdown, inboxes, metrics, max_conns))
                 .expect("spawn accept thread")
         };
 
@@ -543,7 +715,7 @@ fn accept_loop(
     shutdown: Arc<AtomicBool>,
     inboxes: Vec<Arc<ShardInbox>>,
     metrics: Arc<ServerMetrics>,
-    config: ServerConfig,
+    max_conns: usize,
 ) {
     let mut next_shard = 0usize;
     for stream in listener.incoming() {
@@ -573,9 +745,9 @@ fn accept_loop(
         // Admission: the connection cap bounds every socket the server
         // owns (event loops + feeders). Refusing *here* means no shard
         // ever spends a slab slot or a buffer on the socket.
-        if metrics.connections_open.get() >= config.max_conns as i64 {
+        if metrics.connections_open.get() >= max_conns as i64 {
             metrics.count_overload(OverloadReason::ConnCap);
-            shed_connection(stream, config.max_conns);
+            shed_connection(stream, max_conns);
             continue;
         }
         metrics.connections_open.inc();
@@ -635,6 +807,11 @@ enum ShardRole {
     Shard {
         partition: Partition,
         peers: Vec<String>,
+        /// Per-shard replica addresses (shard order, possibly empty) —
+        /// announced in `ShardStatus` answers so clients and gathers
+        /// can find promotion candidates without an out-of-band
+        /// directory.
+        replicas: Vec<Vec<String>>,
     },
     /// A gather node: serves cross-shard queries over the merged graph,
     /// redirects writes to the owning shard.
@@ -1258,7 +1435,9 @@ fn request_type(request: &Request) -> RequestType {
 /// up).
 fn shard_query_refusal(ctx: &ShardCtx, query: &QueryRequest) -> Option<WireError> {
     match ctx.shard.as_deref()? {
-        ShardRole::Shard { partition, peers } => {
+        ShardRole::Shard {
+            partition, peers, ..
+        } => {
             if query.max_depth > 0 {
                 // A traversal stopped at the shard boundary would be a
                 // silently truncated answer; only a gather node sees
@@ -1289,6 +1468,26 @@ fn shard_query_refusal(ctx: &ShardCtx, query: &QueryRequest) -> Option<WireError
             ))
         }
     }
+}
+
+/// The gather merge's repair generation when this server fronts one;
+/// `None` on every other role. Captured before an answer is computed
+/// and re-checked after, so an answer that straddles a slot repair is
+/// refused rather than served with a rewound epoch vector.
+fn gather_generation(ctx: &ShardCtx) -> Option<u64> {
+    match ctx.shard.as_deref() {
+        Some(ShardRole::Gather(gather)) => Some(gather.generation()),
+        _ => None,
+    }
+}
+
+/// The retryable refusal for an answer invalidated by a concurrent feed
+/// repair.
+fn repaired_mid_answer() -> WireError {
+    WireError::new(
+        WireErrorKind::ShardUnavailable,
+        "a shard feed was repaired while the answer was being computed; retry",
+    )
 }
 
 /// The typed redirect for a record owned elsewhere. The message is the
@@ -1347,8 +1546,19 @@ fn handle_request(ctx: &ShardCtx, conn: &mut Conn, request: Request) -> Handled 
                 ctx.metrics.observe_latency(kind, start.elapsed());
                 return Handled::Continue;
             }
+            // Pin the merge's repair generation across the answer: a
+            // feed repair (slot reset) between the refusal check and the
+            // computed frame could hand out an epoch vector that rewinds
+            // a slot. Refuse (retryable) instead of regressing.
+            let pinned_gen = gather_generation(ctx);
             match ctx.service.query_sealed(&consumer, &query) {
-                Ok(frame) => conn.queue(OutFrame::Shared(frame)),
+                Ok(frame) => {
+                    if gather_generation(ctx) != pinned_gen {
+                        queue_response(conn, &Response::Error(repaired_mid_answer()));
+                    } else {
+                        conn.queue(OutFrame::Shared(frame));
+                    }
+                }
                 Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => queue_oversize(conn),
                 Err(e) => queue_response(conn, &Response::Error(wire_error(&e))),
             }
@@ -1363,8 +1573,15 @@ fn handle_request(ctx: &ShardCtx, conn: &mut Conn, request: Request) -> Handled 
                 ctx.metrics.observe_latency(kind, start.elapsed());
                 return Handled::Continue;
             }
+            let pinned_gen = gather_generation(ctx);
             match ctx.service.query_batch_sealed(&consumer, &queries) {
-                Ok(frame) => conn.queue(OutFrame::Shared(frame)),
+                Ok(frame) => {
+                    if gather_generation(ctx) != pinned_gen {
+                        queue_response(conn, &Response::Error(repaired_mid_answer()));
+                    } else {
+                        conn.queue(OutFrame::Shared(frame));
+                    }
+                }
                 Err(StoreError::Codec(CodecError::FrameTooLarge(_))) => queue_oversize(conn),
                 Err(e) => queue_response(conn, &Response::Error(wire_error(&e))),
             }
@@ -1448,15 +1665,21 @@ fn handle_hello(ctx: &ShardCtx, conn: &mut Conn, request: Request) {
     };
     // Shard topology travels in the Hello so routing is client-side and
     // stateless: a pool that knows (count, index) computes any id's
-    // owner without a directory service.
-    let (shard_count, shard_index) = match ctx.shard.as_deref() {
-        Some(ShardRole::Shard { partition, .. }) => (partition.count(), Some(partition.index())),
-        Some(ShardRole::Gather(gather)) => (gather.shard_count(), None),
+    // owner without a directory service, and the peer list (when the
+    // server knows one) lets a client build its whole ShardRouter from
+    // a single handshake.
+    let (shard_count, shard_index, hello_peers) = match ctx.shard.as_deref() {
+        Some(ShardRole::Shard {
+            partition, peers, ..
+        }) => (partition.count(), Some(partition.index()), peers.clone()),
+        Some(ShardRole::Gather(gather)) => (gather.shard_count(), None, gather.peers().to_vec()),
         None => ctx
             .service
             .store()
             .and_then(|store| store.partition())
-            .map_or((0, None), |p| (p.count(), Some(p.index()))),
+            .map_or((0, None, Vec::new()), |p| {
+                (p.count(), Some(p.index()), Vec::new())
+            }),
     };
     let hello = ServerHello {
         version: PROTOCOL_VERSION,
@@ -1469,6 +1692,7 @@ fn handle_hello(ctx: &ShardCtx, conn: &mut Conn, request: Request) {
             .ids()
             .map(|p| snapshot.lattice.name(p).to_string())
             .collect(),
+        peers: hello_peers,
     };
     // Count the connection *before* the Hello answer is queued: once a
     // client observes the handshake complete, the counter must already
@@ -1807,24 +2031,28 @@ fn answer(ctx: &ShardCtx, consumer: &Consumer, request: Request) -> (Response, O
         }
         Request::ShardStatus => {
             let status = match ctx.shard.as_deref() {
-                Some(ShardRole::Shard { partition, .. }) => {
-                    shard_primary_status(service, *partition)
-                }
+                Some(ShardRole::Shard {
+                    partition,
+                    replicas,
+                    ..
+                }) => shard_primary_status(service, *partition, replicas.clone()),
                 Some(ShardRole::Gather(gather)) => ShardStatusInfo {
                     count: gather.shard_count(),
                     index: None,
                     epochs: gather.clocks(),
+                    replicas: gather.replicas(),
                 },
                 // A plain server in front of a partitioned store still
                 // reports its slice; a truly unsharded one answers the
                 // degenerate topology (count 0, its version as the one
                 // epoch).
                 None => match service.store().and_then(|store| store.partition()) {
-                    Some(partition) => shard_primary_status(service, partition),
+                    Some(partition) => shard_primary_status(service, partition, Vec::new()),
                     None => ShardStatusInfo {
                         count: 0,
                         index: None,
                         epochs: vec![service.epoch()],
+                        replicas: Vec::new(),
                     },
                 },
             };
@@ -1835,13 +2063,18 @@ fn answer(ctx: &ShardCtx, consumer: &Consumer, request: Request) -> (Response, O
 
 /// A shard primary knows one live epoch — its own; its status vector
 /// carries zeros in the slots only a gather observes.
-fn shard_primary_status(service: &AccountService, partition: Partition) -> ShardStatusInfo {
+fn shard_primary_status(
+    service: &AccountService,
+    partition: Partition,
+    replicas: Vec<Vec<String>>,
+) -> ShardStatusInfo {
     let mut epochs = vec![0u64; partition.count() as usize];
     epochs[partition.index() as usize] = service.epoch();
     ShardStatusInfo {
         count: partition.count(),
         index: Some(partition.index()),
         epochs,
+        replicas,
     }
 }
 

@@ -32,10 +32,10 @@ fn chain_store(n: usize) -> (Arc<Store>, RecordId) {
 }
 
 fn serve(store: Arc<Store>, config: ServerConfig) -> Server {
-    Server::bind_with(
+    Server::bind(
         Arc::new(AccountService::new(store)),
         "127.0.0.1:0",
-        ServerConfig {
+        &ServerConfig {
             threads: 2,
             ..config
         },

@@ -151,8 +151,20 @@ fn boot_primary(dir: &PathBuf) -> (Arc<Store>, Arc<AccountService>, Server) {
     let store = Arc::new(Store::create_durable_with(dir, LATTICE.0, LATTICE.1, fast()).unwrap());
     let service = Arc::new(AccountService::new(store.clone()));
     let server =
-        Server::bind_with(service.clone(), "127.0.0.1:0", primary_config()).expect("bind primary");
+        Server::bind(service.clone(), "127.0.0.1:0", &primary_config()).expect("bind primary");
     (store, service, server)
+}
+
+/// Fronts a replica with a replication-enabled server via the unified
+/// `Role::Replica` bind.
+fn bind_replica_front(replica: &Replica) -> Server {
+    let config = ServerConfig {
+        role: server::Role::Replica {
+            feed: replica.monitor(),
+        },
+        ..primary_config()
+    };
+    Server::bind(replica.service().clone(), "127.0.0.1:0", &config).unwrap()
 }
 
 fn wait_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
@@ -228,7 +240,7 @@ fn randomized_kill_promote_churn_preserves_acknowledged_writes() {
         let term = if seed % 8 == 0 {
             // Wire promotion: the operator runbook path, through a
             // fronting server.
-            let front = Server::bind_replica(&replica, "127.0.0.1:0", primary_config()).unwrap();
+            let front = bind_replica_front(&replica);
             let mut client = Client::connect(front.local_addr(), "op", &[]).unwrap();
             let term = client.promote().unwrap();
             // Idempotent: a second promote through the server answers
@@ -326,7 +338,7 @@ fn deposed_primary_rejoins_by_truncating_its_unreplicated_tail() {
     for i in ACKED..ACKED + AFTER {
         apply_op(replica_b.store(), i);
     }
-    let server_b = Server::bind_replica(&replica_b, "127.0.0.1:0", primary_config()).unwrap();
+    let server_b = bind_replica_front(&replica_b);
     let addr_b = server_b.local_addr().to_string();
 
     // Release A's directory (drop its store) and restart it as a
@@ -393,6 +405,7 @@ fn spawn_silent_primary(epoch: u64) -> String {
                             shard_count: 0,
                             shard_index: None,
                             predicates: Vec::new(),
+                            peers: Vec::new(),
                         }),
                         Request::LogDigests => Response::LogDigests {
                             term: 0,
@@ -549,7 +562,7 @@ fn writes_redirect_and_the_pool_re_resolves_the_primary() {
     }
     let replica = Replica::start_with(&addr, &replica_dir, replica_config()).unwrap();
     assert!(replica.wait_caught_up(CATCH_UP));
-    let front = Server::bind_replica(&replica, "127.0.0.1:0", primary_config()).unwrap();
+    let front = bind_replica_front(&replica);
     let front_addr = front.local_addr().to_string();
 
     // A write against the replica is a typed redirect, not a success
@@ -587,7 +600,7 @@ fn writes_redirect_and_the_pool_re_resolves_the_primary() {
 
     // A pool configured with the dead primary re-resolves to the
     // promoted node.
-    let pool = ClientPool::new(addr.as_str(), "writer", &[]).with_replicas(&[&front_addr]);
+    let pool = ClientPool::new(addr.as_str(), "writer", &[]).with_replicas([front_addr.clone()]);
     {
         let mut writable = pool.writable().unwrap();
         let status = writable.replica_status().unwrap();

@@ -50,10 +50,10 @@ fn sample(body: &str, name: &str) -> f64 {
 #[test]
 fn metrics_endpoint_serves_consistent_prometheus_text() {
     let (store, sink) = setup();
-    let server = Server::bind_with(
+    let server = Server::bind(
         Arc::new(AccountService::new(store)),
         "127.0.0.1:0",
-        ServerConfig {
+        &ServerConfig {
             threads: 2,
             metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
             ..ServerConfig::default()
@@ -133,10 +133,10 @@ fn metrics_endpoint_serves_consistent_prometheus_text() {
 #[test]
 fn metrics_listener_is_optional_and_shut_down_cleanly() {
     let (store, _) = setup();
-    let server = Server::bind_with(
+    let server = Server::bind(
         Arc::new(AccountService::new(store)),
         "127.0.0.1:0",
-        ServerConfig {
+        &ServerConfig {
             threads: 2,
             ..ServerConfig::default()
         },

@@ -137,7 +137,7 @@ fn boot_primary(dir: &PathBuf) -> (Arc<Store>, Arc<AccountService>, Server) {
     let store = Arc::new(Store::create_durable_with(dir, LATTICE.0, LATTICE.1, fast()).unwrap());
     let service = Arc::new(AccountService::new(store.clone()));
     let server =
-        Server::bind_with(service.clone(), "127.0.0.1:0", primary_config()).expect("bind primary");
+        Server::bind(service.clone(), "127.0.0.1:0", &primary_config()).expect("bind primary");
     (store, service, server)
 }
 
@@ -153,7 +153,7 @@ fn bind_fixed(service: Arc<AccountService>, config: ServerConfig) -> Server {
     let base = 21000 + (std::process::id() % 5000) as u16;
     for attempt in 0..64u16 {
         let addr = format!("127.0.0.1:{}", base + attempt * 31 % 6000);
-        if let Ok(server) = Server::bind_with(service.clone(), addr.as_str(), config) {
+        if let Ok(server) = Server::bind(service.clone(), addr.as_str(), &config) {
             return server;
         }
     }
@@ -244,7 +244,7 @@ fn primary_kills_mid_stream_leave_replicas_at_committed_prefixes() {
         let restarted = (0..100)
             .find_map(|_| {
                 std::thread::sleep(Duration::from_millis(5));
-                Server::bind_with(service.clone(), addr.as_str(), primary_config()).ok()
+                Server::bind(service.clone(), addr.as_str(), &primary_config()).ok()
             })
             .expect("rebind primary on its fixed port");
         assert!(
@@ -364,10 +364,10 @@ fn replication_requires_opt_in_and_a_durable_store() {
     let primary_dir = temp_dir("optin-primary");
     let store =
         Arc::new(Store::create_durable_with(&primary_dir, LATTICE.0, LATTICE.1, fast()).unwrap());
-    let server = Server::bind_with(
+    let server = Server::bind(
         Arc::new(AccountService::new(store)),
         "127.0.0.1:0",
-        ServerConfig {
+        &ServerConfig {
             threads: 2,
             ..ServerConfig::default()
         },
@@ -392,10 +392,10 @@ fn replication_requires_opt_in_and_a_durable_store() {
 
     // Opt-in, but no write-ahead log to stream.
     let in_memory = Arc::new(Store::new(LATTICE.0, LATTICE.1).unwrap());
-    let server = Server::bind_with(
+    let server = Server::bind(
         Arc::new(AccountService::new(in_memory)),
         "127.0.0.1:0",
-        primary_config(),
+        &primary_config(),
     )
     .unwrap();
     let err = Replica::start_with(
@@ -471,10 +471,13 @@ fn replicas_serve_queries_status_and_pooled_reads() {
     assert!(replica.wait_caught_up(CATCH_UP));
     assert!(wait_until(CATCH_UP, || replica.epoch() == store.clock()));
 
-    let replica_server = Server::bind_replica(
-        &replica,
+    let replica_server = Server::bind(
+        replica.service().clone(),
         "127.0.0.1:0",
-        ServerConfig {
+        &ServerConfig {
+            role: server::Role::Replica {
+                feed: replica.monitor(),
+            },
             threads: 2,
             ..ServerConfig::default()
         },
@@ -522,7 +525,7 @@ fn replicas_serve_queries_status_and_pooled_reads() {
 
     // Pooled reads: replicas first, primary as fallback once the
     // replica server goes away.
-    let pool = ClientPool::new(addr.as_str(), "reader", &[]).with_replicas(&[&replica_addr]);
+    let pool = ClientPool::new(addr.as_str(), "reader", &[]).with_replicas([replica_addr.clone()]);
     {
         let mut client = pool.get().unwrap();
         assert_eq!(client.epoch().unwrap(), store.clock());

@@ -44,10 +44,10 @@ fn serve(store: Arc<Store>) -> Server {
 }
 
 fn serve_with(store: Arc<Store>, config: ServerConfig) -> Server {
-    Server::bind_with(
+    Server::bind(
         Arc::new(AccountService::new(store)),
         "127.0.0.1:0",
-        ServerConfig {
+        &ServerConfig {
             threads: 4,
             ..config
         },
@@ -436,7 +436,7 @@ fn pool_probes_idle_connections_and_drops_stale_ones() {
     let server = (0..64u16)
         .find_map(|attempt| {
             let addr = format!("127.0.0.1:{}", base + attempt * 37 % 5500);
-            Server::bind_with(service.clone(), addr.as_str(), ServerConfig::default()).ok()
+            Server::bind(service.clone(), addr.as_str(), &ServerConfig::default()).ok()
         })
         .expect("bind a fixed sub-ephemeral port");
     let addr = server.local_addr();
@@ -454,7 +454,7 @@ fn pool_probes_idle_connections_and_drops_stale_ones() {
     let restarted = (0..50)
         .find_map(|_| {
             std::thread::sleep(std::time::Duration::from_millis(20));
-            Server::bind_with(service.clone(), addr, ServerConfig::default()).ok()
+            Server::bind(service.clone(), addr, &ServerConfig::default()).ok()
         })
         .expect("rebind the freed port");
 

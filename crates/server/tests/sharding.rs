@@ -26,7 +26,7 @@ use plus_store::{
     AccountService, Direction, DurabilityOptions, EdgeKind, NodeKind, PolicyStatement,
     QueryRequest, QueryResponse, RecordId, Store, Strategy,
 };
-use server::{Client, ClientError, Gather, Server, ServerConfig, ShardRouter};
+use server::{Client, ClientError, Gather, Server, ServerConfig, ShardRouter, Topology};
 use surrogate_core::feature::Features;
 use surrogate_core::marking::Marking;
 use surrogate_core::shard::Partition;
@@ -79,12 +79,24 @@ fn boot_shards(
             ..ServerConfig::default()
         };
         let peers = peers_for(index, &addrs);
-        let peer_refs: Vec<&str> = peers.iter().map(String::as_str).collect();
-        let server = Server::bind_sharded(
+        let topology = if peers.is_empty() {
+            Topology::default()
+        } else {
+            Topology::from_peers(peers).unwrap()
+        };
+        let config = ServerConfig {
+            role: server::Role::Shard {
+                index,
+                count,
+                topology,
+                feed: None,
+            },
+            ..config
+        };
+        let server = Server::bind(
             Arc::new(AccountService::new(Arc::new(store))),
             "127.0.0.1:0",
-            config,
-            &peer_refs,
+            &config,
         )
         .unwrap();
         addrs.push(server.local_addr().to_string());
@@ -96,9 +108,22 @@ fn boot_shards(
 fn boot_gather(addrs: &[String]) -> (Arc<Gather>, Server) {
     let peer_refs: Vec<&str> = addrs.iter().map(String::as_str).collect();
     let gather = Arc::new(Gather::start(&peer_refs).unwrap());
-    let front =
-        Server::bind_gather(gather.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let config = ServerConfig {
+        role: server::Role::Gather {
+            gather: gather.clone(),
+        },
+        ..ServerConfig::default()
+    };
+    let front = Server::bind(gather.service().clone(), "127.0.0.1:0", &config).unwrap();
     (gather, front)
+}
+
+/// A writer-identity router over bare primaries, in the given order.
+fn router_over(addrs: &[&str]) -> ShardRouter {
+    let topology = Topology::from_peers(addrs.iter().copied())
+        .unwrap()
+        .with_consumer("writer", Vec::<String>::new());
+    ShardRouter::new(&topology).unwrap()
 }
 
 /// Polls `client.epoch()` until it reaches `target` — the gather lags
@@ -163,7 +188,7 @@ fn cross_shard_traversals_match_single_store_oracle() {
 
     // Sharded side: the workload through a router.
     let addr_refs: Vec<&str> = addrs.iter().map(String::as_str).collect();
-    let router = ShardRouter::new(&addr_refs, "writer", &[]).unwrap();
+    let router = router_over(&addr_refs);
     let preds: Vec<_> = {
         let probe = Client::connect(&addrs[0], "probe", &[]).unwrap();
         LATTICE
@@ -230,7 +255,12 @@ fn cross_shard_traversals_match_single_store_oracle() {
             marking: Marking::Surrogate,
         })
         .unwrap();
-    let oracle_server = Server::bind(Arc::new(AccountService::new(oracle)), "127.0.0.1:0").unwrap();
+    let oracle_server = Server::bind(
+        Arc::new(AccountService::new(oracle)),
+        "127.0.0.1:0",
+        &ServerConfig::default(),
+    )
+    .unwrap();
 
     // Compare every root, two directions, every strategy, through the
     // eyes of two differently-privileged consumers.
@@ -365,7 +395,7 @@ fn killed_shard_yields_typed_refusal_never_a_gap() {
 
     // Seed a cross-shard chain 0 → 1 → 2 (ids alternate shards).
     let addr_refs: Vec<&str> = addrs.iter().map(String::as_str).collect();
-    let router = ShardRouter::new(&addr_refs, "writer", &[]).unwrap();
+    let router = router_over(&addr_refs);
     let public = router.pool(0).get().unwrap().predicate("Public").unwrap();
     let mut ids = Vec::new();
     for label in ["a", "b", "c"] {
@@ -502,7 +532,7 @@ fn misrouted_writes_redirect_to_the_owner() {
     // A router whose peer order is swapped relative to the real topology
     // mis-routes every id-routed write; the address-form redirect from
     // shard 1 carries it to the right place anyway.
-    let swapped = ShardRouter::new(&[&addrs[1], &addrs[0]], "writer", &[]).unwrap();
+    let swapped = router_over(&[&addrs[1], &addrs[0]]);
     let (clock, id) = swapped.write(misroute).unwrap();
     assert_eq!(id, None);
     assert_eq!(
@@ -589,6 +619,7 @@ fn shard_roles_point_reads_and_status() {
             Store::new(LATTICE.0, LATTICE.1).unwrap(),
         ))),
         "127.0.0.1:0",
+        &ServerConfig::default(),
     )
     .unwrap();
     let mut unsharded = Client::connect(plain.local_addr(), "reader", &[]).unwrap();

@@ -1,0 +1,126 @@
+//! Property coverage for the shared [`Topology`] descriptor: the spec
+//! grammar round-trips, malformed specs are refused with the typed
+//! error, and the keyspace map a topology implies agrees with the
+//! congruence-class ownership rule the shards themselves enforce —
+//! which is exactly the mapping `ShardRouter` trusts when it follows a
+//! `WrongShard` redirect to another pool.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use server::{ClientError, ShardRouter, Topology};
+use surrogate_core::shard::Partition;
+
+/// A random address: non-empty, free of the spec's structural
+/// characters (`,`, `+`, whitespace).
+fn random_addr(rng: &mut StdRng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.:-";
+    let len = rng.gen_range(1..=24usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+fn random_topology(rng: &mut StdRng) -> Topology {
+    let shards = rng.gen_range(1..=6usize);
+    let spec = (0..shards)
+        .map(|_| {
+            let mut entry = random_addr(rng);
+            for _ in 0..rng.gen_range(0..3usize) {
+                entry.push('+');
+                entry.push_str(&random_addr(rng));
+            }
+            entry
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    Topology::parse(&spec).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display renders the spec syntax back; parsing that yields the
+    /// identical topology. `FromStr` is the same parser.
+    #[test]
+    fn specs_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topology = random_topology(&mut rng);
+        let spec = topology.to_string();
+        prop_assert_eq!(&Topology::parse(&spec).unwrap(), &topology);
+        prop_assert_eq!(&spec.parse::<Topology>().unwrap(), &topology);
+        // The derived views agree with the parse.
+        prop_assert_eq!(topology.primaries().len() as u32, topology.shard_count());
+        for (slot, site) in topology.shards().iter().enumerate() {
+            let slot = slot as u32;
+            prop_assert_eq!(topology.primary(slot), Some(site.primary.as_str()));
+            prop_assert_eq!(topology.replicas(slot), site.replicas.as_slice());
+            let candidates = topology.candidates(slot);
+            prop_assert_eq!(&candidates[0], &site.primary);
+            prop_assert_eq!(&candidates[1..], site.replicas.as_slice());
+        }
+    }
+
+    /// Blanking any single address out of a well-formed spec makes it
+    /// malformed, and the parser refuses it with the typed error rather
+    /// than silently collapsing slots (which would misroute every write
+    /// after the gap).
+    #[test]
+    fn blanked_addresses_are_refused(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topology = random_topology(&mut rng);
+        let spec = topology.to_string();
+        let addrs: Vec<&str> = spec.split([',', '+']).collect();
+        let blank = rng.gen_range(0..addrs.len());
+        let mutated = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| if i == blank { "" } else { a })
+            .collect::<Vec<_>>()
+            .join(",");
+        prop_assert!(matches!(
+            Topology::parse(&mutated),
+            Err(ClientError::BadTopology(_))
+        ));
+    }
+
+    /// The keyspace map a topology implies is the congruence-class rule
+    /// the shard stores enforce: id `k` belongs to shard `k mod n`, and
+    /// that shard's partition owns it. This is the invariant that makes
+    /// a `WrongShard { slot }` redirect trustworthy — the slot a shard
+    /// names for an id is the slot the topology resolves for it.
+    #[test]
+    fn keyspace_map_matches_partition_ownership(seed in any::<u64>(), id in any::<u32>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topology = random_topology(&mut rng);
+        let map = topology.map().unwrap();
+        let n = topology.shard_count();
+        prop_assert_eq!(map.count(), n);
+        let slot = map.shard_of(id);
+        prop_assert_eq!(slot, id % n);
+        let partition = Partition::new(slot, n).unwrap();
+        prop_assert!(partition.owns(id));
+        // No other shard claims it.
+        for other in (0..n).filter(|&s| s != slot) {
+            prop_assert!(!Partition::new(other, n).unwrap().owns(id));
+        }
+        // A router built over this topology sizes one pool per shard,
+        // so the redirect target always exists.
+        let router = ShardRouter::new(&topology).unwrap();
+        prop_assert_eq!(router.shard_count(), n);
+    }
+}
+
+/// The empty topology (only reachable via `Default`) is refused by
+/// every consumer with the typed error, not a panic.
+#[test]
+fn empty_topology_is_typed_everywhere() {
+    let empty = Topology::default();
+    assert!(empty.is_empty());
+    assert!(matches!(empty.map(), Err(ClientError::BadTopology(_))));
+    assert!(matches!(
+        ShardRouter::new(&empty),
+        Err(ClientError::BadTopology(_))
+    ));
+}

@@ -35,7 +35,7 @@
 //! spgraph replica-status <addr> [--wait] [--timeout <secs>]
 //!                                              a server's replication status: role,
 //!                                              epochs, lag, term, link health
-//! spgraph serve <dir> --shard <i>/<n> [--peers a,b,...] [--addr a:p] [...]
+//! spgraph serve <dir> --shard <i>/<n> [--peers spec] [--addr a:p] [...]
 //!                                              serve as SHARD i of an n-way
 //!                                              partitioned deployment: owns the ids
 //!                                              ≡ i (mod n), accepts remote writes
@@ -44,13 +44,26 @@
 //!                                              --allow-replication, which feeds
 //!                                              the gather); a vacant <dir> is
 //!                                              seeded with an empty Public store
-//! spgraph serve --gather --peers a,b,... [--addr a:p] [...]
+//! spgraph serve <dir> --shard <i>/<n> --replicate-from <addr> [...]
+//!                                              serve as shard i's standby: tail
+//!                                              the shard primary's WAL, refuse
+//!                                              writes with a redirect breadcrumb,
+//!                                              flip to writable shard primary on
+//!                                              `spgraph promote`
+//! spgraph serve --gather --peers spec [--addr a:p] [...]
 //!                                              serve cross-shard queries: follow
 //!                                              every shard's feed, merge into one
 //!                                              order-canonical graph, stamp each
 //!                                              answer with the per-shard epoch
 //!                                              vector; refuse (never truncate)
-//!                                              while any shard feed is down
+//!                                              while any shard feed is down; a
+//!                                              spec entry's +replicas are the
+//!                                              slot's failover candidates
+//!
+//! The --peers spec names the whole deployment, one comma-separated
+//! entry per shard in shard order; each entry is the shard's primary
+//! optionally followed by +-joined replicas:
+//! `primary0+standby0,primary1+standby1,...`.
 //! spgraph shard-status <addr>                  a server's shard topology and
 //!                                              per-shard epochs
 //! spgraph write <addr> --node <label> [-p <predicate>]
@@ -95,8 +108,8 @@ fn usage() -> ExitCode {
          spgraph serve <store> [--addr <addr:port>] [--threads <n>] [--allow-checkpoint] [--allow-replication] [--churn <ops/s>]\n  \
          \u{20}             [--max-conns <n>] [--rate-limit <req/s>] [--metrics-addr <addr:port>]\n  \
          spgraph serve <dir> --replicate-from <addr:port> [--addr <addr:port>] [--threads <n>] [--allow-replication] [--churn <ops/s>]\n  \
-         spgraph serve <dir> --shard <i>/<n> [--peers <addr,addr,...>] [--addr <addr:port>] [--threads <n>]\n  \
-         spgraph serve --gather --peers <addr,addr,...> [--addr <addr:port>] [--threads <n>]\n  \
+         spgraph serve <dir> --shard <i>/<n> [--peers <primary[+replica...],...>] [--replicate-from <addr:port>] [--addr <addr:port>] [--threads <n>]\n  \
+         spgraph serve --gather --peers <primary[+replica...],...> [--addr <addr:port>] [--threads <n>]\n  \
          spgraph promote <dir | addr:port>\n  \
          spgraph replica-status <addr:port> [--wait] [--timeout <secs>]\n  \
          spgraph shard-status <addr:port>\n  \
@@ -113,22 +126,19 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// Parses `--peers a,b,...` into a shard-ordered address list; `None`
-/// when the flag is absent.
-fn parse_peers(args: &[String]) -> CliResult<Option<Vec<String>>> {
+/// Parses the `--peers` deployment spec into a
+/// [`Topology`](surrogate_parenthood::server::Topology); `None`
+/// when the flag is absent. One comma-separated entry per shard, in
+/// shard order; each entry is the shard's primary optionally followed
+/// by `+`-joined replica addresses (the shard's failover candidates):
+/// `primary0+replica0a+replica0b,primary1,...`.
+fn parse_peers(args: &[String]) -> CliResult<Option<surrogate_parenthood::server::Topology>> {
     let Some(raw) = flag_value(args, "--peers") else {
         return Ok(None);
     };
-    let peers: Vec<String> = raw
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(str::to_string)
-        .collect();
-    if peers.is_empty() {
-        return Err("--peers needs at least one address".to_string());
-    }
-    Ok(Some(peers))
+    surrogate_parenthood::server::Topology::parse(&raw)
+        .map(Some)
+        .map_err(|e| format!("bad --peers {raw:?}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -553,21 +563,25 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
     // feed into an in-memory merged graph and serves cross-shard
     // queries over it.
     if args.iter().any(|a| a == "--gather") {
-        let peers = parse_peers(args)?.ok_or(
-            "--gather needs --peers <addr,addr,...> (one address per shard, in shard order)",
+        let topology = parse_peers(args)?.ok_or(
+            "--gather needs --peers <primary[+replica...],...> (one entry per shard, in shard order)",
         )?;
-        let peer_refs: Vec<&str> = peers.iter().map(String::as_str).collect();
         let gather = Arc::new(
-            surrogate_parenthood::server::Gather::start(&peer_refs)
-                .map_err(|e| format!("cannot start gather: {e}"))?,
+            surrogate_parenthood::server::Gather::start_topology(
+                &topology,
+                surrogate_parenthood::server::GatherConfig::default(),
+            )
+            .map_err(|e| format!("cannot start gather: {e}"))?,
         );
         let synced = gather.wait_synced(std::time::Duration::from_secs(10));
-        let server = Server::bind_gather(gather.clone(), &addr as &str, config)
+        config.role = surrogate_parenthood::server::Role::Gather {
+            gather: gather.clone(),
+        };
+        let server = Server::bind(gather.service().clone(), &addr as &str, &config)
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
         println!(
-            "gather over {} shard(s) [{}] serving on {} ({})",
+            "gather over {} shard(s) [{topology}] serving on {} ({})",
             gather.shard_count(),
-            peers.join(", "),
             server.local_addr(),
             if synced {
                 "all feeds synced".to_string()
@@ -590,9 +604,11 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
 
     let path = args.first().ok_or("missing store path")?;
 
-    // One shard primary of a partitioned deployment: a durable store
-    // over this shard's residue class, remote writes on, replication on
-    // (the gather follows the shard feeds).
+    // One shard node of a partitioned deployment: a durable store over
+    // this shard's residue class, remote writes on, replication on (the
+    // gather follows the shard feeds). With `--replicate-from` it is the
+    // shard's standby instead: it tails the shard primary's WAL and
+    // refuses writes (with a redirect breadcrumb) until promoted.
     if let Some(spec) = flag_value(args, "--shard") {
         let (index, count) = spec
             .split_once('/')
@@ -600,8 +616,55 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
             .ok_or_else(|| format!("bad --shard {spec:?}: expected <i>/<n>, e.g. 0/2"))?;
         let partition = surrogate_parenthood::surrogate_core::shard::Partition::new(index, count)
             .ok_or_else(|| format!("bad --shard {spec:?}: need i < n and n > 0"))?;
-        let peers = parse_peers(args)?.unwrap_or_default();
-        let peer_refs: Vec<&str> = peers.iter().map(String::as_str).collect();
+        let topology = parse_peers(args)?.unwrap_or_default();
+        // The gather follows this shard's WAL feed; without replication
+        // the deployment has writes but no cross-shard reads.
+        config.allow_replication = true;
+        config.allow_remote_checkpoint = args.iter().any(|a| a == "--allow-checkpoint");
+
+        // Shard replica: tail the shard primary, serve read-only,
+        // flip to writable shard primary on `spgraph promote`.
+        if let Some(primary) = flag_value(args, "--replicate-from") {
+            let replica = surrogate_parenthood::Replica::start(&primary, path).map_err(|e| {
+                format!("cannot replicate shard {index}/{count} from {primary}: {e}")
+            })?;
+            if replica.store().partition() != Some(partition) {
+                return Err(format!(
+                    "{primary} ships a store partitioned {:?}, not shard {index}/{count}: \
+                     --replicate-from must name this shard's primary",
+                    replica.store().partition()
+                ));
+            }
+            let epoch = replica.epoch();
+            config.role = surrogate_parenthood::server::Role::Shard {
+                index,
+                count,
+                topology,
+                feed: Some(replica.monitor()),
+            };
+            let server = Server::bind(replica.service().clone(), &addr as &str, &config)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            println!(
+                "shard {index}/{count} REPLICA of {primary} serving {path} on {} (epoch {epoch}, lag {})",
+                server.local_addr(),
+                replica.lag()
+            );
+            println!(
+                "read-only until promoted (spgraph promote {}); writes are redirected to the primary",
+                server.local_addr()
+            );
+            // Machine-parseable: scripts resolve `--addr :0` from this line.
+            println!("listening on {}", server.local_addr());
+            if let Some(metrics) = server.metrics_local_addr() {
+                println!("metrics listening on {metrics}");
+            }
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            loop {
+                std::thread::park();
+            }
+        }
+
         let vacant = match std::fs::read_dir(path) {
             Ok(mut entries) => entries.next().is_none(),
             Err(_) => !std::path::Path::new(path).exists(),
@@ -620,12 +683,14 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
             store
         };
         let service = Arc::new(AccountService::new(Arc::new(store)));
-        // The gather follows this shard's WAL feed; without replication
-        // the deployment has writes but no cross-shard reads.
-        config.allow_replication = true;
-        config.allow_remote_checkpoint = args.iter().any(|a| a == "--allow-checkpoint");
         let epoch = service.epoch();
-        let server = Server::bind_sharded(service, &addr as &str, config, &peer_refs)
+        config.role = surrogate_parenthood::server::Role::Shard {
+            index,
+            count,
+            topology,
+            feed: None,
+        };
+        let server = Server::bind(service, &addr as &str, &config)
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
         println!(
             "shard {index}/{count} serving {path} on {} (epoch {epoch}, owns ids \u{2261} {index} mod {count})",
@@ -659,7 +724,10 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
         let replica = surrogate_parenthood::Replica::start(&primary, path)
             .map_err(|e| format!("cannot replicate from {primary}: {e}"))?;
         let epoch = replica.epoch();
-        let server = Server::bind_replica(&replica, &addr as &str, config)
+        config.role = surrogate_parenthood::server::Role::Replica {
+            feed: replica.monitor(),
+        };
+        let server = Server::bind(replica.service().clone(), &addr as &str, &config)
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
         println!(
             "replica of {primary} serving {path} on {} (epoch {epoch}, lag {}, {} worker threads)",
@@ -756,7 +824,7 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
     };
     let epoch = service.epoch();
     let nodes = service.snapshot().graph.node_count();
-    let server = Server::bind_with(service, &addr as &str, config)
+    let server = Server::bind(service, &addr as &str, &config)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
         "serving {path} on {} (epoch {epoch}, {nodes} nodes, {} worker threads{}{})",
@@ -933,8 +1001,14 @@ fn cmd_shard_status(args: &[String]) -> CliResult<()> {
         }
     }
     for (slot, epoch) in status.epochs.iter().enumerate() {
+        let replicas = status
+            .replicas
+            .get(slot)
+            .filter(|r| !r.is_empty())
+            .map(|r| format!("  replicas: {}", r.join(", ")))
+            .unwrap_or_default();
         println!(
-            "  shard {slot}: epoch {epoch}{}",
+            "  shard {slot}: epoch {epoch}{}{replicas}",
             if status.index == Some(slot as u32) {
                 "  [this server]"
             } else {

@@ -15,7 +15,7 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use surrogate_parenthood::plus_store::wire::{
-    ERROR_KINDS, PROTOCOL_VERSION, REQUEST_VARIANTS, RESPONSE_VARIANTS,
+    ERROR_KINDS, MAX_REPLICAS, MAX_SHARDS, PROTOCOL_VERSION, REQUEST_VARIANTS, RESPONSE_VARIANTS,
 };
 
 fn repo_root() -> PathBuf {
@@ -51,6 +51,37 @@ fn wire_spec_names_every_message_and_error_kind() {
         spec.contains(&format!("**Protocol version:** {PROTOCOL_VERSION}")),
         "docs/WIRE.md states protocol version {PROTOCOL_VERSION}"
     );
+    // The version-history table must cover every version up to the
+    // current one: bumping PROTOCOL_VERSION without a history row is
+    // exactly the silent drift this test exists to catch.
+    for version in 1..=PROTOCOL_VERSION {
+        assert!(
+            spec.contains(&format!("| {version} | ")),
+            "docs/WIRE.md's version history is missing a row for version {version}"
+        );
+    }
+    // The limits table must state the decode-time bounds with the
+    // values the implementation enforces.
+    for (name, value) in [("MAX_SHARDS", MAX_SHARDS), ("MAX_REPLICAS", MAX_REPLICAS)] {
+        assert!(
+            spec.contains(&format!("`{name}`")),
+            "docs/WIRE.md never names the `{name}` bound"
+        );
+        let human = value
+            .to_string()
+            .as_bytes()
+            .rchunks(3)
+            .rev()
+            .map(|c| std::str::from_utf8(c).unwrap())
+            .collect::<Vec<_>>()
+            .join("\u{202f}");
+        assert!(
+            spec.contains(&value.to_string())
+                || spec.contains(&human)
+                || spec.contains(&human.replace('\u{202f}', " ")),
+            "docs/WIRE.md states {name} = {value}"
+        );
+    }
 }
 
 #[test]
